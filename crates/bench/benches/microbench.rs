@@ -1,0 +1,234 @@
+//! Host-machine microbenchmarks for the implementation itself
+//! (complementing the virtual-time experiment binaries, which measure
+//! the *simulated* system).
+//!
+//! Groups:
+//! * `sim` — discrete-event kernel throughput (task spawn/join, timers,
+//!   channel handoffs, semaphore round-trips);
+//! * `rel` — block codec and workload generation;
+//! * `hash` — grace partitioning throughput;
+//! * `join` — end-to-end simulated joins per host-second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use tapejoin::hash::{GracePlan, Partitioner};
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{Block, RelationSpec, Tuple, WorkloadBuilder};
+use tapejoin_sim::sync::{channel, Semaphore};
+use tapejoin_sim::{sleep, spawn, Duration, Simulation};
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("timers_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.run(async {
+                for i in 0..10_000u64 {
+                    sleep(Duration::from_nanos(i % 97)).await;
+                }
+            });
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("spawn_join_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let total = sim.run(async {
+                let mut acc = 0u64;
+                for i in 0..10_000u64 {
+                    acc += spawn(async move { i }).join().await;
+                }
+                acc
+            });
+            assert_eq!(total, 10_000 * 9_999 / 2);
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("channel_handoff_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.run(async {
+                let (tx, mut rx) = channel::<u64>(8);
+                spawn(async move {
+                    for i in 0..10_000u64 {
+                        tx.send(i).await.unwrap();
+                    }
+                });
+                let mut n = 0u64;
+                while rx.recv().await.is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 10_000);
+            });
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("semaphore_roundtrip_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.run(async {
+                let sem = Semaphore::new(4);
+                for _ in 0..10_000 {
+                    let p = sem.acquire(2).await;
+                    drop(p);
+                }
+            });
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_relation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rel");
+
+    let block = Block::new((0..64).map(|i| Tuple::new(i * 2, i)).collect());
+    let bytes = block.to_bytes();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("block_encode_64t", |b| b.iter(|| block.to_bytes()));
+    g.bench_function("block_decode_64t", |b| {
+        b.iter(|| Block::from_bytes(&bytes).unwrap())
+    });
+
+    g.throughput(Throughput::Elements(4096 * 4));
+    g.bench_function("workload_gen_4k_blocks", |b| {
+        b.iter(|| {
+            WorkloadBuilder::new(1)
+                .r(RelationSpec::new("R", 1024))
+                .s(RelationSpec::new("S", 3072))
+                .build()
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let plan = GracePlan::derive(1024, 64, 4).unwrap();
+    let tuples: Vec<Tuple> = (0..100_000u64).map(|i| Tuple::new(i * 2, i)).collect();
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    g.bench_function("partition_100k_tuples", |b| {
+        b.iter_batched(
+            || Partitioner::new(plan, 42),
+            |mut p| {
+                let mut out = Vec::new();
+                for &t in &tuples {
+                    p.push(t, &mut out);
+                    out.clear();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    g.sample_size(10);
+    let workload = WorkloadBuilder::new(5)
+        .r(RelationSpec::new("R", 128))
+        .s(RelationSpec::new("S", 512))
+        .build();
+    for method in [JoinMethod::CdtGh, JoinMethod::CttGh, JoinMethod::DtNb] {
+        g.bench_function(format!("e2e_{}", method.abbrev()), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::new(24, 400);
+                TertiaryJoin::new(cfg).run(method, &workload).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    use std::rc::Rc;
+    use tapejoin_buffer::{DiskBufKind, DiskBuffer};
+    use tapejoin_disk::{ArrayMode, DiskArray, DiskModel, SpaceManager};
+    use tapejoin_rel::Block;
+    use tapejoin_tape::{TapeDrive, TapeDriveModel, TapeMedia};
+
+    let mut g = c.benchmark_group("substrate");
+
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("tape_scan_4k_blocks", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.run(async {
+                let w = WorkloadBuilder::new(1)
+                    .r(RelationSpec::new("R", 4096).tuples_per_block(1))
+                    .build();
+                let tape = TapeMedia::blank("t", 4096);
+                tape.load_relation(&w.r);
+                let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e9), 1 << 16);
+                drive.mount(tape);
+                let mut pos = 0;
+                while pos < 4096 {
+                    let blocks = drive.read(pos, 128).await;
+                    pos += blocks.len() as u64;
+                }
+            });
+        })
+    });
+
+    g.throughput(Throughput::Elements(2048));
+    g.bench_function("diskbuf_pipeline_2k_blocks", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.run(async {
+                let array = DiskArray::new(DiskModel::ideal(1e9), 2, 1 << 16, ArrayMode::Aggregate);
+                let space = SpaceManager::new(2, 64);
+                let buf = DiskBuffer::new(DiskBufKind::Interleaved, 64, array, space);
+                let producer = {
+                    let buf = buf.clone();
+                    spawn(async move {
+                        let block = Rc::new(Block::new(vec![tapejoin_rel::Tuple::new(1, 1)]));
+                        let mut sent = Vec::new();
+                        for i in 0..2048u64 {
+                            let slots = buf.write_batch(i / 64, &[Rc::clone(&block)]).await;
+                            sent.push(slots);
+                            if sent.len() >= 32 {
+                                for s in sent.drain(..) {
+                                    buf.free(&s);
+                                }
+                            }
+                        }
+                        for s in sent {
+                            buf.free(&s);
+                        }
+                    })
+                };
+                producer.join().await;
+            });
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("space_manager_10k_cycles", |b| {
+        b.iter(|| {
+            let sm = SpaceManager::new(4, 256);
+            for _ in 0..10_000 {
+                let a = sm.allocate(16).unwrap();
+                sm.release(&a);
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_kernel,
+    bench_relation,
+    bench_partitioner,
+    bench_end_to_end,
+    bench_substrates
+);
+criterion_main!(benches);

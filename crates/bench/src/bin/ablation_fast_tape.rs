@@ -1,0 +1,60 @@
+//! Ablation: fast tapes, slow disks (paper §8's closing remark).
+//!
+//! "The reduction in the number of R scans may well offset the extra cost
+//! of scanning R from tape instead of disk, and in situations where tape
+//! drives are faster than disks, this would indeed be a more attractive
+//! approach." The paper never measured that situation — its DLT-4000s
+//! were slower than its disks. Here the disk/tape speed ratio is swept
+//! through 1.0 and below at `D = 1.5·|R|` (where the disk-tape and
+//! tape-tape approaches genuinely compete), confirming that CTT-GH's
+//! advantage over CDT-GH widens as tapes get relatively faster.
+
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_bench::{csv_flag, ratio, secs, TablePrinter, SEED};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+use tapejoin_tape::TapeDriveModel;
+
+fn main() {
+    let mut table = TablePrinter::new(
+        &["X_D / X_T", "CDT-GH (s)", "CTT-GH (s)", "CTT/CDT"],
+        csv_flag(),
+    );
+
+    println!("Ablation: disk/tape speed ratio at D = 1.5·|R| (paper §8's remark)");
+    println!("(|R| = 18 MB, |S| = 250 MB, M = 1.8 MB, X_T = 3.0 MB/s fixed)\n");
+
+    let probe = SystemConfig::new(0, 0);
+    // Tape fixed at 3.0 MB/s (50% compressible on a DLT); disks swept.
+    for disk_each in [3.0e6, 2.25e6, 1.5e6, 1.125e6, 0.75e6] {
+        let cfg = SystemConfig::new(probe.mb_to_blocks(1.8).max(2), probe.mb_to_blocks(27.0))
+            .tape_model(TapeDriveModel::dlt4000())
+            .disk_rate(disk_each)
+            .disk_overhead(true);
+        let workload = WorkloadBuilder::new(SEED)
+            .r(RelationSpec::new("R", cfg.mb_to_blocks(18.0)).compressibility(0.5))
+            .s(RelationSpec::new("S", cfg.mb_to_blocks(250.0)).compressibility(0.5))
+            .build();
+        let xt = cfg.tape_rate(0.5);
+        let run = |m: JoinMethod| {
+            TertiaryJoin::new(cfg.clone()).run(m, &workload).map(|s| {
+                assert_eq!(s.output.pairs, workload.expected_pairs);
+                s.response.as_secs_f64()
+            })
+        };
+        let cdt = run(JoinMethod::CdtGh);
+        let ctt = run(JoinMethod::CttGh).expect("CTT-GH always feasible here");
+        let (cdt_cell, rel) = match cdt {
+            Ok(t) => (secs(t), ratio(ctt / t)),
+            Err(_) => ("-".into(), "-".into()),
+        };
+        table.row(vec![
+            format!("{:.2}", cfg.aggregate_disk_rate() / xt),
+            cdt_cell,
+            secs(ctt),
+            rel,
+        ]);
+    }
+    table.print();
+    println!("\n(ratios below 1.0 are the \"tape drives faster than disks\" regime;");
+    println!("the CTT/CDT column falling below 1.0 confirms the paper's remark)");
+}

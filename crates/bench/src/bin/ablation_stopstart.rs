@@ -1,0 +1,55 @@
+//! Ablation: tape stop/start (back-hitch) penalties.
+//!
+//! The paper assumes "the tape drive has enough buffer memory to hide
+//! these delays" (§3.2) and charges nothing for streaming interruptions.
+//! This ablation lifts the assumption: each break in streaming costs a
+//! configurable back-hitch, swept from 0 (the paper's model) to several
+//! seconds (a bufferless drive).
+//!
+//! Expectation: the sequential methods break streaming constantly (the
+//! tape idles while the disks work, then restarts), so they degrade
+//! steeply; CTT-GH's hash process keeps tape S streaming but its
+//! bucket-by-bucket reads of tape R stop and restart per bucket.
+
+use tapejoin::{JoinMethod, TertiaryJoin};
+use tapejoin_bench::{csv_flag, paper_system, paper_workload, secs, TablePrinter};
+use tapejoin_sim::Duration;
+use tapejoin_tape::TapeDriveModel;
+
+fn main() {
+    let methods = [
+        JoinMethod::DtNb,
+        JoinMethod::CdtNbMb,
+        JoinMethod::CdtGh,
+        JoinMethod::CttGh,
+    ];
+    let mut headers = vec!["back-hitch".to_string()];
+    headers.extend(methods.iter().map(|m| m.abbrev().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = TablePrinter::new(&header_refs, csv_flag());
+
+    println!("Ablation: tape stop/start penalty (response seconds)");
+    println!("(|R| = 18 MB, |S| = 250 MB, D = 50 MB, M = 9 MB)\n");
+
+    for penalty_s in [0u64, 1, 2, 5] {
+        let model = TapeDriveModel::dlt4000().with_stop_start(Duration::from_secs(penalty_s));
+        let cfg = paper_system(9.0, 50.0).tape_model(model);
+        let workload = paper_workload(&cfg, 18.0, 250.0, 0.25);
+        let mut cells = vec![format!("{penalty_s} s")];
+        for &method in &methods {
+            let stats = TertiaryJoin::new(cfg.clone())
+                .run(method, &workload)
+                .expect("feasible");
+            assert_eq!(stats.output.pairs, workload.expected_pairs);
+            let restarts = stats.tape_r.stop_starts + stats.tape_s.stop_starts;
+            cells.push(format!(
+                "{} ({restarts} hitches)",
+                secs(stats.response.as_secs_f64())
+            ));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n(at 0 s this is the paper's model; the hitch counts show which");
+    println!("methods rely on the drive's internal buffering to stay streaming)");
+}

@@ -1,0 +1,244 @@
+//! `explore` — interactive configuration explorer.
+//!
+//! Evaluate a configuration of your own: relation sizes, memory, disk,
+//! compressibility and (optionally) a specific method. Prints the
+//! planner's full ranking with analytic expectations, then executes the
+//! chosen (or best) method and reports the measured statistics.
+//!
+//! ```sh
+//! cargo run --release -p tapejoin-bench --bin explore -- \
+//!     --r-mb 100 --s-mb 1000 --m-mb 4 --d-mb 60 --compress 0.25
+//! cargo run --release -p tapejoin-bench --bin explore -- \
+//!     --r-mb 2500 --s-mb 10000 --m-mb 16 --d-mb 500 --method CTT-GH
+//! ```
+
+use tapejoin::cost::CostParams;
+use tapejoin::planner::rank_methods;
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_bench::chart::AsciiChart;
+use tapejoin_bench::SEED;
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+/// Which parameter `--sweep` varies.
+#[derive(Clone, Copy, PartialEq)]
+enum Sweep {
+    Memory,
+    Disk,
+}
+
+struct Args {
+    r_mb: f64,
+    s_mb: f64,
+    m_mb: f64,
+    d_mb: f64,
+    compress: f64,
+    method: Option<JoinMethod>,
+    overhead: bool,
+    sweep: Option<Sweep>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        r_mb: 18.0,
+        s_mb: 250.0,
+        m_mb: 4.0,
+        d_mb: 50.0,
+        compress: 0.25,
+        method: None,
+        overhead: true,
+        sweep: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--r-mb" => args.r_mb = parse_f64(&value("--r-mb")?)?,
+            "--s-mb" => args.s_mb = parse_f64(&value("--s-mb")?)?,
+            "--m-mb" => args.m_mb = parse_f64(&value("--m-mb")?)?,
+            "--d-mb" => args.d_mb = parse_f64(&value("--d-mb")?)?,
+            "--compress" => args.compress = parse_f64(&value("--compress")?)?,
+            "--method" => {
+                args.method = Some(value("--method")?.parse()?);
+            }
+            "--ideal-disks" => args.overhead = false,
+            "--sweep" => {
+                args.sweep = Some(match value("--sweep")?.as_str() {
+                    "m" | "memory" => Sweep::Memory,
+                    "d" | "disk" => Sweep::Disk,
+                    other => return Err(format!("--sweep takes 'm' or 'd', got '{other}'")),
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: explore [--r-mb N] [--s-mb N] [--m-mb N] [--d-mb N] \
+                     [--compress C] [--method ABBREV] [--ideal-disks] [--sweep m|d]\n\n\
+                     --sweep m  vary memory from 5% of |R| up to |R| (chart per method)\n\
+                     --sweep d  vary disk from 0.5x to 3x |R|"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(sweep) = args.sweep {
+        run_sweep(&args, sweep);
+        return;
+    }
+
+    let probe = SystemConfig::new(0, 0);
+    let cfg = SystemConfig::new(
+        probe.mb_to_blocks(args.m_mb).max(2),
+        probe.mb_to_blocks(args.d_mb),
+    )
+    .disk_overhead(args.overhead);
+
+    let workload = WorkloadBuilder::new(SEED)
+        .r(RelationSpec::new("R", cfg.mb_to_blocks(args.r_mb)).compressibility(args.compress))
+        .s(RelationSpec::new("S", cfg.mb_to_blocks(args.s_mb)).compressibility(args.compress))
+        .build();
+
+    println!(
+        "machine: M = {} MB ({} blocks), D = {} MB ({} blocks), X_T = {:.1} MB/s, X_D = {:.1} MB/s",
+        args.m_mb,
+        cfg.memory_blocks,
+        args.d_mb,
+        cfg.disk_blocks,
+        cfg.tape_rate(args.compress) / 1e6,
+        cfg.aggregate_disk_rate() / 1e6,
+    );
+    println!(
+        "workload: |R| = {} MB ({} blocks), |S| = {} MB ({} blocks)\n",
+        args.r_mb,
+        workload.r.block_count(),
+        args.s_mb,
+        workload.s.block_count()
+    );
+
+    let params = CostParams::from_config(
+        &cfg,
+        workload.r.block_count(),
+        workload.s.block_count(),
+        args.compress,
+    );
+    let ranking = rank_methods(&params);
+    println!("planner ranking (analytic model):");
+    for c in &ranking {
+        println!("  {:<9}  ~{:>8.0} s", c.method.abbrev(), c.expected_seconds);
+    }
+    let join = TertiaryJoin::new(cfg.clone());
+    for method in JoinMethod::ALL {
+        if !ranking.iter().any(|c| c.method == method) {
+            match join.feasible(method, &workload) {
+                Err(e) => println!("  {:<9}  {e}", method.abbrev()),
+                Ok(()) => println!("  {:<9}  feasible but not costed", method.abbrev()),
+            }
+        }
+    }
+
+    let chosen = args.method.or_else(|| ranking.first().map(|c| c.method));
+    let Some(method) = chosen else {
+        println!("\nno feasible method for this configuration");
+        std::process::exit(1);
+    };
+
+    println!("\nrunning {method} …");
+    match join.run(method, &workload) {
+        Ok(stats) => {
+            println!("  response        {}", stats.response);
+            println!("  step I          {}", stats.step1);
+            println!("  result pairs    {}", stats.output.pairs);
+            println!(
+                "  tape R          {} blocks read / {} written / {} repositions",
+                stats.tape_r.blocks_read, stats.tape_r.blocks_written, stats.tape_r.repositions
+            );
+            println!(
+                "  tape S          {} blocks read / {} written",
+                stats.tape_s.blocks_read, stats.tape_s.blocks_written
+            );
+            println!(
+                "  disk            {} blocks traffic in {} requests",
+                stats.disk.traffic(),
+                stats.disk.read_requests + stats.disk.write_requests
+            );
+            println!(
+                "  peaks           {} memory blocks, {} disk blocks",
+                stats.mem_peak, stats.disk_peak
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Sweep memory or disk across a range and chart the measured response
+/// of every feasible method.
+fn run_sweep(args: &Args, sweep: Sweep) {
+    let probe = SystemConfig::new(0, 0);
+    let workload_for = |cfg: &SystemConfig| {
+        WorkloadBuilder::new(SEED)
+            .r(RelationSpec::new("R", cfg.mb_to_blocks(args.r_mb)).compressibility(args.compress))
+            .s(RelationSpec::new("S", cfg.mb_to_blocks(args.s_mb)).compressibility(args.compress))
+            .build()
+    };
+    let points: Vec<f64> = match sweep {
+        Sweep::Memory => (1..=10).map(|i| args.r_mb * i as f64 / 10.0).collect(),
+        Sweep::Disk => (1..=10)
+            .map(|i| args.r_mb * (0.5 + 0.28 * i as f64))
+            .collect(),
+    };
+    let (axis, fixed) = match sweep {
+        Sweep::Memory => ("M (MB)", format!("D = {} MB", args.d_mb)),
+        Sweep::Disk => ("D (MB)", format!("M = {} MB", args.m_mb)),
+    };
+    println!(
+        "sweep over {axis}: |R| = {} MB, |S| = {} MB, {fixed}, c = {}\n",
+        args.r_mb, args.s_mb, args.compress
+    );
+
+    let methods: Vec<JoinMethod> = match args.method {
+        Some(m) => vec![m],
+        None => JoinMethod::ALL.to_vec(),
+    };
+    let mut chart = AsciiChart::new(56, 16);
+    for method in methods {
+        let mut series = Vec::new();
+        for &x in &points {
+            let (m_mb, d_mb) = match sweep {
+                Sweep::Memory => (x, args.d_mb),
+                Sweep::Disk => (args.m_mb, x),
+            };
+            let cfg = SystemConfig::new(probe.mb_to_blocks(m_mb).max(2), probe.mb_to_blocks(d_mb))
+                .disk_overhead(args.overhead);
+            let workload = workload_for(&cfg);
+            if let Ok(stats) = TertiaryJoin::new(cfg).run(method, &workload) {
+                series.push((x, stats.response.as_secs_f64()));
+            }
+        }
+        if !series.is_empty() {
+            println!("{:<9}  {} feasible points", method.abbrev(), series.len());
+            chart = chart.series(method.abbrev(), series);
+        } else {
+            println!("{:<9}  infeasible across the sweep", method.abbrev());
+        }
+    }
+    println!("\nResponse time (s) vs {axis}:\n");
+    print!("{}", chart.render());
+}

@@ -1,0 +1,15 @@
+//! Figures 1–3 (this binary: Figure 1, small `|R|`): expected response
+//! time of all seven join methods relative to the tape read time of S,
+//! from the analytic cost model (§5.3).
+//!
+//! Parameters per the paper: `|S| = 10·|R|`, `D = 32·M`, `X_D = 2·X_T`,
+//! x-axis = `|R| / M`. Pure transfer-only model (no positioning costs).
+
+use tapejoin_bench::figures_123;
+
+fn main() {
+    figures_123::run(
+        "Figure 1: Small |R|",
+        &[1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0],
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 10: relative join overhead with a *slower* tape drive
+//! (0%-compressible data → `X_T` = 1.5 MB/s). Lower tape speed raises
+//! the optimum join time and shrinks every method's relative overhead;
+//! the concurrent (disk-bound) methods shrink the most.
+
+use tapejoin_bench::overhead_figure;
+
+fn main() {
+    overhead_figure::run("Figure 10: Relative Join Overhead (slower tape drive)", 0.0);
+}

@@ -1,0 +1,11 @@
+//! Figure 11: relative join overhead with a *faster* tape drive
+//! (50%-compressible data → `X_T` = 3.0 MB/s). A faster tape shrinks the
+//! optimum join time, so every method's relative overhead grows — most
+//! dramatically for the concurrent methods, whose absolute response is
+//! pinned by disk bandwidth and does not benefit from the faster tape.
+
+use tapejoin_bench::overhead_figure;
+
+fn main() {
+    overhead_figure::run("Figure 11: Relative Join Overhead (faster tape drive)", 0.5);
+}

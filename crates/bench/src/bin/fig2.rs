@@ -1,0 +1,13 @@
+//! Figure 2 (medium `|R|`): expected relative response time, analytic
+//! cost model. See `fig1` for the parameterization.
+
+use tapejoin_bench::figures_123;
+
+fn main() {
+    figures_123::run(
+        "Figure 2: Medium |R|",
+        &[
+            5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0, 27.5, 30.0, 32.5, 35.0,
+        ],
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 3 (large `|R|`): expected relative response time, analytic
+//! cost model. See `fig1` for the parameterization.
+
+use tapejoin_bench::figures_123;
+
+fn main() {
+    figures_123::run(
+        "Figure 3: Large |R|",
+        &[10.0, 30.0, 50.0, 70.0, 90.0, 110.0, 130.0, 150.0],
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 4: disk space utilization during Step II of CTT-GH (Join III)
+//! with interleaved double-buffering.
+//!
+//! The paper plots even-iteration usage (the shark-toothed lower line),
+//! odd-iteration usage (the band between the lines) and total usage (the
+//! top line at ~100%). This binary prints a downsampled version of the
+//! same three series, plus their time-weighted means. Pass `--split` to
+//! see the strawman split-buffer discipline for contrast (~50% mean).
+
+use tapejoin::{JoinMethod, TertiaryJoin};
+use tapejoin_bench::{csv_flag, paper_system, paper_workload, pct, TablePrinter};
+use tapejoin_buffer::DiskBufKind;
+
+fn main() {
+    let split = std::env::args().any(|a| a == "--split");
+    let kind = if split {
+        DiskBufKind::Split
+    } else {
+        DiskBufKind::Interleaved
+    };
+
+    // Join III: |S| = 5000 MB, |R| = 2500 MB, D = 500 MB, M = 16 MB.
+    let cfg = paper_system(16.0, 500.0).disk_buffer(kind);
+    let workload = paper_workload(&cfg, 2500.0, 5000.0, 0.25);
+    let stats = TertiaryJoin::new(cfg.clone())
+        .run(JoinMethod::CttGh, &workload)
+        .expect("Join III is feasible");
+    assert_eq!(stats.output.pairs, workload.expected_pairs);
+
+    let probe = stats
+        .buffer_probe
+        .expect("CTT-GH stages S through the disk buffer");
+    let capacity = cfg.disk_blocks as f64;
+
+    println!(
+        "Figure 4: Disk Space Utilization in CTT-GH (Step II of Join III), {} buffering",
+        if split { "split" } else { "interleaved" }
+    );
+    println!("(percent of the {} MB disk buffer)\n", 500);
+
+    let mut table = TablePrinter::new(
+        &["Time (s)", "Even iters", "Odd iters", "Total"],
+        csv_flag(),
+    );
+    let even = probe.even.points();
+    let odd = probe.odd.points();
+    let total = probe.total.downsample(24);
+    for p in &total {
+        // Sample the per-parity series at the same instants.
+        let at = p.at;
+        let sample = |pts: &[tapejoin_sim::TracePoint]| -> f64 {
+            match pts.partition_point(|q| q.at <= at) {
+                0 => 0.0,
+                i => pts[i - 1].value,
+            }
+        };
+        table.row(vec![
+            format!("{:.0}", at.as_secs_f64()),
+            pct(sample(&even) / capacity),
+            pct(sample(&odd) / capacity),
+            pct(p.value / capacity),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "time-weighted mean utilization: {} (even {}, odd {})",
+        pct(probe.total.time_weighted_mean() / capacity),
+        pct(probe.even.time_weighted_mean() / capacity),
+        pct(probe.odd.time_weighted_mean() / capacity),
+    );
+    println!(
+        "peak utilization: {}",
+        pct(probe.total.max_value() / capacity)
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 5: Experiment 2 — impact of disk space on CDT-GH and CTT-GH.
+//!
+//! `|R|` = 18 MB, `|S|` = 1000 MB, `M = 0.1·|R|`, `D` swept from 54 MB
+//! down toward 9 MB. CDT-GH degenerates as `D → |R|` (ever less space to
+//! buffer S, ever more R scans); CTT-GH keeps all of `D` for S buffering
+//! and stays flat — "a tape–tape join method such as CTT-GH is a better
+//! alternative when D ≈ |R|".
+
+use tapejoin::{JoinMethod, TertiaryJoin};
+use tapejoin_bench::chart::AsciiChart;
+use tapejoin_bench::{csv_flag, paper_system, paper_workload, secs, TablePrinter};
+
+fn main() {
+    let mut table = TablePrinter::new(&["D (MB)", "CDT-GH (s)", "CTT-GH (s)"], csv_flag());
+    let mut cdt_pts = Vec::new();
+    let mut ctt_pts = Vec::new();
+
+    println!("Figure 5: Impact of Disk Space on CDT-GH and CTT-GH");
+    println!("(|R| = 18 MB, |S| = 1000 MB, M = 1.8 MB)\n");
+
+    for d_mb in [
+        9.0, 13.5, 18.0, 22.5, 27.0, 31.5, 36.0, 40.5, 45.0, 50.0, 54.0,
+    ] {
+        let cfg = paper_system(1.8, d_mb);
+        let workload = paper_workload(&cfg, 18.0, 1000.0, 0.25);
+        let mut cells = vec![secs(d_mb)];
+        for method in [JoinMethod::CdtGh, JoinMethod::CttGh] {
+            let cell = match TertiaryJoin::new(cfg.clone()).run(method, &workload) {
+                Ok(stats) => {
+                    assert_eq!(stats.output.pairs, workload.expected_pairs);
+                    let t = stats.response.as_secs_f64();
+                    if method == JoinMethod::CdtGh {
+                        cdt_pts.push((d_mb, t));
+                    } else {
+                        ctt_pts.push((d_mb, t));
+                    }
+                    secs(t)
+                }
+                Err(_) => "-".to_string(),
+            };
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+    table.print();
+    if !csv_flag() {
+        println!("\nResponse time (s) vs D (MB):\n");
+        print!(
+            "{}",
+            AsciiChart::new(56, 14)
+                .series("CDT-GH", cdt_pts)
+                .series("CTT-GH", ctt_pts)
+                .render()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 7: disk I/O traffic (MB moved to/from disk) of the disk–tape
+//! methods as a function of memory size (Experiment 3 configuration).
+//!
+//! The chart exposes the paper's space-for-traffic trade: the NB methods
+//! re-read disk-resident R once per iteration (traffic explodes at small
+//! `M`), the GH methods pay a fixed ~`2|S| + k|R|` for routing S through
+//! disk buckets, and CDT-NB/MB does twice the iterations of DT-NB.
+
+use tapejoin::{JoinMethod, TertiaryJoin};
+use tapejoin_bench::{csv_flag, paper_system, paper_workload, TablePrinter};
+
+fn main() {
+    let methods = [
+        JoinMethod::DtNb,
+        JoinMethod::CdtNbMb,
+        JoinMethod::CdtNbDb,
+        JoinMethod::DtGh,
+        JoinMethod::CdtGh,
+    ];
+    let mut headers = vec!["M/|R|".to_string()];
+    headers.extend(methods.iter().map(|m| m.abbrev().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = TablePrinter::new(&header_refs, csv_flag());
+
+    println!("Figure 7: Disk I/O Traffic (MB)");
+    println!("(|R| = 18 MB, |S| = 1000 MB, D = 50 MB)\n");
+
+    for frac in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let cfg = paper_system(18.0 * frac, 50.0);
+        let workload = paper_workload(&cfg, 18.0, 1000.0, 0.25);
+        let mut cells = vec![format!("{frac:.1}")];
+        for &method in &methods {
+            let cell = match TertiaryJoin::new(cfg.clone()).run(method, &workload) {
+                Ok(stats) => {
+                    format!(
+                        "{:.0}",
+                        stats.disk.traffic() as f64 * cfg.block_bytes as f64 / 1e6
+                    )
+                }
+                Err(_) => "-".to_string(),
+            };
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+    table.print();
+}

@@ -1,0 +1,62 @@
+//! Figure 8: response time of the five disk–tape join methods as a
+//! function of memory size (fraction of `|R|`), Experiment 3 base case
+//! (25%-compressible data → medium tape speed).
+//!
+//! `|S|` = 1000 MB, `|R|` = 18 MB, `D` = 50 MB.
+
+use tapejoin::{optimum_join_time, JoinMethod};
+use tapejoin_bench::chart::AsciiChart;
+use tapejoin_bench::{csv_flag, paper_system, paper_workload, secs, TablePrinter};
+
+fn main() {
+    let methods = [
+        JoinMethod::DtNb,
+        JoinMethod::CdtNbMb,
+        JoinMethod::CdtNbDb,
+        JoinMethod::DtGh,
+        JoinMethod::CdtGh,
+    ];
+    let fractions = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+    let mut headers = vec!["M/|R|".to_string(), "Optimum".to_string()];
+    headers.extend(methods.iter().map(|m| m.abbrev().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = TablePrinter::new(&header_refs, csv_flag());
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); methods.len()];
+
+    println!("Figure 8: Response Time of Joins (seconds, 25% compressible tape data)");
+    println!("|S| = 1000 MB, |R| = 18 MB, D = 50 MB\n");
+
+    for &frac in &fractions {
+        let cfg = paper_system(18.0 * frac, 50.0);
+        let workload = paper_workload(&cfg, 18.0, 1000.0, 0.25);
+        let optimum = optimum_join_time(&cfg, &workload).as_secs_f64();
+        let mut cells = vec![format!("{frac:.2}"), secs(optimum)];
+        for (mi, &method) in methods.iter().enumerate() {
+            let cell = match tapejoin::TertiaryJoin::new(cfg.clone()).run(method, &workload) {
+                Ok(stats) => {
+                    assert_eq!(
+                        stats.output.pairs, workload.expected_pairs,
+                        "{method} produced a wrong join"
+                    );
+                    let t = stats.response.as_secs_f64();
+                    curves[mi].push((frac, t));
+                    secs(t)
+                }
+                Err(_) => "-".to_string(),
+            };
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+    table.print();
+    if !csv_flag() {
+        println!("\nResponse time (s) vs M/|R| (the small-M blow-up dominates the");
+        println!("scale; see the table for the large-M detail):\n");
+        let mut chart = AsciiChart::new(56, 16);
+        for (mi, method) in methods.iter().enumerate() {
+            chart = chart.series(method.abbrev(), curves[mi].clone());
+        }
+        print!("{}", chart.render());
+    }
+}

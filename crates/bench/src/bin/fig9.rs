@@ -1,0 +1,11 @@
+//! Figures 9–11 (this binary: Figure 9, medium tape speed): relative
+//! join overhead of the disk–tape methods as a function of memory size.
+//!
+//! Overhead = response / optimum − 1, where optimum is the bare transfer
+//! time of S from tape. 25%-compressible data → `X_T` = 2.0 MB/s.
+
+use tapejoin_bench::overhead_figure;
+
+fn main() {
+    overhead_figure::run("Figure 9: Relative Join Overhead (medium tape speed)", 0.25);
+}

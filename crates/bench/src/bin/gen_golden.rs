@@ -1,0 +1,23 @@
+//! Internal helper: print the golden fingerprints used by tests/golden.rs.
+//! Re-run after any intentional model change and update the test table.
+
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+fn main() {
+    let w = WorkloadBuilder::new(0xBEEF)
+        .r(RelationSpec::new("R", 96))
+        .s(RelationSpec::new("S", 480))
+        .build();
+    for method in JoinMethod::ALL {
+        let cfg = SystemConfig::new(20, 300).disk_overhead(true);
+        let s = TertiaryJoin::new(cfg).run(method, &w).unwrap();
+        println!(
+            "        (JoinMethod::{:?}, {}, {}, {}),",
+            method,
+            s.response.as_nanos(),
+            s.output.digest,
+            s.disk.traffic(),
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 2: resource requirements of the tertiary join methods — the
+//! paper's symbolic table plus the concrete requirement (and the measured
+//! peaks) for the Experiment 3 configuration, demonstrating that the
+//! implementation enforces what the table claims.
+
+use tapejoin::requirements::{resource_needs, table2_symbolic};
+use tapejoin::{JoinMethod, TertiaryJoin};
+use tapejoin_bench::{csv_flag, paper_system, paper_workload, TablePrinter};
+
+fn main() {
+    println!("Table 2: Resource Requirements of Tertiary Join Methods (symbolic)\n");
+    let mut sym = TablePrinter::new(&["method", "M", "D", "T_R", "T_S"], csv_flag());
+    for (m, mem, d, tr, ts) in table2_symbolic() {
+        sym.row(vec![m.into(), mem.into(), d.into(), tr.into(), ts.into()]);
+    }
+    sym.print();
+
+    // Concrete: |R| = 18 MB, |S| = 180 MB, M = 4 MB, D = 50 MB.
+    let cfg = paper_system(4.0, 50.0);
+    let workload = paper_workload(&cfg, 18.0, 180.0, 0.25);
+    let to_mb = |blocks: u64| format!("{:.1}", blocks as f64 * cfg.block_bytes as f64 / 1e6);
+
+    println!("\nConcrete requirements and measured peaks (MB) for");
+    println!("|R| = 18 MB, |S| = 180 MB, M = 4 MB, D = 50 MB:\n");
+    let mut table = TablePrinter::new(
+        &[
+            "method", "M req", "D req", "T_R req", "T_S req", "M peak", "D peak",
+        ],
+        csv_flag(),
+    );
+    for method in JoinMethod::ALL {
+        match resource_needs(
+            method,
+            &cfg,
+            workload.r.block_count(),
+            workload.s.block_count(),
+            4,
+        ) {
+            Ok(needs) => {
+                let stats = TertiaryJoin::new(cfg.clone())
+                    .run(method, &workload)
+                    .expect("feasible per resource_needs");
+                assert_eq!(stats.output.pairs, workload.expected_pairs);
+                table.row(vec![
+                    method.abbrev().into(),
+                    to_mb(needs.memory),
+                    to_mb(needs.disk),
+                    to_mb(needs.tape_r_scratch),
+                    to_mb(needs.tape_s_scratch),
+                    to_mb(stats.mem_peak),
+                    to_mb(stats.disk_peak),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![
+                    method.abbrev().into(),
+                    format!("infeasible: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

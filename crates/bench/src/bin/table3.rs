@@ -1,0 +1,67 @@
+//! Table 3: Experiment 1 — Concurrent Tape–Tape Grace Hash Join of two
+//! large tape relations.
+//!
+//! Joins I–III: `|S|` = 1000/2500/5000 MB with `|R| = |S|/2`;
+//! Join IV: `|S|` = 10000 MB, `|R|` = 2500 MB. `D = |R|/5`, `M` = 16 MB.
+//! The table reports the bare read time of both relations, Step I time,
+//! total response time, and the relative cost (response / bare read).
+
+use tapejoin::{JoinMethod, TertiaryJoin};
+use tapejoin_bench::{csv_flag, paper_system, paper_workload, ratio, secs, TablePrinter};
+use tapejoin_sim::transfer_time;
+
+fn main() {
+    let joins: [(&str, f64, f64); 4] = [
+        ("Join I", 1000.0, 500.0),
+        ("Join II", 2500.0, 1250.0),
+        ("Join III", 5000.0, 2500.0),
+        ("Join IV", 10000.0, 2500.0),
+    ];
+
+    let mut table = TablePrinter::new(
+        &[
+            "",
+            "|S| (MB)",
+            "|R| (MB)",
+            "D (MB)",
+            "Read S+R",
+            "Step I",
+            "Steps I+II",
+            "Rel. Cost",
+        ],
+        csv_flag(),
+    );
+
+    println!("Table 3: Parameters and Execution Time of Concurrent Tape-Tape Grace Hash Join");
+    println!("(M = 16 MB, 25% compressible data, times in simulated seconds)\n");
+
+    for (name, s_mb, r_mb) in joins {
+        let d_mb = r_mb / 5.0;
+        let cfg = paper_system(16.0, d_mb);
+        let workload = paper_workload(&cfg, r_mb, s_mb, 0.25);
+        // Bare read time: both relations streamed once, serially, at the
+        // drives' effective rate (the paper's baseline column).
+        let bytes = (workload.r.block_count() + workload.s.block_count()) * cfg.block_bytes;
+        let bare = transfer_time(bytes, cfg.tape_rate(0.25)).as_secs_f64();
+
+        let stats = TertiaryJoin::new(cfg)
+            .run(JoinMethod::CttGh, &workload)
+            .expect("Experiment 1 configurations are feasible");
+        assert_eq!(
+            stats.output.pairs, workload.expected_pairs,
+            "wrong join result"
+        );
+
+        table.row(vec![
+            name.to_string(),
+            secs(s_mb),
+            secs(r_mb),
+            secs(d_mb),
+            format!("{} sec.", secs(bare)),
+            format!("{} sec.", secs(stats.step1.as_secs_f64())),
+            format!("{} sec.", secs(stats.response.as_secs_f64())),
+            ratio(stats.response.as_secs_f64() / bare),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,153 @@
+//! In-memory circular block buffer.
+//!
+//! "For main memory buffers, a simple circular buffer implementation is
+//! sufficient" (§4): one physical buffer of `capacity` blocks shared by
+//! the reader and writer; a slot freed by the reader is immediately
+//! reusable by the writer, so utilization can stay at 100%.
+//!
+//! Memory for the buffer is charged against the join's [`MemoryPool`]
+//! for the buffer's lifetime.
+
+use tapejoin_rel::BlockRef;
+use tapejoin_sim::sync::{channel, Receiver, Sender};
+
+use crate::mempool::{MemGrant, MemoryExhausted, MemoryPool};
+
+/// Bounded in-memory block queue backed by an `M`-budget grant.
+pub struct CircularBuffer {
+    tx: Sender<BlockRef>,
+    rx: Receiver<BlockRef>,
+    capacity: u64,
+    _grant: MemGrant,
+}
+
+impl CircularBuffer {
+    /// Create a buffer of `capacity` blocks, charging the pool.
+    pub fn new(pool: &MemoryPool, capacity: u64) -> Result<Self, MemoryExhausted> {
+        assert!(capacity > 0, "circular buffer needs at least one slot");
+        let grant = pool.grant(capacity)?;
+        let (tx, rx) = channel(capacity as usize);
+        Ok(CircularBuffer {
+            tx,
+            rx,
+            capacity,
+            _grant: grant,
+        })
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Blocks currently buffered.
+    pub fn occupancy(&self) -> u64 {
+        self.rx.len() as u64
+    }
+
+    /// Split into producer and consumer halves.
+    pub fn split(self) -> (CircularWriter, CircularReader) {
+        (
+            CircularWriter { tx: self.tx },
+            CircularReader {
+                rx: self.rx,
+                _grant: self._grant,
+            },
+        )
+    }
+}
+
+/// Producer half of a [`CircularBuffer`].
+pub struct CircularWriter {
+    tx: Sender<BlockRef>,
+}
+
+impl CircularWriter {
+    /// Append a block, waiting for a free slot. Returns `false` if the
+    /// reader is gone.
+    pub async fn put(&self, block: BlockRef) -> bool {
+        self.tx.send(block).await.is_ok()
+    }
+}
+
+/// Consumer half of a [`CircularBuffer`]; holds the memory grant.
+pub struct CircularReader {
+    rx: Receiver<BlockRef>,
+    _grant: MemGrant,
+}
+
+impl CircularReader {
+    /// Take the oldest block; `None` once the writer is dropped and the
+    /// buffer drained.
+    pub async fn take(&mut self) -> Option<BlockRef> {
+        self.rx.recv().await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use tapejoin_rel::{Block, Tuple};
+    use tapejoin_sim::{now, sleep, spawn, Duration, Simulation};
+
+    fn blk(i: u64) -> BlockRef {
+        Rc::new(Block::new(vec![Tuple::new(i, i)]))
+    }
+
+    #[test]
+    fn charges_and_releases_memory() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let pool = MemoryPool::new(8);
+            let buf = CircularBuffer::new(&pool, 5).unwrap();
+            assert_eq!(pool.in_use(), 5);
+            assert!(CircularBuffer::new(&pool, 4).is_err());
+            drop(buf);
+            assert_eq!(pool.in_use(), 0);
+        });
+    }
+
+    #[test]
+    fn producer_blocks_when_full_slot_reuse_is_immediate() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let pool = MemoryPool::new(2);
+            let (w, mut r) = CircularBuffer::new(&pool, 2).unwrap().split();
+            let producer = spawn(async move {
+                for i in 0..4 {
+                    assert!(w.put(blk(i)).await);
+                }
+                now()
+            });
+            sleep(Duration::from_secs(1)).await;
+            // Two blocks buffered; producer parked on the third.
+            assert!(!producer.is_finished());
+            let _ = r.take().await; // free one slot -> producer advances
+            let _ = r.take().await;
+            let _ = r.take().await;
+            let _ = r.take().await;
+            let done_at = producer.join().await;
+            assert_eq!(done_at.as_secs_f64(), 1.0);
+        });
+    }
+
+    #[test]
+    fn fifo_order_and_termination() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let pool = MemoryPool::new(4);
+            let (w, mut r) = CircularBuffer::new(&pool, 4).unwrap().split();
+            spawn(async move {
+                for i in 0..10 {
+                    w.put(blk(i)).await;
+                }
+            });
+            let mut keys = Vec::new();
+            while let Some(b) = r.take().await {
+                keys.push(b.tuples()[0].key);
+            }
+            assert_eq!(keys, (0..10).collect::<Vec<_>>());
+        });
+    }
+}

@@ -1,0 +1,402 @@
+//! Double-buffered disk space for staging `S` chunks (§4).
+//!
+//! The producer (tape reader / hash process) writes blocks of iteration
+//! *i+1* while the consumer (join process) reads and frees blocks of
+//! iteration *i*. Two placement disciplines:
+//!
+//! * [`DiskBufKind::Interleaved`] — one slot pool covering the whole
+//!   buffer; a slot freed by the consumer is immediately reusable by the
+//!   producer regardless of iteration. Chunk size `|S_i|` = full capacity
+//!   and utilization stays near 100%. This needs the fine-grained
+//!   placement control the paper says "an ordinary RAID" cannot give.
+//! * [`DiskBufKind::Split`] — the naive scheme: the buffer is halved and
+//!   iterations alternate halves. Chunk size is halved (doubling the
+//!   number of `R` scans) and average utilization is ~50%. Kept for the
+//!   ablation experiment.
+//!
+//! Back-pressure is FIFO through the slot semaphores, so the producer
+//! gradually refills exactly as space drains — the shark-tooth pattern of
+//! the paper's Figure 4 falls out of the occupancy traces recorded here.
+
+use tapejoin_disk::{DiskAddr, DiskArray, SpaceManager};
+use tapejoin_rel::BlockRef;
+use tapejoin_sim::sync::Semaphore;
+use tapejoin_sim::Trace;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Placement discipline for the disk buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskBufKind {
+    /// Single shared slot pool; immediate reuse (the paper's technique).
+    Interleaved,
+    /// Two fixed halves used by alternating iterations (the strawman).
+    Split,
+}
+
+/// A split half's in-progress frame reservation: `(iteration, permits
+/// still unclaimed)`.
+type HalfReserve = Option<(u64, u64)>;
+
+/// A block staged in the buffer: where it lives and which iteration wrote
+/// it.
+#[derive(Clone, Copy, Debug)]
+pub struct BufSlot {
+    /// Disk address holding the block.
+    pub addr: DiskAddr,
+    /// Iteration (frame) number that produced the block.
+    pub iter: u64,
+}
+
+/// Occupancy traces for Figure 4: blocks held by even iterations, by odd
+/// iterations, and in total, over virtual time.
+#[derive(Clone)]
+pub struct UtilizationProbe {
+    /// Blocks held by even-numbered iterations.
+    pub even: Trace,
+    /// Blocks held by odd-numbered iterations.
+    pub odd: Trace,
+    /// Total blocks held.
+    pub total: Trace,
+    /// The buffer's capacity in blocks (the 100% line).
+    pub capacity: u64,
+}
+
+struct Occupancy {
+    even: u64,
+    odd: u64,
+    probe: Option<UtilizationProbe>,
+}
+
+impl Occupancy {
+    fn apply(&mut self, iter: u64, delta: i64) {
+        let slot = if iter % 2 == 0 {
+            &mut self.even
+        } else {
+            &mut self.odd
+        };
+        *slot = slot
+            .checked_add_signed(delta)
+            .expect("occupancy accounting underflow");
+        if let Some(p) = &self.probe {
+            p.even.record_now(self.even as f64);
+            p.odd.record_now(self.odd as f64);
+            p.total.record_now((self.even + self.odd) as f64);
+        }
+    }
+}
+
+/// Double-buffered disk staging area. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct DiskBuffer {
+    kind: DiskBufKind,
+    capacity: u64,
+    /// One semaphore (interleaved) or two (split halves).
+    sems: Rc<Vec<Semaphore>>,
+    /// Split discipline only: the whole-half reservation of the frame
+    /// currently being written into each half (`(iter, permits left)`).
+    reserve: Rc<RefCell<[HalfReserve; 2]>>,
+    array: DiskArray,
+    space: SpaceManager,
+    occupancy: Rc<RefCell<Occupancy>>,
+}
+
+/// Alias kept for discoverability: the paper's technique.
+pub type InterleavedDiskBuffer = DiskBuffer;
+/// Alias kept for discoverability: the strawman variant.
+pub type SplitDiskBuffer = DiskBuffer;
+
+impl DiskBuffer {
+    /// Create a buffer of `capacity` blocks carved from the join's disk
+    /// space manager (`space`). The capacity is *reserved* in the quota
+    /// only as blocks are actually staged.
+    pub fn new(kind: DiskBufKind, capacity: u64, array: DiskArray, space: SpaceManager) -> Self {
+        assert!(capacity > 0, "disk buffer needs at least one block");
+        let sems = match kind {
+            DiskBufKind::Interleaved => vec![Semaphore::new(capacity)],
+            DiskBufKind::Split => {
+                assert!(capacity >= 2, "split buffer needs at least two blocks");
+                vec![
+                    Semaphore::new(capacity / 2),
+                    Semaphore::new(capacity - capacity / 2),
+                ]
+            }
+        };
+        DiskBuffer {
+            kind,
+            capacity,
+            sems: Rc::new(sems),
+            reserve: Rc::new(RefCell::new([None, None])),
+            array,
+            space,
+            occupancy: Rc::new(RefCell::new(Occupancy {
+                even: 0,
+                odd: 0,
+                probe: None,
+            })),
+        }
+    }
+
+    /// Enable occupancy tracing (Figure 4) and return the probe.
+    pub fn with_probe(self) -> (Self, UtilizationProbe) {
+        let probe = UtilizationProbe {
+            even: Trace::new("diskbuf-even"),
+            odd: Trace::new("diskbuf-odd"),
+            total: Trace::new("diskbuf-total"),
+            capacity: self.capacity,
+        };
+        self.occupancy.borrow_mut().probe = Some(probe.clone());
+        (self.clone(), probe)
+    }
+
+    /// Buffer kind.
+    pub fn kind(&self) -> DiskBufKind {
+        self.kind
+    }
+
+    /// Total buffer capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The chunk size `|S_i|` this buffer supports per iteration: full
+    /// capacity when interleaved, half when split.
+    pub fn slots_per_frame(&self) -> u64 {
+        match self.kind {
+            DiskBufKind::Interleaved => self.capacity,
+            DiskBufKind::Split => self.capacity / 2,
+        }
+    }
+
+    fn sem_for(&self, iter: u64) -> &Semaphore {
+        &self.sems[(iter as usize) % self.sems.len()]
+    }
+
+    /// Stage `blocks` for iteration `iter`: waits FIFO for slots, writes
+    /// them to disk as one request, returns the slot descriptors.
+    ///
+    /// Interleaved discipline: slots are acquired block-by-block, so the
+    /// space freed as the previous frame drains is reused immediately.
+    /// Split discipline: the frame's *entire half* is reserved before its
+    /// first write — the classic handoff, which is exactly what caps the
+    /// buffer's average utilization at ~50%.
+    pub async fn write_batch(&self, iter: u64, blocks: &[BlockRef]) -> Vec<BufSlot> {
+        assert!(
+            blocks.len() as u64 <= self.slots_per_frame(),
+            "batch of {} exceeds frame capacity {}",
+            blocks.len(),
+            self.slots_per_frame()
+        );
+        match self.kind {
+            DiskBufKind::Interleaved => {
+                self.sem_for(iter)
+                    .acquire(blocks.len() as u64)
+                    .await
+                    .forget();
+            }
+            DiskBufKind::Split => {
+                let parity = (iter % 2) as usize;
+                let needs_reservation = {
+                    let reserve = self.reserve.borrow();
+                    !matches!(reserve[parity], Some((i, _)) if i == iter)
+                };
+                if needs_reservation {
+                    // Return any leftover reservation of the previous
+                    // frame on this half, then claim the whole half
+                    // (waits until it is completely free).
+                    let leftover = {
+                        let mut reserve = self.reserve.borrow_mut();
+                        reserve[parity].take().map(|(_, left)| left)
+                    };
+                    if let Some(left) = leftover {
+                        self.sems[parity].add_permits(left);
+                    }
+                    let frame = self.slots_per_frame();
+                    self.sems[parity].acquire(frame).await.forget();
+                    self.reserve.borrow_mut()[parity] = Some((iter, frame));
+                }
+                let mut reserve = self.reserve.borrow_mut();
+                let (_, left) = reserve[parity].as_mut().expect("reservation just made");
+                *left = left
+                    .checked_sub(blocks.len() as u64)
+                    .expect("frame exceeded its reserved half");
+            }
+        }
+        let addrs = self
+            .space
+            .allocate(blocks.len() as u64)
+            .expect("disk buffer slots exceeded the space quota — capacity misconfigured");
+        self.occupancy.borrow_mut().apply(iter, blocks.len() as i64);
+        self.array.write(&addrs, blocks).await;
+        addrs
+            .into_iter()
+            .map(|addr| BufSlot { addr, iter })
+            .collect()
+    }
+
+    /// Read staged blocks (one request) without freeing them (used when a
+    /// frame must be re-scanned, e.g. R-bucket overflow resolution).
+    pub async fn read(&self, slots: &[BufSlot]) -> Vec<BlockRef> {
+        let addrs: Vec<DiskAddr> = slots.iter().map(|s| s.addr).collect();
+        self.array.read(&addrs).await
+    }
+
+    /// Read staged blocks (one request) and free their slots for reuse.
+    pub async fn read_and_free(&self, slots: &[BufSlot]) -> Vec<BlockRef> {
+        let blocks = self.read(slots).await;
+        self.free(slots);
+        blocks
+    }
+
+    /// Free slots without reading (e.g. discarding a frame).
+    pub fn free(&self, slots: &[BufSlot]) {
+        let addrs: Vec<DiskAddr> = slots.iter().map(|s| s.addr).collect();
+        self.space.release(&addrs);
+        let mut occ = self.occupancy.borrow_mut();
+        // Group releases by iteration parity so each half's semaphore gets
+        // its own permits back under the split discipline.
+        let mut per_parity = [0u64; 2];
+        for s in slots {
+            per_parity[(s.iter % 2) as usize] += 1;
+            occ.apply(s.iter, -1);
+        }
+        drop(occ);
+        match self.kind {
+            DiskBufKind::Interleaved => {
+                self.sems[0].add_permits(per_parity[0] + per_parity[1]);
+            }
+            DiskBufKind::Split => {
+                // Slots of the frame currently holding a half's
+                // reservation replenish that reservation (tail-merge
+                // rewrites recycle within the frame); anything else goes
+                // back to the half's semaphore.
+                let mut reserve = self.reserve.borrow_mut();
+                for s in slots {
+                    let parity = (s.iter % 2) as usize;
+                    match reserve[parity].as_mut() {
+                        Some((iter, left)) if *iter == s.iter => *left += 1,
+                        _ => self.sems[parity].add_permits(1),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use tapejoin_disk::{ArrayMode, DiskModel};
+    use tapejoin_rel::{Block, Tuple};
+    use tapejoin_sim::{now, sleep, spawn, Duration, Simulation};
+
+    const BLOCK: u64 = 1 << 16;
+
+    fn setup(kind: DiskBufKind, capacity: u64) -> DiskBuffer {
+        let array = DiskArray::new(DiskModel::ideal(1e6), 2, BLOCK, ArrayMode::Aggregate);
+        let space = SpaceManager::new(2, capacity);
+        DiskBuffer::new(kind, capacity, array, space)
+    }
+
+    fn blks(n: u64, tag: u64) -> Vec<BlockRef> {
+        (0..n)
+            .map(|i| Rc::new(Block::new(vec![Tuple::new(tag * 1000 + i, i)])) as BlockRef)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let buf = setup(DiskBufKind::Interleaved, 8);
+            let data = blks(8, 1);
+            let slots = buf.write_batch(0, &data).await;
+            let back = buf.read_and_free(&slots).await;
+            for (a, b) in data.iter().zip(&back) {
+                assert_eq!(a.checksum(), b.checksum());
+            }
+        });
+    }
+
+    #[test]
+    fn interleaved_frame_size_is_full_capacity() {
+        let buf = setup(DiskBufKind::Interleaved, 10);
+        assert_eq!(buf.slots_per_frame(), 10);
+        let buf = setup(DiskBufKind::Split, 10);
+        assert_eq!(buf.slots_per_frame(), 5);
+    }
+
+    #[test]
+    fn interleaved_reuses_space_as_it_drains() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let buf = setup(DiskBufKind::Interleaved, 4);
+            let slots0 = buf.write_batch(0, &blks(4, 0)).await;
+            // Full. Writing iteration 1 must wait for frees.
+            let buf2 = buf.clone();
+            let writer = spawn(async move {
+                let _ = buf2.write_batch(1, &blks(2, 1)).await;
+                now()
+            });
+            sleep(Duration::from_secs(5)).await;
+            assert!(!writer.is_finished());
+            // Free two blocks of iteration 0: exactly enough.
+            buf.read_and_free(&slots0[..2]).await;
+            let t = writer.join().await;
+            assert!(t.as_secs_f64() >= 5.0);
+            buf.read_and_free(&slots0[2..]).await;
+        });
+    }
+
+    #[test]
+    fn split_halves_do_not_share_space() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let buf = setup(DiskBufKind::Split, 4);
+            // Fill iteration 0's half (2 blocks).
+            let slots0 = buf.write_batch(0, &blks(2, 0)).await;
+            // Iteration 1 has its own half: no waiting.
+            let slots1 = buf.write_batch(1, &blks(2, 1)).await;
+            // Iteration 2 shares iteration 0's half: must wait.
+            let buf2 = buf.clone();
+            let writer = spawn(async move {
+                let _ = buf2.write_batch(2, &blks(2, 2)).await;
+            });
+            sleep(Duration::from_secs(1)).await;
+            assert!(!writer.is_finished());
+            buf.read_and_free(&slots0).await;
+            writer.join().await;
+            buf.read_and_free(&slots1).await;
+        });
+    }
+
+    #[test]
+    fn probe_records_shark_tooth_occupancy() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (buf, probe) = setup(DiskBufKind::Interleaved, 4).with_probe();
+            let s0 = buf.write_batch(0, &blks(4, 0)).await;
+            buf.read_and_free(&s0[..2]).await;
+            let s1 = buf.write_batch(1, &blks(2, 1)).await;
+            buf.read_and_free(&s0[2..]).await;
+            buf.read_and_free(&s1).await;
+            assert_eq!(probe.total.max_value(), 4.0);
+            assert_eq!(probe.even.max_value(), 4.0);
+            assert_eq!(probe.odd.max_value(), 2.0);
+            // Ends empty.
+            assert_eq!(probe.total.points().last().unwrap().value, 0.0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds frame capacity")]
+    fn oversized_batch_is_rejected() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let buf = setup(DiskBufKind::Interleaved, 2);
+            let _ = buf.write_batch(0, &blks(3, 0)).await;
+        });
+    }
+}

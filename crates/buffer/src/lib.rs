@@ -1,0 +1,31 @@
+//! `tapejoin-buffer` — the buffering techniques of the paper's Section 4.
+//!
+//! Three pieces:
+//!
+//! * [`MemoryPool`] — hard enforcement of the `M`-block main-memory budget
+//!   with RAII grants and peak tracking. A join method that exceeds its
+//!   Table 2 memory requirement fails loudly instead of silently using
+//!   more memory than the configuration allows.
+//! * [`CircularBuffer`] — a bounded in-memory block queue ("a simple
+//!   circular buffer implementation is sufficient" for main-memory
+//!   double-buffering): one physical buffer shared by two logical buffers,
+//!   with space released by the reader immediately reused by the writer.
+//! * [`InterleavedDiskBuffer`] — the disk-resident analogue. Writes for
+//!   iteration *i+1* reuse, slot by slot, the space released as iteration
+//!   *i* is consumed; buffer utilization stays at ~100% and the chunk size
+//!   `|S_i|` equals the full buffer capacity. [`SplitDiskBuffer`] is the
+//!   naive halve-the-buffer alternative the paper argues against (half the
+//!   chunk size, twice the iterations, 50% average utilization); it exists
+//!   so the ablation benchmark can measure exactly that claim.
+
+#![warn(missing_docs)]
+
+mod circular;
+mod diskbuf;
+mod mempool;
+
+pub use circular::{CircularBuffer, CircularReader, CircularWriter};
+pub use diskbuf::{
+    BufSlot, DiskBufKind, DiskBuffer, InterleavedDiskBuffer, SplitDiskBuffer, UtilizationProbe,
+};
+pub use mempool::{MemGrant, MemoryExhausted, MemoryPool};

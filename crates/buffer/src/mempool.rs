@@ -1,0 +1,188 @@
+//! Main-memory budget enforcement (`M` blocks).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+struct PoolInner {
+    quota: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+/// Error: a grant would exceed the `M`-block memory budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryExhausted {
+    /// Blocks requested.
+    pub requested: u64,
+    /// Blocks free under the quota.
+    pub free: u64,
+}
+
+impl fmt::Display for MemoryExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory exhausted: requested {} blocks, {} free under quota",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for MemoryExhausted {}
+
+/// The join's main-memory pool, measured in blocks. Cheap to clone
+/// (shared handle).
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin_buffer::MemoryPool;
+///
+/// let pool = MemoryPool::new(16); // M = 16 blocks
+/// let grant = pool.grant(10).unwrap();
+/// assert!(pool.grant(10).is_err()); // over budget
+/// drop(grant);
+/// assert_eq!(pool.free(), 16);
+/// ```
+#[derive(Clone)]
+pub struct MemoryPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl MemoryPool {
+    /// A pool with an `M`-block quota.
+    pub fn new(quota_blocks: u64) -> Self {
+        MemoryPool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                quota: quota_blocks,
+                in_use: 0,
+                peak: 0,
+            })),
+        }
+    }
+
+    /// Total quota.
+    pub fn quota(&self) -> u64 {
+        self.inner.borrow().quota
+    }
+
+    /// Blocks currently granted.
+    pub fn in_use(&self) -> u64 {
+        self.inner.borrow().in_use
+    }
+
+    /// Blocks free under the quota.
+    pub fn free(&self) -> u64 {
+        let p = self.inner.borrow();
+        p.quota - p.in_use
+    }
+
+    /// High-water mark of granted blocks (validates Table 2).
+    pub fn peak(&self) -> u64 {
+        self.inner.borrow().peak
+    }
+
+    /// Take `blocks` out of the budget for the lifetime of the grant.
+    pub fn grant(&self, blocks: u64) -> Result<MemGrant, MemoryExhausted> {
+        let mut p = self.inner.borrow_mut();
+        if p.in_use + blocks > p.quota {
+            return Err(MemoryExhausted {
+                requested: blocks,
+                free: p.quota - p.in_use,
+            });
+        }
+        p.in_use += blocks;
+        p.peak = p.peak.max(p.in_use);
+        Ok(MemGrant {
+            pool: self.clone(),
+            blocks,
+        })
+    }
+}
+
+/// RAII memory grant; returns its blocks to the pool on drop.
+pub struct MemGrant {
+    pool: MemoryPool,
+    blocks: u64,
+}
+
+impl fmt::Debug for MemGrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MemGrant({} blocks)", self.blocks)
+    }
+}
+
+impl MemGrant {
+    /// Blocks held by this grant.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Shrink the grant, returning `blocks` to the pool immediately.
+    pub fn shrink(&mut self, blocks: u64) {
+        assert!(blocks <= self.blocks, "shrinking below zero");
+        self.blocks -= blocks;
+        let mut p = self.pool.inner.borrow_mut();
+        p.in_use -= blocks;
+    }
+}
+
+impl Drop for MemGrant {
+    fn drop(&mut self) {
+        let mut p = self.pool.inner.borrow_mut();
+        p.in_use -= self.blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_respect_quota() {
+        let pool = MemoryPool::new(10);
+        let g1 = pool.grant(6).unwrap();
+        assert_eq!(pool.free(), 4);
+        let err = pool.grant(5).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryExhausted {
+                requested: 5,
+                free: 4
+            }
+        );
+        drop(g1);
+        assert!(pool.grant(10).is_ok());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let pool = MemoryPool::new(10);
+        {
+            let _a = pool.grant(4).unwrap();
+            let _b = pool.grant(5).unwrap();
+        }
+        let _c = pool.grant(2).unwrap();
+        assert_eq!(pool.peak(), 9);
+        assert_eq!(pool.in_use(), 2);
+    }
+
+    #[test]
+    fn shrink_releases_partially() {
+        let pool = MemoryPool::new(10);
+        let mut g = pool.grant(8).unwrap();
+        g.shrink(3);
+        assert_eq!(pool.in_use(), 5);
+        assert_eq!(g.blocks(), 5);
+        drop(g);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn zero_grant_always_succeeds() {
+        let pool = MemoryPool::new(0);
+        assert!(pool.grant(0).is_ok());
+        assert!(pool.grant(1).is_err());
+    }
+}

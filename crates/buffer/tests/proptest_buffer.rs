@@ -1,0 +1,113 @@
+//! Property tests for the buffering layer: block conservation through
+//! the circular buffer and the disk double buffers under arbitrary
+//! producer/consumer schedules.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use tapejoin_buffer::{BufSlot, CircularBuffer, DiskBufKind, DiskBuffer, MemoryPool};
+use tapejoin_disk::{ArrayMode, DiskArray, DiskModel, SpaceManager};
+use tapejoin_rel::{Block, BlockRef, Tuple};
+use tapejoin_sim::{sleep, spawn, Duration, Simulation};
+
+fn blk(i: u64) -> BlockRef {
+    Rc::new(Block::new(vec![Tuple::new(i, i)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every block pushed through the circular buffer comes out exactly
+    /// once, in order, for arbitrary capacities, counts and pacing.
+    #[test]
+    fn circular_buffer_conserves_blocks(
+        capacity in 1u64..12,
+        count in 0u64..80,
+        producer_pause in 0u64..5,
+        consumer_pause in 0u64..5,
+    ) {
+        let mut sim = Simulation::new();
+        let keys = sim.run(async move {
+            let pool = MemoryPool::new(capacity);
+            let (w, mut r) = CircularBuffer::new(&pool, capacity).unwrap().split();
+            spawn(async move {
+                for i in 0..count {
+                    if producer_pause > 0 {
+                        sleep(Duration::from_nanos(producer_pause)).await;
+                    }
+                    assert!(w.put(blk(i)).await);
+                }
+            });
+            let mut keys = Vec::new();
+            while let Some(b) = r.take().await {
+                if consumer_pause > 0 {
+                    sleep(Duration::from_nanos(consumer_pause)).await;
+                }
+                keys.push(b.tuples()[0].key);
+            }
+            keys
+        });
+        prop_assert_eq!(keys, (0..count).collect::<Vec<_>>());
+    }
+
+    /// The disk buffer conserves blocks and never exceeds its capacity,
+    /// under either discipline, for arbitrary frame sizes.
+    #[test]
+    fn disk_buffer_conserves_blocks(
+        kind in prop_oneof![Just(DiskBufKind::Interleaved), Just(DiskBufKind::Split)],
+        capacity in 2u64..16,
+        frames in proptest::collection::vec(1u64..8, 1..8),
+    ) {
+        let mut sim = Simulation::new();
+        let frames2 = frames.clone();
+        let (seen, peak) = sim.run(async move {
+            let array = DiskArray::new(DiskModel::ideal(1e6), 2, 1 << 16, ArrayMode::Aggregate);
+            let space = SpaceManager::new(2, capacity);
+            let (buf, probe) = DiskBuffer::new(kind, capacity, array, space).with_probe();
+            let spf = buf.slots_per_frame();
+            let buf2 = buf.clone();
+            let (tx, mut rx) = tapejoin_sim::sync::channel::<Vec<BufSlot>>(1);
+            spawn(async move {
+                let mut key = 0u64;
+                for (iter, &n) in frames2.iter().enumerate() {
+                    let n = n.min(spf);
+                    let blocks: Vec<BlockRef> = (0..n).map(|_| { key += 1; blk(key) }).collect();
+                    let slots = buf2.write_batch(iter as u64, &blocks).await;
+                    if tx.send(slots).await.is_err() {
+                        return;
+                    }
+                }
+            });
+            let mut seen = Vec::new();
+            while let Some(slots) = rx.recv().await {
+                let blocks = buf.read_and_free(&slots).await;
+                for b in blocks {
+                    seen.push(b.tuples()[0].key);
+                }
+            }
+            (seen, probe.total.max_value())
+        });
+        // All staged blocks came back exactly once, in order.
+        let expected: Vec<u64> = (1..=seen.len() as u64).collect();
+        prop_assert_eq!(seen, expected);
+        prop_assert!(peak <= capacity as f64 + 0.5);
+    }
+
+    /// Memory pool grants never exceed the quota and always restore it.
+    #[test]
+    fn memory_pool_conserves(quota in 1u64..50, requests in proptest::collection::vec(1u64..10, 1..20)) {
+        let pool = MemoryPool::new(quota);
+        let mut grants = Vec::new();
+        for r in requests {
+            match pool.grant(r) {
+                Ok(g) => grants.push(g),
+                Err(e) => {
+                    prop_assert_eq!(e.free, pool.free());
+                    prop_assert!(pool.in_use() + r > quota);
+                }
+            }
+            prop_assert!(pool.in_use() <= quota);
+        }
+        drop(grants);
+        prop_assert_eq!(pool.in_use(), 0);
+    }
+}

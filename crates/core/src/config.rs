@@ -1,0 +1,286 @@
+//! System configuration: the machine of the paper's §3 (two tape drives,
+//! `n` disks, `M` blocks of memory, `D` blocks of disk).
+
+use tapejoin_buffer::DiskBufKind;
+use tapejoin_sim::Duration;
+
+use crate::output::OutputMode;
+use tapejoin_disk::ArrayMode;
+use tapejoin_tape::TapeDriveModel;
+
+use crate::error::JoinError;
+
+/// Default block size: 64 KiB, a typical multi-page transfer unit for the
+/// paper's era (its cost model assumes requests of ≥ 30 such blocks make
+/// positioning negligible).
+pub const DEFAULT_BLOCK_BYTES: u64 = 64 * 1024;
+
+/// Configuration of the simulated machine a join runs on.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Block size in bytes (timing granularity of every device).
+    pub block_bytes: u64,
+    /// Main memory budget `M`, in blocks.
+    pub memory_blocks: u64,
+    /// Disk space budget `D`, in blocks.
+    pub disk_blocks: u64,
+    /// Number of disks `n` (the paper uses `n ≥ 2`; we allow 1).
+    pub disks: u32,
+    /// Sustained per-disk transfer rate, bytes/second. Aggregate
+    /// `X_D = disks × disk_rate`.
+    pub disk_rate: f64,
+    /// Charge per-request seek + rotational latency on disk (the
+    /// experimental system) or not (the transfer-only cost model).
+    pub disk_overhead: bool,
+    /// Aggregate-server vs per-disk-server array timing.
+    pub array_mode: ArrayMode,
+    /// Double-buffered disk staging discipline: the paper's interleaved
+    /// scheme (default) or the naive split-in-half strawman (for the
+    /// Section 4 ablation).
+    pub disk_buffer: DiskBufKind,
+    /// Tape drive model (both drives are identical, as in the paper).
+    pub tape_model: TapeDriveModel,
+    /// Scratch-space capacity of the R tape beyond the relation itself
+    /// (`T_R`); `None` = exactly what the chosen method requires.
+    pub tape_r_scratch: Option<u64>,
+    /// Scratch-space capacity of the S tape beyond the relation (`T_S`).
+    pub tape_s_scratch: Option<u64>,
+    /// What happens to the result stream: pipelined for free (the
+    /// paper's default) or materialized on the local disks, sharing
+    /// their bandwidth.
+    pub output: OutputMode,
+    /// Record per-device busy intervals (tape R, tape S, disks) into the
+    /// returned statistics — the raw material for Gantt-style overlap
+    /// analysis. Off by default (it stores one entry per request).
+    pub record_timeline: bool,
+    /// CPU time charged per tuple processed (hashed or probed) by a join
+    /// process. The paper assumes "CPU cost can be ignored" (§3.2) —
+    /// zero by default; the `ablation_cpu` experiment sweeps it to test
+    /// where that assumption breaks.
+    pub cpu_per_tuple: Duration,
+    /// Exploit the drives' `READ REVERSE` capability where the algorithms
+    /// allow it (alternating scan/frame directions instead of rewinding
+    /// or repositioning). Requires a tape model with `read_reverse`.
+    pub use_read_reverse: bool,
+    /// Verify block checksums on every tape read (panic on mismatch).
+    /// Off by default, matching the paper's clean-media assumption; turn
+    /// on to surface injected or simulated media corruption.
+    pub verify_tape_reads: bool,
+    /// Grace bucket-fill target in `(0, 1]` — the expected bucket size as
+    /// a fraction of the resident memory allowance (see
+    /// [`crate::hash::GracePlan::derive_with_target`]).
+    pub grace_fill_target: f64,
+    /// Seed for the grace-hash partitioning function.
+    pub hash_seed: u64,
+}
+
+impl SystemConfig {
+    /// A configuration with the given memory and disk budgets (in blocks)
+    /// and paper-like defaults: 64 KiB blocks, two ideal 2.0 MB/s disks
+    /// (`X_D = 4 MB/s`), a DLT-4000 tape drive per tape, transfer-only
+    /// disk timing, aggregate array mode.
+    pub fn new(memory_blocks: u64, disk_blocks: u64) -> Self {
+        SystemConfig {
+            block_bytes: DEFAULT_BLOCK_BYTES,
+            memory_blocks,
+            disk_blocks,
+            disks: 2,
+            disk_rate: 2.0e6,
+            disk_overhead: false,
+            array_mode: ArrayMode::Aggregate,
+            disk_buffer: DiskBufKind::Interleaved,
+            tape_model: TapeDriveModel::dlt4000(),
+            tape_r_scratch: None,
+            tape_s_scratch: None,
+            output: OutputMode::Pipelined,
+            record_timeline: false,
+            cpu_per_tuple: Duration::ZERO,
+            use_read_reverse: false,
+            verify_tape_reads: false,
+            grace_fill_target: crate::hash::GracePlan::DEFAULT_FILL_TARGET,
+            hash_seed: 0x7473_6A6F_696E, // "tsjoin"
+        }
+    }
+
+    /// Builder-style setters.
+    pub fn block_bytes(mut self, bytes: u64) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Set the number of disks.
+    pub fn disks(mut self, n: u32) -> Self {
+        self.disks = n;
+        self
+    }
+
+    /// Set the per-disk sustained rate in bytes/second.
+    pub fn disk_rate(mut self, rate: f64) -> Self {
+        self.disk_rate = rate;
+        self
+    }
+
+    /// Enable/disable per-request disk positioning overhead.
+    pub fn disk_overhead(mut self, enabled: bool) -> Self {
+        self.disk_overhead = enabled;
+        self
+    }
+
+    /// Set the array timing mode.
+    pub fn array_mode(mut self, mode: ArrayMode) -> Self {
+        self.array_mode = mode;
+        self
+    }
+
+    /// Set the disk double-buffering discipline.
+    pub fn disk_buffer(mut self, kind: DiskBufKind) -> Self {
+        self.disk_buffer = kind;
+        self
+    }
+
+    /// Set the tape drive model.
+    pub fn tape_model(mut self, model: TapeDriveModel) -> Self {
+        self.tape_model = model;
+        self
+    }
+
+    /// Cap the R tape's scratch space (`T_R`) at `blocks`.
+    pub fn tape_r_scratch(mut self, blocks: u64) -> Self {
+        self.tape_r_scratch = Some(blocks);
+        self
+    }
+
+    /// Cap the S tape's scratch space (`T_S`) at `blocks`.
+    pub fn tape_s_scratch(mut self, blocks: u64) -> Self {
+        self.tape_s_scratch = Some(blocks);
+        self
+    }
+
+    /// Charge CPU time per processed tuple (hash or probe).
+    pub fn cpu_per_tuple(mut self, cost: Duration) -> Self {
+        self.cpu_per_tuple = cost;
+        self
+    }
+
+    /// Enable device-timeline recording.
+    pub fn record_timeline(mut self, enabled: bool) -> Self {
+        self.record_timeline = enabled;
+        self
+    }
+
+    /// Set the output handling mode.
+    pub fn output(mut self, mode: OutputMode) -> Self {
+        self.output = mode;
+        self
+    }
+
+    /// Enable reverse-scan optimizations (requires a `READ REVERSE`
+    /// capable tape model).
+    pub fn use_read_reverse(mut self, enabled: bool) -> Self {
+        self.use_read_reverse = enabled;
+        self
+    }
+
+    /// Enable checksum verification on tape reads.
+    pub fn verify_tape_reads(mut self, enabled: bool) -> Self {
+        self.verify_tape_reads = enabled;
+        self
+    }
+
+    /// Set the grace bucket-fill target.
+    pub fn grace_fill_target(mut self, target: f64) -> Self {
+        self.grace_fill_target = target;
+        self
+    }
+
+    /// Set the hash partitioning seed.
+    pub fn hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = seed;
+        self
+    }
+
+    /// Convert megabytes (decimal, as the paper reports sizes) to blocks,
+    /// rounding up.
+    pub fn mb_to_blocks(&self, mb: f64) -> u64 {
+        assert!(mb >= 0.0 && mb.is_finite(), "invalid size {mb} MB");
+        ((mb * 1e6) / self.block_bytes as f64).ceil() as u64
+    }
+
+    /// Aggregate disk rate `X_D` in bytes/second.
+    pub fn aggregate_disk_rate(&self) -> f64 {
+        self.disk_rate * self.disks as f64
+    }
+
+    /// Effective tape rate `X_T` in bytes/second for data of the given
+    /// compressibility.
+    pub fn tape_rate(&self, compressibility: f64) -> f64 {
+        self.tape_model.effective_rate(compressibility)
+    }
+
+    /// Sanity-check the configuration.
+    pub fn validate(&self) -> Result<(), JoinError> {
+        if self.block_bytes == 0 {
+            return Err(JoinError::InvalidConfig(
+                "block size must be positive".into(),
+            ));
+        }
+        if self.memory_blocks < 2 {
+            return Err(JoinError::InvalidConfig(format!(
+                "memory budget of {} blocks is below the 2-block minimum",
+                self.memory_blocks
+            )));
+        }
+        if self.disks == 0 {
+            return Err(JoinError::InvalidConfig("need at least one disk".into()));
+        }
+        if !(self.disk_rate > 0.0 && self.disk_rate.is_finite()) {
+            return Err(JoinError::InvalidConfig(format!(
+                "invalid disk rate {}",
+                self.disk_rate
+            )));
+        }
+        if !(self.grace_fill_target > 0.0 && self.grace_fill_target <= 1.0) {
+            return Err(JoinError::InvalidConfig(format!(
+                "grace bucket-fill target must be in (0, 1]: got {}",
+                self.grace_fill_target
+            )));
+        }
+        if self.use_read_reverse && !self.tape_model.read_reverse {
+            return Err(JoinError::InvalidConfig(format!(
+                "reverse scans requested but the {} drive cannot READ REVERSE",
+                self.tape_model.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_conversion_rounds_up() {
+        let cfg = SystemConfig::new(16, 64);
+        // 1 MB = 1e6 bytes over 65536-byte blocks = 15.26 -> 16 blocks.
+        assert_eq!(cfg.mb_to_blocks(1.0), 16);
+        assert_eq!(cfg.mb_to_blocks(0.0), 0);
+    }
+
+    #[test]
+    fn defaults_give_paper_speed_ratio() {
+        // X_D = 4 MB/s vs base-case tape X_T = 2 MB/s: the paper's
+        // "aggregate disk speed … twice the tape speed".
+        let cfg = SystemConfig::new(16, 64);
+        assert!((cfg.aggregate_disk_rate() - 4.0e6).abs() < 1.0);
+        assert!((cfg.tape_rate(0.25) - 2.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        assert!(SystemConfig::new(1, 64).validate().is_err());
+        assert!(SystemConfig::new(16, 64).disk_rate(0.0).validate().is_err());
+        assert!(SystemConfig::new(16, 64).block_bytes(0).validate().is_err());
+        assert!(SystemConfig::new(16, 64).validate().is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! The simulated machine a join executes on.
+
+use std::rc::Rc;
+
+use tapejoin_buffer::MemoryPool;
+use tapejoin_disk::{DiskArray, DiskModel, SpaceManager};
+use tapejoin_rel::JoinWorkload;
+use tapejoin_tape::{TapeDrive, TapeExtent, TapeMedia};
+
+use crate::config::SystemConfig;
+use crate::output::{OutputMode, OutputSink};
+use crate::requirements::ResourceNeeds;
+
+/// Everything a join method touches: two mounted tape drives, the disk
+/// array with its space manager, the memory pool and the output sink.
+/// Cheap to clone (all components are shared handles).
+#[derive(Clone)]
+pub struct JoinEnv {
+    /// System configuration.
+    pub cfg: Rc<SystemConfig>,
+    /// Drive holding the R tape.
+    pub drive_r: TapeDrive,
+    /// Drive holding the S tape.
+    pub drive_s: TapeDrive,
+    /// Where relation R lives on its tape.
+    pub r_extent: TapeExtent,
+    /// Where relation S lives on its tape.
+    pub s_extent: TapeExtent,
+    /// The disk array.
+    pub disks: DiskArray,
+    /// Disk space manager enforcing the `D`-block quota.
+    pub space: SpaceManager,
+    /// Memory pool enforcing the `M`-block quota.
+    pub mem: MemoryPool,
+    /// Pipelined output sink (verification).
+    pub sink: OutputSink,
+    /// Tuples per block in R (repacking density for hashed copies).
+    pub r_tuples_per_block: u32,
+    /// Tuples per block in S.
+    pub s_tuples_per_block: u32,
+    /// Compressibility of R's data (tape-rate relevant).
+    pub r_compressibility: f64,
+    /// Compressibility of S's data.
+    pub s_compressibility: f64,
+    /// Device timelines, when recording is enabled.
+    pub timeline: Option<crate::stats::DeviceTimeline>,
+}
+
+impl JoinEnv {
+    /// Assemble the machine and master both relations onto pre-loaded
+    /// tapes (a zero-cost setup step, per the paper's §3.2 assumptions).
+    /// Scratch space on each tape is the configured cap, or exactly what
+    /// `needs` demands.
+    pub fn build(cfg: Rc<SystemConfig>, workload: &JoinWorkload, needs: &ResourceNeeds) -> JoinEnv {
+        let r_blocks = workload.r.block_count();
+        let s_blocks = workload.s.block_count();
+        let r_scratch = cfg.tape_r_scratch.unwrap_or(needs.tape_r_scratch);
+        let s_scratch = cfg.tape_s_scratch.unwrap_or(needs.tape_s_scratch);
+
+        let r_media = TapeMedia::blank("tape-R", r_blocks + r_scratch);
+        let s_media = TapeMedia::blank("tape-S", s_blocks + s_scratch);
+        let r_extent = r_media.load_relation(&workload.r);
+        let s_extent = s_media.load_relation(&workload.s);
+
+        let drive_r = TapeDrive::new("R", cfg.tape_model.clone(), cfg.block_bytes);
+        let drive_s = TapeDrive::new("S", cfg.tape_model.clone(), cfg.block_bytes);
+        drive_r.mount(r_media);
+        drive_s.mount(s_media);
+        drive_r.set_verify_reads(cfg.verify_tape_reads);
+        drive_s.set_verify_reads(cfg.verify_tape_reads);
+        let timeline = cfg.record_timeline.then(|| crate::stats::DeviceTimeline {
+            tape_r: tapejoin_sim::ActivityLog::new(),
+            tape_s: tapejoin_sim::ActivityLog::new(),
+            disks: tapejoin_sim::ActivityLog::new(),
+        });
+        if let Some(t) = &timeline {
+            drive_r.attach_activity_log(t.tape_r.clone());
+            drive_s.attach_activity_log(t.tape_s.clone());
+        }
+
+        let disk_model = DiskModel::quantum_fireball()
+            .with_rate(cfg.disk_rate)
+            .with_overhead(cfg.disk_overhead);
+        let disks = DiskArray::new(disk_model, cfg.disks, cfg.block_bytes, cfg.array_mode);
+        if let Some(t) = &timeline {
+            disks.attach_activity_log(t.disks.clone());
+        }
+        let space = SpaceManager::new(cfg.disks, cfg.disk_blocks);
+        let mem = MemoryPool::new(cfg.memory_blocks);
+        let s_tpb = density(workload.s.tuple_count(), s_blocks);
+        let sink = match cfg.output {
+            OutputMode::Pipelined => OutputSink::new(),
+            // Output space is accounted outside the join's D quota (the
+            // paper charges only the *bandwidth*); result blocks carry
+            // two tuples per match, so they pack at the S density.
+            OutputMode::LocalDisk => OutputSink::local_disk(
+                disks.clone(),
+                // A separate partition (disjoint LBA range) so the output
+                // stream never collides with the join's D-quota region.
+                SpaceManager::with_base(cfg.disks, u64::MAX / 4, 1 << 40),
+                s_tpb,
+            ),
+        };
+
+        JoinEnv {
+            r_tuples_per_block: density(workload.r.tuple_count(), r_blocks),
+            s_tuples_per_block: s_tpb,
+            r_compressibility: workload.r.compressibility(),
+            s_compressibility: workload.s.compressibility(),
+            cfg,
+            drive_r,
+            drive_s,
+            r_extent,
+            s_extent,
+            disks,
+            space,
+            mem,
+            sink,
+            timeline,
+        }
+    }
+
+    /// `|R|` in blocks.
+    pub fn r_blocks(&self) -> u64 {
+        self.r_extent.len
+    }
+
+    /// `|S|` in blocks.
+    pub fn s_blocks(&self) -> u64 {
+        self.s_extent.len
+    }
+
+    /// Charge CPU time for processing `tuples` tuples (no-op under the
+    /// paper's zero-CPU assumption).
+    pub async fn charge_cpu(&self, tuples: u64) {
+        let per = self.cfg.cpu_per_tuple;
+        if per.is_zero() || tuples == 0 {
+            return;
+        }
+        tapejoin_sim::sleep(per.checked_mul(tuples).expect("CPU charge overflow")).await;
+    }
+}
+
+fn density(tuples: u64, blocks: u64) -> u32 {
+    assert!(blocks > 0, "relation must be non-empty");
+    (tuples.div_ceil(blocks)).max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::JoinMethod;
+    use crate::requirements::resource_needs;
+    use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+    #[test]
+    fn build_masters_relations_and_sizes_scratch() {
+        let cfg = Rc::new(SystemConfig::new(32, 500));
+        let w = WorkloadBuilder::new(1)
+            .r(RelationSpec::new("R", 100))
+            .s(RelationSpec::new("S", 400))
+            .build();
+        let needs = resource_needs(JoinMethod::CttGh, &cfg, 100, 400, 4).unwrap();
+        let env = JoinEnv::build(Rc::clone(&cfg), &w, &needs);
+        assert_eq!(env.r_blocks(), 100);
+        assert_eq!(env.s_blocks(), 400);
+        // R tape has scratch for the hashed copy; S tape has none.
+        let r_media = env.drive_r.media().unwrap();
+        assert!(r_media.free_blocks() >= 100);
+        let s_media = env.drive_s.media().unwrap();
+        assert_eq!(s_media.free_blocks(), 0);
+        assert_eq!(env.r_tuples_per_block, 4);
+    }
+}

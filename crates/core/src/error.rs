@@ -1,0 +1,38 @@
+//! Error types for the tertiary join planner and executor.
+
+use std::fmt;
+
+use crate::method::JoinMethod;
+
+/// Why a join cannot run (or failed).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JoinError {
+    /// The configuration violates the method's Table 2 resource
+    /// requirements.
+    Infeasible {
+        /// The method that was requested.
+        method: JoinMethod,
+        /// Human-readable explanation of the violated requirement.
+        reason: String,
+    },
+    /// The system configuration itself is invalid.
+    InvalidConfig(String),
+    /// No method is feasible for this configuration (planner).
+    NoFeasibleMethod,
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Infeasible { method, reason } => {
+                write!(f, "{method} is infeasible: {reason}")
+            }
+            JoinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            JoinError::NoFeasibleMethod => {
+                write!(f, "no join method is feasible for this configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}

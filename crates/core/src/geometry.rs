@@ -1,0 +1,151 @@
+//! Shared geometry: chunk sizes, iteration counts and scan counts.
+//!
+//! Both the executable join methods and the analytic cost model derive
+//! their loop structure from these functions, so the two agree by
+//! construction (the integration tests then only have to check the
+//! *timing*, not the shapes).
+
+/// Memory reserved for scanning R from disk in the NB methods: the paper
+/// allocates 10% of `M` (§6), at least one block.
+pub fn nb_r_scan_blocks(memory: u64) -> u64 {
+    (memory / 10).max(1)
+}
+
+/// DT-NB chunk size `|S_i| = M − M_R`.
+pub fn dt_nb_chunk(memory: u64) -> u64 {
+    memory.saturating_sub(nb_r_scan_blocks(memory)).max(1)
+}
+
+/// CDT-NB/MB chunk size `|S_i| = (M − M_R)/2` (two memory buffers).
+pub fn cdt_nb_mb_chunk(memory: u64) -> u64 {
+    (memory.saturating_sub(nb_r_scan_blocks(memory)) / 2).max(1)
+}
+
+/// CDT-NB/DB chunk size `|S_i| = M − M_R` (one memory buffer; the second
+/// buffer lives on disk).
+pub fn cdt_nb_db_chunk(memory: u64) -> u64 {
+    dt_nb_chunk(memory)
+}
+
+/// Number of Step II iterations for a chunked method.
+pub fn iterations(s_blocks: u64, chunk: u64) -> u64 {
+    s_blocks.div_ceil(chunk.max(1))
+}
+
+/// S input blocks consumed per Grace frame, leaving room inside the
+/// `d`-block buffer for up to one partial block per bucket (flush
+/// remainders at frame end).
+pub fn gh_frame_input(buffer_blocks: u64, buckets: u64) -> u64 {
+    buffer_blocks.saturating_sub(buckets).max(1)
+}
+
+/// Average bucket size (blocks) when hashing a relation of `len` blocks
+/// into `buckets` buckets.
+pub fn avg_bucket_blocks(len: u64, buckets: u64) -> u64 {
+    len.div_ceil(buckets.max(1)).max(1)
+}
+
+/// How a tape→tape hashing pass divides its work across source scans.
+///
+/// When the disk assembly area fits several average buckets, each scan
+/// completes `buckets_per_scan` whole buckets (`slices_per_bucket = 1`).
+/// When even one bucket does not fit (Table 2's TT-GH works with *any*
+/// `D`), buckets are split by a secondary hash into `slices_per_bucket`
+/// sub-bucket slices, one slice assembled per scan — the slices of a
+/// bucket are appended consecutively, so the bucket stays contiguous on
+/// the destination tape. 10% of the disk is held back as skew headroom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TtScanPlan {
+    /// Whole buckets assembled per scan (1 when slicing).
+    pub buckets_per_scan: u64,
+    /// Sub-bucket slices per bucket (1 when whole buckets fit).
+    pub slices_per_bucket: u64,
+}
+
+impl TtScanPlan {
+    /// Total end-to-end scans of the source relation.
+    pub fn total_scans(&self, buckets: u64) -> u64 {
+        if self.slices_per_bucket > 1 {
+            buckets * self.slices_per_bucket
+        } else {
+            buckets.div_ceil(self.buckets_per_scan.max(1))
+        }
+    }
+}
+
+/// Derive the scan plan for a disk assembly area of `disk_blocks` and an
+/// average bucket of `avg_bucket` blocks.
+pub fn tt_scan_plan(disk_blocks: u64, avg_bucket: u64) -> TtScanPlan {
+    let usable = (disk_blocks - disk_blocks / 4).max(1);
+    // Whole buckets only when at least two fit: a single average-sized
+    // bucket leaves no room for hash-skew variance.
+    if usable >= 2 * (avg_bucket + 2) {
+        TtScanPlan {
+            buckets_per_scan: (usable / (avg_bucket + 2)).max(1),
+            slices_per_bucket: 1,
+        }
+    } else {
+        TtScanPlan {
+            buckets_per_scan: 1,
+            // Target an expected slice of ~half the usable area, leaving
+            // generous headroom for hash-skew variance within a slice.
+            slices_per_bucket: (2 * (avg_bucket + 2)).div_ceil(usable),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nb_split_follows_the_paper() {
+        // M = 100: 10% for R, 90% for S.
+        assert_eq!(nb_r_scan_blocks(100), 10);
+        assert_eq!(dt_nb_chunk(100), 90);
+        assert_eq!(cdt_nb_mb_chunk(100), 45);
+        assert_eq!(cdt_nb_db_chunk(100), 90);
+    }
+
+    #[test]
+    fn tiny_memory_degenerates_to_single_blocks() {
+        assert_eq!(nb_r_scan_blocks(2), 1);
+        assert_eq!(dt_nb_chunk(2), 1);
+        assert_eq!(cdt_nb_mb_chunk(3), 1);
+    }
+
+    #[test]
+    fn iteration_count_rounds_up() {
+        assert_eq!(iterations(100, 30), 4);
+        assert_eq!(iterations(90, 30), 3);
+        assert_eq!(iterations(1, 30), 1);
+    }
+
+    #[test]
+    fn frame_input_reserves_partial_room() {
+        assert_eq!(gh_frame_input(100, 10), 90);
+        assert_eq!(gh_frame_input(5, 10), 1);
+    }
+
+    #[test]
+    fn tt_scan_math_whole_buckets() {
+        // D=50 (38 usable after 25% headroom), avg bucket 9 (+2 slack):
+        // 3 buckets per scan; 13 buckets -> 5 scans.
+        let plan = tt_scan_plan(50, 9);
+        assert_eq!(plan.buckets_per_scan, 3);
+        assert_eq!(plan.slices_per_bucket, 1);
+        assert_eq!(plan.total_scans(13), 5);
+        assert_eq!(avg_bucket_blocks(100, 8), 13);
+    }
+
+    #[test]
+    fn tt_scan_math_sliced_buckets() {
+        // D=10 (8 usable), avg bucket 100: buckets must be sliced.
+        let plan = tt_scan_plan(10, 100);
+        assert_eq!(plan.buckets_per_scan, 1);
+        assert!(plan.slices_per_bucket >= 20);
+        // Expected slice size fits the usable area with ~2x headroom.
+        assert!(2 * (100 / plan.slices_per_bucket) + 2 <= 10);
+        assert_eq!(plan.total_scans(5), 5 * plan.slices_per_bucket);
+    }
+}

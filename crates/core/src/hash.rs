@@ -1,0 +1,382 @@
+//! Grace-hash partitioning: bucket planning and the streaming partitioner.
+//!
+//! The paper (§5.1.2, citing DeWitt et al. \[5\]) uses `B = |R| / M` buckets
+//! under `M ≥ √|R|`, with every R bucket exactly fitting memory and a
+//! "significant" extra memory buffer for batching bucket appends. That
+//! accounting has no slack for the concurrent methods, where the hash
+//! process (input staging + bucket write buffers) runs *while* the join
+//! process holds a resident R bucket. The executable plan used here splits
+//! `M` explicitly — and therefore never overcommits the memory pool:
+//!
+//! * `resident = ⌊M/2⌋` blocks — the in-memory R bucket during joining;
+//!   hence `B = ⌈|R| / resident⌉`;
+//! * `write_buffer = max(1, ⌊M/4⌋)` blocks — bucket-append staging. The
+//!   partitioner stages tuples until the whole budget is full, then
+//!   flushes the *largest* staged bucket ("the buffer allows for larger
+//!   disk writes which help reduce the seek penalty", §6). When `M` is
+//!   small the largest bucket still holds less than a block and appends
+//!   degrade into sub-block random read-modify-writes — the paper's
+//!   "more like random I/O" regime at the smallest memory sizes;
+//! * `s_read = 1` block — scanning the matching S bucket;
+//! * `input = M − resident − write_buffer − s_read ≥ 1` — tape input
+//!   staging.
+//!
+//! Under uniform hashing buckets may still exceed `resident` (binomial
+//! tail); the join methods resolve overflow by processing an oversized R
+//! bucket in resident-sized chunks and re-scanning the S bucket per chunk
+//! — standard hash-join overflow resolution, costed like any other I/O.
+
+use tapejoin_rel::{Block, Tuple};
+
+/// Derived grace-hash layout for a given `(|R|, M)`.
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin::hash::GracePlan;
+///
+/// // |R| = 400 blocks needs M >= sqrt(400) = 20 blocks.
+/// assert!(GracePlan::derive(400, 19, 4).is_err());
+/// let plan = GracePlan::derive(400, 32, 4).unwrap();
+/// assert!(plan.total_memory() <= 32);
+/// // The average bucket fits the resident allowance.
+/// assert!(400_u64.div_ceil(plan.buckets as u64) <= plan.resident_blocks);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GracePlan {
+    /// Number of hash buckets `B`.
+    pub buckets: usize,
+    /// Memory blocks for the resident R bucket during joining.
+    pub resident_blocks: u64,
+    /// Memory blocks for bucket-append staging.
+    pub write_buffer_blocks: u64,
+    /// Memory blocks for tape input staging.
+    pub input_blocks: u64,
+    /// Tuples per packed block (the source relation's density).
+    pub tuples_per_block: u32,
+}
+
+impl GracePlan {
+    /// Minimum memory (blocks) for any grace plan.
+    pub const MIN_MEMORY: u64 = 5;
+
+    /// Default bucket-fill target: buckets aim for 85% of the resident
+    /// allowance, leaving room for the partial tail block and ordinary
+    /// hash-skew variance (see `ablation_bucket_target`).
+    pub const DEFAULT_FILL_TARGET: f64 = 0.85;
+
+    /// Derive the plan with the default bucket-fill target. Errors (with
+    /// an explanation) if memory is below the paper's `√|R|` bound or the
+    /// structural minimum.
+    pub fn derive(
+        r_blocks: u64,
+        memory_blocks: u64,
+        tuples_per_block: u32,
+    ) -> Result<GracePlan, String> {
+        Self::derive_with_target(
+            r_blocks,
+            memory_blocks,
+            tuples_per_block,
+            Self::DEFAULT_FILL_TARGET,
+        )
+    }
+
+    /// Derive the plan with an explicit bucket-fill target in `(0, 1]`:
+    /// the expected bucket size as a fraction of the resident allowance.
+    /// Smaller targets mean more, smaller buckets (finer append
+    /// granularity, more partial tails); a target of 1.0 leaves no skew
+    /// headroom and relies on overflow resolution.
+    pub fn derive_with_target(
+        r_blocks: u64,
+        memory_blocks: u64,
+        tuples_per_block: u32,
+        fill_target: f64,
+    ) -> Result<GracePlan, String> {
+        assert!(
+            fill_target > 0.0 && fill_target <= 1.0,
+            "bucket fill target must be in (0, 1]: got {fill_target}"
+        );
+        assert!(r_blocks > 0, "cannot plan for an empty relation");
+        assert!(tuples_per_block > 0, "blocks must hold at least one tuple");
+        let sqrt_r = (r_blocks as f64).sqrt().ceil() as u64;
+        if memory_blocks < sqrt_r {
+            return Err(format!(
+                "grace hashing needs M ≥ √|R| = {sqrt_r} blocks, have {memory_blocks}"
+            ));
+        }
+        if memory_blocks < Self::MIN_MEMORY {
+            return Err(format!(
+                "grace hashing needs at least {} blocks of memory, have {memory_blocks}",
+                Self::MIN_MEMORY
+            ));
+        }
+        let resident = memory_blocks / 2;
+        let write_buffer = (memory_blocks / 4).max(1);
+        let s_read = 1;
+        let input = memory_blocks - resident - write_buffer - s_read;
+        debug_assert!(input >= 1);
+        // Target buckets below the resident allowance so the partial-tail
+        // block and ordinary hash-skew variance still fit — an oversized
+        // bucket costs an S-bucket re-scan (overflow resolution), so it
+        // should be the exception, not the rule.
+        let bucket_target = ((resident as f64 * fill_target) as u64).max(1);
+        let buckets = r_blocks.div_ceil(bucket_target) as usize;
+        Ok(GracePlan {
+            buckets,
+            resident_blocks: resident,
+            write_buffer_blocks: write_buffer,
+            input_blocks: input,
+            tuples_per_block,
+        })
+    }
+
+    /// Total memory blocks the plan uses across both concurrent phases.
+    pub fn total_memory(&self) -> u64 {
+        self.resident_blocks + self.write_buffer_blocks + self.input_blocks + 1
+    }
+
+    /// Which bucket a key belongs to.
+    pub fn bucket_of(&self, key: u64, seed: u64) -> usize {
+        (mix64(key ^ seed) % self.buckets as u64) as usize
+    }
+
+    /// Total write-buffer budget in tuples (the global staging limit).
+    pub fn budget_tuples(&self) -> usize {
+        ((self.write_buffer_blocks * self.tuples_per_block as u64) as usize).max(1)
+    }
+}
+
+/// splitmix64 finalizer (same family as the relation crate's digests but
+/// independent of them: partitioning and verification must not share
+/// structure).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A flushed run of tuples for one bucket. The destination sink packs
+/// them into blocks, merging with the bucket's partial tail block on
+/// disk/tape when the flush is smaller than a block — that read-modify-
+/// write is the paper's "more like random I/O" penalty at small `M`.
+#[derive(Clone, Debug)]
+pub struct BucketFlush {
+    /// Destination bucket index.
+    pub bucket: usize,
+    /// Tuples routed to the bucket since its last flush.
+    pub tuples: Vec<Tuple>,
+}
+
+/// Streaming partitioner: push tuples, collect per-bucket block flushes.
+///
+/// Staging is bounded by the plan's *global* write-buffer budget; when it
+/// fills, the largest staged bucket is flushed, maximizing the size of
+/// each disk write for a given budget (the paper's §6 buffering note).
+pub struct Partitioner {
+    plan: GracePlan,
+    seed: u64,
+    staging: Vec<Vec<Tuple>>,
+    staged_total: usize,
+    budget: usize,
+}
+
+impl Partitioner {
+    /// Create a partitioner for `plan`.
+    pub fn new(plan: GracePlan, seed: u64) -> Self {
+        Partitioner {
+            staging: vec![Vec::new(); plan.buckets],
+            staged_total: 0,
+            budget: plan.budget_tuples(),
+            plan,
+            seed,
+        }
+    }
+
+    /// The plan this partitioner follows.
+    pub fn plan(&self) -> &GracePlan {
+        &self.plan
+    }
+
+    /// Route one tuple; appends any triggered flush to `out`.
+    pub fn push(&mut self, t: Tuple, out: &mut Vec<BucketFlush>) {
+        let b = self.plan.bucket_of(t.key, self.seed);
+        self.staging[b].push(t);
+        self.staged_total += 1;
+        if self.staged_total >= self.budget {
+            let largest = (0..self.plan.buckets)
+                .max_by_key(|&i| self.staging[i].len())
+                .expect("plan has at least one bucket");
+            self.flush_bucket(largest, out);
+        }
+    }
+
+    /// Route every tuple of a block.
+    pub fn push_block(&mut self, block: &Block, out: &mut Vec<BucketFlush>) {
+        for &t in block.tuples() {
+            self.push(t, out);
+        }
+    }
+
+    /// Flush all remaining staged tuples (end of input).
+    pub fn finish(&mut self, out: &mut Vec<BucketFlush>) {
+        for b in 0..self.plan.buckets {
+            if !self.staging[b].is_empty() {
+                self.flush_bucket(b, out);
+            }
+        }
+    }
+
+    fn flush_bucket(&mut self, b: usize, out: &mut Vec<BucketFlush>) {
+        let tuples = std::mem::take(&mut self.staging[b]);
+        self.staged_total -= tuples.len();
+        out.push(BucketFlush { bucket: b, tuples });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tuples(n: u64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(i * 2, i)).collect()
+    }
+
+    fn drain(plan: GracePlan, tuples: &[Tuple]) -> Vec<BucketFlush> {
+        let mut p = Partitioner::new(plan, 42);
+        let mut out = Vec::new();
+        for &t in tuples {
+            p.push(t, &mut out);
+        }
+        p.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn plan_respects_memory_budget() {
+        let plan = GracePlan::derive(100, 16, 4).unwrap();
+        assert!(plan.total_memory() <= 16);
+        assert_eq!(plan.resident_blocks, 8);
+        // Buckets target 85% of the resident allowance: ceil(100/6).
+        assert_eq!(plan.buckets, 17);
+        // The average bucket then fits `resident` with slack.
+        assert!(100_u64.div_ceil(plan.buckets as u64) < plan.resident_blocks);
+    }
+
+    #[test]
+    fn plan_rejects_memory_below_sqrt_r() {
+        let err = GracePlan::derive(400, 19, 4).unwrap_err();
+        assert!(err.contains("√|R|"), "unexpected message: {err}");
+        assert!(GracePlan::derive(400, 20, 4).is_ok());
+    }
+
+    #[test]
+    fn plan_rejects_structural_minimum() {
+        assert!(GracePlan::derive(4, 4, 4).is_err());
+        assert!(GracePlan::derive(4, 5, 4).is_ok());
+    }
+
+    #[test]
+    fn every_tuple_lands_in_exactly_one_bucket() {
+        let plan = GracePlan::derive(64, 16, 4).unwrap();
+        let tuples = all_tuples(64 * 4);
+        let flushes = drain(plan, &tuples);
+        let mut seen = std::collections::HashMap::new();
+        for f in &flushes {
+            assert!(f.bucket < plan.buckets);
+            for t in &f.tuples {
+                *seen.entry(t.rid).or_insert(0u32) += 1;
+            }
+        }
+        assert_eq!(seen.len(), tuples.len());
+        assert!(
+            seen.values().all(|&c| c == 1),
+            "tuple duplicated by partitioner"
+        );
+    }
+
+    #[test]
+    fn same_key_always_same_bucket() {
+        let plan = GracePlan::derive(64, 16, 4).unwrap();
+        for key in [0u64, 2, 100, 9_999_998] {
+            let a = plan.bucket_of(key, 7);
+            let b = plan.bucket_of(key, 7);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_buckets() {
+        let plan = GracePlan::derive(640, 64, 4).unwrap();
+        let moved = (0..1000u64)
+            .filter(|&k| plan.bucket_of(k * 2, 1) != plan.bucket_of(k * 2, 2))
+            .count();
+        assert!(moved > 500, "only {moved} keys moved between seeds");
+    }
+
+    #[test]
+    fn uniform_keys_fill_buckets_evenly() {
+        let plan = GracePlan::derive(256, 34, 4).unwrap();
+        let flushes = drain(plan, &all_tuples(256 * 4));
+        let mut per_bucket = vec![0u64; plan.buckets];
+        for f in &flushes {
+            per_bucket[f.bucket] += f.tuples.len() as u64;
+        }
+        let mean = (256.0 * 4.0) / plan.buckets as f64;
+        for (b, &count) in per_bucket.iter().enumerate() {
+            assert!(
+                (count as f64) < mean * 1.5 && (count as f64) > mean * 0.5,
+                "bucket {b} holds {count}, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_fires_when_global_budget_fills() {
+        let plan = GracePlan::derive(64, 16, 4).unwrap();
+        let budget = plan.budget_tuples();
+        let mut p = Partitioner::new(plan, 42);
+        let mut out = Vec::new();
+        // All tuples share one key -> one bucket; each time the budget
+        // fills, that bucket (the largest) flushes in full.
+        for i in 0..(budget as u64 * 3) {
+            p.push(Tuple::new(2, i), &mut out);
+        }
+        assert_eq!(out.len(), 3);
+        for f in &out {
+            assert_eq!(f.tuples.len(), budget);
+        }
+    }
+
+    #[test]
+    fn largest_bucket_is_flushed_first() {
+        let plan = GracePlan::derive(64, 16, 4).unwrap();
+        let budget = plan.budget_tuples();
+        let mut p = Partitioner::new(plan, 42);
+        let mut out = Vec::new();
+        // Fill mostly with key A, a little of key B.
+        let a = 2u64;
+        let b = (1..100)
+            .map(|k| k * 2)
+            .find(|&k| plan.bucket_of(k, 42) != plan.bucket_of(a, 42))
+            .unwrap();
+        p.push(Tuple::new(b, 0), &mut out);
+        for i in 0..(budget as u64 - 1) {
+            p.push(Tuple::new(a, i + 1), &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bucket, plan.bucket_of(a, 42));
+        assert_eq!(out[0].tuples.len(), budget - 1);
+    }
+
+    #[test]
+    fn small_memory_forces_subblock_flushes() {
+        // Tiny write buffer vs many buckets: the largest staged bucket
+        // holds less than a block when the budget fills -> partial-block
+        // appends (the random-I/O regime).
+        let plan = GracePlan::derive(256, 16, 8).unwrap();
+        assert!(plan.buckets > plan.write_buffer_blocks as usize * 2);
+        assert!(plan.budget_tuples() / plan.buckets < plan.tuples_per_block as usize);
+    }
+}

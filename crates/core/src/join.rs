@@ -1,0 +1,138 @@
+//! The top-level join driver: validate, simulate, measure.
+
+use std::rc::Rc;
+
+use tapejoin_rel::JoinWorkload;
+use tapejoin_sim::{now, Duration, Simulation};
+
+use crate::config::SystemConfig;
+use crate::env::JoinEnv;
+use crate::error::JoinError;
+use crate::method::JoinMethod;
+use crate::methods::run_method;
+use crate::requirements::resource_needs;
+use crate::stats::JoinStats;
+
+/// Executes tertiary joins on a configured machine.
+///
+/// Each [`TertiaryJoin::run`] call is one independent simulation: the
+/// machine is built fresh (tapes mastered, clock at zero), the method
+/// runs to completion in virtual time, and the measured statistics are
+/// returned. The join's output is accumulated as a verifiable check value
+/// (compare with [`tapejoin_rel::reference_join`]).
+pub struct TertiaryJoin {
+    cfg: SystemConfig,
+}
+
+impl TertiaryJoin {
+    /// Create a driver for the given machine configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        TertiaryJoin { cfg }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Check whether `method` can run on this machine for the workload.
+    pub fn feasible(&self, method: JoinMethod, workload: &JoinWorkload) -> Result<(), JoinError> {
+        self.cfg.validate()?;
+        let r_tpb = density(&workload.r);
+        resource_needs(
+            method,
+            &self.cfg,
+            workload.r.block_count(),
+            workload.s.block_count(),
+            r_tpb,
+        )
+        .map(|_| ())
+    }
+
+    /// Run `method` over `workload` and return the measured statistics.
+    pub fn run(&self, method: JoinMethod, workload: &JoinWorkload) -> Result<JoinStats, JoinError> {
+        self.cfg.validate()?;
+        let r_tpb = density(&workload.r);
+        let needs = resource_needs(
+            method,
+            &self.cfg,
+            workload.r.block_count(),
+            workload.s.block_count(),
+            r_tpb,
+        )?;
+
+        let cfg = Rc::new(self.cfg.clone());
+        let workload = workload.clone();
+        let mut sim = Simulation::new();
+        let stats = sim.run(async move {
+            let env = JoinEnv::build(cfg, &workload, &needs);
+            let result = run_method(method, env.clone()).await;
+            // Drain any local output materialization before stopping the
+            // clock — stored output is part of the response time.
+            let output_blocks = env.sink.finish().await;
+            let end = now();
+            JoinStats {
+                method,
+                response: end.duration_since(tapejoin_sim::SimTime::ZERO),
+                step1: result
+                    .step1_done
+                    .duration_since(tapejoin_sim::SimTime::ZERO),
+                tape_r: env.drive_r.stats(),
+                tape_s: env.drive_s.stats(),
+                disk: env.disks.stats(),
+                mem_peak: env.mem.peak(),
+                disk_peak: env.space.peak_in_use(),
+                output: env.sink.check(),
+                output_blocks,
+                buffer_probe: result.probe,
+                timeline: env.timeline.clone(),
+            }
+        });
+        Ok(stats)
+    }
+}
+
+/// The paper's "optimum join time": the bare transfer time of S from
+/// tape, which a disk–tape join can at best match (§9).
+pub fn optimum_join_time(cfg: &SystemConfig, workload: &JoinWorkload) -> Duration {
+    let bytes = workload.s.block_count() * cfg.block_bytes;
+    tapejoin_sim::transfer_time(bytes, cfg.tape_rate(workload.s.compressibility()))
+}
+
+fn density(rel: &tapejoin_rel::Relation) -> u32 {
+    rel.tuple_count().div_ceil(rel.block_count()).max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapejoin_rel::{reference_join, RelationSpec, WorkloadBuilder};
+
+    #[test]
+    fn smoke_dt_nb_produces_verified_output() {
+        let w = WorkloadBuilder::new(5)
+            .r(RelationSpec::new("R", 16))
+            .s(RelationSpec::new("S", 64))
+            .build();
+        let cfg = SystemConfig::new(8, 32);
+        let stats = TertiaryJoin::new(cfg).run(JoinMethod::DtNb, &w).unwrap();
+        assert_eq!(stats.output, reference_join(&w.r, &w.s));
+        assert!(!stats.response.is_zero());
+        assert!(stats.step1 <= stats.response);
+        assert!(stats.mem_peak <= 8);
+        assert!(stats.disk_peak <= 32);
+    }
+
+    #[test]
+    fn infeasible_method_is_rejected_up_front() {
+        let w = WorkloadBuilder::new(5)
+            .r(RelationSpec::new("R", 64))
+            .s(RelationSpec::new("S", 128))
+            .build();
+        let cfg = SystemConfig::new(8, 32); // D < |R|
+        let err = TertiaryJoin::new(cfg)
+            .run(JoinMethod::DtNb, &w)
+            .unwrap_err();
+        assert!(matches!(err, JoinError::Infeasible { .. }));
+    }
+}

@@ -1,0 +1,72 @@
+//! `tapejoin` — relational joins for data on tertiary storage.
+//!
+//! A faithful, executable reproduction of **Myllymaki & Livny,
+//! "Relational Joins for Data on Tertiary Storage" (ICDE 1997)**: seven
+//! join methods for relations stored on magnetic tape, executed against a
+//! deterministic virtual-time model of a two-tape-drive / `n`-disk
+//! workstation, with the paper's resource taxonomy (Table 2) enforced at
+//! runtime and its analytic cost model (Figures 1–3) re-derived alongside.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+//! use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+//!
+//! // A machine with 16 blocks of memory and 160 blocks of disk.
+//! let cfg = SystemConfig::new(16, 160);
+//! // |R| = 64 blocks, |S| = 256 blocks of synthetic data.
+//! let workload = WorkloadBuilder::new(42)
+//!     .r(RelationSpec::new("R", 64))
+//!     .s(RelationSpec::new("S", 256))
+//!     .build();
+//!
+//! let outcome = TertiaryJoin::new(cfg)
+//!     .run(JoinMethod::CdtGh, &workload)
+//!     .expect("feasible configuration");
+//!
+//! println!(
+//!     "CDT-GH joined {} pairs in {} (Step I {})",
+//!     outcome.output.pairs, outcome.response, outcome.step1,
+//! );
+//! // The output is verified against an in-memory reference join.
+//! assert_eq!(outcome.output, tapejoin_rel::reference_join(&workload.r, &workload.s));
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`methods`] — the seven join methods (DT-NB, CDT-NB/MB, CDT-NB/DB,
+//!   DT-GH, CDT-GH, CTT-GH, TT-GH) as async processes over the simulated
+//!   machine;
+//! * [`cost`] — the closed-form response-time model (Figures 1–3);
+//! * [`requirements`] — Table 2 resource needs and feasibility;
+//! * [`planner`] — picks the cheapest feasible method;
+//! * [`hash`] — grace-hash planning and streaming partitioning;
+//! * [`JoinEnv`] / [`SystemConfig`] — the machine model;
+//! * [`JoinStats`] — measured response time, device statistics, peak
+//!   memory/disk, verified output.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod geometry;
+pub mod hash;
+pub mod methods;
+pub mod planner;
+pub mod requirements;
+
+mod config;
+mod env;
+mod error;
+mod join;
+mod method;
+mod output;
+mod stats;
+
+pub use config::{SystemConfig, DEFAULT_BLOCK_BYTES};
+pub use env::JoinEnv;
+pub use error::JoinError;
+pub use join::{optimum_join_time, TertiaryJoin};
+pub use method::JoinMethod;
+pub use output::{build_table, probe_and_emit, probe_r_against_s_table, OutputMode, OutputSink};
+pub use stats::{DeviceTimeline, JoinStats};

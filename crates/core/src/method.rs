@@ -1,0 +1,139 @@
+//! The seven tertiary join methods (paper §5).
+
+use std::fmt;
+
+/// Which tertiary join method to run. Names follow the paper's
+/// abbreviations (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JoinMethod {
+    /// Disk–Tape Nested Block Join (sequential).
+    DtNb,
+    /// Concurrent Disk–Tape Nested Block Join, memory buffering.
+    CdtNbMb,
+    /// Concurrent Disk–Tape Nested Block Join, disk buffering.
+    CdtNbDb,
+    /// Disk–Tape Grace Hash Join (sequential).
+    DtGh,
+    /// Concurrent Disk–Tape Grace Hash Join.
+    CdtGh,
+    /// Concurrent Tape–Tape Grace Hash Join.
+    CttGh,
+    /// Tape–Tape Grace Hash Join (sequential).
+    TtGh,
+}
+
+impl JoinMethod {
+    /// All methods, in the paper's Table 2 order.
+    pub const ALL: [JoinMethod; 7] = [
+        JoinMethod::DtNb,
+        JoinMethod::CdtNbMb,
+        JoinMethod::CdtNbDb,
+        JoinMethod::DtGh,
+        JoinMethod::CdtGh,
+        JoinMethod::CttGh,
+        JoinMethod::TtGh,
+    ];
+
+    /// The paper's abbreviation, e.g. `"CDT-GH"`.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            JoinMethod::DtNb => "DT-NB",
+            JoinMethod::CdtNbMb => "CDT-NB/MB",
+            JoinMethod::CdtNbDb => "CDT-NB/DB",
+            JoinMethod::DtGh => "DT-GH",
+            JoinMethod::CdtGh => "CDT-GH",
+            JoinMethod::CttGh => "CTT-GH",
+            JoinMethod::TtGh => "TT-GH",
+        }
+    }
+
+    /// Full name as in Table 2.
+    pub fn full_name(&self) -> &'static str {
+        match self {
+            JoinMethod::DtNb => "Disk-Tape Nested Block Join",
+            JoinMethod::CdtNbMb => "Concurrent Disk-Tape Nested Block Join with Memory Buffering",
+            JoinMethod::CdtNbDb => "Concurrent Disk-Tape Nested Block Join with Disk Buffering",
+            JoinMethod::DtGh => "Disk-Tape Grace Hash Join",
+            JoinMethod::CdtGh => "Concurrent Disk-Tape Grace Hash Join",
+            JoinMethod::CttGh => "Concurrent Tape-Tape Grace Hash Join",
+            JoinMethod::TtGh => "Tape-Tape Grace Hash Join",
+        }
+    }
+
+    /// Whether the method overlaps tape and disk I/O (parallel I/O).
+    pub fn is_concurrent(&self) -> bool {
+        matches!(
+            self,
+            JoinMethod::CdtNbMb | JoinMethod::CdtNbDb | JoinMethod::CdtGh | JoinMethod::CttGh
+        )
+    }
+
+    /// Whether the method is hashing-based (Grace family).
+    pub fn is_hash_based(&self) -> bool {
+        matches!(
+            self,
+            JoinMethod::DtGh | JoinMethod::CdtGh | JoinMethod::CttGh | JoinMethod::TtGh
+        )
+    }
+
+    /// Whether the method is a tape–tape join (no `D ≥ |R|` requirement).
+    pub fn is_tape_tape(&self) -> bool {
+        matches!(self, JoinMethod::CttGh | JoinMethod::TtGh)
+    }
+}
+
+impl std::str::FromStr for JoinMethod {
+    type Err = String;
+
+    /// Parse a paper abbreviation (case-insensitive), e.g. `"ctt-gh"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        JoinMethod::ALL
+            .into_iter()
+            .find(|m| m.abbrev().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                format!(
+                    "unknown join method '{s}' (expected one of: {})",
+                    JoinMethod::ALL.map(|m| m.abbrev()).join(", ")
+                )
+            })
+    }
+}
+
+impl fmt::Display for JoinMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_table_2() {
+        use JoinMethod::*;
+        assert!(CdtGh.is_concurrent() && CdtGh.is_hash_based() && !CdtGh.is_tape_tape());
+        assert!(!DtNb.is_concurrent() && !DtNb.is_hash_based());
+        assert!(CttGh.is_tape_tape() && CttGh.is_concurrent());
+        assert!(TtGh.is_tape_tape() && !TtGh.is_concurrent());
+        assert_eq!(JoinMethod::ALL.len(), 7);
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        for method in JoinMethod::ALL {
+            let parsed: JoinMethod = method.abbrev().parse().unwrap();
+            assert_eq!(parsed, method);
+            let lower: JoinMethod = method.abbrev().to_lowercase().parse().unwrap();
+            assert_eq!(lower, method);
+        }
+        assert!("GRACE".parse::<JoinMethod>().is_err());
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let set: std::collections::HashSet<_> =
+            JoinMethod::ALL.iter().map(|m| m.abbrev()).collect();
+        assert_eq!(set.len(), 7);
+    }
+}

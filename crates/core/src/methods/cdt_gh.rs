@@ -1,0 +1,47 @@
+//! Concurrent Disk–Tape Grace Hash Join (CDT-GH), §5.1.4.
+//!
+//! Identical I/O volume to DT-GH, but the hash process (tape S → disk
+//! buckets) runs as its own task: while the join process drains frame *i*
+//! bucket-by-bucket, the hash process stages frame *i+1* into the same
+//! interleaved disk buffer, reusing slots the moment they are freed (§4).
+//! Across the memory-size range this parallelism is the "wide margin
+//! between CDT-GH and DT-GH" of Figure 8.
+
+use std::rc::Rc;
+
+use tapejoin_buffer::DiskBuffer;
+
+use crate::env::JoinEnv;
+use crate::hash::GracePlan;
+use crate::methods::common::{step1_marker, MethodResult};
+use crate::methods::grace::{hash_r_to_disk, join_frame, spawn_hasher, RBucketSource};
+
+pub(crate) async fn run(env: JoinEnv) -> MethodResult {
+    let plan = GracePlan::derive_with_target(
+        env.r_blocks(),
+        env.cfg.memory_blocks,
+        env.r_tuples_per_block,
+        env.cfg.grace_fill_target,
+    )
+    .expect("feasibility checked before dispatch");
+
+    // Step I: hash R to disk with tape/disk overlap.
+    let r_buckets = Rc::new(hash_r_to_disk(&env, &plan, true).await);
+    let step1_done = step1_marker();
+
+    // Step II: hash process and join process run concurrently over the
+    // interleaved disk buffer occupying the remaining disk space.
+    let d = env.space.free();
+    let (diskbuf, probe) =
+        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone()).with_probe();
+    let src = RBucketSource::Disk(r_buckets);
+    let mut frames = spawn_hasher(&env, &plan, &diskbuf);
+    while let Some(frame) = frames.recv().await {
+        join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+    }
+
+    MethodResult {
+        step1_done,
+        probe: Some(probe),
+    }
+}

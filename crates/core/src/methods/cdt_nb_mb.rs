@@ -1,0 +1,66 @@
+//! Concurrent Disk–Tape Nested Block Join with memory buffering
+//! (CDT-NB/MB), §5.1.3.
+//!
+//! Memory holds *two* S buffers of `M_S = (M − M_R)/2` blocks: while the
+//! join process scans disk-resident R against chunk *i*, a reader task
+//! fetches chunk *i+1* from tape. Interleaved reuse is impossible here
+//! because a chunk stays pinned for the whole iteration (the paper's
+//! footnote 3), hence the halved chunk size and doubled iteration count.
+
+use tapejoin_sim::spawn;
+use tapejoin_sim::sync::{channel, Semaphore};
+use tapejoin_tape::TapeBlock;
+
+use crate::env::JoinEnv;
+use crate::geometry;
+use crate::methods::common::{
+    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, MethodResult,
+};
+
+pub(crate) async fn run(env: JoinEnv) -> MethodResult {
+    // Step I: copy R to disk with tape/disk overlap.
+    let r_addrs = copy_r_to_disk(&env, true).await;
+    let step1_done = step1_marker();
+
+    let m = env.cfg.memory_blocks;
+    let ms = geometry::cdt_nb_mb_chunk(m);
+    let mr = geometry::nb_r_scan_blocks(m);
+    let _grant = env
+        .mem
+        .grant(2 * ms + mr)
+        .expect("feasibility checked: 2·M_S + M_R <= M");
+
+    // At most two chunks in flight (the two memory buffers).
+    let buffers = Semaphore::new(2);
+    let (tx, mut rx) = channel::<Vec<TapeBlock>>(1);
+    let reader = {
+        let env = env.clone();
+        let buffers = buffers.clone();
+        spawn(async move {
+            let mut pos = env.s_extent.start;
+            let end = env.s_extent.end();
+            while pos < end {
+                buffers.acquire(1).await.forget();
+                let n = ms.min(end - pos);
+                let chunk = env.drive_s.read(pos, n).await;
+                pos += n;
+                if tx.send(chunk).await.is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    while let Some(chunk) = rx.recv().await {
+        let table = s_chunk_table(&chunk);
+        drop(chunk); // buffer space conceptually moves into the table
+        scan_r_and_probe(&env, &r_addrs, &table).await;
+        buffers.add_permits(1);
+    }
+    reader.join().await;
+
+    MethodResult {
+        step1_done,
+        probe: None,
+    }
+}

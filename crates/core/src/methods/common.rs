@@ -1,0 +1,135 @@
+//! Machinery shared by the nested-block join methods.
+
+use std::collections::HashMap;
+
+use tapejoin_buffer::UtilizationProbe;
+use tapejoin_disk::DiskAddr;
+use tapejoin_rel::{BlockRef, Tuple};
+use tapejoin_sim::sync::{channel, Semaphore};
+use tapejoin_sim::{now, spawn, SimTime};
+use tapejoin_tape::TapeBlock;
+
+use crate::env::JoinEnv;
+use crate::geometry;
+use crate::output::probe_r_against_s_table;
+
+/// What a method reports back to the join driver.
+pub struct MethodResult {
+    /// Virtual time at which the setup phase (Step I) completed.
+    pub step1_done: SimTime,
+    /// Disk-buffer occupancy traces, if the method staged `S` through a
+    /// double-buffered disk region.
+    pub probe: Option<UtilizationProbe>,
+}
+
+/// Copy relation R from its tape to disk (Step I of the NB methods),
+/// returning the disk addresses in relation order.
+///
+/// Sequential mode alternates tape reads and disk writes through one
+/// `M`-block transfer buffer; overlapped mode pipelines two `M/2`-block
+/// chunks so the tape read of chunk *i+1* overlaps the disk write of
+/// chunk *i* (bounded to two in-flight chunks by a permit scheme, so the
+/// memory budget is respected).
+pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
+    let addrs = env
+        .space
+        .allocate(env.r_blocks())
+        .expect("feasibility checked: D >= |R| for disk-tape methods");
+    let m = env.cfg.memory_blocks;
+    if overlapped {
+        let chunk = (m / 2).max(1);
+        let _grant = env
+            .mem
+            .grant((2 * chunk).min(m))
+            .expect("copy buffers exceed memory budget");
+        let tokens = Semaphore::new(2);
+        let (tx, mut rx) = channel::<Vec<TapeBlock>>(1);
+        let reader = {
+            let env = env.clone();
+            let tokens = tokens.clone();
+            spawn(async move {
+                let mut pos = env.r_extent.start;
+                let end = env.r_extent.end();
+                while pos < end {
+                    tokens.acquire(1).await.forget();
+                    let n = chunk.min(end - pos);
+                    let blocks = env.drive_r.read(pos, n).await;
+                    pos += n;
+                    if tx.send(blocks).await.is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+        let mut off = 0usize;
+        while let Some(tape_blocks) = rx.recv().await {
+            let blocks: Vec<BlockRef> = tape_blocks.into_iter().map(|tb| tb.data).collect();
+            env.disks
+                .write(&addrs[off..off + blocks.len()], &blocks)
+                .await;
+            off += blocks.len();
+            tokens.add_permits(1);
+        }
+        reader.join().await;
+        assert_eq!(off as u64, env.r_blocks(), "copy lost blocks");
+    } else {
+        let chunk = m.max(1);
+        let _grant = env.mem.grant(m).expect("whole memory as copy buffer");
+        let mut pos = env.r_extent.start;
+        let end = env.r_extent.end();
+        let mut off = 0usize;
+        while pos < end {
+            let n = chunk.min(end - pos);
+            let tape_blocks = env.drive_r.read(pos, n).await;
+            pos += n;
+            let blocks: Vec<BlockRef> = tape_blocks.into_iter().map(|tb| tb.data).collect();
+            env.disks
+                .write(&addrs[off..off + blocks.len()], &blocks)
+                .await;
+            off += blocks.len();
+        }
+    }
+    addrs
+}
+
+/// Build the probe table over an in-memory S chunk (key → S tuples).
+pub fn s_chunk_table(blocks: &[TapeBlock]) -> HashMap<u64, Vec<Tuple>> {
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
+    for tb in blocks {
+        for &t in tb.data.tuples() {
+            table.entry(t.key).or_default().push(t);
+        }
+    }
+    table
+}
+
+/// Scan disk-resident R in `M_R`-block requests, probing each R tuple
+/// against the S-chunk table and emitting `(r, s)` matches.
+pub async fn scan_r_and_probe(
+    env: &JoinEnv,
+    r_addrs: &[DiskAddr],
+    table: &HashMap<u64, Vec<Tuple>>,
+) {
+    let mr = geometry::nb_r_scan_blocks(env.cfg.memory_blocks) as usize;
+    for chunk in r_addrs.chunks(mr) {
+        let blocks = env.disks.read(chunk).await;
+        let mut probed = 0u64;
+        for b in &blocks {
+            probe_r_against_s_table(table, b.tuples(), &env.sink);
+            probed += b.tuples().len() as u64;
+        }
+        env.charge_cpu(probed).await;
+    }
+}
+
+/// Mark the end of Step I.
+pub fn step1_marker() -> SimTime {
+    now()
+}
+
+/// Batch size for staging data between a tape stream and the disk buffer:
+/// a small transfer buffer ("very small compared to M and its effect is
+/// ignored in the analysis", §6), kept to multi-block requests.
+pub fn transfer_batch(chunk: u64) -> u64 {
+    (chunk / 4).clamp(1, 32)
+}

@@ -1,0 +1,58 @@
+//! Concurrent Tape–Tape Grace Hash Join (CTT-GH), §5.2.1 — the paper's
+//! "sole candidate for very large tape joins".
+//!
+//! Step I creates a hashed copy of R *on the R tape itself*, using the
+//! disk only as an assembly area: `⌈B / buckets-per-scan⌉` end-to-end
+//! scans of R, each assembling a range of buckets fully on disk and
+//! appending them to the tape. Step II then buffers S frames on disk (all
+//! of `D` is available — this is why CTT-GH beats CDT-GH when `D ≈ |R|`,
+//! Figure 5) and joins each bucket against the tape-resident R buckets,
+//! which are read sequentially end-to-end once per frame. The hash
+//! process (drive S + disks) and the join process (drive R + disks)
+//! overlap.
+
+use std::rc::Rc;
+
+use tapejoin_buffer::DiskBuffer;
+
+use crate::env::JoinEnv;
+use crate::hash::GracePlan;
+use crate::methods::common::{step1_marker, MethodResult};
+use crate::methods::grace::{
+    hash_tape_to_tape, join_frame, spawn_hasher, RBucketSource, TapeHashSpec,
+};
+
+pub(crate) async fn run(env: JoinEnv) -> MethodResult {
+    let plan = GracePlan::derive_with_target(
+        env.r_blocks(),
+        env.cfg.memory_blocks,
+        env.r_tuples_per_block,
+        env.cfg.grace_fill_target,
+    )
+    .expect("feasibility checked before dispatch");
+
+    // Step I: hash R tape -> R tape through the disk assembly area.
+    let spec = TapeHashSpec {
+        src_drive: env.drive_r.clone(),
+        src_extent: env.r_extent,
+        dst_drive: env.drive_r.clone(),
+        compressibility: env.r_compressibility,
+    };
+    let extents = Rc::new(hash_tape_to_tape(&env, &plan, &spec, true).await);
+    let step1_done = step1_marker();
+
+    // Step II: all of D buffers S; R buckets stream from the R tape.
+    let d = env.space.free();
+    let (diskbuf, probe) =
+        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone()).with_probe();
+    let src = RBucketSource::Tape(env.drive_r.clone(), extents);
+    let mut frames = spawn_hasher(&env, &plan, &diskbuf);
+    while let Some(frame) = frames.recv().await {
+        join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+    }
+
+    MethodResult {
+        step1_done,
+        probe: Some(probe),
+    }
+}

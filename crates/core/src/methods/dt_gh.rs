@@ -1,0 +1,45 @@
+//! Disk–Tape Grace Hash Join (DT-GH), §5.1.2 — sequential.
+//!
+//! Step I hashes R from tape into buckets on disk. Step II repeatedly
+//! reads `d = D − |R|` blocks of S, hashes them into disk buckets, and
+//! joins bucket-by-bucket (each R bucket read back into memory, its S
+//! bucket scanned). No overlap: the frame is fully staged before it is
+//! joined, and the tape sits idle while the join drains the disks.
+
+use std::rc::Rc;
+
+use tapejoin_buffer::DiskBuffer;
+
+use crate::env::JoinEnv;
+use crate::hash::GracePlan;
+use crate::methods::common::{step1_marker, MethodResult};
+use crate::methods::grace::{hash_r_to_disk, join_frame, RBucketSource, SFrameHasher};
+
+pub(crate) async fn run(env: JoinEnv) -> MethodResult {
+    let plan = GracePlan::derive_with_target(
+        env.r_blocks(),
+        env.cfg.memory_blocks,
+        env.r_tuples_per_block,
+        env.cfg.grace_fill_target,
+    )
+    .expect("feasibility checked before dispatch");
+
+    // Step I: hash R to disk, sequentially.
+    let r_buckets = Rc::new(hash_r_to_disk(&env, &plan, false).await);
+    let step1_done = step1_marker();
+
+    // Step II: the remaining disk space buffers one S frame at a time.
+    let d = env.space.free();
+    let (diskbuf, probe) =
+        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone()).with_probe();
+    let src = RBucketSource::Disk(r_buckets);
+    let mut hasher = SFrameHasher::new(env.clone(), plan, diskbuf.clone(), false);
+    while let Some(frame) = hasher.next_frame().await {
+        join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+    }
+
+    MethodResult {
+        step1_done,
+        probe: Some(probe),
+    }
+}

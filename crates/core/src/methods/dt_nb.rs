@@ -1,0 +1,42 @@
+//! Disk–Tape Nested Block Join (DT-NB), §5.1.1 — sequential.
+//!
+//! Step I copies R from tape to disk. Step II repeatedly reads an
+//! `M_S = 0.9·M`-block chunk of S from tape into memory and then scans
+//! the disk-resident R against it. No I/O overlap: every operation is
+//! awaited inline, so the tape and the disks take turns.
+
+use crate::env::JoinEnv;
+use crate::geometry;
+use crate::methods::common::{
+    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, MethodResult,
+};
+
+pub(crate) async fn run(env: JoinEnv) -> MethodResult {
+    // Step I: copy R to disk, sequentially.
+    let r_addrs = copy_r_to_disk(&env, false).await;
+    let step1_done = step1_marker();
+
+    // Step II: chunk S through memory, scanning R from disk per chunk.
+    let m = env.cfg.memory_blocks;
+    let ms = geometry::dt_nb_chunk(m);
+    let mr = geometry::nb_r_scan_blocks(m);
+    let _grant = env
+        .mem
+        .grant(ms + mr)
+        .expect("feasibility checked: M_S + M_R <= M");
+
+    let mut pos = env.s_extent.start;
+    let end = env.s_extent.end();
+    while pos < end {
+        let n = ms.min(end - pos);
+        let chunk = env.drive_s.read(pos, n).await;
+        pos += n;
+        let table = s_chunk_table(&chunk);
+        scan_r_and_probe(&env, &r_addrs, &table).await;
+    }
+
+    MethodResult {
+        step1_done,
+        probe: None,
+    }
+}

@@ -1,0 +1,954 @@
+//! Machinery shared by the Grace-hash join methods (§5.1.2, §5.1.4,
+//! §5.2).
+//!
+//! Bucket data lands on disk (or in the disk buffer) through *bucket
+//! sinks* that pack tuple flushes into blocks. A flush smaller than a
+//! block is merged into the bucket's partial *tail* block by reading it
+//! back, combining, and rewriting — so bucket runs stay compact
+//! (`⌈size⌉ + 1` blocks) at the price of extra small I/Os. When memory is
+//! plentiful the flush threshold spans whole blocks and the merge
+//! overhead vanishes; when memory is tiny every append is a sub-block
+//! read-modify-write — the paper's "more like random I/O" regime at the
+//! left edge of Figures 8–9, reproduced mechanically.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use tapejoin_buffer::{BufSlot, DiskBuffer};
+use tapejoin_disk::DiskAddr;
+use tapejoin_rel::{Block, BlockRef, Tuple};
+use tapejoin_sim::spawn;
+use tapejoin_sim::sync::{channel, Receiver, Semaphore};
+use tapejoin_tape::{TapeBlock, TapeDrive, TapeExtent};
+
+use crate::env::JoinEnv;
+use crate::geometry;
+use crate::hash::{BucketFlush, GracePlan, Partitioner};
+use crate::output::{build_table, probe_and_emit};
+
+/// One Step II iteration's worth of hashed S data staged in the disk
+/// buffer, grouped per bucket.
+pub struct Frame {
+    /// Frame (iteration) index.
+    pub idx: u64,
+    /// Slots holding each bucket's blocks.
+    pub per_bucket: Vec<Vec<BufSlot>>,
+}
+
+/// Where the hashed R buckets live during Step II.
+#[derive(Clone)]
+pub enum RBucketSource {
+    /// On disk (DT-GH / CDT-GH): per-bucket address lists.
+    Disk(Rc<Vec<Vec<DiskAddr>>>),
+    /// On a tape (CTT-GH: the R tape; TT-GH: the S tape): per-bucket
+    /// extents plus the drive to read them from.
+    Tape(TapeDrive, Rc<Vec<TapeExtent>>),
+}
+
+/// Pack `tuples` into blocks of `tpb` tuples (last block partial).
+fn pack_blocks(tuples: Vec<Tuple>, tpb: usize) -> Vec<BlockRef> {
+    tuples
+        .chunks(tpb)
+        .map(|c| Rc::new(Block::new(c.to_vec())) as BlockRef)
+        .collect()
+}
+
+/// Bucket sink writing to plain disk space (hashed R in DT-GH/CDT-GH and
+/// the per-scan assembly area of the tape–tape methods).
+struct DiskBucketSink {
+    env: JoinEnv,
+    tpb: usize,
+    /// Completed (full or final) block addresses per bucket, in order.
+    full: Vec<Vec<DiskAddr>>,
+    /// The bucket's partial tail: its address and tuple count.
+    tail: Vec<Option<(DiskAddr, usize)>>,
+}
+
+impl DiskBucketSink {
+    fn new(env: JoinEnv, plan: &GracePlan) -> Self {
+        DiskBucketSink {
+            env,
+            tpb: plan.tuples_per_block as usize,
+            full: vec![Vec::new(); plan.buckets],
+            tail: vec![None; plan.buckets],
+        }
+    }
+
+    async fn push(&mut self, flush: BucketFlush) {
+        let b = flush.bucket;
+        let mut tuples = flush.tuples;
+        // Merge with the on-disk partial tail (read-modify-write).
+        if let Some((addr, _count)) = self.tail[b].take() {
+            let old = self.env.disks.read(&[addr]).await;
+            let mut merged: Vec<Tuple> = old[0].tuples().to_vec();
+            merged.append(&mut tuples);
+            tuples = merged;
+            self.env.space.release(&[addr]);
+        }
+        let blocks = pack_blocks(tuples, self.tpb);
+        let addrs = self
+            .env
+            .space
+            .allocate(blocks.len() as u64)
+            .expect("feasibility checked: hashed relation fits on disk");
+        self.env.disks.write(&addrs, &blocks).await;
+        let last_is_partial = blocks
+            .last()
+            .is_some_and(|blk| blk.tuples().len() < self.tpb);
+        for (i, addr) in addrs.iter().enumerate() {
+            if last_is_partial && i == addrs.len() - 1 {
+                self.tail[b] = Some((*addr, blocks[i].tuples().len()));
+            } else {
+                self.full[b].push(*addr);
+            }
+        }
+    }
+
+    /// Seal all buckets: tails become final blocks.
+    fn finish(mut self) -> Vec<Vec<DiskAddr>> {
+        for (b, tail) in self.tail.iter_mut().enumerate() {
+            if let Some((addr, _)) = tail.take() {
+                self.full[b].push(addr);
+            }
+        }
+        self.full
+    }
+}
+
+/// Bucket sink writing into the double-buffered disk staging area
+/// (Step II S frames).
+struct FrameBucketSink {
+    diskbuf: DiskBuffer,
+    tpb: usize,
+    frame_idx: u64,
+    full: Vec<Vec<BufSlot>>,
+    tail: Vec<Option<BufSlot>>,
+}
+
+impl FrameBucketSink {
+    fn new(diskbuf: DiskBuffer, plan: &GracePlan, frame_idx: u64) -> Self {
+        FrameBucketSink {
+            diskbuf,
+            tpb: plan.tuples_per_block as usize,
+            frame_idx,
+            full: vec![Vec::new(); plan.buckets],
+            tail: vec![None; plan.buckets],
+        }
+    }
+
+    async fn push(&mut self, flush: BucketFlush) {
+        let b = flush.bucket;
+        let mut tuples = flush.tuples;
+        if let Some(slot) = self.tail[b].take() {
+            let old = self.diskbuf.read(&[slot]).await;
+            let mut merged: Vec<Tuple> = old[0].tuples().to_vec();
+            merged.append(&mut tuples);
+            tuples = merged;
+            self.diskbuf.free(&[slot]);
+        }
+        let blocks = pack_blocks(tuples, self.tpb);
+        let slots = self.diskbuf.write_batch(self.frame_idx, &blocks).await;
+        let last_is_partial = blocks
+            .last()
+            .is_some_and(|blk| blk.tuples().len() < self.tpb);
+        for (i, slot) in slots.iter().enumerate() {
+            if last_is_partial && i == slots.len() - 1 {
+                self.tail[b] = Some(*slot);
+            } else {
+                self.full[b].push(*slot);
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<Vec<BufSlot>> {
+        for (b, tail) in self.tail.iter_mut().enumerate() {
+            if let Some(slot) = tail.take() {
+                self.full[b].push(slot);
+            }
+        }
+        self.full
+    }
+}
+
+/// Hash relation R from tape into per-bucket runs on disk (Step I of
+/// DT-GH/CDT-GH). `overlapped` pipelines the tape read against the disk
+/// writes with a two-chunk permit scheme.
+pub async fn hash_r_to_disk(
+    env: &JoinEnv,
+    plan: &GracePlan,
+    overlapped: bool,
+) -> Vec<Vec<DiskAddr>> {
+    let seed = env.cfg.hash_seed;
+    let _grant = env
+        .mem
+        .grant(plan.input_blocks + plan.write_buffer_blocks)
+        .expect("grace plan memory within budget");
+    let mut sink = DiskBucketSink::new(env.clone(), plan);
+    let mut partitioner = Partitioner::new(*plan, seed);
+    let mut flushes = Vec::new();
+
+    if overlapped {
+        let tokens = Semaphore::new(2);
+        let (tx, mut rx) = channel::<Vec<TapeBlock>>(1);
+        let reader = {
+            let env = env.clone();
+            let tokens = tokens.clone();
+            let chunk = plan.input_blocks.max(1);
+            spawn(async move {
+                let mut pos = env.r_extent.start;
+                let end = env.r_extent.end();
+                while pos < end {
+                    tokens.acquire(1).await.forget();
+                    let n = chunk.min(end - pos);
+                    let blocks = env.drive_r.read(pos, n).await;
+                    pos += n;
+                    if tx.send(blocks).await.is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+        while let Some(tape_blocks) = rx.recv().await {
+            let mut hashed = 0u64;
+            for tb in &tape_blocks {
+                partitioner.push_block(&tb.data, &mut flushes);
+                hashed += tb.data.tuples().len() as u64;
+            }
+            env.charge_cpu(hashed).await;
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+            tokens.add_permits(1);
+        }
+        reader.join().await;
+    } else {
+        let chunk = plan.input_blocks.max(1);
+        let mut pos = env.r_extent.start;
+        let end = env.r_extent.end();
+        while pos < end {
+            let n = chunk.min(end - pos);
+            let tape_blocks = env.drive_r.read(pos, n).await;
+            pos += n;
+            let mut hashed = 0u64;
+            for tb in &tape_blocks {
+                partitioner.push_block(&tb.data, &mut flushes);
+                hashed += tb.data.tuples().len() as u64;
+            }
+            env.charge_cpu(hashed).await;
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+        }
+    }
+    partitioner.finish(&mut flushes);
+    for f in flushes.drain(..) {
+        sink.push(f).await;
+    }
+    sink.finish()
+}
+
+/// The Step II hash process: streams S from tape, partitions it, and
+/// stages each frame's buckets in the shared disk buffer.
+///
+/// In `overlapped` mode a reader task streams the tape through a
+/// two-chunk pipeline, so the tape read of the next input chunk overlaps
+/// the disk writes of the previous one (the concurrent methods); in
+/// inline mode tape and disk strictly alternate (the sequential DT-GH).
+pub struct SFrameHasher {
+    env: JoinEnv,
+    plan: GracePlan,
+    diskbuf: DiskBuffer,
+    frame_input: u64,
+    next_idx: u64,
+    input: HasherInput,
+    _grant: tapejoin_buffer::MemGrant,
+}
+
+enum HasherInput {
+    Inline {
+        pos: u64,
+        end: u64,
+        chunk: u64,
+    },
+    Piped {
+        rx: Receiver<Vec<TapeBlock>>,
+        tokens: Semaphore,
+        exhausted: bool,
+    },
+}
+
+impl SFrameHasher {
+    /// Create the hasher over the S extent. Memory for input staging and
+    /// bucket write buffers is charged here.
+    pub fn new(env: JoinEnv, plan: GracePlan, diskbuf: DiskBuffer, overlapped: bool) -> Self {
+        let grant = env
+            .mem
+            .grant(plan.input_blocks + plan.write_buffer_blocks)
+            .expect("grace plan memory within budget");
+        // With piped input, frames can overshoot their target by up to
+        // one chunk; shrink the target so a frame (+ its per-bucket
+        // tails) always fits the buffer.
+        let chunk = (plan.input_blocks / 2).max(1);
+        let base = geometry::gh_frame_input(diskbuf.slots_per_frame(), plan.buckets as u64);
+        let (frame_input, input) = if overlapped {
+            let tokens = Semaphore::new(2);
+            let (tx, rx) = channel::<Vec<TapeBlock>>(1);
+            let reader_env = env.clone();
+            let reader_tokens = tokens.clone();
+            spawn(async move {
+                let mut pos = reader_env.s_extent.start;
+                let end = reader_env.s_extent.end();
+                while pos < end {
+                    reader_tokens.acquire(1).await.forget();
+                    let n = chunk.min(end - pos);
+                    let blocks = reader_env.drive_s.read(pos, n).await;
+                    pos += n;
+                    if tx.send(blocks).await.is_err() {
+                        break;
+                    }
+                }
+            });
+            (
+                base.saturating_sub(chunk).max(1),
+                HasherInput::Piped {
+                    rx,
+                    tokens,
+                    exhausted: false,
+                },
+            )
+        } else {
+            (
+                base,
+                HasherInput::Inline {
+                    pos: env.s_extent.start,
+                    end: env.s_extent.end(),
+                    chunk: plan.input_blocks.max(1),
+                },
+            )
+        };
+        SFrameHasher {
+            env,
+            plan,
+            diskbuf,
+            frame_input,
+            next_idx: 0,
+            input,
+            _grant: grant,
+        }
+    }
+
+    /// Produce the next frame, or `None` when S is exhausted.
+    pub async fn next_frame(&mut self) -> Option<Frame> {
+        if self.input_exhausted() {
+            return None;
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let mut partitioner = Partitioner::new(self.plan, self.env.cfg.hash_seed);
+        let mut sink = FrameBucketSink::new(self.diskbuf.clone(), &self.plan, idx);
+        let mut flushes = Vec::new();
+        let mut consumed = 0u64;
+        let mut got_any = false;
+        while consumed < self.frame_input {
+            let Some(tape_blocks) = self.next_input_batch(self.frame_input - consumed).await else {
+                break;
+            };
+            got_any = true;
+            consumed += tape_blocks.len() as u64;
+            let mut hashed = 0u64;
+            for tb in &tape_blocks {
+                partitioner.push_block(&tb.data, &mut flushes);
+                hashed += tb.data.tuples().len() as u64;
+            }
+            self.env.charge_cpu(hashed).await;
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+        }
+        if !got_any {
+            return None;
+        }
+        partitioner.finish(&mut flushes);
+        for f in flushes.drain(..) {
+            sink.push(f).await;
+        }
+        Some(Frame {
+            idx,
+            per_bucket: sink.finish(),
+        })
+    }
+
+    fn input_exhausted(&self) -> bool {
+        match &self.input {
+            HasherInput::Inline { pos, end, .. } => pos >= end,
+            HasherInput::Piped { exhausted, .. } => *exhausted,
+        }
+    }
+
+    /// Fetch the next input batch. Inline mode caps the read at `want`
+    /// blocks; piped mode delivers whatever chunk the reader produced
+    /// (the frame target has been shrunk to absorb the overshoot).
+    async fn next_input_batch(&mut self, want: u64) -> Option<Vec<TapeBlock>> {
+        match &mut self.input {
+            HasherInput::Inline { pos, end, chunk } => {
+                if *pos >= *end {
+                    return None;
+                }
+                let n = (*chunk).min(*end - *pos).min(want.max(1));
+                let blocks = self.env.drive_s.read(*pos, n).await;
+                *pos += n;
+                Some(blocks)
+            }
+            HasherInput::Piped {
+                rx,
+                tokens,
+                exhausted,
+            } => {
+                if *exhausted {
+                    return None;
+                }
+                match rx.recv().await {
+                    Some(blocks) => {
+                        tokens.add_permits(1);
+                        Some(blocks)
+                    }
+                    None => {
+                        *exhausted = true;
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Join every bucket of one staged frame against the hashed R, freeing
+/// the frame's disk-buffer slots as each bucket completes.
+///
+/// Oversized R buckets (hash skew beyond the resident allowance) are
+/// processed in resident-sized chunks, re-scanning the S bucket once per
+/// extra chunk — standard overflow resolution, charged like any other I/O.
+pub async fn join_frame(
+    env: &JoinEnv,
+    plan: &GracePlan,
+    src: &RBucketSource,
+    diskbuf: &DiskBuffer,
+    frame: &Frame,
+) {
+    // With READ REVERSE available, alternate the direction the
+    // tape-resident R buckets are consumed in: odd frames walk the hashed
+    // extent backwards, so the drive never repositions between frames
+    // (§3.2: the algorithms are independent of scan direction).
+    let reverse =
+        env.cfg.use_read_reverse && matches!(src, RBucketSource::Tape(..)) && frame.idx % 2 == 1;
+    let order: Vec<usize> = if reverse {
+        (0..plan.buckets).rev().collect()
+    } else {
+        (0..plan.buckets).collect()
+    };
+    for bucket in order {
+        let slots = &frame.per_bucket[bucket];
+        debug_assert!(
+            slots.iter().all(|s| s.iter == frame.idx),
+            "frame {} holds slots from another iteration",
+            frame.idx
+        );
+        if slots.is_empty() {
+            continue;
+        }
+        let r_len = match src {
+            RBucketSource::Disk(buckets) => buckets[bucket].len() as u64,
+            RBucketSource::Tape(_, extents) => extents[bucket].len,
+        };
+        if r_len == 0 {
+            // No R data can match: drop the staged S bucket unread.
+            diskbuf.free(slots);
+            continue;
+        }
+        let resident = plan.resident_blocks;
+        let n_chunks = r_len.div_ceil(resident);
+        for ci in 0..n_chunks {
+            let lo = ci * resident;
+            let hi = (lo + resident).min(r_len);
+            let chunk_len = hi - lo;
+            // Resident R chunk + one-block S scan window.
+            let _grant = env
+                .mem
+                .grant(chunk_len + 1)
+                .expect("resident bucket chunk within memory budget");
+            let r_blocks: Vec<BlockRef> = match src {
+                RBucketSource::Disk(buckets) => {
+                    let addrs = &buckets[bucket][lo as usize..hi as usize];
+                    env.disks.read(addrs).await
+                }
+                RBucketSource::Tape(drive, extents) => {
+                    let ext = extents[bucket];
+                    let tape_blocks = if reverse {
+                        // Walk the bucket from its top end downwards.
+                        drive.read_reverse(ext.end() - lo, chunk_len).await
+                    } else {
+                        drive.read(ext.start + lo, chunk_len).await
+                    };
+                    tape_blocks.into_iter().map(|tb| tb.data).collect()
+                }
+            };
+            let table = build_table(r_blocks.iter().flat_map(|b| b.tuples().iter().copied()));
+            let last = ci + 1 == n_chunks;
+            let s_blocks = if last {
+                diskbuf.read_and_free(slots).await
+            } else {
+                diskbuf.read(slots).await
+            };
+            let mut probed = 0u64;
+            for b in &s_blocks {
+                probe_and_emit(&table, b.tuples(), &env.sink);
+                probed += b.tuples().len() as u64;
+            }
+            env.charge_cpu(probed).await;
+        }
+    }
+}
+
+/// Spawn the hash process and return the frame stream (capacity 1: the
+/// disk-buffer slots provide the real back-pressure).
+pub fn spawn_hasher(env: &JoinEnv, plan: &GracePlan, diskbuf: &DiskBuffer) -> Receiver<Frame> {
+    let (tx, rx) = channel::<Frame>(1);
+    let mut hasher = SFrameHasher::new(env.clone(), *plan, diskbuf.clone(), true);
+    spawn(async move {
+        while let Some(frame) = hasher.next_frame().await {
+            if tx.send(frame).await.is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+/// Source/destination of a tape→tape hashing pass (Step I of CTT-GH /
+/// TT-GH).
+pub struct TapeHashSpec {
+    /// Drive holding the source relation.
+    pub src_drive: TapeDrive,
+    /// Where the source relation lives.
+    pub src_extent: TapeExtent,
+    /// Drive holding the destination (may be the same drive).
+    pub dst_drive: TapeDrive,
+    /// Compressibility tag for the written stream.
+    pub compressibility: f64,
+}
+
+/// Hash a tape-resident relation onto another (or the same) tape's
+/// scratch space. Returns the per-bucket extents on the destination
+/// tape, contiguous and ascending.
+///
+/// The relation is scanned `⌈B / buckets-per-scan⌉` times; each scan
+/// assembles a range of buckets fully on disk, then appends them — bucket
+/// by bucket, in order — to the destination tape. `overlapped` pipelines
+/// the tape scan against the disk assembly writes.
+pub async fn hash_tape_to_tape(
+    env: &JoinEnv,
+    plan: &GracePlan,
+    spec: &TapeHashSpec,
+    overlapped: bool,
+) -> Vec<TapeExtent> {
+    let avg_bucket = geometry::avg_bucket_blocks(spec.src_extent.len, plan.buckets as u64);
+    let scan_plan = geometry::tt_scan_plan(env.cfg.disk_blocks, avg_bucket);
+    let _grant = env
+        .mem
+        .grant(plan.input_blocks + plan.write_buffer_blocks)
+        .expect("grace plan memory within budget");
+
+    let mut starts: Vec<Option<u64>> = vec![None; plan.buckets];
+    let mut lens: Vec<u64> = vec![0; plan.buckets];
+
+    if scan_plan.slices_per_bucket == 1 {
+        // Whole buckets: each scan assembles a range of buckets in full.
+        let bps = scan_plan.buckets_per_scan as usize;
+        for lo in (0..plan.buckets).step_by(bps) {
+            let range = lo..(lo + bps).min(plan.buckets);
+            let mut filter = ScanFilter::new(*plan, env.cfg.hash_seed, range, None);
+            one_scan(
+                env,
+                plan,
+                spec,
+                overlapped,
+                &mut filter,
+                &mut starts,
+                &mut lens,
+            )
+            .await;
+        }
+    } else {
+        // Sliced buckets: the assembly area cannot hold one bucket, so
+        // each scan collects a fixed-size window of the bucket's tuples
+        // (by arrival index — deterministic across scans and immune to
+        // duplicate-key skew). Slices are appended consecutively, so the
+        // bucket stays contiguous on the destination tape.
+        let usable = env.cfg.disk_blocks - env.cfg.disk_blocks / 4;
+        let cap_tuples = ((usable / 2).max(1) * plan.tuples_per_block as u64).max(1);
+        for b in 0..plan.buckets {
+            let mut slice = 0u64;
+            loop {
+                let window = (slice * cap_tuples, (slice + 1) * cap_tuples);
+                let mut filter = ScanFilter::new(*plan, env.cfg.hash_seed, b..b + 1, Some(window));
+                let collected = one_scan(
+                    env,
+                    plan,
+                    spec,
+                    overlapped,
+                    &mut filter,
+                    &mut starts,
+                    &mut lens,
+                )
+                .await;
+                if collected < cap_tuples {
+                    break; // bucket exhausted
+                }
+                slice += 1;
+            }
+        }
+    }
+
+    // Zero-length buckets get an empty extent at end of data.
+    let eod = spec
+        .dst_drive
+        .media()
+        .expect("destination cartridge mounted")
+        .end_of_data();
+    (0..plan.buckets)
+        .map(|b| TapeExtent {
+            start: starts[b].unwrap_or(eod),
+            len: lens[b],
+        })
+        .collect()
+}
+
+/// One end-to-end scan of the source: read, filter, assemble the admitted
+/// tuples on disk, then append the completed buckets to the destination
+/// tape. Returns the number of tuples admitted by the filter.
+async fn one_scan(
+    env: &JoinEnv,
+    plan: &GracePlan,
+    spec: &TapeHashSpec,
+    overlapped: bool,
+    filter: &mut ScanFilter,
+    starts: &mut [Option<u64>],
+    lens: &mut [u64],
+) -> u64 {
+    let range = filter.range.clone();
+    let mut sink = DiskBucketSink::new(env.clone(), plan);
+    let mut partitioner = Partitioner::new(*plan, filter.seed);
+    let mut flushes = Vec::new();
+
+    // With READ REVERSE, a scan that finds the head at the extent's end
+    // runs backwards instead of rewinding. Only whole-bucket scans may do
+    // this: slice windows select by arrival index, which must stay
+    // direction-consistent across a bucket's scans.
+    let reverse = env.cfg.use_read_reverse
+        && filter.window.is_none()
+        && spec.src_drive.position() == spec.src_extent.end()
+        && spec.src_extent.len > 0;
+
+    // Rewind (cheap, serpentine) before each forward end-to-end scan.
+    if !reverse && spec.src_drive.position() != spec.src_extent.start && spec.src_extent.start == 0
+    {
+        spec.src_drive.rewind().await;
+    }
+
+    if overlapped {
+        let tokens = Semaphore::new(2);
+        let (tx, mut rx) = channel::<Vec<TapeBlock>>(1);
+        let reader = {
+            let drive = spec.src_drive.clone();
+            let extent = spec.src_extent;
+            let tokens = tokens.clone();
+            let chunk = plan.input_blocks.max(1);
+            spawn(async move {
+                if reverse {
+                    let mut end = extent.end();
+                    while end > extent.start {
+                        tokens.acquire(1).await.forget();
+                        let n = chunk.min(end - extent.start);
+                        let blocks = drive.read_reverse(end, n).await;
+                        end -= n;
+                        if tx.send(blocks).await.is_err() {
+                            break;
+                        }
+                    }
+                } else {
+                    let mut pos = extent.start;
+                    let end = extent.end();
+                    while pos < end {
+                        tokens.acquire(1).await.forget();
+                        let n = chunk.min(end - pos);
+                        let blocks = drive.read(pos, n).await;
+                        pos += n;
+                        if tx.send(blocks).await.is_err() {
+                            break;
+                        }
+                    }
+                }
+            })
+        };
+        while let Some(tape_blocks) = rx.recv().await {
+            filter.push(&mut partitioner, &tape_blocks, &mut flushes);
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+            tokens.add_permits(1);
+        }
+        reader.join().await;
+    } else if reverse {
+        let chunk = plan.input_blocks.max(1);
+        let mut end = spec.src_extent.end();
+        while end > spec.src_extent.start {
+            let n = chunk.min(end - spec.src_extent.start);
+            let tape_blocks = spec.src_drive.read_reverse(end, n).await;
+            end -= n;
+            filter.push(&mut partitioner, &tape_blocks, &mut flushes);
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+        }
+    } else {
+        let chunk = plan.input_blocks.max(1);
+        let mut pos = spec.src_extent.start;
+        let end = spec.src_extent.end();
+        while pos < end {
+            let n = chunk.min(end - pos);
+            let tape_blocks = spec.src_drive.read(pos, n).await;
+            pos += n;
+            filter.push(&mut partitioner, &tape_blocks, &mut flushes);
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+        }
+    }
+    partitioner.finish(&mut flushes);
+    for f in flushes.drain(..) {
+        sink.push(f).await;
+    }
+    let per_bucket = sink.finish();
+
+    // Append the assembled buckets (or slices) to the destination tape in
+    // bucket order, streaming disk reads against tape writes.
+    for (b, addrs) in per_bucket.into_iter().enumerate() {
+        if !range.contains(&b) {
+            debug_assert!(addrs.is_empty(), "tuple leaked outside the scan range");
+            continue;
+        }
+        if addrs.is_empty() {
+            continue;
+        }
+        let batch = plan.input_blocks.max(1) as usize;
+        for group in addrs.chunks(batch) {
+            let blocks = env.disks.read(group).await;
+            let tape_blocks: Vec<TapeBlock> = blocks
+                .into_iter()
+                .map(|data| TapeBlock {
+                    data,
+                    compressibility: spec.compressibility,
+                })
+                .collect();
+            let ext = spec.dst_drive.append(tape_blocks).await;
+            starts[b].get_or_insert(ext.start);
+            lens[b] += ext.len;
+        }
+        env.space.release(&addrs);
+    }
+    filter.collected
+}
+
+/// Selects the tuples belonging to one scan unit: bucket inside `range`,
+/// and (when slicing) arrival index inside `window`.
+struct ScanFilter {
+    plan: GracePlan,
+    seed: u64,
+    range: Range<usize>,
+    /// Arrival-index window `[lo, hi)` within each bucket, or `None` for
+    /// whole buckets.
+    window: Option<(u64, u64)>,
+    /// Per-bucket arrival counters for this scan.
+    seen: Vec<u64>,
+    /// Tuples admitted.
+    collected: u64,
+}
+
+impl ScanFilter {
+    fn new(plan: GracePlan, seed: u64, range: Range<usize>, window: Option<(u64, u64)>) -> Self {
+        ScanFilter {
+            seen: vec![0; plan.buckets],
+            plan,
+            seed,
+            range,
+            window,
+            collected: 0,
+        }
+    }
+
+    fn push(
+        &mut self,
+        partitioner: &mut Partitioner,
+        tape_blocks: &[TapeBlock],
+        flushes: &mut Vec<BucketFlush>,
+    ) {
+        for tb in tape_blocks {
+            for &t in tb.data.tuples() {
+                let b = self.plan.bucket_of(t.key, self.seed);
+                if !self.range.contains(&b) {
+                    continue;
+                }
+                let idx = self.seen[b];
+                self.seen[b] += 1;
+                if let Some((lo, hi)) = self.window {
+                    if idx < lo || idx >= hi {
+                        continue;
+                    }
+                }
+                self.collected += 1;
+                partitioner.push(t, flushes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::env::JoinEnv;
+    use crate::requirements::resource_needs;
+    use std::rc::Rc as StdRc;
+    use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+    use tapejoin_sim::Simulation;
+
+    fn env_for(method: crate::method::JoinMethod, m: u64, d: u64, r: u64, s: u64) -> JoinEnv {
+        let cfg = StdRc::new(SystemConfig::new(m, d));
+        let w = WorkloadBuilder::new(5)
+            .r(RelationSpec::new("R", r))
+            .s(RelationSpec::new("S", s))
+            .build();
+        let needs = resource_needs(method, &cfg, r, s, 4).unwrap();
+        JoinEnv::build(cfg, &w, &needs)
+    }
+
+    /// Hashed R on disk: every tuple lands in the bucket its key hashes
+    /// to, and the total tuple count is preserved.
+    #[test]
+    fn hash_r_to_disk_partitions_exactly() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let env = env_for(crate::method::JoinMethod::CdtGh, 16, 300, 64, 128);
+            let plan = GracePlan::derive(64, 16, 4).unwrap();
+            let buckets = hash_r_to_disk(&env, &plan, true).await;
+            assert_eq!(buckets.len(), plan.buckets);
+            let mut tuples = 0u64;
+            for (b, addrs) in buckets.iter().enumerate() {
+                if addrs.is_empty() {
+                    continue;
+                }
+                let blocks = env.disks.read(addrs).await;
+                for blk in &blocks {
+                    for t in blk.tuples() {
+                        assert_eq!(plan.bucket_of(t.key, env.cfg.hash_seed), b);
+                        tuples += 1;
+                    }
+                }
+            }
+            assert_eq!(tuples, 64 * 4);
+            // Bucket runs are compact: at most one partial block each.
+            for addrs in &buckets {
+                if addrs.is_empty() {
+                    continue;
+                }
+                let blocks = env.disks.read(addrs).await;
+                let partials = blocks
+                    .iter()
+                    .filter(|b| (b.tuples().len() as u32) < env.r_tuples_per_block)
+                    .count();
+                assert!(partials <= 1, "bucket has {partials} partial blocks");
+            }
+        });
+    }
+
+    /// Tape→tape hashing leaves each bucket contiguous on the destination
+    /// tape with every tuple present exactly once.
+    #[test]
+    fn tape_hash_extents_are_contiguous_and_complete() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let env = env_for(crate::method::JoinMethod::CttGh, 16, 40, 64, 128);
+            let plan = GracePlan::derive(64, 16, 4).unwrap();
+            let spec = TapeHashSpec {
+                src_drive: env.drive_r.clone(),
+                src_extent: env.r_extent,
+                dst_drive: env.drive_r.clone(),
+                compressibility: env.r_compressibility,
+            };
+            let extents = hash_tape_to_tape(&env, &plan, &spec, true).await;
+            assert_eq!(extents.len(), plan.buckets);
+            // Extents are disjoint, ascending, and start after the source.
+            let mut nonempty: Vec<&TapeExtent> = extents.iter().filter(|e| e.len > 0).collect();
+            nonempty.sort_by_key(|e| e.start);
+            for e in &nonempty {
+                assert!(e.start >= env.r_extent.end());
+            }
+            for pair in nonempty.windows(2) {
+                assert!(
+                    pair[0].end() <= pair[1].start,
+                    "extents overlap: {:?} vs {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+            // Every source tuple appears exactly once in its bucket.
+            let mut seen = std::collections::HashSet::new();
+            for (b, ext) in extents.iter().enumerate() {
+                if ext.len == 0 {
+                    continue;
+                }
+                let blocks = env.drive_r.read(ext.start, ext.len).await;
+                for tb in &blocks {
+                    for t in tb.data.tuples() {
+                        assert_eq!(plan.bucket_of(t.key, env.cfg.hash_seed), b);
+                        assert!(seen.insert(t.rid), "tuple duplicated in hashed copy");
+                    }
+                }
+            }
+            assert_eq!(seen.len() as u64, 64 * 4);
+            // Disk assembly space is fully reclaimed.
+            assert_eq!(env.space.in_use(), 0);
+        });
+    }
+
+    /// The frame hasher respects the disk buffer capacity even with many
+    /// buckets forcing per-frame partial tails.
+    #[test]
+    fn frame_hasher_never_exceeds_buffer() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let env = env_for(crate::method::JoinMethod::CdtGh, 16, 300, 64, 256);
+            let plan = GracePlan::derive(64, 16, 4).unwrap();
+            let r_buckets = StdRc::new(hash_r_to_disk(&env, &plan, true).await);
+            let cap = env.space.free();
+            let (diskbuf, probe) = tapejoin_buffer::DiskBuffer::new(
+                tapejoin_buffer::DiskBufKind::Interleaved,
+                cap,
+                env.disks.clone(),
+                env.space.clone(),
+            )
+            .with_probe();
+            let src = RBucketSource::Disk(r_buckets);
+            let mut hasher = SFrameHasher::new(env.clone(), plan, diskbuf.clone(), false);
+            let mut frames = 0;
+            while let Some(frame) = hasher.next_frame().await {
+                join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+                frames += 1;
+            }
+            assert!(frames >= 1);
+            assert!(probe.total.max_value() <= cap as f64 + 0.5);
+            // Everything staged was drained.
+            assert_eq!(probe.total.points().last().unwrap().value, 0.0);
+        });
+    }
+}

@@ -1,0 +1,40 @@
+//! The seven tertiary join methods (paper §5), written as async processes
+//! over the simulated machine.
+//!
+//! Each method is an `async fn run(env: JoinEnv) -> MethodResult`. Inside,
+//! every tape read, disk transfer and buffer handoff is awaited, so the
+//! method's structure *is* its timing model: sequential methods await
+//! operations inline, concurrent methods spawn producer/consumer tasks
+//! whose I/O overlaps across devices in virtual time.
+
+pub(crate) mod common;
+pub(crate) mod grace;
+
+mod cdt_gh;
+mod cdt_nb_db;
+mod cdt_nb_mb;
+mod ctt_gh;
+mod dt_gh;
+mod dt_nb;
+mod tt_gh;
+
+pub use common::MethodResult;
+
+use crate::env::JoinEnv;
+use crate::method::JoinMethod;
+
+/// Execute `method` against the environment. The environment must already
+/// satisfy the method's resource requirements (see
+/// [`crate::requirements::resource_needs`]); violations panic, they do not
+/// silently degrade.
+pub async fn run_method(method: JoinMethod, env: JoinEnv) -> MethodResult {
+    match method {
+        JoinMethod::DtNb => dt_nb::run(env).await,
+        JoinMethod::CdtNbMb => cdt_nb_mb::run(env).await,
+        JoinMethod::CdtNbDb => cdt_nb_db::run(env).await,
+        JoinMethod::DtGh => dt_gh::run(env).await,
+        JoinMethod::CdtGh => cdt_gh::run(env).await,
+        JoinMethod::CttGh => ctt_gh::run(env).await,
+        JoinMethod::TtGh => tt_gh::run(env).await,
+    }
+}

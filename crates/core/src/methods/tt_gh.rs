@@ -1,0 +1,92 @@
+//! Tape–Tape Grace Hash Join (TT-GH), §5.2.2 — sequential.
+//!
+//! Step I hashes R onto the *S tape* (eliminating seeks between source
+//! and destination on one tape) and then hashes S onto the *R tape*, each
+//! in `⌈·/buckets-per-scan⌉` end-to-end scans. This is the "high setup
+//! cost … rules it out of the competition for very large |R|" method: it
+//! re-reads all of S once per S-hashing scan. Step II streams the two
+//! bucket sequences — R buckets from the S tape into memory, S buckets
+//! from the R tape past them — with no overlap (the sequential variant).
+
+use crate::env::JoinEnv;
+use crate::hash::GracePlan;
+use crate::methods::common::{step1_marker, MethodResult};
+use crate::methods::grace::{hash_tape_to_tape, TapeHashSpec};
+use crate::output::{build_table, probe_and_emit};
+
+pub(crate) async fn run(env: JoinEnv) -> MethodResult {
+    let plan = GracePlan::derive_with_target(
+        env.r_blocks(),
+        env.cfg.memory_blocks,
+        env.r_tuples_per_block,
+        env.cfg.grace_fill_target,
+    )
+    .expect("feasibility checked before dispatch");
+
+    // Step I(a): hash R onto the S tape.
+    let r_spec = TapeHashSpec {
+        src_drive: env.drive_r.clone(),
+        src_extent: env.r_extent,
+        dst_drive: env.drive_s.clone(),
+        compressibility: env.r_compressibility,
+    };
+    let r_extents = hash_tape_to_tape(&env, &plan, &r_spec, false).await;
+
+    // Step I(b): hash S onto the R tape.
+    let s_spec = TapeHashSpec {
+        src_drive: env.drive_s.clone(),
+        src_extent: env.s_extent,
+        dst_drive: env.drive_r.clone(),
+        compressibility: env.s_compressibility,
+    };
+    let s_extents = hash_tape_to_tape(&env, &plan, &s_spec, false).await;
+    let step1_done = step1_marker();
+
+    // Step II: bucket-wise merge of the two hashed tapes. Buckets are
+    // stored in the same order on both tapes, so both drives move
+    // strictly forward.
+    for b in 0..plan.buckets {
+        let r_ext = r_extents[b];
+        let s_ext = s_extents[b];
+        if r_ext.len == 0 || s_ext.len == 0 {
+            continue;
+        }
+        let resident = plan.resident_blocks;
+        let n_chunks = r_ext.len.div_ceil(resident);
+        for ci in 0..n_chunks {
+            let lo = ci * resident;
+            let hi = (lo + resident).min(r_ext.len);
+            let _grant = env
+                .mem
+                .grant(hi - lo + 1)
+                .expect("resident bucket chunk within memory budget");
+            // R bucket chunk comes from the S tape.
+            let r_blocks = env.drive_s.read(r_ext.start + lo, hi - lo).await;
+            let table = build_table(
+                r_blocks
+                    .iter()
+                    .flat_map(|tb| tb.data.tuples().iter().copied()),
+            );
+            // Stream the S bucket from the R tape.
+            let mut pos = s_ext.start;
+            let end = s_ext.end();
+            let chunk = plan.input_blocks.max(1);
+            while pos < end {
+                let n = chunk.min(end - pos);
+                let s_blocks = env.drive_r.read(pos, n).await;
+                pos += n;
+                let mut probed = 0u64;
+                for tb in &s_blocks {
+                    probe_and_emit(&table, tb.data.tuples(), &env.sink);
+                    probed += tb.data.tuples().len() as u64;
+                }
+                env.charge_cpu(probed).await;
+            }
+        }
+    }
+
+    MethodResult {
+        step1_done,
+        probe: None,
+    }
+}

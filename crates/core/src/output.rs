@@ -1,0 +1,293 @@
+//! Join output handling.
+//!
+//! Per the paper's cost model (§3.2), the query output is normally
+//! pipelined to a consumer that keeps up with the output rate, so
+//! emitting results costs no I/O time ([`OutputMode::Pipelined`]). "A
+//! natural case where the output cost is more likely to affect the input
+//! cost is when the join method is required to store the query output
+//! locally on disk. The resulting disk writes reduce the bandwidth
+//! available for reads on the disk(s) involved" —
+//! [`OutputMode::LocalDisk`] models exactly that: result pairs are packed
+//! into blocks and written to the disk array by a background task,
+//! competing with the join's own I/O on the same devices.
+//!
+//! In both modes the sink accumulates the result cardinality and an
+//! order-independent digest for verification against the reference join.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use tapejoin_rel::{Block, BlockRef, JoinCheck, Tuple};
+use tapejoin_sim::sync::Notify;
+use tapejoin_sim::{spawn, JoinHandle};
+
+use tapejoin_disk::{DiskArray, SpaceManager};
+
+/// What happens to the join's result stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// Pipelined to a downstream consumer at no I/O cost (the paper's
+    /// default assumption).
+    #[default]
+    Pipelined,
+    /// Materialized on the local disks, sharing their bandwidth with the
+    /// join's own reads and writes.
+    LocalDisk,
+}
+
+/// Disk-materialization state for [`OutputMode::LocalDisk`].
+struct LocalStage {
+    /// Result tuples not yet packed into a full block. A result pair is
+    /// two tuples wide, so output density is half the input density.
+    pending: RefCell<Vec<Tuple>>,
+    /// Packed blocks awaiting the writer task.
+    queue: RefCell<VecDeque<BlockRef>>,
+    /// Wakes the writer task.
+    notify: Notify,
+    /// Set when the join has finished emitting.
+    closed: Cell<bool>,
+    /// Tuples per output block.
+    tuples_per_block: usize,
+    /// The background writer, joined by [`OutputSink::finish`].
+    writer: RefCell<Option<JoinHandle<u64>>>,
+}
+
+/// Join-output sink. Cheap to clone (shared handle).
+#[derive(Clone, Default)]
+pub struct OutputSink {
+    check: Rc<RefCell<JoinCheck>>,
+    stage: Option<Rc<LocalStage>>,
+}
+
+impl OutputSink {
+    /// A pipelined sink (no output I/O).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink that materializes the output on `disks`, in blocks of
+    /// `tuples_per_block` tuples, using `space` for placement (output
+    /// space is accounted separately from the join's `D` quota, as the
+    /// paper treats it). Must be created inside a running simulation —
+    /// it spawns the writer task.
+    pub fn local_disk(disks: DiskArray, space: SpaceManager, tuples_per_block: u32) -> Self {
+        let stage = Rc::new(LocalStage {
+            pending: RefCell::new(Vec::new()),
+            queue: RefCell::new(VecDeque::new()),
+            notify: Notify::new(),
+            closed: Cell::new(false),
+            tuples_per_block: (tuples_per_block as usize).max(1),
+            writer: RefCell::new(None),
+        });
+        let writer = spawn(Self::writer_task(Rc::clone(&stage), disks, space));
+        *stage.writer.borrow_mut() = Some(writer);
+        OutputSink {
+            check: Rc::new(RefCell::new(JoinCheck::default())),
+            stage: Some(stage),
+        }
+    }
+
+    /// Emit one result pair (R tuple, S tuple).
+    pub fn emit(&self, r: Tuple, s: Tuple) {
+        self.check.borrow_mut().add_pair(r, s);
+        if let Some(stage) = &self.stage {
+            let mut pending = stage.pending.borrow_mut();
+            pending.push(r);
+            pending.push(s);
+            while pending.len() >= stage.tuples_per_block {
+                let block: Vec<Tuple> = pending.drain(..stage.tuples_per_block).collect();
+                stage
+                    .queue
+                    .borrow_mut()
+                    .push_back(Rc::new(Block::new(block)));
+                stage.notify.notify_one();
+            }
+        }
+    }
+
+    /// Current accumulated check value.
+    pub fn check(&self) -> JoinCheck {
+        *self.check.borrow()
+    }
+
+    /// Close the result stream and wait for any materialization to
+    /// drain. Returns the number of output blocks written to disk
+    /// (zero when pipelined).
+    pub async fn finish(&self) -> u64 {
+        let Some(stage) = &self.stage else {
+            return 0;
+        };
+        // Flush the final partial block.
+        {
+            let mut pending = stage.pending.borrow_mut();
+            if !pending.is_empty() {
+                let block: Vec<Tuple> = pending.drain(..).collect();
+                stage
+                    .queue
+                    .borrow_mut()
+                    .push_back(Rc::new(Block::new(block)));
+            }
+        }
+        stage.closed.set(true);
+        stage.notify.notify_one();
+        let writer = stage
+            .writer
+            .borrow_mut()
+            .take()
+            .expect("OutputSink::finish called twice");
+        writer.join().await
+    }
+
+    async fn writer_task(stage: Rc<LocalStage>, disks: DiskArray, space: SpaceManager) -> u64 {
+        let mut written = 0u64;
+        loop {
+            // Drain in multi-block requests (the output is sequential).
+            loop {
+                let batch: Vec<BlockRef> = {
+                    let mut q = stage.queue.borrow_mut();
+                    let n = q.len().min(32);
+                    q.drain(..n).collect()
+                };
+                if batch.is_empty() {
+                    break;
+                }
+                let addrs = space
+                    .allocate(batch.len() as u64)
+                    .expect("output space manager is unbounded");
+                disks.write(&addrs, &batch).await;
+                written += batch.len() as u64;
+            }
+            if stage.closed.get() && stage.queue.borrow().is_empty() {
+                return written;
+            }
+            stage.notify.notified().await;
+        }
+    }
+}
+
+/// Probe every tuple of `s_tuples` against a prebuilt R-side hash table,
+/// emitting matches. This is the inner loop shared by every join method;
+/// CPU time is not charged (the paper's I/O-bound assumption).
+pub fn probe_and_emit(
+    table: &std::collections::HashMap<u64, Vec<Tuple>>,
+    s_tuples: &[Tuple],
+    sink: &OutputSink,
+) {
+    for &s in s_tuples {
+        if let Some(rs) = table.get(&s.key) {
+            for &r in rs {
+                sink.emit(r, s);
+            }
+        }
+    }
+}
+
+/// Probe every tuple of `r_tuples` against a table built over an S chunk
+/// (the nested-block direction: the S chunk is memory-resident and R is
+/// streamed past it), emitting `(r, s)` pairs.
+pub fn probe_r_against_s_table(
+    s_table: &std::collections::HashMap<u64, Vec<Tuple>>,
+    r_tuples: &[Tuple],
+    sink: &OutputSink,
+) {
+    for &r in r_tuples {
+        if let Some(ss) = s_table.get(&r.key) {
+            for &s in ss {
+                sink.emit(r, s);
+            }
+        }
+    }
+}
+
+/// Build the R-side hash table for [`probe_and_emit`].
+pub fn build_table(
+    r_tuples: impl IntoIterator<Item = Tuple>,
+) -> std::collections::HashMap<u64, Vec<Tuple>> {
+    let mut table: std::collections::HashMap<u64, Vec<Tuple>> = std::collections::HashMap::new();
+    for t in r_tuples {
+        table.entry(t.key).or_default().push(t);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapejoin_disk::{ArrayMode, DiskModel};
+    use tapejoin_sim::{now, Simulation};
+
+    #[test]
+    fn sink_accumulates_pairs() {
+        let sink = OutputSink::new();
+        let r = Tuple::new(4, 0);
+        let s = Tuple::new(4, 1);
+        sink.emit(r, s);
+        sink.emit(r, s);
+        assert_eq!(sink.check().pairs, 2);
+    }
+
+    #[test]
+    fn probe_emits_all_matches() {
+        let sink = OutputSink::new();
+        let table = build_table(vec![Tuple::new(2, 0), Tuple::new(2, 1), Tuple::new(4, 2)]);
+        probe_and_emit(
+            &table,
+            &[Tuple::new(2, 10), Tuple::new(3, 11), Tuple::new(4, 12)],
+            &sink,
+        );
+        assert_eq!(sink.check().pairs, 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sink = OutputSink::new();
+        let sink2 = sink.clone();
+        sink2.emit(Tuple::new(1, 0), Tuple::new(1, 1));
+        assert_eq!(sink.check().pairs, 1);
+    }
+
+    #[test]
+    fn local_disk_materializes_and_charges_time() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let disks = DiskArray::new(DiskModel::ideal(1e6), 1, 1 << 16, ArrayMode::Aggregate);
+            let space = SpaceManager::new(1, u64::MAX / 2);
+            let sink = OutputSink::local_disk(disks.clone(), space, 4);
+            // 10 pairs = 20 tuples = 5 full blocks.
+            for i in 0..10u64 {
+                sink.emit(Tuple::new(i, i), Tuple::new(i, 100 + i));
+            }
+            let written = sink.finish().await;
+            assert_eq!(written, 5);
+            assert_eq!(disks.stats().blocks_written, 5);
+            // 5 blocks of 64 KiB at 1 MB/s.
+            assert!((now().as_secs_f64() - 5.0 * 65536.0 / 1e6).abs() < 1e-6);
+            assert_eq!(sink.check().pairs, 10);
+        });
+    }
+
+    #[test]
+    fn local_disk_flushes_partial_final_block() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let disks = DiskArray::new(DiskModel::ideal(1e6), 1, 1 << 16, ArrayMode::Aggregate);
+            let space = SpaceManager::new(1, u64::MAX / 2);
+            let sink = OutputSink::local_disk(disks, space, 4);
+            sink.emit(Tuple::new(1, 0), Tuple::new(1, 1)); // 2 tuples < 4
+            let written = sink.finish().await;
+            assert_eq!(written, 1);
+        });
+    }
+
+    #[test]
+    fn pipelined_finish_is_free() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sink = OutputSink::new();
+            sink.emit(Tuple::new(1, 0), Tuple::new(1, 1));
+            assert_eq!(sink.finish().await, 0);
+            assert_eq!(now().as_nanos(), 0);
+        });
+    }
+}

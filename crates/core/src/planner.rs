@@ -1,0 +1,136 @@
+//! Method selection: the conclusions of the paper's §10 as an algorithm.
+//!
+//! Given a configuration and relation sizes, the planner enumerates the
+//! feasible methods (Table 2) and picks the one with the lowest expected
+//! response time under the analytic model. The paper's qualitative
+//! guidance falls out: CDT-NB at large memory, CDT-GH with ample disk but
+//! little memory, CTT-GH when `D ≲ |R|`.
+
+use crate::cost::{expected_response, CostParams};
+use crate::error::JoinError;
+use crate::method::JoinMethod;
+
+/// One planner candidate.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The method.
+    pub method: JoinMethod,
+    /// Expected response time in seconds (analytic model).
+    pub expected_seconds: f64,
+}
+
+/// Rank every feasible method, cheapest first. Empty if nothing is
+/// feasible.
+pub fn rank_methods(p: &CostParams) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = JoinMethod::ALL
+        .iter()
+        .filter_map(|&method| {
+            expected_response(method, p)
+                .ok()
+                .map(|expected_seconds| Candidate {
+                    method,
+                    expected_seconds,
+                })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.expected_seconds
+            .partial_cmp(&b.expected_seconds)
+            .expect("finite costs")
+    });
+    out
+}
+
+/// Pick the cheapest feasible method.
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin::cost::CostParams;
+/// use tapejoin::planner::choose_method;
+/// use tapejoin::{JoinMethod, SystemConfig};
+///
+/// // Tight disk (D < |R|): only the tape-tape methods fit, and CTT-GH
+/// // wins — the paper's §10 conclusion.
+/// let cfg = SystemConfig::new(64, 800);
+/// let p = CostParams::from_config(&cfg, 1600, 16_000, 0.25);
+/// assert_eq!(choose_method(&p).unwrap().method, JoinMethod::CttGh);
+/// ```
+pub fn choose_method(p: &CostParams) -> Result<Candidate, JoinError> {
+    rank_methods(p)
+        .into_iter()
+        .next()
+        .ok_or(JoinError::NoFeasibleMethod)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(r_mb: f64, s_mb: f64, m_mb: f64, d_mb: f64) -> CostParams {
+        let block = 64 * 1024;
+        let to_blocks = |mb: f64| ((mb * 1e6) / block as f64).ceil() as u64;
+        CostParams {
+            r_blocks: to_blocks(r_mb),
+            s_blocks: to_blocks(s_mb),
+            memory: to_blocks(m_mb).max(2),
+            disk: to_blocks(d_mb),
+            block_bytes: block,
+            tape_rate: 2.0e6,
+            disk_rate: 4.0e6,
+            r_tuples_per_block: 4,
+            tape_reposition_s: 15.0,
+        }
+    }
+
+    #[test]
+    fn large_memory_prefers_nested_block() {
+        // Most of R fits in memory: CDT-NB/MB "yields very good
+        // performance when a large fraction of the smaller relation fits
+        // in memory" (§10).
+        let p = params(18.0, 1000.0, 16.0, 50.0);
+        let best = choose_method(&p).unwrap();
+        assert!(
+            matches!(best.method, JoinMethod::CdtNbMb | JoinMethod::CdtNbDb),
+            "picked {}",
+            best.method
+        );
+    }
+
+    #[test]
+    fn small_memory_ample_disk_prefers_cdt_gh() {
+        let p = params(18.0, 1000.0, 2.0, 60.0);
+        let best = choose_method(&p).unwrap();
+        assert_eq!(best.method, JoinMethod::CdtGh, "picked {}", best.method);
+    }
+
+    #[test]
+    fn tight_disk_prefers_ctt_gh() {
+        // D < |R|: only the tape-tape methods are feasible, and CTT-GH
+        // beats TT-GH.
+        let p = params(100.0, 1000.0, 4.0, 20.0);
+        let best = choose_method(&p).unwrap();
+        assert_eq!(best.method, JoinMethod::CttGh);
+    }
+
+    #[test]
+    fn nothing_feasible_is_an_error() {
+        // Memory below every method's floor.
+        let mut p = params(100.0, 1000.0, 4.0, 20.0);
+        p.memory = 1;
+        assert!(matches!(
+            choose_method(&p),
+            Err(JoinError::NoFeasibleMethod)
+        ));
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_feasible_only() {
+        let p = params(18.0, 1000.0, 8.0, 50.0);
+        let ranked = rank_methods(&p);
+        assert!(!ranked.is_empty());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].expected_seconds <= pair[1].expected_seconds);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Table 2: resource requirements of the tertiary join methods, and
+//! feasibility checking.
+//!
+//! The paper's Table 2 gives the storage-space character of each method
+//! symbolically (`M`, `D`, `T_R`, `T_S`). This module computes the
+//! concrete requirement for a given configuration, including the
+//! block-quantization slack an executable system needs (up to one partial
+//! block per hash bucket), and refuses infeasible configurations with a
+//! specific reason.
+
+use crate::config::SystemConfig;
+use crate::error::JoinError;
+use crate::geometry;
+use crate::hash::GracePlan;
+use crate::method::JoinMethod;
+
+/// Concrete resource requirement of one method on one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceNeeds {
+    /// Main memory blocks required (≤ `M` when feasible).
+    pub memory: u64,
+    /// Disk blocks required (≤ `D` when feasible).
+    pub disk: u64,
+    /// Scratch blocks required on the R tape (`T_R`).
+    pub tape_r_scratch: u64,
+    /// Scratch blocks required on the S tape (`T_S`).
+    pub tape_s_scratch: u64,
+}
+
+/// Compute what `method` needs for relations of `r_blocks`/`s_blocks`
+/// under the configuration, or explain why it cannot run.
+pub fn resource_needs(
+    method: JoinMethod,
+    cfg: &SystemConfig,
+    r_blocks: u64,
+    s_blocks: u64,
+    r_tuples_per_block: u32,
+) -> Result<ResourceNeeds, JoinError> {
+    let m = cfg.memory_blocks;
+    let d = cfg.disk_blocks;
+    let infeasible = |reason: String| JoinError::Infeasible { method, reason };
+
+    let grace_plan = || -> Result<GracePlan, JoinError> {
+        GracePlan::derive_with_target(r_blocks, m, r_tuples_per_block, cfg.grace_fill_target)
+            .map_err(&infeasible)
+    };
+
+    let needs = match method {
+        JoinMethod::DtNb => {
+            if m < 2 {
+                return Err(infeasible(format!("needs M ≥ 2 blocks, have {m}")));
+            }
+            ResourceNeeds {
+                memory: m.min(geometry::nb_r_scan_blocks(m) + geometry::dt_nb_chunk(m)),
+                disk: r_blocks,
+                tape_r_scratch: 0,
+                tape_s_scratch: 0,
+            }
+        }
+        JoinMethod::CdtNbMb => {
+            if m < 3 {
+                return Err(infeasible(format!(
+                    "needs M ≥ 3 blocks (R scan + two S buffers), have {m}"
+                )));
+            }
+            ResourceNeeds {
+                // Step II needs M_R + 2·M_S; the overlapped Step I copy
+                // uses two M/2 transfer buffers — whichever is larger.
+                memory: (geometry::nb_r_scan_blocks(m) + 2 * geometry::cdt_nb_mb_chunk(m))
+                    .max(2 * (m / 2)),
+                disk: r_blocks,
+                tape_r_scratch: 0,
+                tape_s_scratch: 0,
+            }
+        }
+        JoinMethod::CdtNbDb => {
+            if m < 2 {
+                return Err(infeasible(format!("needs M ≥ 2 blocks, have {m}")));
+            }
+            let chunk = geometry::cdt_nb_db_chunk(m);
+            ResourceNeeds {
+                memory: (geometry::nb_r_scan_blocks(m) + chunk).max(2 * (m / 2)),
+                disk: r_blocks + chunk,
+                tape_r_scratch: 0,
+                tape_s_scratch: 0,
+            }
+        }
+        JoinMethod::DtGh | JoinMethod::CdtGh => {
+            let plan = grace_plan()?;
+            let b = plan.buckets as u64;
+            // Hashed R on disk: |R| plus up to one partial block per
+            // bucket; the S buffer needs room for one frame including its
+            // own partials.
+            let disk_need = r_blocks + b + (b + 1);
+            if d < disk_need {
+                return Err(infeasible(format!(
+                    "needs D ≥ |R| + 2B + 1 = {disk_need} blocks \
+                     ({r_blocks} for hashed R, {b} partial-block slack, {} S-buffer), have {d}",
+                    b + 1
+                )));
+            }
+            ResourceNeeds {
+                memory: plan.total_memory(),
+                // Table 2: D = |R| + |S_i| — the method dedicates all
+                // remaining disk to the S frame buffer by design.
+                disk: d,
+                tape_r_scratch: 0,
+                tape_s_scratch: 0,
+            }
+        }
+        JoinMethod::CttGh => {
+            let plan = grace_plan()?;
+            let b = plan.buckets as u64;
+            // Disk is an assembly area in Step I (oversized buckets are
+            // sliced across extra scans, so a small floor suffices) and
+            // the S frame buffer in Step II (≥ B partials + 1).
+            let disk_need = (b + 2).max(8).min(d.max(8));
+            let avg_r = crate::geometry::avg_bucket_blocks(r_blocks, b);
+            let slices_r = crate::geometry::tt_scan_plan(d.max(disk_need), avg_r).slices_per_bucket;
+            if d < disk_need {
+                return Err(infeasible(format!(
+                    "needs D ≥ {disk_need} blocks (bucket assembly area / S frame buffer), have {d}"
+                )));
+            }
+            ResourceNeeds {
+                memory: plan.total_memory(),
+                disk: disk_need, // minimum; the method uses all of D for buffering S
+                tape_r_scratch: r_blocks + b * slices_r,
+                tape_s_scratch: 0,
+            }
+        }
+        JoinMethod::TtGh => {
+            let plan = grace_plan()?;
+            let b = plan.buckets as u64;
+            // The disk is only a bucket assembly area; oversized buckets
+            // are sliced across extra scans, so Table 2's "any" holds
+            // down to a small floor.
+            let disk_need = 8;
+            let avg_r = crate::geometry::avg_bucket_blocks(r_blocks, b);
+            let avg_s = crate::geometry::avg_bucket_blocks(s_blocks, b);
+            let slices_r = crate::geometry::tt_scan_plan(d.max(disk_need), avg_r).slices_per_bucket;
+            let slices_s = crate::geometry::tt_scan_plan(d.max(disk_need), avg_s).slices_per_bucket;
+            if d < disk_need {
+                return Err(infeasible(format!(
+                    "needs D ≥ {disk_need} blocks (bucket assembly area), have {d}"
+                )));
+            }
+            ResourceNeeds {
+                memory: plan.total_memory(),
+                disk: disk_need,
+                tape_r_scratch: s_blocks + b * slices_s,
+                tape_s_scratch: r_blocks + b * slices_r,
+            }
+        }
+    };
+
+    if needs.memory > m {
+        return Err(infeasible(format!(
+            "needs {} blocks of memory, have {m}",
+            needs.memory
+        )));
+    }
+    if needs.disk > d {
+        return Err(infeasible(format!(
+            "needs {} blocks of disk, have {d}",
+            needs.disk
+        )));
+    }
+    if let Some(tr) = cfg.tape_r_scratch {
+        if needs.tape_r_scratch > tr {
+            return Err(infeasible(format!(
+                "needs {} blocks of R-tape scratch, have {tr}",
+                needs.tape_r_scratch
+            )));
+        }
+    }
+    if let Some(ts) = cfg.tape_s_scratch {
+        if needs.tape_s_scratch > ts {
+            return Err(infeasible(format!(
+                "needs {} blocks of S-tape scratch, have {ts}",
+                needs.tape_s_scratch
+            )));
+        }
+    }
+    Ok(needs)
+}
+
+/// Render Table 2 symbolically (used by the `table2` experiment binary).
+pub fn table2_symbolic() -> Vec<(
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+)> {
+    vec![
+        ("DT-NB", "|Si|", "|R|", "0", "0"),
+        ("CDT-NB/MB", "2|Si|", "|R|", "0", "0"),
+        ("CDT-NB/DB", "|Si|", "|R|+|Si|", "0", "0"),
+        ("DT-GH", "sqrt(|R|)", "|R|+|Si|", "0", "0"),
+        ("CDT-GH", "sqrt(|R|)", "|R|+|Si|", "0", "0"),
+        ("CTT-GH", "sqrt(|R|)", "|Si|", "|R|", "0"),
+        ("TT-GH", "sqrt(|R|)", "any", "|S|", "|R|"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(m: u64, d: u64) -> SystemConfig {
+        SystemConfig::new(m, d)
+    }
+
+    #[test]
+    fn disk_tape_methods_need_r_on_disk() {
+        // |R| = 100 blocks, D = 50: every disk-tape method refuses.
+        for method in [
+            JoinMethod::DtNb,
+            JoinMethod::CdtNbMb,
+            JoinMethod::CdtNbDb,
+            JoinMethod::DtGh,
+            JoinMethod::CdtGh,
+        ] {
+            let err = resource_needs(method, &cfg(32, 50), 100, 1000, 4).unwrap_err();
+            assert!(
+                matches!(err, JoinError::Infeasible { .. }),
+                "{method} should be infeasible"
+            );
+        }
+        // Tape-tape methods run fine with D < |R|.
+        for method in [JoinMethod::CttGh, JoinMethod::TtGh] {
+            assert!(
+                resource_needs(method, &cfg(32, 50), 100, 1000, 4).is_ok(),
+                "{method} should be feasible"
+            );
+        }
+    }
+
+    #[test]
+    fn grace_needs_sqrt_r_memory() {
+        // |R| = 900 blocks: sqrt = 30.
+        for method in [
+            JoinMethod::DtGh,
+            JoinMethod::CdtGh,
+            JoinMethod::CttGh,
+            JoinMethod::TtGh,
+        ] {
+            assert!(resource_needs(method, &cfg(29, 5000), 900, 9000, 4).is_err());
+            assert!(resource_needs(method, &cfg(30, 5000), 900, 9000, 4).is_ok());
+        }
+        // NB methods have no sqrt bound.
+        assert!(resource_needs(JoinMethod::DtNb, &cfg(8, 5000), 900, 9000, 4).is_ok());
+    }
+
+    #[test]
+    fn tape_scratch_requirements_follow_table_2() {
+        let ctt = resource_needs(JoinMethod::CttGh, &cfg(32, 100), 200, 2000, 4).unwrap();
+        assert!(ctt.tape_r_scratch >= 200);
+        assert_eq!(ctt.tape_s_scratch, 0);
+
+        let tt = resource_needs(JoinMethod::TtGh, &cfg(32, 100), 200, 2000, 4).unwrap();
+        assert!(tt.tape_r_scratch >= 2000); // |S| on the R tape
+        assert!(tt.tape_s_scratch >= 200); // |R| on the S tape
+    }
+
+    #[test]
+    fn scratch_caps_are_enforced() {
+        let limited = cfg(32, 100).tape_r_scratch(10);
+        let err = resource_needs(JoinMethod::CttGh, &limited, 200, 2000, 4).unwrap_err();
+        assert!(matches!(err, JoinError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn symbolic_table_covers_all_methods_in_order() {
+        let rows = table2_symbolic();
+        assert_eq!(rows.len(), JoinMethod::ALL.len());
+        for (row, method) in rows.iter().zip(JoinMethod::ALL) {
+            assert_eq!(row.0, method.abbrev());
+        }
+        // Table 2's diagonal: DT-NB needs the most memory class, TT-GH
+        // the most tape.
+        assert_eq!(rows[0].1, "|Si|");
+        assert_eq!(rows[6].4, "|R|");
+    }
+
+    #[test]
+    fn memory_requirement_never_exceeds_m_when_ok() {
+        for method in JoinMethod::ALL {
+            if let Ok(needs) = resource_needs(method, &cfg(64, 10_000), 500, 5000, 4) {
+                assert!(needs.memory <= 64, "{method} claims more memory than M");
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Join execution statistics.
+
+use tapejoin_buffer::UtilizationProbe;
+use tapejoin_disk::DiskStats;
+use tapejoin_rel::JoinCheck;
+use tapejoin_sim::{ActivityLog, Duration};
+use tapejoin_tape::TapeStats;
+
+use crate::method::JoinMethod;
+
+/// Everything measured about one join execution.
+#[derive(Clone)]
+pub struct JoinStats {
+    /// The method that ran.
+    pub method: JoinMethod,
+    /// Total response time (Step I + Step II).
+    pub response: Duration,
+    /// Duration of the setup phase (Step I).
+    pub step1: Duration,
+    /// R-drive statistics.
+    pub tape_r: TapeStats,
+    /// S-drive statistics.
+    pub tape_s: TapeStats,
+    /// Disk array statistics (Figure 7's traffic metric).
+    pub disk: DiskStats,
+    /// Peak main-memory blocks in use (validates Table 2 / Figure 6).
+    pub mem_peak: u64,
+    /// Peak disk blocks in use (validates Table 2 / Figure 6).
+    pub disk_peak: u64,
+    /// Verified join output (cardinality + digest).
+    pub output: JoinCheck,
+    /// Result blocks materialized to disk (0 when output is pipelined).
+    pub output_blocks: u64,
+    /// Disk-buffer occupancy traces, when the method staged `S` through a
+    /// double-buffered disk region (Figure 4).
+    pub buffer_probe: Option<UtilizationProbe>,
+    /// Per-device busy intervals, when timeline recording was enabled.
+    pub timeline: Option<DeviceTimeline>,
+}
+
+/// Busy intervals for each device of the simulated machine.
+#[derive(Clone)]
+pub struct DeviceTimeline {
+    /// The R tape drive's activity.
+    pub tape_r: ActivityLog,
+    /// The S tape drive's activity.
+    pub tape_s: ActivityLog,
+    /// The disk array's activity.
+    pub disks: ActivityLog,
+}
+
+impl JoinStats {
+    /// Response time relative to some baseline duration (the paper's
+    /// "relative cost": response / bare read time).
+    pub fn relative_to(&self, baseline: Duration) -> f64 {
+        assert!(!baseline.is_zero(), "baseline duration must be positive");
+        self.response.as_secs_f64() / baseline.as_secs_f64()
+    }
+
+    /// The paper's "join overhead": how much longer than `optimum` (the
+    /// bare transfer time of S) the join took, as a fraction.
+    pub fn overhead_vs(&self, optimum: Duration) -> f64 {
+        self.relative_to(optimum) - 1.0
+    }
+}
+
+impl std::fmt::Debug for JoinStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinStats")
+            .field("method", &self.method)
+            .field("response", &self.response)
+            .field("step1", &self.step1)
+            .field("pairs", &self.output.pairs)
+            .field("mem_peak", &self.mem_peak)
+            .field("disk_peak", &self.disk_peak)
+            .field("disk_traffic", &self.disk.traffic())
+            .finish()
+    }
+}

@@ -1,0 +1,200 @@
+//! Behavioural tests for the core crate: cost-model properties, planner
+//! coherence, statistics accounting and configuration validation.
+
+use tapejoin::cost::{expected_response, expected_times, CostParams};
+use tapejoin::planner::{choose_method, rank_methods};
+use tapejoin::{JoinError, JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+fn params(r: u64, s: u64, m: u64, d: u64) -> CostParams {
+    CostParams {
+        r_blocks: r,
+        s_blocks: s,
+        memory: m,
+        disk: d,
+        block_bytes: 64 * 1024,
+        tape_rate: 2.0e6,
+        disk_rate: 4.0e6,
+        r_tuples_per_block: 4,
+        tape_reposition_s: 0.0,
+    }
+}
+
+#[test]
+fn cost_is_monotone_in_s() {
+    for method in JoinMethod::ALL {
+        let small = expected_response(method, &params(100, 500, 32, 400)).unwrap();
+        let large = expected_response(method, &params(100, 2000, 32, 400)).unwrap();
+        assert!(large > small, "{method}: cost not monotone in |S|");
+    }
+}
+
+#[test]
+fn relative_cost_is_scale_free() {
+    // Scaling |R|, |S|, M and D together leaves the relative response
+    // unchanged (the property the paper relies on in Experiments 2–3).
+    use tapejoin::cost::relative_response;
+    for method in JoinMethod::ALL {
+        let base = relative_response(method, &params(100, 1000, 20, 320)).unwrap();
+        let scaled = relative_response(method, &params(400, 4000, 80, 1280)).unwrap();
+        let ratio = base / scaled;
+        // Integer scan/iteration rounding moves the multi-scan methods a
+        // little; the property holds to ~±20%.
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "{method}: relative cost not scale-free ({base:.3} vs {scaled:.3})"
+        );
+    }
+}
+
+#[test]
+fn step1_is_part_of_total() {
+    for method in JoinMethod::ALL {
+        let (step1, total) = expected_times(method, &params(100, 1000, 32, 400)).unwrap();
+        assert!(
+            step1 > 0.0 && step1 < total,
+            "{method}: step1 {step1} vs total {total}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_methods_never_cost_more_than_their_sequential_twin() {
+    for (seq, conc) in [(JoinMethod::DtGh, JoinMethod::CdtGh)] {
+        for (m, d) in [(24, 400), (48, 600), (96, 900)] {
+            let s = expected_response(seq, &params(150, 1500, m, d)).unwrap();
+            let c = expected_response(conc, &params(150, 1500, m, d)).unwrap();
+            assert!(
+                c <= s + 1e-9,
+                "{conc} ({c}) worse than {seq} ({s}) at M={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn planner_choice_is_in_its_own_ranking() {
+    let p = params(150, 1500, 32, 600);
+    let best = choose_method(&p).unwrap();
+    let ranked = rank_methods(&p);
+    assert_eq!(ranked[0].method, best.method);
+    assert!(ranked.iter().all(|c| c.expected_seconds > 0.0));
+}
+
+#[test]
+fn planner_empty_when_memory_hopeless() {
+    let p = params(150, 1500, 1, 600);
+    assert!(rank_methods(&p).is_empty());
+    assert!(matches!(
+        choose_method(&p),
+        Err(JoinError::NoFeasibleMethod)
+    ));
+}
+
+#[test]
+fn stats_accounting_is_coherent() {
+    let w = WorkloadBuilder::new(21)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    for method in JoinMethod::ALL {
+        let stats = TertiaryJoin::new(SystemConfig::new(16, 200))
+            .run(method, &w)
+            .unwrap();
+        // Every method reads S exactly once from its tape... except
+        // TT-GH, which re-scans S while hashing it tape-to-tape.
+        if method != JoinMethod::TtGh {
+            assert_eq!(
+                stats.tape_s.blocks_read, 256,
+                "{method}: unexpected S tape reads"
+            );
+        } else {
+            assert!(stats.tape_s.blocks_read >= 256);
+        }
+        // R is read at least once from tape.
+        assert!(stats.tape_r.blocks_read >= 64, "{method}");
+        // Disk-tape methods never write tape; Step I ends before the end.
+        if !method.is_tape_tape() {
+            assert_eq!(stats.tape_r.blocks_written, 0, "{method}");
+            assert_eq!(stats.tape_s.blocks_written, 0, "{method}");
+        }
+        assert!(stats.step1 <= stats.response, "{method}");
+        assert!(
+            stats.output_blocks == 0,
+            "{method}: pipelined output wrote blocks"
+        );
+    }
+}
+
+#[test]
+fn method_metadata_is_consistent() {
+    for method in JoinMethod::ALL {
+        assert!(method.full_name().len() > method.abbrev().len());
+        assert_eq!(format!("{method}"), method.abbrev());
+    }
+}
+
+#[test]
+fn config_builders_round_trip() {
+    use tapejoin_buffer::DiskBufKind;
+    use tapejoin_disk::ArrayMode;
+    let cfg = SystemConfig::new(16, 64)
+        .block_bytes(32 * 1024)
+        .disks(4)
+        .disk_rate(1.5e6)
+        .disk_overhead(true)
+        .array_mode(ArrayMode::PerDisk)
+        .disk_buffer(DiskBufKind::Split)
+        .hash_seed(7)
+        .record_timeline(true);
+    assert_eq!(cfg.block_bytes, 32 * 1024);
+    assert_eq!(cfg.disks, 4);
+    assert!((cfg.aggregate_disk_rate() - 6.0e6).abs() < 1.0);
+    assert!(cfg.disk_overhead);
+    assert_eq!(cfg.array_mode, ArrayMode::PerDisk);
+    assert_eq!(cfg.disk_buffer, DiskBufKind::Split);
+    assert_eq!(cfg.hash_seed, 7);
+    assert!(cfg.record_timeline);
+    assert!(cfg.validate().is_ok());
+}
+
+#[test]
+fn timeline_recording_captures_all_devices() {
+    let w = WorkloadBuilder::new(22)
+        .r(RelationSpec::new("R", 32))
+        .s(RelationSpec::new("S", 128))
+        .build();
+    let stats = TertiaryJoin::new(SystemConfig::new(16, 120).record_timeline(true))
+        .run(JoinMethod::CdtGh, &w)
+        .unwrap();
+    let t = stats.timeline.expect("recording enabled");
+    assert!(!t.tape_r.is_empty());
+    assert!(!t.tape_s.is_empty());
+    assert!(!t.disks.is_empty());
+    // Busy time never exceeds the response span per device.
+    for log in [&t.tape_r, &t.tape_s, &t.disks] {
+        assert!(log.busy() <= stats.response);
+    }
+    // Without the flag, no timeline is returned.
+    let stats = TertiaryJoin::new(SystemConfig::new(16, 120))
+        .run(JoinMethod::CdtGh, &w)
+        .unwrap();
+    assert!(stats.timeline.is_none());
+}
+
+#[test]
+fn join_overhead_helpers() {
+    let w = WorkloadBuilder::new(23)
+        .r(RelationSpec::new("R", 16))
+        .s(RelationSpec::new("S", 64))
+        .build();
+    let cfg = SystemConfig::new(8, 64);
+    let stats = TertiaryJoin::new(cfg.clone())
+        .run(JoinMethod::DtNb, &w)
+        .unwrap();
+    let optimum = tapejoin::optimum_join_time(&cfg, &w);
+    assert!(stats.relative_to(optimum) >= 1.0);
+    assert!((stats.overhead_vs(optimum) - (stats.relative_to(optimum) - 1.0)).abs() < 1e-12);
+    let dbg = format!("{stats:?}");
+    assert!(dbg.contains("DtNb") && dbg.contains("pairs"));
+}

@@ -1,0 +1,155 @@
+//! Property tests for the core crate: partitioner completeness, plan
+//! invariants, and randomized end-to-end join correctness.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tapejoin::hash::{GracePlan, Partitioner};
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{reference_join, RelationSpec, Tuple, WorkloadBuilder};
+
+proptest! {
+    /// Every pushed tuple appears in exactly one flush, routed to the
+    /// bucket its key hashes to.
+    #[test]
+    fn partitioner_is_a_partition(
+        r_blocks in 8u64..200,
+        memory in 8u64..64,
+        tpb in 1u32..8,
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..300),
+    ) {
+        prop_assume!(memory >= (r_blocks as f64).sqrt().ceil() as u64);
+        let plan = GracePlan::derive(r_blocks, memory, tpb).unwrap();
+        let mut p = Partitioner::new(plan, seed);
+        let mut out = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            p.push(Tuple::new(k, i as u64), &mut out);
+        }
+        p.finish(&mut out);
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        for f in &out {
+            prop_assert!(f.bucket < plan.buckets);
+            prop_assert!(!f.tuples.is_empty(), "empty flush emitted");
+            for t in &f.tuples {
+                prop_assert_eq!(plan.bucket_of(t.key, seed), f.bucket, "tuple in wrong bucket");
+                *seen.entry(t.rid).or_insert(0) += 1;
+            }
+        }
+        prop_assert_eq!(seen.len(), keys.len());
+        prop_assert!(seen.values().all(|&c| c == 1), "tuple duplicated");
+    }
+
+    /// Plan invariants: memory within budget, buckets positive, average
+    /// bucket within the resident allowance.
+    #[test]
+    fn grace_plan_invariants(r_blocks in 1u64..5000, memory in 5u64..500, tpb in 1u32..16) {
+        match GracePlan::derive(r_blocks, memory, tpb) {
+            Err(_) => {
+                prop_assert!(memory < (r_blocks as f64).sqrt().ceil() as u64 || memory < GracePlan::MIN_MEMORY);
+            }
+            Ok(plan) => {
+                prop_assert!(plan.total_memory() <= memory);
+                prop_assert!(plan.buckets >= 1);
+                prop_assert!(plan.resident_blocks >= 1);
+                prop_assert!(plan.input_blocks >= 1);
+                let avg = r_blocks.div_ceil(plan.buckets as u64);
+                prop_assert!(avg <= plan.resident_blocks, "avg bucket {avg} exceeds resident {}", plan.resident_blocks);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized end-to-end: any feasible method on any small workload
+    /// produces exactly the reference join.
+    #[test]
+    fn randomized_end_to_end(
+        seed in any::<u64>(),
+        r_blocks in 4u64..48,
+        s_factor in 1u64..5,
+        tpb in 1u32..6,
+        match_fraction in 0.0f64..=1.0,
+        memory in 8u64..32,
+        method_idx in 0usize..7,
+    ) {
+        let method = JoinMethod::ALL[method_idx];
+        let s_blocks = r_blocks * s_factor;
+        let w = WorkloadBuilder::new(seed)
+            .r(RelationSpec::new("R", r_blocks).tuples_per_block(tpb))
+            .s(RelationSpec::new("S", s_blocks).tuples_per_block(tpb))
+            .match_fraction(match_fraction)
+            .build();
+        let cfg = SystemConfig::new(memory, 4 * (r_blocks + s_blocks));
+        match TertiaryJoin::new(cfg).run(method, &w) {
+            Err(_) => {} // infeasible for this (M, D): fine
+            Ok(stats) => {
+                prop_assert_eq!(stats.output, reference_join(&w.r, &w.s), "{} wrong result", method);
+                prop_assert!(stats.mem_peak <= memory);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Multi-dimensional configuration fuzz: any combination of method,
+    /// buffer discipline, array mode, output mode, fill target, reverse
+    /// capability and verification must produce the reference join (or a
+    /// clean infeasibility error) and respect its budgets.
+    #[test]
+    fn config_fuzz_end_to_end(
+        seed in any::<u64>(),
+        method_idx in 0usize..7,
+        split_buffer in any::<bool>(),
+        per_disk in any::<bool>(),
+        local_output in any::<bool>(),
+        reverse in any::<bool>(),
+        verify in any::<bool>(),
+        fill_target in 0.3f64..=1.0,
+        memory in 10u64..28,
+    ) {
+        use tapejoin_buffer::DiskBufKind;
+        use tapejoin_disk::ArrayMode;
+        use tapejoin_tape::TapeDriveModel;
+
+        let method = JoinMethod::ALL[method_idx];
+        let w = WorkloadBuilder::new(seed)
+            .r(RelationSpec::new("R", 40))
+            .s(RelationSpec::new("S", 160))
+            .build();
+        let mut cfg = SystemConfig::new(memory, 340)
+            .grace_fill_target(fill_target)
+            .verify_tape_reads(verify);
+        if split_buffer {
+            cfg = cfg.disk_buffer(DiskBufKind::Split);
+        }
+        if per_disk {
+            cfg = cfg.array_mode(ArrayMode::PerDisk).disks(3);
+        }
+        if local_output {
+            cfg = cfg.output(tapejoin::OutputMode::LocalDisk);
+        }
+        if reverse {
+            cfg = cfg
+                .tape_model(TapeDriveModel::dlt4000().with_read_reverse(true))
+                .use_read_reverse(true);
+        }
+        match TertiaryJoin::new(cfg).run(method, &w) {
+            Err(tapejoin::JoinError::Infeasible { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            Ok(stats) => {
+                prop_assert_eq!(
+                    stats.output,
+                    reference_join(&w.r, &w.s),
+                    "{} produced a wrong join under fuzzed config",
+                    method
+                );
+                prop_assert!(stats.mem_peak <= memory);
+                prop_assert!(stats.disk_peak <= 340);
+            }
+        }
+    }
+}

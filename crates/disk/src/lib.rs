@@ -1,0 +1,34 @@
+//! `tapejoin-disk` — the secondary-storage substrate: disk models, a disk
+//! array with striping, and disk space management under the paper's
+//! `D`-block budget.
+//!
+//! The paper's system model (§3) characterizes the disks by one aggregate
+//! sustained rate `X_D` and assumes multi-block requests make seek and
+//! rotational latency negligible (requests ≥ 30 blocks). Both aspects are
+//! modelled here:
+//!
+//! * [`DiskModel`] carries per-disk transfer rate plus optional
+//!   per-request positioning overhead. With overhead enabled, the
+//!   sub-block bucket appends that Grace hashing produces at very small
+//!   `M` degrade into random I/O — reproducing the left edge of the
+//!   paper's Figures 8–9.
+//! * [`DiskArray`] serves requests either as one aggregate server (the
+//!   cost model's abstraction, default) or as `n` independent per-disk
+//!   servers with striped placement (Section 4's "special disk striping
+//!   routines"; used by the buffering ablation).
+//! * [`SpaceManager`] enforces the `D`-block quota and balances
+//!   allocations across disks, so Table 2's disk requirements are enforced
+//!   at runtime rather than assumed.
+//!
+//! Blocks written to the array are stored and read back verbatim — data
+//! movement is real, only the clock is simulated.
+
+#![warn(missing_docs)]
+
+mod array;
+mod model;
+mod space;
+
+pub use array::{ArrayMode, DiskArray, DiskStats};
+pub use model::DiskModel;
+pub use space::{DiskAddr, DiskSpaceExhausted, SpaceManager};

@@ -1,0 +1,280 @@
+//! Disk space management under the paper's `D`-block budget.
+//!
+//! Every join method gets a [`SpaceManager`] over the array: allocations
+//! return explicit per-disk addresses (so placement is controllable, per
+//! Section 4), frees recycle addresses, and the total in use can never
+//! exceed `D`. Peak usage is tracked to validate Table 2 / Figure 6.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A block address on the array: disk index + logical block address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DiskAddr {
+    /// Which disk.
+    pub disk: u32,
+    /// Logical block address within that disk.
+    pub lba: u64,
+}
+
+/// Error: an allocation would exceed the `D`-block quota.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskSpaceExhausted {
+    /// Blocks requested.
+    pub requested: u64,
+    /// Blocks free under the quota.
+    pub free: u64,
+}
+
+impl fmt::Display for DiskSpaceExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "disk space exhausted: requested {} blocks, {} free under quota",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for DiskSpaceExhausted {}
+
+struct SpaceInner {
+    quota: u64,
+    per_disk_quota: Vec<u64>,
+    /// Free lists per disk; recycled addresses are reused LIFO.
+    free_lists: Vec<Vec<u64>>,
+    /// First LBA this manager owns on each disk.
+    base_lba: u64,
+    /// High-water mark of fresh LBAs per disk.
+    next_lba: Vec<u64>,
+    in_use: u64,
+    peak_in_use: u64,
+    /// Next disk for round-robin placement.
+    cursor: usize,
+}
+
+/// Allocator for the join's `D`-block disk budget, striping allocations
+/// round-robin across disks. Cheap to clone (shared handle).
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin_disk::SpaceManager;
+///
+/// let space = SpaceManager::new(2, 10); // two disks, D = 10 blocks
+/// let grant = space.allocate(10).unwrap();
+/// assert!(space.allocate(1).is_err()); // quota enforced
+/// space.release(&grant[..4]);
+/// assert_eq!(space.free(), 4);
+/// ```
+#[derive(Clone)]
+pub struct SpaceManager {
+    inner: Rc<RefCell<SpaceInner>>,
+}
+
+impl SpaceManager {
+    /// Create a manager for `disks` disks sharing a total quota of
+    /// `quota_blocks`, split evenly (the paper: "`D` blocks of disk space
+    /// … evenly divided on the `n` disks").
+    pub fn new(disks: u32, quota_blocks: u64) -> Self {
+        Self::with_base(disks, quota_blocks, 0)
+    }
+
+    /// Like [`SpaceManager::new`], but allocating LBAs starting at
+    /// `base_lba` on every disk. Two managers over the same array must
+    /// use disjoint LBA ranges (e.g. the join's `D`-quota region and a
+    /// separate output partition).
+    pub fn with_base(disks: u32, quota_blocks: u64, base_lba: u64) -> Self {
+        assert!(disks > 0, "need at least one disk");
+        let n = disks as u64;
+        // Even split; the first (quota % n) disks take one extra block.
+        let per_disk_quota: Vec<u64> = (0..n)
+            .map(|i| quota_blocks / n + u64::from(i < quota_blocks % n))
+            .collect();
+        SpaceManager {
+            inner: Rc::new(RefCell::new(SpaceInner {
+                quota: quota_blocks,
+                per_disk_quota,
+                free_lists: vec![Vec::new(); disks as usize],
+                base_lba,
+                next_lba: vec![base_lba; disks as usize],
+                in_use: 0,
+                peak_in_use: 0,
+                cursor: 0,
+            })),
+        }
+    }
+
+    /// Total quota in blocks.
+    pub fn quota(&self) -> u64 {
+        self.inner.borrow().quota
+    }
+
+    /// Blocks currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.inner.borrow().in_use
+    }
+
+    /// Blocks free under the quota.
+    pub fn free(&self) -> u64 {
+        let inner = self.inner.borrow();
+        inner.quota - inner.in_use
+    }
+
+    /// Highest simultaneous allocation seen (validates Table 2 / Fig. 6).
+    pub fn peak_in_use(&self) -> u64 {
+        self.inner.borrow().peak_in_use
+    }
+
+    /// Allocate `count` blocks, striped round-robin across disks.
+    pub fn allocate(&self, count: u64) -> Result<Vec<DiskAddr>, DiskSpaceExhausted> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.in_use + count > inner.quota {
+            return Err(DiskSpaceExhausted {
+                requested: count,
+                free: inner.quota - inner.in_use,
+            });
+        }
+        let disks = inner.free_lists.len();
+        let mut out = Vec::with_capacity(count as usize);
+        let mut cursor = inner.cursor;
+        for _ in 0..count {
+            // Round-robin, skipping disks that are at their per-disk quota.
+            let mut placed = false;
+            for probe in 0..disks {
+                let d = (cursor + probe) % disks;
+                let used_on_d =
+                    inner.next_lba[d] - inner.base_lba - inner.free_lists[d].len() as u64;
+                if used_on_d < inner.per_disk_quota[d] {
+                    let lba = inner.free_lists[d].pop().unwrap_or_else(|| {
+                        let lba = inner.next_lba[d];
+                        inner.next_lba[d] += 1;
+                        lba
+                    });
+                    out.push(DiskAddr {
+                        disk: d as u32,
+                        lba,
+                    });
+                    cursor = (d + 1) % disks;
+                    placed = true;
+                    break;
+                }
+            }
+            assert!(placed, "quota accounting out of sync with per-disk quotas");
+        }
+        inner.cursor = cursor;
+        inner.in_use += count;
+        inner.peak_in_use = inner.peak_in_use.max(inner.in_use);
+        Ok(out)
+    }
+
+    /// Return addresses to the pool for reuse.
+    pub fn release(&self, addrs: &[DiskAddr]) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.in_use >= addrs.len() as u64,
+            "releasing more blocks than allocated"
+        );
+        for a in addrs {
+            inner.free_lists[a.disk as usize].push(a.lba);
+        }
+        inner.in_use -= addrs.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_is_enforced() {
+        let sm = SpaceManager::new(2, 10);
+        let a = sm.allocate(10).unwrap();
+        assert_eq!(a.len(), 10);
+        let err = sm.allocate(1).unwrap_err();
+        assert_eq!(
+            err,
+            DiskSpaceExhausted {
+                requested: 1,
+                free: 0
+            }
+        );
+        sm.release(&a[..4]);
+        assert_eq!(sm.free(), 4);
+        assert!(sm.allocate(4).is_ok());
+    }
+
+    #[test]
+    fn allocations_are_balanced_across_disks() {
+        let sm = SpaceManager::new(4, 100);
+        let addrs = sm.allocate(80).unwrap();
+        let mut per_disk = [0u32; 4];
+        for a in &addrs {
+            per_disk[a.disk as usize] += 1;
+        }
+        assert_eq!(per_disk, [20, 20, 20, 20]);
+    }
+
+    #[test]
+    fn released_addresses_are_reused() {
+        let sm = SpaceManager::new(1, 4);
+        let a = sm.allocate(4).unwrap();
+        sm.release(&a);
+        let b = sm.allocate(4).unwrap();
+        let mut la: Vec<u64> = a.iter().map(|x| x.lba).collect();
+        let mut lb: Vec<u64> = b.iter().map(|x| x.lba).collect();
+        la.sort_unstable();
+        lb.sort_unstable();
+        assert_eq!(la, lb, "recycled allocations must reuse freed LBAs");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let sm = SpaceManager::new(2, 10);
+        let a = sm.allocate(7).unwrap();
+        sm.release(&a);
+        let _b = sm.allocate(3).unwrap();
+        assert_eq!(sm.peak_in_use(), 7);
+        assert_eq!(sm.in_use(), 3);
+    }
+
+    #[test]
+    fn uneven_quota_split_covers_remainder() {
+        // 7 blocks over 3 disks: 3 + 2 + 2.
+        let sm = SpaceManager::new(3, 7);
+        let addrs = sm.allocate(7).unwrap();
+        let mut per_disk = [0u32; 3];
+        for a in &addrs {
+            per_disk[a.disk as usize] += 1;
+        }
+        assert_eq!(per_disk.iter().sum::<u32>(), 7);
+        assert!(per_disk.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn base_offset_partitions_the_lba_space() {
+        let low = SpaceManager::new(2, 100);
+        let high = SpaceManager::with_base(2, 100, 1 << 40);
+        let a = low.allocate(100).unwrap();
+        let b = high.allocate(100).unwrap();
+        let max_low = a.iter().map(|x| x.lba).max().unwrap();
+        let min_high = b.iter().map(|x| x.lba).min().unwrap();
+        assert!(max_low < min_high, "partitions overlap");
+        assert_eq!(min_high, 1 << 40);
+    }
+
+    #[test]
+    fn no_duplicate_addresses_live_at_once() {
+        use std::collections::HashSet;
+        let sm = SpaceManager::new(3, 30);
+        let a = sm.allocate(20).unwrap();
+        sm.release(&a[5..10]);
+        let b = sm.allocate(10).unwrap();
+        let mut live: HashSet<DiskAddr> = a[..5].iter().copied().collect();
+        live.extend(&a[10..]);
+        for addr in &b {
+            assert!(live.insert(*addr), "address {addr:?} double-allocated");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Behavioural tests for the disk substrate: array modes, contention,
+//! and request accounting.
+
+use std::rc::Rc;
+use tapejoin_disk::{ArrayMode, DiskArray, DiskModel, SpaceManager};
+use tapejoin_rel::{Block, BlockRef, Tuple};
+use tapejoin_sim::{now, spawn, Simulation};
+
+const BLOCK: u64 = 1 << 16;
+
+fn blocks(n: u64) -> Vec<BlockRef> {
+    (0..n)
+        .map(|i| Rc::new(Block::new(vec![Tuple::new(i, i)])) as BlockRef)
+        .collect()
+}
+
+#[test]
+fn concurrent_requests_share_the_aggregate_server() {
+    let mut sim = Simulation::new();
+    let t = sim.run(async {
+        let arr = DiskArray::new(DiskModel::ideal(1e6), 2, BLOCK, ArrayMode::Aggregate);
+        let sm = SpaceManager::new(2, 64);
+        let a = sm.allocate(16).unwrap();
+        let b = sm.allocate(16).unwrap();
+        let (arr1, arr2) = (arr.clone(), arr.clone());
+        let ha = spawn(async move { arr1.write(&a, &blocks(16)).await });
+        let hb = spawn(async move { arr2.write(&b, &blocks(16)).await });
+        ha.join().await;
+        hb.join().await;
+        now().as_secs_f64()
+    });
+    // 32 blocks over a 2 MB/s aggregate: serialized, not parallel.
+    assert!((t - 32.0 * BLOCK as f64 / 2e6).abs() < 1e-6);
+}
+
+#[test]
+fn per_disk_mode_lets_disjoint_disks_proceed_in_parallel() {
+    let mut sim = Simulation::new();
+    let t = sim.run(async {
+        let arr = DiskArray::new(DiskModel::ideal(1e6), 2, BLOCK, ArrayMode::PerDisk);
+        let a: Vec<_> = (0..16)
+            .map(|i| tapejoin_disk::DiskAddr { disk: 0, lba: i })
+            .collect();
+        let b: Vec<_> = (0..16)
+            .map(|i| tapejoin_disk::DiskAddr { disk: 1, lba: i })
+            .collect();
+        let (arr1, arr2) = (arr.clone(), arr.clone());
+        let ha = spawn(async move { arr1.write(&a, &blocks(16)).await });
+        let hb = spawn(async move { arr2.write(&b, &blocks(16)).await });
+        ha.join().await;
+        hb.join().await;
+        now().as_secs_f64()
+    });
+    // Disk 0 and disk 1 work simultaneously.
+    assert!((t - 16.0 * BLOCK as f64 / 1e6).abs() < 1e-6);
+}
+
+#[test]
+fn request_counters_track_logical_requests() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let arr = DiskArray::new(DiskModel::ideal(1e6), 1, BLOCK, ArrayMode::Aggregate);
+        let sm = SpaceManager::new(1, 64);
+        let addrs = sm.allocate(12).unwrap();
+        let bs = blocks(12);
+        for chunk in addrs.chunks(4).zip(bs.chunks(4)) {
+            arr.write(chunk.0, chunk.1).await;
+        }
+        arr.read(&addrs).await;
+        let st = arr.stats();
+        assert_eq!(st.write_requests, 3);
+        assert_eq!(st.read_requests, 1);
+        assert_eq!(st.blocks_written, 12);
+        assert_eq!(st.blocks_read, 12);
+    });
+}
+
+#[test]
+fn empty_requests_cost_nothing() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let arr = DiskArray::new(DiskModel::ideal(1e6), 1, BLOCK, ArrayMode::Aggregate);
+        arr.write(&[], &[]).await;
+        let got = arr.read(&[]).await;
+        assert!(got.is_empty());
+        assert_eq!(now().as_nanos(), 0);
+        assert_eq!(arr.stats().traffic(), 0);
+    });
+}
+
+#[test]
+fn aggregate_rate_reflects_disk_count() {
+    let arr = DiskArray::new(DiskModel::ideal(2e6), 3, BLOCK, ArrayMode::Aggregate);
+    assert!((arr.aggregate_rate() - 6e6).abs() < 1.0);
+    assert_eq!(arr.disks(), 3);
+    assert_eq!(arr.block_bytes(), BLOCK);
+}
+
+#[test]
+fn fireball_preset_is_era_plausible() {
+    let m = DiskModel::quantum_fireball();
+    assert!(m.transfer_rate > 1e6 && m.transfer_rate < 1e7);
+    assert!(m.per_request_overhead);
+    assert!(m.request_overhead().as_secs_f64() > 0.01);
+}

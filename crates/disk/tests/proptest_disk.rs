@@ -1,0 +1,82 @@
+//! Property tests for the disk substrate: allocation soundness under
+//! arbitrary allocate/release interleavings.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tapejoin_disk::{DiskAddr, SpaceManager};
+
+/// An allocate (blocks) or release (fraction of a previous allocation).
+#[derive(Clone, Debug)]
+enum Op {
+    Allocate(u64),
+    Release(prop::sample::Index),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..16).prop_map(Op::Allocate),
+        any::<prop::sample::Index>().prop_map(Op::Release),
+    ]
+}
+
+proptest! {
+    /// No address is ever live twice; in-use accounting matches the live
+    /// set; quota is never exceeded.
+    #[test]
+    fn allocator_soundness(
+        disks in 1u32..5,
+        quota in 1u64..200,
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let sm = SpaceManager::new(disks, quota);
+        let mut live: Vec<Vec<DiskAddr>> = Vec::new();
+        let mut live_set: HashSet<DiskAddr> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Allocate(n) => match sm.allocate(n) {
+                    Ok(addrs) => {
+                        prop_assert_eq!(addrs.len() as u64, n);
+                        for a in &addrs {
+                            prop_assert!(a.disk < disks, "address on nonexistent disk");
+                            prop_assert!(live_set.insert(*a), "double-allocated {a:?}");
+                        }
+                        live.push(addrs);
+                    }
+                    Err(e) => {
+                        // Refusal must be justified by the quota.
+                        prop_assert!(live_set.len() as u64 + n > quota, "spurious refusal: {e}");
+                    }
+                },
+                Op::Release(idx) => {
+                    if !live.is_empty() {
+                        let batch = live.swap_remove(idx.index(live.len()));
+                        for a in &batch {
+                            live_set.remove(a);
+                        }
+                        sm.release(&batch);
+                    }
+                }
+            }
+            prop_assert_eq!(sm.in_use(), live_set.len() as u64);
+            prop_assert!(sm.in_use() <= quota);
+            prop_assert!(sm.peak_in_use() <= quota);
+        }
+    }
+
+    /// Freshly-allocated addresses are balanced: with an even quota split
+    /// and a single large allocation, per-disk counts differ by at most
+    /// one.
+    #[test]
+    fn striping_balances_disks(disks in 2u32..6, per_disk in 1u64..30) {
+        let quota = disks as u64 * per_disk;
+        let sm = SpaceManager::new(disks, quota);
+        let addrs = sm.allocate(quota).unwrap();
+        let mut counts = vec![0u64; disks as usize];
+        for a in &addrs {
+            counts[a.disk as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced striping: {counts:?}");
+    }
+}

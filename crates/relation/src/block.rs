@@ -1,0 +1,213 @@
+//! Blocks: the unit of all device I/O.
+//!
+//! A block carries real tuples plus a checksum, and is immutable once
+//! sealed — devices pass `Rc<Block>` around, so "copying" a block tape →
+//! memory → disk is reference counting, while the *timing* of the copy is
+//! charged by the device models at the block's nominal size.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::tuple::{mix64, Tuple};
+
+/// Shared immutable handle to a block.
+pub type BlockRef = Rc<Block>;
+
+/// Error from [`Block::from_bytes`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum BlockCodecError {
+    /// Byte slice too short or not consistent with its tuple count.
+    Truncated {
+        /// Bytes needed.
+        expected: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Stored checksum does not match recomputed checksum.
+    ChecksumMismatch {
+        /// Checksum in the header.
+        stored: u64,
+        /// Checksum over the decoded tuples.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for BlockCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockCodecError::Truncated { expected, got } => {
+                write!(f, "block truncated: need {expected} bytes, have {got}")
+            }
+            BlockCodecError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "block checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockCodecError {}
+
+/// An immutable block of tuples.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Block {
+    tuples: Box<[Tuple]>,
+    checksum: u64,
+}
+
+impl Block {
+    /// Seal `tuples` into a block, computing its checksum.
+    pub fn new(tuples: Vec<Tuple>) -> Block {
+        let checksum = checksum_tuples(&tuples);
+        Block {
+            tuples: tuples.into_boxed_slice(),
+            checksum,
+        }
+    }
+
+    /// An empty block (e.g. zero padding on tape).
+    pub fn empty() -> Block {
+        Block::new(Vec::new())
+    }
+
+    /// Construct a block with an *explicit* (possibly wrong) checksum —
+    /// for fault-injection testing only. A forged block round-trips
+    /// through devices like any other but fails [`Block::verify`].
+    pub fn forge(tuples: Vec<Tuple>, checksum: u64) -> Block {
+        Block {
+            tuples: tuples.into_boxed_slice(),
+            checksum,
+        }
+    }
+
+    /// The tuples stored in this block.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Content checksum (order-sensitive).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Verify the stored checksum against the content.
+    pub fn verify(&self) -> bool {
+        checksum_tuples(&self.tuples) == self.checksum
+    }
+
+    /// Encode to bytes: `count:u32 | checksum:u64 | tuples…`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.tuples.len() * 16);
+        out.extend_from_slice(&(self.tuples.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+        for t in self.tuples.iter() {
+            out.extend_from_slice(&t.to_bytes());
+        }
+        out
+    }
+
+    /// Decode from bytes produced by [`Block::to_bytes`], verifying the
+    /// checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Block, BlockCodecError> {
+        if bytes.len() < 12 {
+            return Err(BlockCodecError::Truncated {
+                expected: 12,
+                got: bytes.len(),
+            });
+        }
+        let count = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte split")) as usize;
+        let stored = u64::from_le_bytes(bytes[4..12].try_into().expect("8-byte split"));
+        let need = 12 + count * 16;
+        if bytes.len() < need {
+            return Err(BlockCodecError::Truncated {
+                expected: need,
+                got: bytes.len(),
+            });
+        }
+        let mut tuples = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 12 + i * 16;
+            let chunk: &[u8; 16] = bytes[off..off + 16].try_into().expect("16-byte split");
+            tuples.push(Tuple::from_bytes(chunk));
+        }
+        let computed = checksum_tuples(&tuples);
+        if computed != stored {
+            return Err(BlockCodecError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Block {
+            tuples: tuples.into_boxed_slice(),
+            checksum: stored,
+        })
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Block[{} tuples, cksum {:#x}]",
+            self.tuples.len(),
+            self.checksum
+        )
+    }
+}
+
+fn checksum_tuples(tuples: &[Tuple]) -> u64 {
+    let mut acc = 0x5151_5151_5151_5151u64;
+    for (i, t) in tuples.iter().enumerate() {
+        acc = acc
+            .rotate_left(7)
+            .wrapping_add(mix64(t.key ^ (i as u64)))
+            .wrapping_add(mix64(t.rid));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(n: u64) -> Block {
+        Block::new((0..n).map(|i| Tuple::new(i * 3, i)).collect())
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let b = sample_block(17);
+        let decoded = Block::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(decoded, b);
+        assert!(decoded.verify());
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let b = Block::empty();
+        assert_eq!(Block::from_bytes(&b.to_bytes()).unwrap(), b);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let bytes = sample_block(4).to_bytes();
+        let err = Block::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, BlockCodecError::Truncated { .. }));
+        let err = Block::from_bytes(&bytes[..5]).unwrap_err();
+        assert!(matches!(err, BlockCodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample_block(4).to_bytes();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        let err = Block::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, BlockCodecError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let a = Block::new(vec![Tuple::new(1, 1), Tuple::new(2, 2)]);
+        let b = Block::new(vec![Tuple::new(2, 2), Tuple::new(1, 1)]);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+}

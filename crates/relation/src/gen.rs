@@ -1,0 +1,354 @@
+//! Synthetic join workload generation (seeded, reproducible).
+//!
+//! The paper's experiments all use synthetic data. We generate a
+//! *dimension-like* relation `R` with unique join keys and a *fact-like*
+//! relation `S` whose keys reference `R` under a configurable distribution
+//! and match rate — the same shape as the "data analysis and data mining"
+//! workloads the paper's introduction motivates.
+//!
+//! Key-space layout: `R` keys are even (`2 * key_index`), deliberately
+//! non-matching `S` keys are odd, so the two sets never collide by
+//! accident and the expected join cardinality is exact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+use crate::block::{Block, BlockRef};
+use crate::tuple::Tuple;
+use crate::Relation;
+
+/// Shape of one generated relation.
+#[derive(Clone, Debug)]
+pub struct RelationSpec {
+    /// Relation name.
+    pub name: String,
+    /// Size in blocks.
+    pub blocks: u64,
+    /// Real tuples carried per block (the *scaled density*; timing always
+    /// charges the nominal block size regardless).
+    pub tuples_per_block: u32,
+    /// Data compressibility in `[0, 1)` (drives the tape transfer rate).
+    pub compressibility: f64,
+}
+
+impl RelationSpec {
+    /// Spec with the given name and block count, 4 tuples per block and
+    /// 25%-compressible data (the paper's "medium tape speed" base case).
+    pub fn new(name: impl Into<String>, blocks: u64) -> Self {
+        RelationSpec {
+            name: name.into(),
+            blocks,
+            tuples_per_block: 4,
+            compressibility: 0.25,
+        }
+    }
+
+    /// Set tuples per block.
+    pub fn tuples_per_block(mut self, n: u32) -> Self {
+        self.tuples_per_block = n;
+        self
+    }
+
+    /// Set data compressibility.
+    pub fn compressibility(mut self, c: f64) -> Self {
+        self.compressibility = c;
+        self
+    }
+
+    /// Total tuples in the relation.
+    pub fn tuple_count(&self) -> u64 {
+        self.blocks * self.tuples_per_block as u64
+    }
+}
+
+/// How `S` tuples choose which `R` key to reference.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDistribution {
+    /// Every `R` key equally likely.
+    Uniform,
+    /// Zipf-distributed popularity with the given skew `theta > 0`
+    /// (≈0.5 mild, ≈1.0 classic heavy skew).
+    Zipf {
+        /// Skew exponent.
+        theta: f64,
+    },
+    /// `S` tuple `j` references `R` key `j mod |R keys|` (round-robin;
+    /// perfectly even, deterministic).
+    RoundRobin,
+}
+
+/// A generated pair of relations ready to load onto tapes.
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// The smaller relation (unique keys).
+    pub r: Relation,
+    /// The larger relation (foreign keys into `R`).
+    pub s: Relation,
+    /// Exact number of matching pairs `|R ⋈ S|`.
+    pub expected_pairs: u64,
+}
+
+/// Builder for [`JoinWorkload`].
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin_rel::{reference_join, RelationSpec, WorkloadBuilder};
+///
+/// let w = WorkloadBuilder::new(42)
+///     .r(RelationSpec::new("R", 8))
+///     .s(RelationSpec::new("S", 32))
+///     .match_fraction(0.5)
+///     .build();
+/// // The generator knows the exact join cardinality, and the reference
+/// // join agrees.
+/// assert_eq!(reference_join(&w.r, &w.s).pairs, w.expected_pairs);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    seed: u64,
+    r: RelationSpec,
+    s: RelationSpec,
+    distribution: KeyDistribution,
+    match_fraction: f64,
+}
+
+impl WorkloadBuilder {
+    /// Start a builder with default relation shapes (`|R|`=8 blocks,
+    /// `|S|`=32 blocks).
+    pub fn new(seed: u64) -> Self {
+        WorkloadBuilder {
+            seed,
+            r: RelationSpec::new("R", 8),
+            s: RelationSpec::new("S", 32),
+            distribution: KeyDistribution::Uniform,
+            match_fraction: 1.0,
+        }
+    }
+
+    /// Set the `R` spec.
+    pub fn r(mut self, spec: RelationSpec) -> Self {
+        self.r = spec;
+        self
+    }
+
+    /// Set the `S` spec.
+    pub fn s(mut self, spec: RelationSpec) -> Self {
+        self.s = spec;
+        self
+    }
+
+    /// Set the `S` key distribution.
+    pub fn distribution(mut self, d: KeyDistribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Fraction of `S` tuples whose key matches some `R` key (default 1.0).
+    pub fn match_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "match fraction must be in [0,1]");
+        self.match_fraction = f;
+        self
+    }
+
+    /// Generate both relations.
+    pub fn build(self) -> JoinWorkload {
+        assert!(
+            self.r.blocks > 0 && self.s.blocks > 0,
+            "relations must be non-empty"
+        );
+        assert!(
+            self.r.tuples_per_block > 0 && self.s.tuples_per_block > 0,
+            "blocks must carry at least one tuple"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let r_keys = self.r.tuple_count();
+
+        // R: unique even keys in generation order (the relation itself is
+        // unordered on tape; uniqueness is what matters).
+        let r_blocks = build_blocks(self.r.blocks, self.r.tuples_per_block, |rid| {
+            Tuple::new(rid * 2, rid)
+        });
+
+        // S: foreign keys into R per the distribution, plus odd
+        // never-matching keys for the (1 - match_fraction) remainder.
+        let zipf = match self.distribution {
+            KeyDistribution::Zipf { theta } => Some(ZipfSampler::new(r_keys, theta)),
+            _ => None,
+        };
+        let mut expected_pairs = 0u64;
+        let s_blocks = build_blocks(self.s.blocks, self.s.tuples_per_block, |rid| {
+            let matches = self.match_fraction >= 1.0 || rng.gen::<f64>() < self.match_fraction;
+            let key = if matches {
+                expected_pairs += 1; // R keys are unique: one pair per S tuple
+                let idx = match self.distribution {
+                    KeyDistribution::Uniform => rng.gen_range(0..r_keys),
+                    KeyDistribution::RoundRobin => rid % r_keys,
+                    KeyDistribution::Zipf { .. } => zipf
+                        .as_ref()
+                        .expect("zipf sampler built above")
+                        .sample(&mut rng),
+                };
+                idx * 2
+            } else {
+                (rng.gen::<u64>() << 1) | 1
+            };
+            Tuple::new(key, rid)
+        });
+
+        JoinWorkload {
+            r: Relation::new(self.r.name, r_blocks, self.r.compressibility),
+            s: Relation::new(self.s.name, s_blocks, self.s.compressibility),
+            expected_pairs,
+        }
+    }
+}
+
+fn build_blocks(
+    blocks: u64,
+    per_block: u32,
+    mut tuple_for: impl FnMut(u64) -> Tuple,
+) -> Vec<BlockRef> {
+    let mut out = Vec::with_capacity(blocks as usize);
+    let mut rid = 0u64;
+    for _ in 0..blocks {
+        let mut tuples = Vec::with_capacity(per_block as usize);
+        for _ in 0..per_block {
+            tuples.push(tuple_for(rid));
+            rid += 1;
+        }
+        out.push(Rc::new(Block::new(tuples)));
+    }
+    out
+}
+
+/// Exact Zipf sampling over `0..n` by inversion of the precomputed CDF.
+/// O(n) memory, O(log n) per sample — fine for the key domains used in
+/// tests and experiments (≤ a few million).
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(theta > 0.0, "zipf theta must be positive");
+        assert!(n > 0, "zipf domain must be non-empty");
+        assert!(
+            n <= 16_000_000,
+            "zipf domain {n} too large for exact CDF sampling"
+        );
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn r_keys_are_unique_and_even() {
+        let w = WorkloadBuilder::new(1).build();
+        let keys: Vec<u64> = w.r.tuples().map(|t| t.key).collect();
+        assert!(keys.iter().all(|k| k % 2 == 0));
+        let set: HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn full_match_fraction_makes_every_s_tuple_match() {
+        let w = WorkloadBuilder::new(2).build();
+        assert_eq!(w.expected_pairs, w.s.tuple_count());
+        let r_keys: HashSet<u64> = w.r.tuples().map(|t| t.key).collect();
+        assert!(w.s.tuples().all(|t| r_keys.contains(&t.key)));
+    }
+
+    #[test]
+    fn zero_match_fraction_yields_disjoint_keys() {
+        let w = WorkloadBuilder::new(3).match_fraction(0.0).build();
+        assert_eq!(w.expected_pairs, 0);
+        assert!(w.s.tuples().all(|t| t.key % 2 == 1));
+    }
+
+    #[test]
+    fn partial_match_fraction_is_roughly_respected() {
+        let w = WorkloadBuilder::new(4)
+            .s(RelationSpec::new("S", 256).tuples_per_block(16))
+            .match_fraction(0.5)
+            .build();
+        let frac = w.expected_pairs as f64 / w.s.tuple_count() as f64;
+        assert!((0.45..0.55).contains(&frac), "got match fraction {frac}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_data() {
+        let a = WorkloadBuilder::new(77).build();
+        let b = WorkloadBuilder::new(77).build();
+        let ka: Vec<u64> = a.s.tuples().map(|t| t.key).collect();
+        let kb: Vec<u64> = b.s.tuples().map(|t| t.key).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadBuilder::new(1).build();
+        let b = WorkloadBuilder::new(2).build();
+        let ka: Vec<u64> = a.s.tuples().map(|t| t.key).collect();
+        let kb: Vec<u64> = b.s.tuples().map(|t| t.key).collect();
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn round_robin_covers_all_r_keys_evenly() {
+        let w = WorkloadBuilder::new(5)
+            .r(RelationSpec::new("R", 2).tuples_per_block(4))
+            .s(RelationSpec::new("S", 4).tuples_per_block(4))
+            .distribution(KeyDistribution::RoundRobin)
+            .build();
+        let mut counts = std::collections::HashMap::new();
+        for t in w.s.tuples() {
+            *counts.entry(t.key).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 8);
+        assert!(counts.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let w = WorkloadBuilder::new(6)
+            .r(RelationSpec::new("R", 8).tuples_per_block(16))
+            .s(RelationSpec::new("S", 512).tuples_per_block(16))
+            .distribution(KeyDistribution::Zipf { theta: 1.0 })
+            .build();
+        // Key 0 (rank 1) should be sampled far more often than uniform.
+        let hot = w.s.tuples().filter(|t| t.key == 0).count() as f64;
+        let uniform_share = w.s.tuple_count() as f64 / w.r.tuple_count() as f64;
+        assert!(
+            hot > 5.0 * uniform_share,
+            "zipf hot key drew {hot}, uniform share is {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let z = ZipfSampler::new(1000, 0.8);
+        assert!(z.cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! `tapejoin-rel` — relations, tuples, blocks and synthetic workloads.
+//!
+//! The paper's experiments use synthetic relations `R` and `S` measured in
+//! *blocks*; all device timing in the other crates is block-granular. This
+//! crate supplies:
+//!
+//! * the tuple and block representation (with a byte codec and checksums,
+//!   so data that flows through the simulated devices is real data);
+//! * the synthetic workload generator (seeded, with several join-key
+//!   distributions and a configurable match rate);
+//! * a trusted in-memory reference join, used by the test suite to verify
+//!   every tertiary join method's output (cardinality + order-independent
+//!   checksum);
+//! * the *scaled tuple density* scheme: a block's **nominal** size (what
+//!   the device timing model charges for) is decoupled from the number of
+//!   real tuples it carries, so a "10 GB" relation from the paper's
+//!   Experiment 1 is simulated with faithful timing while its actual tuple
+//!   payload fits comfortably in host memory.
+
+#![warn(missing_docs)]
+
+mod block;
+mod gen;
+mod refjoin;
+mod tuple;
+
+pub use block::{Block, BlockCodecError, BlockRef};
+pub use gen::{JoinWorkload, KeyDistribution, RelationSpec, WorkloadBuilder};
+pub use refjoin::{reference_join, JoinCheck};
+pub use tuple::{pair_digest, Tuple};
+
+use std::rc::Rc;
+
+/// A relation: an ordered sequence of blocks plus workload metadata.
+#[derive(Clone)]
+pub struct Relation {
+    name: Rc<str>,
+    blocks: Vec<BlockRef>,
+    /// Fraction of the on-tape byte stream that a compressing drive can
+    /// eliminate (0.0 = incompressible). Affects tape transfer rate only.
+    compressibility: f64,
+}
+
+impl Relation {
+    /// Assemble a relation from blocks.
+    pub fn new(name: impl Into<String>, blocks: Vec<BlockRef>, compressibility: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&compressibility),
+            "compressibility must be in [0, 1): got {compressibility}"
+        );
+        Relation {
+            name: Rc::from(name.into().into_boxed_str()),
+            blocks,
+            compressibility,
+        }
+    }
+
+    /// Relation name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size in blocks (`|R|` / `|S|` in the paper's notation).
+    pub fn block_count(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Number of tuples across all blocks.
+    pub fn tuple_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.tuples().len() as u64).sum()
+    }
+
+    /// The blocks, in relation order.
+    pub fn blocks(&self) -> &[BlockRef] {
+        &self.blocks
+    }
+
+    /// Data compressibility in `[0, 1)`.
+    pub fn compressibility(&self) -> f64 {
+        self.compressibility
+    }
+
+    /// Iterate over every tuple in relation order.
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.blocks.iter().flat_map(|b| b.tuples().iter().copied())
+    }
+
+    /// Split into two relations at block index `at` (names suffixed
+    /// `.0`/`.1`) — e.g. to spread a relation over cartridges.
+    pub fn split_at(&self, at: u64) -> (Relation, Relation) {
+        assert!(at <= self.block_count(), "split beyond relation end");
+        let (a, b) = self.blocks.split_at(at as usize);
+        (
+            Relation::new(format!("{}.0", self.name), a.to_vec(), self.compressibility),
+            Relation::new(format!("{}.1", self.name), b.to_vec(), self.compressibility),
+        )
+    }
+
+    /// Concatenate relations (same compressibility required) into one.
+    pub fn concat(name: impl Into<String>, parts: &[Relation]) -> Relation {
+        assert!(!parts.is_empty(), "nothing to concatenate");
+        let c = parts[0].compressibility;
+        assert!(
+            parts.iter().all(|p| p.compressibility == c),
+            "concatenating relations of differing compressibility"
+        );
+        let blocks = parts
+            .iter()
+            .flat_map(|p| p.blocks().iter().cloned())
+            .collect();
+        Relation::new(name, blocks, c)
+    }
+}
+
+impl std::fmt::Debug for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Relation")
+            .field("name", &self.name)
+            .field("blocks", &self.blocks.len())
+            .field("tuples", &self.tuple_count())
+            .field("compressibility", &self.compressibility)
+            .finish()
+    }
+}

@@ -1,0 +1,122 @@
+//! Trusted in-memory reference join and the join-output check value.
+//!
+//! Every tertiary join method is verified against this: same pair count,
+//! same order-independent digest.
+
+use std::collections::HashMap;
+
+use crate::tuple::{pair_digest, Tuple};
+use crate::Relation;
+
+/// Accumulated join-output check value: cardinality plus an
+/// order-independent digest over all `(r, s)` result pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinCheck {
+    /// Number of result pairs.
+    pub pairs: u64,
+    /// Order-independent digest (wrapping sum of per-pair digests).
+    pub digest: u64,
+}
+
+impl JoinCheck {
+    /// Fold one result pair into the check value.
+    pub fn add_pair(&mut self, r: Tuple, s: Tuple) {
+        self.pairs += 1;
+        self.digest = self.digest.wrapping_add(pair_digest(r, s));
+    }
+
+    /// Merge another accumulator (e.g. per-bucket partial results).
+    pub fn merge(&mut self, other: JoinCheck) {
+        self.pairs += other.pairs;
+        self.digest = self.digest.wrapping_add(other.digest);
+    }
+}
+
+/// Compute the exact join result check value with a plain in-memory hash
+/// join. `r`'s keys need not be unique.
+pub fn reference_join(r: &Relation, s: &Relation) -> JoinCheck {
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
+    for t in r.tuples() {
+        table.entry(t.key).or_default().push(t);
+    }
+    let mut check = JoinCheck::default();
+    for s_tuple in s.tuples() {
+        if let Some(matches) = table.get(&s_tuple.key) {
+            for &r_tuple in matches {
+                check.add_pair(r_tuple, s_tuple);
+            }
+        }
+    }
+    check
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{KeyDistribution, RelationSpec, WorkloadBuilder};
+
+    #[test]
+    fn reference_matches_generator_expectation() {
+        let w = WorkloadBuilder::new(11).build();
+        let check = reference_join(&w.r, &w.s);
+        assert_eq!(check.pairs, w.expected_pairs);
+    }
+
+    #[test]
+    fn partial_match_cardinality_agrees() {
+        let w = WorkloadBuilder::new(12).match_fraction(0.3).build();
+        assert_eq!(reference_join(&w.r, &w.s).pairs, w.expected_pairs);
+    }
+
+    #[test]
+    fn zipf_cardinality_agrees() {
+        let w = WorkloadBuilder::new(13)
+            .distribution(KeyDistribution::Zipf { theta: 1.0 })
+            .build();
+        assert_eq!(reference_join(&w.r, &w.s).pairs, w.expected_pairs);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let w = WorkloadBuilder::new(14)
+            .r(RelationSpec::new("R", 4))
+            .s(RelationSpec::new("S", 8))
+            .build();
+        let full = reference_join(&w.r, &w.s);
+
+        // Split S into two half-relations and merge the partial checks.
+        let blocks = w.s.blocks();
+        let (a, b) = blocks.split_at(blocks.len() / 2);
+        let sa = Relation::new("Sa", a.to_vec(), 0.0);
+        let sb = Relation::new("Sb", b.to_vec(), 0.0);
+        let mut merged = reference_join(&w.r, &sa);
+        merged.merge(reference_join(&w.r, &sb));
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn digest_detects_wrong_pairing() {
+        let w = WorkloadBuilder::new(15).build();
+        let good = reference_join(&w.r, &w.s);
+        // Swap roles: join S with R. Same cardinality, different digest.
+        let swapped = reference_join(&w.s, &w.r);
+        assert_eq!(good.pairs, swapped.pairs);
+        assert_ne!(good.digest, swapped.digest);
+    }
+
+    #[test]
+    fn duplicate_r_keys_multiply_matches() {
+        use crate::block::Block;
+        use std::rc::Rc;
+        let r = Relation::new(
+            "R",
+            vec![Rc::new(Block::new(vec![
+                Tuple::new(10, 0),
+                Tuple::new(10, 1),
+            ]))],
+            0.0,
+        );
+        let s = Relation::new("S", vec![Rc::new(Block::new(vec![Tuple::new(10, 0)]))], 0.0);
+        assert_eq!(reference_join(&r, &s).pairs, 2);
+    }
+}

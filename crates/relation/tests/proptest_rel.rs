@@ -1,0 +1,113 @@
+//! Property tests for the relation substrate: codec round-trips,
+//! generator guarantees and reference-join consistency.
+
+use proptest::prelude::*;
+use tapejoin_rel::{
+    reference_join, Block, JoinCheck, KeyDistribution, RelationSpec, Tuple, WorkloadBuilder,
+};
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (any::<u64>(), any::<u64>()).prop_map(|(k, r)| Tuple::new(k, r))
+}
+
+proptest! {
+    /// split_at + concat is the identity on relations.
+    #[test]
+    fn split_concat_roundtrip(blocks in 1u64..30, at_frac in 0.0f64..=1.0) {
+        let w = WorkloadBuilder::new(9)
+            .r(RelationSpec::new("R", blocks))
+            .build();
+        let at = ((blocks as f64) * at_frac) as u64;
+        let (a, b) = w.r.split_at(at);
+        prop_assert_eq!(a.block_count(), at);
+        prop_assert_eq!(b.block_count(), blocks - at);
+        let back = tapejoin_rel::Relation::concat("R", &[a, b]);
+        let orig: Vec<_> = w.r.tuples().collect();
+        let rt: Vec<_> = back.tuples().collect();
+        prop_assert_eq!(orig, rt);
+        prop_assert_eq!(back.compressibility(), w.r.compressibility());
+    }
+
+    #[test]
+    fn tuple_bytes_roundtrip(t in arb_tuple()) {
+        prop_assert_eq!(Tuple::from_bytes(&t.to_bytes()), t);
+    }
+
+    #[test]
+    fn block_bytes_roundtrip(tuples in proptest::collection::vec(arb_tuple(), 0..100)) {
+        let block = Block::new(tuples);
+        let decoded = Block::from_bytes(&block.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, block);
+    }
+
+    #[test]
+    fn corrupting_any_byte_is_detected(
+        tuples in proptest::collection::vec(arb_tuple(), 1..20),
+        byte_idx in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let block = Block::new(tuples);
+        let mut bytes = block.to_bytes();
+        let idx = byte_idx.index(bytes.len());
+        bytes[idx] ^= flip;
+        // Either the decode fails, or (if the corrupted byte was in the
+        // stored checksum's unused high bits of count... it never is) it
+        // must not silently equal the original.
+        match Block::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, block),
+        }
+    }
+
+    /// The generator's expected pair count always equals the reference
+    /// join's cardinality, across distributions and match rates.
+    #[test]
+    fn generator_agrees_with_reference(
+        seed in any::<u64>(),
+        r_blocks in 1u64..20,
+        s_blocks in 1u64..40,
+        tpb in 1u32..8,
+        dist in prop_oneof![
+            Just(KeyDistribution::Uniform),
+            Just(KeyDistribution::RoundRobin),
+            (0.3f64..1.5).prop_map(|theta| KeyDistribution::Zipf { theta }),
+        ],
+        match_fraction in 0.0f64..=1.0,
+    ) {
+        let w = WorkloadBuilder::new(seed)
+            .r(RelationSpec::new("R", r_blocks).tuples_per_block(tpb))
+            .s(RelationSpec::new("S", s_blocks).tuples_per_block(tpb))
+            .distribution(dist)
+            .match_fraction(match_fraction)
+            .build();
+        let check = reference_join(&w.r, &w.s);
+        prop_assert_eq!(check.pairs, w.expected_pairs);
+        // R keys are unique, so pairs <= |S| tuples.
+        prop_assert!(check.pairs <= w.s.tuple_count());
+    }
+
+    /// JoinCheck merging is associative-ish: splitting S arbitrarily and
+    /// merging partial checks equals the single-pass check.
+    #[test]
+    fn join_check_merge_is_partition_invariant(
+        seed in any::<u64>(),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let w = WorkloadBuilder::new(seed)
+            .r(RelationSpec::new("R", 8))
+            .s(RelationSpec::new("S", 16))
+            .build();
+        let full = reference_join(&w.r, &w.s);
+        let blocks = w.s.blocks();
+        let at = split.index(blocks.len());
+        let (a, b) = blocks.split_at(at);
+        let mut merged = JoinCheck::default();
+        if !a.is_empty() {
+            merged.merge(reference_join(&w.r, &tapejoin_rel::Relation::new("a", a.to_vec(), 0.0)));
+        }
+        if !b.is_empty() {
+            merged.merge(reference_join(&w.r, &tapejoin_rel::Relation::new("b", b.to_vec(), 0.0)));
+        }
+        prop_assert_eq!(merged, full);
+    }
+}

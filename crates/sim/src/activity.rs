@@ -1,0 +1,128 @@
+//! Device activity timelines: who was busy when.
+//!
+//! A [`Server`](crate::Server) can be given an [`ActivityLog`]; every
+//! service interval is then recorded as `(start, end, label)`. Collected
+//! across devices, the logs show exactly how much tape and disk work
+//! overlapped — the difference between the sequential and concurrent
+//! join methods made visible.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::{Duration, SimTime};
+
+/// One busy interval on a device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Activity {
+    /// Service start.
+    pub start: SimTime,
+    /// Service end.
+    pub end: SimTime,
+    /// Request label (e.g. `"read 64"`).
+    pub label: String,
+}
+
+impl Activity {
+    /// Length of the interval.
+    pub fn duration(&self) -> Duration {
+        self.end.duration_since(self.start)
+    }
+}
+
+/// A shared, append-only log of busy intervals for one device.
+#[derive(Clone, Default)]
+pub struct ActivityLog {
+    entries: Rc<RefCell<Vec<Activity>>>,
+}
+
+impl ActivityLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one interval. Intervals must be appended in non-decreasing
+    /// start order (FIFO servers do this naturally).
+    pub fn record(&self, start: SimTime, end: SimTime, label: impl Into<String>) {
+        let mut entries = self.entries.borrow_mut();
+        if let Some(last) = entries.last() {
+            assert!(
+                start >= last.start,
+                "activity log out of order: {start:?} after {:?}",
+                last.start
+            );
+        }
+        entries.push(Activity {
+            start,
+            end,
+            label: label.into(),
+        });
+    }
+
+    /// All recorded intervals.
+    pub fn entries(&self) -> Vec<Activity> {
+        self.entries.borrow().clone()
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total busy time.
+    pub fn busy(&self) -> Duration {
+        self.entries.borrow().iter().map(|a| a.duration()).sum()
+    }
+
+    /// Render the log as one row of an ASCII Gantt chart covering
+    /// `[0, span]` in `width` columns: `#` busy, `.` idle.
+    pub fn gantt_row(&self, span: Duration, width: usize) -> String {
+        assert!(width > 0 && !span.is_zero(), "degenerate gantt row");
+        let mut row = vec!['.'; width];
+        let scale = width as f64 / span.as_secs_f64();
+        for a in self.entries.borrow().iter() {
+            let lo = (a.start.as_secs_f64() * scale).floor() as usize;
+            let hi = ((a.end.as_secs_f64() * scale).ceil() as usize).min(width);
+            for cell in row.iter_mut().take(hi).skip(lo.min(width)) {
+                *cell = '#';
+            }
+        }
+        row.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums_busy_time() {
+        let log = ActivityLog::new();
+        log.record(SimTime::from_nanos(0), SimTime::from_nanos(10), "a");
+        log.record(SimTime::from_nanos(20), SimTime::from_nanos(25), "b");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.busy(), Duration::from_nanos(15));
+        assert_eq!(log.entries()[1].label, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_out_of_order_appends() {
+        let log = ActivityLog::new();
+        log.record(SimTime::from_nanos(10), SimTime::from_nanos(20), "a");
+        log.record(SimTime::from_nanos(5), SimTime::from_nanos(8), "b");
+    }
+
+    #[test]
+    fn gantt_row_marks_busy_cells() {
+        let log = ActivityLog::new();
+        log.record(SimTime::from_nanos(0), SimTime::from_nanos(50), "x");
+        let row = log.gantt_row(Duration::from_nanos(100), 10);
+        assert_eq!(row, "#####.....");
+    }
+}

@@ -1,0 +1,620 @@
+//! The virtual-time executor.
+//!
+//! A single host thread drives a set of tasks (boxed futures). Tasks become
+//! runnable either because a waker fired (synchronization primitives,
+//! completed timers) or because they were just spawned. When no task is
+//! runnable, the executor pops the earliest pending timer, advances the
+//! virtual clock to its deadline, and wakes it — the classic discrete-event
+//! loop.
+//!
+//! Determinism: the ready queue is strictly FIFO, and timers are totally
+//! ordered by `(deadline, registration sequence)`. Given the same program,
+//! every run observes the same interleaving.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::SimTime;
+
+type TaskId = u64;
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+/// FIFO queue of runnable task ids. This is the only piece of state a
+/// [`Waker`] touches, and it is `Send + Sync` so the wakers are sound even
+/// though the rest of the executor is single-threaded.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A timer registration: wake `waker` once the clock reaches `at`.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Per-run executor state, reachable from any point inside the simulation
+/// through a thread-local handle.
+struct SimCtx {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    next_task: Cell<TaskId>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    /// Tasks spawned while another task is being polled; folded into the
+    /// task table between polls.
+    spawned: RefCell<Vec<(TaskId, BoxedTask)>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl SimCtx {
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<SimCtx>>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(&SimCtx) -> R) -> R {
+    CURRENT.with(|cur| {
+        let borrowed = cur.borrow();
+        let ctx = borrowed
+            .as_ref()
+            .expect("not inside a simulation: call this from within Simulation::run");
+        f(ctx)
+    })
+}
+
+/// The current virtual time. Panics outside [`Simulation::run`].
+pub fn now() -> SimTime {
+    with_ctx(|ctx| ctx.now.get())
+}
+
+/// The shared result slot of a spawned task.
+struct JoinState<T> {
+    result: Option<T>,
+    waiter: Option<Waker>,
+    finished: bool,
+}
+
+/// Handle to a task started with [`spawn`]. Await [`JoinHandle::join`] to
+/// obtain its output.
+///
+/// Dropping the handle detaches the task: it keeps running, its output is
+/// discarded.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Wait for the task to complete and return its output.
+    pub async fn join(self) -> T {
+        JoinFuture { state: self.state }.await
+    }
+
+    /// `true` once the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+}
+
+struct JoinFuture<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> Future for JoinFuture<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            return Poll::Ready(v);
+        }
+        assert!(
+            !st.finished,
+            "JoinHandle polled after the task's output was already taken"
+        );
+        st.waiter = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Spawn a new task onto the current simulation. The task starts runnable
+/// and is polled in FIFO order with everything else.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let state = Rc::new(RefCell::new(JoinState {
+        result: None,
+        waiter: None,
+        finished: false,
+    }));
+    let state2 = Rc::clone(&state);
+    let wrapped = async move {
+        let out = fut.await;
+        let mut st = state2.borrow_mut();
+        st.result = Some(out);
+        st.finished = true;
+        if let Some(w) = st.waiter.take() {
+            w.wake();
+        }
+    };
+    with_ctx(|ctx| {
+        let id = ctx.next_task.get();
+        ctx.next_task.set(id + 1);
+        ctx.spawned.borrow_mut().push((id, Box::pin(wrapped)));
+        ctx.ready.push(id);
+    });
+    JoinHandle { state }
+}
+
+/// Future returned by [`crate::sleep_until`] / [`crate::sleep`].
+struct Sleep {
+    deadline: SimTime,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let deadline = self.deadline;
+        with_ctx(|ctx| {
+            if ctx.now.get() >= deadline {
+                return Poll::Ready(());
+            }
+            // Register on every pending poll so the latest waker is the one
+            // that fires; a stale registration causes at most a harmless
+            // spurious wake.
+            ctx.timers.borrow_mut().push(Reverse(TimerEntry {
+                at: deadline,
+                seq: ctx.next_seq(),
+                waker: cx.waker().clone(),
+            }));
+            Poll::Pending
+        })
+    }
+}
+
+pub(crate) async fn sleep_until(deadline: SimTime) {
+    Sleep { deadline }.await
+}
+
+/// Yield to the scheduler once: the task goes to the back of the ready
+/// queue and resumes at the same virtual time.
+pub async fn yield_now() {
+    struct Yield(bool);
+    impl Future for Yield {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    Yield(false).await
+}
+
+/// Telemetry from one [`Simulation::run`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Future polls performed.
+    pub polls: u64,
+    /// Timers fired (clock advances may fire several at once).
+    pub timers_fired: u64,
+    /// Tasks spawned, including the root.
+    pub tasks_spawned: u64,
+    /// Virtual time when the root completed.
+    pub end_time: SimTime,
+}
+
+/// A discrete-event simulation run.
+///
+/// Each call to [`Simulation::run`] executes one independent simulation:
+/// the virtual clock starts at zero and the given root future is driven,
+/// together with everything it spawns, until the root completes. Tasks
+/// still pending when the root finishes are dropped.
+#[derive(Default)]
+pub struct Simulation {
+    last_run: Option<RunStats>,
+}
+
+impl Simulation {
+    /// Create a simulation harness.
+    pub fn new() -> Self {
+        Simulation { last_run: None }
+    }
+
+    /// Telemetry from the most recent [`Simulation::run`] call.
+    pub fn last_run(&self) -> Option<RunStats> {
+        self.last_run
+    }
+
+    /// Drive `root` (and everything it spawns) to completion in virtual
+    /// time and return its output, together with leaving no global state
+    /// behind.
+    ///
+    /// # Panics
+    ///
+    /// * if called from inside another simulation (no nesting);
+    /// * on deadlock: no runnable task, no pending timer, root incomplete.
+    pub fn run<F>(&mut self, root: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let ctx = Rc::new(SimCtx {
+            now: Cell::new(SimTime::ZERO),
+            seq: Cell::new(0),
+            next_task: Cell::new(0),
+            timers: RefCell::new(BinaryHeap::new()),
+            spawned: RefCell::new(Vec::new()),
+            ready: Arc::new(ReadyQueue::default()),
+        });
+
+        CURRENT.with(|cur| {
+            let mut slot = cur.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "Simulation::run may not be nested inside another simulation"
+            );
+            *slot = Some(Rc::clone(&ctx));
+        });
+        // Restore the thread-local even if the simulation panics, so tests
+        // that assert panics don't poison subsequent simulations.
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                CURRENT.with(|cur| cur.borrow_mut().take());
+            }
+        }
+        let _reset = Reset;
+
+        let result: Rc<RefCell<Option<F::Output>>> = Rc::new(RefCell::new(None));
+        let result2 = Rc::clone(&result);
+        let root_id = ctx.next_task.get();
+        ctx.next_task.set(root_id + 1);
+        let root_task: BoxedTask = Box::pin(async move {
+            let out = root.await;
+            *result2.borrow_mut() = Some(out);
+        });
+
+        let mut tasks: HashMap<TaskId, BoxedTask> = HashMap::new();
+        tasks.insert(root_id, root_task);
+        ctx.ready.push(root_id);
+        let mut stats = RunStats::default();
+
+        loop {
+            // Phase 1: run every currently runnable task to quiescence.
+            while let Some(id) = ctx.ready.pop() {
+                // A task may appear in the queue more than once (multiple
+                // wakes) or after completion; both are benign.
+                let Some(mut task) = tasks.remove(&id) else {
+                    continue;
+                };
+                let waker = Waker::from(Arc::new(TaskWaker {
+                    id,
+                    ready: Arc::clone(&ctx.ready),
+                }));
+                let mut cx = Context::from_waker(&waker);
+                stats.polls += 1;
+                match task.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {}
+                    Poll::Pending => {
+                        tasks.insert(id, task);
+                    }
+                }
+                // Adopt tasks spawned during this poll.
+                for (new_id, new_task) in ctx.spawned.borrow_mut().drain(..) {
+                    tasks.insert(new_id, new_task);
+                }
+                if result.borrow().is_some() {
+                    stats.tasks_spawned = ctx.next_task.get();
+                    stats.end_time = ctx.now.get();
+                    self.last_run = Some(stats);
+                    return result.borrow_mut().take().expect("root result vanished");
+                }
+            }
+
+            // Phase 2: nothing runnable — advance the clock to the next
+            // timer deadline and fire every timer scheduled for it.
+            let next_at = match ctx.timers.borrow().peek() {
+                Some(Reverse(e)) => e.at,
+                None => panic!(
+                    "simulation deadlock at {:?}: {} task(s) blocked with no pending timer",
+                    ctx.now.get(),
+                    tasks.len()
+                ),
+            };
+            assert!(next_at >= ctx.now.get(), "timer scheduled in the past");
+            ctx.now.set(next_at);
+            loop {
+                let fire = {
+                    let mut timers = ctx.timers.borrow_mut();
+                    match timers.peek() {
+                        Some(Reverse(e)) if e.at <= next_at => {
+                            Some(timers.pop().expect("peeked timer vanished").0)
+                        }
+                        _ => None,
+                    }
+                };
+                match fire {
+                    Some(entry) => {
+                        stats.timers_fired += 1;
+                        entry.waker.wake();
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+    use crate::{join2, sleep, sleep_until};
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            assert_eq!(now(), SimTime::ZERO);
+            sleep(Duration::from_secs(5)).await;
+            assert_eq!(now(), SimTime::from_nanos(5_000_000_000));
+        });
+    }
+
+    #[test]
+    fn parallel_sleeps_overlap() {
+        let mut sim = Simulation::new();
+        let t = sim.run(async {
+            let ((), ()) =
+                join2(sleep(Duration::from_secs(7)), sleep(Duration::from_secs(4))).await;
+            now()
+        });
+        assert_eq!(t.as_secs_f64(), 7.0);
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let mut sim = Simulation::new();
+        let t = sim.run(async {
+            sleep(Duration::from_secs(3)).await;
+            sleep(Duration::from_secs(4)).await;
+            now()
+        });
+        assert_eq!(t.as_secs_f64(), 7.0);
+    }
+
+    #[test]
+    fn spawn_returns_value() {
+        let mut sim = Simulation::new();
+        let v = sim.run(async {
+            let h = spawn(async {
+                sleep(Duration::from_millis(10)).await;
+                42
+            });
+            h.join().await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn join_after_completion_is_immediate() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let h = spawn(async { 1u8 });
+            sleep(Duration::from_secs(1)).await;
+            assert!(h.is_finished());
+            assert_eq!(h.join().await, 1);
+            assert_eq!(now().as_secs_f64(), 1.0);
+        });
+    }
+
+    #[test]
+    fn detached_tasks_keep_running() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mut sim = Simulation::new();
+        let hits = Rc::new(Cell::new(0));
+        let hits2 = Rc::clone(&hits);
+        let n = sim.run(async move {
+            let hits3 = Rc::clone(&hits2);
+            drop(spawn(async move {
+                sleep(Duration::from_secs(1)).await;
+                hits3.set(hits3.get() + 1);
+            }));
+            sleep(Duration::from_secs(2)).await;
+            hits2.get()
+        });
+        assert_eq!(n, 1);
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn root_completion_drops_pending_tasks() {
+        let mut sim = Simulation::new();
+        let t = sim.run(async {
+            // Never finishes before the root does.
+            drop(spawn(async {
+                sleep(Duration::from_secs(1_000_000)).await;
+            }));
+            sleep(Duration::from_secs(1)).await;
+            now()
+        });
+        assert_eq!(t.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_noop() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            sleep(Duration::from_secs(2)).await;
+            sleep_until(SimTime::from_nanos(1)).await; // already past
+            assert_eq!(now().as_secs_f64(), 2.0);
+        });
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = Rc::clone(&order);
+        sim.run(async move {
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                let o = Rc::clone(&o);
+                handles.push(spawn(async move {
+                    sleep(Duration::from_secs(1)).await;
+                    o.borrow_mut().push(i);
+                }));
+            }
+            for h in handles {
+                h.join().await;
+            }
+        });
+        assert_eq!(*order.borrow(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn yield_now_does_not_advance_time() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            yield_now().await;
+            yield_now().await;
+            assert_eq!(now(), SimTime::ZERO);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            // A future that is never woken.
+            std::future::pending::<()>().await;
+        });
+    }
+
+    #[test]
+    fn run_stats_are_reported() {
+        let mut sim = Simulation::new();
+        assert!(sim.last_run().is_none());
+        sim.run(async {
+            for _ in 0..3 {
+                spawn(async { sleep(Duration::from_secs(1)).await })
+                    .join()
+                    .await;
+            }
+        });
+        let stats = sim.last_run().unwrap();
+        assert_eq!(stats.tasks_spawned, 4); // root + 3
+        assert_eq!(stats.timers_fired, 3);
+        assert!(stats.polls >= 7);
+        assert_eq!(stats.end_time.as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not be nested")]
+    fn nested_run_panics() {
+        let mut outer = Simulation::new();
+        outer.run(async {
+            let mut inner = Simulation::new();
+            inner.run(async {});
+        });
+    }
+
+    #[test]
+    fn run_twice_is_independent() {
+        let mut sim = Simulation::new();
+        for _ in 0..2 {
+            let t = sim.run(async {
+                sleep(Duration::from_secs(1)).await;
+                now()
+            });
+            assert_eq!(t.as_secs_f64(), 1.0);
+        }
+    }
+
+    #[test]
+    fn deep_spawn_chain() {
+        let mut sim = Simulation::new();
+        let v = sim.run(async {
+            fn chain(n: u32) -> std::pin::Pin<Box<dyn std::future::Future<Output = u64>>> {
+                Box::pin(async move {
+                    if n == 0 {
+                        return 0;
+                    }
+                    sleep(Duration::from_millis(1)).await;
+                    spawn(chain(n - 1)).join().await + 1
+                })
+            }
+            chain(100).await
+        });
+        assert_eq!(v, 100);
+    }
+}

@@ -1,0 +1,184 @@
+//! FIFO service centers — the building block for modelled devices.
+//!
+//! A [`Server`] serves one request at a time in arrival order; concurrent
+//! requesters queue. A tape drive or a disk array is a `Server` whose
+//! per-request service time is computed from the device model at the
+//! moment service *starts* (so state such as head position reflects all
+//! previously served requests).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::activity::ActivityLog;
+use crate::sync::Semaphore;
+use crate::time::{Duration, SimTime};
+use crate::{now, sleep};
+
+/// Cumulative statistics for one service center.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Total time the server spent serving (busy time).
+    pub busy: Duration,
+    /// Total time requests spent queued before service.
+    pub queued: Duration,
+}
+
+impl ServerStats {
+    /// Fraction of virtual time `[0, at]` the server was busy.
+    pub fn utilization(&self, at: SimTime) -> f64 {
+        if at == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / at.as_secs_f64()
+        }
+    }
+}
+
+/// A FIFO, single-channel service center.
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin_sim::{now, Duration, Server, Simulation};
+///
+/// let mut sim = Simulation::new();
+/// sim.run(async {
+///     let device = Server::new("disk");
+///     device.serve(Duration::from_secs(2)).await;
+///     device.serve(Duration::from_secs(3)).await;
+///     assert_eq!(now().as_secs_f64(), 5.0); // FIFO, serialized
+///     assert_eq!(device.stats().requests, 2);
+/// });
+/// ```
+#[derive(Clone)]
+pub struct Server {
+    name: Rc<str>,
+    sem: Semaphore,
+    stats: Rc<RefCell<ServerStats>>,
+    activity: Rc<RefCell<Option<ActivityLog>>>,
+}
+
+impl Server {
+    /// Create a named server.
+    pub fn new(name: impl Into<String>) -> Self {
+        Server {
+            name: Rc::from(name.into().into_boxed_str()),
+            sem: Semaphore::new(1),
+            stats: Rc::new(RefCell::new(ServerStats::default())),
+            activity: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// Attach an activity log; every subsequent service interval is
+    /// recorded into it.
+    pub fn attach_activity_log(&self, log: ActivityLog) {
+        *self.activity.borrow_mut() = Some(log);
+    }
+
+    /// The server's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snapshot of the cumulative statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Queue for the server, then hold it for a service time computed by
+    /// `f` *at service start*. `f` returns the service duration plus an
+    /// arbitrary result handed back to the caller.
+    pub async fn serve_with<R>(&self, f: impl FnOnce() -> (Duration, R)) -> R {
+        let arrived = now();
+        let _permit = self.sem.acquire(1).await;
+        let started = now();
+        let (service, out) = f();
+        sleep(service).await;
+        {
+            let mut st = self.stats.borrow_mut();
+            st.requests += 1;
+            st.busy += service;
+            st.queued += started.duration_since(arrived);
+        }
+        if let Some(log) = self.activity.borrow().as_ref() {
+            log.record(started, now(), self.name.to_string());
+        }
+        out
+    }
+
+    /// Queue for the server and hold it for a fixed `service` time.
+    pub async fn serve(&self, service: Duration) {
+        self.serve_with(|| (service, ())).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{join_all, spawn, Simulation};
+
+    #[test]
+    fn requests_serialize_fifo() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let srv = Server::new("dev");
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let srv = srv.clone();
+                handles.push(spawn(async move {
+                    srv.serve(Duration::from_secs(2)).await;
+                    now()
+                }));
+            }
+            let done: Vec<_> = join_all(handles.into_iter().map(|h| h.join()).collect()).await;
+            let secs: Vec<f64> = done.iter().map(|t| t.as_secs_f64()).collect();
+            assert_eq!(secs, vec![2.0, 4.0, 6.0]);
+            let st = srv.stats();
+            assert_eq!(st.requests, 3);
+            assert_eq!(st.busy, Duration::from_secs(6));
+            assert_eq!(st.queued, Duration::from_secs(2 + 4));
+            assert!((st.utilization(now()) - 1.0).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn two_servers_overlap() {
+        let mut sim = Simulation::new();
+        let t = sim.run(async {
+            let a = Server::new("a");
+            let b = Server::new("b");
+            let ha = spawn(async move { a.serve(Duration::from_secs(5)).await });
+            let hb = spawn(async move { b.serve(Duration::from_secs(4)).await });
+            ha.join().await;
+            hb.join().await;
+            now()
+        });
+        assert_eq!(t.as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn service_time_computed_at_start() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let srv = Server::new("dev");
+            let srv2 = srv.clone();
+            // Second request's service time depends on when it starts.
+            let h = spawn(async move {
+                srv2.serve_with(|| {
+                    assert_eq!(now().as_secs_f64(), 0.0);
+                    (Duration::from_secs(3), ())
+                })
+                .await;
+            });
+            crate::yield_now().await;
+            srv.serve_with(|| {
+                assert_eq!(now().as_secs_f64(), 3.0);
+                (Duration::from_secs(1), ())
+            })
+            .await;
+            h.join().await;
+        });
+    }
+}

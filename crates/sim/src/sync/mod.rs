@@ -1,0 +1,19 @@
+//! Async synchronization primitives for simulation tasks.
+//!
+//! All primitives are single-threaded (the executor runs on one host
+//! thread) and strictly FIFO: waiters are served in arrival order, which
+//! keeps simulations deterministic and starvation-free. None of them
+//! advance the virtual clock by themselves — blocking on a semaphore takes
+//! zero virtual time unless whoever releases it slept.
+
+mod mpsc;
+mod mutex;
+mod notify;
+mod oneshot;
+mod semaphore;
+
+pub use mpsc::{channel, Receiver, RecvError, SendError, Sender};
+pub use mutex::{Mutex, MutexGuard};
+pub use notify::Notify;
+pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
+pub use semaphore::{Permit, Semaphore};

@@ -1,0 +1,431 @@
+//! Bounded multi-producer single-consumer channel.
+//!
+//! The pipelines in the join methods (tape reader → hasher → disk writer →
+//! join process) are wired with these channels; the bound is what turns a
+//! chain of tasks into a *bounded-buffer* pipeline whose throughput is the
+//! max of the stage service times, exactly the behaviour the paper's
+//! double-buffering analysis assumes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct SendNode<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    cancelled: bool,
+    done: bool,
+}
+
+struct State<T> {
+    capacity: usize,
+    buffer: VecDeque<T>,
+    send_waiters: VecDeque<Rc<RefCell<SendNode<T>>>>,
+    recv_waker: Option<Waker>,
+    receiver_alive: bool,
+    sender_count: usize,
+}
+
+impl<T> State<T> {
+    /// Move values from parked senders into freed buffer slots, FIFO.
+    fn promote(&mut self) {
+        while self.buffer.len() < self.capacity {
+            let Some(front) = self.send_waiters.front() else {
+                break;
+            };
+            let mut node = front.borrow_mut();
+            if node.cancelled {
+                drop(node);
+                self.send_waiters.pop_front();
+                continue;
+            }
+            let v = node.value.take().expect("parked sender without value");
+            node.done = true;
+            if let Some(w) = node.waker.take() {
+                w.wake();
+            }
+            drop(node);
+            self.send_waiters.pop_front();
+            self.buffer.push_back(v);
+        }
+    }
+
+    fn wake_receiver(&mut self) {
+        if let Some(w) = self.recv_waker.take() {
+            w.wake();
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries
+/// the unsent value back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("channel receiver dropped")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`]'s `Result` twin [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No value buffered right now.
+    Empty,
+    /// All senders dropped and the buffer is drained.
+    Disconnected,
+}
+
+/// Create a bounded channel of the given capacity (> 0).
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin_sim::{spawn, sync::channel, Simulation};
+///
+/// let mut sim = Simulation::new();
+/// let sum = sim.run(async {
+///     let (tx, mut rx) = channel(2);
+///     spawn(async move {
+///         for i in 1..=5u32 {
+///             tx.send(i).await.unwrap();
+///         }
+///     });
+///     let mut sum = 0;
+///     while let Some(v) = rx.recv().await {
+///         sum += v;
+///     }
+///     sum
+/// });
+/// assert_eq!(sum, 15);
+/// ```
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "mpsc channel capacity must be positive");
+    let state = Rc::new(RefCell::new(State {
+        capacity,
+        buffer: VecDeque::with_capacity(capacity),
+        send_waiters: VecDeque::new(),
+        recv_waker: None,
+        receiver_alive: true,
+        sender_count: 1,
+    }));
+    (
+        Sender {
+            state: Rc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+/// Sending half; clone for multiple producers.
+pub struct Sender<T> {
+    state: Rc<RefCell<State<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().sender_count += 1;
+        Sender {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.sender_count -= 1;
+        if st.sender_count == 0 {
+            st.wake_receiver();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `value`, waiting for buffer space if the channel is full.
+    pub fn send(&self, value: T) -> Send<'_, T> {
+        Send {
+            sender: self,
+            value: Some(value),
+            node: None,
+        }
+    }
+
+    /// `true` once the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.state.borrow().receiver_alive
+    }
+}
+
+/// Future returned by [`Sender::send`].
+pub struct Send<'a, T> {
+    sender: &'a Sender<T>,
+    value: Option<T>,
+    node: Option<Rc<RefCell<SendNode<T>>>>,
+}
+
+// `Send` holds no self-references, so it is safe to move after polling.
+impl<T> Unpin for Send<'_, T> {}
+
+impl<T> Future for Send<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Some(node) = &this.node {
+            let mut n = node.borrow_mut();
+            if n.done {
+                return Poll::Ready(Ok(()));
+            }
+            if !this.sender.state.borrow().receiver_alive {
+                let v = n.value.take().expect("undelivered value vanished");
+                n.cancelled = true;
+                return Poll::Ready(Err(SendError(v)));
+            }
+            n.waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let mut st = this.sender.state.borrow_mut();
+        let value = this
+            .value
+            .take()
+            .expect("send future polled after completion");
+        if !st.receiver_alive {
+            return Poll::Ready(Err(SendError(value)));
+        }
+        let queue_empty = !st.send_waiters.iter().any(|n| !n.borrow().cancelled);
+        if queue_empty && st.buffer.len() < st.capacity {
+            st.buffer.push_back(value);
+            st.wake_receiver();
+            return Poll::Ready(Ok(()));
+        }
+        let node = Rc::new(RefCell::new(SendNode {
+            value: Some(value),
+            waker: Some(cx.waker().clone()),
+            cancelled: false,
+            done: false,
+        }));
+        st.send_waiters.push_back(Rc::clone(&node));
+        this.node = Some(node);
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Send<'_, T> {
+    fn drop(&mut self) {
+        if let Some(node) = self.node.take() {
+            node.borrow_mut().cancelled = true;
+        }
+    }
+}
+
+/// Receiving half (single consumer).
+pub struct Receiver<T> {
+    state: Rc<RefCell<State<T>>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.receiver_alive = false;
+        // Wake every parked sender so they observe the closure.
+        for node in st.send_waiters.iter() {
+            if let Some(w) = node.borrow_mut().waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive the next value; `None` once all senders are dropped and the
+    /// buffer is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Result<T, RecvError> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.buffer.pop_front() {
+            st.promote();
+            return Ok(v);
+        }
+        st.promote();
+        if let Some(v) = st.buffer.pop_front() {
+            st.promote();
+            return Ok(v);
+        }
+        if st.sender_count == 0 {
+            Err(RecvError::Disconnected)
+        } else {
+            Err(RecvError::Empty)
+        }
+    }
+
+    /// Number of values currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.borrow().buffer.len()
+    }
+
+    /// `true` when no value is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Unpin for Recv<'_, T> {}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let this = self.get_mut();
+        match this.receiver.try_recv() {
+            Ok(v) => Poll::Ready(Some(v)),
+            Err(RecvError::Disconnected) => Poll::Ready(None),
+            Err(RecvError::Empty) => {
+                this.receiver.state.borrow_mut().recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, sleep, spawn, Duration, Simulation};
+
+    #[test]
+    fn values_flow_in_order() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, mut rx) = channel(4);
+            spawn(async move {
+                for i in 0..10 {
+                    tx.send(i).await.unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn bounded_sender_blocks_until_consumed() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, mut rx) = channel(1);
+            let producer = spawn(async move {
+                tx.send(1u32).await.unwrap();
+                tx.send(2).await.unwrap(); // must block until the consumer reads
+                now()
+            });
+            sleep(Duration::from_secs(3)).await;
+            assert_eq!(rx.recv().await, Some(1));
+            let unblocked_at = producer.join().await;
+            assert_eq!(unblocked_at.as_secs_f64(), 3.0);
+            assert_eq!(rx.recv().await, Some(2));
+        });
+    }
+
+    #[test]
+    fn recv_returns_none_after_all_senders_drop() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, mut rx) = channel::<u8>(2);
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).await.unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv().await, Some(9));
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn send_fails_when_receiver_dropped() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, rx) = channel::<u8>(1);
+            drop(rx);
+            let err = tx.send(7).await.unwrap_err();
+            assert_eq!(err.0, 7);
+            assert!(tx.is_closed());
+        });
+    }
+
+    #[test]
+    fn parked_sender_errors_on_receiver_drop() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, mut rx) = channel::<u8>(1);
+            tx.send(1).await.unwrap();
+            let h = spawn(async move { tx.send(2).await });
+            sleep(Duration::from_secs(1)).await;
+            assert_eq!(rx.try_recv(), Ok(1));
+            drop(rx);
+            let res = h.join().await;
+            assert!(matches!(res, Ok(()) | Err(SendError(2))));
+        });
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_disconnected() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, mut rx) = channel::<u8>(1);
+            assert_eq!(rx.try_recv(), Err(RecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(RecvError::Disconnected));
+        });
+    }
+
+    #[test]
+    fn multiple_producers_interleave_fifo() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, mut rx) = channel(1);
+            for p in 0..3u32 {
+                let tx = tx.clone();
+                spawn(async move {
+                    for i in 0..3u32 {
+                        tx.send(p * 10 + i).await.unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            assert_eq!(got.len(), 9);
+            // Per-producer order is preserved.
+            for p in 0..3u32 {
+                let seq: Vec<_> = got.iter().filter(|v| **v / 10 == p).collect();
+                assert_eq!(seq, vec![&(p * 10), &(p * 10 + 1), &(p * 10 + 2)]);
+            }
+        });
+    }
+}

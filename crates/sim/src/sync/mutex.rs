@@ -1,0 +1,106 @@
+//! An async mutex built on the FIFO semaphore.
+//!
+//! Because the simulation is single-threaded, a mutex is only needed to
+//! serialize critical sections that span an `.await` (e.g. a device whose
+//! whole request cycle must be exclusive). The guard exposes the value via
+//! closures rather than `Deref` so no `RefCell` borrow is ever held across
+//! an await point.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use super::semaphore::{Permit, Semaphore};
+
+/// FIFO async mutex.
+pub struct Mutex<T> {
+    sem: Semaphore,
+    value: Rc<RefCell<T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            sem: Semaphore::new(1),
+            value: Rc::new(RefCell::new(value)),
+        }
+    }
+
+    /// Acquire the lock, waiting FIFO behind earlier lockers.
+    pub async fn lock(&self) -> MutexGuard<T> {
+        let permit = self.sem.acquire(1).await;
+        MutexGuard {
+            _permit: permit,
+            value: Rc::clone(&self.value),
+        }
+    }
+
+    /// Acquire without waiting, if free and nothing is queued.
+    pub fn try_lock(&self) -> Option<MutexGuard<T>> {
+        self.sem.try_acquire(1).map(|permit| MutexGuard {
+            _permit: permit,
+            value: Rc::clone(&self.value),
+        })
+    }
+}
+
+/// Lock guard; the mutex unlocks when this is dropped.
+pub struct MutexGuard<T> {
+    _permit: Permit,
+    value: Rc<RefCell<T>>,
+}
+
+impl<T> MutexGuard<T> {
+    /// Read the protected value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.value.borrow())
+    }
+
+    /// Mutate the protected value.
+    pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.value.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, sleep, spawn, Duration, Simulation};
+
+    #[test]
+    fn lock_serializes_critical_sections() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let m = Rc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let m = Rc::clone(&m);
+                handles.push(spawn(async move {
+                    let mut g = m.lock().await;
+                    let v = g.with(|v| *v);
+                    // Hold the lock across an await: without mutual
+                    // exclusion every task would read 0.
+                    sleep(Duration::from_secs(1)).await;
+                    g.with_mut(|x| *x = v + 1);
+                }));
+            }
+            for h in handles {
+                h.join().await;
+            }
+            assert_eq!(m.lock().await.with(|v| *v), 4);
+            assert_eq!(now().as_secs_f64(), 4.0);
+        });
+    }
+
+    #[test]
+    fn try_lock_contended_fails() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let m = Mutex::new(());
+            let g = m.lock().await;
+            assert!(m.try_lock().is_none());
+            drop(g);
+            assert!(m.try_lock().is_some());
+        });
+    }
+}

@@ -1,0 +1,195 @@
+//! Wake-up notification primitive (edge-triggered with one stored permit,
+//! like Tokio's `Notify`).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct WaitNode {
+    notified: bool,
+    waker: Option<Waker>,
+}
+
+struct State {
+    /// One permit is stored when `notify_one` fires with nobody waiting, so
+    /// the next `notified().await` completes immediately (no lost wakeups).
+    stored_permit: bool,
+    waiters: VecDeque<Rc<RefCell<WaitNode>>>,
+}
+
+/// Notify one or all waiting tasks.
+#[derive(Clone)]
+pub struct Notify {
+    state: Rc<RefCell<State>>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Notify {
+    /// Create a notifier with no stored permit.
+    pub fn new() -> Self {
+        Notify {
+            state: Rc::new(RefCell::new(State {
+                stored_permit: false,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Wake the oldest waiter, or store a permit if none is waiting.
+    pub fn notify_one(&self) {
+        let mut st = self.state.borrow_mut();
+        while let Some(node) = st.waiters.pop_front() {
+            let mut n = node.borrow_mut();
+            if n.waker.is_none() && !n.notified {
+                continue; // cancelled waiter
+            }
+            n.notified = true;
+            if let Some(w) = n.waker.take() {
+                w.wake();
+            }
+            return;
+        }
+        st.stored_permit = true;
+    }
+
+    /// Wake every current waiter (does not store a permit).
+    pub fn notify_all(&self) {
+        let mut st = self.state.borrow_mut();
+        for node in st.waiters.drain(..) {
+            let mut n = node.borrow_mut();
+            n.notified = true;
+            if let Some(w) = n.waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    /// Wait for a notification.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            notify: self.clone(),
+            node: None,
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    notify: Notify,
+    node: Option<Rc<RefCell<WaitNode>>>,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if let Some(node) = &this.node {
+            let mut n = node.borrow_mut();
+            if n.notified {
+                drop(n);
+                this.node = None; // consumed; Drop must not re-notify
+                return Poll::Ready(());
+            }
+            n.waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let mut st = this.notify.state.borrow_mut();
+        if st.stored_permit {
+            st.stored_permit = false;
+            return Poll::Ready(());
+        }
+        let node = Rc::new(RefCell::new(WaitNode {
+            notified: false,
+            waker: Some(cx.waker().clone()),
+        }));
+        st.waiters.push_back(Rc::clone(&node));
+        this.node = Some(node);
+        Poll::Pending
+    }
+}
+
+impl Drop for Notified {
+    fn drop(&mut self) {
+        if let Some(node) = self.node.take() {
+            let mut n = node.borrow_mut();
+            if n.notified {
+                // Consumed a notification without observing it; pass it on.
+                drop(n);
+                self.notify.notify_one();
+            } else {
+                n.waker = None; // mark cancelled
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, sleep, spawn, Duration, Simulation};
+
+    #[test]
+    fn stored_permit_prevents_lost_wakeup() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let n = Notify::new();
+            n.notify_one(); // nobody waiting: store
+            n.notified().await; // completes immediately
+        });
+    }
+
+    #[test]
+    fn notify_one_wakes_oldest() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let n = Notify::new();
+            let n1 = n.clone();
+            let h1 = spawn(async move {
+                n1.notified().await;
+                now()
+            });
+            crate::yield_now().await;
+            let n2 = n.clone();
+            let h2 = spawn(async move {
+                n2.notified().await;
+                now()
+            });
+            sleep(Duration::from_secs(1)).await;
+            n.notify_one();
+            sleep(Duration::from_secs(1)).await;
+            n.notify_one();
+            assert_eq!(h1.join().await.as_secs_f64(), 1.0);
+            assert_eq!(h2.join().await.as_secs_f64(), 2.0);
+        });
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let n = Notify::new();
+            let mut handles = Vec::new();
+            for _ in 0..5 {
+                let n = n.clone();
+                handles.push(spawn(async move {
+                    n.notified().await;
+                    now()
+                }));
+            }
+            sleep(Duration::from_secs(3)).await;
+            n.notify_all();
+            for h in handles {
+                assert_eq!(h.join().await.as_secs_f64(), 3.0);
+            }
+        });
+    }
+}

@@ -1,0 +1,121 @@
+//! One-shot value handoff between two tasks.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct State<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_dropped: bool,
+}
+
+/// Create a connected oneshot pair.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let state = Rc::new(RefCell::new(State {
+        value: None,
+        waker: None,
+        sender_dropped: false,
+    }));
+    (
+        OneshotSender {
+            state: Rc::clone(&state),
+        },
+        OneshotReceiver { state },
+    )
+}
+
+/// Sending half; consumes itself on send.
+pub struct OneshotSender<T> {
+    state: Rc<RefCell<State<T>>>,
+}
+
+impl<T> OneshotSender<T> {
+    /// Deliver `value` to the receiver. Returns `Err(value)` if the
+    /// receiver was dropped.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut st = self.state.borrow_mut();
+        if Rc::strong_count(&self.state) == 1 {
+            return Err(value);
+        }
+        st.value = Some(value);
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.sender_dropped = true;
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+/// Receiving half: a future resolving to `Some(value)` or `None` if the
+/// sender was dropped without sending.
+pub struct OneshotReceiver<T> {
+    state: Rc<RefCell<State<T>>>,
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.value.take() {
+            return Poll::Ready(Some(v));
+        }
+        if st.sender_dropped {
+            return Poll::Ready(None);
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, sleep, spawn, Duration, Simulation};
+
+    #[test]
+    fn value_is_delivered() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, rx) = oneshot();
+            spawn(async move {
+                sleep(Duration::from_secs(2)).await;
+                tx.send(99u32).unwrap();
+            });
+            assert_eq!(rx.await, Some(99));
+            assert_eq!(now().as_secs_f64(), 2.0);
+        });
+    }
+
+    #[test]
+    fn dropped_sender_yields_none() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, rx) = oneshot::<u8>();
+            drop(tx);
+            assert_eq!(rx.await, None);
+        });
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tx, rx) = oneshot::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(1));
+        });
+    }
+}

@@ -1,0 +1,385 @@
+//! A counting semaphore with FIFO fairness and multi-permit acquisition.
+//!
+//! This is the workhorse of the buffering techniques in `tapejoin-buffer`:
+//! free block slots in a circular or interleaved double buffer are permits,
+//! producers acquire slots before writing and consumers release them after
+//! reading. FIFO ordering means a large request parked at the head is not
+//! starved by a stream of small ones (no barging).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct WaitNode {
+    amount: u64,
+    granted: bool,
+    cancelled: bool,
+    waker: Option<Waker>,
+}
+
+struct State {
+    permits: u64,
+    waiters: VecDeque<Rc<RefCell<WaitNode>>>,
+}
+
+impl State {
+    /// Hand permits to queued waiters, strictly front-to-back.
+    fn grant(&mut self) {
+        while let Some(front) = self.waiters.front() {
+            let mut node = front.borrow_mut();
+            if node.cancelled {
+                drop(node);
+                self.waiters.pop_front();
+                continue;
+            }
+            if node.amount > self.permits {
+                break;
+            }
+            self.permits -= node.amount;
+            node.granted = true;
+            if let Some(w) = node.waker.take() {
+                w.wake();
+            }
+            drop(node);
+            self.waiters.pop_front();
+        }
+    }
+}
+
+/// A FIFO counting semaphore. Cheap to clone (shared handle).
+///
+/// # Examples
+///
+/// ```
+/// use tapejoin_sim::{sync::Semaphore, Simulation};
+///
+/// let mut sim = Simulation::new();
+/// sim.run(async {
+///     let slots = Semaphore::new(4);
+///     let grant = slots.acquire(3).await;
+///     assert_eq!(slots.available(), 1);
+///     drop(grant); // permits return on drop
+///     assert_eq!(slots.available(), 4);
+/// });
+/// ```
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<RefCell<State>>,
+}
+
+impl Semaphore {
+    /// Create a semaphore holding `permits` initial permits.
+    pub fn new(permits: u64) -> Self {
+        Semaphore {
+            state: Rc::new(RefCell::new(State {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Permits currently available (not counting queued waiters).
+    pub fn available(&self) -> u64 {
+        self.state.borrow().permits
+    }
+
+    /// Number of tasks waiting for permits.
+    pub fn waiters(&self) -> usize {
+        self.state
+            .borrow()
+            .waiters
+            .iter()
+            .filter(|n| !n.borrow().cancelled)
+            .count()
+    }
+
+    /// Acquire `amount` permits, waiting FIFO if necessary. The returned
+    /// [`Permit`] releases them on drop unless [`Permit::forget`] is called.
+    pub fn acquire(&self, amount: u64) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            amount,
+            node: None,
+        }
+    }
+
+    /// Try to take `amount` permits without waiting. Fails (without queue
+    /// jumping) if anything is queued ahead or not enough permits remain.
+    pub fn try_acquire(&self, amount: u64) -> Option<Permit> {
+        let mut st = self.state.borrow_mut();
+        let blocked = st.waiters.iter().any(|n| !n.borrow().cancelled);
+        if !blocked && st.permits >= amount {
+            st.permits -= amount;
+            Some(Permit {
+                sem: self.clone(),
+                amount,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Return `amount` permits to the pool (e.g. to model space reclaimed
+    /// outside an RAII scope, paired with [`Permit::forget`]).
+    pub fn add_permits(&self, amount: u64) {
+        let mut st = self.state.borrow_mut();
+        st.permits = st
+            .permits
+            .checked_add(amount)
+            .expect("semaphore permit overflow");
+        st.grant();
+    }
+}
+
+/// RAII grant of semaphore permits.
+pub struct Permit {
+    sem: Semaphore,
+    amount: u64,
+}
+
+impl Permit {
+    /// Number of permits held.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+
+    /// Leak the permits: they are *not* returned on drop. Use when the
+    /// release happens through [`Semaphore::add_permits`] at another site.
+    pub fn forget(mut self) {
+        self.amount = 0;
+    }
+
+    /// Split off `amount` permits into a separate [`Permit`], so portions
+    /// of a grant can be released independently. Panics if `amount`
+    /// exceeds what is held.
+    pub fn split(&mut self, amount: u64) -> Permit {
+        assert!(amount <= self.amount, "Permit::split: not enough permits");
+        self.amount -= amount;
+        Permit {
+            sem: self.sem.clone(),
+            amount,
+        }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        if self.amount > 0 {
+            self.sem.add_permits(self.amount);
+        }
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    amount: u64,
+    node: Option<Rc<RefCell<WaitNode>>>,
+}
+
+impl Future for Acquire {
+    type Output = Permit;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Permit> {
+        let this = &mut *self;
+        if let Some(node) = &this.node {
+            let mut n = node.borrow_mut();
+            if n.granted {
+                n.granted = false; // consumed; Drop must not re-release
+                drop(n);
+                this.node = None;
+                return Poll::Ready(Permit {
+                    sem: this.sem.clone(),
+                    amount: this.amount,
+                });
+            }
+            n.waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let mut st = this.sem.state.borrow_mut();
+        let blocked = st.waiters.iter().any(|n| !n.borrow().cancelled);
+        if !blocked && st.permits >= this.amount {
+            st.permits -= this.amount;
+            return Poll::Ready(Permit {
+                sem: this.sem.clone(),
+                amount: this.amount,
+            });
+        }
+        let node = Rc::new(RefCell::new(WaitNode {
+            amount: this.amount,
+            granted: false,
+            cancelled: false,
+            waker: Some(cx.waker().clone()),
+        }));
+        st.waiters.push_back(Rc::clone(&node));
+        this.node = Some(node);
+        Poll::Pending
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(node) = self.node.take() {
+            let mut n = node.borrow_mut();
+            if n.granted {
+                // Granted but never observed: return the permits.
+                drop(n);
+                self.sem.add_permits(self.amount);
+            } else {
+                n.cancelled = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, sleep, spawn, Duration, Simulation};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn immediate_acquire_when_available() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sem = Semaphore::new(3);
+            let p = sem.acquire(2).await;
+            assert_eq!(sem.available(), 1);
+            drop(p);
+            assert_eq!(sem.available(), 3);
+        });
+    }
+
+    #[test]
+    fn waits_until_released() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sem = Semaphore::new(1);
+            let p = sem.acquire(1).await;
+            let sem2 = sem.clone();
+            let waiter = spawn(async move {
+                let _p = sem2.acquire(1).await;
+                now()
+            });
+            sleep(Duration::from_secs(5)).await;
+            drop(p);
+            let acquired_at = waiter.join().await;
+            assert_eq!(acquired_at.as_secs_f64(), 5.0);
+        });
+    }
+
+    #[test]
+    fn fifo_no_barging() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sem = Semaphore::new(0);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            // First waiter wants 3, second wants 1. Releasing 1 must not
+            // let the small request jump the queue.
+            let (s1, o1) = (sem.clone(), Rc::clone(&order));
+            let h1 = spawn(async move {
+                let _p = s1.acquire(3).await;
+                o1.borrow_mut().push("big");
+            });
+            crate::yield_now().await;
+            let (s2, o2) = (sem.clone(), Rc::clone(&order));
+            let h2 = spawn(async move {
+                let _p = s2.acquire(1).await;
+                o2.borrow_mut().push("small");
+            });
+            crate::yield_now().await;
+            sem.add_permits(1);
+            crate::yield_now().await;
+            assert!(order.borrow().is_empty(), "small barged past big");
+            sem.add_permits(2);
+            h1.join().await;
+            h2.join().await;
+            assert_eq!(*order.borrow(), vec!["big", "small"]);
+        });
+    }
+
+    #[test]
+    fn try_acquire_respects_queue() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sem = Semaphore::new(2);
+            let sem2 = sem.clone();
+            let _h = spawn(async move {
+                let _p = sem2.acquire(5).await; // parks
+            });
+            crate::yield_now().await;
+            // 2 permits are free but a waiter is queued: no barging.
+            assert!(sem.try_acquire(1).is_none());
+        });
+    }
+
+    #[test]
+    fn cancelled_waiter_is_skipped() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sem = Semaphore::new(0);
+            let sem2 = sem.clone();
+            let h = spawn(async move {
+                let acq = sem2.acquire(10);
+                // Race the acquire against a timer; the timer wins and the
+                // acquire future is dropped (cancelled).
+                let sleep_fut = sleep(Duration::from_secs(1));
+                let ((), ()) = RaceDone(Box::pin(acq), Box::pin(sleep_fut)).await;
+            });
+            sleep(Duration::from_secs(2)).await;
+            h.join().await;
+            // The cancelled waiter must not absorb these permits.
+            sem.add_permits(1);
+            assert!(sem.try_acquire(1).is_some());
+        });
+    }
+
+    /// Polls A and B; completes when B completes (dropping A).
+    struct RaceDone(
+        std::pin::Pin<Box<Acquire>>,
+        std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>,
+    );
+    impl std::future::Future for RaceDone {
+        type Output = ((), ());
+        fn poll(
+            mut self: std::pin::Pin<&mut Self>,
+            cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<((), ())> {
+            let _ = self.0.as_mut().poll(cx);
+            match self.1.as_mut().poll(cx) {
+                std::task::Poll::Ready(()) => std::task::Poll::Ready(((), ())),
+                std::task::Poll::Pending => std::task::Poll::Pending,
+            }
+        }
+    }
+
+    #[test]
+    fn permit_split_releases_independently() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sem = Semaphore::new(10);
+            let mut p = sem.acquire(6).await;
+            let half = p.split(2);
+            drop(half);
+            assert_eq!(sem.available(), 6);
+            drop(p);
+            assert_eq!(sem.available(), 10);
+        });
+    }
+
+    #[test]
+    fn forget_leaks_permits() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let sem = Semaphore::new(4);
+            sem.acquire(3).await.forget();
+            assert_eq!(sem.available(), 1);
+            sem.add_permits(3); // manual release elsewhere
+            assert_eq!(sem.available(), 4);
+        });
+    }
+}

@@ -1,0 +1,263 @@
+//! Virtual time.
+//!
+//! Simulation time is an unsigned count of nanoseconds since the start of
+//! the run. Nanosecond resolution keeps device-rate arithmetic (bytes /
+//! bytes-per-second) exact enough that block-level transfer times do not
+//! accumulate visible rounding error even over multi-hour simulated runs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the virtual clock (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant (used as an "infinite" deadline).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`. Panics if `earlier` is later than
+    /// `self`; virtual time never runs backwards.
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is in the future"),
+        )
+    }
+
+    /// Saturating difference, zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.as_nanos())
+                .expect("virtual clock overflow"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+/// A span of virtual time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds. Panics on negative or
+    /// non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Duration::from_secs_f64: invalid seconds {s}"
+        );
+        Duration((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` when this is the empty span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked multiplication by an integer count (e.g. per-block service
+    /// time times a block count).
+    pub fn checked_mul(self, n: u64) -> Option<Duration> {
+        self.0.checked_mul(n).map(Duration)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("Duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Duration subtraction underflow"),
+        )
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+/// Time to move `bytes` at `bytes_per_sec`, rounded up to whole
+/// nanoseconds so a transfer never completes early.
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> Duration {
+    assert!(
+        bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+        "transfer_time: invalid rate {bytes_per_sec}"
+    );
+    Duration::from_nanos((bytes as f64 * 1e9 / bytes_per_sec).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(5_000);
+        let d = Duration::from_nanos(2_500);
+        assert_eq!((t + d).as_nanos(), 7_500);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.duration_since(SimTime::ZERO).as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_secs(2), Duration::from_millis(2_000));
+        assert_eq!(Duration::from_millis(3), Duration::from_micros(3_000));
+        assert_eq!(Duration::from_secs_f64(0.5), Duration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_subtraction_underflow_panics() {
+        let _ = Duration::from_nanos(1) - Duration::from_nanos(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn duration_since_future_panics() {
+        SimTime::from_nanos(1).duration_since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn transfer_time_is_exact_for_round_rates() {
+        // 1 MiB at 1 MiB/s is exactly one second.
+        let d = transfer_time(1 << 20, (1 << 20) as f64);
+        assert_eq!(d, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 3 bytes/s: 333333333.33ns rounds to ...34.
+        let d = transfer_time(1, 3.0);
+        assert_eq!(d.as_nanos(), 333_333_334);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            Duration::from_nanos(1).saturating_sub(Duration::from_nanos(5)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            SimTime::from_nanos(1).saturating_duration_since(SimTime::from_nanos(9)),
+            Duration::ZERO
+        );
+    }
+}

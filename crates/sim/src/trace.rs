@@ -1,0 +1,153 @@
+//! Time-series recording, used e.g. for the disk-space-utilization plot of
+//! Figure 4 in the paper.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One sample in a series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// A named series of `(time, value)` samples. Cheap to clone (shared).
+#[derive(Clone)]
+pub struct Trace {
+    name: Rc<str>,
+    points: Rc<RefCell<Vec<TracePoint>>>,
+}
+
+impl Trace {
+    /// Create an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: Rc::from(name.into().into_boxed_str()),
+            points: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record `value` at the current virtual time (requires an active
+    /// simulation).
+    pub fn record_now(&self, value: f64) {
+        self.record(crate::now(), value);
+    }
+
+    /// Record `value` at an explicit instant. Samples must be appended in
+    /// non-decreasing time order.
+    pub fn record(&self, at: SimTime, value: f64) {
+        let mut pts = self.points.borrow_mut();
+        if let Some(last) = pts.last() {
+            assert!(
+                at >= last.at,
+                "trace '{}': sample at {at:?} is before previous sample at {:?}",
+                self.name,
+                last.at
+            );
+        }
+        pts.push(TracePoint { at, value });
+    }
+
+    /// All samples recorded so far.
+    pub fn points(&self) -> Vec<TracePoint> {
+        self.points.borrow().clone()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.borrow().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak sampled value (0 if empty).
+    pub fn max_value(&self) -> f64 {
+        self.points
+            .borrow()
+            .iter()
+            .map(|p| p.value)
+            .fold(0.0, f64::max)
+    }
+
+    /// Time-weighted mean of the series over its recorded span, treating
+    /// each sample as holding until the next one (step function). Returns
+    /// 0 for fewer than two samples.
+    pub fn time_weighted_mean(&self) -> f64 {
+        let pts = self.points.borrow();
+        if pts.len() < 2 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        for pair in pts.windows(2) {
+            let dt = pair[1].at.duration_since(pair[0].at).as_secs_f64();
+            area += pair[0].value * dt;
+        }
+        let span = pts[pts.len() - 1]
+            .at
+            .duration_since(pts[0].at)
+            .as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            area / span
+        }
+    }
+
+    /// Downsample to at most `n` evenly spaced points (for printing).
+    pub fn downsample(&self, n: usize) -> Vec<TracePoint> {
+        let pts = self.points.borrow();
+        if pts.len() <= n || n == 0 {
+            return pts.clone();
+        }
+        let stride = pts.len() as f64 / n as f64;
+        (0..n).map(|i| pts[(i as f64 * stride) as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let t = Trace::new("util");
+        t.record(SimTime::from_nanos(0), 1.0);
+        t.record(SimTime::from_nanos(10), 3.0);
+        t.record(SimTime::from_nanos(20), 2.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.max_value(), 3.0);
+        // (1.0*10 + 3.0*10) / 20
+        assert!((t.time_weighted_mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "before previous sample")]
+    fn rejects_time_travel() {
+        let t = Trace::new("x");
+        t.record(SimTime::from_nanos(5), 0.0);
+        t.record(SimTime::from_nanos(4), 0.0);
+    }
+
+    #[test]
+    fn downsample_keeps_bounds() {
+        let t = Trace::new("x");
+        for i in 0..100 {
+            t.record(SimTime::from_nanos(i), i as f64);
+        }
+        let d = t.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0].value, 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Behavioural tests for the simulation kernel beyond the per-module
+//! unit tests: stress shapes, handle semantics, activity logging and
+//! trace interplay.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use tapejoin_sim::sync::{channel, Mutex, Notify, Semaphore};
+use tapejoin_sim::{
+    join3, now, sleep, spawn, yield_now, ActivityLog, Duration, Server, SimTime, Simulation, Trace,
+};
+
+#[test]
+fn ten_thousand_interleaved_tasks_settle() {
+    let mut sim = Simulation::new();
+    let total = sim.run(async {
+        let sum = Rc::new(RefCell::new(0u64));
+        let mut handles = Vec::new();
+        for i in 0..10_000u64 {
+            let sum = Rc::clone(&sum);
+            handles.push(spawn(async move {
+                sleep(Duration::from_nanos(i % 37)).await;
+                *sum.borrow_mut() += 1;
+            }));
+        }
+        for h in handles {
+            h.join().await;
+        }
+        let total = *sum.borrow();
+        total
+    });
+    assert_eq!(total, 10_000);
+}
+
+#[test]
+fn join_handle_is_finished_transitions() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let h = spawn(async {
+            sleep(Duration::from_secs(1)).await;
+        });
+        assert!(!h.is_finished());
+        sleep(Duration::from_secs(2)).await;
+        assert!(h.is_finished());
+        h.join().await;
+    });
+}
+
+#[test]
+fn join3_returns_all_outputs_at_the_slowest() {
+    let mut sim = Simulation::new();
+    let (a, b, c) = sim.run(async {
+        let out = join3(
+            async {
+                sleep(Duration::from_secs(1)).await;
+                'a'
+            },
+            async {
+                sleep(Duration::from_secs(3)).await;
+                'b'
+            },
+            async {
+                sleep(Duration::from_secs(2)).await;
+                'c'
+            },
+        )
+        .await;
+        assert_eq!(now().as_secs_f64(), 3.0);
+        out
+    });
+    assert_eq!((a, b, c), ('a', 'b', 'c'));
+}
+
+#[test]
+fn mutex_try_lock_succeeds_after_release() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let m = Mutex::new(5u32);
+        {
+            let mut g = m.lock().await;
+            g.with_mut(|v| *v += 1);
+        }
+        let g = m.try_lock().expect("uncontended");
+        assert_eq!(g.with(|v| *v), 6);
+    });
+}
+
+#[test]
+fn notify_all_does_not_store_permits() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let n = Notify::new();
+        n.notify_all(); // nobody waiting: nothing stored
+        let n2 = n.clone();
+        let h = spawn(async move {
+            n2.notified().await;
+            now()
+        });
+        sleep(Duration::from_secs(1)).await;
+        n.notify_one();
+        assert_eq!(h.join().await.as_secs_f64(), 1.0);
+    });
+}
+
+#[test]
+fn semaphore_waiter_count_reflects_queue() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let sem = Semaphore::new(0);
+        for _ in 0..3 {
+            let s = sem.clone();
+            drop(spawn(async move {
+                let _p = s.acquire(1).await;
+                sleep(Duration::from_secs(100)).await;
+            }));
+        }
+        yield_now().await;
+        assert_eq!(sem.waiters(), 3);
+        sem.add_permits(1);
+        yield_now().await;
+        yield_now().await;
+        assert_eq!(sem.waiters(), 2);
+    });
+}
+
+#[test]
+fn channel_len_tracks_buffered_values() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let (tx, mut rx) = channel::<u8>(4);
+        assert!(rx.is_empty());
+        tx.send(1).await.unwrap();
+        tx.send(2).await.unwrap();
+        assert_eq!(rx.len(), 2);
+        let _ = rx.recv().await;
+        assert_eq!(rx.len(), 1);
+    });
+}
+
+#[test]
+fn server_activity_log_matches_stats() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let srv = Server::new("dev");
+        let log = ActivityLog::new();
+        srv.attach_activity_log(log.clone());
+        for _ in 0..4 {
+            srv.serve(Duration::from_secs(2)).await;
+            sleep(Duration::from_secs(1)).await;
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.busy(), srv.stats().busy);
+        // Entries are disjoint and ordered.
+        let entries = log.entries();
+        for pair in entries.windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    });
+}
+
+#[test]
+fn trace_record_now_uses_virtual_time() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let t = Trace::new("x");
+        t.record_now(1.0);
+        sleep(Duration::from_secs(5)).await;
+        t.record_now(2.0);
+        let pts = t.points();
+        assert_eq!(pts[0].at, SimTime::ZERO);
+        assert_eq!(pts[1].at.as_secs_f64(), 5.0);
+    });
+}
+
+#[test]
+fn utilization_accounts_idle_time() {
+    let mut sim = Simulation::new();
+    sim.run(async {
+        let srv = Server::new("dev");
+        srv.serve(Duration::from_secs(1)).await;
+        sleep(Duration::from_secs(3)).await;
+        let u = srv.stats().utilization(now());
+        assert!((u - 0.25).abs() < 1e-9);
+    });
+}
+
+#[test]
+fn time_display_formats() {
+    assert_eq!(format!("{}", Duration::from_millis(1500)), "1.500s");
+    assert_eq!(format!("{}", SimTime::from_nanos(2_000_000_000)), "2.000s");
+    assert_eq!(format!("{:?}", Duration::from_secs(1)), "1.000000s");
+}
+
+#[test]
+fn durations_sum() {
+    let total: Duration = (1..=4).map(Duration::from_secs).sum();
+    assert_eq!(total, Duration::from_secs(10));
+}

@@ -1,0 +1,192 @@
+//! Property tests for the simulation kernel's ordering and conservation
+//! invariants.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use tapejoin_sim::sync::{channel, Semaphore};
+use tapejoin_sim::{now, sleep, spawn, Duration, Simulation};
+
+proptest! {
+    /// Timers fire in deadline order regardless of registration order,
+    /// with ties broken by registration sequence.
+    #[test]
+    fn timers_fire_in_deadline_order(delays in proptest::collection::vec(0u64..1_000, 1..40)) {
+        let mut sim = Simulation::new();
+        let fired: Vec<(u64, usize)> = sim.run({
+            let delays = delays.clone();
+            async move {
+                let log = Rc::new(RefCell::new(Vec::new()));
+                let mut handles = Vec::new();
+                for (idx, &d) in delays.iter().enumerate() {
+                    let log = Rc::clone(&log);
+                    handles.push(spawn(async move {
+                        sleep(Duration::from_nanos(d)).await;
+                        log.borrow_mut().push((now().as_nanos(), idx));
+                    }));
+                }
+                for h in handles {
+                    h.join().await;
+                }
+                Rc::try_unwrap(log).unwrap().into_inner()
+            }
+        });
+        // Completion times are the delays themselves, in sorted order.
+        let times: Vec<u64> = fired.iter().map(|(t, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&times, &sorted);
+        // Equal deadlines fire in spawn order.
+        for w in fired.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broken out of order: {:?}", w);
+            }
+        }
+    }
+
+    /// The channel delivers every value exactly once, in per-sender
+    /// order, for any capacity and message count.
+    #[test]
+    fn channel_is_lossless_fifo(cap in 1usize..16, counts in proptest::collection::vec(1u64..50, 1..4)) {
+        let mut sim = Simulation::new();
+        let received: Vec<(usize, u64)> = sim.run({
+            let counts = counts.clone();
+            async move {
+                let (tx, mut rx) = channel::<(usize, u64)>(cap);
+                for (sender, &n) in counts.iter().enumerate() {
+                    let tx = tx.clone();
+                    spawn(async move {
+                        for i in 0..n {
+                            tx.send((sender, i)).await.unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                let mut out = Vec::new();
+                while let Some(v) = rx.recv().await {
+                    out.push(v);
+                }
+                out
+            }
+        });
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(received.len() as u64, total);
+        for (sender, &n) in counts.iter().enumerate() {
+            let seq: Vec<u64> = received.iter().filter(|(s, _)| *s == sender).map(|(_, i)| *i).collect();
+            prop_assert_eq!(seq, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Semaphore permits are conserved across arbitrary acquire/release
+    /// interleavings, and available+held never exceeds the initial count.
+    #[test]
+    fn semaphore_conserves_permits(initial in 1u64..20, ops in proptest::collection::vec(1u64..5, 1..30)) {
+        let mut sim = Simulation::new();
+        let final_available = sim.run({
+            let ops = ops.clone();
+            async move {
+                let sem = Semaphore::new(initial);
+                let mut handles = Vec::new();
+                for (i, &amount) in ops.iter().enumerate() {
+                    let sem = sem.clone();
+                    let amount = amount.min(initial); // never exceed capacity
+                    handles.push(spawn(async move {
+                        let p = sem.acquire(amount).await;
+                        sleep(Duration::from_nanos((i as u64 % 7) + 1)).await;
+                        drop(p);
+                    }));
+                }
+                for h in handles {
+                    h.join().await;
+                }
+                sem.available()
+            }
+        });
+        prop_assert_eq!(final_available, initial);
+    }
+
+    /// A mix of spawned sleeps always terminates with the clock at the
+    /// maximum deadline (no lost wakeups, no stuck tasks).
+    #[test]
+    fn virtual_clock_ends_at_max_deadline(delays in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let mut sim = Simulation::new();
+        let end = sim.run({
+            let delays = delays.clone();
+            async move {
+                let handles: Vec<_> = delays
+                    .iter()
+                    .map(|&d| spawn(async move { sleep(Duration::from_nanos(d)).await }))
+                    .collect();
+                for h in handles {
+                    h.join().await;
+                }
+                now().as_nanos()
+            }
+        });
+        prop_assert_eq!(end, *delays.iter().max().unwrap());
+    }
+}
+
+mod race_tests {
+    use tapejoin_sim::{now, race2, sleep, timeout, Duration, Either, Simulation};
+
+    #[test]
+    fn race_resolves_with_the_earlier_future() {
+        let mut sim = Simulation::new();
+        let winner = sim.run(async {
+            race2(
+                async {
+                    sleep(Duration::from_secs(5)).await;
+                    "slow"
+                },
+                async {
+                    sleep(Duration::from_secs(2)).await;
+                    "fast"
+                },
+            )
+            .await
+        });
+        assert_eq!(winner, Either::Right("fast"));
+    }
+
+    #[test]
+    fn race_tie_goes_to_the_left() {
+        let mut sim = Simulation::new();
+        let winner = sim.run(async {
+            race2(
+                async {
+                    sleep(Duration::from_secs(1)).await;
+                    1
+                },
+                async {
+                    sleep(Duration::from_secs(1)).await;
+                    2
+                },
+            )
+            .await
+        });
+        assert_eq!(winner, Either::Left(1));
+    }
+
+    #[test]
+    fn timeout_in_time_and_late() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let hit = timeout(Duration::from_secs(10), async {
+                sleep(Duration::from_secs(1)).await;
+                7u8
+            })
+            .await;
+            assert_eq!(hit, Some(7));
+            assert_eq!(now().as_secs_f64(), 1.0);
+
+            let miss = timeout(Duration::from_secs(2), async {
+                sleep(Duration::from_secs(60)).await;
+                7u8
+            })
+            .await;
+            assert_eq!(miss, None);
+            assert_eq!(now().as_secs_f64(), 3.0);
+        });
+    }
+}

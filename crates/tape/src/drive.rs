@@ -1,0 +1,527 @@
+//! The tape drive: a FIFO device serving reads/appends/rewinds with
+//! modelled timing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tapejoin_sim::{Duration, Server};
+
+use crate::media::{TapeBlock, TapeExtent, TapeMedia};
+use crate::model::TapeDriveModel;
+
+/// Cumulative per-drive statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TapeStats {
+    /// Blocks transferred tape → host.
+    pub blocks_read: u64,
+    /// Blocks transferred host → tape.
+    pub blocks_written: u64,
+    /// Head relocations to a non-adjacent position.
+    pub repositions: u64,
+    /// Rewind operations.
+    pub rewinds: u64,
+    /// Cartridge loads.
+    pub loads: u64,
+    /// Stop/start (back-hitch) events charged.
+    pub stop_starts: u64,
+    /// Total time spent transferring data (excludes mechanical delays).
+    pub transfer_time: Duration,
+}
+
+/// Which way the head is moving.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+struct DriveState {
+    media: Option<TapeMedia>,
+    /// Current head position (block index). Reads/writes here stream;
+    /// anywhere else repositions first.
+    position: u64,
+    /// Whether the previous operation left the drive streaming (a
+    /// stop/start penalty applies when streaming resumes after a break,
+    /// if the model charges one).
+    streaming: bool,
+    /// Direction of the last transfer; continuing in the same direction
+    /// streams, turning around costs a stop/start (direction reversal is
+    /// a back-hitch even on a READ REVERSE capable drive).
+    direction: Direction,
+    /// Verify block checksums on every read (panics loudly on a
+    /// mismatch, surfacing silent media corruption).
+    verify_reads: bool,
+    /// When the last transfer finished; a pause beyond the model's
+    /// streaming grace drains the drive's internal buffer and the next
+    /// access back-hitches.
+    ready_until: tapejoin_sim::SimTime,
+    stats: TapeStats,
+}
+
+/// A tape drive attached to the simulated machine.
+///
+/// All operations queue FIFO on the drive; operations on different drives
+/// overlap in virtual time. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct TapeDrive {
+    name: Rc<str>,
+    model: Rc<TapeDriveModel>,
+    block_bytes: u64,
+    server: Server,
+    state: Rc<RefCell<DriveState>>,
+}
+
+impl TapeDrive {
+    /// Create a drive with the given model and block size.
+    pub fn new(name: impl Into<String>, model: TapeDriveModel, block_bytes: u64) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        let name = name.into();
+        TapeDrive {
+            server: Server::new(format!("tape-drive:{name}")),
+            name: Rc::from(name.into_boxed_str()),
+            model: Rc::new(model),
+            block_bytes,
+            state: Rc::new(RefCell::new(DriveState {
+                media: None,
+                position: 0,
+                streaming: false,
+                direction: Direction::Forward,
+                verify_reads: false,
+                ready_until: tapejoin_sim::SimTime::ZERO,
+                stats: TapeStats::default(),
+            })),
+        }
+    }
+
+    /// Drive name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The drive's performance model.
+    pub fn model(&self) -> &TapeDriveModel {
+        &self.model
+    }
+
+    /// Block size this drive was configured with.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TapeStats {
+        self.state.borrow().stats
+    }
+
+    /// Record every service interval of this drive into `log`.
+    pub fn attach_activity_log(&self, log: tapejoin_sim::ActivityLog) {
+        self.server.attach_activity_log(log);
+    }
+
+    /// Enable/disable checksum verification on reads. A mismatch panics
+    /// with the block position — tape media decays, and a production
+    /// system must detect it rather than join garbage.
+    pub fn set_verify_reads(&self, enabled: bool) {
+        self.state.borrow_mut().verify_reads = enabled;
+    }
+
+    /// Currently mounted cartridge, if any.
+    pub fn media(&self) -> Option<TapeMedia> {
+        self.state.borrow().media.clone()
+    }
+
+    /// Current head position.
+    pub fn position(&self) -> u64 {
+        self.state.borrow().position
+    }
+
+    /// Mount a cartridge at zero cost — the paper's setup assumption that
+    /// "the tapes have been inserted and loaded into the tape drives
+    /// before the join operation begins" (§3.2). Use [`TapeDrive::load`]
+    /// for a timed load.
+    pub fn mount(&self, media: TapeMedia) {
+        let mut st = self.state.borrow_mut();
+        assert!(st.media.is_none(), "drive already has a cartridge loaded");
+        st.media = Some(media);
+        st.position = 0;
+        st.streaming = true;
+    }
+
+    /// Mount and thread a cartridge (head at position 0).
+    pub async fn load(&self, media: TapeMedia) {
+        let state = Rc::clone(&self.state);
+        let load_time = self.model.load_time;
+        self.server
+            .serve_with(move || {
+                let mut st = state.borrow_mut();
+                assert!(st.media.is_none(), "drive already has a cartridge loaded");
+                st.media = Some(media);
+                st.position = 0;
+                // A freshly threaded drive is ramped up at BOT; the first
+                // sequential access is not a back-hitch.
+                st.streaming = true;
+                st.stats.loads += 1;
+                (load_time, ())
+            })
+            .await
+    }
+
+    /// Unload the cartridge (no rewind; call [`TapeDrive::rewind`] first
+    /// if the robot requires it).
+    pub async fn unload(&self) -> TapeMedia {
+        let state = Rc::clone(&self.state);
+        self.server
+            .serve_with(move || {
+                let mut st = state.borrow_mut();
+                let media = st.media.take().expect("no cartridge to unload");
+                st.position = 0;
+                st.streaming = false;
+                (Duration::ZERO, media)
+            })
+            .await
+    }
+
+    /// Read `count` blocks starting at `pos`, charging reposition +
+    /// transfer time.
+    pub async fn read(&self, pos: u64, count: u64) -> Vec<TapeBlock> {
+        let state = Rc::clone(&self.state);
+        let model = Rc::clone(&self.model);
+        let block_bytes = self.block_bytes;
+        self.server
+            .serve_with(move || {
+                let mut st = state.borrow_mut();
+                let media = st.media.clone().expect("read with no cartridge loaded");
+                let mut service = Duration::ZERO;
+                service +=
+                    Self::head_motion_with(&mut st, &model, pos, Direction::Forward, block_bytes);
+                let mut blocks = Vec::with_capacity(count as usize);
+                let mut transfer = Duration::ZERO;
+                for i in 0..count {
+                    let tb = media.read_at(pos + i);
+                    assert!(
+                        !st.verify_reads || tb.data.verify(),
+                        "checksum mismatch reading block {} — corrupted media",
+                        pos + i
+                    );
+                    transfer += model.transfer_time(block_bytes, tb.compressibility);
+                    blocks.push(tb);
+                }
+                st.position = pos + count;
+                st.streaming = true;
+                st.direction = Direction::Forward;
+                st.stats.blocks_read += count;
+                st.stats.transfer_time += transfer;
+                service += transfer;
+                st.ready_until = tapejoin_sim::now() + service;
+                (service, blocks)
+            })
+            .await
+    }
+
+    /// Read the next `count` blocks at the current head position
+    /// (streaming read).
+    pub async fn read_next(&self, count: u64) -> Vec<TapeBlock> {
+        let pos = self.position();
+        self.read(pos, count).await
+    }
+
+    /// Read `count` blocks *backwards*, ending just below `end` (i.e. the
+    /// blocks `[end - count, end)`, returned in reverse media order) —
+    /// the SCSI-2 `READ REVERSE` command the paper's §3.2 notes "would
+    /// make rewinds unnecessary in all the algorithms we examine", since
+    /// they are independent of the direction tuples are scanned in.
+    ///
+    /// Streams with no positioning cost when the head already sits at
+    /// `end`; panics if the drive model lacks the capability.
+    pub async fn read_reverse(&self, end: u64, count: u64) -> Vec<TapeBlock> {
+        assert!(
+            self.model.read_reverse,
+            "drive '{}' ({}) cannot READ REVERSE",
+            self.name, self.model.name
+        );
+        assert!(count <= end, "reverse read below beginning of tape");
+        let state = Rc::clone(&self.state);
+        let model = Rc::clone(&self.model);
+        let block_bytes = self.block_bytes;
+        self.server
+            .serve_with(move || {
+                let mut st = state.borrow_mut();
+                let media = st.media.clone().expect("read with no cartridge loaded");
+                let mut service = Duration::ZERO;
+                service +=
+                    Self::head_motion_with(&mut st, &model, end, Direction::Reverse, block_bytes);
+                let mut blocks = Vec::with_capacity(count as usize);
+                let mut transfer = Duration::ZERO;
+                for i in 0..count {
+                    let tb = media.read_at(end - 1 - i);
+                    assert!(
+                        !st.verify_reads || tb.data.verify(),
+                        "checksum mismatch reading block {} — corrupted media",
+                        end - 1 - i
+                    );
+                    transfer += model.transfer_time(block_bytes, tb.compressibility);
+                    blocks.push(tb);
+                }
+                st.position = end - count;
+                st.streaming = true;
+                st.direction = Direction::Reverse;
+                st.stats.blocks_read += count;
+                st.stats.transfer_time += transfer;
+                service += transfer;
+                st.ready_until = tapejoin_sim::now() + service;
+                (service, blocks)
+            })
+            .await
+    }
+
+    /// Append blocks at the end of data, charging reposition (if the head
+    /// is elsewhere) + transfer time. Returns the extent written.
+    pub async fn append(&self, blocks: Vec<TapeBlock>) -> TapeExtent {
+        let state = Rc::clone(&self.state);
+        let model = Rc::clone(&self.model);
+        let block_bytes = self.block_bytes;
+        self.server
+            .serve_with(move || {
+                let mut st = state.borrow_mut();
+                let media = st.media.clone().expect("append with no cartridge loaded");
+                let eod = media.end_of_data();
+                let mut service = Duration::ZERO;
+                service +=
+                    Self::head_motion_with(&mut st, &model, eod, Direction::Forward, block_bytes);
+                let mut transfer = Duration::ZERO;
+                for tb in &blocks {
+                    transfer += model.transfer_time(block_bytes, tb.compressibility);
+                }
+                let extent = media.append(&blocks);
+                st.position = extent.end();
+                st.streaming = true;
+                st.direction = Direction::Forward;
+                st.stats.blocks_written += blocks.len() as u64;
+                st.stats.transfer_time += transfer;
+                service += transfer;
+                st.ready_until = tapejoin_sim::now() + service;
+                (service, extent)
+            })
+            .await
+    }
+
+    /// Rewind to position 0 (fast; serpentine model).
+    pub async fn rewind(&self) {
+        let state = Rc::clone(&self.state);
+        let model = Rc::clone(&self.model);
+        let block_bytes = self.block_bytes;
+        self.server
+            .serve_with(move || {
+                let mut st = state.borrow_mut();
+                let dist_bytes = st.position * block_bytes;
+                st.position = 0;
+                st.streaming = false;
+                st.stats.rewinds += 1;
+                (model.rewind_time(dist_bytes), ())
+            })
+            .await
+    }
+
+    /// Compute (and account) head-motion cost to begin an access at
+    /// `target` moving in `direction`.
+    fn head_motion_with(
+        st: &mut DriveState,
+        model: &TapeDriveModel,
+        target: u64,
+        direction: Direction,
+        block_bytes: u64,
+    ) -> Duration {
+        if st.position == target {
+            let paused_too_long = tapejoin_sim::now().saturating_duration_since(st.ready_until)
+                > model.streaming_grace;
+            if st.streaming && st.direction == direction && !paused_too_long {
+                Duration::ZERO
+            } else {
+                // Resuming after a break in streaming, or turning the
+                // head around: back-hitch.
+                if !model.stop_start_penalty.is_zero() {
+                    st.stats.stop_starts += 1;
+                }
+                model.stop_start_penalty
+            }
+        } else {
+            st.streaming = false;
+            st.stats.repositions += 1;
+            let distance = st.position.abs_diff(target) * block_bytes;
+            model.reposition_time(distance)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use tapejoin_rel::{Block, Relation, RelationSpec, Tuple, WorkloadBuilder};
+    use tapejoin_sim::{now, Simulation};
+
+    const BLOCK: u64 = 1 << 16; // 64 KiB
+
+    fn tape_with_relation(blocks: u64, compressibility: f64) -> (TapeMedia, Relation) {
+        let w = WorkloadBuilder::new(9)
+            .r(RelationSpec::new("R", blocks).compressibility(compressibility))
+            .build();
+        let tape = TapeMedia::blank("t", blocks * 4);
+        tape.load_relation(&w.r);
+        (tape, w.r)
+    }
+
+    #[test]
+    fn sequential_read_time_matches_rate() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tape, _) = tape_with_relation(16, 0.0);
+            // 1 MB/s drive, 64 KiB blocks: 16 blocks = 1 MiB ≈ 1.048576 s.
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), BLOCK);
+            drive.load(tape).await;
+            let blocks = drive.read(0, 16).await;
+            assert_eq!(blocks.len(), 16);
+            let expect = 16.0 * BLOCK as f64 / 1e6;
+            assert!((now().as_secs_f64() - expect).abs() < 1e-6);
+            assert_eq!(drive.stats().blocks_read, 16);
+            assert_eq!(drive.stats().repositions, 0);
+        });
+    }
+
+    #[test]
+    fn compressible_data_streams_faster() {
+        let mut sim = Simulation::new();
+        let t_incompressible = run_scan(0.0);
+        let t_base = run_scan(0.25);
+        let t_fast = run_scan(0.5);
+        assert!(t_base < t_incompressible);
+        assert!(t_fast < t_base);
+        // Ratios for DLT-4000: 1.5 / 2.0 / 3.0 MB/s.
+        assert!((t_incompressible / t_base - 2.0 / 1.5).abs() < 1e-6);
+        assert!((t_base / t_fast - 3.0 / 2.0).abs() < 1e-6);
+
+        fn run_scan(c: f64) -> f64 {
+            let mut sim = Simulation::new();
+            sim.run(async move {
+                let (tape, _) = tape_with_relation(32, c);
+                let drive = TapeDrive::new("d", TapeDriveModel::dlt4000(), BLOCK);
+                let t0 = {
+                    drive.load(tape).await;
+                    now()
+                };
+                drive.read(0, 32).await;
+                (now() - t0).as_secs_f64()
+            })
+        }
+        let _ = &mut sim;
+    }
+
+    #[test]
+    fn reposition_charged_once_for_non_adjacent_access() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tape, _) = tape_with_relation(32, 0.0);
+            let model = TapeDriveModel::ideal(1e6).with_reposition(Duration::from_secs(10));
+            let drive = TapeDrive::new("d", model, BLOCK);
+            drive.load(tape).await;
+            drive.read(0, 4).await; // sequential from 0
+            let t0 = now();
+            drive.read(20, 4).await; // jump: reposition + transfer
+            let elapsed = (now() - t0).as_secs_f64();
+            let transfer = 4.0 * BLOCK as f64 / 1e6;
+            assert!((elapsed - (10.0 + transfer)).abs() < 1e-6);
+            assert_eq!(drive.stats().repositions, 1);
+            // Continuing from 24 streams with no further penalty.
+            let t1 = now();
+            drive.read(24, 4).await;
+            assert!(((now() - t1).as_secs_f64() - transfer).abs() < 1e-6);
+            assert_eq!(drive.stats().repositions, 1);
+        });
+    }
+
+    #[test]
+    fn append_goes_to_end_of_data() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tape, _) = tape_with_relation(8, 0.0);
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), BLOCK);
+            drive.load(tape.clone()).await;
+            let blk = TapeBlock {
+                data: Rc::new(Block::new(vec![Tuple::new(1, 1)])),
+                compressibility: 0.0,
+            };
+            let ext = drive.append(vec![blk.clone(), blk]).await;
+            assert_eq!(ext, TapeExtent { start: 8, len: 2 });
+            assert_eq!(tape.end_of_data(), 10);
+            assert_eq!(drive.stats().blocks_written, 2);
+        });
+    }
+
+    #[test]
+    fn rewind_cost_scales_with_position_but_stays_small() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tape, _) = tape_with_relation(64, 0.25);
+            let drive = TapeDrive::new("d", TapeDriveModel::dlt4000(), BLOCK);
+            drive.load(tape).await;
+            drive.read(0, 64).await;
+            let t0 = now();
+            drive.rewind().await;
+            let rewind = (now() - t0).as_secs_f64();
+            assert!(rewind >= 2.0); // min_rewind
+            assert!(rewind < 3.0); // tiny distance, serpentine
+            assert_eq!(drive.position(), 0);
+            assert_eq!(drive.stats().rewinds, 1);
+        });
+    }
+
+    #[test]
+    fn two_drives_overlap_in_virtual_time() {
+        let mut sim = Simulation::new();
+        let t = sim.run(async {
+            let (tape_a, _) = tape_with_relation(16, 0.0);
+            let (tape_b, _) = tape_with_relation(16, 0.0);
+            let da = TapeDrive::new("a", TapeDriveModel::ideal(1e6), BLOCK);
+            let db = TapeDrive::new("b", TapeDriveModel::ideal(1e6), BLOCK);
+            da.load(tape_a).await;
+            db.load(tape_b).await;
+            let (da2, db2) = (da.clone(), db.clone());
+            let (_, _) = tapejoin_sim::join2(async move { da2.read(0, 16).await }, async move {
+                db2.read(0, 16).await
+            })
+            .await;
+            now().as_secs_f64()
+        });
+        // Parallel: total = one scan, not two.
+        assert!((t - 16.0 * BLOCK as f64 / 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stop_start_penalty_charged_on_resume() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tape, _) = tape_with_relation(8, 0.0);
+            let model = TapeDriveModel::ideal(1e6).with_stop_start(Duration::from_secs(3));
+            let drive = TapeDrive::new("d", model, BLOCK);
+            drive.load(tape).await;
+            drive.read(0, 4).await;
+            drive.rewind().await; // breaks streaming
+            let t0 = now();
+            drive.read(0, 4).await; // resume at same position: back-hitch
+            let elapsed = (now() - t0).as_secs_f64();
+            let transfer = 4.0 * BLOCK as f64 / 1e6;
+            assert!((elapsed - (3.0 + transfer)).abs() < 1e-6);
+            assert_eq!(drive.stats().stop_starts, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no cartridge")]
+    fn read_without_media_panics() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), BLOCK);
+            drive.read(0, 1).await;
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! `tapejoin-tape` — magnetic tape media, drives and library robot.
+//!
+//! This is the synthesized tertiary-storage substrate the paper's join
+//! methods run against (the paper used two physical Quantum DLT-4000
+//! drives; see DESIGN.md §1 for the substitution argument). The model
+//! captures what the algorithms exercise:
+//!
+//! * **sequential streaming** at a sustained rate that depends on the data
+//!   compressibility (the drives compress on the fly, so 25%-compressible
+//!   data streams 1/0.75 ≈ 1.33× faster than incompressible data — this is
+//!   how Experiment 3 varies the tape/disk speed ratio);
+//! * **repositioning** penalties whenever an access is not at the current
+//!   head position, and optional stop/start penalties when streaming
+//!   breaks (the paper assumes drive buffering hides them; both are
+//!   modelled and default to the paper's assumptions);
+//! * **appends** to scratch space (`T_R`/`T_S` in Table 2), with capacity
+//!   accounting — this is what CTT-GH/TT-GH use to store hashed copies;
+//! * **serpentine rewind** (orders of magnitude faster than reading, per
+//!   the paper: "a 5 GB tape file might take an hour to read but only 10
+//!   seconds to rewind");
+//! * a **library robot** with ~30 s media exchanges.
+//!
+//! All operations are async and charge virtual time through a FIFO
+//! [`tapejoin_sim::Server`] per drive, so two drives overlap freely while
+//! requests on one drive serialize — exactly the system model of §3.
+
+#![warn(missing_docs)]
+
+mod drive;
+mod library;
+mod media;
+mod model;
+mod multivolume;
+
+pub use drive::{TapeDrive, TapeStats};
+pub use library::TapeLibrary;
+pub use media::{TapeBlock, TapeExtent, TapeMedia};
+pub use model::TapeDriveModel;
+pub use multivolume::{MultiVolume, Segment};

@@ -1,0 +1,147 @@
+//! Automated tape library (robot): cartridge slots and media exchange.
+//!
+//! The paper's cost model treats media switches (~30 s) as negligible
+//! against multi-hour transfers, and assumes each relation fits one tape
+//! that is pre-loaded. The robot is modelled anyway so that multi-cartridge
+//! relations and exchange overheads can be explored (see the
+//! `tape_library` example).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tapejoin_sim::{Duration, Server};
+
+use crate::drive::TapeDrive;
+use crate::media::TapeMedia;
+
+struct LibraryInner {
+    slots: Vec<Option<TapeMedia>>,
+    exchanges: u64,
+}
+
+/// A tape robot with storage slots. One exchange arm: concurrent exchange
+/// requests queue FIFO.
+#[derive(Clone)]
+pub struct TapeLibrary {
+    exchange_time: Duration,
+    arm: Server,
+    inner: Rc<RefCell<LibraryInner>>,
+}
+
+impl TapeLibrary {
+    /// Create a library with `slots` storage slots and the given exchange
+    /// time (~30 s on the paper's hardware).
+    pub fn new(slots: usize, exchange_time: Duration) -> Self {
+        TapeLibrary {
+            exchange_time,
+            arm: Server::new("tape-robot"),
+            inner: Rc::new(RefCell::new(LibraryInner {
+                slots: vec![None; slots],
+                exchanges: 0,
+            })),
+        }
+    }
+
+    /// Put a cartridge into a specific empty slot.
+    pub fn store(&self, slot: usize, media: TapeMedia) {
+        let mut inner = self.inner.borrow_mut();
+        let cell = inner
+            .slots
+            .get_mut(slot)
+            .unwrap_or_else(|| panic!("library has no slot {slot}"));
+        assert!(cell.is_none(), "slot {slot} is occupied");
+        *cell = Some(media);
+    }
+
+    /// Peek at a slot's contents.
+    pub fn slot(&self, slot: usize) -> Option<TapeMedia> {
+        self.inner.borrow().slots.get(slot).cloned().flatten()
+    }
+
+    /// Total exchanges performed.
+    pub fn exchanges(&self) -> u64 {
+        self.inner.borrow().exchanges
+    }
+
+    /// Swap the cartridge in `drive` with the one in `slot`: the mounted
+    /// cartridge (if any) goes back to the slot, the slot's cartridge is
+    /// loaded. Costs one arm exchange plus the drive's unload/load times.
+    pub async fn exchange(&self, drive: &TapeDrive, slot: usize) {
+        // Serialize on the robot arm for the mechanical move.
+        self.arm.serve(self.exchange_time).await;
+        let incoming = {
+            let mut inner = self.inner.borrow_mut();
+            inner.exchanges += 1;
+            inner
+                .slots
+                .get_mut(slot)
+                .unwrap_or_else(|| panic!("library has no slot {slot}"))
+                .take()
+                .unwrap_or_else(|| panic!("slot {slot} is empty"))
+        };
+        if drive.media().is_some() {
+            let outgoing = drive.unload().await;
+            let mut inner = self.inner.borrow_mut();
+            inner.slots[slot] = Some(outgoing);
+        }
+        drive.load(incoming).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TapeDriveModel;
+    use tapejoin_sim::{now, Simulation};
+
+    #[test]
+    fn exchange_swaps_media_and_charges_time() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let lib = TapeLibrary::new(4, Duration::from_secs(30));
+            let a = TapeMedia::blank("A", 10);
+            let b = TapeMedia::blank("B", 10);
+            lib.store(0, a);
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
+            drive.load(b).await;
+            let t0 = now();
+            lib.exchange(&drive, 0).await;
+            assert_eq!((now() - t0).as_secs_f64(), 30.0);
+            assert_eq!(drive.media().unwrap().label(), "A");
+            assert_eq!(lib.slot(0).unwrap().label(), "B");
+            assert_eq!(lib.exchanges(), 1);
+        });
+    }
+
+    #[test]
+    fn exchange_into_empty_drive() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let lib = TapeLibrary::new(1, Duration::from_secs(30));
+            lib.store(0, TapeMedia::blank("A", 10));
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
+            lib.exchange(&drive, 0).await;
+            assert_eq!(drive.media().unwrap().label(), "A");
+            assert!(lib.slot(0).is_none());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn exchanging_from_empty_slot_panics() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let lib = TapeLibrary::new(1, Duration::from_secs(30));
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
+            lib.exchange(&drive, 0).await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn storing_into_occupied_slot_panics() {
+        let lib = TapeLibrary::new(1, Duration::from_secs(30));
+        lib.store(0, TapeMedia::blank("A", 1));
+        lib.store(0, TapeMedia::blank("B", 1));
+    }
+}

@@ -1,0 +1,236 @@
+//! Tape cartridges: block-addressed sequential media.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use tapejoin_rel::{BlockRef, Relation};
+
+/// One block as stored on tape: the data plus its compressibility (which
+/// governs how fast the drive streams it).
+#[derive(Clone, Debug)]
+pub struct TapeBlock {
+    /// The block contents.
+    pub data: BlockRef,
+    /// Compressibility of the byte stream this block belongs to.
+    pub compressibility: f64,
+}
+
+/// A contiguous region on a tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TapeExtent {
+    /// First block position.
+    pub start: u64,
+    /// Length in blocks.
+    pub len: u64,
+}
+
+impl TapeExtent {
+    /// Position one past the last block.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+struct MediaInner {
+    label: String,
+    capacity: u64,
+    blocks: Vec<TapeBlock>,
+}
+
+/// A tape cartridge. Cheap to clone (shared handle); mutation goes through
+/// a drive, which provides the timing.
+#[derive(Clone)]
+pub struct TapeMedia {
+    inner: Rc<RefCell<MediaInner>>,
+}
+
+impl TapeMedia {
+    /// A blank cartridge of the given capacity in blocks.
+    pub fn blank(label: impl Into<String>, capacity_blocks: u64) -> Self {
+        TapeMedia {
+            inner: Rc::new(RefCell::new(MediaInner {
+                label: label.into(),
+                capacity: capacity_blocks,
+                blocks: Vec::new(),
+            })),
+        }
+    }
+
+    /// Cartridge label.
+    pub fn label(&self) -> String {
+        self.inner.borrow().label.clone()
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.inner.borrow().capacity
+    }
+
+    /// Blocks currently recorded (the end-of-data position).
+    pub fn end_of_data(&self) -> u64 {
+        self.inner.borrow().blocks.len() as u64
+    }
+
+    /// Remaining scratch space in blocks (`T_R` / `T_S` accounting).
+    pub fn free_blocks(&self) -> u64 {
+        let inner = self.inner.borrow();
+        inner.capacity - inner.blocks.len() as u64
+    }
+
+    /// Record a relation at the end of data (a mastering step that happens
+    /// before the join's clock starts — the paper assumes both relations
+    /// are already on mounted tapes). Returns the extent written.
+    pub fn load_relation(&self, relation: &Relation) -> TapeExtent {
+        let mut inner = self.inner.borrow_mut();
+        let start = inner.blocks.len() as u64;
+        let len = relation.block_count();
+        assert!(
+            start + len <= inner.capacity,
+            "tape '{}' overflow: {} + {len} > capacity {}",
+            inner.label,
+            start,
+            inner.capacity
+        );
+        let c = relation.compressibility();
+        inner
+            .blocks
+            .extend(relation.blocks().iter().map(|b| TapeBlock {
+                data: Rc::clone(b),
+                compressibility: c,
+            }));
+        TapeExtent { start, len }
+    }
+
+    /// Read the block at `pos` (drives call this; the drive provides the
+    /// timing).
+    pub(crate) fn read_at(&self, pos: u64) -> TapeBlock {
+        let inner = self.inner.borrow();
+        assert!(
+            pos < inner.blocks.len() as u64,
+            "tape '{}': read at {pos} beyond end of data {}",
+            inner.label,
+            inner.blocks.len()
+        );
+        inner.blocks[pos as usize].clone()
+    }
+
+    /// Append blocks at end of data; panics on capacity overflow.
+    pub(crate) fn append(&self, blocks: &[TapeBlock]) -> TapeExtent {
+        let mut inner = self.inner.borrow_mut();
+        let start = inner.blocks.len() as u64;
+        assert!(
+            start + blocks.len() as u64 <= inner.capacity,
+            "tape '{}' scratch overflow: {} + {} > capacity {}",
+            inner.label,
+            start,
+            blocks.len(),
+            inner.capacity
+        );
+        inner.blocks.extend_from_slice(blocks);
+        TapeExtent {
+            start,
+            len: blocks.len() as u64,
+        }
+    }
+
+    /// Flip the stored block at `pos` into one whose checksum no longer
+    /// matches its contents — fault injection for testing integrity
+    /// verification ([`crate::TapeDrive::set_verify_reads`]).
+    pub fn corrupt(&self, pos: u64) {
+        use tapejoin_rel::Block;
+        let mut inner = self.inner.borrow_mut();
+        let idx = pos as usize;
+        assert!(idx < inner.blocks.len(), "corrupt beyond end of data");
+        let old = &inner.blocks[idx];
+        let forged = Block::forge(
+            old.data.tuples().to_vec(),
+            old.data.checksum() ^ 0xDEAD_BEEF,
+        );
+        inner.blocks[idx] = TapeBlock {
+            data: std::rc::Rc::new(forged),
+            compressibility: old.compressibility,
+        };
+    }
+
+    /// Erase everything after `pos` (logical truncate; used to reclaim
+    /// scratch space between experiment runs).
+    pub fn truncate(&self, pos: u64) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            pos <= inner.blocks.len() as u64,
+            "truncate beyond end of data"
+        );
+        inner.blocks.truncate(pos as usize);
+    }
+}
+
+impl fmt::Debug for TapeMedia {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "TapeMedia['{}' {}/{} blocks]",
+            inner.label,
+            inner.blocks.len(),
+            inner.capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+    #[test]
+    fn load_relation_records_extent_and_space() {
+        let w = WorkloadBuilder::new(1)
+            .r(RelationSpec::new("R", 10))
+            .build();
+        let tape = TapeMedia::blank("r-tape", 100);
+        let ext = tape.load_relation(&w.r);
+        assert_eq!(ext, TapeExtent { start: 0, len: 10 });
+        assert_eq!(tape.end_of_data(), 10);
+        assert_eq!(tape.free_blocks(), 90);
+        assert_eq!(ext.end(), 10);
+    }
+
+    #[test]
+    fn read_back_returns_same_blocks() {
+        let w = WorkloadBuilder::new(2).r(RelationSpec::new("R", 4)).build();
+        let tape = TapeMedia::blank("t", 10);
+        let ext = tape.load_relation(&w.r);
+        for i in 0..ext.len {
+            let tb = tape.read_at(ext.start + i);
+            assert_eq!(tb.data.checksum(), w.r.blocks()[i as usize].checksum());
+            assert_eq!(tb.compressibility, w.r.compressibility());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn capacity_is_enforced() {
+        let w = WorkloadBuilder::new(3).r(RelationSpec::new("R", 8)).build();
+        let tape = TapeMedia::blank("small", 4);
+        tape.load_relation(&w.r);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond end of data")]
+    fn reading_past_eod_panics() {
+        let tape = TapeMedia::blank("t", 4);
+        tape.read_at(0);
+    }
+
+    #[test]
+    fn truncate_reclaims_space() {
+        let w = WorkloadBuilder::new(4).r(RelationSpec::new("R", 6)).build();
+        let tape = TapeMedia::blank("t", 6);
+        tape.load_relation(&w.r);
+        assert_eq!(tape.free_blocks(), 0);
+        tape.truncate(2);
+        assert_eq!(tape.free_blocks(), 4);
+        assert_eq!(tape.end_of_data(), 2);
+    }
+}

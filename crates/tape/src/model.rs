@@ -1,0 +1,208 @@
+//! Tape drive performance model.
+
+use tapejoin_sim::Duration;
+
+/// Parameters of a tape drive's performance model.
+///
+/// The model abstracts the drive the way the paper's system model does
+/// (§3): a sustained transfer rate `X_T`, with second-order mechanical
+/// effects (repositioning, stop/start, rewind, load) available when an
+/// experiment wants them. "A tape drive may in fact be an array of tape
+/// drives" — use [`TapeDriveModel::rate_multiplier`] for that abstraction.
+#[derive(Clone, Debug)]
+pub struct TapeDriveModel {
+    /// Model name for diagnostics.
+    pub name: &'static str,
+    /// Sustained media rate for incompressible data, bytes/second.
+    pub native_rate: f64,
+    /// Cap on the speed-up achievable via on-the-fly compression
+    /// (DLT-4000 in 20 GB compressed mode: 2×).
+    pub max_compression_gain: f64,
+    /// Fixed component of relocating the head to a non-adjacent
+    /// position.
+    pub reposition_base: Duration,
+    /// Locate speed in bytes/second-equivalent: repositioning over `d`
+    /// bytes of media costs `reposition_base + d / locate_rate`. DLT
+    /// drives locate serpentine tracks far faster than they read, so this
+    /// is of the same order as the rewind rate.
+    pub locate_rate: f64,
+    /// Penalty incurred when the drive falls out of streaming mode and
+    /// must back-hitch. The paper assumes enough drive buffer to hide
+    /// these (§3.2), so the preset is zero; experiments can switch it on.
+    pub stop_start_penalty: Duration,
+    /// How long a pause the drive's internal buffer absorbs before
+    /// streaming actually breaks (read-ahead / write-behind capacity in
+    /// seconds of media motion). Pauses longer than this back-hitch.
+    pub streaming_grace: Duration,
+    /// Time to load/thread a mounted cartridge.
+    pub load_time: Duration,
+    /// Fixed component of a rewind.
+    pub min_rewind: Duration,
+    /// Effective rewind speed in bytes/second-equivalent. Serpentine
+    /// drives rewind large files orders of magnitude faster than they
+    /// read them.
+    pub rewind_rate: f64,
+    /// Whether the drive can read in the reverse direction (the SCSI-2
+    /// `READ REVERSE` command; optional for manufacturers). When set,
+    /// algorithms may skip rewinds between end-to-end scans.
+    pub read_reverse: bool,
+    /// Aggregate-drive abstraction: treat this logical drive as `k`
+    /// physical drives striped together (multiplies all transfer rates).
+    pub rate_multiplier: f64,
+}
+
+impl TapeDriveModel {
+    /// Quantum DLT-4000 in 20 GB density mode with compression enabled —
+    /// the drive used in the paper's experiments. Native sustained rate
+    /// 1.5 MB/s; 2:1 compression ceiling (3.0 MB/s).
+    pub fn dlt4000() -> Self {
+        TapeDriveModel {
+            name: "Quantum DLT-4000",
+            native_rate: 1.5e6,
+            max_compression_gain: 2.0,
+            // Even short DLT locates pay a substantial fixed cost: the
+            // drive decelerates, computes a serpentine target and re-syncs
+            // (~15 s floor per Hillyer & Silberschatz's DLT measurements),
+            // plus a distance-proportional component.
+            reposition_base: Duration::from_secs(15),
+            locate_rate: 5.0e9 / 16.0,
+            stop_start_penalty: Duration::ZERO,
+            // ~2 MB of internal buffer at the native rate.
+            streaming_grace: Duration::from_millis(1_300),
+            load_time: Duration::from_secs(40),
+            min_rewind: Duration::from_secs(2),
+            // "5 GB … an hour to read but only 10 seconds to rewind".
+            rewind_rate: 5.0e9 / 8.0,
+            read_reverse: false,
+            rate_multiplier: 1.0,
+        }
+    }
+
+    /// A deliberately featureless drive for unit tests: exact rate, no
+    /// mechanical delays.
+    pub fn ideal(rate_bytes_per_sec: f64) -> Self {
+        TapeDriveModel {
+            name: "ideal",
+            native_rate: rate_bytes_per_sec,
+            max_compression_gain: 1.0,
+            reposition_base: Duration::ZERO,
+            locate_rate: f64::INFINITY,
+            stop_start_penalty: Duration::ZERO,
+            streaming_grace: Duration::from_nanos(u64::MAX / 4),
+            load_time: Duration::ZERO,
+            min_rewind: Duration::ZERO,
+            rewind_rate: f64::INFINITY,
+            read_reverse: true,
+            rate_multiplier: 1.0,
+        }
+    }
+
+    /// Set the stop/start penalty (builder style).
+    pub fn with_stop_start(mut self, penalty: Duration) -> Self {
+        self.stop_start_penalty = penalty;
+        self
+    }
+
+    /// Set the fixed reposition penalty (builder style).
+    pub fn with_reposition(mut self, t: Duration) -> Self {
+        self.reposition_base = t;
+        self
+    }
+
+    /// Time to relocate the head over `distance_bytes` of media.
+    pub fn reposition_time(&self, distance_bytes: u64) -> Duration {
+        if self.locate_rate.is_infinite() {
+            return self.reposition_base;
+        }
+        self.reposition_base + tapejoin_sim::transfer_time(distance_bytes, self.locate_rate)
+    }
+
+    /// Enable/disable the optional `READ REVERSE` capability (builder
+    /// style).
+    pub fn with_read_reverse(mut self, enabled: bool) -> Self {
+        self.read_reverse = enabled;
+        self
+    }
+
+    /// Treat this drive as an array of `k` drives (builder style).
+    pub fn with_rate_multiplier(mut self, k: f64) -> Self {
+        assert!(k >= 1.0, "rate multiplier must be >= 1");
+        self.rate_multiplier = k;
+        self
+    }
+
+    /// Effective sustained rate (bytes/second) for data of the given
+    /// compressibility `c ∈ [0, 1)`: the media stream shrinks by `c`, so
+    /// user data moves at `native / (1 - c)`, capped by the drive's
+    /// compression ceiling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let dlt = tapejoin_tape::TapeDriveModel::dlt4000();
+    /// assert_eq!(dlt.effective_rate(0.0), 1.5e6);  // incompressible
+    /// assert_eq!(dlt.effective_rate(0.25), 2.0e6); // the paper's base case
+    /// assert_eq!(dlt.effective_rate(0.5), 3.0e6);  // at the 2x ceiling
+    /// ```
+    pub fn effective_rate(&self, compressibility: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&compressibility),
+            "compressibility must be in [0, 1): got {compressibility}"
+        );
+        let gain = (1.0 / (1.0 - compressibility)).min(self.max_compression_gain);
+        self.native_rate * gain * self.rate_multiplier
+    }
+
+    /// Time to transfer `bytes` of data with the given compressibility.
+    pub fn transfer_time(&self, bytes: u64, compressibility: f64) -> Duration {
+        tapejoin_sim::transfer_time(bytes, self.effective_rate(compressibility))
+    }
+
+    /// Time to rewind over `bytes` of media.
+    pub fn rewind_time(&self, bytes: u64) -> Duration {
+        if self.rewind_rate.is_infinite() {
+            return self.min_rewind;
+        }
+        self.min_rewind + tapejoin_sim::transfer_time(bytes, self.rewind_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlt4000_compression_rates_match_paper_regimes() {
+        let m = TapeDriveModel::dlt4000();
+        // 0% compressible: native 1.5 MB/s (Experiment 3 "slower tape").
+        assert!((m.effective_rate(0.0) - 1.5e6).abs() < 1.0);
+        // 25%: 2.0 MB/s (base case).
+        assert!((m.effective_rate(0.25) - 2.0e6).abs() < 1.0);
+        // 50%: 3.0 MB/s (faster tape), exactly at the 2x ceiling.
+        assert!((m.effective_rate(0.5) - 3.0e6).abs() < 1.0);
+        // 75% would exceed the ceiling: still 3.0 MB/s.
+        assert!((m.effective_rate(0.75) - 3.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn rewind_is_orders_of_magnitude_faster_than_read() {
+        let m = TapeDriveModel::dlt4000();
+        let five_gb = 5_000_000_000u64;
+        let read = m.transfer_time(five_gb, 0.25);
+        let rewind = m.rewind_time(five_gb);
+        assert!(read.as_secs_f64() > 2000.0);
+        assert!(rewind.as_secs_f64() < 15.0);
+    }
+
+    #[test]
+    fn rate_multiplier_scales_throughput() {
+        let m = TapeDriveModel::ideal(1e6).with_rate_multiplier(4.0);
+        assert_eq!(m.transfer_time(4_000_000, 0.0), Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "compressibility")]
+    fn rejects_invalid_compressibility() {
+        TapeDriveModel::dlt4000().effective_rate(1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the tape substrate: drive state invariants under
+//! arbitrary operation sequences, and multi-volume address mapping.
+
+use proptest::prelude::*;
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+use tapejoin_sim::{Duration, Simulation};
+use tapejoin_tape::{TapeDrive, TapeDriveModel, TapeMedia};
+
+const BLOCK: u64 = 1 << 16;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read { pos_frac: f64, len: u64 },
+    ReadReverse { end_frac: f64, len: u64 },
+    Rewind,
+    Append { len: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..1.0, 1u64..20).prop_map(|(pos_frac, len)| Op::Read { pos_frac, len }),
+        (0.0f64..1.0, 1u64..20).prop_map(|(end_frac, len)| Op::ReadReverse { end_frac, len }),
+        Just(Op::Rewind),
+        (1u64..8).prop_map(|len| Op::Append { len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the operation sequence, the drive's position stays within
+    /// the media, statistics count every block exactly once, and data
+    /// read back matches what was mastered.
+    #[test]
+    fn drive_state_invariants(ops in proptest::collection::vec(arb_op(), 1..25)) {
+        let mut sim = Simulation::new();
+        let ops2 = ops.clone();
+        sim.run(async move {
+            let data_blocks = 64u64;
+            let w = WorkloadBuilder::new(1)
+                .r(RelationSpec::new("R", data_blocks).compressibility(0.0))
+                .build();
+            let tape = TapeMedia::blank("t", 512);
+            tape.load_relation(&w.r);
+            let model = TapeDriveModel::ideal(1e6);
+            let drive = TapeDrive::new("d", model, BLOCK);
+            drive.mount(tape.clone());
+
+            let mut expected_read = 0u64;
+            let mut expected_written = 0u64;
+            for op in ops2 {
+                match op {
+                    Op::Read { pos_frac, len } => {
+                        let eod = tape.end_of_data();
+                        let pos = ((eod as f64 - 1.0) * pos_frac) as u64;
+                        let n = len.min(eod - pos);
+                        let blocks = drive.read(pos, n).await;
+                        assert_eq!(blocks.len() as usize, n as usize);
+                        expected_read += n;
+                        assert_eq!(drive.position(), pos + n);
+                    }
+                    Op::ReadReverse { end_frac, len } => {
+                        let eod = tape.end_of_data();
+                        let end = ((eod as f64) * end_frac).max(1.0) as u64;
+                        let n = len.min(end);
+                        drive.read_reverse(end, n).await;
+                        expected_read += n;
+                        assert_eq!(drive.position(), end - n);
+                    }
+                    Op::Rewind => {
+                        drive.rewind().await;
+                        assert_eq!(drive.position(), 0);
+                    }
+                    Op::Append { len } => {
+                        if tape.free_blocks() < len {
+                            continue;
+                        }
+                        let blocks: Vec<_> = drive.read(0, len).await;
+                        expected_read += len;
+                        let ext = drive.append(blocks).await;
+                        expected_written += len;
+                        assert_eq!(drive.position(), ext.end());
+                        assert_eq!(ext.end(), tape.end_of_data());
+                    }
+                }
+                assert!(drive.position() <= tape.end_of_data());
+            }
+            let st = drive.stats();
+            assert_eq!(st.blocks_read, expected_read);
+            assert_eq!(st.blocks_written, expected_written);
+        });
+    }
+
+    /// Reading any sub-range through a multi-volume view yields exactly
+    /// the tuples of that range, regardless of how the volumes split.
+    #[test]
+    fn multivolume_range_reads_match_flat_data(
+        splits in proptest::collection::vec(5u64..40, 1..4),
+        read in (0u64..60, 1u64..40),
+    ) {
+        use tapejoin_sim::Duration as D;
+        use tapejoin_tape::{MultiVolume, Segment, TapeLibrary};
+        let mut sim = Simulation::new();
+        let splits2 = splits.clone();
+        sim.run(async move {
+            let total: u64 = splits2.iter().sum();
+            let w = WorkloadBuilder::new(2)
+                .r(RelationSpec::new("R", total).tuples_per_block(2))
+                .build();
+            let flat: Vec<u64> = w.r.tuples().map(|t| t.rid).collect();
+            let library = TapeLibrary::new(splits2.len(), D::from_secs(30));
+            let mut segments = Vec::new();
+            let mut off = 0usize;
+            for (i, &len) in splits2.iter().enumerate() {
+                let media = TapeMedia::blank(format!("V{i}"), len);
+                let part = tapejoin_rel::Relation::new(
+                    format!("p{i}"),
+                    w.r.blocks()[off..off + len as usize].to_vec(),
+                    0.0,
+                );
+                let extent = media.load_relation(&part);
+                library.store(i, media);
+                segments.push(Segment { slot: i, extent });
+                off += len as usize;
+            }
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), BLOCK);
+            let mv = MultiVolume::new(drive, library, segments);
+            let (start, len) = read;
+            let start = start.min(total - 1);
+            let len = len.min(total - start);
+            let blocks = mv.read(start, len).await;
+            let got: Vec<u64> = blocks
+                .iter()
+                .flat_map(|tb| tb.data.tuples().iter().map(|t| t.rid))
+                .collect();
+            let lo = (start * 2) as usize;
+            let hi = ((start + len) * 2) as usize;
+            assert_eq!(got, flat[lo..hi]);
+        });
+        let _ = Duration::ZERO;
+    }
+}

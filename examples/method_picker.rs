@@ -1,0 +1,64 @@
+//! Method-selection map: which join method wins at each (memory, disk)
+//! point — the paper's §10 conclusions as a grid.
+//!
+//! Rows sweep memory from a sliver of |R| to all of it; columns sweep
+//! disk from well below |R| to several multiples. Expect CTT-GH on the
+//! left (tight disk), CDT-GH in the lower middle (ample disk, little
+//! memory), and CDT-NB at the bottom (most of R fits in memory).
+//!
+//! ```sh
+//! cargo run --release --example method_picker
+//! ```
+
+use tapejoin::cost::CostParams;
+use tapejoin::planner::choose_method;
+use tapejoin::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::new(0, 0); // unit conversion probe
+    let r_mb = 100.0;
+    let s_mb = 1000.0;
+    let r_blocks = cfg.mb_to_blocks(r_mb);
+    let s_blocks = cfg.mb_to_blocks(s_mb);
+
+    let mem_fracs = [0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let disk_fracs = [0.2, 0.5, 0.9, 1.2, 1.5, 2.0, 3.0, 5.0];
+
+    println!("Cheapest feasible method for |R| = {r_mb} MB, |S| = {s_mb} MB");
+    println!("(rows: M/|R|; columns: D/|R|)\n");
+
+    print!("{:>6} |", "M\\D");
+    for d in disk_fracs {
+        print!(" {d:>9.1}");
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 10 * disk_fracs.len()));
+
+    for m in mem_fracs {
+        print!("{m:>6.2} |");
+        for d in disk_fracs {
+            let params = CostParams {
+                r_blocks,
+                s_blocks,
+                memory: ((r_blocks as f64 * m).round() as u64).max(2),
+                disk: (r_blocks as f64 * d).round() as u64,
+                block_bytes: cfg.block_bytes,
+                tape_rate: cfg.tape_rate(0.25),
+                disk_rate: cfg.aggregate_disk_rate(),
+                r_tuples_per_block: 4,
+                tape_reposition_s: 15.0,
+            };
+            match choose_method(&params) {
+                Ok(c) => print!(" {:>9}", c.method.abbrev()),
+                Err(_) => print!(" {:>9}", "—"),
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "\n(§10: CTT-GH for very large joins under tight disk; CDT-GH with \
+         ample disk but little memory; CDT-NB when a large fraction of R \
+         fits in memory)"
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: join two tape-resident relations and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tapejoin::{optimum_join_time, JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{reference_join, RelationSpec, WorkloadBuilder};
+
+fn main() {
+    // A machine in the spirit of the paper's testbed: 16 MB of memory,
+    // 100 MB of disk, two DLT-4000 tape drives (defaults). Sizes are in
+    // 64 KiB blocks.
+    let cfg = SystemConfig::new(256, 1600);
+
+    // Synthetic workload: |R| = 25 MB (unique keys), |S| = 250 MB
+    // (foreign keys into R), 25%-compressible data.
+    let workload = WorkloadBuilder::new(7)
+        .r(RelationSpec::new("R", cfg.mb_to_blocks(25.0)))
+        .s(RelationSpec::new("S", cfg.mb_to_blocks(250.0)))
+        .build();
+
+    println!(
+        "R: {} blocks / {} tuples",
+        workload.r.block_count(),
+        workload.r.tuple_count()
+    );
+    println!(
+        "S: {} blocks / {} tuples",
+        workload.s.block_count(),
+        workload.s.tuple_count()
+    );
+    println!();
+
+    let join = TertiaryJoin::new(cfg.clone());
+    let optimum = optimum_join_time(&cfg, &workload);
+    println!("optimum join time (bare read of S): {optimum}");
+    println!();
+
+    // Run every method that fits this machine.
+    for method in JoinMethod::ALL {
+        match join.run(method, &workload) {
+            Ok(stats) => {
+                println!(
+                    "{:<9}  response {:>9}  (Step I {:>8}, overhead {:>4.0}%, \
+                     {} result pairs)",
+                    method.abbrev(),
+                    format!("{}", stats.response),
+                    format!("{}", stats.step1),
+                    stats.overhead_vs(optimum) * 100.0,
+                    stats.output.pairs,
+                );
+            }
+            Err(e) => println!("{:<9}  {e}", method.abbrev()),
+        }
+    }
+
+    // Every method's output equals the in-memory reference join.
+    let expected = reference_join(&workload.r, &workload.s);
+    let stats = join.run(JoinMethod::CdtGh, &workload).expect("feasible");
+    assert_eq!(stats.output, expected);
+    println!("\nCDT-GH output verified against the reference join ✓");
+}

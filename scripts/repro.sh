@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate everything: tests, every paper table/figure, the ablations,
+# and the criterion microbenchmarks. Outputs land in results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== tests =="
+cargo test --workspace --release 2>&1 | tee results/test_output.txt | grep -E "test result"
+
+echo "== paper tables and figures =="
+for b in table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11; do
+  echo "-- $b"
+  cargo run --release -q -p tapejoin-bench --bin "$b" > "results/$b.txt"
+done
+cargo run --release -q -p tapejoin-bench --bin fig4 -- --split > results/fig4_split.txt
+
+echo "== ablations =="
+for b in ablation_buffering ablation_reverse ablation_output ablation_stopstart ablation_cpu ablation_fast_tape ablation_bucket_target model_vs_sim; do
+  echo "-- $b"
+  cargo run --release -q -p tapejoin-bench --bin "$b" > "results/$b.txt"
+done
+
+echo "== microbenchmarks =="
+cargo bench -p tapejoin-bench 2>&1 | tee results/bench_output.txt | grep -E "time:" || true
+
+echo "done; see results/"

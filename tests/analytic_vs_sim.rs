@@ -1,0 +1,158 @@
+//! The analytic cost model (Figures 1–3) and the executable simulation
+//! must agree: for transfer-only configurations (ideal devices, no
+//! positioning costs) the simulated response time should sit within a
+//! modest tolerance of the closed-form expectation for every method.
+//!
+//! The sequential methods are very close (the formulas are exact up to
+//! block rounding); the concurrent methods have pipeline start-up edges
+//! and device-queueing effects the `max(·)` formulas abstract away, so
+//! they get a looser band — and the simulation must never be *faster*
+//! than the model's lower bound by more than rounding.
+
+use tapejoin::cost::{expected_response, CostParams};
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+use tapejoin_tape::TapeDriveModel;
+
+/// A transfer-only machine: ideal tape (2 MB/s regardless of data) and
+/// ideal disks (no positioning), matching the cost model's assumptions.
+fn transfer_only_cfg(memory: u64, disk: u64) -> SystemConfig {
+    SystemConfig::new(memory, disk)
+        .tape_model(TapeDriveModel::ideal(2.0e6))
+        .disk_overhead(false)
+}
+
+fn check(method: JoinMethod, memory: u64, disk: u64, r: u64, s: u64, tolerance: f64) {
+    let cfg = transfer_only_cfg(memory, disk);
+    let workload = WorkloadBuilder::new(31)
+        .r(RelationSpec::new("R", r).compressibility(0.0))
+        .s(RelationSpec::new("S", s).compressibility(0.0))
+        .build();
+    let p = CostParams {
+        r_blocks: r,
+        s_blocks: s,
+        memory,
+        disk,
+        block_bytes: cfg.block_bytes,
+        tape_rate: 2.0e6,
+        disk_rate: cfg.aggregate_disk_rate(),
+        r_tuples_per_block: 4,
+        tape_reposition_s: 0.0,
+    };
+    let analytic = expected_response(method, &p).unwrap_or_else(|e| panic!("{method}: {e}"));
+    let stats = TertiaryJoin::new(cfg)
+        .run(method, &workload)
+        .unwrap_or_else(|e| panic!("{method}: {e}"));
+    let simulated = stats.response.as_secs_f64();
+    let ratio = simulated / analytic;
+    assert!(
+        (1.0 - tolerance..=1.0 + tolerance).contains(&ratio),
+        "{method}: simulated {simulated:.1}s vs analytic {analytic:.1}s (ratio {ratio:.3}, \
+         M={memory}, D={disk}, |R|={r}, |S|={s})"
+    );
+}
+
+// Sequential methods: tight agreement.
+
+#[test]
+fn dt_nb_close_to_model() {
+    check(JoinMethod::DtNb, 32, 200, 150, 1500, 0.10);
+    check(JoinMethod::DtNb, 100, 300, 280, 2000, 0.10);
+}
+
+#[test]
+fn dt_gh_close_to_model() {
+    // Memory generous enough that bucket flushes span whole blocks (the
+    // closed forms deliberately omit the small-memory merge penalty).
+    check(JoinMethod::DtGh, 64, 600, 280, 2000, 0.20);
+    check(JoinMethod::DtGh, 96, 900, 400, 3000, 0.20);
+}
+
+#[test]
+fn tt_gh_close_to_model() {
+    check(JoinMethod::TtGh, 64, 300, 280, 1200, 0.30);
+}
+
+#[test]
+fn small_memory_sim_exceeds_model() {
+    // Below the whole-block-flush regime the simulation pays the
+    // read-modify-write penalty the transfer-only formulas ignore: the
+    // measured response must *exceed* the analytic one, never undercut.
+    let cfg = transfer_only_cfg(24, 600);
+    let workload = WorkloadBuilder::new(33)
+        .r(RelationSpec::new("R", 280).compressibility(0.0))
+        .s(RelationSpec::new("S", 1200).compressibility(0.0))
+        .build();
+    let p = CostParams {
+        r_blocks: 280,
+        s_blocks: 1200,
+        memory: 24,
+        disk: 600,
+        block_bytes: cfg.block_bytes,
+        tape_rate: 2.0e6,
+        disk_rate: cfg.aggregate_disk_rate(),
+        r_tuples_per_block: 4,
+        tape_reposition_s: 0.0,
+    };
+    let analytic = expected_response(JoinMethod::CdtGh, &p).unwrap();
+    let simulated = TertiaryJoin::new(cfg)
+        .run(JoinMethod::CdtGh, &workload)
+        .unwrap()
+        .response
+        .as_secs_f64();
+    assert!(
+        simulated > analytic,
+        "sim {simulated:.1}s vs analytic {analytic:.1}s"
+    );
+}
+
+// Concurrent methods: looser band (pipeline edges, queueing).
+
+#[test]
+fn cdt_nb_mb_close_to_model() {
+    check(JoinMethod::CdtNbMb, 32, 200, 150, 1500, 0.20);
+    check(JoinMethod::CdtNbMb, 100, 300, 280, 2000, 0.20);
+}
+
+#[test]
+fn cdt_nb_db_close_to_model() {
+    check(JoinMethod::CdtNbDb, 32, 400, 150, 1500, 0.25);
+}
+
+#[test]
+fn cdt_gh_close_to_model() {
+    check(JoinMethod::CdtGh, 64, 600, 280, 2000, 0.35);
+    check(JoinMethod::CdtGh, 96, 900, 400, 3000, 0.35);
+}
+
+#[test]
+fn ctt_gh_close_to_model() {
+    check(JoinMethod::CttGh, 64, 300, 280, 2000, 0.40);
+}
+
+#[test]
+fn simulation_never_beats_physical_floors() {
+    // Whatever the method, the response cannot be shorter than reading S
+    // once from tape, nor shorter than the disk traffic it generated.
+    let cfg = transfer_only_cfg(32, 600);
+    let workload = WorkloadBuilder::new(32)
+        .r(RelationSpec::new("R", 200).compressibility(0.0))
+        .s(RelationSpec::new("S", 1600).compressibility(0.0))
+        .build();
+    let s_floor = 1600.0 * cfg.block_bytes as f64 / 2.0e6;
+    for method in JoinMethod::ALL {
+        if let Ok(stats) = TertiaryJoin::new(cfg.clone()).run(method, &workload) {
+            let resp = stats.response.as_secs_f64();
+            assert!(
+                resp >= s_floor * 0.999,
+                "{method}: {resp} beats the S tape floor {s_floor}"
+            );
+            let disk_floor =
+                stats.disk.traffic() as f64 * cfg.block_bytes as f64 / cfg.aggregate_disk_rate();
+            assert!(
+                resp >= disk_floor * 0.999,
+                "{method}: {resp} beats its own disk floor {disk_floor}"
+            );
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Every tertiary join method must produce *exactly* the reference join's
+//! output — same cardinality, same order-independent digest — across key
+//! distributions, match rates, seeds and machine shapes.
+
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{reference_join, JoinWorkload, KeyDistribution, RelationSpec, WorkloadBuilder};
+
+fn verify_all(cfg_for: impl Fn(JoinMethod) -> SystemConfig, workload: &JoinWorkload) {
+    let expected = reference_join(&workload.r, &workload.s);
+    assert_eq!(
+        expected.pairs, workload.expected_pairs,
+        "generator disagrees with reference"
+    );
+    for method in JoinMethod::ALL {
+        let stats = TertiaryJoin::new(cfg_for(method))
+            .run(method, workload)
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(
+            stats.output, expected,
+            "{method} produced a wrong join result"
+        );
+    }
+}
+
+fn base_cfg(_m: JoinMethod) -> SystemConfig {
+    SystemConfig::new(16, 200)
+}
+
+#[test]
+fn uniform_foreign_keys() {
+    let w = WorkloadBuilder::new(101)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn zipf_skewed_foreign_keys() {
+    // Heavy key skew stresses bucket overflow resolution: popular keys
+    // concentrate S (and its duplicates) in few buckets.
+    let w = WorkloadBuilder::new(102)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .distribution(KeyDistribution::Zipf { theta: 1.0 })
+        .build();
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn round_robin_keys() {
+    let w = WorkloadBuilder::new(103)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .distribution(KeyDistribution::RoundRobin)
+        .build();
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn partial_match_rate() {
+    // 30% of S matches; the rest must be filtered, not miscounted.
+    let w = WorkloadBuilder::new(104)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .match_fraction(0.3)
+        .build();
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn no_matches_at_all() {
+    let w = WorkloadBuilder::new(105)
+        .r(RelationSpec::new("R", 32))
+        .s(RelationSpec::new("S", 128))
+        .match_fraction(0.0)
+        .build();
+    assert_eq!(w.expected_pairs, 0);
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn dense_blocks() {
+    // More tuples per block exercises packing/repacking boundaries.
+    let w = WorkloadBuilder::new(106)
+        .r(RelationSpec::new("R", 40).tuples_per_block(16))
+        .s(RelationSpec::new("S", 160).tuples_per_block(16))
+        .build();
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn single_tuple_blocks() {
+    let w = WorkloadBuilder::new(107)
+        .r(RelationSpec::new("R", 24).tuples_per_block(1))
+        .s(RelationSpec::new("S", 96).tuples_per_block(1))
+        .build();
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn tiny_relations() {
+    let w = WorkloadBuilder::new(108)
+        .r(RelationSpec::new("R", 2))
+        .s(RelationSpec::new("S", 4))
+        .build();
+    verify_all(|_| SystemConfig::new(8, 32), &w);
+}
+
+#[test]
+fn r_larger_blocks_than_s_count_mismatch() {
+    // |S| barely larger than |R| (the methods assume |R| <= |S| only for
+    // performance, not correctness).
+    let w = WorkloadBuilder::new(109)
+        .r(RelationSpec::new("R", 60))
+        .s(RelationSpec::new("S", 64))
+        .build();
+    verify_all(base_cfg, &w);
+}
+
+#[test]
+fn cramped_memory() {
+    // The smallest memory every method accepts for |R| = 49 (√49 = 7,
+    // grace structural minimum 5, NB needs 3).
+    let w = WorkloadBuilder::new(110)
+        .r(RelationSpec::new("R", 49))
+        .s(RelationSpec::new("S", 196))
+        .build();
+    verify_all(|_| SystemConfig::new(7, 160), &w);
+}
+
+#[test]
+fn cramped_disk_for_tape_tape_methods() {
+    let w = WorkloadBuilder::new(111)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    for method in [JoinMethod::CttGh, JoinMethod::TtGh] {
+        let stats = TertiaryJoin::new(SystemConfig::new(16, 10))
+            .run(method, &w)
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(stats.output, expected, "{method} wrong under tight disk");
+    }
+}
+
+#[test]
+fn per_disk_array_mode() {
+    use tapejoin_disk::ArrayMode;
+    let w = WorkloadBuilder::new(112)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build();
+    verify_all(
+        |_| {
+            SystemConfig::new(16, 200)
+                .array_mode(ArrayMode::PerDisk)
+                .disks(3)
+        },
+        &w,
+    );
+}
+
+#[test]
+fn split_buffer_discipline_is_still_correct() {
+    use tapejoin_buffer::DiskBufKind;
+    let w = WorkloadBuilder::new(113)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build();
+    verify_all(
+        |_| SystemConfig::new(16, 200).disk_buffer(DiskBufKind::Split),
+        &w,
+    );
+}
+
+#[test]
+fn many_seeds_smoke() {
+    for seed in 200..212 {
+        let w = WorkloadBuilder::new(seed)
+            .r(RelationSpec::new("R", 32))
+            .s(RelationSpec::new("S", 96))
+            .build();
+        verify_all(base_cfg, &w);
+    }
+}
+
+#[test]
+fn different_hash_seeds_do_not_change_the_answer() {
+    let w = WorkloadBuilder::new(114)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    for hash_seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
+        for method in [JoinMethod::CdtGh, JoinMethod::CttGh, JoinMethod::TtGh] {
+            let cfg = SystemConfig::new(16, 200).hash_seed(hash_seed);
+            let stats = TertiaryJoin::new(cfg).run(method, &w).unwrap();
+            assert_eq!(stats.output, expected, "{method} with seed {hash_seed:#x}");
+        }
+    }
+}
+
+#[test]
+fn reverse_scans_preserve_correctness() {
+    use tapejoin_tape::TapeDriveModel;
+    let w = WorkloadBuilder::new(115)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    for method in JoinMethod::ALL {
+        let cfg = SystemConfig::new(16, 200)
+            .tape_model(TapeDriveModel::dlt4000().with_read_reverse(true))
+            .use_read_reverse(true);
+        let stats = TertiaryJoin::new(cfg)
+            .run(method, &w)
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(stats.output, expected, "{method} wrong with reverse scans");
+    }
+}
+
+#[test]
+fn reverse_scans_rejected_on_incapable_drive() {
+    let w = WorkloadBuilder::new(116)
+        .r(RelationSpec::new("R", 8))
+        .s(RelationSpec::new("S", 16))
+        .build();
+    // The stock DLT-4000 model has no READ REVERSE.
+    let cfg = SystemConfig::new(16, 64).use_read_reverse(true);
+    let err = TertiaryJoin::new(cfg)
+        .run(JoinMethod::DtNb, &w)
+        .unwrap_err();
+    assert!(matches!(err, tapejoin::JoinError::InvalidConfig(_)));
+}
+
+#[test]
+fn local_output_mode_preserves_correctness_and_costs_time() {
+    use tapejoin::OutputMode;
+    let w = WorkloadBuilder::new(117)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    for method in JoinMethod::ALL {
+        let piped = TertiaryJoin::new(SystemConfig::new(16, 200))
+            .run(method, &w)
+            .unwrap();
+        let stored = TertiaryJoin::new(SystemConfig::new(16, 200).output(OutputMode::LocalDisk))
+            .run(method, &w)
+            .unwrap();
+        assert_eq!(stored.output, expected, "{method} wrong with local output");
+        assert!(stored.output_blocks > 0, "{method} materialized nothing");
+        assert!(
+            stored.response >= piped.response,
+            "{method}: storing output cannot be faster ({} vs {})",
+            stored.response,
+            piped.response
+        );
+        // Output traffic shows up in the disk statistics.
+        assert!(stored.disk.blocks_written >= piped.disk.blocks_written + stored.output_blocks);
+    }
+}

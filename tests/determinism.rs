@@ -1,0 +1,51 @@
+//! The simulation is deterministic: identical configuration + workload
+//! seeds produce bit-identical statistics, run after run.
+
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+fn fingerprint(method: JoinMethod, seed: u64) -> (u64, u64, u64, u64, u64, u64, u64) {
+    let cfg = SystemConfig::new(16, 200).disk_overhead(true);
+    let w = WorkloadBuilder::new(seed)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    let stats = TertiaryJoin::new(cfg).run(method, &w).unwrap();
+    (
+        stats.response.as_nanos(),
+        stats.step1.as_nanos(),
+        stats.output.digest,
+        stats.tape_r.blocks_read,
+        stats.tape_s.blocks_read,
+        stats.disk.traffic(),
+        stats.mem_peak,
+    )
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for method in JoinMethod::ALL {
+        let a = fingerprint(method, 9);
+        let b = fingerprint(method, 9);
+        let c = fingerprint(method, 9);
+        assert_eq!(a, b, "{method} differed between runs");
+        assert_eq!(a, c, "{method} differed between runs");
+    }
+}
+
+#[test]
+fn different_workload_seeds_differ() {
+    // Sanity: the fingerprint is actually sensitive to the data.
+    let a = fingerprint(JoinMethod::CdtGh, 1);
+    let b = fingerprint(JoinMethod::CdtGh, 2);
+    assert_ne!(a.2, b.2, "digest insensitive to workload seed");
+}
+
+#[test]
+fn runs_are_isolated() {
+    // Running method A must not perturb a following run of method B.
+    let solo = fingerprint(JoinMethod::CttGh, 5);
+    let _noise = fingerprint(JoinMethod::DtNb, 5);
+    let after = fingerprint(JoinMethod::CttGh, 5);
+    assert_eq!(solo, after);
+}

@@ -1,0 +1,197 @@
+//! Integration tests for the features beyond the paper's measurements:
+//! READ REVERSE, disk-materialized output, and device timelines —
+//! individually and combined.
+
+use tapejoin::{JoinMethod, OutputMode, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{reference_join, RelationSpec, WorkloadBuilder};
+use tapejoin_tape::TapeDriveModel;
+
+fn reverse_capable(m: u64, d: u64) -> SystemConfig {
+    SystemConfig::new(m, d)
+        .tape_model(TapeDriveModel::dlt4000().with_read_reverse(true))
+        .use_read_reverse(true)
+}
+
+#[test]
+fn reverse_scans_save_repositions_for_ctt_gh() {
+    let w = WorkloadBuilder::new(61)
+        .r(RelationSpec::new("R", 128))
+        .s(RelationSpec::new("S", 1024))
+        .build();
+    // Tight disk: many Step II iterations, each repositioning the R drive
+    // on a forward-only drive.
+    let fwd = TertiaryJoin::new(SystemConfig::new(16, 160))
+        .run(JoinMethod::CttGh, &w)
+        .unwrap();
+    let rev = TertiaryJoin::new(reverse_capable(16, 160))
+        .run(JoinMethod::CttGh, &w)
+        .unwrap();
+    assert_eq!(fwd.output, rev.output);
+    assert!(
+        rev.tape_r.repositions < fwd.tape_r.repositions,
+        "reverse scans should save repositions ({} vs {})",
+        rev.tape_r.repositions,
+        fwd.tape_r.repositions
+    );
+    assert!(
+        rev.response < fwd.response,
+        "reverse scans should be faster ({} vs {})",
+        rev.response,
+        fwd.response
+    );
+}
+
+#[test]
+fn all_extensions_combined_still_verify() {
+    let w = WorkloadBuilder::new(62)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    for method in JoinMethod::ALL {
+        let cfg = reverse_capable(16, 220)
+            .output(OutputMode::LocalDisk)
+            .record_timeline(true);
+        let stats = TertiaryJoin::new(cfg)
+            .run(method, &w)
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(stats.output, expected, "{method}");
+        assert!(stats.output_blocks > 0, "{method}");
+        let t = stats.timeline.as_ref().expect("timeline on");
+        assert!(!t.disks.is_empty(), "{method}");
+        // The output writer's disk intervals are inside the response span.
+        for a in t.disks.entries() {
+            assert!(a.end.duration_since(tapejoin_sim::SimTime::ZERO) <= stats.response);
+        }
+    }
+}
+
+#[test]
+fn local_output_volume_matches_cardinality() {
+    let w = WorkloadBuilder::new(63)
+        .r(RelationSpec::new("R", 32).tuples_per_block(4))
+        .s(RelationSpec::new("S", 128).tuples_per_block(4))
+        .match_fraction(0.5)
+        .build();
+    let stats = TertiaryJoin::new(SystemConfig::new(16, 120).output(OutputMode::LocalDisk))
+        .run(JoinMethod::CdtGh, &w)
+        .unwrap();
+    // Each pair is two tuples; output blocks hold 4 tuples.
+    let expected_blocks = (stats.output.pairs * 2).div_ceil(4);
+    assert_eq!(stats.output_blocks, expected_blocks);
+}
+
+#[test]
+fn timeline_busy_is_consistent_with_tape_stats() {
+    let w = WorkloadBuilder::new(64)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build();
+    let cfg = SystemConfig::new(16, 160).record_timeline(true);
+    let stats = TertiaryJoin::new(cfg.clone())
+        .run(JoinMethod::DtNb, &w)
+        .unwrap();
+    let t = stats.timeline.expect("timeline on");
+    // The S drive's busy time is at least the bare transfer of |S|.
+    let s_transfer = 192.0 * cfg.block_bytes as f64 / cfg.tape_rate(0.25);
+    assert!(t.tape_s.busy().as_secs_f64() >= s_transfer * 0.99);
+    // And no device is busy longer than the whole run.
+    for log in [&t.tape_r, &t.tape_s, &t.disks] {
+        assert!(log.busy() <= stats.response);
+    }
+}
+
+#[test]
+fn cpu_cost_slows_but_never_corrupts() {
+    use tapejoin_sim::Duration;
+    let w = WorkloadBuilder::new(65)
+        .r(RelationSpec::new("R", 32).tuples_per_block(8))
+        .s(RelationSpec::new("S", 128).tuples_per_block(8))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    let free = TertiaryJoin::new(SystemConfig::new(16, 120))
+        .run(JoinMethod::CdtGh, &w)
+        .unwrap();
+    let costly =
+        TertiaryJoin::new(SystemConfig::new(16, 120).cpu_per_tuple(Duration::from_millis(5)))
+            .run(JoinMethod::CdtGh, &w)
+            .unwrap();
+    assert_eq!(costly.output, expected);
+    assert!(
+        costly.response > free.response,
+        "CPU charge must slow the join ({} vs {})",
+        costly.response,
+        free.response
+    );
+}
+
+#[test]
+fn extreme_fill_targets_still_verify() {
+    let w = WorkloadBuilder::new(66)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 256))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    for target in [0.25, 1.0] {
+        for method in [JoinMethod::CdtGh, JoinMethod::CttGh, JoinMethod::TtGh] {
+            let cfg = SystemConfig::new(16, 260).grace_fill_target(target);
+            let stats = TertiaryJoin::new(cfg)
+                .run(method, &w)
+                .unwrap_or_else(|e| panic!("{method} at target {target}: {e}"));
+            assert_eq!(stats.output, expected, "{method} at target {target}");
+        }
+    }
+    // An out-of-range target is rejected.
+    let err = TertiaryJoin::new(SystemConfig::new(16, 260).grace_fill_target(0.0))
+        .run(JoinMethod::CdtGh, &w)
+        .unwrap_err();
+    assert!(matches!(err, tapejoin::JoinError::InvalidConfig(_)));
+}
+
+#[test]
+fn media_corruption_is_caught_end_to_end() {
+    // Inject a bad block into the S relation's tape image and run a full
+    // join with verification on: the join must fail loudly, not produce
+    // a quietly wrong answer.
+    use tapejoin_rel::{Block, Tuple};
+
+    let mut w = WorkloadBuilder::new(67)
+        .r(RelationSpec::new("R", 32))
+        .s(RelationSpec::new("S", 128))
+        .build();
+    // Forge one S block (same tuples, wrong checksum).
+    let mut s_blocks = w.s.blocks().to_vec();
+    let victim: Vec<Tuple> = s_blocks[40].tuples().to_vec();
+    let bad_sum = s_blocks[40].checksum() ^ 1;
+    s_blocks[40] = std::rc::Rc::new(Block::forge(victim, bad_sum));
+    w.s = tapejoin_rel::Relation::new("S", s_blocks, w.s.compressibility());
+
+    let cfg = SystemConfig::new(16, 160).verify_tape_reads(true);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = TertiaryJoin::new(cfg).run(JoinMethod::CdtGh, &w);
+    }));
+    assert!(caught.is_err(), "corrupted media must not join silently");
+
+    // With verification off the join completes — and its digest exposes
+    // nothing, because the forged block carries the same tuples. The
+    // verification flag is what turns decay into a detected fault.
+    let cfg = SystemConfig::new(16, 160);
+    let stats = TertiaryJoin::new(cfg).run(JoinMethod::CdtGh, &w).unwrap();
+    assert_eq!(stats.output.pairs, w.expected_pairs);
+}
+
+#[test]
+fn verification_on_clean_media_changes_nothing() {
+    let w = WorkloadBuilder::new(68)
+        .r(RelationSpec::new("R", 32))
+        .s(RelationSpec::new("S", 128))
+        .build();
+    let plain = TertiaryJoin::new(SystemConfig::new(16, 160))
+        .run(JoinMethod::CttGh, &w)
+        .unwrap();
+    let verified = TertiaryJoin::new(SystemConfig::new(16, 160).verify_tape_reads(true))
+        .run(JoinMethod::CttGh, &w)
+        .unwrap();
+    assert_eq!(plain.response, verified.response);
+    assert_eq!(plain.output, verified.output);
+}

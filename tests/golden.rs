@@ -1,0 +1,39 @@
+//! Golden regression pins: exact response times, output digests and disk
+//! traffic for one fixed configuration, per method.
+//!
+//! These values are *intentional* — they pin the executable model against
+//! accidental drift. A deliberate model change should update them (run
+//! `cargo run --release -p tapejoin-bench --bin gen_golden` and paste),
+//! and the change should be explainable in the commit that does so.
+
+use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+#[test]
+fn golden_fingerprints() {
+    let golden: [(JoinMethod, u64, u64, u64); 7] = [
+        (JoinMethod::DtNb, 85812160000, 9380155842906845032, 2688),
+        (JoinMethod::CdtNbMb, 134110400000, 9380155842906845032, 5280),
+        (JoinMethod::CdtNbDb, 89538624000, 9380155842906845032, 3648),
+        (JoinMethod::DtGh, 75279232000, 9380155842906845032, 2246),
+        (JoinMethod::CdtGh, 57075392000, 9380155842906845032, 2258),
+        (JoinMethod::CttGh, 90392855040, 9380155842906845032, 2077),
+        (JoinMethod::TtGh, 182537391924, 9380155842906845032, 1662),
+    ];
+    let w = WorkloadBuilder::new(0xBEEF)
+        .r(RelationSpec::new("R", 96))
+        .s(RelationSpec::new("S", 480))
+        .build();
+    for (method, response_ns, digest, traffic) in golden {
+        let cfg = SystemConfig::new(20, 300).disk_overhead(true);
+        let s = TertiaryJoin::new(cfg).run(method, &w).unwrap();
+        assert_eq!(
+            s.response.as_nanos(),
+            response_ns,
+            "{method}: response drifted (was {response_ns} ns, now {} ns)",
+            s.response.as_nanos()
+        );
+        assert_eq!(s.output.digest, digest, "{method}: output digest drifted");
+        assert_eq!(s.disk.traffic(), traffic, "{method}: disk traffic drifted");
+    }
+}

@@ -1,0 +1,150 @@
+//! Table 2 is enforced, not aspirational: methods never exceed their
+//! memory/disk/scratch budgets at runtime, and infeasible configurations
+//! are rejected up front with a reason.
+
+use tapejoin::requirements::resource_needs;
+use tapejoin::{JoinError, JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+fn workload(r: u64, s: u64) -> tapejoin_rel::JoinWorkload {
+    WorkloadBuilder::new(55)
+        .r(RelationSpec::new("R", r))
+        .s(RelationSpec::new("S", s))
+        .build()
+}
+
+#[test]
+fn peaks_stay_within_quotas() {
+    let w = workload(64, 256);
+    for method in JoinMethod::ALL {
+        let cfg = SystemConfig::new(16, 200);
+        let stats = TertiaryJoin::new(cfg).run(method, &w).unwrap();
+        assert!(
+            stats.mem_peak <= 16,
+            "{method} used {} memory blocks of 16",
+            stats.mem_peak
+        );
+        assert!(
+            stats.disk_peak <= 200,
+            "{method} used {} disk blocks of 200",
+            stats.disk_peak
+        );
+    }
+}
+
+#[test]
+fn peaks_match_declared_needs() {
+    // The measured peaks must not exceed what resource_needs declared
+    // (the declaration may be conservative, never optimistic).
+    let w = workload(64, 256);
+    for method in JoinMethod::ALL {
+        let cfg = SystemConfig::new(16, 200);
+        let needs = resource_needs(method, &cfg, 64, 256, 4).unwrap();
+        let stats = TertiaryJoin::new(cfg).run(method, &w).unwrap();
+        assert!(
+            stats.mem_peak <= needs.memory,
+            "{method}: peak memory {} exceeds declared {}",
+            stats.mem_peak,
+            needs.memory
+        );
+        if !method.is_tape_tape() {
+            // Disk-tape methods declare their exact footprint; tape-tape
+            // methods opportunistically use all of D for S buffering.
+            assert!(
+                stats.disk_peak <= needs.disk,
+                "{method}: peak disk {} exceeds declared {}",
+                stats.disk_peak,
+                needs.disk
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_tape_methods_reject_disk_below_r() {
+    let w = workload(100, 400);
+    for method in [
+        JoinMethod::DtNb,
+        JoinMethod::CdtNbMb,
+        JoinMethod::CdtNbDb,
+        JoinMethod::DtGh,
+        JoinMethod::CdtGh,
+    ] {
+        let err = TertiaryJoin::new(SystemConfig::new(32, 99))
+            .run(method, &w)
+            .unwrap_err();
+        assert!(
+            matches!(err, JoinError::Infeasible { .. }),
+            "{method}: {err}"
+        );
+    }
+}
+
+#[test]
+fn grace_methods_reject_memory_below_sqrt_r() {
+    let w = workload(400, 800); // sqrt(400) = 20
+    for method in [
+        JoinMethod::DtGh,
+        JoinMethod::CdtGh,
+        JoinMethod::CttGh,
+        JoinMethod::TtGh,
+    ] {
+        let err = TertiaryJoin::new(SystemConfig::new(19, 2000))
+            .run(method, &w)
+            .unwrap_err();
+        match err {
+            JoinError::Infeasible { reason, .. } => {
+                assert!(reason.contains("√|R|"), "{method}: {reason}")
+            }
+            other => panic!("{method}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn scratch_tape_caps_are_honored() {
+    let w = workload(64, 256);
+    // CTT-GH needs ~|R| of R-tape scratch; cap it below that.
+    let cfg = SystemConfig::new(16, 200).tape_r_scratch(32);
+    let err = TertiaryJoin::new(cfg)
+        .run(JoinMethod::CttGh, &w)
+        .unwrap_err();
+    assert!(matches!(err, JoinError::Infeasible { .. }));
+
+    // TT-GH needs |S| on the R tape and |R| on the S tape.
+    let cfg = SystemConfig::new(16, 200).tape_s_scratch(10);
+    let err = TertiaryJoin::new(cfg)
+        .run(JoinMethod::TtGh, &w)
+        .unwrap_err();
+    assert!(matches!(err, JoinError::Infeasible { .. }));
+
+    // Generous caps pass.
+    let cfg = SystemConfig::new(16, 200)
+        .tape_r_scratch(1000)
+        .tape_s_scratch(1000);
+    assert!(TertiaryJoin::new(cfg).run(JoinMethod::TtGh, &w).is_ok());
+}
+
+#[test]
+fn degenerate_configs_rejected_before_running() {
+    let w = workload(8, 16);
+    let err = TertiaryJoin::new(SystemConfig::new(1, 100))
+        .run(JoinMethod::DtNb, &w)
+        .unwrap_err();
+    assert!(matches!(err, JoinError::InvalidConfig(_)));
+}
+
+#[test]
+fn needs_are_monotone_in_r() {
+    // Growing |R| never shrinks a method's disk or scratch needs.
+    let cfg = SystemConfig::new(64, 10_000);
+    for method in JoinMethod::ALL {
+        let small = resource_needs(method, &cfg, 100, 1000, 4).unwrap();
+        let large = resource_needs(method, &cfg, 500, 1000, 4).unwrap();
+        assert!(large.disk >= small.disk, "{method} disk need shrank");
+        assert!(
+            large.tape_r_scratch >= small.tape_r_scratch,
+            "{method} T_R need shrank"
+        );
+    }
+}
