@@ -14,7 +14,7 @@
 
 use tapejoin::cost::CostParams;
 use tapejoin::planner::rank_methods;
-use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin::{FaultPlan, JoinMethod, SystemConfig, TertiaryJoin};
 use tapejoin_bench::chart::AsciiChart;
 use tapejoin_bench::SEED;
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};
@@ -35,6 +35,8 @@ struct Args {
     method: Option<JoinMethod>,
     overhead: bool,
     sweep: Option<Sweep>,
+    fault_rate: f64,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         method: None,
         overhead: true,
         sweep: None,
+        fault_rate: 0.0,
+        fault_seed: SEED,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +65,12 @@ fn parse_args() -> Result<Args, String> {
                 args.method = Some(value("--method")?.parse()?);
             }
             "--ideal-disks" => args.overhead = false,
+            "--fault-rate" => args.fault_rate = parse_f64(&value("--fault-rate")?)?,
+            "--fault-seed" => {
+                args.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|_| "--fault-seed takes an integer".to_string())?;
+            }
             "--sweep" => {
                 args.sweep = Some(match value("--sweep")?.as_str() {
                     "m" | "memory" => Sweep::Memory,
@@ -71,9 +81,13 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: explore [--r-mb N] [--s-mb N] [--m-mb N] [--d-mb N] \
-                     [--compress C] [--method ABBREV] [--ideal-disks] [--sweep m|d]\n\n\
-                     --sweep m  vary memory from 5% of |R| up to |R| (chart per method)\n\
-                     --sweep d  vary disk from 0.5x to 3x |R|"
+                     [--compress C] [--method ABBREV] [--ideal-disks] [--sweep m|d] \
+                     [--fault-rate R] [--fault-seed N]\n\n\
+                     --sweep m       vary memory from 5% of |R| up to |R| (chart per method)\n\
+                     --sweep d       vary disk from 0.5x to 3x |R|\n\
+                     --fault-rate R  inject recoverable device faults (tape transient\n\
+                                     rate R, hard rate R/20, disk error rate R/2)\n\
+                     --fault-seed N  seed of the deterministic fault schedule"
                 );
                 std::process::exit(0);
             }
@@ -85,6 +99,15 @@ fn parse_args() -> Result<Args, String> {
 
 fn parse_f64(s: &str) -> Result<f64, String> {
     s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+/// `--fault-rate R` maps to a recoverable plan: tape transient rate `R`,
+/// rare hard faults at `R/20` (recovered by media exchange), disk errors
+/// at `R/2` (recovered by retry with capped backoff).
+fn fault_plan(args: &Args) -> FaultPlan {
+    FaultPlan::new(args.fault_seed)
+        .tape_rates(args.fault_rate, args.fault_rate / 20.0)
+        .disk_error_rate(args.fault_rate / 2.0)
 }
 
 fn main() {
@@ -102,11 +125,14 @@ fn main() {
     }
 
     let probe = SystemConfig::new(0, 0);
-    let cfg = SystemConfig::new(
+    let mut cfg = SystemConfig::new(
         probe.mb_to_blocks(args.m_mb).max(2),
         probe.mb_to_blocks(args.d_mb),
     )
     .disk_overhead(args.overhead);
+    if args.fault_rate > 0.0 {
+        cfg = cfg.faults(fault_plan(&args));
+    }
 
     let workload = WorkloadBuilder::new(SEED)
         .r(RelationSpec::new("R", cfg.mb_to_blocks(args.r_mb)).compressibility(args.compress))
@@ -180,6 +206,22 @@ fn main() {
                 "  peaks           {} memory blocks, {} disk blocks",
                 stats.mem_peak, stats.disk_peak
             );
+            if args.fault_rate > 0.0 {
+                let f = &stats.faults;
+                println!(
+                    "  faults          {} injected ({} tape transient, {} tape hard, {} disk), all recovered",
+                    f.total(),
+                    f.tape_transient,
+                    f.tape_hard,
+                    f.disk_errors
+                );
+                println!(
+                    "  fault recovery  {} retries costing {} ({:.1}% of response)",
+                    f.retries,
+                    f.retry_time,
+                    100.0 * f.retry_time.as_secs_f64() / stats.response.as_secs_f64()
+                );
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -225,8 +267,12 @@ fn run_sweep(args: &Args, sweep: Sweep) {
                 Sweep::Memory => (x, args.d_mb),
                 Sweep::Disk => (args.m_mb, x),
             };
-            let cfg = SystemConfig::new(probe.mb_to_blocks(m_mb).max(2), probe.mb_to_blocks(d_mb))
-                .disk_overhead(args.overhead);
+            let mut cfg =
+                SystemConfig::new(probe.mb_to_blocks(m_mb).max(2), probe.mb_to_blocks(d_mb))
+                    .disk_overhead(args.overhead);
+            if args.fault_rate > 0.0 {
+                cfg = cfg.faults(fault_plan(args));
+            }
             let workload = workload_for(&cfg);
             if let Ok(stats) = TertiaryJoin::new(cfg).run(method, &workload) {
                 series.push((x, stats.response.as_secs_f64()));

@@ -9,6 +9,7 @@ use tapejoin_disk::ArrayMode;
 use tapejoin_tape::TapeDriveModel;
 
 use crate::error::JoinError;
+use crate::fault::FaultPlan;
 
 /// Default block size: 64 KiB, a typical multi-page transfer unit for the
 /// paper's era (its cost model assumes requests of ≥ 30 such blocks make
@@ -66,6 +67,10 @@ pub struct SystemConfig {
     /// Off by default, matching the paper's clean-media assumption; turn
     /// on to surface injected or simulated media corruption.
     pub verify_tape_reads: bool,
+    /// Fault-injection plan: seeded, deterministic device fault schedules
+    /// with costed recovery (see [`FaultPlan`]). Inert by default
+    /// ([`FaultPlan::none`]), in which case no device code path changes.
+    pub faults: FaultPlan,
     /// Grace bucket-fill target in `(0, 1]` — the expected bucket size as
     /// a fraction of the resident memory allowance (see
     /// [`crate::hash::GracePlan::derive_with_target`]).
@@ -97,6 +102,7 @@ impl SystemConfig {
             cpu_per_tuple: Duration::ZERO,
             use_read_reverse: false,
             verify_tape_reads: false,
+            faults: FaultPlan::none(),
             grace_fill_target: crate::hash::GracePlan::DEFAULT_FILL_TARGET,
             hash_seed: 0x7473_6A6F_696E, // "tsjoin"
         }
@@ -187,6 +193,12 @@ impl SystemConfig {
         self
     }
 
+    /// Set the fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Set the grace bucket-fill target.
     pub fn grace_fill_target(mut self, target: f64) -> Self {
         self.grace_fill_target = target;
@@ -245,6 +257,7 @@ impl SystemConfig {
                 self.grace_fill_target
             )));
         }
+        self.faults.validate()?;
         if self.use_read_reverse && !self.tape_model.read_reverse {
             return Err(JoinError::InvalidConfig(format!(
                 "reverse scans requested but the {} drive cannot READ REVERSE",

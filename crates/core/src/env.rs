@@ -68,6 +68,13 @@ impl JoinEnv {
         drive_s.mount(s_media);
         drive_r.set_verify_reads(cfg.verify_tape_reads);
         drive_s.set_verify_reads(cfg.verify_tape_reads);
+        // Arm fault injection only when a rate is nonzero — the inert
+        // plan must leave every device code path untouched so clean-run
+        // timings reproduce exactly.
+        if cfg.faults.tape_active() {
+            drive_r.set_fault_policy(cfg.faults.tape_policy("R"));
+            drive_s.set_fault_policy(cfg.faults.tape_policy("S"));
+        }
         let timeline = cfg.record_timeline.then(|| crate::stats::DeviceTimeline {
             tape_r: tapejoin_sim::ActivityLog::new(),
             tape_s: tapejoin_sim::ActivityLog::new(),
@@ -82,6 +89,9 @@ impl JoinEnv {
             .with_rate(cfg.disk_rate)
             .with_overhead(cfg.disk_overhead);
         let disks = DiskArray::new(disk_model, cfg.disks, cfg.block_bytes, cfg.array_mode);
+        if cfg.faults.disk_active() {
+            disks.set_fault_policy(cfg.faults.disk_policy());
+        }
         if let Some(t) = &timeline {
             disks.attach_activity_log(t.disks.clone());
         }

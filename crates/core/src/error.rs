@@ -19,6 +19,15 @@ pub enum JoinError {
     InvalidConfig(String),
     /// No method is feasible for this configuration (planner).
     NoFeasibleMethod,
+    /// The join completed its simulation but one or more injected faults
+    /// exhausted their recovery budget, so the run counts as failed (the
+    /// real system would have aborted the join).
+    UnrecoverableFault {
+        /// The method that was running.
+        method: JoinMethod,
+        /// Faults that could not be recovered.
+        failed: u64,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -30,6 +39,12 @@ impl fmt::Display for JoinError {
             JoinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             JoinError::NoFeasibleMethod => {
                 write!(f, "no join method is feasible for this configuration")
+            }
+            JoinError::UnrecoverableFault { method, failed } => {
+                write!(
+                    f,
+                    "{method} aborted: {failed} injected fault(s) exhausted their recovery budget"
+                )
             }
         }
     }

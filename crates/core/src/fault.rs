@@ -1,0 +1,307 @@
+//! The join-level fault model: one [`FaultPlan`] derives the per-device
+//! fault policies, and one [`FaultSummary`] aggregates what every device
+//! recovered (or failed to).
+//!
+//! The plan is part of [`crate::SystemConfig`], so a faulty run is
+//! configured exactly like a clean one — same workload, same seeds, plus
+//! fault rates. Determinism is preserved end to end:
+//!
+//! * every device derives a *private* seeded stream from the plan seed
+//!   (tape drives by device name, disks by index), so the fault schedule
+//!   never depends on how requests interleave across devices;
+//! * all draws happen in request-issue order inside the device models;
+//! * faults are timing-only — recovery re-reads/re-issues always deliver
+//!   the correct data, so the join's output is bit-identical to a clean
+//!   run whenever every fault is recoverable.
+//!
+//! A zero-rate plan ([`FaultPlan::none`], the default) arms nothing: the
+//! device code paths are untouched and clean-run timings reproduce
+//! exactly.
+
+use tapejoin_disk::{DiskFaultPolicy, DiskStats};
+use tapejoin_sim::Duration;
+use tapejoin_tape::{TapeFaultPolicy, TapeStats};
+
+use crate::error::JoinError;
+
+/// Fault-injection plan for a whole join run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Master seed; every device derives its own stream from it.
+    pub seed: u64,
+    /// Per-block-read probability of a transient (ECC-recoverable) tape
+    /// error.
+    pub tape_transient_rate: f64,
+    /// Per-block-read probability of a hard tape fault (media exchange).
+    pub tape_hard_rate: f64,
+    /// Tape re-read attempts before a transient escalates to hard.
+    pub tape_max_retries: u32,
+    /// Cost of a tape media-exchange recovery.
+    pub tape_exchange_time: Duration,
+    /// Media exchanges tolerated per drive before hard faults count as
+    /// failed.
+    pub tape_max_exchanges: u64,
+    /// Per-request probability of a disk error.
+    pub disk_error_rate: f64,
+    /// Disk retries before a request counts as failed.
+    pub disk_max_retries: u32,
+    /// Initial disk retry backoff (doubles per retry).
+    pub disk_backoff: Duration,
+    /// Ceiling on a single disk retry's backoff.
+    pub disk_backoff_cap: Duration,
+}
+
+impl FaultPlan {
+    /// The inert plan: zero rates everywhere. Devices are left unarmed,
+    /// so clean-run timings reproduce bit for bit.
+    pub fn none() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// A zero-rate plan carrying `seed`; set rates with the builders.
+    pub fn new(seed: u64) -> Self {
+        let tape = TapeFaultPolicy::new(seed);
+        let disk = DiskFaultPolicy::new(seed);
+        FaultPlan {
+            seed,
+            tape_transient_rate: 0.0,
+            tape_hard_rate: 0.0,
+            tape_max_retries: tape.max_retries,
+            tape_exchange_time: tape.exchange_time,
+            tape_max_exchanges: tape.max_exchanges,
+            disk_error_rate: 0.0,
+            disk_max_retries: disk.max_retries,
+            disk_backoff: disk.backoff,
+            disk_backoff_cap: disk.backoff_cap,
+        }
+    }
+
+    /// Set the tape transient and hard fault rates (builder style).
+    pub fn tape_rates(mut self, transient: f64, hard: f64) -> Self {
+        self.tape_transient_rate = transient;
+        self.tape_hard_rate = hard;
+        self
+    }
+
+    /// Set the disk per-request error rate (builder style).
+    pub fn disk_error_rate(mut self, rate: f64) -> Self {
+        self.disk_error_rate = rate;
+        self
+    }
+
+    /// Set the tape re-read cap (builder style).
+    pub fn tape_max_retries(mut self, n: u32) -> Self {
+        self.tape_max_retries = n;
+        self
+    }
+
+    /// Set the tape exchange-recovery cost and budget (builder style).
+    pub fn tape_exchange(mut self, time: Duration, budget: u64) -> Self {
+        self.tape_exchange_time = time;
+        self.tape_max_exchanges = budget;
+        self
+    }
+
+    /// Set the disk retry cap (builder style).
+    pub fn disk_max_retries(mut self, n: u32) -> Self {
+        self.disk_max_retries = n;
+        self
+    }
+
+    /// Set the disk retry backoff base and cap (builder style).
+    pub fn disk_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.disk_backoff = base;
+        self.disk_backoff_cap = cap;
+        self
+    }
+
+    /// `true` when any device can ever see a fault.
+    pub fn is_active(&self) -> bool {
+        self.tape_active() || self.disk_active()
+    }
+
+    /// `true` when the tape drives should be armed.
+    pub fn tape_active(&self) -> bool {
+        self.tape_transient_rate > 0.0 || self.tape_hard_rate > 0.0
+    }
+
+    /// `true` when the disk array should be armed.
+    pub fn disk_active(&self) -> bool {
+        self.disk_error_rate > 0.0
+    }
+
+    /// Sanity-check the plan's rates and knobs.
+    pub fn validate(&self) -> Result<(), JoinError> {
+        let prob = |r: f64| (0.0..=1.0).contains(&r) && r.is_finite();
+        if !prob(self.tape_transient_rate)
+            || !prob(self.tape_hard_rate)
+            || self.tape_transient_rate + self.tape_hard_rate > 1.0
+        {
+            return Err(JoinError::InvalidConfig(format!(
+                "tape fault rates must be probabilities with sum <= 1: transient {} hard {}",
+                self.tape_transient_rate, self.tape_hard_rate
+            )));
+        }
+        if !prob(self.disk_error_rate) {
+            return Err(JoinError::InvalidConfig(format!(
+                "disk error rate must be a probability: {}",
+                self.disk_error_rate
+            )));
+        }
+        if self.tape_active() && self.tape_max_retries == 0 {
+            return Err(JoinError::InvalidConfig(
+                "tape fault injection needs at least one re-read attempt".into(),
+            ));
+        }
+        if self.disk_active() && self.disk_max_retries == 0 {
+            return Err(JoinError::InvalidConfig(
+                "disk fault injection needs at least one retry".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The policy for the tape drive named `device` ("R" or "S"). Each
+    /// drive's stream seed mixes the device name into the master seed
+    /// (FNV-1a), so the two drives fault independently yet exactly
+    /// reproducibly.
+    pub fn tape_policy(&self, device: &str) -> TapeFaultPolicy {
+        TapeFaultPolicy::new(derive_seed(self.seed, device))
+            .rates(self.tape_transient_rate, self.tape_hard_rate)
+            .max_retries(self.tape_max_retries)
+            .exchange_time(self.tape_exchange_time)
+            .max_exchanges(self.tape_max_exchanges)
+    }
+
+    /// The policy for the disk array (the array derives per-disk streams
+    /// itself).
+    pub fn disk_policy(&self) -> DiskFaultPolicy {
+        DiskFaultPolicy::new(derive_seed(self.seed, "disk-array"))
+            .error_rate(self.disk_error_rate)
+            .max_retries(self.disk_max_retries)
+            .backoff(self.disk_backoff, self.disk_backoff_cap)
+    }
+}
+
+/// Mix a device name into the master seed (FNV-1a over the name).
+fn derive_seed(seed: u64, device: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in device.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    seed ^ h
+}
+
+/// What the whole machine recovered from (or didn't) during one join.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Transient tape read errors (both drives).
+    pub tape_transient: u64,
+    /// Hard tape faults recovered by media exchange (both drives).
+    pub tape_hard: u64,
+    /// Disk requests that hit an injected error.
+    pub disk_errors: u64,
+    /// Total retry attempts across all devices.
+    pub retries: u64,
+    /// Faults recovered within their budgets.
+    pub recovered: u64,
+    /// Faults that exhausted their recovery budget.
+    pub failed: u64,
+    /// Virtual time spent in fault recovery across all devices (disjoint
+    /// from clean service time).
+    pub retry_time: Duration,
+}
+
+impl FaultSummary {
+    /// Aggregate the per-device counters measured by one run.
+    pub fn collect(tape_r: &TapeStats, tape_s: &TapeStats, disk: &DiskStats) -> Self {
+        let tape_transient = tape_r.transient_faults + tape_s.transient_faults;
+        let tape_hard = tape_r.hard_faults + tape_s.hard_faults;
+        let disk_errors = disk.faults;
+        let failed = tape_r.failed_faults + tape_s.failed_faults + disk.failed_faults;
+        let total = tape_transient + tape_hard + disk_errors;
+        FaultSummary {
+            tape_transient,
+            tape_hard,
+            disk_errors,
+            retries: tape_r.fault_retries + tape_s.fault_retries + disk.fault_retries,
+            recovered: total - failed,
+            failed,
+            retry_time: tape_r.fault_time + tape_s.fault_time + disk.fault_time,
+        }
+    }
+
+    /// Total faults injected (recovered + failed).
+    pub fn total(&self) -> u64 {
+        self.recovered + self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_is_inactive_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn device_policies_derive_distinct_deterministic_seeds() {
+        let plan = FaultPlan::new(42)
+            .tape_rates(0.1, 0.01)
+            .disk_error_rate(0.05);
+        let r1 = plan.tape_policy("R");
+        let r2 = plan.tape_policy("R");
+        let s = plan.tape_policy("S");
+        let d = plan.disk_policy();
+        assert_eq!(r1.seed, r2.seed);
+        assert_ne!(r1.seed, s.seed);
+        assert_ne!(r1.seed, d.seed);
+        assert!((r1.transient_rate - 0.1).abs() < 1e-12);
+        assert!((d.error_rate - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        assert!(FaultPlan::new(0).tape_rates(0.7, 0.5).validate().is_err());
+        assert!(FaultPlan::new(0).tape_rates(-0.1, 0.0).validate().is_err());
+        assert!(FaultPlan::new(0).disk_error_rate(1.5).validate().is_err());
+        assert!(FaultPlan::new(0)
+            .tape_rates(0.1, 0.0)
+            .disk_error_rate(0.1)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn summary_aggregates_and_partitions_recovered_vs_failed() {
+        let tr = TapeStats {
+            transient_faults: 3,
+            hard_faults: 1,
+            fault_retries: 7,
+            failed_faults: 1,
+            fault_time: Duration::from_secs(10),
+            ..Default::default()
+        };
+        let ts = TapeStats::default();
+        let d = DiskStats {
+            faults: 2,
+            fault_retries: 2,
+            fault_time: Duration::from_secs(1),
+            ..Default::default()
+        };
+        let sum = FaultSummary::collect(&tr, &ts, &d);
+        assert_eq!(sum.tape_transient, 3);
+        assert_eq!(sum.tape_hard, 1);
+        assert_eq!(sum.disk_errors, 2);
+        assert_eq!(sum.retries, 9);
+        assert_eq!(sum.total(), 6);
+        assert_eq!(sum.failed, 1);
+        assert_eq!(sum.recovered, 5);
+        assert_eq!(sum.retry_time, Duration::from_secs(11));
+    }
+}

@@ -71,15 +71,20 @@ impl TertiaryJoin {
             // clock — stored output is part of the response time.
             let output_blocks = env.sink.finish().await;
             let end = now();
+            let tape_r = env.drive_r.stats();
+            let tape_s = env.drive_s.stats();
+            let disk = env.disks.stats();
+            let faults = crate::fault::FaultSummary::collect(&tape_r, &tape_s, &disk);
             JoinStats {
                 method,
                 response: end.duration_since(tapejoin_sim::SimTime::ZERO),
                 step1: result
                     .step1_done
                     .duration_since(tapejoin_sim::SimTime::ZERO),
-                tape_r: env.drive_r.stats(),
-                tape_s: env.drive_s.stats(),
-                disk: env.disks.stats(),
+                tape_r,
+                tape_s,
+                disk,
+                faults,
                 mem_peak: env.mem.peak(),
                 disk_peak: env.space.peak_in_use(),
                 output: env.sink.check(),
@@ -88,6 +93,14 @@ impl TertiaryJoin {
                 timeline: env.timeline.clone(),
             }
         });
+        // A fault that exhausted its recovery budget means the real
+        // system would have aborted the join.
+        if stats.faults.failed > 0 {
+            return Err(JoinError::UnrecoverableFault {
+                method,
+                failed: stats.faults.failed,
+            });
+        }
         Ok(stats)
     }
 }

@@ -43,8 +43,11 @@
 //! * [`planner`] — picks the cheapest feasible method;
 //! * [`hash`] — grace-hash planning and streaming partitioning;
 //! * [`JoinEnv`] / [`SystemConfig`] — the machine model;
-//! * [`JoinStats`] — measured response time, device statistics, peak
-//!   memory/disk, verified output.
+//! * [`FaultPlan`] — deterministic, seeded fault injection with costed
+//!   recovery on every device (faults are timing-only, so output is
+//!   unchanged whenever recovery succeeds);
+//! * [`JoinStats`] — measured response time, device statistics, fault
+//!   recovery counters, peak memory/disk, verified output.
 
 #![warn(missing_docs)]
 
@@ -58,6 +61,7 @@ pub mod requirements;
 mod config;
 mod env;
 mod error;
+mod fault;
 mod join;
 mod method;
 mod output;
@@ -66,6 +70,7 @@ mod stats;
 pub use config::{SystemConfig, DEFAULT_BLOCK_BYTES};
 pub use env::JoinEnv;
 pub use error::JoinError;
+pub use fault::{FaultPlan, FaultSummary};
 pub use join::{optimum_join_time, TertiaryJoin};
 pub use method::JoinMethod;
 pub use output::{build_table, probe_and_emit, probe_r_against_s_table, OutputMode, OutputSink};

@@ -6,6 +6,7 @@ use tapejoin_rel::JoinCheck;
 use tapejoin_sim::{ActivityLog, Duration};
 use tapejoin_tape::TapeStats;
 
+use crate::fault::FaultSummary;
 use crate::method::JoinMethod;
 
 /// Everything measured about one join execution.
@@ -23,6 +24,9 @@ pub struct JoinStats {
     pub tape_s: TapeStats,
     /// Disk array statistics (Figure 7's traffic metric).
     pub disk: DiskStats,
+    /// Injected faults and their recovery cost, aggregated across all
+    /// devices (all zeros when the fault plan is inert).
+    pub faults: FaultSummary,
     /// Peak main-memory blocks in use (validates Table 2 / Figure 6).
     pub mem_peak: u64,
     /// Peak disk blocks in use (validates Table 2 / Figure 6).
@@ -74,6 +78,8 @@ impl std::fmt::Debug for JoinStats {
             .field("mem_peak", &self.mem_peak)
             .field("disk_peak", &self.disk_peak)
             .field("disk_traffic", &self.disk.traffic())
+            .field("faults", &self.faults.total())
+            .field("fault_time", &self.faults.retry_time)
             .finish()
     }
 }

@@ -68,7 +68,7 @@ fn gh_pair_same_volumes_different_time() {
     let dt = run(JoinMethod::DtGh, 16, 280);
     let cdt = run(JoinMethod::CdtGh, 16, 280);
     let (a, b) = (dt.disk.traffic() as f64, cdt.disk.traffic() as f64);
-    assert!((a - b).abs() / a < 0.01, "traffic diverged: {a} vs {b}");
+    assert!((a - b).abs() / a < 0.03, "traffic diverged: {a} vs {b}");
     assert_eq!(dt.tape_s.blocks_read, cdt.tape_s.blocks_read);
     assert!(cdt.response < dt.response);
 }

@@ -5,8 +5,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use tapejoin_rel::BlockRef;
-use tapejoin_sim::{join_all, spawn, Server};
+use tapejoin_sim::{join_all, spawn, Duration, Server};
 
+use crate::fault::{DiskFaultInjector, DiskFaultPolicy};
 use crate::model::DiskModel;
 use crate::space::DiskAddr;
 
@@ -24,7 +25,7 @@ pub enum ArrayMode {
 
 /// Cumulative array statistics. Disk *traffic* (Figure 7) is
 /// `blocks_read + blocks_written`.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DiskStats {
     /// Blocks transferred disk → host.
     pub blocks_read: u64,
@@ -34,6 +35,15 @@ pub struct DiskStats {
     pub read_requests: u64,
     /// Write requests issued.
     pub write_requests: u64,
+    /// Requests that hit an injected error and were retried.
+    pub faults: u64,
+    /// Total retries across all faulted requests.
+    pub fault_retries: u64,
+    /// Faulted requests whose retry budget was exhausted.
+    pub failed_faults: u64,
+    /// Virtual time spent in fault recovery (backoff + re-issues),
+    /// disjoint from clean service time.
+    pub fault_time: Duration,
 }
 
 impl DiskStats {
@@ -57,6 +67,7 @@ pub struct DiskArray {
     per_disk: Rc<Vec<Server>>,
     store: Rc<RefCell<HashMap<DiskAddr, BlockRef>>>,
     stats: Rc<RefCell<DiskStats>>,
+    faults: Rc<RefCell<Option<Vec<DiskFaultInjector>>>>,
 }
 
 impl DiskArray {
@@ -77,7 +88,19 @@ impl DiskArray {
             ),
             store: Rc::new(RefCell::new(HashMap::new())),
             stats: Rc::new(RefCell::new(DiskStats::default())),
+            faults: Rc::new(RefCell::new(None)),
         }
+    }
+
+    /// Arm deterministic fault injection. Each disk derives its own
+    /// seeded stream from the policy (the aggregate server uses disk 0's
+    /// stream), so the fault schedule is independent of request
+    /// interleaving across devices.
+    pub fn set_fault_policy(&self, policy: DiskFaultPolicy) {
+        let injectors = (0..self.disks as u64)
+            .map(|d| DiskFaultInjector::new(policy.clone(), d))
+            .collect();
+        *self.faults.borrow_mut() = Some(injectors);
     }
 
     /// Number of disks.
@@ -163,12 +186,18 @@ impl DiskArray {
     }
 
     /// Charge virtual time for one logical request touching `addrs`.
+    ///
+    /// Fault outcomes are drawn *synchronously*, before any awaiting, in
+    /// request-issue order — the schedule therefore depends only on the
+    /// seed and the request sequence, never on how device service
+    /// intervals happen to interleave.
     async fn charge(&self, addrs: &[DiskAddr]) {
         match self.mode {
             ArrayMode::Aggregate => {
                 let bytes = addrs.len() as u64 * self.block_bytes;
                 let service = self.model.service_time(bytes, self.disks as f64);
-                self.aggregate.serve(service).await;
+                let penalty = self.fault_penalty(0, service);
+                self.aggregate.serve(service + penalty).await;
             }
             ArrayMode::PerDisk => {
                 // Split by placement; the request completes when the
@@ -184,11 +213,36 @@ impl DiskArray {
                     }
                     let server = self.per_disk[d].clone();
                     let service = self.model.service_time(count * self.block_bytes, 1.0);
-                    parts.push(spawn(async move { server.serve(service).await }));
+                    let penalty = self.fault_penalty(d, service);
+                    parts.push(spawn(async move { server.serve(service + penalty).await }));
                 }
                 join_all(parts.into_iter().map(|h| h.join()).collect()).await;
             }
         }
+    }
+
+    /// Draw the fault outcome for one request on disk `stream` and return
+    /// the recovery time to add to its service (zero when injection is
+    /// off or the request is clean). Counters are updated here, once per
+    /// faulted request.
+    fn fault_penalty(&self, stream: usize, service: Duration) -> Duration {
+        let mut faults = self.faults.borrow_mut();
+        let Some(injectors) = faults.as_mut() else {
+            return Duration::ZERO;
+        };
+        let inj = &mut injectors[stream];
+        let Some(fault) = inj.on_request() else {
+            return Duration::ZERO;
+        };
+        let penalty = inj.penalty(fault, service);
+        let mut st = self.stats.borrow_mut();
+        st.faults += 1;
+        st.fault_retries += fault.retries as u64;
+        if fault.exhausted {
+            st.failed_faults += 1;
+        }
+        st.fault_time += penalty;
+        penalty
     }
 }
 
@@ -300,6 +354,117 @@ mod tests {
             let arr = DiskArray::new(DiskModel::ideal(1e6), 1, BLOCK, ArrayMode::Aggregate);
             arr.read(&[DiskAddr { disk: 0, lba: 5 }]).await;
         });
+    }
+
+    #[test]
+    fn fault_retry_cost_charged_exactly_once() {
+        // error_rate = 1.0: every request faults and every retry fails,
+        // so each request deterministically burns max_retries retries
+        // (5 + 10 + 20 ms backoff) plus three full re-issues, and is
+        // counted as failed. The elapsed time must equal clean service
+        // plus exactly that penalty — no double charge anywhere.
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let arr = DiskArray::new(DiskModel::ideal(1e6), 1, BLOCK, ArrayMode::Aggregate);
+            arr.set_fault_policy(
+                DiskFaultPolicy::new(5)
+                    .error_rate(1.0)
+                    .max_retries(3)
+                    .backoff(Duration::from_millis(5), Duration::from_millis(80)),
+            );
+            let sm = SpaceManager::new(1, 64);
+            let addrs = sm.allocate(8).unwrap();
+            let requests = 4usize;
+            let per = 8 / requests;
+            let bs = blocks(8);
+            for chunk in 0..requests {
+                let lo = chunk * per;
+                arr.write(&addrs[lo..lo + per], &bs[lo..lo + per]).await;
+            }
+            let service = per as f64 * BLOCK as f64 / 1e6;
+            let backoff = 0.005 + 0.010 + 0.020;
+            let expect = requests as f64 * (service + backoff + 3.0 * service);
+            assert!(
+                (now().as_secs_f64() - expect).abs() < 1e-9,
+                "elapsed {} expect {expect}",
+                now().as_secs_f64()
+            );
+            let st = arr.stats();
+            assert_eq!(st.faults, requests as u64);
+            assert_eq!(st.fault_retries, 3 * requests as u64);
+            assert_eq!(st.failed_faults, requests as u64);
+            let penalty = requests as f64 * (backoff + 3.0 * service);
+            assert!((st.fault_time.as_secs_f64() - penalty).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn fault_time_accounts_for_entire_slowdown() {
+        // At a moderate error rate the elapsed time of a faulty run must
+        // equal the clean run plus exactly the accumulated fault_time,
+        // and same-seed runs must be bit-for-bit identical.
+        let clean = run_workload(None);
+        let faulty_a = run_workload(Some(21));
+        let faulty_b = run_workload(Some(21));
+        assert_eq!(faulty_a, faulty_b, "same seed must reproduce exactly");
+        let (clean_t, clean_stats) = clean;
+        let (faulty_t, faulty_stats) = faulty_a;
+        assert!(faulty_stats.faults > 0, "rate 0.4 over 64 requests");
+        assert_eq!(faulty_t, clean_t + faulty_stats.fault_time);
+        assert_eq!(clean_stats.fault_time, Duration::ZERO);
+        assert_eq!(faulty_stats.traffic(), clean_stats.traffic());
+
+        fn run_workload(fault_seed: Option<u64>) -> (Duration, DiskStats) {
+            let mut sim = Simulation::new();
+            sim.run(async move {
+                let model = DiskModel::quantum_fireball().with_rate(1e6);
+                let arr = DiskArray::new(model, 1, BLOCK, ArrayMode::Aggregate);
+                if let Some(seed) = fault_seed {
+                    arr.set_fault_policy(DiskFaultPolicy::new(seed).error_rate(0.4));
+                }
+                let sm = SpaceManager::new(1, 64);
+                let addrs = sm.allocate(64).unwrap();
+                let bs = blocks(64);
+                for i in 0..64usize {
+                    arr.write(&addrs[i..i + 1], &bs[i..i + 1]).await;
+                }
+                for i in (0..64usize).rev() {
+                    arr.read(&addrs[i..i + 1]).await;
+                }
+                (
+                    tapejoin_sim::now().duration_since(tapejoin_sim::SimTime::ZERO),
+                    arr.stats(),
+                )
+            })
+        }
+    }
+
+    #[test]
+    fn per_disk_fault_streams_are_deterministic_and_independent() {
+        // Per-disk mode: each disk draws from its own stream, and the
+        // request completes when the slowest disk (including its fault
+        // penalty) finishes. Same seed → identical elapsed time; a
+        // different seed changes the schedule.
+        let a = run_striped(3);
+        let b = run_striped(3);
+        let c = run_striped(4);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should shift the fault schedule");
+
+        fn run_striped(seed: u64) -> Duration {
+            let mut sim = Simulation::new();
+            sim.run(async move {
+                let arr = DiskArray::new(DiskModel::ideal(1e6), 2, BLOCK, ArrayMode::PerDisk);
+                arr.set_fault_policy(DiskFaultPolicy::new(seed).error_rate(0.5));
+                let bs = blocks(32);
+                for i in 0..16u64 {
+                    let addrs = [DiskAddr { disk: 0, lba: i }, DiskAddr { disk: 1, lba: i }];
+                    let lo = (i * 2) as usize;
+                    arr.write(&addrs, &bs[lo..lo + 2]).await;
+                }
+                tapejoin_sim::now().duration_since(tapejoin_sim::SimTime::ZERO)
+            })
+        }
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Deterministic fault injection for the disk array.
+//!
+//! Disk request errors (bus resets, command timeouts, remapped sectors)
+//! are recovered by the controller re-issuing the request after a capped
+//! exponential backoff — all in virtual time, so a faulty run is exactly
+//! as deterministic as a clean one. Faults are timing-only: the stored
+//! blocks are always returned intact, so join correctness is never
+//! affected; only response time and the array's fault counters change.
+//!
+//! Each disk (and the aggregate server) owns a private seeded stream, so
+//! the schedule is independent of cross-device interleaving.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tapejoin_sim::Duration;
+
+/// Fault model of the disk array.
+#[derive(Clone, Debug)]
+pub struct DiskFaultPolicy {
+    /// Seed of the array's fault streams (each disk derives its own).
+    pub seed: u64,
+    /// Per-request probability of an error (first issue and every retry
+    /// draw independently).
+    pub error_rate: f64,
+    /// Retries before the request is counted as *failed* (the final
+    /// retry still completes — fail-stop is surfaced by the driver, not
+    /// modelled as data loss).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Ceiling on a single retry's backoff.
+    pub backoff_cap: Duration,
+}
+
+impl DiskFaultPolicy {
+    /// A policy with the given seed, zero error rate, and defaults for
+    /// the recovery knobs (4 retries, 5 ms → 80 ms capped backoff).
+    pub fn new(seed: u64) -> Self {
+        DiskFaultPolicy {
+            seed,
+            error_rate: 0.0,
+            max_retries: 4,
+            backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(80),
+        }
+    }
+
+    /// Set the per-request error rate (builder style).
+    pub fn error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Set the retry cap (builder style).
+    pub fn max_retries(mut self, n: u32) -> Self {
+        assert!(n > 0, "need at least one retry");
+        self.max_retries = n;
+        self
+    }
+
+    /// Set the initial backoff and its cap (builder style).
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// `true` when this policy can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        self.error_rate > 0.0
+    }
+
+    /// Backoff delay before retry number `i` (0-based): `backoff × 2^i`,
+    /// capped.
+    pub fn backoff_delay(&self, i: u32) -> Duration {
+        let doubled = self
+            .backoff
+            .checked_mul(1u64 << i.min(20))
+            .unwrap_or(self.backoff_cap);
+        doubled.min(self.backoff_cap)
+    }
+}
+
+/// What the injector decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RequestFault {
+    /// Retries performed (≥ 1).
+    pub retries: u32,
+    /// The retry budget was exhausted (counted as a failed fault).
+    pub exhausted: bool,
+}
+
+/// One seeded fault stream (per disk, or for the aggregate server).
+#[derive(Clone, Debug)]
+pub(crate) struct DiskFaultInjector {
+    rng: StdRng,
+    pub(crate) policy: DiskFaultPolicy,
+}
+
+impl DiskFaultInjector {
+    pub(crate) fn new(policy: DiskFaultPolicy, stream: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&policy.error_rate),
+            "error rate must be a probability: {}",
+            policy.error_rate
+        );
+        // Decorrelate per-disk streams from one another.
+        let seed = policy
+            .seed
+            .wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        DiskFaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+            policy,
+        }
+    }
+
+    /// Draw the outcome for one request: `None` for a clean request,
+    /// otherwise the number of retries the controller needed (capped,
+    /// with `exhausted` marking a blown budget).
+    pub(crate) fn on_request(&mut self) -> Option<RequestFault> {
+        let p = &self.policy;
+        if !p.is_active() || self.rng.gen::<f64>() >= p.error_rate {
+            return None;
+        }
+        let mut retries = 0u32;
+        loop {
+            retries += 1;
+            if self.rng.gen::<f64>() >= p.error_rate {
+                return Some(RequestFault {
+                    retries,
+                    exhausted: false,
+                });
+            }
+            if retries >= p.max_retries {
+                return Some(RequestFault {
+                    retries,
+                    exhausted: true,
+                });
+            }
+        }
+    }
+
+    /// Total recovery time for `fault` on a request whose clean service
+    /// takes `service`: each retry waits its backoff, then re-issues the
+    /// whole request.
+    pub(crate) fn penalty(&self, fault: RequestFault, service: Duration) -> Duration {
+        let mut total = Duration::ZERO;
+        for i in 0..fault.retries {
+            total += self.policy.backoff_delay(i) + service;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let mut inj = DiskFaultInjector::new(DiskFaultPolicy::new(3), 0);
+        for _ in 0..1000 {
+            assert_eq!(inj.on_request(), None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_distinct_streams_differ() {
+        let policy = DiskFaultPolicy::new(11).error_rate(0.3);
+        let mut a = DiskFaultInjector::new(policy.clone(), 0);
+        let mut b = DiskFaultInjector::new(policy.clone(), 0);
+        let mut c = DiskFaultInjector::new(policy, 1);
+        let sa: Vec<_> = (0..500).map(|_| a.on_request()).collect();
+        let sb: Vec<_> = (0..500).map(|_| b.on_request()).collect();
+        let sc: Vec<_> = (0..500).map(|_| c.on_request()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc, "streams must be decorrelated per disk");
+    }
+
+    #[test]
+    fn certain_error_rate_exhausts_deterministically() {
+        let policy = DiskFaultPolicy::new(0).error_rate(1.0).max_retries(3);
+        let mut inj = DiskFaultInjector::new(policy, 0);
+        for _ in 0..50 {
+            assert_eq!(
+                inj.on_request(),
+                Some(RequestFault {
+                    retries: 3,
+                    exhausted: true
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p =
+            DiskFaultPolicy::new(0).backoff(Duration::from_millis(5), Duration::from_millis(80));
+        assert_eq!(p.backoff_delay(0), Duration::from_millis(5));
+        assert_eq!(p.backoff_delay(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_delay(3), Duration::from_millis(40));
+        assert_eq!(p.backoff_delay(4), Duration::from_millis(80));
+        assert_eq!(p.backoff_delay(10), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn penalty_sums_backoffs_and_reissues() {
+        let policy = DiskFaultPolicy::new(0)
+            .error_rate(0.5)
+            .backoff(Duration::from_millis(5), Duration::from_millis(80));
+        let inj = DiskFaultInjector::new(policy, 0);
+        let service = Duration::from_millis(100);
+        let fault = RequestFault {
+            retries: 3,
+            exhausted: false,
+        };
+        // 5 + 10 + 20 ms backoff + 3 × 100 ms re-issues.
+        assert_eq!(
+            inj.penalty(fault, service),
+            Duration::from_millis(5 + 10 + 20 + 300)
+        );
+    }
+}

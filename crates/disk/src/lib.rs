@@ -22,13 +22,20 @@
 //!
 //! Blocks written to the array are stored and read back verbatim — data
 //! movement is real, only the clock is simulated.
+//!
+//! The array also supports **deterministic fault injection**
+//! ([`DiskFaultPolicy`]): seeded per-request errors recovered by
+//! re-issuing the request after a capped exponential backoff, charged in
+//! virtual time so faulty runs stay bit-for-bit reproducible.
 
 #![warn(missing_docs)]
 
 mod array;
+mod fault;
 mod model;
 mod space;
 
 pub use array::{ArrayMode, DiskArray, DiskStats};
+pub use fault::DiskFaultPolicy;
 pub use model::DiskModel;
 pub use space::{DiskAddr, DiskSpaceExhausted, SpaceManager};

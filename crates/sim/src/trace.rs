@@ -106,13 +106,19 @@ impl Trace {
     }
 
     /// Downsample to at most `n` evenly spaced points (for printing).
+    /// Always retains both the first and the final sample, so a plot's
+    /// right edge shows the series' true end state.
     pub fn downsample(&self, n: usize) -> Vec<TracePoint> {
         let pts = self.points.borrow();
         if pts.len() <= n || n == 0 {
             return pts.clone();
         }
-        let stride = pts.len() as f64 / n as f64;
-        (0..n).map(|i| pts[(i as f64 * stride) as usize]).collect()
+        if n == 1 {
+            return vec![pts[pts.len() - 1]];
+        }
+        // Map output index i to i*(len-1)/(n-1): monotone, hits index 0
+        // at i = 0 and len-1 at i = n-1.
+        (0..n).map(|i| pts[i * (pts.len() - 1) / (n - 1)]).collect()
     }
 }
 
@@ -148,6 +154,23 @@ mod tests {
         }
         let d = t.downsample(10);
         assert_eq!(d.len(), 10);
-        assert_eq!(d[0].value, 0.0);
+        assert_eq!(d[0].value, 0.0, "first sample must survive");
+        assert_eq!(d[9].value, 99.0, "final sample must survive");
+        // Awkward divisors too: both endpoints, always.
+        for n in [1usize, 2, 3, 7, 11, 13, 64, 99] {
+            let d = t.downsample(n);
+            assert_eq!(d.len(), n, "asked for {n}");
+            assert_eq!(d[n - 1].value, 99.0, "final sample lost at n = {n}");
+            if n > 1 {
+                assert_eq!(d[0].value, 0.0, "first sample lost at n = {n}");
+            }
+            // Strictly increasing (no duplicated indices).
+            for pair in d.windows(2) {
+                assert!(pair[1].at > pair[0].at, "duplicate sample at n = {n}");
+            }
+        }
+        // n >= len returns the series unchanged.
+        assert_eq!(t.downsample(100).len(), 100);
+        assert_eq!(t.downsample(500).len(), 100);
     }
 }

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for tape drives.
+//!
+//! Tape is the least reliable link in the paper's machine: media decays,
+//! heads clog, and drives of the DLT-4000 era recovered read errors by
+//! backing the head up and re-reading the block through ECC — each
+//! attempt costing a repositioning cycle. Rarely, a block is beyond ECC
+//! (or the drive itself degrades) and the operator's recourse is a media
+//! exchange: the robot swaps in the duplicate cartridge and the read is
+//! retried from the copy.
+//!
+//! [`TapeFaultPolicy`] parameterizes that model; a [`TapeFaultInjector`]
+//! owns the per-drive random stream. Faults are *timing-only*: the block
+//! contents delivered to the host are always correct (recovery succeeds
+//! by construction, or is counted as failed), so a join's output is
+//! unaffected — only its response time and the drive's fault counters
+//! change. All draws happen inside the drive's FIFO service function, in
+//! request order, so runs with the same seed are bit-for-bit identical.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tapejoin_sim::Duration;
+
+/// Fault model of one tape drive.
+#[derive(Clone, Debug)]
+pub struct TapeFaultPolicy {
+    /// Seed of this drive's private fault stream.
+    pub seed: u64,
+    /// Per-block-read probability of a transient (ECC-recoverable) error.
+    pub transient_rate: f64,
+    /// Per-block-read probability of a hard fault requiring a media
+    /// exchange. Disjoint from `transient_rate`; their sum must be ≤ 1.
+    pub hard_rate: f64,
+    /// Re-read attempts before a transient error escalates to a hard
+    /// fault.
+    pub max_retries: u32,
+    /// Fixed cost of a media-exchange recovery (robot arm + unload +
+    /// load of the duplicate cartridge).
+    pub exchange_time: Duration,
+    /// Media exchanges tolerated per drive; hard faults beyond this are
+    /// counted as *failed* (the operator is out of duplicates).
+    pub max_exchanges: u64,
+}
+
+impl TapeFaultPolicy {
+    /// A policy with the given seed, zero fault rates, and defaults for
+    /// the recovery knobs (4 re-reads, 70 s exchange ≈ 30 s robot + 40 s
+    /// DLT load, effectively unlimited exchanges).
+    pub fn new(seed: u64) -> Self {
+        TapeFaultPolicy {
+            seed,
+            transient_rate: 0.0,
+            hard_rate: 0.0,
+            max_retries: 4,
+            exchange_time: Duration::from_secs(70),
+            max_exchanges: u64::MAX,
+        }
+    }
+
+    /// Set the transient and hard fault rates (builder style).
+    pub fn rates(mut self, transient: f64, hard: f64) -> Self {
+        self.transient_rate = transient;
+        self.hard_rate = hard;
+        self
+    }
+
+    /// Set the re-read cap (builder style).
+    pub fn max_retries(mut self, n: u32) -> Self {
+        assert!(n > 0, "need at least one re-read attempt");
+        self.max_retries = n;
+        self
+    }
+
+    /// Set the media-exchange recovery cost (builder style).
+    pub fn exchange_time(mut self, t: Duration) -> Self {
+        self.exchange_time = t;
+        self
+    }
+
+    /// Set the exchange budget (builder style).
+    pub fn max_exchanges(mut self, n: u64) -> Self {
+        self.max_exchanges = n;
+        self
+    }
+
+    /// `true` when this policy can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        self.transient_rate > 0.0 || self.hard_rate > 0.0
+    }
+}
+
+/// What the injector decided for one block read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockFault {
+    /// The read succeeded first try.
+    Clean,
+    /// A transient error, recovered after `retries` ECC re-reads.
+    Transient {
+        /// Re-read attempts performed (≥ 1).
+        retries: u32,
+    },
+    /// A hard fault (direct, or a transient that exhausted its re-read
+    /// budget — `retries` counts the wasted re-reads). Recovered by a
+    /// media exchange.
+    Hard {
+        /// Wasted re-read attempts before escalating (0 for direct).
+        retries: u32,
+    },
+}
+
+/// Per-drive fault stream: policy plus its private deterministic RNG.
+#[derive(Clone, Debug)]
+pub(crate) struct TapeFaultInjector {
+    rng: StdRng,
+    pub(crate) policy: TapeFaultPolicy,
+}
+
+impl TapeFaultInjector {
+    pub(crate) fn new(policy: TapeFaultPolicy) -> Self {
+        assert!(
+            policy.transient_rate >= 0.0
+                && policy.hard_rate >= 0.0
+                && policy.transient_rate + policy.hard_rate <= 1.0,
+            "fault rates must be probabilities with sum <= 1: transient {} hard {}",
+            policy.transient_rate,
+            policy.hard_rate,
+        );
+        TapeFaultInjector {
+            rng: StdRng::seed_from_u64(policy.seed),
+            policy,
+        }
+    }
+
+    /// Draw the fault outcome for one block read. One uniform draw
+    /// partitions [0, 1) into hard / transient / clean; a transient then
+    /// draws per re-read until a re-read succeeds or the budget is spent.
+    pub(crate) fn on_block_read(&mut self) -> BlockFault {
+        let p = self.policy.clone();
+        if !p.is_active() {
+            return BlockFault::Clean;
+        }
+        let u: f64 = self.rng.gen();
+        if u < p.hard_rate {
+            return BlockFault::Hard { retries: 0 };
+        }
+        if u < p.hard_rate + p.transient_rate {
+            let mut retries = 0u32;
+            loop {
+                retries += 1;
+                if self.rng.gen::<f64>() >= p.transient_rate {
+                    return BlockFault::Transient { retries };
+                }
+                if retries >= p.max_retries {
+                    return BlockFault::Hard { retries };
+                }
+            }
+        }
+        BlockFault::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let mut inj = TapeFaultInjector::new(TapeFaultPolicy::new(1));
+        for _ in 0..1000 {
+            assert_eq!(inj.on_block_read(), BlockFault::Clean);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let policy = TapeFaultPolicy::new(42).rates(0.3, 0.05);
+        let mut a = TapeFaultInjector::new(policy.clone());
+        let mut b = TapeFaultInjector::new(policy);
+        for _ in 0..1000 {
+            assert_eq!(a.on_block_read(), b.on_block_read());
+        }
+    }
+
+    #[test]
+    fn certain_transient_escalates_at_the_retry_cap() {
+        // transient_rate = 1.0: every read faults and every re-read
+        // fails, so each block deterministically escalates after
+        // max_retries wasted re-reads.
+        let policy = TapeFaultPolicy::new(7).rates(1.0, 0.0).max_retries(3);
+        let mut inj = TapeFaultInjector::new(policy);
+        for _ in 0..100 {
+            assert_eq!(inj.on_block_read(), BlockFault::Hard { retries: 3 });
+        }
+    }
+
+    #[test]
+    fn certain_hard_rate_always_exchanges() {
+        let policy = TapeFaultPolicy::new(7).rates(0.0, 1.0);
+        let mut inj = TapeFaultInjector::new(policy);
+        for _ in 0..100 {
+            assert_eq!(inj.on_block_read(), BlockFault::Hard { retries: 0 });
+        }
+    }
+
+    #[test]
+    fn rates_partition_roughly_as_configured() {
+        let policy = TapeFaultPolicy::new(99).rates(0.2, 0.01);
+        let mut inj = TapeFaultInjector::new(policy);
+        let (mut clean, mut transient, mut hard) = (0u32, 0u32, 0u32);
+        for _ in 0..10_000 {
+            match inj.on_block_read() {
+                BlockFault::Clean => clean += 1,
+                BlockFault::Transient { .. } => transient += 1,
+                BlockFault::Hard { .. } => hard += 1,
+            }
+        }
+        assert!((7_500..8_300).contains(&clean), "clean {clean}");
+        assert!((1_700..2_300).contains(&transient), "transient {transient}");
+        assert!(hard < 300, "hard {hard}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum <= 1")]
+    fn rejects_rates_summing_past_one() {
+        TapeFaultInjector::new(TapeFaultPolicy::new(0).rates(0.7, 0.5));
+    }
+}

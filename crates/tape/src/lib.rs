@@ -18,7 +18,11 @@
 //! * **serpentine rewind** (orders of magnitude faster than reading, per
 //!   the paper: "a 5 GB tape file might take an hour to read but only 10
 //!   seconds to rewind");
-//! * a **library robot** with ~30 s media exchanges.
+//! * a **library robot** with ~30 s media exchanges;
+//! * **deterministic fault injection** ([`TapeFaultPolicy`]): seeded
+//!   transient read errors recovered by costed ECC re-read cycles, and
+//!   rare hard faults recovered by a media exchange — timing-only, so
+//!   join output is never corrupted and same-seed runs are identical.
 //!
 //! All operations are async and charge virtual time through a FIFO
 //! [`tapejoin_sim::Server`] per drive, so two drives overlap freely while
@@ -27,12 +31,14 @@
 #![warn(missing_docs)]
 
 mod drive;
+mod fault;
 mod library;
 mod media;
 mod model;
 mod multivolume;
 
 pub use drive::{TapeDrive, TapeStats};
+pub use fault::TapeFaultPolicy;
 pub use library::TapeLibrary;
 pub use media::{TapeBlock, TapeExtent, TapeMedia};
 pub use model::TapeDriveModel;

@@ -1,0 +1,159 @@
+//! Differential harness: every feasible join method must produce exactly
+//! the reference join — on a clean machine *and* under recoverable fault
+//! injection — and every run must be bit-for-bit reproducible from its
+//! seeds, fault counters included.
+//!
+//! This is the end-to-end guarantee of the fault subsystem: faults are
+//! timing-only, so as long as every fault is recovered the seven methods
+//! stay differentially equivalent to [`tapejoin_rel::reference_join`];
+//! only response time and the fault counters move.
+
+use proptest::prelude::*;
+use tapejoin::{FaultPlan, JoinError, JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{reference_join, RelationSpec, WorkloadBuilder};
+
+/// Everything measurable about a run, flattened for equality checks.
+fn fingerprint(stats: &JoinStats) -> Vec<u64> {
+    vec![
+        stats.response.as_nanos(),
+        stats.step1.as_nanos(),
+        stats.output.pairs,
+        stats.output.digest,
+        stats.tape_r.blocks_read,
+        stats.tape_r.repositions,
+        stats.tape_s.blocks_read,
+        stats.tape_s.repositions,
+        stats.disk.traffic(),
+        stats.mem_peak,
+        stats.disk_peak,
+        stats.faults.tape_transient,
+        stats.faults.tape_hard,
+        stats.faults.disk_errors,
+        stats.faults.retries,
+        stats.faults.recovered,
+        stats.faults.failed,
+        stats.faults.retry_time.as_nanos(),
+    ]
+}
+
+/// Recoverable-by-construction plan: transient/disk rates low enough that
+/// budget exhaustion is (astronomically) unlikely, and the tape exchange
+/// budget unlimited so even escalated faults recover.
+fn recoverable_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .tape_rates(0.08, 0.004)
+        .disk_error_rate(0.05)
+}
+
+#[test]
+fn all_seven_methods_match_reference_under_recoverable_faults() {
+    let w = WorkloadBuilder::new(0x0D1F)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    let clean = TertiaryJoin::new(SystemConfig::new(16, 400));
+    let faulty = TertiaryJoin::new(SystemConfig::new(16, 400).faults(recoverable_plan(7)));
+    for method in JoinMethod::ALL {
+        let base = clean.run(method, &w).unwrap();
+        let stats = faulty.run(method, &w).unwrap();
+        assert_eq!(stats.output, expected, "{method} diverged under faults");
+        assert_eq!(base.output, expected, "{method} diverged clean");
+        assert!(
+            stats.faults.total() > 0,
+            "{method} saw no faults at these rates"
+        );
+        assert_eq!(stats.faults.failed, 0, "{method} plan must be recoverable");
+        assert!(
+            stats.response >= base.response,
+            "{method}: fault recovery cannot speed a run up"
+        );
+        // Recovery time is attributed, not folded invisibly into the
+        // response: the faulty run is slower by at most the total
+        // recovery time (some of it may overlap other devices).
+        assert!(
+            stats.response <= base.response + stats.faults.retry_time,
+            "{method}: slowdown exceeds attributed recovery time"
+        );
+        // Data movement is identical — faults never re-read through the
+        // accounting counters.
+        assert_eq!(
+            stats.tape_s.blocks_read, base.tape_s.blocks_read,
+            "{method}"
+        );
+        assert_eq!(stats.disk.traffic(), base.disk.traffic(), "{method}");
+    }
+}
+
+#[test]
+fn unrecoverable_faults_abort_with_a_typed_error() {
+    // An exchange budget of zero makes the first hard fault fatal.
+    let w = WorkloadBuilder::new(3)
+        .r(RelationSpec::new("R", 16))
+        .s(RelationSpec::new("S", 64))
+        .build();
+    let plan = FaultPlan::new(1)
+        .tape_rates(0.0, 0.2)
+        .tape_exchange(tapejoin_sim::Duration::from_secs(70), 0);
+    let err = TertiaryJoin::new(SystemConfig::new(8, 160).faults(plan))
+        .run(JoinMethod::DtNb, &w)
+        .unwrap_err();
+    match err {
+        JoinError::UnrecoverableFault { method, failed } => {
+            assert_eq!(method, JoinMethod::DtNb);
+            assert!(failed > 0);
+        }
+        other => panic!("expected UnrecoverableFault, got {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized workload + machine + fault seed: every feasible method
+    /// equals the reference join clean and faulty, and the faulty run is
+    /// bit-identical when repeated with the same seeds.
+    #[test]
+    fn differential_under_randomized_faults(
+        workload_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        r_blocks in 4u64..32,
+        s_factor in 1u64..5,
+        tpb in 1u32..5,
+        memory in 8u64..28,
+        tape_transient in 0.0f64..0.12,
+        disk_error in 0.0f64..0.08,
+    ) {
+        let s_blocks = r_blocks * s_factor;
+        let w = WorkloadBuilder::new(workload_seed)
+            .r(RelationSpec::new("R", r_blocks).tuples_per_block(tpb))
+            .s(RelationSpec::new("S", s_blocks).tuples_per_block(tpb))
+            .build();
+        let expected = reference_join(&w.r, &w.s);
+        let disk_blocks = 4 * (r_blocks + s_blocks);
+        let plan = FaultPlan::new(fault_seed)
+            .tape_rates(tape_transient, 0.002)
+            .disk_error_rate(disk_error);
+        let clean = TertiaryJoin::new(SystemConfig::new(memory, disk_blocks));
+        let faulty = TertiaryJoin::new(SystemConfig::new(memory, disk_blocks).faults(plan));
+        for method in JoinMethod::ALL {
+            let base = match clean.run(method, &w) {
+                Err(JoinError::Infeasible { .. }) => continue,
+                Err(other) => return Err(TestCaseError::fail(format!("{method} clean: {other}"))),
+                Ok(stats) => stats,
+            };
+            prop_assert_eq!(&base.output, &expected, "{} clean diverged", method);
+            let a = faulty.run(method, &w).unwrap();
+            let b = faulty.run(method, &w).unwrap();
+            prop_assert_eq!(&a.output, &expected, "{} faulty diverged", method);
+            prop_assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{} not reproducible under the same fault seed",
+                method
+            );
+            prop_assert!(a.response >= base.response, "{} sped up by faults", method);
+            prop_assert_eq!(a.faults.failed, 0, "{} recoverable plan failed", method);
+        }
+    }
+}

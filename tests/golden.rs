@@ -12,13 +12,18 @@ use tapejoin_rel::{RelationSpec, WorkloadBuilder};
 #[test]
 fn golden_fingerprints() {
     let golden: [(JoinMethod, u64, u64, u64); 7] = [
-        (JoinMethod::DtNb, 85812160000, 9380155842906845032, 2688),
-        (JoinMethod::CdtNbMb, 134110400000, 9380155842906845032, 5280),
-        (JoinMethod::CdtNbDb, 89538624000, 9380155842906845032, 3648),
-        (JoinMethod::DtGh, 75279232000, 9380155842906845032, 2246),
-        (JoinMethod::CdtGh, 57075392000, 9380155842906845032, 2258),
-        (JoinMethod::CttGh, 90392855040, 9380155842906845032, 2077),
-        (JoinMethod::TtGh, 182537391924, 9380155842906845032, 1662),
+        (JoinMethod::DtNb, 85812160000, 10683602128362960577, 2688),
+        (
+            JoinMethod::CdtNbMb,
+            134110400000,
+            10683602128362960577,
+            5280,
+        ),
+        (JoinMethod::CdtNbDb, 89538624000, 10683602128362960577, 3648),
+        (JoinMethod::DtGh, 76057792000, 10683602128362960577, 2286),
+        (JoinMethod::CdtGh, 56613568000, 10683602128362960577, 2249),
+        (JoinMethod::CttGh, 90280599040, 10683602128362960577, 2070),
+        (JoinMethod::TtGh, 182223831348, 10683602128362960577, 1658),
     ];
     let w = WorkloadBuilder::new(0xBEEF)
         .r(RelationSpec::new("R", 96))

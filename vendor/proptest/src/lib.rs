@@ -1,0 +1,654 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This vendored crate implements the subset of its API
+//! that the workspace's property tests use: the [`proptest!`] macro,
+//! strategies over ranges/tuples/collections, [`prop_oneof!`],
+//! `prop_map`, [`arbitrary::any`], [`sample::Index`] and the
+//! `prop_assert*` family.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs verbatim.
+//! * **Deterministic seeding.** Each property derives its RNG seed from
+//!   the test name, so failures reproduce across runs and CI is stable.
+//!   Set `PROPTEST_SEED=<u64>` to explore a different stream.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Execution parameters for one property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases (the only knob this stand-in
+        /// supports).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real proptest default; our tests were written for it.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` and does not count.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives value generation for one property.
+    pub struct TestRunner {
+        pub(crate) rng: StdRng,
+        /// The active configuration.
+        pub config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Create a runner whose RNG stream is a deterministic function
+        /// of the property name (overridable via `PROPTEST_SEED`).
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let seed = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse::<u64>().unwrap_or(0xC0FFEE),
+                Err(_) => {
+                    // FNV-1a over the property name.
+                    let mut h = 0xCBF2_9CE4_8422_2325u64;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01B3);
+                    }
+                    h
+                }
+            };
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+                config,
+            }
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use rand::Rng;
+    use std::fmt;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Generate one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |runner| self.generate(runner)))
+        }
+    }
+
+    /// A type-erased strategy (cheap to clone).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRunner) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            (self.0)(runner)
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.source.generate(runner))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (see
+    /// [`crate::prop_oneof!`]).
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Build from pre-boxed arms.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let idx = runner.rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(runner)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            runner.rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            // Closed float ranges: the endpoint has measure zero; sampling
+            // the half-open range is indistinguishable in practice.
+            runner.rng.gen_range(*self.start()..*self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::{Rng, RngCore};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: fmt::Debug + Sized {
+        /// Draw one value uniformly from the type's domain.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().next_u32()
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().gen()
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            crate::sample::Index::new(runner.rng().next_u64())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// Whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    /// An index into a collection whose length is unknown at generation
+    /// time: stores raw entropy, scaled by [`Index::index`] at use.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn new(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Map onto `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Admissible element counts for a generated collection.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = runner.rng().gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// Re-exports used by fully qualified paths in tests.
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// Assert a boolean condition inside a property (fails the case, with
+/// inputs reported, instead of panicking outright).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*), l, r
+                );
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "{}\n  both: {:?}",
+                    format!($($fmt)*), l
+                );
+            }
+        }
+    };
+}
+
+/// Discard the current case unless `cond` holds (does not count toward
+/// the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config.clone(), stringify!($name));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    let _: () = $body;
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > 16 * config.cases + 1024 {
+                            panic!(
+                                "property '{}': too many rejections ({}): {}",
+                                stringify!($name), rejected, why
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{}' failed after {} passing case(s): {}\n  inputs: {}",
+                            stringify!($name), passed, msg, inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 1u64..10, pair in (0.0f64..1.0, 5u8..=7)) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&pair.0));
+            prop_assert!((5..=7).contains(&pair.1));
+        }
+
+        #[test]
+        fn oneof_and_map_cover_arms(v in prop_oneof![
+            Just(0u64),
+            (1u64..5).prop_map(|x| x * 10),
+        ]) {
+            prop_assert!(v == 0 || (10..50).contains(&v));
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in prop::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+        }
+
+        #[test]
+        fn index_stays_in_bounds(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(idx.index(len) < len);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn same_name_generates_same_stream() {
+        let mut a = TestRunner::new(ProptestConfig::default(), "p");
+        let mut b = TestRunner::new(ProptestConfig::default(), "p");
+        let sa: Vec<u64> = (0..16)
+            .map(|_| Strategy::generate(&(0u64..1000), &mut a))
+            .collect();
+        let sb: Vec<u64> = (0..16)
+            .map(|_| Strategy::generate(&(0u64..1000), &mut b))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+}
