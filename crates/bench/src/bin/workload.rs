@@ -1,0 +1,216 @@
+//! `workload` — the multi-query fleet experiment.
+//!
+//! Plays a seeded synthetic query stream through the workload scheduler
+//! under each admission policy and compares fleet metrics: makespan,
+//! mean/p95 response, queueing delay, drive/disk utilization, robot
+//! work and scan sharing. The skewed default workload (hot cartridge,
+//! bimodal R sizes) makes the baseline's head-of-line blocking visible:
+//! SJF and best-fit beat FIFO on mean response, and scan sharing beats
+//! a non-sharing fleet on makespan.
+//!
+//! ```sh
+//! cargo run --release -p tapejoin-bench --bin workload
+//! cargo run --release -p tapejoin-bench --bin workload -- \
+//!     --queries 24 --cartridges 4 --policy sjf --csv
+//! cargo run --release -p tapejoin-bench --bin workload -- --smoke
+//! ```
+
+use tapejoin_sched::{FleetConfig, FleetReport, Policy, Scheduler, WorkloadGen};
+
+struct Args {
+    queries: usize,
+    cartridges: usize,
+    seed: u64,
+    mean_interarrival_s: f64,
+    policies: Vec<Policy>,
+    share: bool,
+    csv: bool,
+    per_query: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        queries: 16,
+        cartridges: 3,
+        seed: 0x1997_0407,
+        mean_interarrival_s: 90.0,
+        policies: Policy::ALL.to_vec(),
+        share: true,
+        csv: false,
+        per_query: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--queries" => args.queries = parse_num(&value("--queries")?)? as usize,
+            "--cartridges" => args.cartridges = parse_num(&value("--cartridges")?)? as usize,
+            "--seed" => args.seed = parse_num(&value("--seed")?)?,
+            "--interarrival" => {
+                args.mean_interarrival_s = value("--interarrival")?
+                    .parse()
+                    .map_err(|e| format!("--interarrival: {e}"))?
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                args.policies = if v == "all" {
+                    Policy::ALL.to_vec()
+                } else {
+                    vec![Policy::parse(&v).ok_or_else(|| format!("unknown policy `{v}`"))?]
+                };
+            }
+            "--no-share" => args.share = false,
+            "--csv" => args.csv = true,
+            "--per-query" => args.per_query = true,
+            "--smoke" => {
+                args.queries = 6;
+                args.cartridges = 2;
+                args.mean_interarrival_s = 60.0;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: workload [--queries N] [--cartridges N] [--seed N] \
+                     [--interarrival SECS] [--policy fifo|sjf|best-fit|all] \
+                     [--no-share] [--csv] [--per-query] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("`{s}`: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = WorkloadGen {
+        seed: args.seed,
+        queries: args.queries,
+        cartridges: args.cartridges,
+        mean_interarrival_s: args.mean_interarrival_s,
+        ..WorkloadGen::default()
+    }
+    .generate();
+    let fleet = FleetConfig {
+        share_scans: args.share,
+        ..FleetConfig::default()
+    };
+    if !args.csv {
+        println!(
+            "fleet: {} drives, {} memory blocks, {} disk blocks, sharing {}",
+            fleet.drives,
+            fleet.memory_blocks,
+            fleet.disk_blocks,
+            if fleet.share_scans { "on" } else { "off" },
+        );
+        println!(
+            "workload: {} queries over {} cartridges (seed {:#x})\n",
+            spec.queries.len(),
+            spec.catalog.len(),
+            args.seed,
+        );
+        println!(
+            "{:<9} {:>6} {:>6} {:>11} {:>11} {:>11} {:>11} {:>7} {:>7} {:>9} {:>7}",
+            "policy",
+            "done",
+            "rej",
+            "makespan",
+            "mean-resp",
+            "p95-resp",
+            "mean-wait",
+            "drv%",
+            "dsk%",
+            "exchanges",
+            "shared",
+        );
+    } else {
+        println!(
+            "policy,completed,rejected,makespan_s,mean_response_s,p95_response_s,\
+             mean_wait_s,drive_util,disk_util,robot_exchanges,shared_queries"
+        );
+    }
+
+    let sched = Scheduler::new(fleet);
+    let mut reports: Vec<FleetReport> = Vec::new();
+    for policy in &args.policies {
+        let report = sched.run(&spec, *policy);
+        if args.csv {
+            println!(
+                "{},{},{},{:.1},{:.1},{:.1},{:.1},{:.4},{:.4},{},{}",
+                report.policy,
+                report.completed(),
+                report.rejected(),
+                report.makespan.as_secs_f64(),
+                report.mean_response().as_secs_f64(),
+                report.p95_response().as_secs_f64(),
+                report.mean_wait().as_secs_f64(),
+                report.drive_utilization,
+                report.disk_utilization,
+                report.robot_exchanges,
+                report.shared_queries,
+            );
+        } else {
+            println!(
+                "{:<9} {:>6} {:>6} {:>11} {:>11} {:>11} {:>11} {:>6.1}% {:>6.1}% {:>9} {:>7}",
+                report.policy.name(),
+                report.completed(),
+                report.rejected(),
+                report.makespan.to_string(),
+                report.mean_response().to_string(),
+                report.p95_response().to_string(),
+                report.mean_wait().to_string(),
+                100.0 * report.drive_utilization,
+                100.0 * report.disk_utilization,
+                report.robot_exchanges,
+                report.shared_queries,
+            );
+        }
+        if args.per_query && !args.csv {
+            for o in &report.outcomes {
+                println!(
+                    "    q{:<3} {:<6} [{:>7}]  wait {:>10}  response {:>11}  {:>8} pairs",
+                    o.id,
+                    o.cartridge,
+                    o.execution.label(),
+                    o.wait(),
+                    o.response()
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    o.output.pairs,
+                );
+            }
+        }
+        reports.push(report);
+    }
+
+    if !args.csv && args.policies.len() > 1 {
+        let fifo = reports.iter().find(|r| r.policy == Policy::Fifo);
+        if let Some(fifo) = fifo {
+            println!();
+            for r in &reports {
+                if r.policy == Policy::Fifo {
+                    continue;
+                }
+                let base = fifo.mean_response().as_secs_f64();
+                let this = r.mean_response().as_secs_f64();
+                if base > 0.0 {
+                    println!(
+                        "{} mean response vs fifo: {:+.1}%",
+                        r.policy,
+                        100.0 * (this - base) / base
+                    );
+                }
+            }
+        }
+    }
+}

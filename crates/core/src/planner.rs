@@ -33,11 +33,11 @@ pub fn rank_methods(p: &CostParams) -> Vec<Candidate> {
                 })
         })
         .collect();
-    out.sort_by(|a, b| {
-        a.expected_seconds
-            .partial_cmp(&b.expected_seconds)
-            .expect("finite costs")
-    });
+    // `total_cmp`, not `partial_cmp(..).expect(..)`: a degenerate rate in
+    // `CostParams` (zero, infinite or NaN) can make an analytic cost NaN,
+    // and a scheduler re-planning against a live resource snapshot must
+    // get a ranking back, not a panic. NaN costs sort last.
+    out.sort_by(|a, b| a.expected_seconds.total_cmp(&b.expected_seconds));
     out
 }
 
@@ -122,6 +122,41 @@ mod tests {
             choose_method(&p),
             Err(JoinError::NoFeasibleMethod)
         ));
+    }
+
+    #[test]
+    fn nan_costs_do_not_panic_and_sort_last() {
+        // Regression: a NaN tape rate poisons analytic costs (some fully —
+        // the model's pipelined `f64::max` folds rescue others); the old
+        // `partial_cmp(..).expect("finite costs")` sort panicked here.
+        let mut p = params(18.0, 1000.0, 8.0, 50.0);
+        p.tape_rate = f64::NAN;
+        let ranked = rank_methods(&p);
+        assert!(!ranked.is_empty());
+        // Finite costs form a sorted prefix; every NaN sorts after them.
+        let first_nan = ranked
+            .iter()
+            .position(|c| c.expected_seconds.is_nan())
+            .unwrap_or(ranked.len());
+        for pair in ranked[..first_nan].windows(2) {
+            assert!(pair[0].expected_seconds <= pair[1].expected_seconds);
+        }
+        assert!(ranked[first_nan..]
+            .iter()
+            .all(|c| c.expected_seconds.is_nan()));
+
+        // Mixed finite/NaN: finite costs stay sorted up front, NaN last.
+        let finite = params(18.0, 1000.0, 8.0, 50.0);
+        let mut mixed = rank_methods(&finite);
+        mixed.push(Candidate {
+            method: JoinMethod::TtGh,
+            expected_seconds: f64::NAN,
+        });
+        mixed.sort_by(|a, b| a.expected_seconds.total_cmp(&b.expected_seconds));
+        assert!(mixed.last().unwrap().expected_seconds.is_nan());
+        for pair in mixed[..mixed.len() - 1].windows(2) {
+            assert!(pair[0].expected_seconds <= pair[1].expected_seconds);
+        }
     }
 
     #[test]

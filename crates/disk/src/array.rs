@@ -128,6 +128,13 @@ impl DiskArray {
         *self.stats.borrow()
     }
 
+    /// Queueing statistics of the aggregate service center (busy time,
+    /// queue depth, per-request waits). In [`ArrayMode::PerDisk`] the
+    /// aggregate server is idle; use per-disk activity logs instead.
+    pub fn server_stats(&self) -> tapejoin_sim::ServerStats {
+        self.aggregate.stats()
+    }
+
     /// Record every service interval of the array into `log` (the
     /// aggregate server in aggregate mode, every disk in per-disk mode).
     pub fn attach_activity_log(&self, log: tapejoin_sim::ActivityLog) {

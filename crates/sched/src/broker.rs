@@ -1,0 +1,174 @@
+//! The resource broker: claimable pools for the fleet's shared memory,
+//! disk quota and tape drives.
+//!
+//! Each pool is a [`Semaphore`] where one permit is one block (or one
+//! drive). Only the dispatcher claims — and it only ever uses
+//! `try_acquire`, so no pool accumulates waiters and a claim either
+//! succeeds atomically or leaves the pools untouched. Releases happen
+//! through RAII: dropping a [`Claim`] returns every permit, so a query
+//! that panics mid-join still gives its resources back.
+
+use tapejoin_sim::sync::{Permit, Semaphore};
+
+/// What the broker is willing to give a single admission right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceOffer {
+    /// Memory blocks on offer (free, capped at the fair share).
+    pub memory: u64,
+    /// Disk blocks on offer (free, capped at the fair share).
+    pub disk: u64,
+    /// Free tape drives.
+    pub drives: u64,
+}
+
+/// A successful claim; dropping it releases everything.
+pub struct Claim {
+    /// Memory blocks held.
+    pub memory: u64,
+    /// Disk blocks held.
+    pub disk: u64,
+    /// Drives held.
+    pub drives: u64,
+    _permits: Vec<Permit>,
+}
+
+/// Claimable pools for the fleet's memory, disk and drives.
+pub struct Broker {
+    memory: Semaphore,
+    disk: Semaphore,
+    drives: Semaphore,
+    total_memory: u64,
+    total_disk: u64,
+    total_drives: u64,
+    fair_share: u64,
+}
+
+impl Broker {
+    /// A broker over `memory`/`disk` blocks and `drives` tape drives.
+    /// `fair_share` divides the totals into the per-query offer cap
+    /// (`1` = a single query may claim the whole machine).
+    pub fn new(memory: u64, disk: u64, drives: u64, fair_share: u64) -> Self {
+        assert!(fair_share >= 1, "fair_share must be at least 1");
+        Broker {
+            memory: Semaphore::new(memory),
+            disk: Semaphore::new(disk),
+            drives: Semaphore::new(drives),
+            total_memory: memory,
+            total_disk: disk,
+            total_drives: drives,
+            fair_share,
+        }
+    }
+
+    fn cap(&self, total: u64) -> u64 {
+        (total / self.fair_share).max(1)
+    }
+
+    /// The current offer: free resources, memory and disk capped at the
+    /// fair share so one query cannot monopolize the machine.
+    pub fn offer(&self) -> ResourceOffer {
+        ResourceOffer {
+            memory: self.memory.available().min(self.cap(self.total_memory)),
+            disk: self.disk.available().min(self.cap(self.total_disk)),
+            drives: self.drives.available(),
+        }
+    }
+
+    /// The best offer any query can ever see (an idle machine). A query
+    /// infeasible under this is infeasible forever — reject at arrival.
+    pub fn max_offer(&self) -> ResourceOffer {
+        ResourceOffer {
+            memory: self.cap(self.total_memory),
+            disk: self.cap(self.total_disk),
+            drives: self.total_drives,
+        }
+    }
+
+    /// Atomically claim the given amounts, or fail leaving every pool
+    /// untouched. Zero amounts are skipped (a shared scan claims no
+    /// disk, for example).
+    pub fn try_claim(&self, memory: u64, disk: u64, drives: u64) -> Option<Claim> {
+        let mut permits = Vec::new();
+        for (sem, amount) in [
+            (&self.memory, memory),
+            (&self.disk, disk),
+            (&self.drives, drives),
+        ] {
+            if amount == 0 {
+                continue;
+            }
+            // Dropping `permits` on the partial-failure path releases
+            // whatever was already taken.
+            permits.push(sem.try_acquire(amount)?);
+        }
+        Some(Claim {
+            memory,
+            disk,
+            drives,
+            _permits: permits,
+        })
+    }
+
+    /// Total memory blocks under management.
+    pub fn total_memory(&self) -> u64 {
+        self.total_memory
+    }
+
+    /// Total disk blocks under management.
+    pub fn total_disk(&self) -> u64 {
+        self.total_disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_caps_at_fair_share_and_tracks_claims() {
+        let b = Broker::new(64, 200, 4, 2);
+        assert_eq!(
+            b.offer(),
+            ResourceOffer {
+                memory: 32,
+                disk: 100,
+                drives: 4
+            }
+        );
+        let claim = b.try_claim(32, 100, 2).expect("fits");
+        assert_eq!(
+            b.offer(),
+            ResourceOffer {
+                memory: 32,
+                disk: 100,
+                drives: 2
+            }
+        );
+        let c2 = b.try_claim(32, 100, 2).expect("other half fits");
+        assert_eq!(b.offer().drives, 0);
+        assert_eq!(b.offer().memory, 0);
+        drop(claim);
+        drop(c2);
+        assert_eq!(b.offer().memory, 32);
+        assert_eq!(b.offer().drives, 4);
+    }
+
+    #[test]
+    fn failed_claim_releases_partial_permits() {
+        let b = Broker::new(10, 10, 1, 1);
+        // Memory fits, drives do not: the memory permit must come back.
+        let held = b.try_claim(0, 0, 1).unwrap();
+        assert!(b.try_claim(10, 0, 1).is_none());
+        assert_eq!(b.offer().memory, 10);
+        drop(held);
+        assert!(b.try_claim(10, 0, 1).is_some());
+    }
+
+    #[test]
+    fn zero_amounts_are_skipped() {
+        let b = Broker::new(4, 4, 2, 1);
+        let c = b.try_claim(0, 0, 0).unwrap();
+        assert_eq!(c.memory + c.disk + c.drives, 0);
+        assert_eq!(b.offer().memory, 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! `tapejoin-sched` — a virtual-time multi-query join workload server.
+//!
+//! The paper studies one join at a time on a dedicated machine. A real
+//! tertiary-storage installation is a *server*: a robot library full of
+//! archived relations, a handful of tape drives, shared disk and memory,
+//! and a stream of join queries competing for all of it. This crate
+//! builds that server on the same simulation substrate the single-join
+//! methods run on:
+//!
+//! * [`Broker`] — claimable pools for tape drives, disk space and
+//!   memory, with RAII release and a fair-share offer cap;
+//! * [`Scheduler`] — planner-driven admission: each queued query is
+//!   re-planned against the live resource offer with
+//!   [`tapejoin::planner::rank_methods`], under a FIFO, shortest-
+//!   expected-job-first, or best-fit [`Policy`];
+//! * **scan sharing** — queued queries probing the same archived S
+//!   cartridge are batched so a single tape pass feeds all of them, and
+//!   drive affinity keeps hot cartridges mounted to spare the robot;
+//! * [`FleetReport`] — per-query response/wait/method plus makespan,
+//!   mean/p95 response, drive and disk utilization.
+//!
+//! ```
+//! use tapejoin_sched::{FleetConfig, Policy, Scheduler, WorkloadGen};
+//!
+//! let spec = WorkloadGen {
+//!     queries: 4,
+//!     cartridges: 2,
+//!     ..WorkloadGen::default()
+//! }
+//! .generate();
+//! let report = Scheduler::new(FleetConfig::default()).run(&spec, Policy::Sjf);
+//! assert_eq!(report.completed() + report.rejected(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod broker;
+mod metrics;
+mod policy;
+mod sched;
+mod workload;
+
+pub use broker::{Broker, Claim, ResourceOffer};
+pub use metrics::{Execution, FleetReport, QueryOutcome};
+pub use policy::Policy;
+pub use sched::{FleetConfig, Scheduler};
+pub use workload::{CartridgeSpec, QuerySpec, WorkloadGen, WorkloadSpec};

@@ -1,0 +1,261 @@
+//! Fleet metrics: per-query outcomes and the aggregated report.
+
+use tapejoin::JoinMethod;
+use tapejoin_rel::JoinCheck;
+use tapejoin_sim::{Duration, SimTime};
+
+use crate::policy::Policy;
+
+/// How a query was (or was not) executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Execution {
+    /// Ran alone under the named join method.
+    Method(JoinMethod),
+    /// Ran as a member of a shared S-cartridge scan batch.
+    SharedScan,
+    /// Rejected at arrival: infeasible even on an idle machine.
+    Rejected,
+}
+
+impl Execution {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Execution::Method(m) => m.abbrev(),
+            Execution::SharedScan => "SHARED",
+            Execution::Rejected => "reject",
+        }
+    }
+}
+
+/// One query's fate.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Query id.
+    pub id: usize,
+    /// Catalog cartridge label the query joined against.
+    pub cartridge: String,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// When the dispatcher admitted it (`None` if rejected).
+    pub admitted: Option<SimTime>,
+    /// When its join finished (`None` if rejected).
+    pub completed: Option<SimTime>,
+    /// How it ran.
+    pub execution: Execution,
+    /// Verified join output (pairs + order-independent digest).
+    pub output: JoinCheck,
+}
+
+impl QueryOutcome {
+    /// Queueing delay: arrival to admission (zero for rejected queries).
+    pub fn wait(&self) -> Duration {
+        self.admitted
+            .map(|a| a.duration_since(self.arrival))
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Response time: arrival to completion.
+    pub fn response(&self) -> Option<Duration> {
+        self.completed.map(|c| c.duration_since(self.arrival))
+    }
+}
+
+/// Aggregated fleet report for one scheduler run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Policy the run used.
+    pub policy: Policy,
+    /// Per-query outcomes, sorted by id.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Virtual time from the first arrival epoch (t=0) to the last
+    /// completion.
+    pub makespan: Duration,
+    /// Mean fraction of drives busy over the makespan.
+    pub drive_utilization: f64,
+    /// Fraction of the makespan the disk array was busy.
+    pub disk_utilization: f64,
+    /// Robot arm exchanges performed.
+    pub robot_exchanges: u64,
+    /// Shared-scan batches formed.
+    pub shared_batches: u64,
+    /// Queries served through a shared scan.
+    pub shared_queries: u64,
+    /// Deepest the admission queue ever got.
+    pub max_admission_queue: usize,
+}
+
+impl FleetReport {
+    /// Completed query count.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.completed.is_some())
+            .count()
+    }
+
+    /// Rejected query count.
+    pub fn rejected(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.execution == Execution::Rejected)
+            .count()
+    }
+
+    fn responses(&self) -> Vec<Duration> {
+        let mut r: Vec<Duration> = self.outcomes.iter().filter_map(|o| o.response()).collect();
+        r.sort_unstable();
+        r
+    }
+
+    /// Mean response time over completed queries.
+    pub fn mean_response(&self) -> Duration {
+        let r = self.responses();
+        if r.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u128 = r.iter().map(|d| d.as_nanos() as u128).sum();
+        Duration::from_nanos((total / r.len() as u128) as u64)
+    }
+
+    /// 95th-percentile response time over completed queries.
+    pub fn p95_response(&self) -> Duration {
+        let r = self.responses();
+        if r.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((r.len() as f64 * 0.95).ceil() as usize).clamp(1, r.len()) - 1;
+        r[idx]
+    }
+
+    /// Mean queueing delay over admitted queries.
+    pub fn mean_wait(&self) -> Duration {
+        let waits: Vec<Duration> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.admitted.is_some())
+            .map(|o| o.wait())
+            .collect();
+        if waits.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u128 = waits.iter().map(|d| d.as_nanos() as u128).sum();
+        Duration::from_nanos((total / waits.len() as u128) as u64)
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of the whole report: identical
+    /// runs (same workload, policy, fleet) produce identical values.
+    /// Used by the determinism tests.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.policy as u64);
+        h.u64(self.makespan.as_nanos());
+        h.u64(self.robot_exchanges);
+        h.u64(self.shared_batches);
+        h.u64(self.shared_queries);
+        h.u64(self.max_admission_queue as u64);
+        for o in &self.outcomes {
+            h.u64(o.id as u64);
+            h.u64(o.arrival.as_nanos());
+            h.u64(o.admitted.map(|t| t.as_nanos()).unwrap_or(u64::MAX));
+            h.u64(o.completed.map(|t| t.as_nanos()).unwrap_or(u64::MAX));
+            h.bytes(o.execution.label().as_bytes());
+            h.u64(o.output.pairs);
+            h.u64(o.output.digest);
+        }
+        h.finish()
+    }
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(s)
+    }
+
+    fn outcome(id: usize, arrival: u64, admitted: u64, completed: u64) -> QueryOutcome {
+        QueryOutcome {
+            id,
+            cartridge: "S-000".into(),
+            arrival: t(arrival),
+            admitted: Some(t(admitted)),
+            completed: Some(t(completed)),
+            execution: Execution::Method(JoinMethod::CdtGh),
+            output: JoinCheck::default(),
+        }
+    }
+
+    fn report(outcomes: Vec<QueryOutcome>) -> FleetReport {
+        FleetReport {
+            policy: Policy::Fifo,
+            outcomes,
+            makespan: Duration::from_secs(100),
+            drive_utilization: 0.5,
+            disk_utilization: 0.25,
+            robot_exchanges: 3,
+            shared_batches: 0,
+            shared_queries: 0,
+            max_admission_queue: 2,
+        }
+    }
+
+    #[test]
+    fn response_statistics() {
+        let r = report(vec![
+            outcome(0, 0, 0, 10),  // response 10
+            outcome(1, 5, 10, 35), // response 30, wait 5
+        ]);
+        assert_eq!(r.mean_response(), Duration::from_secs(20));
+        assert_eq!(r.p95_response(), Duration::from_secs(30));
+        assert_eq!(r.mean_wait(), Duration::from_nanos(2_500_000_000));
+        assert_eq!(r.completed(), 2);
+        assert_eq!(r.rejected(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = report(vec![outcome(0, 0, 0, 10)]);
+        let b = report(vec![outcome(0, 0, 0, 10)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = report(vec![outcome(0, 0, 0, 11)]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn rejected_queries_have_zero_wait_and_no_response() {
+        let o = QueryOutcome {
+            id: 7,
+            cartridge: "S-001".into(),
+            arrival: t(3),
+            admitted: None,
+            completed: None,
+            execution: Execution::Rejected,
+            output: JoinCheck::default(),
+        };
+        assert_eq!(o.wait(), Duration::ZERO);
+        assert_eq!(o.response(), None);
+        assert_eq!(o.execution.label(), "reject");
+    }
+}

@@ -1,0 +1,71 @@
+//! Admission queue policies.
+//!
+//! The dispatcher re-plans every queued query against the broker's
+//! current offer; the policy decides *which* feasible query to admit
+//! next. FIFO is the baseline (and suffers head-of-line blocking when
+//! the head's cartridge or resources are busy); SJF and best-fit are the
+//! workload-server improvements the fleet metrics quantify.
+
+use std::fmt;
+
+/// Which queued query the dispatcher admits when resources free up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Strict arrival order: only the queue head is considered. If the
+    /// head cannot run right now (resources or its S cartridge busy),
+    /// everything behind it waits.
+    Fifo,
+    /// Shortest expected job first: among the queries that fit the
+    /// current offer, admit the one with the lowest planner cost
+    /// estimate. Ties break in arrival order.
+    Sjf,
+    /// Best fit: among the queries that fit, admit the one leaving the
+    /// smallest normalized memory+disk residual — packing the machine
+    /// tightly so large queries do not strand capacity. Ties break in
+    /// arrival order.
+    BestFit,
+}
+
+impl Policy {
+    /// Every policy, in presentation order.
+    pub const ALL: [Policy; 3] = [Policy::Fifo, Policy::Sjf, Policy::BestFit];
+
+    /// Stable lower-case name (CLI flag value, report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Sjf => "sjf",
+            Policy::BestFit => "best-fit",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Some(Policy::Fifo),
+            "sjf" => Some(Policy::Sjf),
+            "best-fit" | "bestfit" | "best_fit" => Some(Policy::BestFit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_policy() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::parse(p.name()), Some(p));
+        }
+        assert_eq!(Policy::parse("BestFit"), Some(Policy::BestFit));
+        assert_eq!(Policy::parse("nope"), None);
+    }
+}

@@ -1,0 +1,713 @@
+//! The fleet scheduler: admission, execution and bookkeeping for a
+//! stream of join queries sharing one simulated machine.
+//!
+//! One [`Scheduler::run`] call builds the whole fleet — `n` tape drives,
+//! a robot library holding the archived S catalog, one disk array and
+//! one memory pool — inside a single [`Simulation`], then plays the
+//! query stream through it:
+//!
+//! * an **arrival task** sleeps between arrivals, rejecting queries that
+//!   are infeasible even on an idle machine and queueing the rest;
+//! * the **dispatcher** re-plans every queued query against the
+//!   [`Broker`]'s live offer with [`rank_methods`], picks the next
+//!   admission per the [`Policy`], claims resources, and spawns an
+//!   executor task;
+//! * **scan sharing** batches queued queries probing the same S
+//!   cartridge under one tape pass whenever their R relations fit the
+//!   memory offer together;
+//! * executors run the planned join method (or the shared scan), leave
+//!   cartridges mounted for **drive affinity** (the next query on the
+//!   same cartridge skips the robot), release their claims, and wake the
+//!   dispatcher.
+//!
+//! Everything is deterministic: decisions iterate `Vec`s in arrival
+//! order, never hash maps, so the same workload, policy and fleet
+//! configuration reproduce bit-identical [`FleetReport`]s.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use tapejoin::cost::CostParams;
+use tapejoin::methods::run_method;
+use tapejoin::planner::rank_methods;
+use tapejoin::requirements::resource_needs;
+use tapejoin::{build_table, probe_and_emit, JoinEnv, JoinMethod, OutputSink, SystemConfig};
+use tapejoin_buffer::MemoryPool;
+use tapejoin_disk::{ArrayMode, DiskArray, DiskModel, SpaceManager};
+use tapejoin_rel::{Relation, Tuple};
+use tapejoin_sim::sync::{Notify, Permit, Semaphore};
+use tapejoin_sim::{now, sleep, sleep_until, spawn, Duration, SimTime, Simulation};
+use tapejoin_tape::{TapeDrive, TapeDriveModel, TapeExtent, TapeLibrary, TapeMedia};
+
+use crate::broker::{Broker, Claim, ResourceOffer};
+use crate::metrics::{Execution, FleetReport, QueryOutcome};
+use crate::policy::Policy;
+use crate::workload::WorkloadSpec;
+
+/// Blocks of staging memory a shared scan reserves on top of its
+/// members' hash tables (the tape-to-memory transfer buffer).
+const SHARE_BUF: u64 = 8;
+
+/// The fleet's hardware and scheduling knobs.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Tape drives (a single query needs two: R and S).
+    pub drives: usize,
+    /// Total memory blocks under broker management.
+    pub memory_blocks: u64,
+    /// Total disk blocks under broker management.
+    pub disk_blocks: u64,
+    /// Disks in the array.
+    pub disks: u32,
+    /// Per-disk transfer rate in bytes/second.
+    pub disk_rate: f64,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Tape drive model (all drives identical).
+    pub tape_model: TapeDriveModel,
+    /// Robot arm time per cartridge exchange.
+    pub exchange_time: Duration,
+    /// Offer cap divisor: one admission may claim at most
+    /// `total / fair_share` of memory and disk. `1` disables the cap.
+    pub fair_share: u64,
+    /// Batch same-cartridge queries under one S scan.
+    pub share_scans: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            drives: 6,
+            memory_blocks: 96,
+            disk_blocks: 2048,
+            disks: 2,
+            disk_rate: 2.0e6,
+            block_bytes: 64 * 1024,
+            tape_model: TapeDriveModel::dlt4000(),
+            exchange_time: Duration::from_secs(30),
+            fair_share: 3,
+            share_scans: true,
+        }
+    }
+}
+
+/// A planned admission for one query under a concrete resource offer.
+#[derive(Clone, Copy, Debug)]
+struct Plan {
+    method: JoinMethod,
+    expected_seconds: f64,
+    mem: u64,
+    disk: u64,
+    r_scratch: u64,
+}
+
+/// A query sitting in the admission queue.
+struct Pending {
+    id: usize,
+    arrival: SimTime,
+    r: Relation,
+    r_blocks: u64,
+    r_tpb: u32,
+    cartridge: usize,
+}
+
+/// One archived S relation, mastered onto a library cartridge.
+struct CatalogEntry {
+    label: String,
+    relation: Relation,
+    extent: TapeExtent,
+    s_tpb: u32,
+    /// One permit: at most one admission touches this cartridge at a
+    /// time (a shared batch counts as one).
+    lock: Semaphore,
+}
+
+/// Everything the dispatcher and executor tasks share.
+struct Fleet {
+    cfg: FleetConfig,
+    policy: Policy,
+    drives: Vec<TapeDrive>,
+    /// Label mounted on each drive (kept current by every exchange) —
+    /// the affinity map that lets a query skip the robot.
+    mounted: RefCell<Vec<Option<String>>>,
+    /// Free drive indices, kept sorted for determinism.
+    idle: RefCell<Vec<usize>>,
+    library: TapeLibrary,
+    disks: DiskArray,
+    broker: Broker,
+    catalog: Vec<CatalogEntry>,
+    queue: RefCell<Vec<Pending>>,
+    outcomes: RefCell<Vec<QueryOutcome>>,
+    /// Wakes the dispatcher on arrivals and completions.
+    wake: Notify,
+    /// Next free disk LBA base; each admission gets a disjoint range so
+    /// concurrent queries never collide in the shared array.
+    next_lba: Cell<u64>,
+    max_queue: Cell<usize>,
+    shared_batches: Cell<u64>,
+    shared_queries: Cell<u64>,
+    total_queries: usize,
+}
+
+/// An admission the dispatcher has claimed resources for.
+struct Admission {
+    members: Vec<Pending>,
+    /// `Some` for a single-query admission, `None` for a shared batch.
+    plan: Option<Plan>,
+    claim: Claim,
+    s_permit: Permit,
+    cartridge: usize,
+    drive_r: usize,
+    drive_s: usize,
+    admitted: SimTime,
+}
+
+/// Multi-query join workload scheduler.
+pub struct Scheduler {
+    cfg: FleetConfig,
+}
+
+impl Scheduler {
+    /// A scheduler over the given fleet.
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(cfg.drives >= 2, "a join needs two tape drives");
+        Scheduler { cfg }
+    }
+
+    /// Play `workload` through the fleet under `policy` and report.
+    pub fn run(&self, workload: &WorkloadSpec, policy: Policy) -> FleetReport {
+        let fleet_cfg = self.cfg.clone();
+        // Materialize all relation data up front (zero virtual time, and
+        // independent of scheduling decisions).
+        let catalog_rels: Vec<Relation> = workload.catalog.iter().map(|c| c.relation()).collect();
+        let pendings: Vec<Pending> = workload
+            .queries
+            .iter()
+            .map(|q| {
+                let r = q.relation();
+                Pending {
+                    id: q.id,
+                    arrival: q.arrival,
+                    r_blocks: r.block_count(),
+                    r_tpb: density(&r),
+                    cartridge: q.cartridge,
+                    r,
+                }
+            })
+            .collect();
+        let labels: Vec<String> = workload.catalog.iter().map(|c| c.label.clone()).collect();
+
+        let mut sim = Simulation::new();
+        sim.run(async move {
+            let fleet = build_fleet(fleet_cfg, policy, catalog_rels, labels, pendings.len());
+            let fleet = Rc::new(fleet);
+
+            // Arrival task: reject-or-queue each query at its arrival.
+            {
+                let fl = Rc::clone(&fleet);
+                spawn(async move {
+                    for p in pendings {
+                        sleep_until(p.arrival).await;
+                        admit_or_reject(&fl, p);
+                        fl.wake.notify_one();
+                    }
+                });
+            }
+
+            // Dispatcher: admit as long as something fits, then sleep
+            // until an arrival or completion changes the picture.
+            loop {
+                while let Some(adm) = pick(&fleet) {
+                    launch(&fleet, adm);
+                }
+                if fleet.outcomes.borrow().len() == fleet.total_queries {
+                    break;
+                }
+                fleet.wake.notified().await;
+            }
+
+            report(&fleet)
+        })
+    }
+}
+
+fn density(rel: &Relation) -> u32 {
+    (rel.tuple_count().div_ceil(rel.block_count().max(1))).max(1) as u32
+}
+
+/// Per-query system configuration carved out of the fleet hardware.
+fn query_cfg(fleet: &FleetConfig, memory: u64, disk: u64) -> SystemConfig {
+    SystemConfig::new(memory, disk)
+        .block_bytes(fleet.block_bytes)
+        .disks(fleet.disks)
+        .disk_rate(fleet.disk_rate)
+        .tape_model(fleet.tape_model.clone())
+}
+
+fn build_fleet(
+    cfg: FleetConfig,
+    policy: Policy,
+    catalog_rels: Vec<Relation>,
+    labels: Vec<String>,
+    total_queries: usize,
+) -> Fleet {
+    let drives: Vec<TapeDrive> = (0..cfg.drives)
+        .map(|i| TapeDrive::new(format!("drive{i}"), cfg.tape_model.clone(), cfg.block_bytes))
+        .collect();
+    // Slots: one per catalog cartridge, one per query R cartridge (they
+    // accumulate — the library archives them), plus headroom for
+    // in-flight swaps.
+    let library = TapeLibrary::new(catalog_rels.len() + total_queries + 4, cfg.exchange_time);
+    let catalog: Vec<CatalogEntry> = labels
+        .into_iter()
+        .zip(catalog_rels)
+        .enumerate()
+        .map(|(slot, (label, relation))| {
+            let media = TapeMedia::blank(label.clone(), relation.block_count());
+            let extent = media.load_relation(&relation);
+            library.store(slot, media).expect("fresh library slot");
+            CatalogEntry {
+                label,
+                s_tpb: density(&relation),
+                relation,
+                extent,
+                lock: Semaphore::new(1),
+            }
+        })
+        .collect();
+    let disk_model = DiskModel::quantum_fireball()
+        .with_rate(cfg.disk_rate)
+        .with_overhead(false);
+    let disks = DiskArray::new(disk_model, cfg.disks, cfg.block_bytes, ArrayMode::Aggregate);
+    let broker = Broker::new(
+        cfg.memory_blocks,
+        cfg.disk_blocks,
+        cfg.drives as u64,
+        cfg.fair_share,
+    );
+    Fleet {
+        mounted: RefCell::new(vec![None; cfg.drives]),
+        idle: RefCell::new((0..cfg.drives).collect()),
+        policy,
+        drives,
+        library,
+        disks,
+        broker,
+        catalog,
+        queue: RefCell::new(Vec::new()),
+        outcomes: RefCell::new(Vec::new()),
+        wake: Notify::new(),
+        next_lba: Cell::new(0),
+        max_queue: Cell::new(0),
+        shared_batches: Cell::new(0),
+        shared_queries: Cell::new(0),
+        total_queries,
+        cfg,
+    }
+}
+
+/// Plan one query against a resource offer: cheapest feasible method
+/// (per the analytic cost model) plus tight claim amounts.
+///
+/// TT-GH is excluded: it writes scratch partitions onto *both* tapes,
+/// and the S tape here is a shared, full catalog cartridge.
+fn plan_query(
+    fleet: &FleetConfig,
+    r_blocks: u64,
+    r_tpb: u32,
+    s_blocks: u64,
+    s_compress: f64,
+    offer: ResourceOffer,
+) -> Option<Plan> {
+    if offer.memory < 2 || offer.drives < 2 {
+        return None;
+    }
+    let plan_cfg = query_cfg(fleet, offer.memory, offer.disk);
+    let mut params = CostParams::from_config(&plan_cfg, r_blocks, s_blocks, s_compress);
+    params.r_tuples_per_block = r_tpb;
+    for cand in rank_methods(&params) {
+        if cand.method == JoinMethod::TtGh || !cand.expected_seconds.is_finite() {
+            continue;
+        }
+        let Ok(needs) = resource_needs(cand.method, &plan_cfg, r_blocks, s_blocks, r_tpb) else {
+            continue;
+        };
+        // Prefer tight claims (what the method needs, not the whole
+        // offer) so other queries can pack alongside — but only when
+        // the needs are a fixed point under the smaller execution
+        // config; otherwise fall back to claiming the full offer, which
+        // the feasibility check above already covers.
+        let mem = needs.memory.max(2);
+        let disk = needs.disk;
+        let exec_cfg = query_cfg(fleet, mem, disk);
+        let (mem, disk, r_scratch) =
+            match resource_needs(cand.method, &exec_cfg, r_blocks, s_blocks, r_tpb) {
+                Ok(n) if n.memory <= mem && n.disk <= disk && n.tape_s_scratch == 0 => {
+                    (mem, disk, n.tape_r_scratch)
+                }
+                _ if needs.tape_s_scratch == 0 => (offer.memory, offer.disk, needs.tape_r_scratch),
+                _ => continue,
+            };
+        return Some(Plan {
+            method: cand.method,
+            expected_seconds: cand.expected_seconds,
+            mem,
+            disk,
+            r_scratch,
+        });
+    }
+    None
+}
+
+fn plan_pending(fleet: &Fleet, p: &Pending, offer: ResourceOffer) -> Option<Plan> {
+    let cat = &fleet.catalog[p.cartridge];
+    plan_query(
+        &fleet.cfg,
+        p.r_blocks,
+        p.r_tpb,
+        cat.extent.len,
+        cat.relation.compressibility(),
+        offer,
+    )
+}
+
+/// Queue the query, or reject it outright when even an idle machine
+/// cannot run it.
+fn admit_or_reject(fleet: &Rc<Fleet>, p: Pending) {
+    if plan_pending(fleet, &p, fleet.broker.max_offer()).is_none() {
+        fleet.outcomes.borrow_mut().push(QueryOutcome {
+            id: p.id,
+            cartridge: fleet.catalog[p.cartridge].label.clone(),
+            arrival: p.arrival,
+            admitted: None,
+            completed: None,
+            execution: Execution::Rejected,
+            output: Default::default(),
+        });
+        return;
+    }
+    let mut q = fleet.queue.borrow_mut();
+    q.push(p);
+    fleet.max_queue.set(fleet.max_queue.get().max(q.len()));
+}
+
+/// Pick the next admission under the policy and claim its resources, or
+/// `None` when nothing queued fits the current offer.
+fn pick(fleet: &Rc<Fleet>) -> Option<Admission> {
+    let offer = fleet.broker.offer();
+    if offer.drives < 2 {
+        return None;
+    }
+    let chosen = {
+        let queue = fleet.queue.borrow();
+        if queue.is_empty() {
+            return None;
+        }
+        // FIFO considers only the head; SJF/best-fit scan the queue.
+        let horizon = match fleet.policy {
+            Policy::Fifo => 1,
+            _ => queue.len(),
+        };
+        let mut best: Option<(usize, Plan, f64)> = None;
+        for (i, p) in queue.iter().take(horizon).enumerate() {
+            if fleet.catalog[p.cartridge].lock.available() == 0 {
+                continue; // cartridge busy
+            }
+            let Some(plan) = plan_pending(fleet, p, offer) else {
+                continue;
+            };
+            let score = match fleet.policy {
+                Policy::Fifo => 0.0,
+                Policy::Sjf => plan.expected_seconds,
+                // Normalized residual capacity left behind: smaller is a
+                // tighter pack.
+                Policy::BestFit => {
+                    (offer.memory - plan.mem) as f64 / fleet.broker.total_memory() as f64
+                        + (offer.disk - plan.disk) as f64 / fleet.broker.total_disk() as f64
+                }
+            };
+            // Strict `<` keeps ties in arrival order.
+            if best.as_ref().map_or(true, |(_, _, s)| score < *s) {
+                best = Some((i, plan, score));
+            }
+            if fleet.policy == Policy::Fifo {
+                break;
+            }
+        }
+        best
+    };
+    let (index, plan, _) = chosen?;
+
+    let mut queue = fleet.queue.borrow_mut();
+    let primary = queue.remove(index);
+    let cartridge = primary.cartridge;
+    let mut members = vec![primary];
+
+    // Scan sharing: pull later same-cartridge queries into the batch
+    // while their in-memory hash tables fit the memory offer together.
+    if fleet.cfg.share_scans {
+        let mut mem_sum = members[0].r_blocks + SHARE_BUF;
+        if mem_sum <= offer.memory {
+            let mut j = 0;
+            while j < queue.len() {
+                if queue[j].cartridge == cartridge && mem_sum + queue[j].r_blocks <= offer.memory {
+                    mem_sum += queue[j].r_blocks;
+                    members.push(queue.remove(j));
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+    drop(queue);
+
+    let (mem_claim, disk_claim, plan) = if members.len() > 1 {
+        let tables: u64 = members.iter().map(|m| m.r_blocks).sum();
+        (tables + SHARE_BUF, 0, None)
+    } else {
+        (plan.mem, plan.disk, Some(plan))
+    };
+    let claim = fleet
+        .broker
+        .try_claim(mem_claim, disk_claim, 2)
+        .expect("planned within the live offer");
+    let s_permit = fleet.catalog[cartridge]
+        .lock
+        .try_acquire(1)
+        .expect("lock availability checked above");
+    let (drive_r, drive_s) = claim_drives(fleet, cartridge);
+    Some(Admission {
+        members,
+        plan,
+        claim,
+        s_permit,
+        cartridge,
+        drive_r,
+        drive_s,
+        admitted: now(),
+    })
+}
+
+/// Take two idle drives, preferring one that already holds the wanted S
+/// cartridge (affinity: skips a robot exchange).
+fn claim_drives(fleet: &Fleet, cartridge: usize) -> (usize, usize) {
+    let label = fleet.catalog[cartridge].label.as_str();
+    let mut idle = fleet.idle.borrow_mut();
+    let mounted = fleet.mounted.borrow();
+    let affinity = idle
+        .iter()
+        .position(|&d| mounted[d].as_deref() == Some(label));
+    drop(mounted);
+    let drive_s = match affinity {
+        Some(i) => idle.remove(i),
+        None => idle.remove(0),
+    };
+    let drive_r = idle.remove(0);
+    (drive_r, drive_s)
+}
+
+/// Spawn the executor for one admission.
+fn launch(fleet: &Rc<Fleet>, adm: Admission) {
+    let fl = Rc::clone(fleet);
+    spawn(async move {
+        let results = if adm.members.len() == 1 {
+            run_single(&fl, &adm).await
+        } else {
+            run_shared(&fl, &adm).await
+        };
+        let completed = now();
+        {
+            let mut outcomes = fl.outcomes.borrow_mut();
+            for (member, (check, execution)) in adm.members.iter().zip(results) {
+                outcomes.push(QueryOutcome {
+                    id: member.id,
+                    cartridge: fl.catalog[adm.cartridge].label.clone(),
+                    arrival: member.arrival,
+                    admitted: Some(adm.admitted),
+                    completed: Some(completed),
+                    execution,
+                    output: check,
+                });
+            }
+        }
+        {
+            let mut idle = fl.idle.borrow_mut();
+            idle.push(adm.drive_r);
+            idle.push(adm.drive_s);
+            idle.sort_unstable();
+        }
+        drop(adm.claim);
+        drop(adm.s_permit);
+        fl.wake.notify_one();
+    });
+}
+
+/// Master a query's R relation onto a fresh cartridge (with `scratch`
+/// spare blocks) and mount it on `drive`.
+async fn mount_fresh_r(fleet: &Fleet, p: &Pending, scratch: u64, drive: usize) -> TapeExtent {
+    let label = format!("R-q{}", p.id);
+    let media = TapeMedia::blank(label.clone(), p.r_blocks + scratch);
+    let extent = media.load_relation(&p.r);
+    let slot = fleet
+        .library
+        .store_anywhere(media)
+        .expect("library sized for one cartridge per query");
+    fleet
+        .library
+        .exchange(&fleet.drives[drive], slot)
+        .await
+        .expect("cartridge stored above");
+    fleet.mounted.borrow_mut()[drive] = Some(label);
+    extent
+}
+
+/// Make sure the catalog cartridge is mounted on `drive`, exchanging it
+/// in unless drive affinity already has it there.
+async fn mount_catalog(fleet: &Fleet, drive: usize, cartridge: usize) {
+    let label = fleet.catalog[cartridge].label.clone();
+    if fleet.mounted.borrow()[drive].as_deref() == Some(label.as_str()) {
+        return; // affinity hit: no robot work
+    }
+    let slot = loop {
+        if let Some(s) = fleet.library.find_by_label(&label) {
+            break s;
+        }
+        // The cartridge is mid-swap on another drive (a concurrent
+        // query's exchange is about to park it in a slot): poll until
+        // the robot finishes.
+        sleep(Duration::from_secs(1)).await;
+    };
+    fleet
+        .library
+        .exchange(&fleet.drives[drive], slot)
+        .await
+        .expect("slot looked up above");
+    fleet.mounted.borrow_mut()[drive] = Some(label);
+}
+
+/// Run one query alone under its planned method.
+async fn run_single(fleet: &Fleet, adm: &Admission) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
+    let p = &adm.members[0];
+    let plan = adm.plan.as_ref().expect("single admission carries a plan");
+    let cat = &fleet.catalog[adm.cartridge];
+
+    let r_extent = mount_fresh_r(fleet, p, plan.r_scratch, adm.drive_r).await;
+    mount_catalog(fleet, adm.drive_s, adm.cartridge).await;
+
+    // A disjoint LBA range on the shared array: quota `plan.disk`,
+    // stride past it so the next admission never overlaps.
+    let base = fleet.next_lba.get();
+    fleet.next_lba.set(base + plan.disk + 64);
+    let sink = OutputSink::new();
+    let env = JoinEnv {
+        cfg: Rc::new(query_cfg(&fleet.cfg, plan.mem, plan.disk)),
+        drive_r: fleet.drives[adm.drive_r].clone(),
+        drive_s: fleet.drives[adm.drive_s].clone(),
+        r_extent,
+        s_extent: cat.extent,
+        disks: fleet.disks.clone(),
+        space: SpaceManager::with_base(fleet.cfg.disks, plan.disk, base),
+        mem: MemoryPool::new(plan.mem),
+        sink: sink.clone(),
+        r_tuples_per_block: p.r_tpb,
+        s_tuples_per_block: cat.s_tpb,
+        r_compressibility: p.r.compressibility(),
+        s_compressibility: cat.relation.compressibility(),
+        timeline: None,
+    };
+    run_method(plan.method, env).await;
+    sink.finish().await;
+    vec![(sink.check(), Execution::Method(plan.method))]
+}
+
+/// Run a shared-scan batch: build every member's R hash table in
+/// memory, then stream the S cartridge once, probing all tables.
+async fn run_shared(fleet: &Fleet, adm: &Admission) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
+    let cat = &fleet.catalog[adm.cartridge];
+    let drive_r = &fleet.drives[adm.drive_r];
+    let drive_s = &fleet.drives[adm.drive_s];
+
+    // Step I: each member's R, one cartridge after another on the R
+    // drive, into per-member in-memory hash tables.
+    let mut tables = Vec::with_capacity(adm.members.len());
+    for p in &adm.members {
+        let extent = mount_fresh_r(fleet, p, 0, adm.drive_r).await;
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut pos = extent.start;
+        while pos < extent.end() {
+            let n = SHARE_BUF.min(extent.end() - pos);
+            let blocks = drive_r.read(pos, n).await;
+            tuples.extend(
+                blocks
+                    .iter()
+                    .flat_map(|tb| tb.data.tuples().iter().copied()),
+            );
+            pos += n;
+        }
+        tables.push((build_table(tuples), OutputSink::new()));
+    }
+
+    // Step II: one pass over the shared S cartridge feeds every join.
+    mount_catalog(fleet, adm.drive_s, adm.cartridge).await;
+    let extent = cat.extent;
+    let mut pos = extent.start;
+    while pos < extent.end() {
+        let n = SHARE_BUF.min(extent.end() - pos);
+        let blocks = drive_s.read(pos, n).await;
+        let s_tuples: Vec<Tuple> = blocks
+            .iter()
+            .flat_map(|tb| tb.data.tuples().iter().copied())
+            .collect();
+        for (table, sink) in &tables {
+            probe_and_emit(table, &s_tuples, sink);
+        }
+        pos += n;
+    }
+
+    fleet.shared_batches.set(fleet.shared_batches.get() + 1);
+    fleet
+        .shared_queries
+        .set(fleet.shared_queries.get() + adm.members.len() as u64);
+
+    let mut out = Vec::with_capacity(tables.len());
+    for (_, sink) in tables {
+        sink.finish().await;
+        out.push((sink.check(), Execution::SharedScan));
+    }
+    out
+}
+
+/// Assemble the report once every query has an outcome.
+fn report(fleet: &Fleet) -> FleetReport {
+    let end = now();
+    let makespan = end.duration_since(SimTime::ZERO);
+    let span_s = makespan.as_secs_f64();
+    let busy_s: f64 = fleet
+        .drives
+        .iter()
+        .map(|d| d.server_stats().busy.as_secs_f64())
+        .sum();
+    let drive_utilization = if span_s > 0.0 {
+        busy_s / (fleet.drives.len() as f64 * span_s)
+    } else {
+        0.0
+    };
+    let disk_utilization = if span_s > 0.0 {
+        fleet.disks.server_stats().busy.as_secs_f64() / span_s
+    } else {
+        0.0
+    };
+    let mut outcomes = fleet.outcomes.take();
+    outcomes.sort_by_key(|o| o.id);
+    FleetReport {
+        policy: fleet.policy,
+        outcomes,
+        makespan,
+        drive_utilization,
+        disk_utilization,
+        robot_exchanges: fleet.library.exchanges(),
+        shared_batches: fleet.shared_batches.get(),
+        shared_queries: fleet.shared_queries.get(),
+        max_admission_queue: fleet.max_queue.get(),
+    }
+}

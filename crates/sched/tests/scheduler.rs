@@ -1,0 +1,221 @@
+//! Scheduler integration tests: determinism, differential correctness
+//! of every concurrently-executed join, the scan-sharing win, and the
+//! policy comparison on a head-of-line-blocking workload.
+
+use tapejoin_rel::reference_join;
+use tapejoin_sched::{
+    CartridgeSpec, Execution, FleetConfig, Policy, QuerySpec, Scheduler, WorkloadGen, WorkloadSpec,
+};
+use tapejoin_sim::{Duration, SimTime};
+
+fn t(s: u64) -> SimTime {
+    SimTime::ZERO + Duration::from_secs(s)
+}
+
+fn cartridge(i: usize, s_blocks: u64) -> CartridgeSpec {
+    CartridgeSpec {
+        label: format!("S-{i:03}"),
+        s_blocks,
+        seed: 1000 + i as u64,
+        key_span_blocks: 96,
+    }
+}
+
+fn query(id: usize, arrival: u64, r_blocks: u64, cart: usize) -> QuerySpec {
+    QuerySpec {
+        id,
+        arrival: t(arrival),
+        r_blocks,
+        cartridge: cart,
+        seed: 7000 + id as u64,
+    }
+}
+
+/// Same seed, same policy: bit-identical fleet metrics. Different seed:
+/// different metrics.
+#[test]
+fn same_seed_and_policy_reproduce_identical_fleet_metrics() {
+    let gen = WorkloadGen {
+        queries: 8,
+        cartridges: 2,
+        mean_interarrival_s: 60.0,
+        ..WorkloadGen::default()
+    };
+    let spec = gen.generate();
+    let sched = Scheduler::new(FleetConfig::default());
+    for policy in Policy::ALL {
+        let a = sched.run(&spec, policy);
+        let b = sched.run(&spec, policy);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "policy {policy} must be deterministic"
+        );
+    }
+    let other = WorkloadGen {
+        seed: gen.seed + 1,
+        ..gen
+    }
+    .generate();
+    let a = sched.run(&spec, Policy::Sjf);
+    let b = sched.run(&other, Policy::Sjf);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+/// Every join executed by the fleet — alone or inside a shared scan,
+/// under every policy — produces exactly the reference join's output.
+#[test]
+fn every_concurrent_join_matches_the_reference_join() {
+    let spec = WorkloadGen {
+        queries: 8,
+        cartridges: 2,
+        mean_interarrival_s: 45.0,
+        ..WorkloadGen::default()
+    }
+    .generate();
+    let sched = Scheduler::new(FleetConfig::default());
+    for policy in Policy::ALL {
+        let report = sched.run(&spec, policy);
+        assert_eq!(report.rejected(), 0, "workload sized to be feasible");
+        assert_eq!(report.completed(), spec.queries.len());
+        for (q, o) in spec.queries.iter().zip(&report.outcomes) {
+            assert_eq!(q.id, o.id);
+            let expected = reference_join(&q.relation(), &spec.catalog[q.cartridge].relation());
+            assert!(expected.pairs > 0, "queries must join non-trivially");
+            assert_eq!(
+                o.output,
+                expected,
+                "query {} under {policy} ({})",
+                q.id,
+                o.execution.label()
+            );
+        }
+    }
+}
+
+/// Two queries probing the same cartridge at the same instant: with
+/// scan sharing one tape pass feeds both, strictly beating the
+/// back-to-back FIFO schedule (which serializes on the cartridge lock).
+#[test]
+fn scan_sharing_beats_back_to_back_fifo() {
+    let spec = WorkloadSpec {
+        catalog: vec![cartridge(0, 256)],
+        queries: vec![query(0, 0, 12, 0), query(1, 0, 12, 0)],
+    };
+    let shared = Scheduler::new(FleetConfig::default()).run(&spec, Policy::Fifo);
+    let solo = Scheduler::new(FleetConfig {
+        share_scans: false,
+        ..FleetConfig::default()
+    })
+    .run(&spec, Policy::Fifo);
+
+    assert_eq!(shared.shared_batches, 1);
+    assert_eq!(shared.shared_queries, 2);
+    assert_eq!(solo.shared_batches, 0);
+    assert_eq!(shared.completed(), 2);
+    assert_eq!(solo.completed(), 2);
+    // Outputs identical either way.
+    for (a, b) in shared.outcomes.iter().zip(&solo.outcomes) {
+        assert_eq!(a.output, b.output);
+        assert!(a.output.pairs > 0);
+    }
+    assert!(
+        shared.makespan < solo.makespan,
+        "one shared S pass ({}) must finish before two serialized joins ({})",
+        shared.makespan,
+        solo.makespan
+    );
+}
+
+/// A long join holds the hot cartridge while short queries on another
+/// cartridge queue behind it. FIFO head-of-line blocks; SJF and
+/// best-fit work around the blocked head and cut mean response.
+#[test]
+fn sjf_and_best_fit_beat_fifo_on_skewed_workload() {
+    let spec = WorkloadSpec {
+        catalog: vec![cartridge(0, 384), cartridge(1, 192)],
+        queries: vec![
+            query(0, 0, 64, 0), // long, takes the hot cartridge
+            query(1, 5, 48, 0), // blocked: same cartridge as q0
+            query(2, 10, 8, 1),
+            query(3, 15, 8, 1),
+            query(4, 20, 8, 1),
+            query(5, 25, 8, 1),
+        ],
+    };
+    // Sharing off isolates the policy effect (q1 cannot batch with the
+    // already-running q0 anyway).
+    let sched = Scheduler::new(FleetConfig {
+        share_scans: false,
+        ..FleetConfig::default()
+    });
+    let fifo = sched.run(&spec, Policy::Fifo);
+    let sjf = sched.run(&spec, Policy::Sjf);
+    let best = sched.run(&spec, Policy::BestFit);
+    for r in [&fifo, &sjf, &best] {
+        assert_eq!(r.completed(), 6, "policy {}", r.policy);
+    }
+    assert!(
+        sjf.mean_response() < fifo.mean_response(),
+        "sjf {} vs fifo {}",
+        sjf.mean_response(),
+        fifo.mean_response()
+    );
+    assert!(
+        best.mean_response() < fifo.mean_response(),
+        "best-fit {} vs fifo {}",
+        best.mean_response(),
+        fifo.mean_response()
+    );
+}
+
+/// Queries infeasible even on an idle machine are rejected at arrival;
+/// the rest of the stream is unaffected.
+#[test]
+fn infeasible_queries_are_rejected_at_arrival() {
+    let fleet = FleetConfig {
+        memory_blocks: 8,
+        disk_blocks: 64,
+        fair_share: 1,
+        ..FleetConfig::default()
+    };
+    let spec = WorkloadSpec {
+        catalog: vec![cartridge(0, 128)],
+        // 4096 R blocks cannot fit 64 disk blocks or hash into 8 memory
+        // blocks under any method.
+        queries: vec![query(0, 0, 4096, 0), query(1, 10, 4, 0)],
+    };
+    let report = Scheduler::new(fleet).run(&spec, Policy::Fifo);
+    assert_eq!(report.rejected(), 1);
+    assert_eq!(report.completed(), 1);
+    assert_eq!(report.outcomes[0].execution, Execution::Rejected);
+    assert!(report.outcomes[1].output.pairs > 0);
+}
+
+/// Drive affinity: consecutive queries on one cartridge reuse the
+/// mounted drive, so the robot arm does strictly less work than the
+/// same stream spread over distinct cartridges.
+#[test]
+fn drive_affinity_spares_robot_exchanges() {
+    let hot = WorkloadSpec {
+        catalog: vec![cartridge(0, 128), cartridge(1, 128), cartridge(2, 128)],
+        queries: vec![query(0, 0, 8, 0), query(1, 400, 8, 0), query(2, 800, 8, 0)],
+    };
+    let cold = WorkloadSpec {
+        queries: vec![query(0, 0, 8, 0), query(1, 400, 8, 1), query(2, 800, 8, 2)],
+        ..hot.clone()
+    };
+    // Arrivals spaced out so the queries run strictly one after another
+    // (no sharing, no overlap): the only difference is robot work.
+    let sched = Scheduler::new(FleetConfig::default());
+    let hot_report = sched.run(&hot, Policy::Fifo);
+    let cold_report = sched.run(&cold, Policy::Fifo);
+    assert_eq!(hot_report.completed(), 3);
+    assert_eq!(cold_report.completed(), 3);
+    assert!(
+        hot_report.robot_exchanges < cold_report.robot_exchanges,
+        "hot stream {} exchanges vs cold stream {}",
+        hot_report.robot_exchanges,
+        cold_report.robot_exchanges
+    );
+}

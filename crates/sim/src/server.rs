@@ -23,6 +23,15 @@ pub struct ServerStats {
     pub busy: Duration,
     /// Total time requests spent queued before service.
     pub queued: Duration,
+    /// Deepest queue observed at any request arrival, counting the
+    /// arriving request itself and the one in service (so an uncontended
+    /// server reports 1). Makes drive contention under concurrent
+    /// workloads observable.
+    pub max_queue_depth: u64,
+    /// Longest wait any single request spent queued before service.
+    pub max_wait: Duration,
+    /// Requests that had to wait at all before service started.
+    pub waited: u64,
 }
 
 impl ServerStats {
@@ -32,6 +41,14 @@ impl ServerStats {
             0.0
         } else {
             self.busy.as_secs_f64() / at.as_secs_f64()
+        }
+    }
+
+    /// Mean time a request spent queued before service.
+    pub fn mean_wait(&self) -> Duration {
+        match self.queued.as_nanos().checked_div(self.requests) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
         }
     }
 }
@@ -92,15 +109,27 @@ impl Server {
     /// arbitrary result handed back to the caller.
     pub async fn serve_with<R>(&self, f: impl FnOnce() -> (Duration, R)) -> R {
         let arrived = now();
+        // Queue depth at arrival: this request, everyone parked ahead of
+        // it, and the request in service (permit held) if any.
+        let depth = self.sem.waiters() as u64 + u64::from(self.sem.available() == 0) + 1;
+        {
+            let mut st = self.stats.borrow_mut();
+            st.max_queue_depth = st.max_queue_depth.max(depth);
+        }
         let _permit = self.sem.acquire(1).await;
         let started = now();
         let (service, out) = f();
         sleep(service).await;
         {
             let mut st = self.stats.borrow_mut();
+            let wait = started.duration_since(arrived);
             st.requests += 1;
             st.busy += service;
-            st.queued += started.duration_since(arrived);
+            st.queued += wait;
+            if !wait.is_zero() {
+                st.waited += 1;
+                st.max_wait = st.max_wait.max(wait);
+            }
         }
         if let Some(log) = self.activity.borrow().as_ref() {
             log.record(started, now(), self.name.to_string());
@@ -140,6 +169,43 @@ mod tests {
             assert_eq!(st.busy, Duration::from_secs(6));
             assert_eq!(st.queued, Duration::from_secs(2 + 4));
             assert!((st.utilization(now()) - 1.0).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn wait_and_depth_tracking() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let srv = Server::new("dev");
+            let mut handles = Vec::new();
+            // All three arrive at t=0: depths 1, 2, 3; waits 0s, 2s, 4s.
+            for _ in 0..3 {
+                let srv = srv.clone();
+                handles.push(spawn(async move {
+                    srv.serve(Duration::from_secs(2)).await;
+                }));
+            }
+            join_all(handles.into_iter().map(|h| h.join()).collect()).await;
+            let st = srv.stats();
+            assert_eq!(st.max_queue_depth, 3);
+            assert_eq!(st.max_wait, Duration::from_secs(4));
+            assert_eq!(st.waited, 2);
+            assert_eq!(st.mean_wait(), Duration::from_secs(2)); // (0+2+4)/3
+        });
+    }
+
+    #[test]
+    fn uncontended_server_reports_depth_one_no_waits() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let srv = Server::new("dev");
+            srv.serve(Duration::from_secs(1)).await;
+            srv.serve(Duration::from_secs(1)).await;
+            let st = srv.stats();
+            assert_eq!(st.max_queue_depth, 1);
+            assert_eq!(st.max_wait, Duration::ZERO);
+            assert_eq!(st.waited, 0);
+            assert_eq!(st.mean_wait(), Duration::ZERO);
         });
     }
 

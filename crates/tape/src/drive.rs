@@ -129,6 +129,13 @@ impl TapeDrive {
         self.state.borrow().stats
     }
 
+    /// Queueing statistics of the drive's FIFO service center — busy
+    /// time, queue depth and per-request waits. This is where contention
+    /// between concurrent queries sharing the drive shows up.
+    pub fn server_stats(&self) -> tapejoin_sim::ServerStats {
+        self.server.stats()
+    }
+
     /// Record every service interval of this drive into `log`.
     pub fn attach_activity_log(&self, log: tapejoin_sim::ActivityLog) {
         self.server.attach_activity_log(log);

@@ -39,7 +39,7 @@ mod multivolume;
 
 pub use drive::{TapeDrive, TapeStats};
 pub use fault::TapeFaultPolicy;
-pub use library::TapeLibrary;
+pub use library::{LibraryError, TapeLibrary};
 pub use media::{TapeBlock, TapeExtent, TapeMedia};
 pub use model::TapeDriveModel;
 pub use multivolume::{MultiVolume, Segment};

@@ -5,14 +5,71 @@
 //! that is pre-loaded. The robot is modelled anyway so that multi-cartridge
 //! relations and exchange overheads can be explored (see the
 //! `tape_library` example).
+//!
+//! Robot operations return typed [`LibraryError`]s rather than panicking:
+//! a workload scheduler juggling many cartridges must be able to handle a
+//! mount miss (wrong slot, label not in the library, all slots full)
+//! gracefully, not crash the whole fleet.
 
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
 
 use tapejoin_sim::{Duration, Server};
 
 use crate::drive::TapeDrive;
 use crate::media::TapeMedia;
+
+/// A robot operation that could not be carried out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LibraryError {
+    /// Slot index beyond the library's capacity.
+    NoSuchSlot {
+        /// The requested slot.
+        slot: usize,
+        /// How many slots the library has.
+        slots: usize,
+    },
+    /// Tried to take a cartridge from an empty slot.
+    EmptySlot {
+        /// The empty slot.
+        slot: usize,
+    },
+    /// Tried to store a cartridge into an occupied slot.
+    OccupiedSlot {
+        /// The occupied slot.
+        slot: usize,
+    },
+    /// No cartridge with the requested barcode label anywhere in the
+    /// library.
+    LabelNotFound {
+        /// The label searched for.
+        label: String,
+    },
+    /// Every storage slot is occupied.
+    NoFreeSlot,
+    /// The drive holds no cartridge to put away.
+    DriveEmpty,
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::NoSuchSlot { slot, slots } => {
+                write!(f, "library has no slot {slot} (capacity {slots})")
+            }
+            LibraryError::EmptySlot { slot } => write!(f, "slot {slot} is empty"),
+            LibraryError::OccupiedSlot { slot } => write!(f, "slot {slot} is occupied"),
+            LibraryError::LabelNotFound { label } => {
+                write!(f, "no cartridge labelled '{label}' in the library")
+            }
+            LibraryError::NoFreeSlot => write!(f, "no free storage slot"),
+            LibraryError::DriveEmpty => write!(f, "drive holds no cartridge"),
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
 
 struct LibraryInner {
     slots: Vec<Option<TapeMedia>>,
@@ -42,20 +99,52 @@ impl TapeLibrary {
         }
     }
 
-    /// Put a cartridge into a specific empty slot.
-    pub fn store(&self, slot: usize, media: TapeMedia) {
+    /// Number of storage slots.
+    pub fn slots(&self) -> usize {
+        self.inner.borrow().slots.len()
+    }
+
+    /// Put a cartridge into a specific empty slot (no arm time: slot
+    /// loading happens through the operator door, outside the simulation).
+    pub fn store(&self, slot: usize, media: TapeMedia) -> Result<(), LibraryError> {
         let mut inner = self.inner.borrow_mut();
+        let slots = inner.slots.len();
         let cell = inner
             .slots
             .get_mut(slot)
-            .unwrap_or_else(|| panic!("library has no slot {slot}"));
-        assert!(cell.is_none(), "slot {slot} is occupied");
+            .ok_or(LibraryError::NoSuchSlot { slot, slots })?;
+        if cell.is_some() {
+            return Err(LibraryError::OccupiedSlot { slot });
+        }
         *cell = Some(media);
+        Ok(())
+    }
+
+    /// Put a cartridge into the first free slot, returning the slot used.
+    pub fn store_anywhere(&self, media: TapeMedia) -> Result<usize, LibraryError> {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .ok_or(LibraryError::NoFreeSlot)?;
+        inner.slots[slot] = Some(media);
+        Ok(slot)
     }
 
     /// Peek at a slot's contents.
     pub fn slot(&self, slot: usize) -> Option<TapeMedia> {
         self.inner.borrow().slots.get(slot).cloned().flatten()
+    }
+
+    /// Locate a stored cartridge by barcode label. `None` if no slot
+    /// holds it (it may be mounted in a drive, or not exist at all).
+    pub fn find_by_label(&self, label: &str) -> Option<usize> {
+        self.inner
+            .borrow()
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|m| m.label() == label))
     }
 
     /// Total exchanges performed.
@@ -66,18 +155,34 @@ impl TapeLibrary {
     /// Swap the cartridge in `drive` with the one in `slot`: the mounted
     /// cartridge (if any) goes back to the slot, the slot's cartridge is
     /// loaded. Costs one arm exchange plus the drive's unload/load times.
-    pub async fn exchange(&self, drive: &TapeDrive, slot: usize) {
+    ///
+    /// An invalid or empty slot fails *before* any arm time is charged —
+    /// the robot knows its inventory without moving. An [`EmptySlot`]
+    /// error is still possible after queueing, if a concurrent exchange
+    /// emptied the slot while this request waited for the arm; that one
+    /// costs the wasted arm move, as it would on real hardware.
+    ///
+    /// [`EmptySlot`]: LibraryError::EmptySlot
+    pub async fn exchange(&self, drive: &TapeDrive, slot: usize) -> Result<(), LibraryError> {
+        {
+            let inner = self.inner.borrow();
+            let slots = inner.slots.len();
+            let cell = inner
+                .slots
+                .get(slot)
+                .ok_or(LibraryError::NoSuchSlot { slot, slots })?;
+            if cell.is_none() {
+                return Err(LibraryError::EmptySlot { slot });
+            }
+        }
         // Serialize on the robot arm for the mechanical move.
         self.arm.serve(self.exchange_time).await;
         let incoming = {
             let mut inner = self.inner.borrow_mut();
             inner.exchanges += 1;
-            inner
-                .slots
-                .get_mut(slot)
-                .unwrap_or_else(|| panic!("library has no slot {slot}"))
+            inner.slots[slot]
                 .take()
-                .unwrap_or_else(|| panic!("slot {slot} is empty"))
+                .ok_or(LibraryError::EmptySlot { slot })?
         };
         if drive.media().is_some() {
             let outgoing = drive.unload().await;
@@ -85,6 +190,32 @@ impl TapeLibrary {
             inner.slots[slot] = Some(outgoing);
         }
         drive.load(incoming).await;
+        Ok(())
+    }
+
+    /// Put the drive's cartridge away into the first free slot, returning
+    /// the slot used. Costs one arm exchange plus the drive's unload time.
+    pub async fn eject(&self, drive: &TapeDrive) -> Result<usize, LibraryError> {
+        if drive.media().is_none() {
+            return Err(LibraryError::DriveEmpty);
+        }
+        {
+            let inner = self.inner.borrow();
+            if !inner.slots.iter().any(Option::is_none) {
+                return Err(LibraryError::NoFreeSlot);
+            }
+        }
+        self.arm.serve(self.exchange_time).await;
+        let outgoing = drive.unload().await;
+        let mut inner = self.inner.borrow_mut();
+        inner.exchanges += 1;
+        let slot = inner
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .ok_or(LibraryError::NoFreeSlot)?;
+        inner.slots[slot] = Some(outgoing);
+        Ok(slot)
     }
 }
 
@@ -101,11 +232,11 @@ mod tests {
             let lib = TapeLibrary::new(4, Duration::from_secs(30));
             let a = TapeMedia::blank("A", 10);
             let b = TapeMedia::blank("B", 10);
-            lib.store(0, a);
+            lib.store(0, a).unwrap();
             let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
             drive.load(b).await;
             let t0 = now();
-            lib.exchange(&drive, 0).await;
+            lib.exchange(&drive, 0).await.unwrap();
             assert_eq!((now() - t0).as_secs_f64(), 30.0);
             assert_eq!(drive.media().unwrap().label(), "A");
             assert_eq!(lib.slot(0).unwrap().label(), "B");
@@ -118,30 +249,82 @@ mod tests {
         let mut sim = Simulation::new();
         sim.run(async {
             let lib = TapeLibrary::new(1, Duration::from_secs(30));
-            lib.store(0, TapeMedia::blank("A", 10));
+            lib.store(0, TapeMedia::blank("A", 10)).unwrap();
             let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
-            lib.exchange(&drive, 0).await;
+            lib.exchange(&drive, 0).await.unwrap();
             assert_eq!(drive.media().unwrap().label(), "A");
             assert!(lib.slot(0).is_none());
         });
     }
 
     #[test]
-    #[should_panic(expected = "is empty")]
-    fn exchanging_from_empty_slot_panics() {
+    fn exchanging_from_empty_slot_errors_without_arm_time() {
         let mut sim = Simulation::new();
         sim.run(async {
             let lib = TapeLibrary::new(1, Duration::from_secs(30));
             let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
-            lib.exchange(&drive, 0).await;
+            let err = lib.exchange(&drive, 0).await.unwrap_err();
+            assert_eq!(err, LibraryError::EmptySlot { slot: 0 });
+            assert_eq!(now().as_secs_f64(), 0.0, "no arm time charged");
+            assert_eq!(lib.exchanges(), 0);
         });
     }
 
     #[test]
-    #[should_panic(expected = "occupied")]
-    fn storing_into_occupied_slot_panics() {
+    fn exchanging_nonexistent_slot_errors() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let lib = TapeLibrary::new(2, Duration::from_secs(30));
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
+            let err = lib.exchange(&drive, 7).await.unwrap_err();
+            assert_eq!(err, LibraryError::NoSuchSlot { slot: 7, slots: 2 });
+        });
+    }
+
+    #[test]
+    fn storing_into_occupied_slot_errors() {
         let lib = TapeLibrary::new(1, Duration::from_secs(30));
-        lib.store(0, TapeMedia::blank("A", 1));
-        lib.store(0, TapeMedia::blank("B", 1));
+        lib.store(0, TapeMedia::blank("A", 1)).unwrap();
+        assert_eq!(
+            lib.store(0, TapeMedia::blank("B", 1)),
+            Err(LibraryError::OccupiedSlot { slot: 0 })
+        );
+        assert_eq!(
+            lib.store(9, TapeMedia::blank("B", 1)),
+            Err(LibraryError::NoSuchSlot { slot: 9, slots: 1 })
+        );
+    }
+
+    #[test]
+    fn find_by_label_and_store_anywhere() {
+        let lib = TapeLibrary::new(3, Duration::from_secs(30));
+        lib.store(1, TapeMedia::blank("S-42", 1)).unwrap();
+        assert_eq!(lib.find_by_label("S-42"), Some(1));
+        assert_eq!(lib.find_by_label("missing"), None);
+        assert_eq!(lib.store_anywhere(TapeMedia::blank("R-1", 1)), Ok(0));
+        assert_eq!(lib.store_anywhere(TapeMedia::blank("R-2", 1)), Ok(2));
+        assert_eq!(lib.find_by_label("R-2"), Some(2));
+        assert_eq!(
+            lib.store_anywhere(TapeMedia::blank("R-3", 1)),
+            Err(LibraryError::NoFreeSlot)
+        );
+        assert_eq!(lib.slots(), 3);
+    }
+
+    #[test]
+    fn eject_parks_the_mounted_cartridge() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let lib = TapeLibrary::new(2, Duration::from_secs(30));
+            lib.store(0, TapeMedia::blank("A", 1)).unwrap();
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
+            assert_eq!(lib.eject(&drive).await, Err(LibraryError::DriveEmpty));
+            drive.load(TapeMedia::blank("B", 1)).await;
+            let slot = lib.eject(&drive).await.unwrap();
+            assert_eq!(slot, 1, "first free slot");
+            assert!(drive.media().is_none());
+            assert_eq!(lib.slot(1).unwrap().label(), "B");
+            assert_eq!(now().as_secs_f64(), 30.0);
+        });
     }
 }

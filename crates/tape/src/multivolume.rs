@@ -141,7 +141,10 @@ impl MultiVolume {
         if already {
             return;
         }
-        self.library.exchange(&self.drive, slot).await;
+        self.library
+            .exchange(&self.drive, slot)
+            .await
+            .expect("multi-volume cartridge must sit in its tracked slot");
         let mut st = self.state.borrow_mut();
         if let Some(prev) = st.mounted.take() {
             st.slot_of[prev] = Some(slot);
@@ -174,7 +177,7 @@ mod tests {
             let media = TapeMedia::blank(format!("VOL{i}"), 64);
             let rel = tapejoin_rel::Relation::new(format!("part{i}"), chunk.to_vec(), 0.25);
             let extent = media.load_relation(&rel);
-            library.store(i, media);
+            library.store(i, media).unwrap();
             segments.push(Segment { slot: i, extent });
         }
         for b in blocks {

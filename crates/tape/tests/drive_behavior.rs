@@ -116,17 +116,17 @@ fn robot_arm_serializes_concurrent_exchanges() {
     let mut sim = Simulation::new();
     sim.run(async {
         let lib = TapeLibrary::new(2, Duration::from_secs(30));
-        lib.store(0, TapeMedia::blank("A", 4));
-        lib.store(1, TapeMedia::blank("B", 4));
+        lib.store(0, TapeMedia::blank("A", 4)).unwrap();
+        lib.store(1, TapeMedia::blank("B", 4)).unwrap();
         let d0 = TapeDrive::new("d0", TapeDriveModel::ideal(1e6), BLOCK);
         let d1 = TapeDrive::new("d1", TapeDriveModel::ideal(1e6), BLOCK);
         let (lib0, lib1) = (lib.clone(), lib.clone());
         let h0 = spawn(async move {
-            lib0.exchange(&d0, 0).await;
+            lib0.exchange(&d0, 0).await.unwrap();
             now()
         });
         let h1 = spawn(async move {
-            lib1.exchange(&d1, 1).await;
+            lib1.exchange(&d1, 1).await.unwrap();
             now()
         });
         let t0 = h0.join().await;

@@ -119,7 +119,7 @@ proptest! {
                     0.0,
                 );
                 let extent = media.load_relation(&part);
-                library.store(i, media);
+                library.store(i, media).unwrap();
                 segments.push(Segment { slot: i, extent });
                 off += len as usize;
             }

@@ -33,14 +33,14 @@ fn main() {
         let tape_b = TapeMedia::blank("VOL002", 4000);
         tape_a.load_relation(&part1);
         tape_b.load_relation(&part2);
-        library.store(0, tape_a);
-        library.store(1, tape_b);
+        library.store(0, tape_a).unwrap();
+        library.store(1, tape_b).unwrap();
 
         // Scan the whole relation end-to-end across both cartridges.
         let mut tuples = 0u64;
         for slot in [0usize, 1] {
             let t0 = now();
-            library.exchange(&drive, slot).await;
+            library.exchange(&drive, slot).await.unwrap();
             println!(
                 "[{}] loaded {} (exchange took {})",
                 now(),
@@ -96,7 +96,7 @@ fn main() {
             let media = TapeMedia::blank(format!("MV{i}"), 2400);
             let part = Relation::new(format!("part{i}"), chunk.to_vec(), 0.25);
             let extent = media.load_relation(&part);
-            mv_library.store(i, media);
+            mv_library.store(i, media).unwrap();
             segments.push(Segment { slot: i, extent });
         }
         let mv_drive = TapeDrive::new("drive1", TapeDriveModel::dlt4000(), block_bytes);

@@ -1,0 +1,57 @@
+//! The join workload server end to end: a robot library of archived S
+//! relations, six tape drives, shared disk and memory, and a stream of
+//! join queries admitted by the planner under three queue policies.
+//!
+//! ```sh
+//! cargo run --release --example workload_scheduler
+//! ```
+
+use tapejoin_sched::{FleetConfig, Policy, Scheduler, WorkloadGen};
+
+fn main() {
+    let spec = WorkloadGen {
+        queries: 10,
+        cartridges: 3,
+        mean_interarrival_s: 90.0,
+        ..WorkloadGen::default()
+    }
+    .generate();
+    println!(
+        "workload: {} queries over {} archived cartridges\n",
+        spec.queries.len(),
+        spec.catalog.len()
+    );
+
+    let sched = Scheduler::new(FleetConfig::default());
+    for policy in Policy::ALL {
+        let report = sched.run(&spec, policy);
+        println!(
+            "policy {:<8}  makespan {:>10}  mean resp {:>10}  p95 {:>10}  \
+             drive util {:>5.1}%  shared {}/{}",
+            policy.name(),
+            report.makespan,
+            report.mean_response(),
+            report.p95_response(),
+            100.0 * report.drive_utilization,
+            report.shared_queries,
+            report.completed(),
+        );
+        if policy == Policy::Sjf {
+            println!("\n  per-query outcomes under {policy}:");
+            for o in &report.outcomes {
+                println!(
+                    "    q{:<2} on {:<6} [{:>7}]  wait {:>9}  response {:>10}  {} pairs",
+                    o.id,
+                    o.cartridge,
+                    o.execution.label(),
+                    o.wait(),
+                    o.response()
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    o.output.pairs,
+                );
+            }
+            println!();
+        }
+    }
+}
