@@ -1,0 +1,179 @@
+//! `trace` — virtual-time tracing harness over the observability layer.
+//!
+//! Runs join methods (and optionally a scheduler workload) with an
+//! enabled [`tapejoin_obs::Recorder`], writes Chrome/Perfetto
+//! trace-event JSON plus metrics dumps for each run, and — under
+//! `--check` — re-parses every emitted trace against the schema
+//! validator and runs the conservation auditor, exiting nonzero on any
+//! violation. This is the CI `trace-smoke` entry point.
+//!
+//! ```sh
+//! cargo run --release -p tapejoin-bench --bin trace -- --all --check
+//! cargo run --release -p tapejoin-bench --bin trace -- \
+//!     --method CTT-GH --faults --out traces
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tapejoin::{FaultPlan, JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_obs::{
+    audit, check_fault_time, metrics_csv, metrics_json, perfetto_trace, validate_trace_event_json,
+    Recorder,
+};
+use tapejoin_rel::{reference_join, RelationSpec, WorkloadBuilder};
+use tapejoin_sched::{FleetConfig, Policy, Scheduler, WorkloadGen};
+
+struct Args {
+    methods: Vec<JoinMethod>,
+    sched: bool,
+    faults: bool,
+    check: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        methods: vec![JoinMethod::CdtGh],
+        sched: false,
+        faults: false,
+        check: false,
+        out: PathBuf::from("traces"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--all" => {
+                args.methods = JoinMethod::ALL.to_vec();
+                args.sched = true;
+            }
+            "--method" => {
+                let v = value("--method")?;
+                let m = JoinMethod::ALL
+                    .iter()
+                    .find(|m| m.abbrev().eq_ignore_ascii_case(&v))
+                    .ok_or_else(|| format!("unknown method `{v}`"))?;
+                args.methods = vec![*m];
+            }
+            "--sched" => args.sched = true,
+            "--faults" => args.faults = true,
+            "--check" => args.check = true,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace [--all] [--method ABBR] [--sched] [--faults] \
+                     [--check] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Write one run's artifacts and (optionally) check them. Returns the
+/// number of violations found.
+fn emit(name: &str, rec: &Recorder, out: &Path, check: bool) -> usize {
+    let trace = perfetto_trace(rec);
+    let trace_path = out.join(format!("{name}.perfetto.json"));
+    fs::write(&trace_path, &trace).expect("write trace");
+    if let Some(reg) = rec.metrics() {
+        let snap = reg.snapshot();
+        fs::write(out.join(format!("{name}.metrics.csv")), metrics_csv(&snap))
+            .expect("write metrics csv");
+        fs::write(
+            out.join(format!("{name}.metrics.json")),
+            metrics_json(&snap),
+        )
+        .expect("write metrics json");
+    }
+
+    let mut violations = 0;
+    if check {
+        match validate_trace_event_json(&trace) {
+            Ok(events) => println!("  {name}: {events} events, schema ok"),
+            Err(e) => {
+                eprintln!("  {name}: SCHEMA INVALID: {e}");
+                violations += 1;
+            }
+        }
+        let report = audit(rec);
+        if report.is_ok() {
+            println!("  {name}: {report}");
+        } else {
+            eprintln!("  {name}: {report}");
+            violations += report.violations.len();
+        }
+    } else {
+        println!("  {name}: {} spans -> {}", rec.len(), trace_path.display());
+    }
+    violations
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    fs::create_dir_all(&args.out).expect("create output directory");
+
+    let w = WorkloadBuilder::new(0x0D1F)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    let mut violations = 0;
+
+    for method in &args.methods {
+        let rec = Recorder::enabled();
+        let mut cfg = SystemConfig::new(16, 400).recorder(rec.clone());
+        if args.faults {
+            cfg = cfg.faults(
+                FaultPlan::new(7)
+                    .tape_rates(0.08, 0.004)
+                    .disk_error_rate(0.05),
+            );
+        }
+        let stats = TertiaryJoin::new(cfg)
+            .run(*method, &w)
+            .expect("methods feasible on this machine");
+        assert_eq!(stats.output, expected, "{method} output diverged");
+        let name = method.abbrev().to_lowercase().replace('/', "-");
+        violations += emit(&name, &rec, &args.out, args.check);
+        if args.check {
+            if let Err(e) = check_fault_time(&rec, stats.faults.retry_time) {
+                eprintln!("  {name}: {e}");
+                violations += 1;
+            }
+        }
+    }
+
+    if args.sched {
+        let rec = Recorder::enabled();
+        let spec = WorkloadGen {
+            seed: 0x1997_0407,
+            queries: 6,
+            cartridges: 2,
+            mean_interarrival_s: 60.0,
+            ..WorkloadGen::default()
+        }
+        .generate();
+        let fleet = FleetConfig {
+            recorder: rec.clone(),
+            ..FleetConfig::default()
+        };
+        let report = Scheduler::new(fleet).run(&spec, Policy::Fifo);
+        assert!(report.completed() > 0, "sched run completed no queries");
+        violations += emit("sched-fifo", &rec, &args.out, args.check);
+    }
+
+    if violations > 0 {
+        eprintln!("trace: {violations} violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 //! the paper's Figure 4 falls out of the occupancy traces recorded here.
 
 use tapejoin_disk::{DiskAddr, DiskArray, SpaceManager};
+use tapejoin_obs::{MetricKey, Recorder};
 use tapejoin_rel::BlockRef;
 use tapejoin_sim::sync::Semaphore;
 use tapejoin_sim::Trace;
@@ -67,6 +68,7 @@ struct Occupancy {
     even: u64,
     odd: u64,
     probe: Option<UtilizationProbe>,
+    recorder: Recorder,
 }
 
 impl Occupancy {
@@ -80,9 +82,25 @@ impl Occupancy {
             .checked_add_signed(delta)
             .expect("occupancy accounting underflow");
         if let Some(p) = &self.probe {
-            p.even.record_now(self.even as f64);
-            p.odd.record_now(self.odd as f64);
-            p.total.record_now((self.even + self.odd) as f64);
+            // `try_record` rather than `record`: a fault-retry rewind can
+            // replay a free/stage pair whose probe sample lands at a time
+            // already passed by a later sample from the concurrent
+            // producer; the stale sample is dropped rather than panicking.
+            let at = tapejoin_sim::now();
+            let _ = p.even.try_record(at, self.even as f64);
+            let _ = p.odd.try_record(at, self.odd as f64);
+            let _ = p.total.try_record(at, (self.even + self.odd) as f64);
+        }
+        if let Some(metrics) = self.recorder.metrics() {
+            metrics.gauge_set(
+                MetricKey::new("diskbuf.occupancy_blocks"),
+                (self.even + self.odd) as f64,
+            );
+            if delta > 0 {
+                metrics.counter_add(MetricKey::new("diskbuf.staged_blocks"), delta as u64);
+            } else {
+                metrics.counter_add(MetricKey::new("diskbuf.freed_blocks"), (-delta) as u64);
+            }
         }
     }
 }
@@ -134,8 +152,17 @@ impl DiskBuffer {
                 even: 0,
                 odd: 0,
                 probe: None,
+                recorder: Recorder::disabled(),
             })),
         }
+    }
+
+    /// Attach an observability recorder: staged/freed block counters and
+    /// an occupancy gauge are maintained in its metrics registry. A
+    /// disabled recorder is a no-op.
+    pub fn with_recorder(self, rec: Recorder) -> Self {
+        self.occupancy.borrow_mut().recorder = rec;
+        self
     }
 
     /// Enable occupancy tracing (Figure 4) and return the probe.

@@ -77,6 +77,12 @@ pub struct SystemConfig {
     pub grace_fill_target: f64,
     /// Seed for the grace-hash partitioning function.
     pub hash_seed: u64,
+    /// Observability recorder. Disabled by default (an exact no-op); an
+    /// enabled recorder collects hierarchical spans
+    /// (`join → step → device-op`, faults) and metrics across every
+    /// device and method — see `tapejoin_obs`. Recording never advances
+    /// virtual time, so enabling it does not change any measured result.
+    pub recorder: tapejoin_obs::Recorder,
 }
 
 impl SystemConfig {
@@ -105,6 +111,7 @@ impl SystemConfig {
             faults: FaultPlan::none(),
             grace_fill_target: crate::hash::GracePlan::DEFAULT_FILL_TARGET,
             hash_seed: 0x7473_6A6F_696E, // "tsjoin"
+            recorder: tapejoin_obs::Recorder::disabled(),
         }
     }
 
@@ -208,6 +215,13 @@ impl SystemConfig {
     /// Set the hash partitioning seed.
     pub fn hash_seed(mut self, seed: u64) -> Self {
         self.hash_seed = seed;
+        self
+    }
+
+    /// Attach an observability recorder (spans + metrics; see
+    /// `tapejoin_obs`). All runs of this configuration record into it.
+    pub fn recorder(mut self, rec: tapejoin_obs::Recorder) -> Self {
+        self.recorder = rec;
         self
     }
 

@@ -84,6 +84,10 @@ impl JoinEnv {
             drive_r.attach_activity_log(t.tape_r.clone());
             drive_s.attach_activity_log(t.tape_s.clone());
         }
+        if cfg.recorder.is_enabled() {
+            drive_r.set_recorder(cfg.recorder.clone());
+            drive_s.set_recorder(cfg.recorder.clone());
+        }
 
         let disk_model = DiskModel::quantum_fireball()
             .with_rate(cfg.disk_rate)
@@ -94,6 +98,9 @@ impl JoinEnv {
         }
         if let Some(t) = &timeline {
             disks.attach_activity_log(t.disks.clone());
+        }
+        if cfg.recorder.is_enabled() {
+            disks.set_recorder(cfg.recorder.clone());
         }
         let space = SpaceManager::new(cfg.disks, cfg.disk_blocks);
         let mem = MemoryPool::new(cfg.memory_blocks);

@@ -66,10 +66,19 @@ impl TertiaryJoin {
         let mut sim = Simulation::new();
         let stats = sim.run(async move {
             let env = JoinEnv::build(cfg, &workload, &needs);
+            // Root span for the whole join; the per-step scopes opened by
+            // the method body nest under it. Recording never advances the
+            // virtual clock, so an enabled recorder cannot perturb timing.
+            let join_scope =
+                env.cfg
+                    .recorder
+                    .scope(tapejoin_obs::SpanKind::Join, "join", method.abbrev());
+            join_scope.attr("method", method.full_name());
             let result = run_method(method, env.clone()).await;
             // Drain any local output materialization before stopping the
             // clock — stored output is part of the response time.
             let output_blocks = env.sink.finish().await;
+            drop(join_scope);
             let end = now();
             let tape_r = env.drive_r.stats();
             let tape_s = env.drive_s.stats();
@@ -93,6 +102,7 @@ impl TertiaryJoin {
                 timeline: env.timeline.clone(),
             }
         });
+        stats.export_metrics(&self.cfg.recorder);
         // A fault that exhausted its recovery budget means the real
         // system would have aborted the join.
         if stats.faults.failed > 0 {

@@ -17,13 +17,18 @@ use tapejoin_sim::sync::channel;
 
 use crate::env::JoinEnv;
 use crate::geometry;
-use crate::methods::common::{copy_r_to_disk, step1_marker, transfer_batch, MethodResult};
+use crate::methods::common::{
+    copy_r_to_disk, step1_marker, step_scope, transfer_batch, MethodResult,
+};
 use crate::output::probe_r_against_s_table;
 
 pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     // Step I: copy R to disk with tape/disk overlap.
+    let step = step_scope(&env, "step1");
     let r_addrs = copy_r_to_disk(&env, true).await;
+    drop(step);
     let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
 
     let m = env.cfg.memory_blocks;
     let ms = geometry::cdt_nb_db_chunk(m);
@@ -41,6 +46,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         env.disks.clone(),
         env.space.clone(),
     )
+    .with_recorder(env.cfg.recorder.clone())
     .with_probe();
 
     // Reader: tape → disk buffer in small multi-block batches; emits one

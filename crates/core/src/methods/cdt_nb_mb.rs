@@ -14,13 +14,16 @@ use tapejoin_tape::TapeBlock;
 use crate::env::JoinEnv;
 use crate::geometry;
 use crate::methods::common::{
-    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, MethodResult,
+    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, step_scope, MethodResult,
 };
 
 pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     // Step I: copy R to disk with tape/disk overlap.
+    let step = step_scope(&env, "step1");
     let r_addrs = copy_r_to_disk(&env, true).await;
+    drop(step);
     let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
 
     let m = env.cfg.memory_blocks;
     let ms = geometry::cdt_nb_mb_chunk(m);

@@ -127,6 +127,15 @@ pub fn step1_marker() -> SimTime {
     now()
 }
 
+/// Open an observability scope for a join phase (`step1` / `step2`),
+/// nested under the driver's root `Join` span. An exact no-op when the
+/// configured recorder is disabled.
+pub fn step_scope(env: &JoinEnv, name: &'static str) -> tapejoin_obs::ScopeGuard {
+    env.cfg
+        .recorder
+        .scope(tapejoin_obs::SpanKind::Step, "join", name)
+}
+
 /// Batch size for staging data between a tape stream and the disk buffer:
 /// a small transfer buffer ("very small compared to M and its effect is
 /// ignored in the analysis", §6), kept to multi-block requests.

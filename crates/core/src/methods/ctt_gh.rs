@@ -17,7 +17,7 @@ use tapejoin_buffer::DiskBuffer;
 
 use crate::env::JoinEnv;
 use crate::hash::GracePlan;
-use crate::methods::common::{step1_marker, MethodResult};
+use crate::methods::common::{step1_marker, step_scope, MethodResult};
 use crate::methods::grace::{
     hash_tape_to_tape, join_frame, spawn_hasher, RBucketSource, TapeHashSpec,
 };
@@ -32,6 +32,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     .expect("feasibility checked before dispatch");
 
     // Step I: hash R tape -> R tape through the disk assembly area.
+    let step = step_scope(&env, "step1");
     let spec = TapeHashSpec {
         src_drive: env.drive_r.clone(),
         src_extent: env.r_extent,
@@ -39,12 +40,16 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         compressibility: env.r_compressibility,
     };
     let extents = Rc::new(hash_tape_to_tape(&env, &plan, &spec, true).await);
+    drop(step);
     let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
 
     // Step II: all of D buffers S; R buckets stream from the R tape.
     let d = env.space.free();
     let (diskbuf, probe) =
-        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone()).with_probe();
+        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
+            .with_recorder(env.cfg.recorder.clone())
+            .with_probe();
     let src = RBucketSource::Tape(env.drive_r.clone(), extents);
     let mut frames = spawn_hasher(&env, &plan, &diskbuf);
     while let Some(frame) = frames.recv().await {

@@ -12,7 +12,7 @@ use tapejoin_buffer::DiskBuffer;
 
 use crate::env::JoinEnv;
 use crate::hash::GracePlan;
-use crate::methods::common::{step1_marker, MethodResult};
+use crate::methods::common::{step1_marker, step_scope, MethodResult};
 use crate::methods::grace::{hash_r_to_disk, join_frame, RBucketSource, SFrameHasher};
 
 pub(crate) async fn run(env: JoinEnv) -> MethodResult {
@@ -25,13 +25,18 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     .expect("feasibility checked before dispatch");
 
     // Step I: hash R to disk, sequentially.
+    let step = step_scope(&env, "step1");
     let r_buckets = Rc::new(hash_r_to_disk(&env, &plan, false).await);
+    drop(step);
     let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
 
     // Step II: the remaining disk space buffers one S frame at a time.
     let d = env.space.free();
     let (diskbuf, probe) =
-        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone()).with_probe();
+        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
+            .with_recorder(env.cfg.recorder.clone())
+            .with_probe();
     let src = RBucketSource::Disk(r_buckets);
     let mut hasher = SFrameHasher::new(env.clone(), plan, diskbuf.clone(), false);
     while let Some(frame) = hasher.next_frame().await {

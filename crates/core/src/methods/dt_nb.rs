@@ -8,13 +8,16 @@
 use crate::env::JoinEnv;
 use crate::geometry;
 use crate::methods::common::{
-    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, MethodResult,
+    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, step_scope, MethodResult,
 };
 
 pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     // Step I: copy R to disk, sequentially.
+    let step = step_scope(&env, "step1");
     let r_addrs = copy_r_to_disk(&env, false).await;
+    drop(step);
     let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
 
     // Step II: chunk S through memory, scanning R from disk per chunk.
     let m = env.cfg.memory_blocks;

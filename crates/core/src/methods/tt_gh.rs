@@ -10,7 +10,7 @@
 
 use crate::env::JoinEnv;
 use crate::hash::GracePlan;
-use crate::methods::common::{step1_marker, MethodResult};
+use crate::methods::common::{step1_marker, step_scope, MethodResult};
 use crate::methods::grace::{hash_tape_to_tape, TapeHashSpec};
 use crate::output::{build_table, probe_and_emit};
 
@@ -24,6 +24,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     .expect("feasibility checked before dispatch");
 
     // Step I(a): hash R onto the S tape.
+    let step = step_scope(&env, "step1");
     let r_spec = TapeHashSpec {
         src_drive: env.drive_r.clone(),
         src_extent: env.r_extent,
@@ -40,7 +41,9 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         compressibility: env.s_compressibility,
     };
     let s_extents = hash_tape_to_tape(&env, &plan, &s_spec, false).await;
+    drop(step);
     let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
 
     // Step II: bucket-wise merge of the two hashed tapes. Buckets are
     // stored in the same order on both tapes, so both drives move

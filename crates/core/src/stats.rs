@@ -43,6 +43,13 @@ pub struct JoinStats {
 }
 
 /// Busy intervals for each device of the simulated machine.
+///
+/// **Deprecated in favor of the span stream**: an enabled
+/// [`tapejoin_obs::Recorder`] (see [`crate::SystemConfig::recorder`])
+/// captures the same device-op intervals as spans — plus nesting, fault
+/// attribution and metrics — and renders them with
+/// `tapejoin_obs::gantt_rows`. Direct `DeviceTimeline` walks remain for
+/// compatibility but new tooling should consume spans.
 #[derive(Clone)]
 pub struct DeviceTimeline {
     /// The R tape drive's activity.
@@ -65,6 +72,48 @@ impl JoinStats {
     /// bare transfer time of S) the join took, as a fraction.
     pub fn overhead_vs(&self, optimum: Duration) -> f64 {
         self.relative_to(optimum) - 1.0
+    }
+
+    /// Export the run's device counters and durations into `rec`'s
+    /// metrics registry, keyed by method abbreviation and device. This
+    /// subsumes the ad-hoc fields of [`TapeStats`] / [`DiskStats`] /
+    /// [`FaultSummary`] in a uniform, queryable namespace without
+    /// removing them. No-op on a disabled recorder.
+    pub fn export_metrics(&self, rec: &tapejoin_obs::Recorder) {
+        let Some(reg) = rec.metrics() else { return };
+        let m = self.method.abbrev();
+        let key = |name: &str, device: &str| {
+            tapejoin_obs::MetricKey::new(name.to_string())
+                .method(m)
+                .device(device)
+        };
+        for (device, t) in [("tape-R", &self.tape_r), ("tape-S", &self.tape_s)] {
+            reg.counter_add(key("tape.blocks_read", device), t.blocks_read);
+            reg.counter_add(key("tape.blocks_written", device), t.blocks_written);
+            reg.counter_add(key("tape.repositions", device), t.repositions);
+            reg.counter_add(key("tape.rewinds", device), t.rewinds);
+            reg.counter_add(key("tape.stop_starts", device), t.stop_starts);
+            reg.counter_add(key("tape.transfer_ns", device), t.transfer_time.as_nanos());
+            reg.counter_add(key("fault.transient", device), t.transient_faults);
+            reg.counter_add(key("fault.hard", device), t.hard_faults);
+            reg.counter_add(key("fault.retries", device), t.fault_retries);
+            reg.counter_add(key("fault.time_ns", device), t.fault_time.as_nanos());
+        }
+        let d = &self.disk;
+        reg.counter_add(key("disk.blocks_read", "disk-array"), d.blocks_read);
+        reg.counter_add(key("disk.blocks_written", "disk-array"), d.blocks_written);
+        reg.counter_add(key("disk.read_requests", "disk-array"), d.read_requests);
+        reg.counter_add(key("disk.write_requests", "disk-array"), d.write_requests);
+        reg.counter_add(key("fault.disk_errors", "disk-array"), d.faults);
+        reg.counter_add(key("fault.retries", "disk-array"), d.fault_retries);
+        reg.counter_add(key("fault.time_ns", "disk-array"), d.fault_time.as_nanos());
+        let run = |name: &str| tapejoin_obs::MetricKey::new(name.to_string()).method(m);
+        reg.counter_add(run("join.response_ns"), self.response.as_nanos());
+        reg.counter_add(run("join.step1_ns"), self.step1.as_nanos());
+        reg.counter_add(run("join.output_pairs"), self.output.pairs);
+        reg.counter_add(run("join.mem_peak_blocks"), self.mem_peak);
+        reg.counter_add(run("join.disk_peak_blocks"), self.disk_peak);
+        reg.observe(run("join.response_hist_ns"), self.response.as_nanos());
     }
 }
 

@@ -4,6 +4,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use tapejoin_obs::{Recorder, SpanKind};
 use tapejoin_rel::BlockRef;
 use tapejoin_sim::{join_all, spawn, Duration, Server};
 
@@ -68,6 +69,7 @@ pub struct DiskArray {
     store: Rc<RefCell<HashMap<DiskAddr, BlockRef>>>,
     stats: Rc<RefCell<DiskStats>>,
     faults: Rc<RefCell<Option<Vec<DiskFaultInjector>>>>,
+    recorder: Rc<RefCell<Recorder>>,
 }
 
 impl DiskArray {
@@ -89,6 +91,7 @@ impl DiskArray {
             store: Rc::new(RefCell::new(HashMap::new())),
             stats: Rc::new(RefCell::new(DiskStats::default())),
             faults: Rc::new(RefCell::new(None)),
+            recorder: Rc::new(RefCell::new(Recorder::disabled())),
         }
     }
 
@@ -142,6 +145,18 @@ impl DiskArray {
         for server in self.per_disk.iter() {
             server.attach_activity_log(log.clone());
         }
+    }
+
+    /// Attach an observability recorder: every service interval becomes a
+    /// `device-op` span (on `disk-array` in aggregate mode, `disk-{i}`
+    /// per disk otherwise) and every injected fault's recovery a `fault`
+    /// span on the same track. A disabled recorder is a no-op.
+    pub fn set_recorder(&self, rec: Recorder) {
+        self.aggregate.attach_observer(Rc::new(rec.clone()));
+        for server in self.per_disk.iter() {
+            server.attach_observer(Rc::new(rec.clone()));
+        }
+        *self.recorder.borrow_mut() = rec;
     }
 
     /// Write `blocks[i]` to `addrs[i]` as one logical request.
@@ -204,7 +219,13 @@ impl DiskArray {
                 let bytes = addrs.len() as u64 * self.block_bytes;
                 let service = self.model.service_time(bytes, self.disks as f64);
                 let penalty = self.fault_penalty(0, service);
-                self.aggregate.serve(service + penalty).await;
+                let rec = self.recorder.borrow().clone();
+                self.aggregate
+                    .serve_with(move || {
+                        record_fault_span(&rec, "disk-array", service, penalty);
+                        (service + penalty, ())
+                    })
+                    .await;
             }
             ArrayMode::PerDisk => {
                 // Split by placement; the request completes when the
@@ -221,7 +242,15 @@ impl DiskArray {
                     let server = self.per_disk[d].clone();
                     let service = self.model.service_time(count * self.block_bytes, 1.0);
                     let penalty = self.fault_penalty(d, service);
-                    parts.push(spawn(async move { server.serve(service + penalty).await }));
+                    let rec = self.recorder.borrow().clone();
+                    parts.push(spawn(async move {
+                        server
+                            .serve_with(move || {
+                                record_fault_span(&rec, &format!("disk-{d}"), service, penalty);
+                                (service + penalty, ())
+                            })
+                            .await
+                    }));
                 }
                 join_all(parts.into_iter().map(|h| h.join()).collect()).await;
             }
@@ -250,6 +279,16 @@ impl DiskArray {
         }
         st.fault_time += penalty;
         penalty
+    }
+}
+
+/// Record one fault-recovery interval as a `fault` span. Called at
+/// service start (inside `serve_with`), so the recovery occupies the tail
+/// of the service interval: `[start + clean, start + clean + penalty)`.
+fn record_fault_span(rec: &Recorder, track: &str, clean: Duration, penalty: Duration) {
+    if !penalty.is_zero() {
+        let at = tapejoin_sim::now() + clean;
+        rec.leaf(SpanKind::Fault, track, "fault-recovery", at, at + penalty);
     }
 }
 

@@ -1,0 +1,379 @@
+//! Conservation auditor: structural and time-accounting invariants over a
+//! recorded span stream.
+//!
+//! Virtual time makes strong invariants checkable exactly (no measurement
+//! noise): every nanosecond a device is busy must be inside some span,
+//! spans must nest, and per-device busy time can never exceed the window
+//! it was observed in. The auditor is run by the differential and
+//! determinism suites after every traced run — with and without injected
+//! faults — so a regression in the instrumentation itself fails tests
+//! rather than silently skewing figures.
+//!
+//! Checked invariants:
+//!
+//! 1. **Closure** — every span has `end >= start` and no span is left
+//!    open.
+//! 2. **Nesting** — a scope-kind child lies fully inside its parent's
+//!    interval; a leaf child *completes* inside its parent (leaf spans
+//!    such as prefetch device-ops may start before the step that awaits
+//!    them).
+//! 3. **Per-track serialization** — `device-op` spans on one track are
+//!    ordered and never overlap (each modelled device is a FIFO server),
+//!    which is exactly the `busy + idle == elapsed` conservation law:
+//!    with non-overlapping ops, busy time is the sum of op durations and
+//!    idle is the rest of the window.
+//! 4. **Busy ≤ elapsed** — per track, total device-op time never exceeds
+//!    the trace window.
+//! 5. **Step conservation** — for every scope span and track, the sum of
+//!    child device-op time clamped to the scope's interval is at most the
+//!    scope's duration.
+//! 6. **Fault accounting** — ([`check_fault_time`]) the total duration of
+//!    `fault` spans equals the fault-recovery time a `FaultSummary`
+//!    reports, so recovery charges can never leak out of the trace.
+
+use std::collections::BTreeMap;
+
+use tapejoin_sim::{Duration, SimTime};
+
+use crate::span::{Recorder, Span, SpanKind};
+
+/// Outcome of an audit: which checks ran and every violation found.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Number of individual checks performed.
+    pub checks: usize,
+    /// Human-readable description of each violated invariant.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with all violations unless the audit passed. Use in tests.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.is_ok(),
+            "conservation audit failed ({} checks):\n  {}",
+            self.checks,
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_ok() {
+            write!(f, "audit ok ({} checks)", self.checks)
+        } else {
+            write!(
+                f,
+                "audit FAILED ({} checks, {} violations):\n  {}",
+                self.checks,
+                self.violations.len(),
+                self.violations.join("\n  ")
+            )
+        }
+    }
+}
+
+fn overlap(a_start: SimTime, a_end: SimTime, b_start: SimTime, b_end: SimTime) -> Duration {
+    let lo = a_start.max(b_start);
+    let hi = a_end.min(b_end);
+    hi.saturating_duration_since(lo)
+}
+
+/// Audit every invariant over the recorder's span stream. A disabled or
+/// empty recorder trivially passes.
+pub fn audit(rec: &Recorder) -> AuditReport {
+    audit_spans(&rec.spans())
+}
+
+/// [`audit`] over an explicit span snapshot.
+pub fn audit_spans(spans: &[Span]) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    // 1. Closure.
+    for span in spans {
+        report.checks += 1;
+        match span.end {
+            None => report.violations.push(format!(
+                "span {} '{}' ({:?}) left open",
+                span.id.0, span.name, span.kind
+            )),
+            Some(end) if end < span.start => report.violations.push(format!(
+                "span {} '{}' ends at {end:?} before it starts at {:?}",
+                span.id.0, span.name, span.start
+            )),
+            Some(_) => {}
+        }
+    }
+
+    // 2. Nesting.
+    for span in spans {
+        let Some(parent_id) = span.parent else {
+            continue;
+        };
+        let parent = &spans[parent_id.0];
+        let (Some(end), Some(parent_end)) = (span.end, parent.end) else {
+            continue; // open spans already reported
+        };
+        report.checks += 1;
+        let contained = if span.kind.is_scope() {
+            span.start >= parent.start && end <= parent_end
+        } else {
+            end >= parent.start && end <= parent_end
+        };
+        if !contained {
+            report.violations.push(format!(
+                "span {} '{}' [{:?}, {end:?}] escapes parent {} '{}' [{:?}, {parent_end:?}]",
+                span.id.0, span.name, span.start, parent.id.0, parent.name, parent.start
+            ));
+        }
+    }
+
+    // 3 + 4. Per-track device-op serialization and busy ≤ elapsed.
+    let trace_end = spans
+        .iter()
+        .filter_map(|s| s.end)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let mut per_track: BTreeMap<&str, Vec<&Span>> = BTreeMap::new();
+    for span in spans {
+        if span.kind == SpanKind::DeviceOp && span.end.is_some() {
+            per_track.entry(span.track.as_str()).or_default().push(span);
+        }
+    }
+    for (track, ops) in &per_track {
+        let mut busy = Duration::ZERO;
+        for pair in ops.windows(2) {
+            report.checks += 1;
+            let (a, b) = (pair[0], pair[1]);
+            if b.start < a.start {
+                report.violations.push(format!(
+                    "track '{track}': op {} at {:?} recorded after later op {} at {:?}",
+                    b.id.0, b.start, a.id.0, a.start
+                ));
+            }
+            if b.start < a.end.unwrap() {
+                report.violations.push(format!(
+                    "track '{track}': ops {} and {} overlap ({:?} < {:?})",
+                    a.id.0,
+                    b.id.0,
+                    b.start,
+                    a.end.unwrap()
+                ));
+            }
+        }
+        for op in ops {
+            busy += op.end.unwrap().duration_since(op.start);
+        }
+        report.checks += 1;
+        if busy > trace_end.duration_since(SimTime::ZERO) {
+            report.violations.push(format!(
+                "track '{track}': busy {busy:?} exceeds elapsed {:?}",
+                trace_end.duration_since(SimTime::ZERO)
+            ));
+        }
+    }
+
+    // 5. Step conservation: per (scope parent, track), clamped child
+    // device-op time fits in the scope.
+    let mut per_scope_track: BTreeMap<(usize, &str), Duration> = BTreeMap::new();
+    for span in spans {
+        if span.kind != SpanKind::DeviceOp {
+            continue;
+        }
+        let (Some(end), Some(parent_id)) = (span.end, span.parent) else {
+            continue;
+        };
+        let parent = &spans[parent_id.0];
+        let Some(parent_end) = parent.end else {
+            continue;
+        };
+        let clamped = overlap(span.start, end, parent.start, parent_end);
+        *per_scope_track
+            .entry((parent_id.0, span.track.as_str()))
+            .or_default() += clamped;
+    }
+    for ((parent_idx, track), total) in &per_scope_track {
+        report.checks += 1;
+        let parent = &spans[*parent_idx];
+        if *total > parent.duration() {
+            report.violations.push(format!(
+                "scope {} '{}': device-op time {total:?} on track '{track}' exceeds \
+                 scope duration {:?}",
+                parent.id.0,
+                parent.name,
+                parent.duration()
+            ));
+        }
+    }
+
+    report
+}
+
+/// Total duration of all `fault` spans in the recorder.
+pub fn fault_time(rec: &Recorder) -> Duration {
+    rec.spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::Fault)
+        .map(Span::duration)
+        .sum()
+}
+
+/// Check the fault-conservation invariant: the summed duration of `fault`
+/// spans equals `expected` (the `FaultSummary::retry_time` a run
+/// reported). Disabled recorders pass trivially only when `expected` is
+/// zero-checked by the caller; here a disabled recorder with nonzero
+/// `expected` fails, which is what the test suites want.
+pub fn check_fault_time(rec: &Recorder, expected: Duration) -> Result<(), String> {
+    let traced = fault_time(rec);
+    if traced == expected {
+        Ok(())
+    } else {
+        Err(format!(
+            "fault conservation violated: spans total {traced:?}, summary reports {expected:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    fn span(
+        id: usize,
+        parent: Option<usize>,
+        kind: SpanKind,
+        track: &str,
+        start: u64,
+        end: Option<u64>,
+    ) -> Span {
+        Span {
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            kind,
+            track: track.into(),
+            name: format!("s{id}"),
+            start: SimTime::from_nanos(start),
+            end: end.map(SimTime::from_nanos),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_tree_passes() {
+        let spans = vec![
+            span(0, None, SpanKind::Join, "join", 0, Some(100)),
+            span(1, Some(0), SpanKind::Step, "join", 0, Some(60)),
+            span(2, Some(1), SpanKind::DeviceOp, "tape", 0, Some(30)),
+            span(3, Some(1), SpanKind::DeviceOp, "tape", 30, Some(55)),
+            span(4, Some(0), SpanKind::Step, "join", 60, Some(100)),
+            span(5, Some(4), SpanKind::DeviceOp, "disk", 60, Some(90)),
+        ];
+        let rep = audit_spans(&spans);
+        rep.assert_ok();
+        assert!(rep.checks > 6);
+    }
+
+    #[test]
+    fn open_span_is_flagged() {
+        let spans = vec![span(0, None, SpanKind::Join, "join", 0, None)];
+        let rep = audit_spans(&spans);
+        assert!(!rep.is_ok());
+        assert!(rep.violations[0].contains("left open"));
+    }
+
+    #[test]
+    fn scope_escaping_parent_is_flagged() {
+        let spans = vec![
+            span(0, None, SpanKind::Join, "join", 10, Some(50)),
+            span(1, Some(0), SpanKind::Step, "join", 5, Some(40)),
+        ];
+        assert!(audit_spans(&spans)
+            .violations
+            .iter()
+            .any(|v| v.contains("escapes parent")));
+    }
+
+    #[test]
+    fn leaf_may_start_before_parent_but_not_finish_after() {
+        // Prefetch issued before the step opened: fine.
+        let ok = vec![
+            span(0, None, SpanKind::Step, "join", 10, Some(50)),
+            span(1, Some(0), SpanKind::DeviceOp, "tape", 5, Some(20)),
+        ];
+        audit_spans(&ok).assert_ok();
+        // Completing after the parent closed is a bug.
+        let bad = vec![
+            span(0, None, SpanKind::Step, "join", 10, Some(50)),
+            span(1, Some(0), SpanKind::DeviceOp, "tape", 20, Some(60)),
+        ];
+        assert!(!audit_spans(&bad).is_ok());
+    }
+
+    #[test]
+    fn overlapping_device_ops_are_flagged() {
+        let spans = vec![
+            span(0, None, SpanKind::DeviceOp, "tape", 0, Some(30)),
+            span(1, None, SpanKind::DeviceOp, "tape", 20, Some(40)),
+        ];
+        assert!(audit_spans(&spans)
+            .violations
+            .iter()
+            .any(|v| v.contains("overlap")));
+        // Same intervals on different tracks: fine (devices overlap).
+        let spans = vec![
+            span(0, None, SpanKind::DeviceOp, "tape", 0, Some(30)),
+            span(1, None, SpanKind::DeviceOp, "disk", 20, Some(40)),
+        ];
+        audit_spans(&spans).assert_ok();
+    }
+
+    #[test]
+    fn step_conservation_clamps_straddling_ops() {
+        // An op straddling the step boundary only charges its overlap, so
+        // this passes even though the op's full length exceeds the step.
+        let spans = vec![
+            span(0, None, SpanKind::Step, "join", 10, Some(20)),
+            span(1, Some(0), SpanKind::DeviceOp, "tape", 0, Some(20)),
+        ];
+        audit_spans(&spans).assert_ok();
+        // But two full-length ops in one 10 ns step cannot fit (they also
+        // overlap, which reports separately).
+        let spans = vec![
+            span(0, None, SpanKind::Step, "join", 10, Some(20)),
+            span(1, Some(0), SpanKind::DeviceOp, "tape", 10, Some(20)),
+            span(2, Some(0), SpanKind::DeviceOp, "tape", 10, Some(20)),
+        ];
+        assert!(audit_spans(&spans)
+            .violations
+            .iter()
+            .any(|v| v.contains("exceeds scope duration")));
+    }
+
+    #[test]
+    fn fault_time_sums_fault_spans_only() {
+        let spans = [
+            span(0, None, SpanKind::DeviceOp, "tape", 0, Some(100)),
+            span(1, None, SpanKind::Fault, "tape", 10, Some(30)),
+            span(2, None, SpanKind::Fault, "tape", 50, Some(55)),
+        ];
+        let rec = Recorder::enabled();
+        // No public constructor from raw spans; reuse audit_spans-style
+        // arithmetic directly on the slice instead.
+        let total: Duration = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Fault)
+            .map(Span::duration)
+            .sum();
+        assert_eq!(total, Duration::from_nanos(25));
+        assert_eq!(fault_time(&rec), Duration::ZERO);
+        assert!(check_fault_time(&rec, Duration::ZERO).is_ok());
+        assert!(check_fault_time(&rec, Duration::from_nanos(1)).is_err());
+    }
+}

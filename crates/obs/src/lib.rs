@@ -1,0 +1,59 @@
+//! `tapejoin-obs` — unified observability over virtual time.
+//!
+//! The simulator can already answer *how long* a join took; this crate
+//! answers *where the time went*, with one event model shared by every
+//! layer:
+//!
+//! * **Spans** ([`Recorder`], [`Span`]) — hierarchical intervals
+//!   (`join → step → device-op`, plus `fault`, `query`) with typed
+//!   attributes. The recorder handle is threaded through the device
+//!   models and join drivers; disabled (the default) it is an exact
+//!   no-op, so untraced runs stay bit-identical.
+//! * **Metrics** ([`MetricsRegistry`]) — monotonic counters, gauges, and
+//!   fixed-bucket histograms keyed by `(name, device, method, phase)`,
+//!   subsuming the ad-hoc fields scattered across `TapeStats`,
+//!   `DiskStats`, and `FleetMetrics`.
+//! * **Exporters** ([`perfetto_trace`], [`metrics_csv`], [`metrics_json`])
+//!   — Chrome/Perfetto trace-event JSON (open in `ui.perfetto.dev`) and
+//!   metrics dumps, plus a schema [`validate_trace_event_json`] check
+//!   used by CI's trace-smoke step.
+//! * **Conservation audits** ([`audit`], [`check_fault_time`]) — exact
+//!   invariants over the span stream (`busy + idle == elapsed` per
+//!   device, span nesting, step conservation, fault accounting), asserted
+//!   by the differential and determinism test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use tapejoin_obs::{audit, perfetto_trace, Recorder, SpanKind};
+//! use tapejoin_sim::{now, sleep, Duration, Simulation};
+//!
+//! let rec = Recorder::enabled();
+//! let rec2 = rec.clone();
+//! let mut sim = Simulation::new();
+//! sim.run(async move {
+//!     let _join = rec2.scope(SpanKind::Join, "join", "DT-NB");
+//!     sleep(Duration::from_millis(2)).await;
+//!     rec2.leaf(SpanKind::DeviceOp, "tape-R", "read", now() - Duration::from_millis(1), now());
+//! });
+//! audit(&rec).assert_ok();
+//! let json = perfetto_trace(&rec);
+//! assert!(tapejoin_obs::validate_trace_event_json(&json).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod audit;
+pub mod json;
+mod metrics;
+mod perfetto;
+mod report;
+mod span;
+
+pub use audit::{audit, audit_spans, check_fault_time, fault_time, AuditReport};
+pub use metrics::{
+    default_time_bounds, nearest_rank, Histogram, MetricKey, MetricsRegistry, MetricsSnapshot,
+};
+pub use perfetto::{metrics_csv, metrics_json, perfetto_trace, validate_trace_event_json};
+pub use report::{gantt_rows, trace_end, TrackRow};
+pub use span::{AttrValue, Recorder, ScopeGuard, Span, SpanId, SpanKind};

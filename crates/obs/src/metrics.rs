@@ -1,0 +1,351 @@
+//! Metrics registry: monotonic counters, gauges, and fixed-bucket
+//! histograms, keyed by `(name, device, method, phase)`.
+//!
+//! The registry subsumes the ad-hoc accounting that previously lived only
+//! in `TapeStats` / `DiskStats` / `FleetMetrics`: device models and join
+//! drivers export their counters here under one naming scheme, so a single
+//! dump covers a whole run regardless of which layer produced a number.
+//! All maps are ordered (`BTreeMap`), so exports are deterministic.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Identifies one metric instance. `device`, `method`, and `phase` are
+/// optional label dimensions; `None` means "not applicable", not "all".
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, dot-separated (`"tape.blocks_read"`).
+    pub name: String,
+    /// Device the sample came from (`"tape-R"`, `"disk-array"`).
+    pub device: Option<String>,
+    /// Join method (`"CDT-GH"`).
+    pub method: Option<String>,
+    /// Execution phase (`"step1"`, `"step2"`).
+    pub phase: Option<String>,
+}
+
+impl MetricKey {
+    /// A key with just a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MetricKey {
+            name: name.into(),
+            ..MetricKey::default()
+        }
+    }
+
+    /// Set the device label.
+    pub fn device(mut self, device: impl Into<String>) -> Self {
+        self.device = Some(device.into());
+        self
+    }
+
+    /// Set the method label.
+    pub fn method(mut self, method: impl Into<String>) -> Self {
+        self.method = Some(method.into());
+        self
+    }
+
+    /// Set the phase label.
+    pub fn phase(mut self, phase: impl Into<String>) -> Self {
+        self.phase = Some(phase.into());
+        self
+    }
+
+    /// `name{device=..,method=..,phase=..}` rendering for dumps.
+    pub fn render(&self) -> String {
+        let mut labels = Vec::new();
+        if let Some(d) = &self.device {
+            labels.push(format!("device={d}"));
+        }
+        if let Some(m) = &self.method {
+            labels.push(format!("method={m}"));
+        }
+        if let Some(p) = &self.phase {
+            labels.push(format!("phase={p}"));
+        }
+        if labels.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, labels.join(","))
+        }
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (typically nanoseconds).
+///
+/// Bucket `i` counts samples `<= bounds[i]` (and above `bounds[i-1]`); an
+/// implicit overflow bucket counts samples above the last bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (overflow
+    /// bucket last).
+    pub counts: Vec<u64>,
+    /// Total of all samples.
+    pub sum: u64,
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+/// Default bounds for virtual-time histograms: exponential from 1 µs to
+/// ~4.4 h in powers of four (13 buckets + overflow).
+pub fn default_time_bounds() -> Vec<u64> {
+    let mut bounds = Vec::with_capacity(13);
+    let mut b: u64 = 1_000; // 1 µs in ns
+    for _ in 0..13 {
+        bounds.push(b);
+        b = b.saturating_mul(4);
+    }
+    bounds
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket bounds (must be strictly
+    /// increasing and non-empty).
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            sum: 0,
+            count: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate quantile `q` in `[0, 1]` from the buckets: returns the
+    /// upper bound of the bucket holding the nearest-rank sample (`max`
+    /// for the overflow bucket, 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// Nearest-rank quantile over a **sorted** slice: the smallest element
+/// such that at least `ceil(q * n)` elements are `<=` it. Returns `None`
+/// for an empty slice. `q` is clamped to `[0, 1]`.
+///
+/// This is the one quantile definition shared by the scheduler's response
+/// percentiles and the histogram estimator, so p50/p95/p99 mean the same
+/// thing everywhere.
+pub fn nearest_rank<T: Copy>(sorted: &[T], q: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let q = q.clamp(0.0, 1.0);
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    Some(sorted[idx])
+}
+
+/// Deterministically ordered collections of counters, gauges, and
+/// histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RefCell<BTreeMap<MetricKey, u64>>,
+    gauges: RefCell<BTreeMap<MetricKey, f64>>,
+    histograms: RefCell<BTreeMap<MetricKey, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a monotonic counter (created at 0 on first use).
+    pub fn counter_add(&self, key: MetricKey, delta: u64) {
+        *self.counters.borrow_mut().entry(key).or_insert(0) += delta;
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, key: &MetricKey) -> u64 {
+        self.counters.borrow().get(key).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to `value`.
+    pub fn gauge_set(&self, key: MetricKey, value: f64) {
+        self.gauges.borrow_mut().insert(key, value);
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, key: &MetricKey) -> Option<f64> {
+        self.gauges.borrow().get(key).copied()
+    }
+
+    /// Record a sample into the histogram for `key`, creating it with
+    /// [`default_time_bounds`] on first use.
+    pub fn observe(&self, key: MetricKey, value: u64) {
+        self.histograms
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| Histogram::new(default_time_bounds()))
+            .observe(value);
+    }
+
+    /// Snapshot of the histogram for `key`, if any.
+    pub fn histogram(&self, key: &MetricKey) -> Option<Histogram> {
+        self.histograms.borrow().get(key).cloned()
+    }
+
+    /// Snapshot every metric, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .borrow()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .borrow()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .borrow()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, sorted copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauges, sorted by key.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// Histograms, sorted by key.
+    pub histograms: Vec<(MetricKey, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let k = MetricKey::new("tape.blocks_read").device("tape-R");
+        reg.counter_add(k.clone(), 3);
+        reg.counter_add(k.clone(), 4);
+        assert_eq!(reg.counter(&k), 7);
+        assert_eq!(reg.counter(&MetricKey::new("missing")), 0);
+        let g = MetricKey::new("buffer.occupancy").phase("step1");
+        reg.gauge_set(g.clone(), 0.5);
+        reg.gauge_set(g.clone(), 0.75);
+        assert_eq!(reg.gauge(&g), Some(0.75));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.gauges.len(), 1);
+    }
+
+    #[test]
+    fn key_render_includes_labels_in_fixed_order() {
+        let k = MetricKey::new("x")
+            .phase("step2")
+            .device("d0")
+            .method("TT-GH");
+        assert_eq!(k.render(), "x{device=d0,method=TT-GH,phase=step2}");
+        assert_eq!(MetricKey::new("bare").render(), "bare");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for v in [1, 5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![3, 2, 0, 1]);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 5000);
+        assert_eq!(h.quantile(0.5), 10); // 3rd of 6 lands in first bucket
+        assert_eq!(h.quantile(1.0), 5000); // overflow bucket reports max
+        assert_eq!(Histogram::new(vec![1]).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let v = [10u64, 20, 30, 40, 50];
+        assert_eq!(nearest_rank(&v, 0.0), Some(10));
+        assert_eq!(nearest_rank(&v, 0.5), Some(30));
+        assert_eq!(nearest_rank(&v, 0.9), Some(50));
+        assert_eq!(nearest_rank(&v, 1.0), Some(50));
+        assert_eq!(nearest_rank::<u64>(&[], 0.5), None);
+        // Ties are handled by rank, not by value.
+        assert_eq!(nearest_rank(&[7u64, 7, 7, 100], 0.75), Some(7));
+    }
+
+    #[test]
+    fn default_bounds_are_increasing() {
+        let b = default_time_bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b[0], 1_000);
+    }
+}

@@ -1,0 +1,314 @@
+//! Exporters: Chrome/Perfetto trace-event JSON for span streams, and
+//! CSV / JSON dumps for metrics snapshots.
+//!
+//! The trace output is the JSON Array / JSON Object trace-event format
+//! understood by `ui.perfetto.dev` and `chrome://tracing`: one `"X"`
+//! (complete) event per closed span with microsecond `ts`/`dur`, one
+//! thread per track, and `"M"` metadata events naming the process and the
+//! per-track threads.
+
+use crate::json::{self, Json};
+use crate::metrics::MetricsSnapshot;
+use crate::span::{AttrValue, Recorder, Span};
+
+/// Virtual nanoseconds rendered as fractional microseconds, exactly
+/// (`1234` ns → `"1.234"`), avoiding float rounding on large timestamps.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn attr_json(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::F64(v) => {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                format!("\"{v}\"")
+            }
+        }
+        AttrValue::Str(s) => format!("\"{}\"", json::escape(s)),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Stable track → tid assignment, in order of first appearance in the
+/// span stream (deterministic because the stream is).
+fn track_ids(spans: &[Span]) -> Vec<(String, u64)> {
+    let mut tracks: Vec<(String, u64)> = Vec::new();
+    for span in spans {
+        if !tracks.iter().any(|(t, _)| *t == span.track) {
+            let tid = tracks.len() as u64 + 1;
+            tracks.push((span.track.clone(), tid));
+        }
+    }
+    tracks
+}
+
+/// Render every *closed* span in the recorder as a Perfetto trace-event
+/// JSON document. Open spans are omitted (the conservation auditor flags
+/// them separately).
+pub fn perfetto_trace(rec: &Recorder) -> String {
+    let spans = rec.spans();
+    let tracks = track_ids(&spans);
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"tapejoin\"}}"
+            .to_string(),
+    );
+    for (track, tid) in &tracks {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json::escape(track)
+        ));
+    }
+    for span in &spans {
+        let Some(end) = span.end else { continue };
+        let tid = tracks
+            .iter()
+            .find(|(t, _)| *t == span.track)
+            .map(|(_, tid)| *tid)
+            .unwrap_or(0);
+        let mut args: Vec<String> = vec![format!("\"kind\":\"{}\"", span.kind.category())];
+        for (key, value) in &span.attrs {
+            args.push(format!("\"{}\":{}", json::escape(key), attr_json(value)));
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{tid},\"args\":{{{}}}}}",
+            json::escape(&span.name),
+            span.kind.category(),
+            micros(span.start.as_nanos()),
+            micros(end.duration_since(span.start).as_nanos()),
+            args.join(",")
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+/// Validate a trace-event JSON document against the subset of the schema
+/// Perfetto requires to load it: a top-level object with a `traceEvents`
+/// array whose members each carry a string `ph`; `"X"` events must have
+/// string `name`, non-negative numeric `ts` and `dur`, and numeric
+/// `pid`/`tid`. Returns the number of `"X"` events on success.
+pub fn validate_trace_event_json(doc: &str) -> Result<usize, String> {
+    let parsed = json::parse(doc)?;
+    let events = parsed
+        .get("traceEvents")
+        .ok_or("missing 'traceEvents' key")?
+        .as_arr()
+        .ok_or("'traceEvents' is not an array")?;
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_obj()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string 'ph'"))?;
+        if ph != "X" {
+            continue;
+        }
+        complete += 1;
+        obj.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: 'X' event missing string 'name'"))?;
+        for field in ["ts", "dur", "pid", "tid"] {
+            let n = obj
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("event {i}: 'X' event missing numeric '{field}'"))?;
+            if !n.is_finite() || (field != "ts" && n < 0.0) {
+                return Err(format!("event {i}: '{field}' = {n} is invalid"));
+            }
+        }
+    }
+    Ok(complete)
+}
+
+fn num_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+/// Render a metrics snapshot as CSV
+/// (`kind,metric,value,count,min,max,p50,p95,p99`). Counters and gauges
+/// leave the histogram columns empty.
+pub fn metrics_csv(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("kind,metric,value,count,min,max,p50,p95,p99\n");
+    for (key, v) in &snap.counters {
+        out.push_str(&format!("counter,{},{v},,,,,,\n", csv_field(&key.render())));
+    }
+    for (key, v) in &snap.gauges {
+        out.push_str(&format!("gauge,{},{v},,,,,,\n", csv_field(&key.render())));
+    }
+    for (key, h) in &snap.histograms {
+        out.push_str(&format!(
+            "histogram,{},{},{},{},{},{},{},{}\n",
+            csv_field(&key.render()),
+            h.sum,
+            h.count,
+            h.min,
+            h.max,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        ));
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render a metrics snapshot as a JSON document with `counters`, `gauges`
+/// and `histograms` objects keyed by the rendered metric key.
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    out.push_str(
+        &snap
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\n    \"{}\": {v}", json::escape(&k.render())))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push_str("\n  },\n  \"gauges\": {");
+    out.push_str(
+        &snap
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\n    \"{}\": {}", json::escape(&k.render()), num_json(*v)))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push_str("\n  },\n  \"histograms\": {");
+    out.push_str(
+        &snap
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    json::escape(&k.render()),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKey;
+    use crate::span::SpanKind;
+    use tapejoin_sim::{now, sleep, Duration, Simulation};
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::enabled();
+        let rec2 = rec.clone();
+        let mut sim = Simulation::new();
+        sim.run(async move {
+            let join = rec2.scope(SpanKind::Join, "join", "DT-NB");
+            join.attr("seed", 42u64);
+            {
+                let _step = rec2.scope(SpanKind::Step, "join", "step1");
+                sleep(Duration::from_micros(1500)).await;
+                rec2.leaf(
+                    SpanKind::DeviceOp,
+                    "tape-R",
+                    "tape-R",
+                    now() - Duration::from_micros(1000),
+                    now(),
+                );
+            }
+        });
+        rec
+    }
+
+    #[test]
+    fn exported_trace_validates_and_counts_events() {
+        let rec = sample_recorder();
+        let doc = perfetto_trace(&rec);
+        let complete = validate_trace_event_json(&doc).unwrap();
+        assert_eq!(complete, 3, "join + step + device-op");
+        // Spot-check µs rendering: 1500 µs step duration.
+        assert!(doc.contains("\"dur\":1500.000"), "doc: {doc}");
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("\"seed\":42"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_trace_event_json("[]").is_err());
+        assert!(validate_trace_event_json("{\"traceEvents\": 3}").is_err());
+        assert!(validate_trace_event_json(
+            "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"ts\":0}]}"
+        )
+        .is_err());
+        assert!(validate_trace_event_json(
+            "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"ts\":1,\"dur\":-2,\
+             \"pid\":1,\"tid\":1}]}"
+        )
+        .is_err());
+        let ok = "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"ts\":0.5,\"dur\":2,\
+                  \"pid\":1,\"tid\":1},{\"ph\":\"M\",\"name\":\"m\"}]}";
+        assert_eq!(validate_trace_event_json(ok), Ok(1));
+    }
+
+    #[test]
+    fn metrics_dumps_are_well_formed() {
+        let rec = Recorder::enabled();
+        let m = rec.metrics().unwrap();
+        m.counter_add(MetricKey::new("tape.blocks").device("tape-R"), 12);
+        m.gauge_set(MetricKey::new("buf.occ"), 0.5);
+        m.observe(MetricKey::new("svc.time").device("d0"), 2_000);
+        let snap = m.snapshot();
+        let csv = metrics_csv(&snap);
+        assert!(csv.starts_with("kind,metric,value"));
+        assert!(csv.contains("counter,tape.blocks{device=tape-R},12"));
+        assert!(csv.contains("gauge,buf.occ,0.5"));
+        assert!(csv.contains("histogram,svc.time{device=d0},2000,1,2000,2000"));
+        let js = metrics_json(&snap);
+        let parsed = json::parse(&js).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("tape.blocks{device=tape-R}")
+                .unwrap()
+                .as_num(),
+            Some(12.0)
+        );
+        assert!(parsed
+            .get("histograms")
+            .unwrap()
+            .get("svc.time{device=d0}")
+            .is_some());
+    }
+}

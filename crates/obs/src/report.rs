@@ -1,0 +1,118 @@
+//! Text rendering of a span stream: per-track ASCII Gantt rows.
+//!
+//! This replaces walking `DeviceTimeline`'s raw `ActivityLog`s directly:
+//! anything that records through the [`Recorder`] — device ops from
+//! instrumented servers, fault-recovery spans — renders here with no
+//! extra plumbing per device.
+
+use tapejoin_sim::{Duration, SimTime};
+
+use crate::span::{Recorder, Span, SpanKind};
+
+/// One rendered timeline row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrackRow {
+    /// Track name (device).
+    pub track: String,
+    /// `width` cells: `#` busy, `!` fault recovery, `.` idle.
+    pub cells: String,
+    /// Total busy (device-op) time on the track.
+    pub busy: Duration,
+}
+
+/// Latest end instant over all closed spans (`SimTime::ZERO` when empty).
+pub fn trace_end(rec: &Recorder) -> SimTime {
+    rec.spans()
+        .iter()
+        .filter_map(|s| s.end)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+fn paint(cells: &mut [char], span: &Span, scale: f64, mark: char) {
+    let width = cells.len();
+    let Some(end) = span.end else { return };
+    let lo = (span.start.as_secs_f64() * scale).floor() as usize;
+    let hi = ((end.as_secs_f64() * scale).ceil() as usize).min(width);
+    for cell in cells.iter_mut().take(hi).skip(lo.min(width)) {
+        *cell = mark;
+    }
+}
+
+/// Render one Gantt row per device track over `[0, span]`, in order of
+/// first appearance in the span stream. Device-op spans paint `#`; fault
+/// spans paint `!` on top (recovery time is charged inside an op).
+pub fn gantt_rows(rec: &Recorder, span: Duration, width: usize) -> Vec<TrackRow> {
+    assert!(width > 0 && !span.is_zero(), "degenerate gantt row");
+    let spans = rec.spans();
+    let scale = width as f64 / span.as_secs_f64();
+    let mut rows: Vec<(String, Vec<char>, Duration)> = Vec::new();
+    for s in &spans {
+        if !matches!(s.kind, SpanKind::DeviceOp | SpanKind::Fault) {
+            continue;
+        }
+        let idx = match rows.iter().position(|(t, _, _)| *t == s.track) {
+            Some(i) => i,
+            None => {
+                rows.push((s.track.clone(), vec!['.'; width], Duration::ZERO));
+                rows.len() - 1
+            }
+        };
+        let (_, cells, busy) = &mut rows[idx];
+        match s.kind {
+            SpanKind::DeviceOp => {
+                paint(cells, s, scale, '#');
+                *busy += s.duration();
+            }
+            SpanKind::Fault => paint(cells, s, scale, '!'),
+            _ => unreachable!(),
+        }
+    }
+    rows.into_iter()
+        .map(|(track, cells, busy)| TrackRow {
+            track,
+            cells: cells.into_iter().collect(),
+            busy,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapejoin_sim::{now, sleep, Simulation};
+
+    #[test]
+    fn rows_paint_ops_and_faults() {
+        let rec = Recorder::enabled();
+        let rec2 = rec.clone();
+        let mut sim = Simulation::new();
+        let end = sim.run(async move {
+            sleep(Duration::from_nanos(50)).await;
+            rec2.leaf(SpanKind::DeviceOp, "tape", "tape", SimTime::ZERO, now());
+            rec2.leaf(
+                SpanKind::Fault,
+                "tape",
+                "fault",
+                SimTime::from_nanos(40),
+                now(),
+            );
+            sleep(Duration::from_nanos(50)).await;
+            rec2.leaf(
+                SpanKind::DeviceOp,
+                "disk",
+                "disk",
+                SimTime::from_nanos(50),
+                now(),
+            );
+            now()
+        });
+        assert_eq!(trace_end(&rec), end);
+        let rows = gantt_rows(&rec, end.duration_since(SimTime::ZERO), 10);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].track, "tape");
+        assert_eq!(rows[0].cells, "####!.....");
+        assert_eq!(rows[0].busy, Duration::from_nanos(50));
+        assert_eq!(rows[1].cells, ".....#####");
+    }
+}

@@ -1,0 +1,475 @@
+//! Hierarchical spans over virtual time, recorded through a [`Recorder`]
+//! handle that is free when disabled.
+//!
+//! A span is an interval of virtual time on a named *track* (a device, the
+//! join driver, the scheduler). Spans nest: *scope* spans (`join`, `step`,
+//! `query`) are opened and closed by the code that owns the phase, while
+//! *leaf* spans (`device-op`, `fault`) are recorded after the fact with an
+//! explicit `[start, end)` and parented to the innermost open scope.
+//!
+//! The recorder is a cheap-to-clone handle around an optional arena. A
+//! disabled recorder ([`Recorder::disabled`], the default) carries no
+//! allocation and every operation returns immediately without reading the
+//! clock, so instrumented code paths are exact no-ops — the property the
+//! determinism suites pin down.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tapejoin_sim::{now, Duration, SimTime};
+
+use crate::metrics::MetricsRegistry;
+
+/// What a span describes, which also decides how the auditor treats it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// One whole join execution (root of a single-query trace).
+    Join,
+    /// A phase of a join (Step I / Step II).
+    Step,
+    /// One scheduled query or shared batch inside a workload run.
+    Query,
+    /// A generic scope (workload root, library exchange, ...).
+    Scope,
+    /// One service interval on a device (tape drive, disk array).
+    DeviceOp,
+    /// Fault-recovery time charged by a device (disjoint from clean
+    /// service; overlaps the device op it was drawn inside).
+    Fault,
+}
+
+impl SpanKind {
+    /// Category label used by the Perfetto exporter.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Join => "join",
+            SpanKind::Step => "step",
+            SpanKind::Query => "query",
+            SpanKind::Scope => "scope",
+            SpanKind::DeviceOp => "device-op",
+            SpanKind::Fault => "fault",
+        }
+    }
+
+    /// `true` for span kinds that are opened/closed around a phase of
+    /// execution (and therefore strictly nest), as opposed to leaf spans
+    /// recorded after the fact.
+    pub fn is_scope(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Join | SpanKind::Step | SpanKind::Query | SpanKind::Scope
+        )
+    }
+}
+
+/// A typed attribute value attached to a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// Index of a span in its recorder's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub usize);
+
+/// One recorded interval of virtual time.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Arena index.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span kind.
+    pub kind: SpanKind,
+    /// Track (timeline row) the span belongs to — a device name or a
+    /// logical lane like `"join"` / `"sched"`.
+    pub track: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant; `None` while the span is still open.
+    pub end: Option<SimTime>,
+    /// Typed attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// Span length (zero while still open).
+    pub fn duration(&self) -> Duration {
+        self.end
+            .map(|e| e.duration_since(self.start))
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+struct Inner {
+    spans: Rc<RefCell<Vec<Span>>>,
+    /// Open scope spans in open order; the *last* element is the
+    /// innermost scope and becomes the parent of new spans.
+    stack: RefCell<Vec<SpanId>>,
+    /// Parent for spans opened when this handle's own stack is empty —
+    /// the scope that was innermost when the handle was [`Recorder::fork`]ed.
+    base: Option<SpanId>,
+    metrics: Rc<MetricsRegistry>,
+}
+
+/// Recording handle threaded through the simulator, the device models and
+/// the join/scheduler layers. Cheap to clone; all clones share one arena.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Rc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(f, "Recorder(enabled, {} spans)", inner.spans.borrow().len()),
+            None => write!(f, "Recorder(disabled)"),
+        }
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with a fresh arena.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Rc::new(Inner {
+                spans: Rc::new(RefCell::new(Vec::new())),
+                stack: RefCell::new(Vec::new()),
+                base: None,
+                metrics: Rc::new(MetricsRegistry::new()),
+            })),
+        }
+    }
+
+    /// A handle over the *same* span arena and metrics registry but with
+    /// an independent open-scope stack. Scopes opened on the fork while
+    /// its stack is empty parent to the scope that was innermost in
+    /// `self` at fork time. This is how concurrent tasks (the scheduler's
+    /// query executors) each get correct nesting: a shared stack would
+    /// cross-link scopes of interleaved tasks. Forking a disabled
+    /// recorder yields a disabled recorder.
+    pub fn fork(&self) -> Recorder {
+        let Some(inner) = &self.inner else {
+            return Recorder::disabled();
+        };
+        Recorder {
+            inner: Some(Rc::new(Inner {
+                spans: Rc::clone(&inner.spans),
+                stack: RefCell::new(Vec::new()),
+                base: inner.stack.borrow().last().copied().or(inner.base),
+                metrics: Rc::clone(&inner.metrics),
+            })),
+        }
+    }
+
+    /// The no-op recorder (also [`Default`]).
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// `true` when spans and metrics are actually collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shared metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &*i.metrics)
+    }
+
+    /// Open a scope span at the current virtual time. The returned guard
+    /// closes the span (and pops it from the scope stack) on drop; new
+    /// spans opened in between are parented to it. On a disabled recorder
+    /// this is an exact no-op and never reads the clock.
+    pub fn scope(
+        &self,
+        kind: SpanKind,
+        track: impl Into<String>,
+        name: impl Into<String>,
+    ) -> ScopeGuard {
+        debug_assert!(kind.is_scope(), "leaf kinds go through Recorder::leaf");
+        let Some(inner) = &self.inner else {
+            return ScopeGuard {
+                rec: Recorder::disabled(),
+                id: None,
+            };
+        };
+        let id = {
+            let mut spans = inner.spans.borrow_mut();
+            let mut stack = inner.stack.borrow_mut();
+            let id = SpanId(spans.len());
+            spans.push(Span {
+                id,
+                parent: stack.last().copied().or(inner.base),
+                kind,
+                track: track.into(),
+                name: name.into(),
+                start: now(),
+                end: None,
+                attrs: Vec::new(),
+            });
+            stack.push(id);
+            id
+        };
+        ScopeGuard {
+            rec: self.clone(),
+            id: Some(id),
+        }
+    }
+
+    /// Record a completed leaf span over `[start, end)`, parented to the
+    /// innermost open scope. Returns the id when enabled.
+    pub fn leaf(
+        &self,
+        kind: SpanKind,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Option<SpanId> {
+        let inner = self.inner.as_deref()?;
+        let mut spans = inner.spans.borrow_mut();
+        let id = SpanId(spans.len());
+        spans.push(Span {
+            id,
+            parent: inner.stack.borrow().last().copied().or(inner.base),
+            kind,
+            track: track.into(),
+            name: name.into(),
+            start,
+            end: Some(end),
+            attrs: Vec::new(),
+        });
+        Some(id)
+    }
+
+    /// Attach a typed attribute to an already-recorded span.
+    pub fn attr(&self, id: SpanId, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(inner) = &self.inner {
+            inner.spans.borrow_mut()[id.0]
+                .attrs
+                .push((key, value.into()));
+        }
+    }
+
+    /// Snapshot of every span recorded so far (open spans keep
+    /// `end == None`).
+    pub fn spans(&self) -> Vec<Span> {
+        match &self.inner {
+            Some(inner) => inner.spans.borrow().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of spans recorded (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.inner.as_deref().map_or(0, |i| i.spans.borrow().len())
+    }
+
+    /// `true` when nothing has been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn close(&self, id: SpanId) {
+        let Some(inner) = &self.inner else { return };
+        let end = now();
+        {
+            let mut spans = inner.spans.borrow_mut();
+            let span = &mut spans[id.0];
+            debug_assert!(span.end.is_none(), "scope closed twice");
+            span.end = Some(end);
+        }
+        // Guards may drop out of open order when scopes belong to
+        // concurrent tasks; remove this id wherever it sits.
+        let mut stack = inner.stack.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+            stack.remove(pos);
+        }
+    }
+}
+
+/// Forward every service interval of an instrumented [`tapejoin_sim::Server`]
+/// into the recorder as a `device-op` leaf span on the server's track.
+impl tapejoin_sim::ServiceObserver for Recorder {
+    fn service(&self, server: &str, start: SimTime, end: SimTime) {
+        self.leaf(SpanKind::DeviceOp, server, server, start, end);
+    }
+}
+
+/// RAII guard for a scope span; closes it at the current virtual time on
+/// drop.
+pub struct ScopeGuard {
+    rec: Recorder,
+    id: Option<SpanId>,
+}
+
+impl ScopeGuard {
+    /// The span's id, when recording is enabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Attach a typed attribute to the span (builder style not needed —
+    /// the guard is usually a local).
+    pub fn attr(&self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(id) = self.id {
+            self.rec.attr(id, key, value);
+        }
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            self.rec.close(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapejoin_sim::{sleep, Simulation};
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        // No simulation is running: a disabled scope must not read the
+        // clock (it would panic if it did).
+        let guard = rec.scope(SpanKind::Join, "join", "x");
+        assert_eq!(guard.id(), None);
+        drop(guard);
+        assert!(rec.spans().is_empty());
+        assert!(rec.metrics().is_none());
+    }
+
+    #[test]
+    fn scopes_nest_and_parent_leaves() {
+        let rec = Recorder::enabled();
+        let mut sim = Simulation::new();
+        let rec2 = rec.clone();
+        sim.run(async move {
+            let join = rec2.scope(SpanKind::Join, "join", "CDT-GH");
+            sleep(Duration::from_secs(1)).await;
+            {
+                let step = rec2.scope(SpanKind::Step, "join", "step1");
+                step.attr("chunk", 4u64);
+                sleep(Duration::from_secs(2)).await;
+                rec2.leaf(
+                    SpanKind::DeviceOp,
+                    "tape-R",
+                    "tape-R",
+                    now() - Duration::from_secs(1),
+                    now(),
+                );
+            }
+            drop(join);
+        });
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        let join = &spans[0];
+        let step = &spans[1];
+        let op = &spans[2];
+        assert_eq!(join.parent, None);
+        assert_eq!(step.parent, Some(join.id));
+        assert_eq!(op.parent, Some(step.id));
+        assert_eq!(join.duration(), Duration::from_secs(3));
+        assert_eq!(step.duration(), Duration::from_secs(2));
+        assert_eq!(step.attrs[0], ("chunk", AttrValue::U64(4)));
+        assert!(join.end.is_some() && step.end.is_some());
+    }
+
+    #[test]
+    fn forks_share_the_arena_but_not_the_stack() {
+        let rec = Recorder::enabled();
+        let mut sim = Simulation::new();
+        let rec2 = rec.clone();
+        sim.run(async move {
+            let root = rec2.scope(SpanKind::Scope, "sched", "workload");
+            let fork_a = rec2.fork();
+            let fork_b = rec2.fork();
+            // Interleaved query scopes on separate forks: each parents to
+            // the workload root, never to the other query.
+            let qa = fork_a.scope(SpanKind::Query, "sched", "q0");
+            let qb = fork_b.scope(SpanKind::Query, "sched", "q1");
+            let step_b = fork_b.scope(SpanKind::Step, "sched", "step1");
+            let spans = rec2.spans();
+            assert_eq!(spans.len(), 4);
+            assert_eq!(spans[1].parent, Some(root.id().unwrap()));
+            assert_eq!(spans[2].parent, Some(root.id().unwrap()));
+            assert_eq!(spans[3].parent, qb.id());
+            drop(step_b);
+            drop(qa);
+            drop(qb);
+            drop(root);
+        });
+        assert_eq!(rec.len(), 4);
+        assert!(rec.spans().iter().all(|s| s.end.is_some()));
+        // Metrics registry is shared across forks.
+        let fork = rec.fork();
+        fork.metrics()
+            .unwrap()
+            .counter_add(crate::metrics::MetricKey::new("x"), 1);
+        assert_eq!(
+            rec.metrics()
+                .unwrap()
+                .counter(&crate::metrics::MetricKey::new("x")),
+            1
+        );
+    }
+
+    #[test]
+    fn out_of_order_guard_drops_are_tolerated() {
+        let rec = Recorder::enabled();
+        let mut sim = Simulation::new();
+        let rec2 = rec.clone();
+        sim.run(async move {
+            let a = rec2.scope(SpanKind::Query, "sched", "q0");
+            let b = rec2.scope(SpanKind::Query, "sched", "q1");
+            drop(a); // closes the *outer* guard first
+            let c = rec2.scope(SpanKind::Query, "sched", "q2");
+            // c must parent to b (the only still-open scope), not to a.
+            assert_eq!(rec2.spans()[2].parent, Some(b.id().unwrap()));
+            drop(b);
+            drop(c);
+        });
+        assert!(rec.spans().iter().all(|s| s.end.is_some()));
+    }
+}

@@ -1,4 +1,8 @@
 //! Fleet metrics: per-query outcomes and the aggregated report.
+//!
+//! Quantiles use the shared nearest-rank helper from `tapejoin_obs`, and
+//! [`FleetReport::export_metrics`] mirrors the aggregates into an
+//! observability metrics registry.
 
 use tapejoin::JoinMethod;
 use tapejoin_rel::JoinCheck;
@@ -118,14 +122,49 @@ impl FleetReport {
         Duration::from_nanos((total / r.len() as u128) as u64)
     }
 
+    /// Response-time quantile (nearest-rank) over completed queries.
+    pub fn response_quantile(&self, q: f64) -> Duration {
+        tapejoin_obs::nearest_rank(&self.responses(), q).unwrap_or(Duration::ZERO)
+    }
+
+    /// Median response time over completed queries.
+    pub fn p50_response(&self) -> Duration {
+        self.response_quantile(0.50)
+    }
+
     /// 95th-percentile response time over completed queries.
     pub fn p95_response(&self) -> Duration {
-        let r = self.responses();
-        if r.is_empty() {
-            return Duration::ZERO;
+        self.response_quantile(0.95)
+    }
+
+    /// 99th-percentile response time over completed queries.
+    pub fn p99_response(&self) -> Duration {
+        self.response_quantile(0.99)
+    }
+
+    /// Export the fleet's aggregate counters and the response/wait
+    /// distributions into `rec`'s metrics registry. No-op on a disabled
+    /// recorder.
+    pub fn export_metrics(&self, rec: &tapejoin_obs::Recorder) {
+        let Some(reg) = rec.metrics() else { return };
+        let key = |name: &str| tapejoin_obs::MetricKey::new(name.to_string()).phase("fleet");
+        reg.counter_add(key("fleet.queries"), self.outcomes.len() as u64);
+        reg.counter_add(key("fleet.completed"), self.completed() as u64);
+        reg.counter_add(key("fleet.rejected"), self.rejected() as u64);
+        reg.counter_add(key("fleet.robot_exchanges"), self.robot_exchanges);
+        reg.counter_add(key("fleet.shared_batches"), self.shared_batches);
+        reg.counter_add(key("fleet.shared_queries"), self.shared_queries);
+        reg.counter_add(key("fleet.makespan_ns"), self.makespan.as_nanos());
+        reg.gauge_set(key("fleet.drive_utilization"), self.drive_utilization);
+        reg.gauge_set(key("fleet.disk_utilization"), self.disk_utilization);
+        for o in &self.outcomes {
+            if let Some(resp) = o.response() {
+                reg.observe(key("fleet.response_ns"), resp.as_nanos());
+            }
+            if o.admitted.is_some() {
+                reg.observe(key("fleet.wait_ns"), o.wait().as_nanos());
+            }
         }
-        let idx = ((r.len() as f64 * 0.95).ceil() as usize).clamp(1, r.len()) - 1;
-        r[idx]
     }
 
     /// Mean queueing delay over admitted queries.

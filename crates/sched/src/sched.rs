@@ -72,6 +72,10 @@ pub struct FleetConfig {
     pub fair_share: u64,
     /// Batch same-cartridge queries under one S scan.
     pub share_scans: bool,
+    /// Observability recorder shared by the whole fleet: device-op spans
+    /// on every drive and the array, one `query` scope per admission, and
+    /// the fleet metrics. Disabled (a no-op) by default.
+    pub recorder: tapejoin_obs::Recorder,
 }
 
 impl Default for FleetConfig {
@@ -87,6 +91,7 @@ impl Default for FleetConfig {
             exchange_time: Duration::from_secs(30),
             fair_share: 3,
             share_scans: true,
+            recorder: tapejoin_obs::Recorder::disabled(),
         }
     }
 }
@@ -198,7 +203,14 @@ impl Scheduler {
         let labels: Vec<String> = workload.catalog.iter().map(|c| c.label.clone()).collect();
 
         let mut sim = Simulation::new();
-        sim.run(async move {
+        let report = sim.run(async move {
+            // Root scope for the whole workload run; every query scope
+            // and device op nests under it.
+            let workload_scope = fleet_cfg.recorder.scope(
+                tapejoin_obs::SpanKind::Scope,
+                "sched",
+                format!("workload:{policy:?}"),
+            );
             let fleet = build_fleet(fleet_cfg, policy, catalog_rels, labels, pendings.len());
             let fleet = Rc::new(fleet);
 
@@ -226,8 +238,11 @@ impl Scheduler {
                 fleet.wake.notified().await;
             }
 
+            drop(workload_scope);
             report(&fleet)
-        })
+        });
+        report.export_metrics(&self.cfg.recorder);
+        report
     }
 }
 
@@ -279,6 +294,12 @@ fn build_fleet(
         .with_rate(cfg.disk_rate)
         .with_overhead(false);
     let disks = DiskArray::new(disk_model, cfg.disks, cfg.block_bytes, ArrayMode::Aggregate);
+    if cfg.recorder.is_enabled() {
+        for drive in &drives {
+            drive.set_recorder(cfg.recorder.clone());
+        }
+        disks.set_recorder(cfg.recorder.clone());
+    }
     let broker = Broker::new(
         cfg.memory_blocks,
         cfg.disk_blocks,
@@ -509,12 +530,23 @@ fn claim_drives(fleet: &Fleet, cartridge: usize) -> (usize, usize) {
 /// Spawn the executor for one admission.
 fn launch(fleet: &Rc<Fleet>, adm: Admission) {
     let fl = Rc::clone(fleet);
+    // Each executor records through its own fork: an independent scope
+    // stack over the shared arena, so concurrent queries never cross-nest.
+    let qrec = fleet.cfg.recorder.fork();
     spawn(async move {
+        let qscope = qrec.scope(
+            tapejoin_obs::SpanKind::Query,
+            "sched",
+            format!("q{}", adm.members[0].id),
+        );
+        qscope.attr("members", adm.members.len() as u64);
+        qscope.attr("cartridge", fl.catalog[adm.cartridge].label.as_str());
         let results = if adm.members.len() == 1 {
-            run_single(&fl, &adm).await
+            run_single(&fl, &adm, &qrec).await
         } else {
-            run_shared(&fl, &adm).await
+            run_shared(&fl, &adm, &qrec).await
         };
+        drop(qscope);
         let completed = now();
         {
             let mut outcomes = fl.outcomes.borrow_mut();
@@ -586,7 +618,11 @@ async fn mount_catalog(fleet: &Fleet, drive: usize, cartridge: usize) {
 }
 
 /// Run one query alone under its planned method.
-async fn run_single(fleet: &Fleet, adm: &Admission) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
+async fn run_single(
+    fleet: &Fleet,
+    adm: &Admission,
+    qrec: &tapejoin_obs::Recorder,
+) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
     let p = &adm.members[0];
     let plan = adm.plan.as_ref().expect("single admission carries a plan");
     let cat = &fleet.catalog[adm.cartridge];
@@ -600,7 +636,7 @@ async fn run_single(fleet: &Fleet, adm: &Admission) -> Vec<(tapejoin_rel::JoinCh
     fleet.next_lba.set(base + plan.disk + 64);
     let sink = OutputSink::new();
     let env = JoinEnv {
-        cfg: Rc::new(query_cfg(&fleet.cfg, plan.mem, plan.disk)),
+        cfg: Rc::new(query_cfg(&fleet.cfg, plan.mem, plan.disk).recorder(qrec.clone())),
         drive_r: fleet.drives[adm.drive_r].clone(),
         drive_s: fleet.drives[adm.drive_s].clone(),
         r_extent,
@@ -622,13 +658,18 @@ async fn run_single(fleet: &Fleet, adm: &Admission) -> Vec<(tapejoin_rel::JoinCh
 
 /// Run a shared-scan batch: build every member's R hash table in
 /// memory, then stream the S cartridge once, probing all tables.
-async fn run_shared(fleet: &Fleet, adm: &Admission) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
+async fn run_shared(
+    fleet: &Fleet,
+    adm: &Admission,
+    qrec: &tapejoin_obs::Recorder,
+) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
     let cat = &fleet.catalog[adm.cartridge];
     let drive_r = &fleet.drives[adm.drive_r];
     let drive_s = &fleet.drives[adm.drive_s];
 
     // Step I: each member's R, one cartridge after another on the R
     // drive, into per-member in-memory hash tables.
+    let step = qrec.scope(tapejoin_obs::SpanKind::Step, "sched", "build-tables");
     let mut tables = Vec::with_capacity(adm.members.len());
     for p in &adm.members {
         let extent = mount_fresh_r(fleet, p, 0, adm.drive_r).await;
@@ -646,8 +687,10 @@ async fn run_shared(fleet: &Fleet, adm: &Admission) -> Vec<(tapejoin_rel::JoinCh
         }
         tables.push((build_table(tuples), OutputSink::new()));
     }
+    drop(step);
 
     // Step II: one pass over the shared S cartridge feeds every join.
+    let _step2 = qrec.scope(tapejoin_obs::SpanKind::Step, "sched", "shared-scan");
     mount_catalog(fleet, adm.drive_s, adm.cartridge).await;
     let extent = cat.extent;
     let mut pos = extent.start;

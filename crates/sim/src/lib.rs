@@ -57,9 +57,9 @@ pub mod sync;
 
 pub use activity::{Activity, ActivityLog};
 pub use executor::{now, spawn, yield_now, JoinHandle, Simulation};
-pub use server::{Server, ServerStats};
+pub use server::{Server, ServerStats, ServiceObserver};
 pub use time::{transfer_time, Duration, SimTime};
-pub use trace::{Trace, TracePoint};
+pub use trace::{Trace, TraceError, TracePoint};
 
 /// Sleep until the virtual clock reaches `deadline`.
 pub async fn sleep_until(deadline: SimTime) {

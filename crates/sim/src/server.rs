@@ -14,6 +14,17 @@ use crate::sync::Semaphore;
 use crate::time::{Duration, SimTime};
 use crate::{now, sleep};
 
+/// Observer notified of every completed service interval on a [`Server`].
+///
+/// This is the hook an external tracing layer (e.g. `tapejoin-obs`)
+/// implements to turn raw device activity into spans without the simulator
+/// depending on it. Observers run *after* the service interval, at its end
+/// time, and must not advance virtual time.
+pub trait ServiceObserver {
+    /// One request finished service on `server` over `[start, end)`.
+    fn service(&self, server: &str, start: SimTime, end: SimTime);
+}
+
 /// Cumulative statistics for one service center.
 #[derive(Clone, Debug, Default)]
 pub struct ServerStats {
@@ -75,6 +86,7 @@ pub struct Server {
     sem: Semaphore,
     stats: Rc<RefCell<ServerStats>>,
     activity: Rc<RefCell<Option<ActivityLog>>>,
+    observer: Rc<RefCell<Option<Rc<dyn ServiceObserver>>>>,
 }
 
 impl Server {
@@ -85,6 +97,7 @@ impl Server {
             sem: Semaphore::new(1),
             stats: Rc::new(RefCell::new(ServerStats::default())),
             activity: Rc::new(RefCell::new(None)),
+            observer: Rc::new(RefCell::new(None)),
         }
     }
 
@@ -92,6 +105,12 @@ impl Server {
     /// recorded into it.
     pub fn attach_activity_log(&self, log: ActivityLog) {
         *self.activity.borrow_mut() = Some(log);
+    }
+
+    /// Attach a service observer; every subsequent service interval is
+    /// reported to it (replacing any previous observer).
+    pub fn attach_observer(&self, obs: Rc<dyn ServiceObserver>) {
+        *self.observer.borrow_mut() = Some(obs);
     }
 
     /// The server's diagnostic name.
@@ -133,6 +152,9 @@ impl Server {
         }
         if let Some(log) = self.activity.borrow().as_ref() {
             log.record(started, now(), self.name.to_string());
+        }
+        if let Some(obs) = self.observer.borrow().as_ref() {
+            obs.service(&self.name, started, now());
         }
         out
     }
@@ -222,6 +244,41 @@ mod tests {
             now()
         });
         assert_eq!(t.as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn observer_sees_service_intervals() {
+        struct Collect(RefCell<Vec<(String, SimTime, SimTime)>>);
+        impl ServiceObserver for Collect {
+            fn service(&self, server: &str, start: SimTime, end: SimTime) {
+                self.0.borrow_mut().push((server.to_string(), start, end));
+            }
+        }
+        let obs = Rc::new(Collect(RefCell::new(Vec::new())));
+        let mut sim = Simulation::new();
+        let obs2 = Rc::clone(&obs);
+        sim.run(async move {
+            let srv = Server::new("dev");
+            srv.attach_observer(obs2);
+            srv.serve(Duration::from_secs(2)).await;
+            srv.serve(Duration::from_secs(3)).await;
+        });
+        let seen = obs.0.borrow();
+        assert_eq!(
+            *seen,
+            vec![
+                (
+                    "dev".into(),
+                    SimTime::ZERO,
+                    SimTime::from_nanos(2_000_000_000)
+                ),
+                (
+                    "dev".into(),
+                    SimTime::from_nanos(2_000_000_000),
+                    SimTime::from_nanos(5_000_000_000)
+                ),
+            ]
+        );
     }
 
     #[test]

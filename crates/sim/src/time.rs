@@ -86,6 +86,17 @@ impl Sub<SimTime> for SimTime {
     }
 }
 
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.as_nanos())
+                .expect("virtual clock underflow"),
+        )
+    }
+}
+
 /// A span of virtual time (nanoseconds).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(u64);

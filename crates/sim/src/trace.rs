@@ -15,6 +15,35 @@ pub struct TracePoint {
     pub value: f64,
 }
 
+/// Why a sample could not be appended to a [`Trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The sample's time precedes the previous sample's time. Carries
+    /// `(attempted, previous)`.
+    OutOfOrder {
+        /// The rejected sample's time.
+        attempted: SimTime,
+        /// The time of the last recorded sample.
+        previous: SimTime,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::OutOfOrder {
+                attempted,
+                previous,
+            } => write!(
+                f,
+                "sample at {attempted:?} is before previous sample at {previous:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A named series of `(time, value)` samples. Cheap to clone (shared).
 #[derive(Clone)]
 pub struct Trace {
@@ -43,18 +72,42 @@ impl Trace {
     }
 
     /// Record `value` at an explicit instant. Samples must be appended in
-    /// non-decreasing time order.
+    /// non-decreasing time order; panics otherwise. Callers that can
+    /// legitimately observe time regressions (e.g. probes replayed during
+    /// fault-retry rewinds) should use [`Trace::try_record`] instead.
     pub fn record(&self, at: SimTime, value: f64) {
-        let mut pts = self.points.borrow_mut();
-        if let Some(last) = pts.last() {
-            assert!(
-                at >= last.at,
-                "trace '{}': sample at {at:?} is before previous sample at {:?}",
-                self.name,
-                last.at
+        if let Err(TraceError::OutOfOrder {
+            attempted,
+            previous,
+        }) = self.try_record(at, value)
+        {
+            panic!(
+                "trace '{}': sample at {attempted:?} is before previous sample at {previous:?}",
+                self.name
             );
         }
+    }
+
+    /// Record `value` at an explicit instant, returning
+    /// [`TraceError::OutOfOrder`] instead of panicking when `at` precedes
+    /// the previous sample (the sample is then dropped).
+    pub fn try_record(&self, at: SimTime, value: f64) -> Result<(), TraceError> {
+        let mut pts = self.points.borrow_mut();
+        if let Some(last) = pts.last() {
+            if at < last.at {
+                return Err(TraceError::OutOfOrder {
+                    attempted: at,
+                    previous: last.at,
+                });
+            }
+        }
         pts.push(TracePoint { at, value });
+        Ok(())
+    }
+
+    /// Time of the most recent sample, if any.
+    pub fn last_at(&self) -> Option<SimTime> {
+        self.points.borrow().last().map(|p| p.at)
     }
 
     /// All samples recorded so far.
@@ -144,6 +197,28 @@ mod tests {
         let t = Trace::new("x");
         t.record(SimTime::from_nanos(5), 0.0);
         t.record(SimTime::from_nanos(4), 0.0);
+    }
+
+    #[test]
+    fn try_record_reports_out_of_order_without_panicking() {
+        let t = Trace::new("x");
+        assert_eq!(t.try_record(SimTime::from_nanos(5), 1.0), Ok(()));
+        assert_eq!(
+            t.try_record(SimTime::from_nanos(4), 2.0),
+            Err(TraceError::OutOfOrder {
+                attempted: SimTime::from_nanos(4),
+                previous: SimTime::from_nanos(5),
+            })
+        );
+        // The rejected sample is dropped; equal times are accepted.
+        assert_eq!(t.try_record(SimTime::from_nanos(5), 3.0), Ok(()));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last_at(), Some(SimTime::from_nanos(5)));
+        let err = TraceError::OutOfOrder {
+            attempted: SimTime::from_nanos(4),
+            previous: SimTime::from_nanos(5),
+        };
+        assert!(err.to_string().contains("before previous sample"));
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Property test for [`ActivityLog`]: intervals recorded through a FIFO
+//! [`Server`] are time-ordered and never overlap — the structural
+//! invariant the busy-time accounting and the Gantt renderers rely on,
+//! and the same per-track serialization law the observability layer's
+//! conservation auditor re-checks on span streams.
+
+use proptest::prelude::*;
+use tapejoin_sim::{sleep, spawn, ActivityLog, Duration, Server, Simulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any pattern of concurrent requests against one server yields a
+    /// log whose entries are ordered by start and pairwise disjoint, and
+    /// whose summed durations equal the server's busy time.
+    #[test]
+    fn busy_intervals_are_ordered_and_disjoint(
+        requests in prop::collection::vec((0u64..500, 1u64..200), 1..40),
+    ) {
+        let log = ActivityLog::new();
+        let server = Server::new("dev");
+        server.attach_activity_log(log.clone());
+
+        let mut sim = Simulation::new();
+        let srv = server.clone();
+        sim.run(async move {
+            let mut tasks = Vec::new();
+            for (delay, service) in requests {
+                let srv = srv.clone();
+                tasks.push(spawn(async move {
+                    sleep(Duration::from_nanos(delay)).await;
+                    srv.serve(Duration::from_nanos(service)).await;
+                }));
+            }
+            for t in tasks {
+                t.join().await;
+            }
+        });
+
+        let entries = log.entries();
+        prop_assert!(!entries.is_empty());
+        for pair in entries.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            prop_assert!(a.start <= b.start, "entries out of start order");
+            prop_assert!(
+                b.start >= a.end,
+                "busy intervals overlap: [{:?}, {:?}] then [{:?}, {:?}]",
+                a.start, a.end, b.start, b.end
+            );
+        }
+        prop_assert_eq!(log.busy(), server.stats().busy);
+    }
+}

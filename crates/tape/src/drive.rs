@@ -4,6 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use tapejoin_obs::{Recorder, SpanKind};
 use tapejoin_sim::{Duration, Server};
 
 use crate::fault::{BlockFault, TapeFaultInjector, TapeFaultPolicy};
@@ -70,6 +71,11 @@ struct DriveState {
     ready_until: tapejoin_sim::SimTime,
     /// Fault injector, when a fault policy is attached.
     fault: Option<TapeFaultInjector>,
+    /// Observability handle; fault-recovery intervals are recorded as
+    /// `fault` spans on the drive's track. Disabled by default.
+    recorder: Recorder,
+    /// Track name for recorded spans (the server's name).
+    track: Rc<str>,
     stats: TapeStats,
 }
 
@@ -91,8 +97,9 @@ impl TapeDrive {
     pub fn new(name: impl Into<String>, model: TapeDriveModel, block_bytes: u64) -> Self {
         assert!(block_bytes > 0, "block size must be positive");
         let name = name.into();
+        let track: Rc<str> = Rc::from(format!("tape-drive:{name}").into_boxed_str());
         TapeDrive {
-            server: Server::new(format!("tape-drive:{name}")),
+            server: Server::new(track.to_string()),
             name: Rc::from(name.into_boxed_str()),
             model: Rc::new(model),
             block_bytes,
@@ -104,6 +111,8 @@ impl TapeDrive {
                 verify_reads: false,
                 ready_until: tapejoin_sim::SimTime::ZERO,
                 fault: None,
+                recorder: Recorder::disabled(),
+                track,
                 stats: TapeStats::default(),
             })),
         }
@@ -139,6 +148,15 @@ impl TapeDrive {
     /// Record every service interval of this drive into `log`.
     pub fn attach_activity_log(&self, log: tapejoin_sim::ActivityLog) {
         self.server.attach_activity_log(log);
+    }
+
+    /// Attach an observability recorder: every service interval becomes a
+    /// `device-op` span and every injected fault's recovery interval a
+    /// `fault` span, both on the track `tape-drive:{name}`. A disabled
+    /// recorder is a no-op.
+    pub fn set_recorder(&self, rec: Recorder) {
+        self.server.attach_observer(Rc::new(rec.clone()));
+        self.state.borrow_mut().recorder = rec;
     }
 
     /// Enable/disable checksum verification on reads. A mismatch panics
@@ -238,8 +256,22 @@ impl TapeDrive {
                     );
                     let block_time = model.transfer_time(block_bytes, tb.compressibility);
                     transfer += block_time;
-                    recovery +=
+                    let cost =
                         Self::block_fault_cost(&mut st, &model, pos + i, block_bytes, block_time);
+                    if !cost.is_zero() {
+                        // Recovery sits right after this block's transfer
+                        // in the composed service interval.
+                        let at = tapejoin_sim::now() + service + transfer + recovery;
+                        let track = Rc::clone(&st.track);
+                        st.recorder.leaf(
+                            SpanKind::Fault,
+                            track.as_ref(),
+                            "fault-recovery",
+                            at,
+                            at + cost,
+                        );
+                    }
+                    recovery += cost;
                     blocks.push(tb);
                 }
                 st.position = pos + count;
@@ -298,13 +330,25 @@ impl TapeDrive {
                     );
                     let block_time = model.transfer_time(block_bytes, tb.compressibility);
                     transfer += block_time;
-                    recovery += Self::block_fault_cost(
+                    let cost = Self::block_fault_cost(
                         &mut st,
                         &model,
                         end - 1 - i,
                         block_bytes,
                         block_time,
                     );
+                    if !cost.is_zero() {
+                        let at = tapejoin_sim::now() + service + transfer + recovery;
+                        let track = Rc::clone(&st.track);
+                        st.recorder.leaf(
+                            SpanKind::Fault,
+                            track.as_ref(),
+                            "fault-recovery",
+                            at,
+                            at + cost,
+                        );
+                    }
+                    recovery += cost;
                     blocks.push(tb);
                 }
                 st.position = end - count;

@@ -1,54 +1,48 @@
 //! Device timelines: the paper's parallel I/O, visualized.
 //!
 //! Runs the sequential DT-GH and the concurrent CDT-GH on the same
-//! workload with device-timeline recording on, then renders an ASCII
-//! Gantt chart per device. The sequential method's tape and disk take
-//! turns; the concurrent method keeps them busy simultaneously — the
-//! entire difference between the two columns of Figure 8.
+//! workload with an observability recorder attached, then renders an
+//! ASCII Gantt chart per device from the recorded span stream. The
+//! sequential method's tape and disk take turns; the concurrent method
+//! keeps them busy simultaneously — the entire difference between the
+//! two columns of Figure 8.
+//!
+//! (This used to walk `DeviceTimeline`'s raw activity logs; the span
+//! stream renders the same rows and additionally distinguishes
+//! fault-recovery time, with no per-device plumbing.)
 //!
 //! ```sh
 //! cargo run --release --example timeline
 //! ```
 
-use tapejoin::{DeviceTimeline, JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
+use tapejoin::{JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
+use tapejoin_obs::{gantt_rows, Recorder};
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};
 use tapejoin_sim::Duration;
 
 const WIDTH: usize = 72;
 
-fn render(stats: &JoinStats) {
-    let t = stats
-        .timeline
-        .as_ref()
-        .expect("timeline recording was enabled");
+fn render(stats: &JoinStats, rec: &Recorder) {
     let span = stats.response;
     println!(
-        "{} — response {} ('#' busy, '.' idle; {} per column)",
+        "{} — response {} ('#' busy, '!' fault recovery, '.' idle; {} per column)",
         stats.method.full_name(),
         stats.response,
         Duration::from_nanos(span.as_nanos() / WIDTH as u64),
     );
-    let row = |name: &str, log: &tapejoin_sim::ActivityLog| {
+    for row in gantt_rows(rec, span, WIDTH) {
         println!(
-            "  {name:<7} [{}] busy {:>6.1}s ({:>3.0}%)",
-            log.gantt_row(span, WIDTH),
-            log.busy().as_secs_f64(),
-            100.0 * log.busy().as_secs_f64() / span.as_secs_f64(),
+            "  {:<12} [{}] busy {:>6.1}s ({:>3.0}%)",
+            row.track,
+            row.cells,
+            row.busy.as_secs_f64(),
+            100.0 * row.busy.as_secs_f64() / span.as_secs_f64(),
         );
-    };
-    let DeviceTimeline {
-        tape_r,
-        tape_s,
-        disks,
-    } = t;
-    row("tape R", tape_r);
-    row("tape S", tape_s);
-    row("disks", disks);
+    }
     println!();
 }
 
 fn main() {
-    let cfg = SystemConfig::new(24, 480).record_timeline(true);
     let workload = WorkloadBuilder::new(11)
         .r(RelationSpec::new("R", 160))
         .s(RelationSpec::new("S", 800))
@@ -61,10 +55,13 @@ fn main() {
     );
 
     for method in [JoinMethod::DtGh, JoinMethod::CdtGh, JoinMethod::CttGh] {
-        let stats = TertiaryJoin::new(cfg.clone())
+        // One recorder per run: each trace spans exactly one join.
+        let rec = Recorder::enabled();
+        let cfg = SystemConfig::new(24, 480).recorder(rec.clone());
+        let stats = TertiaryJoin::new(cfg)
             .run(method, &workload)
             .expect("feasible");
-        render(&stats);
+        render(&stats, &rec);
     }
 
     println!(

@@ -1,0 +1,88 @@
+//! Trace a join end to end: spans, metrics, audit, Perfetto export.
+//!
+//! Runs CTT-GH under recoverable fault injection with an observability
+//! recorder attached, then shows everything the layer captures from one
+//! run: the span tree (join → steps → device ops and fault-recovery
+//! leaves), the metrics registry, the conservation audit, and a
+//! Chrome/Perfetto trace-event JSON file ready to open at
+//! <https://ui.perfetto.dev>.
+//!
+//! ```sh
+//! cargo run --release --example trace_viewer
+//! ```
+
+use tapejoin::{FaultPlan, JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_obs::{audit, check_fault_time, metrics_csv, perfetto_trace, Recorder, SpanKind};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+
+fn main() {
+    let workload = WorkloadBuilder::new(42)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build();
+    let rec = Recorder::enabled();
+    let cfg = SystemConfig::new(16, 400)
+        .faults(
+            FaultPlan::new(7)
+                .tape_rates(0.08, 0.004)
+                .disk_error_rate(0.05),
+        )
+        .recorder(rec.clone());
+
+    let stats = TertiaryJoin::new(cfg)
+        .run(JoinMethod::CttGh, &workload)
+        .expect("feasible");
+
+    // --- The span tree (scopes only; device ops summarized per step) ---
+    let spans = rec.spans();
+    println!("span tree ({} spans total):", spans.len());
+    for s in &spans {
+        if !s.kind.is_scope() {
+            continue;
+        }
+        let depth = {
+            let mut d = 0;
+            let mut cur = s.parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = spans[p.0].parent;
+            }
+            d
+        };
+        let ops = spans
+            .iter()
+            .filter(|c| c.parent == Some(s.id) && c.kind == SpanKind::DeviceOp)
+            .count();
+        println!(
+            "{:indent$}{} '{}' [{} .. {}] ({} device ops)",
+            "",
+            s.kind.category(),
+            s.name,
+            s.start,
+            s.end.expect("run finished"),
+            ops,
+            indent = 2 * depth,
+        );
+    }
+
+    // --- Metrics registry ---
+    let snap = rec.metrics().expect("enabled").snapshot();
+    println!("\nmetrics:\n{}", metrics_csv(&snap));
+
+    // --- Conservation audit + fault accounting ---
+    let report = audit(&rec);
+    println!("{report}");
+    check_fault_time(&rec, stats.faults.retry_time).expect("fault time conserved");
+    println!(
+        "fault spans account for the summary's full {} of recovery time",
+        stats.faults.retry_time
+    );
+
+    // --- Perfetto export ---
+    let path = std::env::temp_dir().join("tapejoin-ctt-gh.perfetto.json");
+    std::fs::write(&path, perfetto_trace(&rec)).expect("write trace");
+    println!(
+        "\nwrote {} — open it at https://ui.perfetto.dev",
+        path.display()
+    );
+}

@@ -5,7 +5,15 @@ use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};
 
 fn fingerprint(method: JoinMethod, seed: u64) -> (u64, u64, u64, u64, u64, u64, u64) {
-    let cfg = SystemConfig::new(16, 200).disk_overhead(true);
+    fingerprint_with(method, seed, tapejoin_obs::Recorder::disabled())
+}
+
+fn fingerprint_with(
+    method: JoinMethod,
+    seed: u64,
+    rec: tapejoin_obs::Recorder,
+) -> (u64, u64, u64, u64, u64, u64, u64) {
+    let cfg = SystemConfig::new(16, 200).disk_overhead(true).recorder(rec);
     let w = WorkloadBuilder::new(seed)
         .r(RelationSpec::new("R", 64))
         .s(RelationSpec::new("S", 256))
@@ -30,6 +38,17 @@ fn repeated_runs_are_bit_identical() {
         let c = fingerprint(method, 9);
         assert_eq!(a, b, "{method} differed between runs");
         assert_eq!(a, c, "{method} differed between runs");
+    }
+}
+
+#[test]
+fn enabled_recorder_is_timing_invisible() {
+    // Tracing runs outside virtual time: an enabled recorder must leave
+    // the full fingerprint bit-identical to an untraced run.
+    for method in JoinMethod::ALL {
+        let plain = fingerprint(method, 9);
+        let traced = fingerprint_with(method, 9, tapejoin_obs::Recorder::enabled());
+        assert_eq!(plain, traced, "{method} perturbed by tracing");
     }
 }
 

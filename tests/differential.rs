@@ -52,11 +52,23 @@ fn all_seven_methods_match_reference_under_recoverable_faults() {
         .s(RelationSpec::new("S", 192))
         .build();
     let expected = reference_join(&w.r, &w.s);
-    let clean = TertiaryJoin::new(SystemConfig::new(16, 400));
-    let faulty = TertiaryJoin::new(SystemConfig::new(16, 400).faults(recoverable_plan(7)));
     for method in JoinMethod::ALL {
+        // A fresh recorder per run: the conservation auditor checks every
+        // traced run of the differential suite, clean and faulty.
+        let clean_rec = tapejoin_obs::Recorder::enabled();
+        let faulty_rec = tapejoin_obs::Recorder::enabled();
+        let clean = TertiaryJoin::new(SystemConfig::new(16, 400).recorder(clean_rec.clone()));
+        let faulty = TertiaryJoin::new(
+            SystemConfig::new(16, 400)
+                .faults(recoverable_plan(7))
+                .recorder(faulty_rec.clone()),
+        );
         let base = clean.run(method, &w).unwrap();
         let stats = faulty.run(method, &w).unwrap();
+        tapejoin_obs::audit(&clean_rec).assert_ok();
+        tapejoin_obs::audit(&faulty_rec).assert_ok();
+        tapejoin_obs::check_fault_time(&clean_rec, base.faults.retry_time).unwrap();
+        tapejoin_obs::check_fault_time(&faulty_rec, stats.faults.retry_time).unwrap();
         assert_eq!(stats.output, expected, "{method} diverged under faults");
         assert_eq!(base.output, expected, "{method} diverged clean");
         assert!(

@@ -1,0 +1,169 @@
+//! Observability layer end-to-end: every join method and the workload
+//! scheduler emit a span stream that passes the conservation audit and
+//! exports valid Perfetto JSON, fault-recovery time is fully accounted
+//! as fault spans, and an enabled recorder never perturbs virtual
+//! timing.
+
+use tapejoin::{FaultPlan, JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
+use tapejoin_obs::{
+    audit, check_fault_time, perfetto_trace, validate_trace_event_json, MetricKey, Recorder,
+    SpanKind,
+};
+use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+use tapejoin_sched::{FleetConfig, Policy, Scheduler, WorkloadGen};
+
+fn workload() -> tapejoin_rel::JoinWorkload {
+    WorkloadBuilder::new(0x0D1F)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .build()
+}
+
+fn traced_run(method: JoinMethod, faults: bool) -> (JoinStats, Recorder) {
+    let rec = Recorder::enabled();
+    let mut cfg = SystemConfig::new(16, 400).recorder(rec.clone());
+    if faults {
+        cfg = cfg.faults(
+            FaultPlan::new(7)
+                .tape_rates(0.08, 0.004)
+                .disk_error_rate(0.05),
+        );
+    }
+    let stats = TertiaryJoin::new(cfg)
+        .run(method, &workload())
+        .expect("feasible");
+    (stats, rec)
+}
+
+#[test]
+fn every_method_audits_clean_and_exports_valid_perfetto() {
+    for method in JoinMethod::ALL {
+        let (stats, rec) = traced_run(method, false);
+        audit(&rec).assert_ok();
+        check_fault_time(&rec, stats.faults.retry_time).unwrap();
+
+        let spans = rec.spans();
+        let join = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Join)
+            .unwrap_or_else(|| panic!("{method}: no join span"));
+        assert_eq!(join.name, method.abbrev());
+        let steps: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Step).collect();
+        assert_eq!(steps.len(), 2, "{method}: expected step1 + step2 scopes");
+        assert_eq!(steps[0].name, "step1");
+        assert_eq!(steps[1].name, "step2");
+        // The step boundary in the trace is the step1 duration the stats
+        // report (both are the same `step1_marker()` instant).
+        assert_eq!(steps[0].duration(), stats.step1, "{method}");
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::DeviceOp),
+            "{method}: no device ops recorded"
+        );
+
+        let events = validate_trace_event_json(&perfetto_trace(&rec))
+            .unwrap_or_else(|e| panic!("{method}: invalid Perfetto JSON: {e}"));
+        assert_eq!(events, spans.len(), "{method}: events != spans");
+    }
+}
+
+#[test]
+fn every_method_audits_under_recoverable_faults() {
+    for method in JoinMethod::ALL {
+        let (stats, rec) = traced_run(method, true);
+        assert!(stats.faults.total() > 0, "{method}: no faults injected");
+        audit(&rec).assert_ok();
+        // Conservation: fault spans sum exactly to the summary's
+        // recovery time — charges can't leak out of the trace.
+        check_fault_time(&rec, stats.faults.retry_time).unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert!(
+            rec.spans().iter().any(|s| s.kind == SpanKind::Fault),
+            "{method}: no fault spans"
+        );
+        validate_trace_event_json(&perfetto_trace(&rec))
+            .unwrap_or_else(|e| panic!("{method}: invalid Perfetto JSON: {e}"));
+    }
+}
+
+#[test]
+fn enabled_recorder_never_changes_measured_results() {
+    // The acceptance bar for zero-cost observability in virtual time:
+    // tracing a run must leave every measured number bit-identical.
+    for method in JoinMethod::ALL {
+        let base = TertiaryJoin::new(SystemConfig::new(16, 400))
+            .run(method, &workload())
+            .unwrap();
+        let (traced, _rec) = traced_run(method, false);
+        assert_eq!(base.response, traced.response, "{method}");
+        assert_eq!(base.step1, traced.step1, "{method}");
+        assert_eq!(base.output, traced.output, "{method}");
+        assert_eq!(base.mem_peak, traced.mem_peak, "{method}");
+        assert_eq!(base.disk.traffic(), traced.disk.traffic(), "{method}");
+    }
+}
+
+#[test]
+fn metrics_registry_subsumes_run_statistics() {
+    let (stats, rec) = traced_run(JoinMethod::CdtGh, false);
+    let reg = rec.metrics().expect("enabled");
+    let key = |name: &str, dev: &str| MetricKey::new(name).method("CDT-GH").device(dev);
+    assert_eq!(
+        reg.counter(&key("tape.blocks_read", "tape-S")),
+        stats.tape_s.blocks_read
+    );
+    assert_eq!(
+        reg.counter(&key("disk.blocks_written", "disk-array")),
+        stats.disk.blocks_written
+    );
+    assert_eq!(
+        reg.counter(&MetricKey::new("join.response_ns").method("CDT-GH")),
+        stats.response.as_nanos()
+    );
+    // Disk-buffer instrumentation fed the same registry.
+    assert!(reg.counter(&MetricKey::new("diskbuf.staged_blocks")) > 0);
+}
+
+#[test]
+fn scheduler_workload_audits_and_exports() {
+    let rec = Recorder::enabled();
+    let spec = WorkloadGen {
+        seed: 0x1997_0407,
+        queries: 6,
+        cartridges: 2,
+        mean_interarrival_s: 60.0,
+        ..WorkloadGen::default()
+    }
+    .generate();
+    let fleet = FleetConfig {
+        recorder: rec.clone(),
+        ..FleetConfig::default()
+    };
+    let report = Scheduler::new(fleet.clone()).run(&spec, Policy::Fifo);
+    assert!(report.completed() > 0);
+
+    audit(&rec).assert_ok();
+    let spans = rec.spans();
+    let queries = spans.iter().filter(|s| s.kind == SpanKind::Query).count();
+    assert!(queries > 0, "no query scopes recorded");
+    assert!(spans.iter().any(|s| s.kind == SpanKind::DeviceOp));
+    validate_trace_event_json(&perfetto_trace(&rec)).unwrap();
+
+    // Fleet metrics landed in the shared registry.
+    let reg = rec.metrics().unwrap();
+    let k = |n: &str| MetricKey::new(n).phase("fleet");
+    assert_eq!(
+        reg.counter(&k("fleet.completed")),
+        report.completed() as u64
+    );
+    assert_eq!(
+        reg.histogram(&k("fleet.response_ns")).unwrap().count,
+        report.completed() as u64
+    );
+
+    // And the traced run's report is bit-identical to an untraced one.
+    let untraced = Scheduler::new(FleetConfig {
+        recorder: Recorder::disabled(),
+        ..fleet
+    })
+    .run(&spec, Policy::Fifo);
+    assert_eq!(report.fingerprint(), untraced.fingerprint());
+}
