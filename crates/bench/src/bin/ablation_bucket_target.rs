@@ -9,6 +9,7 @@
 //! ablation sweeps the target and reports response, disk traffic, and
 //! the bucket count, at a memory size where granularity matters.
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, TertiaryJoin};
 use tapejoin_bench::{csv_flag, secs, TablePrinter, SEED};
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};

@@ -8,6 +8,7 @@
 //! through disk: CDT-NB/DB (Experiment 3 config) and CTT-GH (Join I
 //! config).
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
 use tapejoin_bench::{csv_flag, paper_system, paper_workload, pct, secs, TablePrinter};
 use tapejoin_buffer::DiskBufKind;

@@ -11,6 +11,7 @@
 //! Denser blocks (more tuples per block) stress it much harder, so the
 //! sweep is run at two densities.
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
 use tapejoin_bench::{csv_flag, pct, secs, TablePrinter, SEED};
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};

@@ -9,6 +9,7 @@
 //! tape-tape approaches genuinely compete), confirming that CTT-GH's
 //! advantage over CDT-GH widens as tapes get relatively faster.
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
 use tapejoin_bench::{csv_flag, ratio, secs, TablePrinter, SEED};
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};

@@ -12,6 +12,7 @@
 //! output is a quarter of S and its pressure is visible but not
 //! dominant).
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, OutputMode, TertiaryJoin};
 use tapejoin_bench::{csv_flag, paper_system, pct, secs, TablePrinter, SEED};
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};

@@ -13,6 +13,7 @@
 //! The effect is largest where iterations are many and the extent is
 //! small: the Experiment 2 configuration (D near |R|).
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, TertiaryJoin};
 use tapejoin_bench::{csv_flag, paper_system, paper_workload, secs, TablePrinter};
 use tapejoin_tape::TapeDriveModel;

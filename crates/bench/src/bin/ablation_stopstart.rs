@@ -11,6 +11,7 @@
 //! steeply; CTT-GH's hash process keeps tape S streaming but its
 //! bucket-by-bucket reads of tape R stop and restart per bucket.
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, TertiaryJoin};
 use tapejoin_bench::{csv_flag, paper_system, paper_workload, secs, TablePrinter};
 use tapejoin_sim::Duration;

@@ -7,6 +7,7 @@
 //! same three series, plus their time-weighted means. Pass `--split` to
 //! see the strawman split-buffer discipline for contrast (~50% mean).
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, TertiaryJoin};
 use tapejoin_bench::{csv_flag, paper_system, paper_workload, pct, TablePrinter};
 use tapejoin_buffer::DiskBufKind;

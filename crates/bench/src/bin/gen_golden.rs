@@ -1,7 +1,8 @@
 //! Internal helper: print the golden fingerprints used by tests/golden.rs.
 //! Re-run after any intentional model change and update the test table.
 
-use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
+use tapejoin::{SystemConfig, TertiaryJoin};
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};
 
 fn main() {
@@ -9,7 +10,7 @@ fn main() {
         .r(RelationSpec::new("R", 96))
         .s(RelationSpec::new("S", 480))
         .build();
-    for method in JoinMethod::ALL {
+    for method in tapejoin_bench::BENCH_METHODS {
         let cfg = SystemConfig::new(20, 300).disk_overhead(true);
         let s = TertiaryJoin::new(cfg).run(method, &w).unwrap();
         println!(

@@ -8,6 +8,7 @@
 //! residual deltas are pipeline start-up edges, device queueing, and the
 //! partial-block effects the closed forms round away.
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::cost::{expected_response, CostParams};
 use tapejoin::{JoinMethod, SystemConfig, TertiaryJoin};
 use tapejoin_bench::{csv_flag, pct, secs, TablePrinter, SEED};

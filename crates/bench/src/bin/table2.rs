@@ -3,8 +3,9 @@
 //! peaks) for the Experiment 3 configuration, demonstrating that the
 //! implementation enforces what the table claims.
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::requirements::{resource_needs, table2_symbolic};
-use tapejoin::{JoinMethod, TertiaryJoin};
+use tapejoin::TertiaryJoin;
 use tapejoin_bench::{csv_flag, paper_system, paper_workload, TablePrinter};
 
 fn main() {
@@ -28,7 +29,7 @@ fn main() {
         ],
         csv_flag(),
     );
-    for method in JoinMethod::ALL {
+    for method in tapejoin_bench::BENCH_METHODS {
         match resource_needs(
             method,
             &cfg,

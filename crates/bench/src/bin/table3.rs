@@ -6,6 +6,7 @@
 //! The table reports the bare read time of both relations, Step I time,
 //! total response time, and the relative cost (response / bare read).
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use tapejoin::{JoinMethod, TertiaryJoin};
 use tapejoin_bench::{csv_flag, paper_system, paper_workload, ratio, secs, TablePrinter};
 use tapejoin_sim::transfer_time;

@@ -13,6 +13,7 @@
 //!     --method CTT-GH --faults --out traces
 //! ```
 
+// lint:allow-file(L3, experiment CLI: an infeasible config or I/O failure should abort the run with context)
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -131,7 +132,7 @@ fn main() {
 
     for method in &args.methods {
         let rec = Recorder::enabled();
-        let mut cfg = SystemConfig::new(16, 400).recorder(rec.clone());
+        let mut cfg = SystemConfig::new(16, 400).recorder(rec.share());
         if args.faults {
             cfg = cfg.faults(
                 FaultPlan::new(7)
@@ -164,7 +165,7 @@ fn main() {
         }
         .generate();
         let fleet = FleetConfig {
-            recorder: rec.clone(),
+            recorder: rec.share(),
             ..FleetConfig::default()
         };
         let report = Scheduler::new(fleet).run(&spec, Policy::Fifo);

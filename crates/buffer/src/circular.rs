@@ -128,7 +128,10 @@ mod tests {
             let _ = r.take().await;
             let _ = r.take().await;
             let done_at = producer.join().await;
-            assert_eq!(done_at.as_secs_f64(), 1.0);
+            assert_eq!(
+                done_at,
+                tapejoin_sim::SimTime::ZERO + tapejoin_sim::Duration::from_secs(1)
+            );
         });
     }
 

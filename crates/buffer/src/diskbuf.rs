@@ -80,6 +80,7 @@ impl Occupancy {
         };
         *slot = slot
             .checked_add_signed(delta)
+            // lint:allow(L3, occupancy underflow is a buffer-manager accounting bug, not a runtime condition)
             .expect("occupancy accounting underflow");
         if let Some(p) = &self.probe {
             // `try_record` rather than `record`: a fault-retry rewind can
@@ -244,15 +245,18 @@ impl DiskBuffer {
                     self.reserve.borrow_mut()[parity] = Some((iter, frame));
                 }
                 let mut reserve = self.reserve.borrow_mut();
+                // lint:allow(L3, the reservation was inserted two lines above in the same borrow)
                 let (_, left) = reserve[parity].as_mut().expect("reservation just made");
                 *left = left
                     .checked_sub(blocks.len() as u64)
+                    // lint:allow(L3, frame count is bounded by the reserve split fixed at admission)
                     .expect("frame exceeded its reserved half");
             }
         }
         let addrs = self
             .space
             .allocate(blocks.len() as u64)
+            // lint:allow(L3, slot quota was proven by the method's feasibility check before the run)
             .expect("disk buffer slots exceeded the space quota — capacity misconfigured");
         self.occupancy.borrow_mut().apply(iter, blocks.len() as i64);
         self.array.write(&addrs, blocks).await;
@@ -409,11 +413,14 @@ mod tests {
             let s1 = buf.write_batch(1, &blks(2, 1)).await;
             buf.read_and_free(&s0[2..]).await;
             buf.read_and_free(&s1).await;
-            assert_eq!(probe.total.max_value(), 4.0);
-            assert_eq!(probe.even.max_value(), 4.0);
-            assert_eq!(probe.odd.max_value(), 2.0);
+            assert_eq!(probe.total.max_value().to_bits(), 4.0f64.to_bits());
+            assert_eq!(probe.even.max_value().to_bits(), 4.0f64.to_bits());
+            assert_eq!(probe.odd.max_value().to_bits(), 2.0f64.to_bits());
             // Ends empty.
-            assert_eq!(probe.total.points().last().unwrap().value, 0.0);
+            assert_eq!(
+                probe.total.points().last().unwrap().value.to_bits(),
+                0.0f64.to_bits()
+            );
         });
     }
 

@@ -85,8 +85,8 @@ impl JoinEnv {
             drive_s.attach_activity_log(t.tape_s.clone());
         }
         if cfg.recorder.is_enabled() {
-            drive_r.set_recorder(cfg.recorder.clone());
-            drive_s.set_recorder(cfg.recorder.clone());
+            drive_r.set_recorder(cfg.recorder.share());
+            drive_s.set_recorder(cfg.recorder.share());
         }
 
         let disk_model = DiskModel::quantum_fireball()
@@ -100,7 +100,7 @@ impl JoinEnv {
             disks.attach_activity_log(t.disks.clone());
         }
         if cfg.recorder.is_enabled() {
-            disks.set_recorder(cfg.recorder.clone());
+            disks.set_recorder(cfg.recorder.share());
         }
         let space = SpaceManager::new(cfg.disks, cfg.disk_blocks);
         let mem = MemoryPool::new(cfg.memory_blocks);
@@ -154,6 +154,7 @@ impl JoinEnv {
         if per.is_zero() || tuples == 0 {
             return;
         }
+        // lint:allow(L3, overflow means simulated CPU time beyond u64 nanoseconds (~584 years) — unrepresentable)
         tapejoin_sim::sleep(per.checked_mul(tuples).expect("CPU charge overflow")).await;
     }
 }

@@ -28,6 +28,17 @@ pub enum JoinError {
         /// Faults that could not be recovered.
         failed: u64,
     },
+    /// The disk array detected a bug-class error during the run (e.g. a
+    /// read of a block that was never written). The array records it
+    /// stickily instead of panicking mid-simulation; the runner surfaces
+    /// it here.
+    Disk(tapejoin_disk::DiskError),
+}
+
+impl From<tapejoin_disk::DiskError> for JoinError {
+    fn from(e: tapejoin_disk::DiskError) -> Self {
+        JoinError::Disk(e)
+    }
 }
 
 impl fmt::Display for JoinError {
@@ -46,6 +57,7 @@ impl fmt::Display for JoinError {
                     "{method} aborted: {failed} injected fault(s) exhausted their recovery budget"
                 )
             }
+            JoinError::Disk(e) => write!(f, "disk array error: {e}"),
         }
     }
 }

@@ -207,6 +207,7 @@ impl Partitioner {
         if self.staged_total >= self.budget {
             let largest = (0..self.plan.buckets)
                 .max_by_key(|&i| self.staging[i].len())
+                // lint:allow(L3, plan construction always yields at least one bucket)
                 .expect("plan has at least one bucket");
             self.flush_bucket(largest, out);
         }

@@ -64,7 +64,7 @@ impl TertiaryJoin {
         let cfg = Rc::new(self.cfg.clone());
         let workload = workload.clone();
         let mut sim = Simulation::new();
-        let stats = sim.run(async move {
+        let (stats, disk_error) = sim.run(async move {
             let env = JoinEnv::build(cfg, &workload, &needs);
             // Root span for the whole join; the per-step scopes opened by
             // the method body nest under it. Recording never advances the
@@ -84,7 +84,11 @@ impl TertiaryJoin {
             let tape_s = env.drive_s.stats();
             let disk = env.disks.stats();
             let faults = crate::fault::FaultSummary::collect(&tape_r, &tape_s, &disk);
-            JoinStats {
+            // A sticky disk error (read of an unwritten block) is a
+            // bug-class failure: keep the stats for diagnosis but fail
+            // the join through the typed error path below.
+            let disk_error = env.disks.take_error();
+            let stats = JoinStats {
                 method,
                 response: end.duration_since(tapejoin_sim::SimTime::ZERO),
                 step1: result
@@ -100,9 +104,13 @@ impl TertiaryJoin {
                 output_blocks,
                 buffer_probe: result.probe,
                 timeline: env.timeline.clone(),
-            }
+            };
+            (stats, disk_error)
         });
         stats.export_metrics(&self.cfg.recorder);
+        if let Some(e) = disk_error {
+            return Err(e.into());
+        }
         // A fault that exhausted its recovery budget means the real
         // system would have aborted the join.
         if stats.faults.failed > 0 {
@@ -144,6 +152,42 @@ mod tests {
         assert!(stats.step1 <= stats.response);
         assert!(stats.mem_peak <= 8);
         assert!(stats.disk_peak <= 32);
+    }
+
+    #[test]
+    fn sticky_disk_error_surfaces_as_typed_join_error() {
+        // A read of an unwritten block is a method/planner bug. The disk
+        // array records it stickily instead of panicking mid-simulation;
+        // this drives the same seam `run` uses (take_error after the
+        // method body) and checks the typed conversion end to end.
+        let w = WorkloadBuilder::new(5)
+            .r(RelationSpec::new("R", 16))
+            .s(RelationSpec::new("S", 64))
+            .build();
+        let cfg = SystemConfig::new(8, 32);
+        let r_tpb = density(&w.r);
+        let needs = resource_needs(
+            JoinMethod::DtNb,
+            &cfg,
+            w.r.block_count(),
+            w.s.block_count(),
+            r_tpb,
+        )
+        .unwrap();
+        let mut sim = Simulation::new();
+        let disk_error = sim.run(async move {
+            let env = JoinEnv::build(Rc::new(cfg), &w, &needs);
+            let bad = tapejoin_disk::DiskAddr { disk: 0, lba: 7 };
+            let blocks = env.disks.read(&[bad]).await;
+            assert!(blocks[0].tuples().is_empty()); // zeroed placeholder
+            env.disks.take_error()
+        });
+        let err: JoinError = disk_error.expect("array must be poisoned").into();
+        assert!(matches!(
+            err,
+            JoinError::Disk(tapejoin_disk::DiskError::UnwrittenBlock { .. })
+        ));
+        assert!(err.to_string().contains("unwritten"));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     let _grant = env
         .mem
         .grant(ms + mr)
+        // lint:allow(L3, grant proven by resource_needs: M_S + M_R <= M)
         .expect("feasibility checked: M_S + M_R <= M");
 
     let (diskbuf, probe) = DiskBuffer::new(
@@ -46,7 +47,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         env.disks.clone(),
         env.space.clone(),
     )
-    .with_recorder(env.cfg.recorder.clone())
+    .with_recorder(env.cfg.recorder.share())
     .with_probe();
 
     // Reader: tape → disk buffer in small multi-block batches; emits one

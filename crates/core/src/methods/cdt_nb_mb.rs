@@ -31,6 +31,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     let _grant = env
         .mem
         .grant(2 * ms + mr)
+        // lint:allow(L3, grant proven by resource_needs: 2*M_S + M_R <= M)
         .expect("feasibility checked: 2·M_S + M_R <= M");
 
     // At most two chunks in flight (the two memory buffers).

@@ -34,6 +34,7 @@ pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
     let addrs = env
         .space
         .allocate(env.r_blocks())
+        // lint:allow(L3, disk reservation proven by resource_needs: D >= |R|)
         .expect("feasibility checked: D >= |R| for disk-tape methods");
     let m = env.cfg.memory_blocks;
     if overlapped {
@@ -41,6 +42,7 @@ pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
         let _grant = env
             .mem
             .grant((2 * chunk).min(m))
+            // lint:allow(L3, copy buffers proven within the memory budget by resource_needs)
             .expect("copy buffers exceed memory budget");
         let tokens = Semaphore::new(2);
         let (tx, mut rx) = channel::<Vec<TapeBlock>>(1);
@@ -74,6 +76,7 @@ pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
         assert_eq!(off as u64, env.r_blocks(), "copy lost blocks");
     } else {
         let chunk = m.max(1);
+        // lint:allow(L3, granting the whole configured memory cannot exceed the pool)
         let _grant = env.mem.grant(m).expect("whole memory as copy buffer");
         let mut pos = env.r_extent.start;
         let end = env.r_extent.end();

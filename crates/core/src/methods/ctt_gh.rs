@@ -29,6 +29,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         env.r_tuples_per_block,
         env.cfg.grace_fill_target,
     )
+    // lint:allow(L3, memory grant proven by resource_needs before dispatch)
     .expect("feasibility checked before dispatch");
 
     // Step I: hash R tape -> R tape through the disk assembly area.
@@ -48,7 +49,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     let d = env.space.free();
     let (diskbuf, probe) =
         DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
-            .with_recorder(env.cfg.recorder.clone())
+            .with_recorder(env.cfg.recorder.share())
             .with_probe();
     let src = RBucketSource::Tape(env.drive_r.clone(), extents);
     let mut frames = spawn_hasher(&env, &plan, &diskbuf);

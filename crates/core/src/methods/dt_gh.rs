@@ -22,6 +22,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         env.r_tuples_per_block,
         env.cfg.grace_fill_target,
     )
+    // lint:allow(L3, memory grant proven by resource_needs before dispatch)
     .expect("feasibility checked before dispatch");
 
     // Step I: hash R to disk, sequentially.
@@ -35,7 +36,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     let d = env.space.free();
     let (diskbuf, probe) =
         DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
-            .with_recorder(env.cfg.recorder.clone())
+            .with_recorder(env.cfg.recorder.share())
             .with_probe();
     let src = RBucketSource::Disk(r_buckets);
     let mut hasher = SFrameHasher::new(env.clone(), plan, diskbuf.clone(), false);

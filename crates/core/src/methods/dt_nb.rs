@@ -26,6 +26,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     let _grant = env
         .mem
         .grant(ms + mr)
+        // lint:allow(L3, grant proven by resource_needs: M_S + M_R <= M)
         .expect("feasibility checked: M_S + M_R <= M");
 
     let mut pos = env.s_extent.start;

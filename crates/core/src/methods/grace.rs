@@ -90,6 +90,7 @@ impl DiskBucketSink {
             .env
             .space
             .allocate(blocks.len() as u64)
+            // lint:allow(L3, disk space for the hashed relation proven by resource_needs)
             .expect("feasibility checked: hashed relation fits on disk");
         self.env.disks.write(&addrs, &blocks).await;
         let last_is_partial = blocks
@@ -182,6 +183,7 @@ pub async fn hash_r_to_disk(
     let _grant = env
         .mem
         .grant(plan.input_blocks + plan.write_buffer_blocks)
+        // lint:allow(L3, the grace plan is sized to the memory budget by plan())
         .expect("grace plan memory within budget");
     let mut sink = DiskBucketSink::new(env.clone(), plan);
     let mut partitioner = Partitioner::new(*plan, seed);
@@ -284,6 +286,7 @@ impl SFrameHasher {
         let grant = env
             .mem
             .grant(plan.input_blocks + plan.write_buffer_blocks)
+            // lint:allow(L3, the grace plan is sized to the memory budget by plan())
             .expect("grace plan memory within budget");
         // With piped input, frames can overshoot their target by up to
         // one chunk; shrink the target so a frame (+ its per-bucket
@@ -475,6 +478,7 @@ pub async fn join_frame(
             let _grant = env
                 .mem
                 .grant(chunk_len + 1)
+                // lint:allow(L3, chunk size bounded by the plan's resident-bucket bound)
                 .expect("resident bucket chunk within memory budget");
             let r_blocks: Vec<BlockRef> = match src {
                 RBucketSource::Disk(buckets) => {
@@ -556,6 +560,7 @@ pub async fn hash_tape_to_tape(
     let _grant = env
         .mem
         .grant(plan.input_blocks + plan.write_buffer_blocks)
+        // lint:allow(L3, the grace plan is sized to the memory budget by plan())
         .expect("grace plan memory within budget");
 
     let mut starts: Vec<Option<u64>> = vec![None; plan.buckets];
@@ -613,6 +618,7 @@ pub async fn hash_tape_to_tape(
     let eod = spec
         .dst_drive
         .media()
+        // lint:allow(L3, the step's own exchange mounted the destination cartridge above)
         .expect("destination cartridge mounted")
         .end_of_data();
     (0..plan.buckets)
@@ -948,7 +954,10 @@ mod tests {
             assert!(frames >= 1);
             assert!(probe.total.max_value() <= cap as f64 + 0.5);
             // Everything staged was drained.
-            assert_eq!(probe.total.points().last().unwrap().value, 0.0);
+            assert_eq!(
+                probe.total.points().last().unwrap().value.to_bits(),
+                0.0f64.to_bits()
+            );
         });
     }
 }

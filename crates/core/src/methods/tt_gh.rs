@@ -21,6 +21,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         env.r_tuples_per_block,
         env.cfg.grace_fill_target,
     )
+    // lint:allow(L3, memory grant proven by resource_needs before dispatch)
     .expect("feasibility checked before dispatch");
 
     // Step I(a): hash R onto the S tape.
@@ -62,6 +63,7 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
             let _grant = env
                 .mem
                 .grant(hi - lo + 1)
+                // lint:allow(L3, chunk size bounded by the plan's resident-bucket bound)
                 .expect("resident bucket chunk within memory budget");
             // R bucket chunk comes from the S tape.
             let r_blocks = env.drive_s.read(r_ext.start + lo, hi - lo).await;

@@ -135,6 +135,7 @@ impl OutputSink {
             .writer
             .borrow_mut()
             .take()
+            // lint:allow(L3, the driver calls finish exactly once; a second call is a driver bug)
             .expect("OutputSink::finish called twice");
         writer.join().await
     }
@@ -154,6 +155,7 @@ impl OutputSink {
                 }
                 let addrs = space
                     .allocate(batch.len() as u64)
+                    // lint:allow(L3, this mode constructs its space manager unbounded)
                     .expect("output space manager is unbounded");
                 disks.write(&addrs, &batch).await;
                 written += batch.len() as u64;

@@ -8,6 +8,7 @@ use tapejoin_obs::{Recorder, SpanKind};
 use tapejoin_rel::BlockRef;
 use tapejoin_sim::{join_all, spawn, Duration, Server};
 
+use crate::error::DiskError;
 use crate::fault::{DiskFaultInjector, DiskFaultPolicy};
 use crate::model::DiskModel;
 use crate::space::DiskAddr;
@@ -67,6 +68,8 @@ pub struct DiskArray {
     aggregate: Server,
     per_disk: Rc<Vec<Server>>,
     store: Rc<RefCell<HashMap<DiskAddr, BlockRef>>>,
+    /// First error observed (sticky until [`DiskArray::take_error`]).
+    error: Rc<RefCell<Option<DiskError>>>,
     stats: Rc<RefCell<DiskStats>>,
     faults: Rc<RefCell<Option<Vec<DiskFaultInjector>>>>,
     recorder: Rc<RefCell<Recorder>>,
@@ -89,6 +92,7 @@ impl DiskArray {
                     .collect(),
             ),
             store: Rc::new(RefCell::new(HashMap::new())),
+            error: Rc::new(RefCell::new(None)),
             stats: Rc::new(RefCell::new(DiskStats::default())),
             faults: Rc::new(RefCell::new(None)),
             recorder: Rc::new(RefCell::new(Recorder::disabled())),
@@ -152,11 +156,43 @@ impl DiskArray {
     /// per disk otherwise) and every injected fault's recovery a `fault`
     /// span on the same track. A disabled recorder is a no-op.
     pub fn set_recorder(&self, rec: Recorder) {
-        self.aggregate.attach_observer(Rc::new(rec.clone()));
+        self.aggregate.attach_observer(Rc::new(rec.share()));
         for server in self.per_disk.iter() {
-            server.attach_observer(Rc::new(rec.clone()));
+            server.attach_observer(Rc::new(rec.share()));
         }
         *self.recorder.borrow_mut() = rec;
+    }
+
+    /// Fallible read: like [`DiskArray::read`], but reports an
+    /// [`DiskError::UnwrittenBlock`] to the caller instead of poisoning
+    /// the array. Virtual time is still charged for the request (the
+    /// heads moved; the error is discovered on transfer).
+    pub async fn try_read(&self, addrs: &[DiskAddr]) -> Result<Vec<BlockRef>, DiskError> {
+        let missing = {
+            let store = self.store.borrow();
+            addrs.iter().find(|a| !store.contains_key(a)).copied()
+        };
+        let already_poisoned = self.error.borrow().is_some();
+        let blocks = self.read(addrs).await;
+        match missing {
+            Some(addr) => {
+                // `read` just recorded this error in the sticky slot;
+                // hand it to the caller instead of leaving the array
+                // poisoned — unless an older error was already pending.
+                if !already_poisoned {
+                    self.error.borrow_mut().take();
+                }
+                Err(DiskError::UnwrittenBlock { addr })
+            }
+            None => Ok(blocks),
+        }
+    }
+
+    /// Take the first error recorded by an infallible [`DiskArray::read`]
+    /// since the last call, clearing it. The join runner calls this after
+    /// the simulation finishes and fails the join with the error.
+    pub fn take_error(&self) -> Option<DiskError> {
+        self.error.borrow_mut().take()
     }
 
     /// Write `blocks[i]` to `addrs[i]` as one logical request.
@@ -181,6 +217,13 @@ impl DiskArray {
 
     /// Read the blocks at `addrs` (must have been written) as one logical
     /// request, in address order.
+    ///
+    /// A read of a never-written address is a caller bug; instead of
+    /// panicking mid-simulation it yields a zeroed placeholder block and
+    /// records a sticky [`DiskError::UnwrittenBlock`] that
+    /// [`DiskArray::take_error`] (and through it the join runner's
+    /// `Result` path) surfaces. Use [`DiskArray::try_read`] to observe
+    /// the error at the call site.
     pub async fn read(&self, addrs: &[DiskAddr]) -> Vec<BlockRef> {
         if addrs.is_empty() {
             return Vec::new();
@@ -189,12 +232,15 @@ impl DiskArray {
             let store = self.store.borrow();
             addrs
                 .iter()
-                .map(|a| {
-                    Rc::clone(
-                        store
-                            .get(a)
-                            .unwrap_or_else(|| panic!("read of unwritten disk block {a:?}")),
-                    )
+                .map(|a| match store.get(a) {
+                    Some(b) => Rc::clone(b),
+                    None => {
+                        let mut err = self.error.borrow_mut();
+                        if err.is_none() {
+                            *err = Some(DiskError::UnwrittenBlock { addr: *a });
+                        }
+                        Rc::new(tapejoin_rel::Block::empty())
+                    }
                 })
                 .collect()
         };
@@ -219,7 +265,7 @@ impl DiskArray {
                 let bytes = addrs.len() as u64 * self.block_bytes;
                 let service = self.model.service_time(bytes, self.disks as f64);
                 let penalty = self.fault_penalty(0, service);
-                let rec = self.recorder.borrow().clone();
+                let rec = self.recorder.borrow().share();
                 self.aggregate
                     .serve_with(move || {
                         record_fault_span(&rec, "disk-array", service, penalty);
@@ -242,7 +288,7 @@ impl DiskArray {
                     let server = self.per_disk[d].clone();
                     let service = self.model.service_time(count * self.block_bytes, 1.0);
                     let penalty = self.fault_penalty(d, service);
-                    let rec = self.recorder.borrow().clone();
+                    let rec = self.recorder.borrow().share();
                     parts.push(spawn(async move {
                         server
                             .serve_with(move || {
@@ -393,12 +439,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unwritten")]
-    fn reading_unwritten_block_panics() {
+    fn reading_unwritten_block_records_sticky_error() {
         let mut sim = Simulation::new();
         sim.run(async {
             let arr = DiskArray::new(DiskModel::ideal(1e6), 1, BLOCK, ArrayMode::Aggregate);
-            arr.read(&[DiskAddr { disk: 0, lba: 5 }]).await;
+            let bad = DiskAddr { disk: 0, lba: 5 };
+            let got = arr.read(&[bad]).await;
+            // The infallible path hands back a zeroed placeholder and
+            // poisons the array instead of panicking mid-simulation.
+            assert_eq!(got.len(), 1);
+            assert!(got[0].tuples().is_empty());
+            assert_eq!(
+                arr.take_error(),
+                Some(DiskError::UnwrittenBlock { addr: bad })
+            );
+            // take_error drains the slot.
+            assert_eq!(arr.take_error(), None);
+        });
+    }
+
+    #[test]
+    fn try_read_reports_unwritten_block_without_poisoning() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let arr = DiskArray::new(DiskModel::ideal(1e6), 1, BLOCK, ArrayMode::Aggregate);
+            let sm = SpaceManager::new(1, 64);
+            let addrs = sm.allocate(1).unwrap();
+            arr.write(&addrs, &blocks(1)).await;
+            let bad = DiskAddr { disk: 0, lba: 60 };
+            let err = arr.try_read(&[addrs[0], bad]).await.unwrap_err();
+            assert_eq!(err, DiskError::UnwrittenBlock { addr: bad });
+            // The fallible path reported the error directly; it must not
+            // leave the array poisoned for a later take_error.
+            assert_eq!(arr.take_error(), None);
+            // A written block still reads fine afterwards.
+            assert!(arr.try_read(&addrs).await.is_ok());
         });
     }
 

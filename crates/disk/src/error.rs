@@ -1,0 +1,41 @@
+//! Typed disk errors.
+//!
+//! The array used to `panic!` on a read of a block that was never
+//! written. That turns a planner or join-method bug into a process abort
+//! deep inside the simulation, where a workload server would lose every
+//! concurrent query. Instead the array records a sticky [`DiskError`]
+//! that the join runner surfaces through its `Result` path (see
+//! `TertiaryJoin::run`), the same shape as the tape crate's
+//! `LibraryError`.
+
+use std::fmt;
+
+use crate::space::DiskAddr;
+
+/// An error detected by the disk array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// A read addressed a block that was never written. The array
+    /// returns a zeroed placeholder block for the slot and records this
+    /// error; the join that issued the read fails with it.
+    UnwrittenBlock {
+        /// The offending address.
+        addr: DiskAddr,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::UnwrittenBlock { addr } => {
+                write!(
+                    f,
+                    "read of unwritten disk block (disk {}, lba {})",
+                    addr.disk, addr.lba
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}

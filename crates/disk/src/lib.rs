@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 mod array;
+mod error;
 mod fault;
 mod model;
 mod space;
 
 pub use array::{ArrayMode, DiskArray, DiskStats};
+pub use error::DiskError;
 pub use fault::DiskFaultPolicy;
 pub use model::DiskModel;
 pub use space::{DiskAddr, DiskSpaceExhausted, SpaceManager};

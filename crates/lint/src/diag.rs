@@ -1,0 +1,103 @@
+//! Diagnostics: rule identifiers and rustc-style rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The six invariant rules (plus `L0` for malformed pragmas).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Malformed `lint:allow` pragma (unknown rule, missing reason).
+    L0,
+    /// Virtual-time purity: no `std::time::Instant` / `SystemTime`.
+    L1,
+    /// Typed time: raw seconds↔nanoseconds constants confined to
+    /// `sim::time`.
+    L2,
+    /// Panic-freedom: no `unwrap`/`expect`/`panic!`/`todo!`/
+    /// `unimplemented!` in library code.
+    L3,
+    /// Float ordering: `partial_cmp(..).unwrap()` banned; use
+    /// `total_cmp`.
+    L4,
+    /// Method-registry consistency across planner, differential harness,
+    /// bench list and obs labels.
+    L5,
+    /// Recorder discipline: `fork()`, never `clone()`, across executor
+    /// boundaries.
+    L6,
+}
+
+impl Rule {
+    /// All checkable rules (excludes the pragma meta-rule `L0`).
+    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+
+    /// Rule id as written in pragmas and diagnostics (`"L3"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L0 => "L0",
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+            Rule::L6 => "L6",
+        }
+    }
+
+    /// Parse a rule id (`"L3"`), case-sensitive as documented.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
+            _ => None,
+        }
+    }
+
+    /// One-line description used by `tapejoin-lint rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::L0 => "well-formed lint:allow pragmas (rule id + non-empty reason)",
+            Rule::L1 => "virtual-time purity: no std::time::Instant/SystemTime in sim-facing code",
+            Rule::L2 => "typed time: raw seconds<->nanos constants only inside sim::time",
+            Rule::L3 => {
+                "panic-freedom: no unwrap/expect/panic!/todo!/unimplemented! in library code"
+            }
+            Rule::L4 => "float ordering: use total_cmp, never partial_cmp(..).unwrap()",
+            Rule::L5 => "registry consistency: every JoinMethod in planner/differential/bench/obs",
+            Rule::L6 => "Recorder discipline: fork(), never clone(), across executor boundaries",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One violation.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the violation is in (workspace-relative).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "  --> {}:{}", self.file.display(), self.line)?;
+        write!(f, "  hint: {}", self.hint)
+    }
+}

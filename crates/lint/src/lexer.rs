@@ -1,0 +1,411 @@
+//! A small self-contained Rust token scanner.
+//!
+//! This is not a full Rust lexer: it knows exactly enough to walk real
+//! source without being fooled by the things that break naive `grep`
+//! linting — line and (nested) block comments, string/char/byte/raw-string
+//! literals, and lifetimes — and to hand the rule passes a stream of
+//! identifier/number/punctuation tokens with accurate line numbers.
+//! Comments are kept on the side so the pragma layer can find
+//! `lint:allow` annotations.
+
+/// One scanned token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `match`, `JoinMethod`, ...).
+    Ident(String),
+    /// Numeric literal, verbatim (`1e9`, `1_000_000_000`, `0.25`).
+    Number(String),
+    /// String literal (normal, raw or byte); the *contents*, unescaped
+    /// only as far as the registry checks need (no escapes processed).
+    Str(String),
+    /// Char literal (contents not interpreted).
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Single punctuation character (`.`, `(`, `!`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was scanned.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment captured during scanning (pragmas live here).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Scanner output: code tokens and the comments that were skipped.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` when the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// `true` when the token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(i) if i == s)
+    }
+}
+
+/// Scan `src` into tokens + comments. Never fails: unterminated literals
+/// are tolerated by consuming to end of input (the rule passes should see
+/// as much of a broken file as possible rather than nothing).
+pub fn scan(src: &str) -> Scan {
+    let b = src.as_bytes();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Local helpers keep the scanner free of indexing panics: every
+    // byte access goes through `at`, which returns 0 past the end.
+    fn at(b: &[u8], i: usize) -> u8 {
+        if i < b.len() {
+            b[i]
+        } else {
+            0
+        }
+    }
+
+    while i < b.len() {
+        let c = at(b, i);
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if at(b, i + 1) == b'/' => {
+                // Line comment (includes doc comments). Capture text.
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && at(b, j) != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b'/' if at(b, i + 1) == b'*' => {
+                // Block comment, possibly nested.
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if at(b, j) == b'/' && at(b, j + 1) == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if at(b, j) == b'*' && at(b, j + 1) == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if at(b, j) == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end.min(src.len())].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // r"..."  r#"..."#  br"..."  b"..." handled below for b".
+                let (tok, ni, nl) = scan_raw_string(src, b, i, line);
+                out.tokens.push(Token { kind: tok, line });
+                line = nl;
+                i = ni;
+            }
+            b'b' if at(b, i + 1) == b'\'' => {
+                // Byte literal b'x'.
+                let (ni, nl) = scan_char(b, i + 1, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    line,
+                });
+                line = nl;
+                i = ni;
+            }
+            b'"' => {
+                let (content, ni, nl) = scan_string(src, b, i, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str(content),
+                    line,
+                });
+                line = nl;
+                i = ni;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident not
+                // followed by a closing `'`.
+                let c1 = at(b, i + 1);
+                let is_ident_start = c1 == b'_' || c1.is_ascii_alphabetic();
+                if is_ident_start && at(b, i + 2) != b'\'' {
+                    // Lifetime: consume the ident.
+                    let mut j = i + 1;
+                    while j < b.len() && (at(b, j) == b'_' || at(b, j).is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let (ni, nl) = scan_char(b, i, line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        line,
+                    });
+                    line = nl;
+                    i = ni;
+                }
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i;
+                while j < b.len() && (at(b, j) == b'_' || at(b, j).is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                loop {
+                    let cj = at(b, j);
+                    if cj == b'_' || cj.is_ascii_alphanumeric() {
+                        // Exponent sign: `1e-9`, `2E+6`.
+                        if (cj == b'e' || cj == b'E')
+                            && (at(b, j + 1) == b'+' || at(b, j + 1) == b'-')
+                            && at(b, j + 2).is_ascii_digit()
+                        {
+                            j += 2;
+                        }
+                        j += 1;
+                    } else if cj == b'.' && at(b, j + 1).is_ascii_digit() {
+                        // Decimal point, but not the `..` of a range.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number(src[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does a raw-string literal start at `i` (`r"`, `r#`, `br"`, `br#`)?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let (c0, c1, c2) = (
+        b.get(i).copied().unwrap_or(0),
+        b.get(i + 1).copied().unwrap_or(0),
+        b.get(i + 2).copied().unwrap_or(0),
+    );
+    match c0 {
+        b'r' => c1 == b'"' || c1 == b'#',
+        b'b' => c1 == b'r' && (c2 == b'"' || c2 == b'#'),
+        _ => false,
+    }
+}
+
+/// Scan a raw string starting at `i`; returns (token, next index, line).
+fn scan_raw_string(src: &str, b: &[u8], i: usize, mut line: u32) -> (TokenKind, usize, u32) {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        // Not actually a raw string (e.g. the ident `r#type`); emit as
+        // ident-ish punct to keep scanning.
+        return (TokenKind::Punct('#'), i + 1, line);
+    }
+    j += 1; // opening quote
+    let start = j;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                let content = src.get(start..j).unwrap_or("").to_string();
+                return (TokenKind::Str(content), j + 1 + hashes, line);
+            }
+        }
+        j += 1;
+    }
+    (
+        TokenKind::Str(src.get(start..).unwrap_or("").to_string()),
+        b.len(),
+        line,
+    )
+}
+
+/// Scan a normal `"..."` string starting at the quote.
+fn scan_string(src: &str, b: &[u8], i: usize, mut line: u32) -> (String, usize, u32) {
+    let start = i + 1;
+    let mut j = start;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                return (src.get(start..j).unwrap_or("").to_string(), j + 1, line);
+            }
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src.get(start..).unwrap_or("").to_string(), b.len(), line)
+}
+
+/// Scan a char literal starting at the quote; returns (next index, line).
+fn scan_char(b: &[u8], i: usize, line: u32) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut seen = 0;
+    // `'\u{10FFFF}'` is the longest escape; stop after 12 chars or a
+    // newline so a stray quote cannot swallow the rest of the file.
+    while j < b.len() && seen < 12 {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return (j + 1, line),
+            b'\n' => return (j, line),
+            _ => j += 1,
+        }
+        seen += 1;
+    }
+    (j, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r#"
+            // unwrap() in a comment
+            /* panic!("x") in a block /* nested */ still comment */
+            let s = "unwrap() inside a string";
+            let c = '"'; // a quote char
+            value.unwrap();
+        "#;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+        assert_eq!(ids.iter().filter(|s| *s == "panic").count(), 0);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) { x.unwrap(); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_hash_counts() {
+        let src = r##"let x = r#"has "quotes" and unwrap()"#; y.expect("m");"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn numbers_scan_exponents_and_underscores() {
+        let nums: Vec<String> = scan("a(1e9, 1_000_000_000, 2.5e-3, 0..10)")
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Number(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1e9", "1_000_000_000", "2.5e-3", "0", "10"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nb.unwrap();";
+        let s = scan(src);
+        let unwrap_line = s
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .map(|t| t.line);
+        assert_eq!(unwrap_line, Some(3));
+    }
+
+    #[test]
+    fn comment_text_is_captured_for_pragmas() {
+        let s = scan("x(); // lint:allow(L3, because reasons)\n");
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("lint:allow(L3"));
+    }
+}

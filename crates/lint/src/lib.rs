@@ -1,0 +1,69 @@
+//! `tapejoin-lint` — the workspace invariant checker.
+//!
+//! The simulator's correctness rests on cross-cutting disciplines that
+//! `rustc` cannot enforce: virtual time must never touch the wall clock
+//! (a single `Instant::now()` silently breaks every determinism and
+//! differential guarantee), float costs must rank with `total_cmp`
+//! (degenerate `CostParams` produce NaN), library code must return typed
+//! errors instead of panicking mid-simulation, and the seven join methods
+//! of the paper's Table 2 must stay registered across the planner, the
+//! differential harness, the bench harness and the obs label table.
+//!
+//! This crate is a small static pass over the workspace source — a
+//! comment/string-aware token scanner plus six rule passes — run in CI as
+//! `cargo run -p tapejoin-lint -- check`. See `DESIGN.md` §11 for the
+//! rule catalogue and the `lint:allow` pragma contract (rule id plus a
+//! mandatory reason).
+
+#![warn(missing_docs)]
+
+mod diag;
+mod lexer;
+mod pragma;
+mod registry;
+mod rules;
+mod walk;
+
+pub use diag::{Diagnostic, Rule};
+pub use walk::{FileClass, SourceFile};
+
+use std::fs;
+use std::path::Path;
+
+/// Lint the workspace rooted at `root`. Returns every violation found;
+/// an empty vector means the workspace is clean.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in walk::workspace_files(root) {
+        let Ok(src) = fs::read_to_string(&f.abs) else {
+            continue;
+        };
+        lint_source(&f, &src, &mut diags);
+    }
+    registry::check_registry(root, &mut diags);
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags
+}
+
+/// Lint one file's source (exposed for the fixture tests).
+pub fn lint_source(file: &SourceFile, src: &str, diags: &mut Vec<Diagnostic>) {
+    let scanned = lexer::scan(src);
+    let pragmas = pragma::collect(&file.rel, &scanned.comments, diags);
+    // L2's one sanctioned home for raw seconds<->nanos constants.
+    let in_sim_time = file.rel == Path::new("crates/sim/src/time.rs");
+    rules::check_file(
+        &file.rel,
+        file.class,
+        &scanned,
+        &pragmas,
+        in_sim_time,
+        diags,
+    );
+}
+
+/// Run only the L5 registry check (exposed for the fixture tests).
+pub fn lint_registry(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    registry::check_registry(root, &mut diags);
+    diags
+}

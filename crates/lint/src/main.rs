@@ -1,0 +1,61 @@
+//! CLI: `tapejoin-lint check [--root <path>]` / `tapejoin-lint rules`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tapejoin_lint::{lint_workspace, Rule};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for r in Rule::ALL {
+                println!("{}: {}", r.id(), r.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: tapejoin-lint <check [--root PATH] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "error: {} does not look like a workspace root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let diags = lint_workspace(&root);
+    for d in &diags {
+        println!("{d}\n");
+    }
+    if diags.is_empty() {
+        println!("tapejoin-lint: workspace clean (rules L1-L6)");
+        ExitCode::SUCCESS
+    } else {
+        println!("tapejoin-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

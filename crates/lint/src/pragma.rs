@@ -1,0 +1,141 @@
+//! `lint:allow` pragmas: the escape hatch, with a mandatory reason.
+//!
+//! Two forms, both inside ordinary comments:
+//!
+//! ```text
+//! value.expect("invariant"); // lint:allow(L3, invariant: slot map covers every live id)
+//! //! lint:allow-file(L3, experiment CLI: infeasible configs abort with context)
+//! ```
+//!
+//! A line pragma suppresses its rule on the pragma's own line and the
+//! line directly below it (so it can sit above the offending statement).
+//! A file pragma suppresses its rule for the whole file. A pragma without
+//! a reason, or naming an unknown rule, is itself a violation (`L0`) —
+//! silent suppression is exactly what this tool exists to prevent.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::Comment;
+use std::path::Path;
+
+/// Parsed suppression set for one file.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// `(rule, line)` — suppress `rule` on `line` and `line + 1`.
+    line_allows: Vec<(Rule, u32)>,
+    /// Rules suppressed for the entire file.
+    file_allows: Vec<Rule>,
+}
+
+impl Pragmas {
+    /// Is `rule` suppressed at `line`?
+    pub fn allows(&self, rule: Rule, line: u32) -> bool {
+        self.file_allows.contains(&rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|&(r, l)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+/// Extract pragmas from a file's comments. Malformed pragmas are
+/// reported as `L0` diagnostics rather than ignored.
+pub fn collect(file: &Path, comments: &[Comment], diags: &mut Vec<Diagnostic>) -> Pragmas {
+    let mut out = Pragmas::default();
+    for c in comments {
+        for (marker, file_scope) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+            let mut rest = c.text.as_str();
+            while let Some(pos) = rest.find(marker) {
+                rest = &rest[pos + marker.len()..];
+                let Some(close) = rest.find(')') else {
+                    push_l0(file, c.line, "unterminated pragma (missing `)`)", diags);
+                    continue;
+                };
+                let body = &rest[..close];
+                rest = &rest[close + 1..];
+                let (rule_id, reason) = match body.split_once(',') {
+                    Some((r, why)) => (r.trim(), why.trim()),
+                    None => (body.trim(), ""),
+                };
+                let Some(rule) = Rule::parse(rule_id) else {
+                    push_l0(
+                        file,
+                        c.line,
+                        &format!("unknown rule `{rule_id}` in pragma"),
+                        diags,
+                    );
+                    continue;
+                };
+                if reason.is_empty() {
+                    push_l0(
+                        file,
+                        c.line,
+                        &format!("pragma for {rule} has no reason"),
+                        diags,
+                    );
+                    continue;
+                }
+                if file_scope {
+                    out.file_allows.push(rule);
+                } else {
+                    out.line_allows.push((rule, c.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_l0(file: &Path, line: u32, msg: &str, diags: &mut Vec<Diagnostic>) {
+    diags.push(Diagnostic {
+        rule: Rule::L0,
+        file: file.to_path_buf(),
+        line,
+        message: msg.to_string(),
+        hint: "write `lint:allow(L<n>, <non-empty reason>)`".to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use std::path::PathBuf;
+
+    fn parse(src: &str) -> (Pragmas, Vec<Diagnostic>) {
+        let s = scan(src);
+        let mut diags = Vec::new();
+        let p = collect(&PathBuf::from("x.rs"), &s.comments, &mut diags);
+        (p, diags)
+    }
+
+    #[test]
+    fn line_pragma_covers_own_and_next_line() {
+        let (p, d) = parse("// lint:allow(L3, reason here)\nfoo();\nbar();\n");
+        assert!(d.is_empty());
+        assert!(p.allows(Rule::L3, 1));
+        assert!(p.allows(Rule::L3, 2));
+        assert!(!p.allows(Rule::L3, 3));
+        assert!(!p.allows(Rule::L4, 2));
+    }
+
+    #[test]
+    fn file_pragma_covers_everything() {
+        let (p, d) = parse("//! lint:allow-file(L3, experiment CLI)\n");
+        assert!(d.is_empty());
+        assert!(p.allows(Rule::L3, 999));
+    }
+
+    #[test]
+    fn missing_reason_is_l0() {
+        let (_, d) = parse("// lint:allow(L3)\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::L0);
+    }
+
+    #[test]
+    fn unknown_rule_is_l0() {
+        let (_, d) = parse("// lint:allow(L9, sure)\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::L0);
+    }
+}

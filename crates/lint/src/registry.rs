@@ -1,0 +1,416 @@
+//! L5 — method-registry consistency.
+//!
+//! The seven join methods of the paper's Table 2 are listed in four
+//! places that the compiler cannot tie together: `JoinMethod::ALL` (which
+//! the planner ranks), the differential harness's method list, the bench
+//! harness's `BENCH_METHODS`, and the obs crate's span-label table
+//! `METHOD_LABELS`. A variant missing from any of them silently shrinks
+//! coverage — the planner stops considering a method, the differential
+//! harness stops proving it correct, the bench stops measuring it, or its
+//! spans stop validating. This pass parses the enum and all four lists
+//! with the token scanner and demands exact agreement.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{scan, Token, TokenKind};
+
+/// Where the registry lives, relative to the workspace root.
+const ENUM_FILE: &str = "crates/core/src/method.rs";
+const PLANNER_FILE: &str = "crates/core/src/planner.rs";
+const DIFFERENTIAL_FILE: &str = "tests/differential.rs";
+const BENCH_FILE: &str = "crates/bench/src/lib.rs";
+const OBS_LABELS_FILE: &str = "crates/obs/src/labels.rs";
+
+/// Run the registry check over a workspace rooted at `root`.
+pub fn check_registry(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let enum_path = root.join(ENUM_FILE);
+    let Some(src) = read(&enum_path, ENUM_FILE, diags) else {
+        return;
+    };
+    let toks = scan(&src).tokens;
+
+    let variants = enum_variants(&toks, "JoinMethod");
+    if variants.is_empty() {
+        push(
+            diags,
+            ENUM_FILE,
+            1,
+            "could not find `enum JoinMethod` variants".to_string(),
+            "keep the canonical method enum in crates/core/src/method.rs".to_string(),
+        );
+        return;
+    }
+
+    // 1. `JoinMethod::ALL` must enumerate every variant (the planner
+    //    ranks exactly this array; arrays have no exhaustiveness check).
+    let all = const_array_variants(&toks, "ALL");
+    for v in &variants {
+        if !all.contains(v) {
+            push(
+                diags,
+                ENUM_FILE,
+                line_of_ident(&toks, "ALL").unwrap_or(1),
+                format!("JoinMethod::{v} missing from JoinMethod::ALL"),
+                "add the variant to ALL so the planner ranks it".to_string(),
+            );
+        }
+    }
+
+    // Variant -> paper abbreviation, from the `abbrev` match arms.
+    let labels = abbrev_map(&toks);
+
+    // 2. The planner must rank the full set: either via ALL or by naming
+    //    every variant itself.
+    check_site(
+        root,
+        PLANNER_FILE,
+        &variants,
+        true,
+        "the planner must rank it (use JoinMethod::ALL)",
+        diags,
+    );
+
+    // 3. The differential harness must prove every method against the
+    //    reference join — an explicit list, so a deletion is visible.
+    check_site(
+        root,
+        DIFFERENTIAL_FILE,
+        &variants,
+        false,
+        "add it to DIFFERENTIAL_METHODS so the harness proves it correct",
+        diags,
+    );
+
+    // 4. The bench harness's method list.
+    check_site(
+        root,
+        BENCH_FILE,
+        &variants,
+        false,
+        "add it to BENCH_METHODS so experiments keep measuring it",
+        diags,
+    );
+
+    // 5. The obs label table must carry every abbreviation.
+    let labels_path = root.join(OBS_LABELS_FILE);
+    if let Some(src) = read(&labels_path, OBS_LABELS_FILE, diags) {
+        let ltoks = scan(&src).tokens;
+        let table = string_array(&ltoks, "METHOD_LABELS");
+        for v in &variants {
+            let Some(label) = labels.iter().find(|(var, _)| var == v).map(|(_, l)| l) else {
+                push(
+                    diags,
+                    ENUM_FILE,
+                    line_of_ident(&toks, v).unwrap_or(1),
+                    format!("JoinMethod::{v} has no abbrev() arm"),
+                    "add the Table 2 abbreviation".to_string(),
+                );
+                continue;
+            };
+            if !table.contains(label) {
+                push(
+                    diags,
+                    OBS_LABELS_FILE,
+                    line_of_ident(&ltoks, "METHOD_LABELS").unwrap_or(1),
+                    format!("span label \"{label}\" (JoinMethod::{v}) missing from METHOD_LABELS"),
+                    "add it so join spans and metric keys validate".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Check that `rel` names every variant; `allow_all` accepts a
+/// `JoinMethod::ALL` reference as covering the full set.
+fn check_site(
+    root: &Path,
+    rel: &str,
+    variants: &[String],
+    allow_all: bool,
+    hint: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(src) = read(&root.join(rel), rel, diags) else {
+        return;
+    };
+    let toks = scan(&src).tokens;
+    if allow_all && has_path(&toks, "JoinMethod", "ALL") {
+        return;
+    }
+    for v in variants {
+        if !toks.iter().any(|t| t.is_ident(v)) {
+            push(
+                diags,
+                rel,
+                1,
+                format!("JoinMethod::{v} not registered in {rel}"),
+                hint.to_string(),
+            );
+        }
+    }
+}
+
+fn read(path: &Path, rel: &str, diags: &mut Vec<Diagnostic>) -> Option<String> {
+    match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(_) => {
+            push(
+                diags,
+                rel,
+                1,
+                format!("registry file {rel} is missing"),
+                "the method registry spans four files; keep them all".to_string(),
+            );
+            None
+        }
+    }
+}
+
+fn push(diags: &mut Vec<Diagnostic>, rel: &str, line: u32, message: String, hint: String) {
+    diags.push(Diagnostic {
+        rule: Rule::L5,
+        file: PathBuf::from(rel),
+        line,
+        message,
+        hint,
+    });
+}
+
+/// Variant idents of `enum <name> { ... }` at brace depth 1.
+fn enum_variants(toks: &[Token], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) {
+            // Find the opening brace, then walk depth-1 idents that are
+            // followed by `,`, `}`, `(` or `{` — variant names.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                } else if depth == 1 {
+                    if let TokenKind::Ident(id) = &toks[j].kind {
+                        let next_ok = toks.get(j + 1).is_some_and(|n| {
+                            n.is_punct(',') || n.is_punct('}') || n.is_punct('(') || n.is_punct('{')
+                        });
+                        // Skip attribute contents like `#[non_exhaustive]`.
+                        let prev_attr = j > 0 && toks[j - 1].is_punct('[');
+                        if next_ok && !prev_attr {
+                            out.push(id.clone());
+                        }
+                    }
+                    j += skip_variant_payload(&toks[j..]);
+                    continue;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// From a variant ident, how many tokens to advance to pass any payload.
+fn skip_variant_payload(rest: &[Token]) -> usize {
+    // rest[0] is the ident; if rest[1] opens a payload, skip to its close.
+    let Some(open) = rest.get(1) else { return 1 };
+    let (o, c) = if open.is_punct('(') {
+        ('(', ')')
+    } else if open.is_punct('{') {
+        ('{', '}')
+    } else {
+        return 1;
+    };
+    let mut depth = 0i32;
+    for (n, t) in rest.iter().enumerate().skip(1) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return n + 1;
+            }
+        }
+    }
+    rest.len()
+}
+
+/// Idents following `JoinMethod ::` inside `const <name> ... [ ... ]`.
+fn const_array_variants(toks: &[Token], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(start) = find_const(toks, name) else {
+        return out;
+    };
+    let Some((lo, hi)) = bracket_span(toks, start) else {
+        return out;
+    };
+    let mut j = lo;
+    while j + 2 < hi {
+        if toks[j].is_ident("JoinMethod") && toks[j + 1].is_punct(':') && toks[j + 2].is_punct(':')
+        {
+            if let Some(TokenKind::Ident(id)) = toks.get(j + 3).map(|t| &t.kind) {
+                out.push(id.clone());
+            }
+            j += 4;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// String literals inside `const <name> ... [ ... ]` (or `&[ ... ]`).
+fn string_array(toks: &[Token], name: &str) -> Vec<String> {
+    let Some(start) = find_const(toks, name) else {
+        return Vec::new();
+    };
+    let Some((lo, hi)) = bracket_span(toks, start) else {
+        return Vec::new();
+    };
+    toks[lo..hi]
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Token index just past `const <name>`.
+fn find_const(toks: &[Token], name: &str) -> Option<usize> {
+    (0..toks.len().saturating_sub(1))
+        .find(|&i| toks[i].is_ident("const") && toks[i + 1].is_ident(name))
+        .map(|i| i + 2)
+}
+
+/// The `[ ... ]` bracket span (exclusive of brackets) at/after `from`,
+/// skipping the type annotation's own `[`..`]` if the const is an array
+/// type: `const X: [T; 7] = [ ... ];` — we want the *second* bracket
+/// group when an `=` sits between them.
+fn bracket_span(toks: &[Token], from: usize) -> Option<(usize, usize)> {
+    // Find the `=` first (end of the type annotation), then the first `[`.
+    let eq = (from..toks.len()).find(|&i| toks[i].is_punct('='))?;
+    let open = (eq..toks.len()).find(|&i| toks[i].is_punct('['))?;
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open + 1, i));
+            }
+        }
+    }
+    None
+}
+
+fn has_path(toks: &[Token], a: &str, b: &str) -> bool {
+    (0..toks.len().saturating_sub(3)).any(|i| {
+        toks[i].is_ident(a)
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident(b)
+    })
+}
+
+fn line_of_ident(toks: &[Token], id: &str) -> Option<u32> {
+    toks.iter().find(|t| t.is_ident(id)).map(|t| t.line)
+}
+
+/// The variant -> abbreviation map from `fn abbrev`'s match arms
+/// (`JoinMethod::DtNb => "DT-NB"`).
+fn abbrev_map(toks: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let Some(fn_idx) = (0..toks.len().saturating_sub(1))
+        .find(|&i| toks[i].is_ident("fn") && toks[i + 1].is_ident("abbrev"))
+    else {
+        return out;
+    };
+    // Walk until the function body closes.
+    let mut depth = 0i32;
+    let mut entered = false;
+    let mut j = fn_idx;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+            entered = true;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if entered && depth == 0 {
+                break;
+            }
+        } else if toks[j].is_ident("JoinMethod")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let (Some(TokenKind::Ident(var)), Some(t1), Some(t2), Some(ts)) = (
+                toks.get(j + 3).map(|t| &t.kind),
+                toks.get(j + 4),
+                toks.get(j + 5),
+                toks.get(j + 6),
+            ) {
+                if t1.is_punct('=') && t2.is_punct('>') {
+                    if let TokenKind::Str(s) = &ts.kind {
+                        out.push((var.clone(), s.clone()));
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_enum_and_const_array() {
+        let src = r#"
+            pub enum JoinMethod { DtNb, CdtNbMb, TtGh }
+            impl JoinMethod {
+                pub const ALL: [JoinMethod; 3] =
+                    [JoinMethod::DtNb, JoinMethod::CdtNbMb, JoinMethod::TtGh];
+                pub fn abbrev(&self) -> &'static str {
+                    match self {
+                        JoinMethod::DtNb => "DT-NB",
+                        JoinMethod::CdtNbMb => "CDT-NB/MB",
+                        JoinMethod::TtGh => "TT-GH",
+                    }
+                }
+            }
+        "#;
+        let toks = scan(src).tokens;
+        assert_eq!(
+            enum_variants(&toks, "JoinMethod"),
+            ["DtNb", "CdtNbMb", "TtGh"]
+        );
+        assert_eq!(
+            const_array_variants(&toks, "ALL"),
+            ["DtNb", "CdtNbMb", "TtGh"]
+        );
+        let m = abbrev_map(&toks);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[1], ("CdtNbMb".to_string(), "CDT-NB/MB".to_string()));
+    }
+
+    #[test]
+    fn string_array_reads_labels() {
+        let src = r#"pub const METHOD_LABELS: &[&str] = &["DT-NB", "TT-GH"];"#;
+        let toks = scan(src).tokens;
+        assert_eq!(string_array(&toks, "METHOD_LABELS"), ["DT-NB", "TT-GH"]);
+    }
+}

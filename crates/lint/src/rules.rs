@@ -1,0 +1,358 @@
+//! The per-file rule passes: L1 (virtual-time purity), L2 (typed time),
+//! L3 (panic-freedom), L4 (float ordering), L6 (Recorder discipline).
+//!
+//! Each pass walks the token stream produced by [`crate::lexer`], skips
+//! `#[cfg(test)]` regions where a rule only applies to shipping code, and
+//! consults the file's [`crate::pragma::Pragmas`] before reporting.
+
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Scan, Token, TokenKind};
+use crate::pragma::Pragmas;
+use crate::walk::FileClass;
+
+/// Run every applicable per-file rule over one scanned file.
+pub fn check_file(
+    file: &Path,
+    class: FileClass,
+    scan: &Scan,
+    pragmas: &Pragmas,
+    in_sim_time: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &scan.tokens;
+    let test_spans = cfg_test_spans(toks);
+    let in_test = |idx: usize| test_spans.iter().any(|&(lo, hi)| idx >= lo && idx <= hi);
+
+    // L4 claims its unwrap/expect sites first so L3 does not double-report.
+    let l4_sites = if class == FileClass::Lib {
+        check_l4(file, toks, pragmas, &in_test, diags)
+    } else {
+        Vec::new()
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Ident(id) => {
+                // L1 applies to test code too: wall-clock time in a
+                // differential test breaks determinism just as surely.
+                if id == "Instant" || id == "SystemTime" {
+                    report(
+                        diags,
+                        pragmas,
+                        Rule::L1,
+                        file,
+                        t.line,
+                        format!("wall-clock type `{id}` in sim-facing code"),
+                        "use tapejoin_sim::SimTime / now(); virtual time only".to_string(),
+                    );
+                }
+                if class != FileClass::Lib {
+                    continue;
+                }
+                match id.as_str() {
+                    "unwrap" | "expect" => {
+                        if in_test(i) || l4_sites.contains(&i) {
+                            continue;
+                        }
+                        // Only method calls: `.unwrap(` / `.expect(`.
+                        let dotted = i > 0 && toks[i - 1].is_punct('.');
+                        let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                        if dotted && called {
+                            report(
+                                diags,
+                                pragmas,
+                                Rule::L3,
+                                file,
+                                t.line,
+                                format!("`.{id}()` in library code"),
+                                "propagate a typed error, or add `// lint:allow(L3, <why this cannot fail>)`"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    "panic" | "todo" | "unimplemented" => {
+                        if in_test(i) {
+                            continue;
+                        }
+                        let bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                        if bang {
+                            report(
+                                diags,
+                                pragmas,
+                                Rule::L3,
+                                file,
+                                t.line,
+                                format!("`{id}!` in library code"),
+                                "return a typed error, or add `// lint:allow(L3, <why this is an invariant>)`"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokenKind::Number(n) => {
+                if class != FileClass::Lib || in_sim_time || in_test(i) {
+                    continue;
+                }
+                let norm: String = n.chars().filter(|&c| c != '_').collect();
+                let is_ns_const = matches!(
+                    norm.to_ascii_lowercase().as_str(),
+                    "1e9" | "1.0e9" | "1000000000" | "1e-9" | "1.0e-9" | "0.000000001"
+                );
+                if is_ns_const {
+                    report(
+                        diags,
+                        pragmas,
+                        Rule::L2,
+                        file,
+                        t.line,
+                        format!("raw seconds<->nanoseconds constant `{n}` outside sim::time"),
+                        "use Duration::from_secs_f64 / as_secs_f64 instead of hand conversion"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // L6: recorder handles must cross task boundaries via fork().
+    if class == FileClass::Lib {
+        for (i, t) in toks.iter().enumerate() {
+            let Some(id) = t.ident() else { continue };
+            let is_recorder_handle =
+                id == "rec" || id == "recorder" || id.ends_with("rec") || id.ends_with("recorder");
+            if !is_recorder_handle || in_test(i) {
+                continue;
+            }
+            // Match `rec.clone()` and also `rec.borrow().clone()` — the
+            // cell-wrapped handles inside device models.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_punct('.'))
+                && toks.get(j + 1).is_some_and(|n| n.is_ident("borrow"))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct('('))
+                && toks.get(j + 3).is_some_and(|n| n.is_punct(')'))
+            {
+                j += 4;
+            }
+            let cloned = toks.get(j).is_some_and(|n| n.is_punct('.'))
+                && toks.get(j + 1).is_some_and(|n| n.is_ident("clone"))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct('('));
+            if cloned {
+                report(
+                    diags,
+                    pragmas,
+                    Rule::L6,
+                    file,
+                    t.line,
+                    format!("`{id}.clone()` on a Recorder handle"),
+                    "use `.fork()` so concurrent tasks get independent scope stacks".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// L4: `partial_cmp(..).unwrap()` / `.expect(..)`. Returns the token
+/// indices of the `unwrap`/`expect` idents it claimed, so L3 skips them.
+fn check_l4(
+    file: &Path,
+    toks: &[Token],
+    pragmas: &Pragmas,
+    in_test: &dyn Fn(usize) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<usize> {
+    let mut claimed = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("partial_cmp") {
+            continue;
+        }
+        // Skip the argument list `( ... )`.
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                depth += 1;
+            } else if toks[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let unwrap_idx = j + 2;
+        let chained = toks.get(j + 1).is_some_and(|n| n.is_punct('.'))
+            && toks
+                .get(unwrap_idx)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"));
+        if chained && !in_test(i) {
+            claimed.push(unwrap_idx);
+            report(
+                diags,
+                pragmas,
+                Rule::L4,
+                file,
+                t.line,
+                "`partial_cmp(..)` force-unwrapped".to_string(),
+                "use `total_cmp` — NaN costs must rank, not panic (see planner.rs)".to_string(),
+            );
+        }
+    }
+    claimed
+}
+
+/// Token index ranges covered by `#[cfg(test)]` items.
+fn cfg_test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip to the start of the annotated item's body: the first `{`
+        // after the attribute (crossing any further attributes), then
+        // brace-match to its close.
+        let mut j = i + 7;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].is_punct(';') {
+            i = j;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < toks.len() {
+            if toks[k].is_punct('{') {
+                depth += 1;
+            } else if toks[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        spans.push((i, k));
+        i = k + 1;
+    }
+    spans
+}
+
+fn report(
+    diags: &mut Vec<Diagnostic>,
+    pragmas: &Pragmas,
+    rule: Rule,
+    file: &Path,
+    line: u32,
+    message: String,
+    hint: String,
+) {
+    if pragmas.allows(rule, line) {
+        return;
+    }
+    diags.push(Diagnostic {
+        rule,
+        file: file.to_path_buf(),
+        line,
+        message,
+        hint,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::pragma;
+    use std::path::PathBuf;
+
+    fn run(src: &str, class: FileClass) -> Vec<Diagnostic> {
+        let s = scan(src);
+        let mut diags = Vec::new();
+        let f = PathBuf::from("t.rs");
+        let p = pragma::collect(&f, &s.comments, &mut diags);
+        check_file(&f, class, &s, &p, false, &mut diags);
+        diags
+    }
+
+    fn rules(src: &str) -> Vec<Rule> {
+        run(src, FileClass::Lib).iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn l3_fires_on_unwrap_expect_and_macros() {
+        assert_eq!(rules("fn f() { x.unwrap(); }"), vec![Rule::L3]);
+        assert_eq!(rules("fn f() { x.expect(\"m\"); }"), vec![Rule::L3]);
+        assert_eq!(rules("fn f() { panic!(\"m\"); }"), vec![Rule::L3]);
+        assert_eq!(rules("fn f() { todo!(); }"), vec![Rule::L3]);
+    }
+
+    #[test]
+    fn l3_ignores_lookalikes() {
+        assert!(rules("fn f() { x.unwrap_or_else(|| 0); }").is_empty());
+        assert!(rules("fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(rules("fn unwrap() {}").is_empty());
+        // `expect` in a field position, not a call.
+        assert!(rules("struct S { expect: u8 }").is_empty());
+    }
+
+    #[test]
+    fn l3_skips_cfg_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { x.unwrap(); } }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn l3_honours_pragma_with_reason() {
+        let src = "fn f() { x.unwrap(); // lint:allow(L3, slot map invariant)\n }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn l4_claims_partial_cmp_sites_from_l3() {
+        let got = rules("fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }");
+        assert_eq!(got, vec![Rule::L4]);
+    }
+
+    #[test]
+    fn l1_fires_even_in_test_files() {
+        let got = run("fn f() { let t = Instant::now(); }", FileClass::TestLike);
+        assert_eq!(
+            got.iter().map(|d| d.rule).collect::<Vec<_>>(),
+            vec![Rule::L1]
+        );
+    }
+
+    #[test]
+    fn l2_fires_on_raw_nanos_constants() {
+        assert_eq!(
+            rules("fn f() { let ns = (s * 1e9) as u64; }"),
+            vec![Rule::L2]
+        );
+        assert_eq!(rules("const N: u64 = 1_000_000_000;"), vec![Rule::L2]);
+        assert!(rules("fn f() { let rate = 2.0e6; }").is_empty());
+    }
+
+    #[test]
+    fn l6_fires_on_recorder_clone_not_fork() {
+        assert_eq!(rules("fn f() { let r = qrec.clone(); }"), vec![Rule::L6]);
+        assert!(rules("fn f() { let r = qrec.fork(); }").is_empty());
+        assert!(rules("fn f() { let r = vec.clone(); }").is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Workspace discovery: which `.rs` files exist and how strictly each
+//! one is held.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How a file is classified for rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library / binary source under `crates/*/src` — all rules apply.
+    Lib,
+    /// Tests, benches and examples — only virtual-time purity (L1).
+    TestLike,
+}
+
+/// One discovered source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (used in diagnostics).
+    pub rel: PathBuf,
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Strictness class.
+    pub class: FileClass,
+}
+
+/// Directories never linted: external code, build output, the linter's
+/// own deliberately-bad fixtures, and version control metadata.
+fn excluded(rel: &Path) -> bool {
+    rel.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("vendor") | Some("target") | Some("fixtures") | Some(".git")
+        )
+    })
+}
+
+/// Collect every `.rs` file the linter owns, classified.
+pub fn workspace_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    // crates/*/{src,tests,benches} …
+    for crate_dir in read_dirs(&root.join("crates")) {
+        collect(&crate_dir.join("src"), root, FileClass::Lib, &mut out);
+        collect(
+            &crate_dir.join("tests"),
+            root,
+            FileClass::TestLike,
+            &mut out,
+        );
+        collect(
+            &crate_dir.join("benches"),
+            root,
+            FileClass::TestLike,
+            &mut out,
+        );
+        collect(
+            &crate_dir.join("examples"),
+            root,
+            FileClass::TestLike,
+            &mut out,
+        );
+    }
+    // … plus the workspace-level integration tests and examples.
+    collect(&root.join("tests"), root, FileClass::TestLike, &mut out);
+    collect(&root.join("examples"), root, FileClass::TestLike, &mut out);
+    collect(&root.join("benches"), root, FileClass::TestLike, &mut out);
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    out
+}
+
+fn read_dirs(dir: &Path) -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                dirs.push(p);
+            }
+        }
+    }
+    dirs.sort();
+    dirs
+}
+
+fn collect(dir: &Path, root: &Path, class: FileClass, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        let rel = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+        if excluded(&rel) {
+            continue;
+        }
+        if p.is_dir() {
+            collect(&p, root, class, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(SourceFile { rel, abs: p, class });
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixture corpus: one deliberately-bad snippet per rule, each of which
+//! must trip exactly its own rule; a clean fixture that trips nothing;
+//! and two mini-workspaces for the cross-file L5 registry check.
+//!
+//! The `fixtures/` directory is excluded from the linter's own workspace
+//! walk, so these snippets never pollute a real `tapejoin-lint check`.
+
+// Test code: the crate-level panic-freedom lints don't serve a purpose
+// in a harness that *should* fail loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tapejoin_lint::{lint_registry, lint_source, Diagnostic, FileClass, Rule, SourceFile};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint one fixture file as if it were library source in a crate.
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let abs = fixture_dir().join(name);
+    let src = fs::read_to_string(&abs).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let file = SourceFile {
+        rel: PathBuf::from("crates/fixture/src/lib.rs"),
+        abs,
+        class: FileClass::Lib,
+    };
+    let mut diags = Vec::new();
+    lint_source(&file, &src, &mut diags);
+    diags
+}
+
+/// Assert the fixture trips `rule` at least once — and no other rule.
+fn assert_trips_exactly(name: &str, rule: Rule) {
+    let diags = lint_fixture(name);
+    assert!(
+        !diags.is_empty(),
+        "{name} should trip {rule:?} but produced no diagnostics"
+    );
+    for d in &diags {
+        assert_eq!(
+            d.rule, rule,
+            "{name} tripped {:?} (wanted only {rule:?}): {}",
+            d.rule, d.message
+        );
+    }
+}
+
+#[test]
+fn l1_fixture_trips_only_l1() {
+    assert_trips_exactly("l1_wall_clock.rs", Rule::L1);
+}
+
+#[test]
+fn l2_fixture_trips_only_l2() {
+    assert_trips_exactly("l2_raw_seconds.rs", Rule::L2);
+}
+
+#[test]
+fn l3_fixture_trips_only_l3() {
+    assert_trips_exactly("l3_panics.rs", Rule::L3);
+    // All three panicking forms are reported.
+    assert_eq!(lint_fixture("l3_panics.rs").len(), 3);
+}
+
+#[test]
+fn l4_fixture_trips_only_l4() {
+    assert_trips_exactly("l4_float_ordering.rs", Rule::L4);
+    // Both the `.unwrap()` and `.expect()` forms, claimed by L4 alone.
+    assert_eq!(lint_fixture("l4_float_ordering.rs").len(), 2);
+}
+
+#[test]
+fn l6_fixture_trips_only_l6() {
+    assert_trips_exactly("l6_recorder_clone.rs", Rule::L6);
+}
+
+#[test]
+fn clean_fixture_trips_nothing() {
+    let diags = lint_fixture("clean.rs");
+    assert!(
+        diags.is_empty(),
+        "clean fixture tripped: {}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn l5_workspace_fixture_reports_the_missing_variant() {
+    let diags = lint_registry(&fixture_dir().join("l5_workspace"));
+    assert!(!diags.is_empty(), "missing bench variant must trip L5");
+    for d in &diags {
+        assert_eq!(d.rule, Rule::L5, "unexpected rule: {}", d.message);
+    }
+    assert!(
+        diags.iter().any(|d| d.message.contains("Beta")),
+        "diagnostic should name the missing variant: {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn l5_clean_workspace_fixture_passes() {
+    let diags = lint_registry(&fixture_dir().join("l5_clean"));
+    assert!(
+        diags.is_empty(),
+        "clean mini-workspace tripped L5: {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
+/// The real workspace's registry must be consistent.
+#[test]
+fn real_workspace_registry_is_consistent() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_registry(&root);
+    assert!(
+        diags.is_empty(),
+        "workspace registry drifted: {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
+/// Acceptance check from the issue: deleting ANY `JoinMethod` variant
+/// from the bench method list must make L5 fail. Exercised against a
+/// copy of the real registry files with one bench entry removed at a
+/// time.
+#[test]
+fn deleting_any_variant_from_the_bench_list_trips_l5() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("l5_deletion");
+    let registry_files = [
+        "crates/core/src/method.rs",
+        "crates/core/src/planner.rs",
+        "tests/differential.rs",
+        "crates/bench/src/lib.rs",
+        "crates/obs/src/labels.rs",
+    ];
+    let variants = [
+        "DtNb", "CdtNbMb", "CdtNbDb", "DtGh", "CdtGh", "CttGh", "TtGh",
+    ];
+    for victim in variants {
+        for rel in registry_files {
+            let dst = scratch.join(rel);
+            fs::create_dir_all(dst.parent().unwrap()).unwrap();
+            let mut src = fs::read_to_string(root.join(rel)).unwrap();
+            if rel == "crates/bench/src/lib.rs" {
+                // Drop the victim's entry from BENCH_METHODS (the only
+                // place bench lib names variants explicitly).
+                src = src.replace(&format!("    JoinMethod::{victim},\n"), "");
+            }
+            fs::write(&dst, src).unwrap();
+        }
+        let diags = lint_registry(&scratch);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::L5 && d.message.contains(victim)),
+            "deleting JoinMethod::{victim} from BENCH_METHODS must trip L5; got {:?}",
+            diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Clean fixture: virtual time, typed durations, typed errors,
+//! `total_cmp` ordering, and a justified pragma. Trips no rule.
+
+pub fn to_duration(ticks: u64) -> core::time::Duration {
+    core::time::Duration::from_nanos(ticks)
+}
+
+pub fn rank(costs: &mut [(f64, u32)]) {
+    costs.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+pub fn lookup(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}
+
+pub fn head(values: &[u32]) -> u32 {
+    // lint:allow(L3, fixture: demonstrates a justified pragma with a reason)
+    *values.first().expect("caller guarantees non-empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt from panic-freedom: this unwrap is fine.
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Bad: wall-clock time in simulator code. Must trip L1 and only L1.
+
+pub fn measure() -> u64 {
+    let start = std::time::Instant::now();
+    busy_work();
+    start.elapsed().as_millis() as u64
+}
+
+fn busy_work() {}

@@ -1,0 +1,6 @@
+//! Bad: raw f64-seconds-to-nanoseconds arithmetic outside `sim::time`.
+//! Must trip L2 and only L2.
+
+pub fn to_nanos(seconds: f64) -> u64 {
+    (seconds * 1e9) as u64
+}

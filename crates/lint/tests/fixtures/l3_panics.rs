@@ -1,0 +1,19 @@
+//! Bad: panicking calls in library code. Must trip L3 and only L3.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(map: &BTreeMap<u32, u32>, key: u32) -> u32 {
+    *map.get(&key).unwrap()
+}
+
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().expect("values must be non-empty")
+}
+
+pub fn unreachable_branch(flag: bool) -> u32 {
+    if flag {
+        1
+    } else {
+        panic!("flag should always be set");
+    }
+}

@@ -1,0 +1,16 @@
+//! Bad: NaN-unsafe float ordering. Must trip L4 and only L4 (the
+//! trailing `.unwrap()` belongs to the L4 pattern, not L3).
+
+pub fn rank(costs: &mut Vec<(f64, u32)>) {
+    costs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+pub fn best(costs: &[f64]) -> f64 {
+    let mut best = costs[0];
+    for &c in costs {
+        if c.partial_cmp(&best).expect("comparable") == std::cmp::Ordering::Less {
+            best = c;
+        }
+    }
+    best
+}

@@ -1,0 +1,1 @@
+pub const BENCH_METHODS: [JoinMethod; 2] = [JoinMethod::Alpha, JoinMethod::Beta];

@@ -1,0 +1,15 @@
+pub enum JoinMethod {
+    Alpha,
+    Beta,
+}
+
+impl JoinMethod {
+    pub const ALL: [JoinMethod; 2] = [JoinMethod::Alpha, JoinMethod::Beta];
+
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            JoinMethod::Alpha => "AL",
+            JoinMethod::Beta => "BE",
+        }
+    }
+}

@@ -1,0 +1,1 @@
+const DIFFERENTIAL_METHODS: [JoinMethod; 2] = [JoinMethod::Alpha, JoinMethod::Beta];

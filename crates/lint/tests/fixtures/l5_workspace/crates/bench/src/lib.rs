@@ -1,0 +1,1 @@
+pub const BENCH_METHODS: [JoinMethod; 1] = [JoinMethod::Alpha];

@@ -1,0 +1,5 @@
+pub fn rank() {
+    for m in JoinMethod::ALL {
+        let _ = m;
+    }
+}

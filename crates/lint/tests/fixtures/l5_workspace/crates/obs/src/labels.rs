@@ -1,0 +1,1 @@
+pub const METHOD_LABELS: &[&str] = &["AL", "BE"];

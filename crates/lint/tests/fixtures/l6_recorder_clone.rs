@@ -1,0 +1,10 @@
+//! Bad: cloning a recorder handle instead of choosing `share()` (same
+//! task) or `fork()` (spawned task). Must trip L6 and only L6.
+
+pub fn spawn_with_recorder(rec: &Recorder) {
+    let task_rec = rec.clone();
+    spawn(task_rec);
+}
+
+pub struct Recorder;
+fn spawn(_r: Recorder) {}

@@ -140,35 +140,37 @@ pub fn audit_spans(spans: &[Span]) -> AuditReport {
         .filter_map(|s| s.end)
         .max()
         .unwrap_or(SimTime::ZERO);
-    let mut per_track: BTreeMap<&str, Vec<&Span>> = BTreeMap::new();
+    let mut per_track: BTreeMap<&str, Vec<(&Span, SimTime)>> = BTreeMap::new();
     for span in spans {
-        if span.kind == SpanKind::DeviceOp && span.end.is_some() {
-            per_track.entry(span.track.as_str()).or_default().push(span);
+        if span.kind == SpanKind::DeviceOp {
+            if let Some(end) = span.end {
+                per_track
+                    .entry(span.track.as_str())
+                    .or_default()
+                    .push((span, end));
+            }
         }
     }
     for (track, ops) in &per_track {
         let mut busy = Duration::ZERO;
         for pair in ops.windows(2) {
             report.checks += 1;
-            let (a, b) = (pair[0], pair[1]);
+            let ((a, a_end), (b, _)) = (pair[0], pair[1]);
             if b.start < a.start {
                 report.violations.push(format!(
                     "track '{track}': op {} at {:?} recorded after later op {} at {:?}",
                     b.id.0, b.start, a.id.0, a.start
                 ));
             }
-            if b.start < a.end.unwrap() {
+            if b.start < a_end {
                 report.violations.push(format!(
                     "track '{track}': ops {} and {} overlap ({:?} < {:?})",
-                    a.id.0,
-                    b.id.0,
-                    b.start,
-                    a.end.unwrap()
+                    a.id.0, b.id.0, b.start, a_end
                 ));
             }
         }
-        for op in ops {
-            busy += op.end.unwrap().duration_since(op.start);
+        for (op, end) in ops {
+            busy += end.duration_since(op.start);
         }
         report.checks += 1;
         if busy > trace_end.duration_since(SimTime::ZERO) {

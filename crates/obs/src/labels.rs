@@ -1,0 +1,42 @@
+//! Canonical span/metric label tables.
+//!
+//! The obs crate cannot depend on the core crate (the dependency points
+//! the other way), so the join-method abbreviations that appear on
+//! `SpanKind::Join` spans and in metric keys are mirrored here as plain
+//! strings. The workspace linter's rule L5 cross-checks this table
+//! against `JoinMethod` in `crates/core/src/method.rs`: every variant's
+//! `abbrev()` must appear below, so a new method cannot ship without its
+//! spans validating, and a stale label cannot linger unnoticed.
+
+/// Every join-method label, in the paper's Table 2 order.
+pub const METHOD_LABELS: &[&str] = &[
+    "DT-NB",
+    "CDT-NB/MB",
+    "CDT-NB/DB",
+    "DT-GH",
+    "CDT-GH",
+    "CTT-GH",
+    "TT-GH",
+];
+
+/// Is `label` a known join-method label (the name a `SpanKind::Join`
+/// span or a metric key's `method` dimension is expected to carry)?
+pub fn is_method_label(label: &str) -> bool {
+    METHOD_LABELS.contains(&label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        assert!(!METHOD_LABELS.is_empty());
+        for (i, l) in METHOD_LABELS.iter().enumerate() {
+            assert!(!l.is_empty());
+            assert!(!METHOD_LABELS[..i].contains(l), "duplicate label {l}");
+        }
+        assert!(is_method_label("DT-NB"));
+        assert!(!is_method_label("dt-nb"));
+    }
+}

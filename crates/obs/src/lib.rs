@@ -29,7 +29,7 @@
 //! use tapejoin_sim::{now, sleep, Duration, Simulation};
 //!
 //! let rec = Recorder::enabled();
-//! let rec2 = rec.clone();
+//! let rec2 = rec.share(); // same-task handle; use fork() across tasks
 //! let mut sim = Simulation::new();
 //! sim.run(async move {
 //!     let _join = rec2.scope(SpanKind::Join, "join", "DT-NB");
@@ -45,6 +45,7 @@
 
 mod audit;
 pub mod json;
+pub mod labels;
 mod metrics;
 mod perfetto;
 mod report;

@@ -197,6 +197,20 @@ impl Recorder {
         }
     }
 
+    /// A handle sharing *both* the arena and the live open-scope stack —
+    /// for observers that run on the same task, such as a device model
+    /// whose `device-op` leaves must parent to whatever step scope is
+    /// innermost when the I/O happens.
+    ///
+    /// This is deliberately distinct from [`Recorder::fork`]: `share()`
+    /// for same-task observer handles, `fork()` whenever the handle
+    /// crosses into a spawned task. A raw `.clone()` on a recorder handle
+    /// does not say which of the two is meant, so the workspace linter
+    /// (rule L6) rejects it.
+    pub fn share(&self) -> Recorder {
+        self.clone()
+    }
+
     /// The no-op recorder (also [`Default`]).
     pub fn disabled() -> Self {
         Recorder { inner: None }

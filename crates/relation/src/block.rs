@@ -117,7 +117,9 @@ impl Block {
                 got: bytes.len(),
             });
         }
+        // lint:allow(L3, slice length is statically correct (4-byte split))
         let count = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte split")) as usize;
+        // lint:allow(L3, slice length is statically correct (8-byte split))
         let stored = u64::from_le_bytes(bytes[4..12].try_into().expect("8-byte split"));
         let need = 12 + count * 16;
         if bytes.len() < need {
@@ -129,6 +131,7 @@ impl Block {
         let mut tuples = Vec::with_capacity(count);
         for i in 0..count {
             let off = 12 + i * 16;
+            // lint:allow(L3, slice length is statically correct (16-byte split))
             let chunk: &[u8; 16] = bytes[off..off + 16].try_into().expect("16-byte split");
             tuples.push(Tuple::from_bytes(chunk));
         }

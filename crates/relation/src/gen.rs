@@ -187,6 +187,7 @@ impl WorkloadBuilder {
                     KeyDistribution::RoundRobin => rid % r_keys,
                     KeyDistribution::Zipf { .. } => zipf
                         .as_ref()
+                        // lint:allow(L3, the zipf sampler was validated at construction above)
                         .expect("zipf sampler built above")
                         .sample(&mut rng),
                 };

@@ -101,7 +101,11 @@ impl Relation {
         assert!(!parts.is_empty(), "nothing to concatenate");
         let c = parts[0].compressibility;
         assert!(
-            parts.iter().all(|p| p.compressibility == c),
+            // Bitwise identity: compressibility is a configured parameter
+            // copied around verbatim, not a computed value.
+            parts
+                .iter()
+                .all(|p| p.compressibility.to_bits() == c.to_bits()),
             "concatenating relations of differing compressibility"
         );
         let blocks = parts

@@ -27,7 +27,9 @@ impl Tuple {
 
     /// Deserialize from 16 little-endian bytes.
     pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        // lint:allow(L3, slice length is statically correct (8-byte split))
         let key = u64::from_le_bytes(bytes[..8].try_into().expect("split is 8 bytes"));
+        // lint:allow(L3, slice length is statically correct (8-byte split))
         let rid = u64::from_le_bytes(bytes[8..].try_into().expect("split is 8 bytes"));
         Tuple { key, rid }
     }

@@ -147,7 +147,7 @@ impl WorkloadGen {
                     .min(self.cartridges - 1);
                 QuerySpec {
                     id,
-                    arrival: SimTime::ZERO + Duration::from_nanos((arrival_s * 1e9) as u64),
+                    arrival: SimTime::ZERO + Duration::from_secs_f64(arrival_s),
                     r_blocks,
                     cartridge,
                     seed: rng.gen(),

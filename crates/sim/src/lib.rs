@@ -154,6 +154,7 @@ where
     }
     notify.notified().await;
     let winner = result.borrow_mut().take();
+    // lint:allow(L3, the race winner is recorded before the notify that woke us)
     winner.expect("race winner recorded before notify")
 }
 

@@ -69,14 +69,14 @@ impl ServerStats {
 /// # Examples
 ///
 /// ```
-/// use tapejoin_sim::{now, Duration, Server, Simulation};
+/// use tapejoin_sim::{now, Duration, Server, SimTime, Simulation};
 ///
 /// let mut sim = Simulation::new();
 /// sim.run(async {
 ///     let device = Server::new("disk");
 ///     device.serve(Duration::from_secs(2)).await;
 ///     device.serve(Duration::from_secs(3)).await;
-///     assert_eq!(now().as_secs_f64(), 5.0); // FIFO, serialized
+///     assert_eq!(now(), SimTime::ZERO + Duration::from_secs(5)); // FIFO, serialized
 ///     assert_eq!(device.stats().requests, 2);
 /// });
 /// ```
@@ -243,7 +243,7 @@ mod tests {
             hb.join().await;
             now()
         });
-        assert_eq!(t.as_secs_f64(), 5.0);
+        assert_eq!(t, crate::SimTime::ZERO + crate::Duration::from_secs(5));
     }
 
     #[test]
@@ -290,14 +290,14 @@ mod tests {
             // Second request's service time depends on when it starts.
             let h = spawn(async move {
                 srv2.serve_with(|| {
-                    assert_eq!(now().as_secs_f64(), 0.0);
+                    assert_eq!(now(), crate::SimTime::ZERO);
                     (Duration::from_secs(3), ())
                 })
                 .await;
             });
             crate::yield_now().await;
             srv.serve_with(|| {
-                assert_eq!(now().as_secs_f64(), 3.0);
+                assert_eq!(now(), crate::SimTime::ZERO + crate::Duration::from_secs(3));
                 (Duration::from_secs(1), ())
             })
             .await;

@@ -43,6 +43,7 @@ impl<T> State<T> {
                 self.send_waiters.pop_front();
                 continue;
             }
+            // lint:allow(L3, a parked sender owns its value until delivery)
             let v = node.value.take().expect("parked sender without value");
             node.done = true;
             if let Some(w) = node.waker.take() {
@@ -190,6 +191,7 @@ impl<T> Future for Send<'_, T> {
                 return Poll::Ready(Ok(()));
             }
             if !this.sender.state.borrow().receiver_alive {
+                // lint:allow(L3, a node unlinked from the queue still owns its undelivered value)
                 let v = n.value.take().expect("undelivered value vanished");
                 n.cancelled = true;
                 return Poll::Ready(Err(SendError(v)));
@@ -201,6 +203,7 @@ impl<T> Future for Send<'_, T> {
         let value = this
             .value
             .take()
+            // lint:allow(L3, a send future completes at most once)
             .expect("send future polled after completion");
         if !st.receiver_alive {
             return Poll::Ready(Err(SendError(value)));
@@ -345,7 +348,10 @@ mod tests {
             sleep(Duration::from_secs(3)).await;
             assert_eq!(rx.recv().await, Some(1));
             let unblocked_at = producer.join().await;
-            assert_eq!(unblocked_at.as_secs_f64(), 3.0);
+            assert_eq!(
+                unblocked_at,
+                crate::SimTime::ZERO + crate::Duration::from_secs(3)
+            );
             assert_eq!(rx.recv().await, Some(2));
         });
     }

@@ -88,7 +88,7 @@ mod tests {
                 h.join().await;
             }
             assert_eq!(m.lock().await.with(|v| *v), 4);
-            assert_eq!(now().as_secs_f64(), 4.0);
+            assert_eq!(now(), crate::SimTime::ZERO + crate::Duration::from_secs(4));
         });
     }
 

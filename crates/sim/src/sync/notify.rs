@@ -167,8 +167,14 @@ mod tests {
             n.notify_one();
             sleep(Duration::from_secs(1)).await;
             n.notify_one();
-            assert_eq!(h1.join().await.as_secs_f64(), 1.0);
-            assert_eq!(h2.join().await.as_secs_f64(), 2.0);
+            assert_eq!(
+                h1.join().await,
+                crate::SimTime::ZERO + crate::Duration::from_secs(1)
+            );
+            assert_eq!(
+                h2.join().await,
+                crate::SimTime::ZERO + crate::Duration::from_secs(2)
+            );
         });
     }
 
@@ -188,7 +194,10 @@ mod tests {
             sleep(Duration::from_secs(3)).await;
             n.notify_all();
             for h in handles {
-                assert_eq!(h.join().await.as_secs_f64(), 3.0);
+                assert_eq!(
+                    h.join().await,
+                    crate::SimTime::ZERO + crate::Duration::from_secs(3)
+                );
             }
         });
     }

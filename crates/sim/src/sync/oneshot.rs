@@ -95,7 +95,7 @@ mod tests {
                 tx.send(99u32).unwrap();
             });
             assert_eq!(rx.await, Some(99));
-            assert_eq!(now().as_secs_f64(), 2.0);
+            assert_eq!(now(), crate::SimTime::ZERO + crate::Duration::from_secs(2));
         });
     }
 

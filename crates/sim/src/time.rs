@@ -40,6 +40,7 @@ impl SimTime {
         Duration::from_nanos(
             self.0
                 .checked_sub(earlier.0)
+                // lint:allow(L3, duration_since contract: the argument is an earlier instant)
                 .expect("duration_since: earlier instant is in the future"),
         )
     }
@@ -68,6 +69,7 @@ impl Add<Duration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.as_nanos())
+                // lint:allow(L3, virtual-clock overflow (~584 simulated years) is unrepresentable)
                 .expect("virtual clock overflow"),
         )
     }
@@ -92,6 +94,7 @@ impl Sub<Duration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.as_nanos())
+                // lint:allow(L3, underflow would rewind the clock past zero — a scheduler bug)
                 .expect("virtual clock underflow"),
         )
     }
@@ -177,6 +180,7 @@ impl fmt::Display for Duration {
 impl Add for Duration {
     type Output = Duration;
     fn add(self, rhs: Duration) -> Duration {
+        // lint:allow(L3, Duration overflow beyond u64 nanoseconds is unrepresentable)
         Duration(self.0.checked_add(rhs.0).expect("Duration overflow"))
     }
 }
@@ -193,6 +197,7 @@ impl Sub for Duration {
         Duration(
             self.0
                 .checked_sub(rhs.0)
+                // lint:allow(L3, Duration subtraction contract: rhs <= self)
                 .expect("Duration subtraction underflow"),
         )
     }

@@ -81,6 +81,7 @@ impl Trace {
             previous,
         }) = self.try_record(at, value)
         {
+            // lint:allow(L3, record() documents the panic; time-regressing callers use try_record)
             panic!(
                 "trace '{}': sample at {attempted:?} is before previous sample at {previous:?}",
                 self.name
@@ -186,7 +187,7 @@ mod tests {
         t.record(SimTime::from_nanos(10), 3.0);
         t.record(SimTime::from_nanos(20), 2.0);
         assert_eq!(t.len(), 3);
-        assert_eq!(t.max_value(), 3.0);
+        assert_eq!(t.max_value().to_bits(), 3.0f64.to_bits());
         // (1.0*10 + 3.0*10) / 20
         assert!((t.time_weighted_mean() - 2.0).abs() < 1e-12);
     }
@@ -229,15 +230,31 @@ mod tests {
         }
         let d = t.downsample(10);
         assert_eq!(d.len(), 10);
-        assert_eq!(d[0].value, 0.0, "first sample must survive");
-        assert_eq!(d[9].value, 99.0, "final sample must survive");
+        assert_eq!(
+            d[0].value.to_bits(),
+            0.0f64.to_bits(),
+            "first sample must survive"
+        );
+        assert_eq!(
+            d[9].value.to_bits(),
+            99.0f64.to_bits(),
+            "final sample must survive"
+        );
         // Awkward divisors too: both endpoints, always.
         for n in [1usize, 2, 3, 7, 11, 13, 64, 99] {
             let d = t.downsample(n);
             assert_eq!(d.len(), n, "asked for {n}");
-            assert_eq!(d[n - 1].value, 99.0, "final sample lost at n = {n}");
+            assert_eq!(
+                d[n - 1].value.to_bits(),
+                99.0f64.to_bits(),
+                "final sample lost at n = {n}"
+            );
             if n > 1 {
-                assert_eq!(d[0].value, 0.0, "first sample lost at n = {n}");
+                assert_eq!(
+                    d[0].value.to_bits(),
+                    0.0f64.to_bits(),
+                    "first sample lost at n = {n}"
+                );
             }
             // Strictly increasing (no duplicated indices).
             for pair in d.windows(2) {

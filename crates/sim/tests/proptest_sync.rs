@@ -128,7 +128,7 @@ proptest! {
 }
 
 mod race_tests {
-    use tapejoin_sim::{now, race2, sleep, timeout, Duration, Either, Simulation};
+    use tapejoin_sim::{now, race2, sleep, timeout, Duration, Either, SimTime, Simulation};
 
     #[test]
     fn race_resolves_with_the_earlier_future() {
@@ -178,7 +178,7 @@ mod race_tests {
             })
             .await;
             assert_eq!(hit, Some(7));
-            assert_eq!(now().as_secs_f64(), 1.0);
+            assert_eq!(now(), SimTime::ZERO + Duration::from_secs(1));
 
             let miss = timeout(Duration::from_secs(2), async {
                 sleep(Duration::from_secs(60)).await;
@@ -186,7 +186,7 @@ mod race_tests {
             })
             .await;
             assert_eq!(miss, None);
-            assert_eq!(now().as_secs_f64(), 3.0);
+            assert_eq!(now(), SimTime::ZERO + Duration::from_secs(3));
         });
     }
 }

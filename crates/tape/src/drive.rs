@@ -155,7 +155,7 @@ impl TapeDrive {
     /// `fault` span, both on the track `tape-drive:{name}`. A disabled
     /// recorder is a no-op.
     pub fn set_recorder(&self, rec: Recorder) {
-        self.server.attach_observer(Rc::new(rec.clone()));
+        self.server.attach_observer(Rc::new(rec.share()));
         self.state.borrow_mut().recorder = rec;
     }
 
@@ -223,6 +223,7 @@ impl TapeDrive {
         self.server
             .serve_with(move || {
                 let mut st = state.borrow_mut();
+                // lint:allow(L3, drive protocol: unload is only issued while a cartridge is loaded)
                 let media = st.media.take().expect("no cartridge to unload");
                 st.position = 0;
                 st.streaming = false;
@@ -240,6 +241,7 @@ impl TapeDrive {
         self.server
             .serve_with(move || {
                 let mut st = state.borrow_mut();
+                // lint:allow(L3, drive protocol: reads require a mounted cartridge)
                 let media = st.media.clone().expect("read with no cartridge loaded");
                 let mut service = Duration::ZERO;
                 service +=
@@ -314,6 +316,7 @@ impl TapeDrive {
         self.server
             .serve_with(move || {
                 let mut st = state.borrow_mut();
+                // lint:allow(L3, drive protocol: reads require a mounted cartridge)
                 let media = st.media.clone().expect("read with no cartridge loaded");
                 let mut service = Duration::ZERO;
                 service +=
@@ -372,6 +375,7 @@ impl TapeDrive {
         self.server
             .serve_with(move || {
                 let mut st = state.borrow_mut();
+                // lint:allow(L3, drive protocol: appends require a mounted cartridge)
                 let media = st.media.clone().expect("append with no cartridge loaded");
                 let eod = media.end_of_data();
                 let mut service = Duration::ZERO;
@@ -436,6 +440,7 @@ impl TapeDrive {
         let retry_cycle = |retries: u32| {
             (model.reposition_time(block_bytes) + block_time)
                 .checked_mul(retries as u64)
+                // lint:allow(L3, fault recovery cost overflow beyond u64 nanoseconds is unrepresentable)
                 .expect("fault recovery cost overflow")
         };
         let cost = match fault {

@@ -1,0 +1,62 @@
+//! Typed tape-substrate errors.
+//!
+//! Multi-volume reads used to `panic!` on an out-of-range position. Like
+//! the robot's [`LibraryError`](crate::LibraryError), these conditions
+//! are the scheduler's to handle — a fleet juggling many cartridges must
+//! fail one query, not the whole process.
+
+use std::fmt;
+
+use crate::library::LibraryError;
+
+/// An error from the tape substrate (drives, multi-volume views).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TapeError {
+    /// A logical position past the end of a multi-volume space.
+    BeyondLogicalEnd {
+        /// First out-of-range position touched by the request.
+        pos: u64,
+        /// The logical length of the volume set, in blocks.
+        len: u64,
+    },
+    /// A volume that should be resident in a library slot is not
+    /// (internal bookkeeping violation surfaced instead of panicking).
+    VolumeNotInSlot {
+        /// Index of the volume within the multi-volume set.
+        volume: usize,
+    },
+    /// The robot failed the media exchange.
+    Library(LibraryError),
+}
+
+impl From<LibraryError> for TapeError {
+    fn from(e: LibraryError) -> Self {
+        TapeError::Library(e)
+    }
+}
+
+impl fmt::Display for TapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeError::BeyondLogicalEnd { pos, len } => {
+                write!(f, "position {pos} beyond logical end {len}")
+            }
+            TapeError::VolumeNotInSlot { volume } => {
+                write!(
+                    f,
+                    "volume {volume} is neither mounted nor in a tracked slot"
+                )
+            }
+            TapeError::Library(e) => write!(f, "library: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TapeError::Library(e) => Some(e),
+            _ => None,
+        }
+    }
+}

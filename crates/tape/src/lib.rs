@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod drive;
+mod error;
 mod fault;
 mod library;
 mod media;
@@ -38,6 +39,7 @@ mod model;
 mod multivolume;
 
 pub use drive::{TapeDrive, TapeStats};
+pub use error::TapeError;
 pub use fault::TapeFaultPolicy;
 pub use library::{LibraryError, TapeLibrary};
 pub use media::{TapeBlock, TapeExtent, TapeMedia};

@@ -223,7 +223,7 @@ impl TapeLibrary {
 mod tests {
     use super::*;
     use crate::model::TapeDriveModel;
-    use tapejoin_sim::{now, Simulation};
+    use tapejoin_sim::{now, SimTime, Simulation};
 
     #[test]
     fn exchange_swaps_media_and_charges_time() {
@@ -237,7 +237,7 @@ mod tests {
             drive.load(b).await;
             let t0 = now();
             lib.exchange(&drive, 0).await.unwrap();
-            assert_eq!((now() - t0).as_secs_f64(), 30.0);
+            assert_eq!(now() - t0, Duration::from_secs(30));
             assert_eq!(drive.media().unwrap().label(), "A");
             assert_eq!(lib.slot(0).unwrap().label(), "B");
             assert_eq!(lib.exchanges(), 1);
@@ -265,7 +265,7 @@ mod tests {
             let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), 1 << 16);
             let err = lib.exchange(&drive, 0).await.unwrap_err();
             assert_eq!(err, LibraryError::EmptySlot { slot: 0 });
-            assert_eq!(now().as_secs_f64(), 0.0, "no arm time charged");
+            assert_eq!(now(), SimTime::ZERO, "no arm time charged");
             assert_eq!(lib.exchanges(), 0);
         });
     }
@@ -324,7 +324,7 @@ mod tests {
             assert_eq!(slot, 1, "first free slot");
             assert!(drive.media().is_none());
             assert_eq!(lib.slot(1).unwrap().label(), "B");
-            assert_eq!(now().as_secs_f64(), 30.0);
+            assert_eq!(now(), SimTime::ZERO + Duration::from_secs(30));
         });
     }
 }

@@ -204,7 +204,10 @@ mod tests {
         for i in 0..ext.len {
             let tb = tape.read_at(ext.start + i);
             assert_eq!(tb.data.checksum(), w.r.blocks()[i as usize].checksum());
-            assert_eq!(tb.compressibility, w.r.compressibility());
+            assert_eq!(
+                tb.compressibility.to_bits(),
+                w.r.compressibility().to_bits()
+            );
         }
     }
 

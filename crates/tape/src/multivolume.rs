@@ -13,6 +13,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::drive::TapeDrive;
+use crate::error::TapeError;
 use crate::library::TapeLibrary;
 use crate::media::{TapeBlock, TapeExtent};
 
@@ -88,69 +89,75 @@ impl MultiVolume {
 
     /// Read `count` logical blocks starting at `pos`, exchanging
     /// cartridges wherever the range crosses a volume boundary.
-    pub async fn read(&self, pos: u64, count: u64) -> Vec<TapeBlock> {
-        assert!(
-            pos + count <= self.len(),
-            "read [{pos}, {}) beyond logical end {}",
-            pos + count,
-            self.len()
-        );
+    ///
+    /// A range reaching past the logical end is a
+    /// [`TapeError::BeyondLogicalEnd`] — typed, like the robot's
+    /// [`LibraryError`](crate::LibraryError)s, so a workload scheduler
+    /// can fail one query instead of the whole fleet.
+    pub async fn read(&self, pos: u64, count: u64) -> Result<Vec<TapeBlock>, TapeError> {
+        if pos + count > self.len() {
+            return Err(TapeError::BeyondLogicalEnd {
+                pos: pos + count,
+                len: self.len(),
+            });
+        }
         let mut out = Vec::with_capacity(count as usize);
         let mut remaining = count;
         let mut cursor = pos;
         while remaining > 0 {
-            let (vol, offset) = self.locate(cursor);
+            let (vol, offset) = self.locate(cursor)?;
             let seg = self.segments[vol];
             let n = remaining.min(seg.extent.len - offset);
-            self.ensure_mounted(vol).await;
+            self.ensure_mounted(vol).await?;
             let blocks = self.drive.read(seg.extent.start + offset, n).await;
             out.extend(blocks);
             cursor += n;
             remaining -= n;
         }
-        out
+        Ok(out)
     }
 
     /// Map a logical position to `(volume index, offset within it)`.
-    fn locate(&self, pos: u64) -> (usize, u64) {
+    fn locate(&self, pos: u64) -> Result<(usize, u64), TapeError> {
         let mut base = 0;
         for (i, s) in self.segments.iter().enumerate() {
             if pos < base + s.extent.len {
-                return (i, pos - base);
+                return Ok((i, pos - base));
             }
             base += s.extent.len;
         }
-        panic!("position {pos} beyond logical end {}", self.len());
+        Err(TapeError::BeyondLogicalEnd {
+            pos,
+            len: self.len(),
+        })
     }
 
     /// Swap the required cartridge in, tracking where the displaced one
     /// lands (the robot puts the outgoing cartridge into the slot the
     /// incoming one vacated).
-    async fn ensure_mounted(&self, vol: usize) {
+    async fn ensure_mounted(&self, vol: usize) -> Result<(), TapeError> {
         let (already, slot) = {
             let st = self.state.borrow();
             if st.mounted == Some(vol) {
                 (true, 0)
             } else {
-                (
-                    false,
-                    st.slot_of[vol].expect("unmounted volume must be in a slot"),
-                )
+                match st.slot_of[vol] {
+                    Some(slot) => (false, slot),
+                    None => return Err(TapeError::VolumeNotInSlot { volume: vol }),
+                }
             }
         };
         if already {
-            return;
+            return Ok(());
         }
-        self.library
-            .exchange(&self.drive, slot)
-            .await
-            .expect("multi-volume cartridge must sit in its tracked slot");
+        self.library.exchange(&self.drive, slot).await?;
         let mut st = self.state.borrow_mut();
         if let Some(prev) = st.mounted.take() {
             st.slot_of[prev] = Some(slot);
         }
         st.slot_of[vol] = None;
         st.mounted = Some(vol);
+        Ok(())
     }
 }
 
@@ -196,7 +203,7 @@ mod tests {
             let (mv, expected) = setup();
             assert_eq!(mv.len(), 120);
             assert_eq!(mv.volumes(), 3);
-            let blocks = mv.read(0, 120).await;
+            let blocks = mv.read(0, 120).await.expect("in range");
             let keys: Vec<u64> = blocks
                 .iter()
                 .flat_map(|tb| tb.data.tuples().iter().map(|t| t.key))
@@ -214,7 +221,7 @@ mod tests {
         sim.run(async {
             let (mv, expected) = setup();
             // 20 blocks straddling the volume-0/volume-1 boundary.
-            let blocks = mv.read(30, 20).await;
+            let blocks = mv.read(30, 20).await.expect("in range");
             let keys: Vec<u64> = blocks
                 .iter()
                 .flat_map(|tb| tb.data.tuples().iter().map(|t| t.key))
@@ -228,9 +235,9 @@ mod tests {
         let mut sim = Simulation::new();
         sim.run(async {
             let (mv, _) = setup();
-            mv.read(0, 10).await; // mounts VOL0
-            mv.read(50, 10).await; // swaps to VOL1
-            mv.read(5, 10).await; // swaps back to VOL0
+            mv.read(0, 10).await.expect("in range"); // mounts VOL0
+            mv.read(50, 10).await.expect("in range"); // swaps to VOL1
+            mv.read(5, 10).await.expect("in range"); // swaps back to VOL0
             assert_eq!(mv.library.exchanges(), 3);
         });
     }
@@ -240,20 +247,25 @@ mod tests {
         let mut sim = Simulation::new();
         sim.run(async {
             let (mv, _) = setup();
-            mv.read(0, 10).await;
-            mv.read(10, 10).await;
-            mv.read(20, 10).await;
+            mv.read(0, 10).await.expect("in range");
+            mv.read(10, 10).await.expect("in range");
+            mv.read(20, 10).await.expect("in range");
             assert_eq!(mv.library.exchanges(), 1);
         });
     }
 
     #[test]
-    #[should_panic(expected = "beyond logical end")]
-    fn out_of_range_read_panics() {
+    fn out_of_range_read_is_a_typed_error() {
         let mut sim = Simulation::new();
         sim.run(async {
             let (mv, _) = setup();
-            mv.read(110, 20).await;
+            let err = mv.read(110, 20).await.unwrap_err();
+            assert_eq!(
+                err,
+                crate::TapeError::BeyondLogicalEnd { pos: 130, len: 120 }
+            );
+            // The failed read consumed no robot or drive time.
+            assert_eq!(now(), tapejoin_sim::SimTime::ZERO);
         });
     }
 }

@@ -2,7 +2,7 @@
 //! state, back-hitching, and robot contention.
 
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};
-use tapejoin_sim::{now, sleep, spawn, Duration, Simulation};
+use tapejoin_sim::{now, sleep, spawn, Duration, SimTime, Simulation};
 use tapejoin_tape::{TapeDrive, TapeDriveModel, TapeLibrary, TapeMedia};
 
 const BLOCK: u64 = 1 << 16;
@@ -132,9 +132,13 @@ fn robot_arm_serializes_concurrent_exchanges() {
         let t0 = h0.join().await;
         let t1 = h1.join().await;
         // One arm: 30 s then 60 s, not both at 30 s.
-        let mut times = [t0.as_secs_f64(), t1.as_secs_f64()];
-        times.sort_by(f64::total_cmp);
-        assert_eq!(times, [30.0, 60.0]);
+        let mut times = [t0, t1];
+        times.sort();
+        let expect = [
+            SimTime::ZERO + Duration::from_secs(30),
+            SimTime::ZERO + Duration::from_secs(60),
+        ];
+        assert_eq!(times, expect);
     });
 }
 

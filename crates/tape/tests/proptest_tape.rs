@@ -128,7 +128,7 @@ proptest! {
             let (start, len) = read;
             let start = start.min(total - 1);
             let len = len.min(total - start);
-            let blocks = mv.read(start, len).await;
+            let blocks = mv.read(start, len).await.expect("range clamped to len");
             let got: Vec<u64> = blocks
                 .iter()
                 .flat_map(|tb| tb.data.tuples().iter().map(|t| t.rid))

@@ -103,7 +103,7 @@ fn main() {
         let mv = MultiVolume::new(mv_drive, mv_library, segments);
         let t0 = now();
         // A read straddling the cartridge boundary.
-        let blocks = mv.read(2300, 200).await;
+        let blocks = mv.read(2300, 200).await.expect("within the logical space");
         println!(
             "[{}] read {} blocks across the volume boundary in {} \
              (includes one ~30 s exchange per cartridge touched)",
