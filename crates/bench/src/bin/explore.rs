@@ -14,10 +14,11 @@
 
 use tapejoin::cost::CostParams;
 use tapejoin::planner::rank_methods;
-use tapejoin::{FaultPlan, JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin::{FaultPlan, JoinMethod, RecoveryPolicy, SystemConfig, TertiaryJoin};
 use tapejoin_bench::chart::AsciiChart;
 use tapejoin_bench::SEED;
 use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+use tapejoin_sim::Duration;
 
 /// Which parameter `--sweep` varies.
 #[derive(Clone, Copy, PartialEq)]
@@ -36,6 +37,7 @@ struct Args {
     overhead: bool,
     sweep: Option<Sweep>,
     fault_rate: f64,
+    chaos_rate: f64,
     fault_seed: u64,
 }
 
@@ -50,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         overhead: true,
         sweep: None,
         fault_rate: 0.0,
+        chaos_rate: 0.0,
         fault_seed: SEED,
     };
     let mut it = std::env::args().skip(1);
@@ -66,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--ideal-disks" => args.overhead = false,
             "--fault-rate" => args.fault_rate = parse_f64(&value("--fault-rate")?)?,
+            "--chaos-rate" => args.chaos_rate = parse_f64(&value("--chaos-rate")?)?,
             "--fault-seed" => {
                 args.fault_seed = value("--fault-seed")?
                     .parse()
@@ -82,11 +86,14 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: explore [--r-mb N] [--s-mb N] [--m-mb N] [--d-mb N] \
                      [--compress C] [--method ABBREV] [--ideal-disks] [--sweep m|d] \
-                     [--fault-rate R] [--fault-seed N]\n\n\
+                     [--fault-rate R] [--chaos-rate R] [--fault-seed N]\n\n\
                      --sweep m       vary memory from 5% of |R| up to |R| (chart per method)\n\
                      --sweep d       vary disk from 0.5x to 3x |R|\n\
                      --fault-rate R  inject recoverable device faults (tape transient\n\
                                      rate R, hard rate R/20, disk error rate R/2)\n\
+                     --chaos-rate R  inject unrecoverable faults (sticky hard faults at\n\
+                                     rate R per tape block, zero exchange budget) and\n\
+                                     recover via checkpoint/resume with 2 spare drives\n\
                      --fault-seed N  seed of the deterministic fault schedule"
                 );
                 std::process::exit(0);
@@ -105,9 +112,18 @@ fn parse_f64(s: &str) -> Result<f64, String> {
 /// rare hard faults at `R/20` (recovered by media exchange), disk errors
 /// at `R/2` (recovered by retry with capped backoff).
 fn fault_plan(args: &Args) -> FaultPlan {
-    FaultPlan::new(args.fault_seed)
+    let mut plan = FaultPlan::new(args.fault_seed)
         .tape_rates(args.fault_rate, args.fault_rate / 20.0)
-        .disk_error_rate(args.fault_rate / 2.0)
+        .disk_error_rate(args.fault_rate / 2.0);
+    if args.chaos_rate > 0.0 {
+        // `--chaos-rate` makes hard faults sticky: the exchange budget is
+        // zero, so every hard fault kills its drive and the recovery
+        // subsystem must swap a spare and resume from the checkpoint.
+        plan = plan
+            .tape_rates(args.fault_rate, args.chaos_rate)
+            .tape_exchange(Duration::from_secs(50), 0);
+    }
+    plan
 }
 
 fn main() {
@@ -130,8 +146,11 @@ fn main() {
         probe.mb_to_blocks(args.d_mb),
     )
     .disk_overhead(args.overhead);
-    if args.fault_rate > 0.0 {
+    if args.fault_rate > 0.0 || args.chaos_rate > 0.0 {
         cfg = cfg.faults(fault_plan(&args));
+    }
+    if args.chaos_rate > 0.0 {
+        cfg = cfg.recovery(RecoveryPolicy::with_spares(2).max_restarts(8));
     }
 
     let workload = WorkloadBuilder::new(SEED)
@@ -206,7 +225,18 @@ fn main() {
                 "  peaks           {} memory blocks, {} disk blocks",
                 stats.mem_peak, stats.disk_peak
             );
-            if args.fault_rate > 0.0 {
+            if args.chaos_rate > 0.0 {
+                println!(
+                    "  recovery        {} restarts, {:.1} MB salvaged by checkpoints{}",
+                    stats.restarts,
+                    stats.work_salvaged_bytes as f64 / (1024.0 * 1024.0),
+                    match stats.replanned_method {
+                        Some(m) => format!(", re-planned onto {m}"),
+                        None => String::new(),
+                    }
+                );
+            }
+            if args.fault_rate > 0.0 || args.chaos_rate > 0.0 {
                 let f = &stats.faults;
                 println!(
                     "  faults          {} injected ({} tape transient, {} tape hard, {} disk), all recovered",

@@ -1,0 +1,797 @@
+//! Join checkpoints: serializable progress state captured at phase/unit
+//! boundaries, so an unrecoverable device fault mid-join salvages the
+//! completed work instead of discarding it.
+//!
+//! Every method runs as a sequence of *units* (a copy chunk, a probe
+//! chunk, a partitioning scan, a frame, a bucket). When a device fails
+//! stickily, producers stop at the next unit boundary and the method
+//! returns a [`JoinCheckpoint`] describing exactly which units completed.
+//! The driver ([`crate::TertiaryJoin::run`]) quarantines the failed unit,
+//! re-plans against the degraded configuration, and — when the same
+//! method is still the best fit — resumes from the checkpoint without
+//! redoing any completed unit. See DESIGN.md §12.
+//!
+//! Checkpoints are plain data: no device handles, no shared state. The
+//! hand-rolled byte encoding ([`JoinCheckpoint::encode`] /
+//! [`JoinCheckpoint::decode`]) is versioned and round-trips exactly, so a
+//! checkpoint could equally be persisted off-machine.
+
+use std::fmt;
+
+use tapejoin_disk::DiskAddr;
+use tapejoin_tape::TapeExtent;
+
+use crate::hash::GracePlan;
+use crate::method::JoinMethod;
+
+/// The canonical names of every checkpointable phase, across all seven
+/// methods. [`JoinMethod::phases`] maps each method onto a subsequence of
+/// these; the `tapejoin-lint` L7 rule cross-checks both sites.
+pub const PHASES: [&str; 7] = [
+    "copy-r",
+    "probe-s",
+    "hash-r",
+    "hash-s",
+    "join-frames",
+    "join-buckets",
+    "output",
+];
+
+/// Where the partitioned R buckets live for a frame-join resume.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BucketSource {
+    /// Bucket blocks on the disk array (DT-GH / CDT-GH).
+    Disk(Vec<Vec<DiskAddr>>),
+    /// Bucket extents in the R tape's scratch region (CTT-GH).
+    Tape(Vec<TapeExtent>),
+}
+
+impl BucketSource {
+    /// Total bucket blocks held by the source.
+    pub fn blocks(&self) -> u64 {
+        match self {
+            BucketSource::Disk(buckets) => buckets.iter().map(|b| b.len() as u64).sum(),
+            BucketSource::Tape(extents) => extents.iter().map(|e| e.len).sum(),
+        }
+    }
+}
+
+/// Progress through a join, measured in completed units. All positions
+/// are *relative* (blocks of the relation consumed, frames finished,
+/// buckets joined), never absolute device state — a checkpoint plus the
+/// original workload fully determines the resume point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Progress {
+    /// Nested-block Step I: copying R to disk. `addrs` is the full
+    /// up-front allocation; blocks `0..copied` of R hold valid data.
+    CopyR {
+        /// The copy's disk allocation (one address per R block).
+        addrs: Vec<DiskAddr>,
+        /// R blocks copied so far.
+        copied: u64,
+    },
+    /// Nested-block Step II: probing S against the disk-resident R.
+    ProbeS {
+        /// The completed R copy on disk.
+        addrs: Vec<DiskAddr>,
+        /// S blocks fully probed so far.
+        s_done: u64,
+    },
+    /// Grace Step I (disk variants): partitioning R onto disk.
+    HashR {
+        /// The partitioning plan of the interrupted attempt. Resume must
+        /// reuse it — the buckets already on disk follow its layout.
+        plan: GracePlan,
+        /// R blocks consumed by the partitioner so far.
+        r_done: u64,
+        /// Bucket block addresses written so far (per bucket).
+        buckets: Vec<Vec<DiskAddr>>,
+        /// Tuples in each bucket's trailing partial block (0 = the last
+        /// block is full). The partial block is the last address of the
+        /// bucket's vector.
+        tails: Vec<u32>,
+    },
+    /// Grace Step II (frame variants): joining S frames against resident
+    /// R buckets.
+    JoinFrames {
+        /// The plan shared by Step I's buckets.
+        plan: GracePlan,
+        /// The completed R partitioning.
+        source: BucketSource,
+        /// S blocks consumed into fully-joined frames so far.
+        s_done: u64,
+        /// Frames fully joined (preserves scan-direction parity for
+        /// `READ REVERSE` resumes).
+        frames_done: u64,
+    },
+    /// Tape–tape Step I(a): hashing R into its tape scratch region.
+    TapeHashR {
+        /// The partitioning plan of the interrupted attempt.
+        plan: GracePlan,
+        /// Start position of each completed bucket extent in the scratch
+        /// region (`u64::MAX` = bucket not yet written).
+        starts: Vec<u64>,
+        /// Length of each completed bucket extent.
+        lens: Vec<u64>,
+        /// Next bucket (sliced mode) or bucket-group base (whole-bucket
+        /// mode) to partition.
+        bucket: u64,
+        /// Tuples collected into the current bucket so far (sliced mode).
+        collected: u64,
+    },
+    /// Tape–tape Step I(b): hashing S, with R's buckets complete.
+    TapeHashS {
+        /// The plan shared by both partitionings.
+        plan: GracePlan,
+        /// R's completed bucket extents.
+        r_extents: Vec<TapeExtent>,
+        /// Start position of each completed S bucket extent
+        /// (`u64::MAX` = not yet written).
+        starts: Vec<u64>,
+        /// Length of each completed S bucket extent.
+        lens: Vec<u64>,
+        /// Next S bucket (or bucket-group base) to partition.
+        bucket: u64,
+        /// Tuples collected into the current bucket so far.
+        collected: u64,
+    },
+    /// Tape–tape Step II: joining hashed bucket pairs.
+    JoinBuckets {
+        /// The plan shared by both partitionings.
+        plan: GracePlan,
+        /// R's bucket extents.
+        r_extents: Vec<TapeExtent>,
+        /// S's bucket extents.
+        s_extents: Vec<TapeExtent>,
+        /// Next bucket pair to join; pairs `0..bucket` are fully joined.
+        bucket: u64,
+    },
+}
+
+impl Progress {
+    /// The canonical phase name (a member of [`PHASES`]).
+    pub fn phase(&self) -> &'static str {
+        match self {
+            Progress::CopyR { .. } => "copy-r",
+            Progress::ProbeS { .. } => "probe-s",
+            Progress::HashR { .. } => "hash-r",
+            Progress::TapeHashR { .. } => "hash-r",
+            Progress::TapeHashS { .. } => "hash-s",
+            Progress::JoinFrames { .. } => "join-frames",
+            Progress::JoinBuckets { .. } => "join-buckets",
+        }
+    }
+
+    /// Completed work captured by this checkpoint, in blocks of device
+    /// I/O that a resume does *not* redo. This is an accounting metric
+    /// (it feeds `JoinStats::work_salvaged_bytes`), not a byte-exact
+    /// replay ledger.
+    pub fn salvaged_blocks(&self) -> u64 {
+        match self {
+            Progress::CopyR { copied, .. } => *copied,
+            Progress::ProbeS { addrs, s_done } => addrs.len() as u64 + s_done,
+            Progress::HashR { r_done, .. } => *r_done,
+            Progress::JoinFrames { source, s_done, .. } => source.blocks() + s_done,
+            Progress::TapeHashR { lens, .. } => lens.iter().sum(),
+            Progress::TapeHashS {
+                r_extents, lens, ..
+            } => r_extents.iter().map(|e| e.len).sum::<u64>() + lens.iter().sum::<u64>(),
+            Progress::JoinBuckets {
+                r_extents,
+                s_extents,
+                bucket,
+                ..
+            } => {
+                let joined = |ext: &[TapeExtent]| {
+                    ext.iter()
+                        .take(*bucket as usize)
+                        .map(|e| e.len)
+                        .sum::<u64>()
+                };
+                // Both partitionings are complete, plus the joined pairs.
+                r_extents.iter().map(|e| e.len).sum::<u64>()
+                    + s_extents.iter().map(|e| e.len).sum::<u64>()
+                    + joined(r_extents)
+                    + joined(s_extents)
+            }
+        }
+    }
+
+    /// Disk addresses a resume will *not* reuse if the join restarts
+    /// under a different method — the salvage to release back to the
+    /// space manager before re-planning.
+    pub fn disk_addrs(&self) -> Vec<DiskAddr> {
+        match self {
+            Progress::CopyR { addrs, .. } | Progress::ProbeS { addrs, .. } => addrs.clone(),
+            Progress::HashR { buckets, .. } => buckets.iter().flatten().copied().collect(),
+            Progress::JoinFrames { source, .. } => match source {
+                BucketSource::Disk(buckets) => buckets.iter().flatten().copied().collect(),
+                BucketSource::Tape(_) => Vec::new(),
+            },
+            Progress::TapeHashR { .. }
+            | Progress::TapeHashS { .. }
+            | Progress::JoinBuckets { .. } => Vec::new(),
+        }
+    }
+}
+
+/// A snapshot of an interrupted join: the method that was running and how
+/// far it got. Returned by `run_method_resumable` when a device fails;
+/// fed back as the `resume` argument to continue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinCheckpoint {
+    /// The method that was interrupted.
+    pub method: JoinMethod,
+    /// Completed units at the interrupt boundary.
+    pub progress: Progress,
+}
+
+/// Encoding version written by [`JoinCheckpoint::encode`].
+const VERSION: u8 = 1;
+/// Magic prefix guarding against decoding arbitrary bytes.
+const MAGIC: [u8; 4] = *b"TJCK";
+
+impl JoinCheckpoint {
+    /// Serialize to a self-describing byte string (magic, version,
+    /// method, progress tag, then little-endian fields with
+    /// length-prefixed vectors).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(method_tag(self.method));
+        let w = &mut out;
+        match &self.progress {
+            Progress::CopyR { addrs, copied } => {
+                w.push(0);
+                put_addrs(w, addrs);
+                put_u64(w, *copied);
+            }
+            Progress::ProbeS { addrs, s_done } => {
+                w.push(1);
+                put_addrs(w, addrs);
+                put_u64(w, *s_done);
+            }
+            Progress::HashR {
+                plan,
+                r_done,
+                buckets,
+                tails,
+            } => {
+                w.push(2);
+                put_plan(w, plan);
+                put_u64(w, *r_done);
+                put_u64(w, buckets.len() as u64);
+                for b in buckets {
+                    put_addrs(w, b);
+                }
+                put_u64(w, tails.len() as u64);
+                for t in tails {
+                    put_u64(w, u64::from(*t));
+                }
+            }
+            Progress::JoinFrames {
+                plan,
+                source,
+                s_done,
+                frames_done,
+            } => {
+                w.push(3);
+                put_plan(w, plan);
+                match source {
+                    BucketSource::Disk(buckets) => {
+                        w.push(0);
+                        put_u64(w, buckets.len() as u64);
+                        for b in buckets {
+                            put_addrs(w, b);
+                        }
+                    }
+                    BucketSource::Tape(extents) => {
+                        w.push(1);
+                        put_extents(w, extents);
+                    }
+                }
+                put_u64(w, *s_done);
+                put_u64(w, *frames_done);
+            }
+            Progress::TapeHashR {
+                plan,
+                starts,
+                lens,
+                bucket,
+                collected,
+            } => {
+                w.push(4);
+                put_plan(w, plan);
+                put_u64_vec(w, starts);
+                put_u64_vec(w, lens);
+                put_u64(w, *bucket);
+                put_u64(w, *collected);
+            }
+            Progress::TapeHashS {
+                plan,
+                r_extents,
+                starts,
+                lens,
+                bucket,
+                collected,
+            } => {
+                w.push(5);
+                put_plan(w, plan);
+                put_extents(w, r_extents);
+                put_u64_vec(w, starts);
+                put_u64_vec(w, lens);
+                put_u64(w, *bucket);
+                put_u64(w, *collected);
+            }
+            Progress::JoinBuckets {
+                plan,
+                r_extents,
+                s_extents,
+                bucket,
+            } => {
+                w.push(6);
+                put_plan(w, plan);
+                put_extents(w, r_extents);
+                put_extents(w, s_extents);
+                put_u64(w, *bucket);
+            }
+        }
+        out
+    }
+
+    /// Decode a byte string produced by [`JoinCheckpoint::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<JoinCheckpoint, CheckpointDecodeError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CheckpointDecodeError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(CheckpointDecodeError::BadVersion(version));
+        }
+        let method = method_from_tag(r.u8()?)?;
+        let tag = r.u8()?;
+        let progress = match tag {
+            0 => Progress::CopyR {
+                addrs: r.addrs()?,
+                copied: r.u64()?,
+            },
+            1 => Progress::ProbeS {
+                addrs: r.addrs()?,
+                s_done: r.u64()?,
+            },
+            2 => {
+                let plan = r.plan()?;
+                let r_done = r.u64()?;
+                let n = r.len()?;
+                let mut buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buckets.push(r.addrs()?);
+                }
+                let n = r.len()?;
+                let mut tails = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tails.push(r.u32_from_u64()?);
+                }
+                Progress::HashR {
+                    plan,
+                    r_done,
+                    buckets,
+                    tails,
+                }
+            }
+            3 => {
+                let plan = r.plan()?;
+                let source = match r.u8()? {
+                    0 => {
+                        let n = r.len()?;
+                        let mut buckets = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            buckets.push(r.addrs()?);
+                        }
+                        BucketSource::Disk(buckets)
+                    }
+                    1 => BucketSource::Tape(r.extents()?),
+                    t => return Err(CheckpointDecodeError::BadTag(t)),
+                };
+                Progress::JoinFrames {
+                    plan,
+                    source,
+                    s_done: r.u64()?,
+                    frames_done: r.u64()?,
+                }
+            }
+            4 => Progress::TapeHashR {
+                plan: r.plan()?,
+                starts: r.u64_vec()?,
+                lens: r.u64_vec()?,
+                bucket: r.u64()?,
+                collected: r.u64()?,
+            },
+            5 => Progress::TapeHashS {
+                plan: r.plan()?,
+                r_extents: r.extents()?,
+                starts: r.u64_vec()?,
+                lens: r.u64_vec()?,
+                bucket: r.u64()?,
+                collected: r.u64()?,
+            },
+            6 => Progress::JoinBuckets {
+                plan: r.plan()?,
+                r_extents: r.extents()?,
+                s_extents: r.extents()?,
+                bucket: r.u64()?,
+            },
+            t => return Err(CheckpointDecodeError::BadTag(t)),
+        };
+        if r.pos != bytes.len() {
+            return Err(CheckpointDecodeError::TrailingBytes);
+        }
+        Ok(JoinCheckpoint { method, progress })
+    }
+}
+
+/// Why a checkpoint byte string failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointDecodeError {
+    /// Input ended mid-field.
+    Truncated,
+    /// Missing the `TJCK` magic prefix.
+    BadMagic,
+    /// Unknown encoding version.
+    BadVersion(u8),
+    /// Unknown method index.
+    BadMethod(u8),
+    /// Unknown progress/source tag.
+    BadTag(u8),
+    /// Bytes left over after a complete checkpoint.
+    TrailingBytes,
+    /// A field held a value outside its domain (e.g. a tail count that
+    /// does not fit in `u32`).
+    BadValue,
+}
+
+impl fmt::Display for CheckpointDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointDecodeError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointDecodeError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointDecodeError::BadVersion(v) => write!(f, "unknown checkpoint version {v}"),
+            CheckpointDecodeError::BadMethod(m) => write!(f, "unknown method index {m}"),
+            CheckpointDecodeError::BadTag(t) => write!(f, "unknown progress tag {t}"),
+            CheckpointDecodeError::TrailingBytes => write!(f, "trailing bytes after checkpoint"),
+            CheckpointDecodeError::BadValue => write!(f, "field value out of domain"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointDecodeError {}
+
+fn method_tag(m: JoinMethod) -> u8 {
+    JoinMethod::ALL
+        .iter()
+        .position(|x| *x == m)
+        // lint:allow(L3, every variant is a member of ALL — position lookup cannot fail)
+        .expect("method in ALL") as u8
+}
+
+fn method_from_tag(tag: u8) -> Result<JoinMethod, CheckpointDecodeError> {
+    JoinMethod::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(CheckpointDecodeError::BadMethod(tag))
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_vec(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u64(out, vs.len() as u64);
+    for v in vs {
+        put_u64(out, *v);
+    }
+}
+
+fn put_addrs(out: &mut Vec<u8>, addrs: &[DiskAddr]) {
+    put_u64(out, addrs.len() as u64);
+    for a in addrs {
+        put_u64(out, u64::from(a.disk));
+        put_u64(out, a.lba);
+    }
+}
+
+fn put_extents(out: &mut Vec<u8>, extents: &[TapeExtent]) {
+    put_u64(out, extents.len() as u64);
+    for e in extents {
+        put_u64(out, e.start);
+        put_u64(out, e.len);
+    }
+}
+
+fn put_plan(out: &mut Vec<u8>, plan: &GracePlan) {
+    put_u64(out, plan.buckets as u64);
+    put_u64(out, plan.resident_blocks);
+    put_u64(out, plan.write_buffer_blocks);
+    put_u64(out, plan.input_blocks);
+    put_u64(out, u64::from(plan.tuples_per_block));
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointDecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CheckpointDecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CheckpointDecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointDecodeError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn u32_from_u64(&mut self) -> Result<u32, CheckpointDecodeError> {
+        u32::try_from(self.u64()?).map_err(|_| CheckpointDecodeError::BadValue)
+    }
+
+    /// A vector length, sanity-capped so corrupt input cannot trigger a
+    /// huge allocation.
+    fn len(&mut self) -> Result<usize, CheckpointDecodeError> {
+        let n = self.u64()?;
+        // No encoded collection can exceed the remaining input (each
+        // element is at least 8 bytes).
+        if n > (self.bytes.len() - self.pos) as u64 {
+            return Err(CheckpointDecodeError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    fn u64_vec(&mut self) -> Result<Vec<u64>, CheckpointDecodeError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn addrs(&mut self) -> Result<Vec<DiskAddr>, CheckpointDecodeError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let disk = u32::try_from(self.u64()?).map_err(|_| CheckpointDecodeError::BadValue)?;
+            let lba = self.u64()?;
+            out.push(DiskAddr { disk, lba });
+        }
+        Ok(out)
+    }
+
+    fn extents(&mut self) -> Result<Vec<TapeExtent>, CheckpointDecodeError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = self.u64()?;
+            let len = self.u64()?;
+            out.push(TapeExtent { start, len });
+        }
+        Ok(out)
+    }
+
+    fn plan(&mut self) -> Result<GracePlan, CheckpointDecodeError> {
+        Ok(GracePlan {
+            buckets: self.len()?,
+            resident_blocks: self.u64()?,
+            write_buffer_blocks: self.u64()?,
+            input_blocks: self.u64()?,
+            tuples_per_block: self.u32_from_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> GracePlan {
+        GracePlan {
+            buckets: 3,
+            resident_blocks: 8,
+            write_buffer_blocks: 3,
+            input_blocks: 4,
+            tuples_per_block: 4,
+        }
+    }
+
+    fn addr(disk: u32, lba: u64) -> DiskAddr {
+        DiskAddr { disk, lba }
+    }
+
+    fn samples() -> Vec<JoinCheckpoint> {
+        vec![
+            JoinCheckpoint {
+                method: JoinMethod::DtNb,
+                progress: Progress::CopyR {
+                    addrs: vec![addr(0, 1), addr(1, 1)],
+                    copied: 1,
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::CdtNbMb,
+                progress: Progress::ProbeS {
+                    addrs: vec![addr(0, 0)],
+                    s_done: 17,
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::DtGh,
+                progress: Progress::HashR {
+                    plan: plan(),
+                    r_done: 5,
+                    buckets: vec![vec![addr(0, 2)], vec![], vec![addr(1, 3), addr(0, 4)]],
+                    tails: vec![2, 0, 3],
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::CdtGh,
+                progress: Progress::JoinFrames {
+                    plan: plan(),
+                    source: BucketSource::Disk(vec![vec![addr(1, 9)], vec![addr(0, 7)]]),
+                    s_done: 40,
+                    frames_done: 2,
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::CttGh,
+                progress: Progress::JoinFrames {
+                    plan: plan(),
+                    source: BucketSource::Tape(vec![TapeExtent { start: 96, len: 30 }]),
+                    s_done: 12,
+                    frames_done: 1,
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::TtGh,
+                progress: Progress::TapeHashR {
+                    plan: plan(),
+                    starts: vec![480, u64::MAX, 510],
+                    lens: vec![30, 0, 33],
+                    bucket: 2,
+                    collected: 7,
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::TtGh,
+                progress: Progress::TapeHashS {
+                    plan: plan(),
+                    r_extents: vec![TapeExtent {
+                        start: 480,
+                        len: 30,
+                    }],
+                    starts: vec![96],
+                    lens: vec![31],
+                    bucket: 1,
+                    collected: 0,
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::TtGh,
+                progress: Progress::JoinBuckets {
+                    plan: plan(),
+                    r_extents: vec![TapeExtent {
+                        start: 480,
+                        len: 30,
+                    }],
+                    s_extents: vec![TapeExtent { start: 96, len: 31 }],
+                    bucket: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_variant() {
+        for cp in samples() {
+            let bytes = cp.encode();
+            let back = JoinCheckpoint::decode(&bytes).unwrap();
+            assert_eq!(back, cp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_input() {
+        assert_eq!(
+            JoinCheckpoint::decode(b"no"),
+            Err(CheckpointDecodeError::Truncated)
+        );
+        assert_eq!(
+            JoinCheckpoint::decode(b"nope"),
+            Err(CheckpointDecodeError::BadMagic)
+        );
+        assert_eq!(
+            JoinCheckpoint::decode(b"XXCK\x01\x00\x00"),
+            Err(CheckpointDecodeError::BadMagic)
+        );
+        let mut bytes = samples()[0].encode();
+        bytes[4] = 9; // version
+        assert_eq!(
+            JoinCheckpoint::decode(&bytes),
+            Err(CheckpointDecodeError::BadVersion(9))
+        );
+        let mut bytes = samples()[0].encode();
+        bytes[5] = 200; // method
+        assert_eq!(
+            JoinCheckpoint::decode(&bytes),
+            Err(CheckpointDecodeError::BadMethod(200))
+        );
+        let mut bytes = samples()[0].encode();
+        bytes[6] = 77; // progress tag
+        assert_eq!(
+            JoinCheckpoint::decode(&bytes),
+            Err(CheckpointDecodeError::BadTag(77))
+        );
+        let mut bytes = samples()[0].encode();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(
+            JoinCheckpoint::decode(&bytes),
+            Err(CheckpointDecodeError::Truncated)
+        );
+        let mut bytes = samples()[0].encode();
+        bytes.push(0);
+        assert_eq!(
+            JoinCheckpoint::decode(&bytes),
+            Err(CheckpointDecodeError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn salvage_counts_completed_units() {
+        let s = samples();
+        assert_eq!(s[0].progress.salvaged_blocks(), 1); // 1 of 2 copied
+        assert_eq!(s[1].progress.salvaged_blocks(), 18); // copy + 17 probed
+        assert_eq!(s[2].progress.salvaged_blocks(), 5);
+        assert_eq!(s[3].progress.salvaged_blocks(), 42); // 2 bucket blocks + 40
+        assert_eq!(s[5].progress.salvaged_blocks(), 63);
+        // Join-buckets: both partitionings (61) plus the joined pair (61).
+        assert_eq!(s[7].progress.salvaged_blocks(), 122);
+    }
+
+    #[test]
+    fn phase_names_are_registered() {
+        for cp in samples() {
+            assert!(
+                PHASES.contains(&cp.progress.phase()),
+                "{}",
+                cp.progress.phase()
+            );
+        }
+    }
+
+    #[test]
+    fn every_method_declares_phases_from_the_registry() {
+        for m in JoinMethod::ALL {
+            let phases = m.phases();
+            assert!(!phases.is_empty(), "{m} declares no phases");
+            for p in phases {
+                assert!(PHASES.contains(p), "{m} declares unknown phase {p}");
+            }
+        }
+    }
+}

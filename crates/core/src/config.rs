@@ -16,6 +16,102 @@ use crate::fault::FaultPlan;
 /// positioning negligible).
 pub const DEFAULT_BLOCK_BYTES: u64 = 64 * 1024;
 
+/// How a join reacts to an *unrecoverable* device fault (a tape unit past
+/// its exchange budget, a disk past its retry budget). Disabled by
+/// default: the run aborts with [`JoinError::UnrecoverableFault`],
+/// exactly as before this subsystem existed. When enabled, the driver
+/// quarantines the failed unit (spare swap or capacity degradation),
+/// re-plans against the degraded configuration, and resumes from the
+/// phase-boundary checkpoint. See DESIGN.md §12.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Master switch. `false` leaves every run path byte-identical to
+    /// the pre-recovery behavior.
+    pub enabled: bool,
+    /// Spare tape drives in the library. Each sticky drive failure
+    /// consumes one spare; with none left the join fails (every method
+    /// needs both drives).
+    pub spare_drives: u32,
+    /// Spare disks for the array. Each sticky array failure consumes one
+    /// spare; with none left the `D` budget shrinks to the surviving
+    /// capacity and the planner re-runs under the reduced budget.
+    pub spare_disks: u32,
+    /// Wall time (virtual) to swap a failed drive for a spare: operator
+    /// or robot fetch, unload, load, thread.
+    pub drive_swap_time: Duration,
+    /// Wall time (virtual) to hot-swap and rebuild a failed disk.
+    pub disk_rebuild_time: Duration,
+    /// Maximum restarts per join before giving up with
+    /// [`JoinError::RecoveryExhausted`].
+    pub max_restarts: u32,
+    /// Resume from the phase-boundary checkpoint (`true`) or restart the
+    /// method from scratch after quarantine (`false`). The restart mode
+    /// exists as the control arm for salvage experiments.
+    pub resume_from_checkpoint: bool,
+}
+
+impl RecoveryPolicy {
+    /// Recovery off: unrecoverable faults abort the join (the historical
+    /// behavior).
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            spare_drives: 0,
+            spare_disks: 0,
+            drive_swap_time: Duration::ZERO,
+            disk_rebuild_time: Duration::ZERO,
+            max_restarts: 0,
+            resume_from_checkpoint: true,
+        }
+    }
+
+    /// Recovery on, with `spare_drives` spare tape drives, one spare
+    /// disk, a 90 s drive swap (fetch + load + thread), a 60 s disk
+    /// rebuild, and up to 4 restarts.
+    pub fn with_spares(spare_drives: u32) -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            spare_drives,
+            spare_disks: 1,
+            drive_swap_time: Duration::from_secs(90),
+            disk_rebuild_time: Duration::from_secs(60),
+            max_restarts: 4,
+            resume_from_checkpoint: true,
+        }
+    }
+
+    /// Builder-style: set the spare-disk count.
+    pub fn spare_disks(mut self, n: u32) -> Self {
+        self.spare_disks = n;
+        self
+    }
+
+    /// Builder-style: set the drive swap time.
+    pub fn drive_swap_time(mut self, t: Duration) -> Self {
+        self.drive_swap_time = t;
+        self
+    }
+
+    /// Builder-style: set the disk rebuild time.
+    pub fn disk_rebuild_time(mut self, t: Duration) -> Self {
+        self.disk_rebuild_time = t;
+        self
+    }
+
+    /// Builder-style: set the restart budget.
+    pub fn max_restarts(mut self, n: u32) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Builder-style: restart from scratch instead of resuming from the
+    /// checkpoint (the salvage-experiment control arm).
+    pub fn restart_from_scratch(mut self) -> Self {
+        self.resume_from_checkpoint = false;
+        self
+    }
+}
+
 /// Configuration of the simulated machine a join runs on.
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
@@ -71,6 +167,11 @@ pub struct SystemConfig {
     /// with costed recovery (see [`FaultPlan`]). Inert by default
     /// ([`FaultPlan::none`]), in which case no device code path changes.
     pub faults: FaultPlan,
+    /// Unrecoverable-fault handling: checkpoint/resume with spare-unit
+    /// swap and degraded-mode re-planning. Disabled by default
+    /// ([`RecoveryPolicy::disabled`]) — unrecoverable faults then abort
+    /// the run exactly as before.
+    pub recovery: RecoveryPolicy,
     /// Grace bucket-fill target in `(0, 1]` — the expected bucket size as
     /// a fraction of the resident memory allowance (see
     /// [`crate::hash::GracePlan::derive_with_target`]).
@@ -109,6 +210,7 @@ impl SystemConfig {
             use_read_reverse: false,
             verify_tape_reads: false,
             faults: FaultPlan::none(),
+            recovery: RecoveryPolicy::disabled(),
             grace_fill_target: crate::hash::GracePlan::DEFAULT_FILL_TARGET,
             hash_seed: 0x7473_6A6F_696E, // "tsjoin"
             recorder: tapejoin_obs::Recorder::disabled(),
@@ -203,6 +305,12 @@ impl SystemConfig {
     /// Set the fault-injection plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Set the unrecoverable-fault recovery policy.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
         self
     }
 

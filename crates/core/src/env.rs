@@ -147,6 +147,16 @@ impl JoinEnv {
         self.s_extent.len
     }
 
+    /// Whether any device has failed stickily (tape unit past its
+    /// exchange budget, disk past its retry budget). A pure state read —
+    /// it never awaits or advances virtual time — so methods poll it at
+    /// unit boundaries on the hot path without perturbing clean-run
+    /// timings. Producers that see `true` stop issuing new units;
+    /// consumers always drain what was already produced.
+    pub fn interrupted(&self) -> bool {
+        self.drive_r.has_failed() || self.drive_s.has_failed() || self.disks.has_failed()
+    }
+
     /// Charge CPU time for processing `tuples` tuples (no-op under the
     /// paper's zero-CPU assumption).
     pub async fn charge_cpu(&self, tuples: u64) {

@@ -28,6 +28,18 @@ pub enum JoinError {
         /// Faults that could not be recovered.
         failed: u64,
     },
+    /// Recovery was enabled but could not finish the join: a device
+    /// failed stickily and either no spare unit was left for it or the
+    /// restart budget ran out. Carries the attempt history so callers
+    /// (e.g. the scheduler) can report how much recovery was tried.
+    RecoveryExhausted {
+        /// The method that was running when recovery gave up.
+        method: JoinMethod,
+        /// Restarts performed before giving up.
+        restarts: u32,
+        /// Faults that could not be recovered across all attempts.
+        failed: u64,
+    },
     /// The disk array detected a bug-class error during the run (e.g. a
     /// read of a block that was never written). The array records it
     /// stickily instead of panicking mid-simulation; the runner surfaces
@@ -55,6 +67,17 @@ impl fmt::Display for JoinError {
                 write!(
                     f,
                     "{method} aborted: {failed} injected fault(s) exhausted their recovery budget"
+                )
+            }
+            JoinError::RecoveryExhausted {
+                method,
+                restarts,
+                failed,
+            } => {
+                write!(
+                    f,
+                    "{method} failed after {restarts} restart(s): {failed} unrecoverable \
+                     fault(s) and no spare unit or restart budget left"
                 )
             }
             JoinError::Disk(e) => write!(f, "disk array error: {e}"),

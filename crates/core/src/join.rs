@@ -1,15 +1,22 @@
-//! The top-level join driver: validate, simulate, measure.
+//! The top-level join driver: validate, simulate, measure — and, when
+//! the configuration enables recovery, survive unrecoverable device
+//! faults mid-join by quarantining the failed unit, re-planning against
+//! the degraded machine, and resuming from the method's phase-boundary
+//! checkpoint.
 
 use std::rc::Rc;
 
 use tapejoin_rel::JoinWorkload;
-use tapejoin_sim::{now, Duration, Simulation};
+use tapejoin_sim::{now, Duration, SimTime, Simulation};
 
 use crate::config::SystemConfig;
+use crate::cost::CostParams;
 use crate::env::JoinEnv;
 use crate::error::JoinError;
+use crate::fault::FaultSummary;
 use crate::method::JoinMethod;
-use crate::methods::run_method;
+use crate::methods::run_method_resumable;
+use crate::planner::rank_methods;
 use crate::requirements::resource_needs;
 use crate::stats::JoinStats;
 
@@ -20,6 +27,18 @@ use crate::stats::JoinStats;
 /// runs to completion in virtual time, and the measured statistics are
 /// returned. The join's output is accumulated as a verifiable check value
 /// (compare with [`tapejoin_rel::reference_join`]).
+///
+/// With [`crate::RecoveryPolicy::disabled`] (the default), a sticky
+/// device failure aborts the join with
+/// [`JoinError::UnrecoverableFault`] — the historical behavior, and
+/// byte-identical timing on clean runs. With recovery enabled, the
+/// driver loops: each attempt runs until it completes or returns a
+/// [`crate::JoinCheckpoint`], failed drives are swapped for spares
+/// (consuming the swap delay in virtual time), a disk loss without a
+/// spare shrinks the `D` budget, the planner re-ranks the methods
+/// against the degraded machine, and the next attempt resumes from the
+/// checkpoint — all inside one simulation, so the reported response time
+/// covers the faults, the swaps and the salvage.
 pub struct TertiaryJoin {
     cfg: SystemConfig,
 }
@@ -53,19 +72,34 @@ impl TertiaryJoin {
     pub fn run(&self, method: JoinMethod, workload: &JoinWorkload) -> Result<JoinStats, JoinError> {
         self.cfg.validate()?;
         let r_tpb = density(&workload.r);
-        let needs = resource_needs(
-            method,
-            &self.cfg,
-            workload.r.block_count(),
-            workload.s.block_count(),
-            r_tpb,
-        )?;
+        let r_blocks = workload.r.block_count();
+        let s_blocks = workload.s.block_count();
+        let mut needs = resource_needs(method, &self.cfg, r_blocks, s_blocks, r_tpb)?;
+        let recovery = self.cfg.recovery.clone();
+        if recovery.enabled {
+            // Degraded-mode re-planning may restart under any feasible
+            // method, and restart-from-scratch attempts append a fresh
+            // hashed copy each time; size the tape scratch for the worst
+            // case so a mid-join switch never runs out of media. Extra
+            // capacity is position-independent and costs no virtual time.
+            let mut r_scratch = needs.tape_r_scratch;
+            let mut s_scratch = needs.tape_s_scratch;
+            for m in JoinMethod::ALL {
+                if let Ok(n) = resource_needs(m, &self.cfg, r_blocks, s_blocks, r_tpb) {
+                    r_scratch = r_scratch.max(n.tape_r_scratch);
+                    s_scratch = s_scratch.max(n.tape_s_scratch);
+                }
+            }
+            let attempts = u64::from(recovery.max_restarts) + 1;
+            needs.tape_r_scratch = r_scratch * attempts;
+            needs.tape_s_scratch = s_scratch * attempts;
+        }
 
         let cfg = Rc::new(self.cfg.clone());
-        let workload = workload.clone();
+        let workload_c = workload.clone();
         let mut sim = Simulation::new();
-        let (stats, disk_error) = sim.run(async move {
-            let env = JoinEnv::build(cfg, &workload, &needs);
+        let (stats, disk_error, abort) = sim.run(async move {
+            let env = JoinEnv::build(Rc::clone(&cfg), &workload_c, &needs);
             // Root span for the whole join; the per-step scopes opened by
             // the method body nest under it. Recording never advances the
             // virtual clock, so an enabled recorder cannot perturb timing.
@@ -74,7 +108,164 @@ impl TertiaryJoin {
                     .recorder
                     .scope(tapejoin_obs::SpanKind::Join, "join", method.abbrev());
             join_scope.attr("method", method.full_name());
-            let result = run_method(method, env.clone()).await;
+
+            let mut current = method;
+            let mut resume = None;
+            let mut restarts: u32 = 0;
+            let mut replanned: Option<JoinMethod> = None;
+            let mut salvaged_blocks: u64 = 0;
+            let mut spare_drives = recovery.spare_drives;
+            let mut spare_disks = recovery.spare_disks;
+            let mut step1_time: Option<SimTime> = None;
+            let mut probe = None;
+            let mut abort: Option<JoinError> = None;
+
+            loop {
+                let run = run_method_resumable(current, env.clone(), resume.take()).await;
+                if run.result.probe.is_some() {
+                    probe = run.result.probe;
+                }
+                // Step I completion time: the first attempt that got past
+                // setup pins it; a later discard (restart / re-plan)
+                // resets it because setup starts over.
+                let reached_step2 = match &run.checkpoint {
+                    None => true,
+                    Some(cp) => matches!(
+                        cp.progress.phase(),
+                        "probe-s" | "join-frames" | "join-buckets"
+                    ),
+                };
+                if step1_time.is_none() && reached_step2 {
+                    step1_time = Some(run.result.step1_done);
+                }
+                let Some(cp) = run.checkpoint else {
+                    break; // the attempt completed the join
+                };
+
+                let failed_now = FaultSummary::collect(
+                    &env.drive_r.stats(),
+                    &env.drive_s.stats(),
+                    &env.disks.stats(),
+                )
+                .failed;
+                if !recovery.enabled {
+                    // Historical behavior: an unrecoverable fault aborts.
+                    abort = Some(JoinError::UnrecoverableFault {
+                        method: current,
+                        failed: failed_now.max(1),
+                    });
+                    break;
+                }
+                if restarts >= recovery.max_restarts {
+                    abort = Some(JoinError::RecoveryExhausted {
+                        method: current,
+                        restarts,
+                        failed: failed_now,
+                    });
+                    break;
+                }
+                restarts += 1;
+                let recovery_scope =
+                    env.cfg
+                        .recorder
+                        .scope(tapejoin_obs::SpanKind::Step, "join", "recovery");
+                recovery_scope.attr("method", current.abbrev());
+                recovery_scope.attr("phase", cp.progress.phase());
+
+                // Quarantine: swap each failed drive for a spare. The
+                // mounted media moves to the replacement unit; the swap
+                // (robot fetch, load, thread) costs virtual time.
+                let mut out_of_spares = false;
+                for drive in [&env.drive_r, &env.drive_s] {
+                    if !drive.has_failed() {
+                        continue;
+                    }
+                    if spare_drives == 0 {
+                        out_of_spares = true;
+                        break;
+                    }
+                    spare_drives -= 1;
+                    drive.replace_unit();
+                    tapejoin_sim::sleep(recovery.drive_swap_time).await;
+                }
+                if out_of_spares {
+                    abort = Some(JoinError::RecoveryExhausted {
+                        method: current,
+                        restarts,
+                        failed: failed_now,
+                    });
+                    break;
+                }
+
+                // Disk failure: hot-swap a spare, or — with none left —
+                // fence the unit off, losing its share of the `D` quota
+                // and any disk-resident checkpoint state.
+                let mut cp_valid = true;
+                if env.disks.has_failed() {
+                    env.disks.replace_failed_unit();
+                    if spare_disks > 0 {
+                        spare_disks -= 1;
+                    } else {
+                        let lost = cp.progress.disk_addrs();
+                        if !lost.is_empty() {
+                            env.space.release(&lost);
+                            cp_valid = false;
+                        }
+                        let quota = env.space.quota();
+                        let n = u64::from(env.cfg.disks);
+                        env.space.reduce_quota(quota - quota / n);
+                    }
+                    tapejoin_sim::sleep(recovery.disk_rebuild_time).await;
+                }
+
+                // Re-plan against the (possibly degraded) machine. When
+                // the interrupted method still fits and its checkpoint
+                // survived, resume it; otherwise discard the salvage and
+                // restart under the cheapest feasible method.
+                let mut degraded_cfg = (*env.cfg).clone();
+                degraded_cfg.disk_blocks = env.space.quota();
+                let still_feasible =
+                    resource_needs(current, &degraded_cfg, r_blocks, s_blocks, r_tpb).is_ok();
+                if still_feasible && cp_valid && recovery.resume_from_checkpoint {
+                    salvaged_blocks += cp.progress.salvaged_blocks();
+                    resume = Some(cp.progress);
+                } else {
+                    if cp_valid {
+                        let addrs = cp.progress.disk_addrs();
+                        if !addrs.is_empty() {
+                            env.space.release(&addrs);
+                        }
+                    }
+                    if !still_feasible {
+                        let params = CostParams::from_config(
+                            &degraded_cfg,
+                            r_blocks,
+                            s_blocks,
+                            workload_c.s.compressibility(),
+                        );
+                        let next = rank_methods(&params).into_iter().find(|c| {
+                            resource_needs(c.method, &degraded_cfg, r_blocks, s_blocks, r_tpb)
+                                .is_ok()
+                        });
+                        match next {
+                            Some(c) => {
+                                replanned = Some(c.method);
+                                current = c.method;
+                            }
+                            None => {
+                                abort = Some(JoinError::NoFeasibleMethod);
+                                break;
+                            }
+                        }
+                    }
+                    // The discarded attempt's partial output is void;
+                    // the fresh run re-emits from scratch.
+                    env.sink.discard();
+                    step1_time = None; // setup starts over
+                    resume = None;
+                }
+            }
+
             // Drain any local output materialization before stopping the
             // clock — stored output is part of the response time.
             let output_blocks = env.sink.finish().await;
@@ -83,37 +274,46 @@ impl TertiaryJoin {
             let tape_r = env.drive_r.stats();
             let tape_s = env.drive_s.stats();
             let disk = env.disks.stats();
-            let faults = crate::fault::FaultSummary::collect(&tape_r, &tape_s, &disk);
+            // Device counters accumulate across attempts and spare swaps,
+            // so one collection at the end is the merged, whole-join view.
+            let faults = FaultSummary::collect(&tape_r, &tape_s, &disk);
             // A sticky disk error (read of an unwritten block) is a
             // bug-class failure: keep the stats for diagnosis but fail
             // the join through the typed error path below.
             let disk_error = env.disks.take_error();
             let stats = JoinStats {
-                method,
+                method: current,
                 response: end.duration_since(tapejoin_sim::SimTime::ZERO),
-                step1: result
-                    .step1_done
+                step1: step1_time
+                    .unwrap_or(end)
                     .duration_since(tapejoin_sim::SimTime::ZERO),
                 tape_r,
                 tape_s,
                 disk,
                 faults,
+                restarts,
+                replanned_method: replanned,
+                work_salvaged_bytes: salvaged_blocks * env.cfg.block_bytes,
                 mem_peak: env.mem.peak(),
                 disk_peak: env.space.peak_in_use(),
                 output: env.sink.check(),
                 output_blocks,
-                buffer_probe: result.probe,
+                buffer_probe: probe,
                 timeline: env.timeline.clone(),
             };
-            (stats, disk_error)
+            (stats, disk_error, abort)
         });
         stats.export_metrics(&self.cfg.recorder);
         if let Some(e) = disk_error {
             return Err(e.into());
         }
-        // A fault that exhausted its recovery budget means the real
-        // system would have aborted the join.
-        if stats.faults.failed > 0 {
+        if let Some(e) = abort {
+            return Err(e);
+        }
+        // A fault that exhausted its recovery budget on the *last* unit
+        // of work never reaches a checkpoint; with recovery disabled the
+        // real system would still have aborted the join.
+        if !self.cfg.recovery.enabled && stats.faults.failed > 0 {
             return Err(JoinError::UnrecoverableFault {
                 method,
                 failed: stats.faults.failed,
@@ -152,6 +352,9 @@ mod tests {
         assert!(stats.step1 <= stats.response);
         assert!(stats.mem_peak <= 8);
         assert!(stats.disk_peak <= 32);
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.replanned_method, None);
+        assert_eq!(stats.work_salvaged_bytes, 0);
     }
 
     #[test]

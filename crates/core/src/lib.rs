@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cost;
 pub mod geometry;
 pub mod hash;
@@ -67,7 +68,8 @@ mod method;
 mod output;
 mod stats;
 
-pub use config::{SystemConfig, DEFAULT_BLOCK_BYTES};
+pub use checkpoint::{BucketSource, CheckpointDecodeError, JoinCheckpoint, Progress};
+pub use config::{RecoveryPolicy, SystemConfig, DEFAULT_BLOCK_BYTES};
 pub use env::JoinEnv;
 pub use error::JoinError;
 pub use fault::{FaultPlan, FaultSummary};

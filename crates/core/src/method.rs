@@ -80,6 +80,24 @@ impl JoinMethod {
     pub fn is_tape_tape(&self) -> bool {
         matches!(self, JoinMethod::CttGh | JoinMethod::TtGh)
     }
+
+    /// The method's checkpoint phase boundaries, in execution order. Each
+    /// name is a member of [`crate::checkpoint::PHASES`]; an interrupted
+    /// run snapshots progress at these boundaries and a resume re-enters
+    /// the named phase. The `tapejoin-lint` L7 rule keeps this registry
+    /// consistent with the phase list (every variant must declare its
+    /// phases here, using registered names only).
+    pub fn phases(&self) -> &'static [&'static str] {
+        match self {
+            JoinMethod::DtNb => &["copy-r", "probe-s"],
+            JoinMethod::CdtNbMb => &["copy-r", "probe-s"],
+            JoinMethod::CdtNbDb => &["copy-r", "probe-s"],
+            JoinMethod::DtGh => &["hash-r", "join-frames"],
+            JoinMethod::CdtGh => &["hash-r", "join-frames"],
+            JoinMethod::CttGh => &["hash-r", "join-frames"],
+            JoinMethod::TtGh => &["hash-r", "hash-s", "join-buckets"],
+        }
+    }
 }
 
 impl std::str::FromStr for JoinMethod {

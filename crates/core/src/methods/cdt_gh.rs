@@ -11,25 +11,81 @@ use std::rc::Rc;
 
 use tapejoin_buffer::DiskBuffer;
 
+use crate::checkpoint::{BucketSource, JoinCheckpoint, Progress};
 use crate::env::JoinEnv;
 use crate::hash::GracePlan;
-use crate::methods::common::{step1_marker, step_scope, MethodResult};
-use crate::methods::grace::{hash_r_to_disk, join_frame, spawn_hasher, RBucketSource};
+use crate::method::JoinMethod;
+use crate::methods::common::{step1_marker, step_scope, MethodRun};
+use crate::methods::grace::{
+    hash_r_to_disk, join_frame, spawn_hasher, HashRResume, HashRRun, RBucketSource,
+};
 
-pub(crate) async fn run(env: JoinEnv) -> MethodResult {
-    let plan = GracePlan::derive_with_target(
-        env.r_blocks(),
-        env.cfg.memory_blocks,
-        env.r_tuples_per_block,
-        env.cfg.grace_fill_target,
-    )
-    // lint:allow(L3, memory grant proven by resource_needs before dispatch)
-    .expect("feasibility checked before dispatch");
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    // Restore phase state from an interrupted attempt, if any. A resumed
+    // run reuses the interrupted attempt's plan — the buckets already on
+    // disk follow its layout.
+    let (plan, hash_resume, join_resume) = match resume {
+        Some(Progress::HashR {
+            plan,
+            r_done,
+            buckets,
+            tails,
+        }) => (
+            plan,
+            Some(HashRResume {
+                buckets,
+                tails,
+                r_done,
+            }),
+            None,
+        ),
+        Some(Progress::JoinFrames {
+            plan,
+            source: BucketSource::Disk(buckets),
+            s_done,
+            frames_done,
+        }) => (plan, None, Some((buckets, s_done, frames_done))),
+        _ => (
+            GracePlan::derive_with_target(
+                env.r_blocks(),
+                env.cfg.memory_blocks,
+                env.r_tuples_per_block,
+                env.cfg.grace_fill_target,
+            )
+            // lint:allow(L3, memory grant proven by resource_needs before dispatch)
+            .expect("feasibility checked before dispatch"),
+            None,
+            None,
+        ),
+    };
 
-    // Step I: hash R to disk with tape/disk overlap.
-    let step = step_scope(&env, "step1");
-    let r_buckets = Rc::new(hash_r_to_disk(&env, &plan, true).await);
-    drop(step);
+    let (r_buckets, start_s, start_frames) = match join_resume {
+        Some((buckets, s_done, frames_done)) => (Rc::new(buckets), s_done, frames_done),
+        None => {
+            // Step I: hash R to disk with tape/disk overlap.
+            let step = step_scope(&env, "step1");
+            let outcome = hash_r_to_disk(&env, &plan, true, hash_resume).await;
+            drop(step);
+            match outcome {
+                HashRRun::Complete(buckets) => (Rc::new(buckets), 0, 0),
+                HashRRun::Interrupted(state) => {
+                    return MethodRun::interrupted(
+                        step1_marker(),
+                        None,
+                        JoinCheckpoint {
+                            method: JoinMethod::CdtGh,
+                            progress: Progress::HashR {
+                                plan,
+                                r_done: state.r_done,
+                                buckets: state.buckets,
+                                tails: state.tails,
+                            },
+                        },
+                    )
+                }
+            }
+        }
+    };
     let step1_done = step1_marker();
     let _step2 = step_scope(&env, "step2");
 
@@ -40,14 +96,30 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
             .with_recorder(env.cfg.recorder.share())
             .with_probe();
-    let src = RBucketSource::Disk(r_buckets);
-    let mut frames = spawn_hasher(&env, &plan, &diskbuf);
+    let src = RBucketSource::Disk(r_buckets.clone());
+    let mut frames = spawn_hasher(&env, &plan, &diskbuf, start_s, start_frames);
+    let mut s_done = start_s;
+    let mut frames_done = start_frames;
     while let Some(frame) = frames.recv().await {
         join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+        s_done += frame.s_len;
+        frames_done = frame.idx + 1;
     }
 
-    MethodResult {
-        step1_done,
-        probe: Some(probe),
+    if s_done < env.s_blocks() {
+        return MethodRun::interrupted(
+            step1_done,
+            Some(probe),
+            JoinCheckpoint {
+                method: JoinMethod::CdtGh,
+                progress: Progress::JoinFrames {
+                    plan,
+                    source: BucketSource::Disk((*r_buckets).clone()),
+                    s_done,
+                    frames_done,
+                },
+            },
+        );
     }
+    MethodRun::complete(step1_done, Some(probe))
 }

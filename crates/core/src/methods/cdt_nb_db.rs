@@ -15,18 +15,45 @@ use tapejoin_rel::BlockRef;
 use tapejoin_sim::spawn;
 use tapejoin_sim::sync::channel;
 
+use crate::checkpoint::{JoinCheckpoint, Progress};
 use crate::env::JoinEnv;
 use crate::geometry;
+use crate::method::JoinMethod;
 use crate::methods::common::{
-    copy_r_to_disk, step1_marker, step_scope, transfer_batch, MethodResult,
+    copy_r_to_disk, step1_marker, step_scope, transfer_batch, CopyResume, MethodRun,
 };
 use crate::output::probe_r_against_s_table;
 
-pub(crate) async fn run(env: JoinEnv) -> MethodResult {
-    // Step I: copy R to disk with tape/disk overlap.
-    let step = step_scope(&env, "step1");
-    let r_addrs = copy_r_to_disk(&env, true).await;
-    drop(step);
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    let (copy_resume, probe_resume) = match resume {
+        Some(Progress::CopyR { addrs, copied }) => (Some(CopyResume { addrs, copied }), None),
+        Some(Progress::ProbeS { addrs, s_done }) => (None, Some((addrs, s_done))),
+        _ => (None, None),
+    };
+
+    let (r_addrs, probed) = match probe_resume {
+        Some(state) => state,
+        None => {
+            // Step I: copy R to disk with tape/disk overlap.
+            let step = step_scope(&env, "step1");
+            let out = copy_r_to_disk(&env, true, copy_resume).await;
+            drop(step);
+            if out.copied < env.r_blocks() {
+                return MethodRun::interrupted(
+                    step1_marker(),
+                    None,
+                    JoinCheckpoint {
+                        method: JoinMethod::CdtNbDb,
+                        progress: Progress::CopyR {
+                            addrs: out.addrs,
+                            copied: out.copied,
+                        },
+                    },
+                );
+            }
+            (out.addrs, 0)
+        }
+    };
     let step1_done = step1_marker();
     let _step2 = step_scope(&env, "step2");
 
@@ -51,7 +78,9 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     .with_probe();
 
     // Reader: tape → disk buffer in small multi-block batches; emits one
-    // message per completed frame (= one |S_i| chunk).
+    // message per completed frame (= one |S_i| chunk). Frames are the
+    // interrupt unit: a frame in flight is staged in full, new frames
+    // stop after a sticky device failure.
     let (tx, mut rx) = channel::<Vec<BufSlot>>(1);
     let reader = {
         let env = env.clone();
@@ -61,10 +90,10 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
             // buffer — the chunk-size cost of not interleaving.
             let frame_blocks = diskbuf.slots_per_frame();
             let batch = transfer_batch(frame_blocks);
-            let mut pos = env.s_extent.start;
+            let mut pos = env.s_extent.start + probed;
             let end = env.s_extent.end();
             let mut frame = 0u64;
-            while pos < end {
+            while pos < end && !env.interrupted() {
                 let frame_end = (pos + frame_blocks).min(end);
                 let mut slots = Vec::with_capacity(frame_blocks as usize);
                 while pos < frame_end {
@@ -84,7 +113,9 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
 
     // Join process: drain each frame into memory (freeing slots as we
     // go, which is what lets the reader refill in parallel), then scan R.
+    let mut s_done = probed;
     while let Some(slots) = rx.recv().await {
+        s_done += slots.len() as u64;
         let batch = transfer_batch(ms) as usize;
         let mut table: std::collections::HashMap<u64, Vec<tapejoin_rel::Tuple>> =
             std::collections::HashMap::new();
@@ -109,8 +140,18 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     }
     reader.join().await;
 
-    MethodResult {
-        step1_done,
-        probe: Some(probe),
+    if s_done < env.s_blocks() {
+        return MethodRun::interrupted(
+            step1_done,
+            Some(probe),
+            JoinCheckpoint {
+                method: JoinMethod::CdtNbDb,
+                progress: Progress::ProbeS {
+                    addrs: r_addrs,
+                    s_done,
+                },
+            },
+        );
     }
+    MethodRun::complete(step1_done, Some(probe))
 }

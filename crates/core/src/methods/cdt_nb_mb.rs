@@ -11,17 +11,45 @@ use tapejoin_sim::spawn;
 use tapejoin_sim::sync::{channel, Semaphore};
 use tapejoin_tape::TapeBlock;
 
+use crate::checkpoint::{JoinCheckpoint, Progress};
 use crate::env::JoinEnv;
 use crate::geometry;
+use crate::method::JoinMethod;
 use crate::methods::common::{
-    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, step_scope, MethodResult,
+    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, step_scope, CopyResume,
+    MethodRun,
 };
 
-pub(crate) async fn run(env: JoinEnv) -> MethodResult {
-    // Step I: copy R to disk with tape/disk overlap.
-    let step = step_scope(&env, "step1");
-    let r_addrs = copy_r_to_disk(&env, true).await;
-    drop(step);
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    let (copy_resume, probe_resume) = match resume {
+        Some(Progress::CopyR { addrs, copied }) => (Some(CopyResume { addrs, copied }), None),
+        Some(Progress::ProbeS { addrs, s_done }) => (None, Some((addrs, s_done))),
+        _ => (None, None),
+    };
+
+    let (r_addrs, probed) = match probe_resume {
+        Some(state) => state,
+        None => {
+            // Step I: copy R to disk with tape/disk overlap.
+            let step = step_scope(&env, "step1");
+            let out = copy_r_to_disk(&env, true, copy_resume).await;
+            drop(step);
+            if out.copied < env.r_blocks() {
+                return MethodRun::interrupted(
+                    step1_marker(),
+                    None,
+                    JoinCheckpoint {
+                        method: JoinMethod::CdtNbMb,
+                        progress: Progress::CopyR {
+                            addrs: out.addrs,
+                            copied: out.copied,
+                        },
+                    },
+                );
+            }
+            (out.addrs, 0)
+        }
+    };
     let step1_done = step1_marker();
     let _step2 = step_scope(&env, "step2");
 
@@ -34,16 +62,18 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         // lint:allow(L3, grant proven by resource_needs: 2*M_S + M_R <= M)
         .expect("feasibility checked: 2·M_S + M_R <= M");
 
-    // At most two chunks in flight (the two memory buffers).
+    // At most two chunks in flight (the two memory buffers). The reader
+    // stops producing at a chunk boundary when a device has failed; the
+    // join process always drains what was already read.
     let buffers = Semaphore::new(2);
     let (tx, mut rx) = channel::<Vec<TapeBlock>>(1);
     let reader = {
         let env = env.clone();
         let buffers = buffers.clone();
         spawn(async move {
-            let mut pos = env.s_extent.start;
+            let mut pos = env.s_extent.start + probed;
             let end = env.s_extent.end();
-            while pos < end {
+            while pos < end && !env.interrupted() {
                 buffers.acquire(1).await.forget();
                 let n = ms.min(end - pos);
                 let chunk = env.drive_s.read(pos, n).await;
@@ -55,7 +85,9 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         })
     };
 
+    let mut s_done = probed;
     while let Some(chunk) = rx.recv().await {
+        s_done += chunk.len() as u64;
         let table = s_chunk_table(&chunk);
         drop(chunk); // buffer space conceptually moves into the table
         scan_r_and_probe(&env, &r_addrs, &table).await;
@@ -63,8 +95,18 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
     }
     reader.join().await;
 
-    MethodResult {
-        step1_done,
-        probe: None,
+    if s_done < env.s_blocks() {
+        return MethodRun::interrupted(
+            step1_done,
+            None,
+            JoinCheckpoint {
+                method: JoinMethod::CdtNbMb,
+                progress: Progress::ProbeS {
+                    addrs: r_addrs,
+                    s_done,
+                },
+            },
+        );
     }
+    MethodRun::complete(step1_done, None)
 }

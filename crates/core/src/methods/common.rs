@@ -22,6 +22,58 @@ pub struct MethodResult {
     pub probe: Option<UtilizationProbe>,
 }
 
+/// A method execution's outcome: its measurements, plus — when a device
+/// failed stickily mid-run — the phase-boundary checkpoint to resume
+/// from. `checkpoint: None` means the join ran to completion.
+pub struct MethodRun {
+    /// Measurements of this attempt (an interrupted attempt reports the
+    /// interrupt time as `step1_done` if Step I never finished).
+    pub result: MethodResult,
+    /// Progress at the interrupt boundary, or `None` on completion.
+    pub checkpoint: Option<crate::checkpoint::JoinCheckpoint>,
+}
+
+impl MethodRun {
+    /// A completed run.
+    pub fn complete(step1_done: SimTime, probe: Option<UtilizationProbe>) -> Self {
+        MethodRun {
+            result: MethodResult { step1_done, probe },
+            checkpoint: None,
+        }
+    }
+
+    /// An interrupted run with progress to resume from.
+    pub fn interrupted(
+        step1_done: SimTime,
+        probe: Option<UtilizationProbe>,
+        checkpoint: crate::checkpoint::JoinCheckpoint,
+    ) -> Self {
+        MethodRun {
+            result: MethodResult { step1_done, probe },
+            checkpoint: Some(checkpoint),
+        }
+    }
+}
+
+/// Where a resumed R copy picks up: the original allocation and how many
+/// blocks of it already hold valid data.
+pub struct CopyResume {
+    /// The first attempt's full disk allocation.
+    pub addrs: Vec<DiskAddr>,
+    /// R blocks already copied.
+    pub copied: u64,
+}
+
+/// What [`copy_r_to_disk`] got done. The copy is complete when
+/// `copied` equals `|R|`; otherwise a device failed and the caller
+/// checkpoints.
+pub struct CopyOutcome {
+    /// The copy's disk allocation (valid through `copied` blocks).
+    pub addrs: Vec<DiskAddr>,
+    /// R blocks copied (cumulative across resumed attempts).
+    pub copied: u64,
+}
+
 /// Copy relation R from its tape to disk (Step I of the NB methods),
 /// returning the disk addresses in relation order.
 ///
@@ -30,13 +82,28 @@ pub struct MethodResult {
 /// chunks so the tape read of chunk *i+1* overlaps the disk write of
 /// chunk *i* (bounded to two in-flight chunks by a permit scheme, so the
 /// memory budget is respected).
-pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
-    let addrs = env
-        .space
-        .allocate(env.r_blocks())
-        // lint:allow(L3, disk reservation proven by resource_needs: D >= |R|)
-        .expect("feasibility checked: D >= |R| for disk-tape methods");
+///
+/// The copy stops producing new chunks at the next chunk boundary after
+/// a sticky device failure ([`JoinEnv::interrupted`]); chunks already
+/// read are always written out (the salvage). Pass `resume` to continue
+/// an interrupted copy without re-reading the completed prefix.
+pub async fn copy_r_to_disk(
+    env: &JoinEnv,
+    overlapped: bool,
+    resume: Option<CopyResume>,
+) -> CopyOutcome {
+    let (addrs, done) = match resume {
+        Some(r) => (r.addrs, r.copied),
+        None => (
+            env.space
+                .allocate(env.r_blocks())
+                // lint:allow(L3, disk reservation proven by resource_needs: D >= |R|)
+                .expect("feasibility checked: D >= |R| for disk-tape methods"),
+            0,
+        ),
+    };
     let m = env.cfg.memory_blocks;
+    let mut off = done as usize;
     if overlapped {
         let chunk = (m / 2).max(1);
         let _grant = env
@@ -50,9 +117,9 @@ pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
             let env = env.clone();
             let tokens = tokens.clone();
             spawn(async move {
-                let mut pos = env.r_extent.start;
+                let mut pos = env.r_extent.start + done;
                 let end = env.r_extent.end();
-                while pos < end {
+                while pos < end && !env.interrupted() {
                     tokens.acquire(1).await.forget();
                     let n = chunk.min(end - pos);
                     let blocks = env.drive_r.read(pos, n).await;
@@ -63,7 +130,6 @@ pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
                 }
             })
         };
-        let mut off = 0usize;
         while let Some(tape_blocks) = rx.recv().await {
             let blocks: Vec<BlockRef> = tape_blocks.into_iter().map(|tb| tb.data).collect();
             env.disks
@@ -73,15 +139,13 @@ pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
             tokens.add_permits(1);
         }
         reader.join().await;
-        assert_eq!(off as u64, env.r_blocks(), "copy lost blocks");
     } else {
         let chunk = m.max(1);
         // lint:allow(L3, granting the whole configured memory cannot exceed the pool)
         let _grant = env.mem.grant(m).expect("whole memory as copy buffer");
-        let mut pos = env.r_extent.start;
+        let mut pos = env.r_extent.start + done;
         let end = env.r_extent.end();
-        let mut off = 0usize;
-        while pos < end {
+        while pos < end && !env.interrupted() {
             let n = chunk.min(end - pos);
             let tape_blocks = env.drive_r.read(pos, n).await;
             pos += n;
@@ -92,7 +156,14 @@ pub async fn copy_r_to_disk(env: &JoinEnv, overlapped: bool) -> Vec<DiskAddr> {
             off += blocks.len();
         }
     }
-    addrs
+    assert!(
+        off as u64 == env.r_blocks() || env.interrupted(),
+        "copy lost blocks"
+    );
+    CopyOutcome {
+        addrs,
+        copied: off as u64,
+    }
 }
 
 /// Build the probe table over an in-memory S chunk (key → S tuples).

@@ -15,33 +15,91 @@ use std::rc::Rc;
 
 use tapejoin_buffer::DiskBuffer;
 
+use crate::checkpoint::{BucketSource, JoinCheckpoint, Progress};
 use crate::env::JoinEnv;
 use crate::hash::GracePlan;
-use crate::methods::common::{step1_marker, step_scope, MethodResult};
+use crate::method::JoinMethod;
+use crate::methods::common::{step1_marker, step_scope, MethodRun};
 use crate::methods::grace::{
-    hash_tape_to_tape, join_frame, spawn_hasher, RBucketSource, TapeHashSpec,
+    hash_tape_to_tape, join_frame, spawn_hasher, RBucketSource, TapeHashResume, TapeHashRun,
+    TapeHashSpec,
 };
 
-pub(crate) async fn run(env: JoinEnv) -> MethodResult {
-    let plan = GracePlan::derive_with_target(
-        env.r_blocks(),
-        env.cfg.memory_blocks,
-        env.r_tuples_per_block,
-        env.cfg.grace_fill_target,
-    )
-    // lint:allow(L3, memory grant proven by resource_needs before dispatch)
-    .expect("feasibility checked before dispatch");
-
-    // Step I: hash R tape -> R tape through the disk assembly area.
-    let step = step_scope(&env, "step1");
-    let spec = TapeHashSpec {
-        src_drive: env.drive_r.clone(),
-        src_extent: env.r_extent,
-        dst_drive: env.drive_r.clone(),
-        compressibility: env.r_compressibility,
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    // Restore phase state from an interrupted attempt, if any. A resumed
+    // run reuses the interrupted attempt's plan — the hashed copy on tape
+    // follows its layout.
+    let (plan, hash_resume, join_resume) = match resume {
+        Some(Progress::TapeHashR {
+            plan,
+            starts,
+            lens,
+            bucket,
+            collected,
+        }) => (
+            plan,
+            Some(TapeHashResume {
+                starts,
+                lens,
+                bucket,
+                collected,
+            }),
+            None,
+        ),
+        Some(Progress::JoinFrames {
+            plan,
+            source: BucketSource::Tape(extents),
+            s_done,
+            frames_done,
+        }) => (plan, None, Some((extents, s_done, frames_done))),
+        _ => (
+            GracePlan::derive_with_target(
+                env.r_blocks(),
+                env.cfg.memory_blocks,
+                env.r_tuples_per_block,
+                env.cfg.grace_fill_target,
+            )
+            // lint:allow(L3, memory grant proven by resource_needs before dispatch)
+            .expect("feasibility checked before dispatch"),
+            None,
+            None,
+        ),
     };
-    let extents = Rc::new(hash_tape_to_tape(&env, &plan, &spec, true).await);
-    drop(step);
+
+    let (extents, start_s, start_frames) = match join_resume {
+        Some((extents, s_done, frames_done)) => (Rc::new(extents), s_done, frames_done),
+        None => {
+            // Step I: hash R tape -> R tape through the disk assembly area.
+            let step = step_scope(&env, "step1");
+            let spec = TapeHashSpec {
+                src_drive: env.drive_r.clone(),
+                src_extent: env.r_extent,
+                dst_drive: env.drive_r.clone(),
+                compressibility: env.r_compressibility,
+            };
+            let outcome = hash_tape_to_tape(&env, &plan, &spec, true, hash_resume).await;
+            drop(step);
+            match outcome {
+                TapeHashRun::Complete(extents) => (Rc::new(extents), 0, 0),
+                TapeHashRun::Interrupted(state) => {
+                    return MethodRun::interrupted(
+                        step1_marker(),
+                        None,
+                        JoinCheckpoint {
+                            method: JoinMethod::CttGh,
+                            progress: Progress::TapeHashR {
+                                plan,
+                                starts: state.starts,
+                                lens: state.lens,
+                                bucket: state.bucket,
+                                collected: state.collected,
+                            },
+                        },
+                    )
+                }
+            }
+        }
+    };
     let step1_done = step1_marker();
     let _step2 = step_scope(&env, "step2");
 
@@ -51,14 +109,30 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
             .with_recorder(env.cfg.recorder.share())
             .with_probe();
-    let src = RBucketSource::Tape(env.drive_r.clone(), extents);
-    let mut frames = spawn_hasher(&env, &plan, &diskbuf);
+    let src = RBucketSource::Tape(env.drive_r.clone(), extents.clone());
+    let mut frames = spawn_hasher(&env, &plan, &diskbuf, start_s, start_frames);
+    let mut s_done = start_s;
+    let mut frames_done = start_frames;
     while let Some(frame) = frames.recv().await {
         join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+        s_done += frame.s_len;
+        frames_done = frame.idx + 1;
     }
 
-    MethodResult {
-        step1_done,
-        probe: Some(probe),
+    if s_done < env.s_blocks() {
+        return MethodRun::interrupted(
+            step1_done,
+            Some(probe),
+            JoinCheckpoint {
+                method: JoinMethod::CttGh,
+                progress: Progress::JoinFrames {
+                    plan,
+                    source: BucketSource::Tape((*extents).clone()),
+                    s_done,
+                    frames_done,
+                },
+            },
+        );
     }
+    MethodRun::complete(step1_done, Some(probe))
 }

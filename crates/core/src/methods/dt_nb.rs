@@ -5,17 +5,46 @@
 //! the disk-resident R against it. No I/O overlap: every operation is
 //! awaited inline, so the tape and the disks take turns.
 
+use crate::checkpoint::{JoinCheckpoint, Progress};
 use crate::env::JoinEnv;
 use crate::geometry;
+use crate::method::JoinMethod;
 use crate::methods::common::{
-    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, step_scope, MethodResult,
+    copy_r_to_disk, s_chunk_table, scan_r_and_probe, step1_marker, step_scope, CopyResume,
+    MethodRun,
 };
 
-pub(crate) async fn run(env: JoinEnv) -> MethodResult {
-    // Step I: copy R to disk, sequentially.
-    let step = step_scope(&env, "step1");
-    let r_addrs = copy_r_to_disk(&env, false).await;
-    drop(step);
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    // Restore phase state from an interrupted attempt, if any.
+    let (copy_resume, probe_resume) = match resume {
+        Some(Progress::CopyR { addrs, copied }) => (Some(CopyResume { addrs, copied }), None),
+        Some(Progress::ProbeS { addrs, s_done }) => (None, Some((addrs, s_done))),
+        _ => (None, None),
+    };
+
+    let (r_addrs, probed) = match probe_resume {
+        Some(state) => state,
+        None => {
+            // Step I: copy R to disk, sequentially.
+            let step = step_scope(&env, "step1");
+            let out = copy_r_to_disk(&env, false, copy_resume).await;
+            drop(step);
+            if out.copied < env.r_blocks() {
+                return MethodRun::interrupted(
+                    step1_marker(),
+                    None,
+                    JoinCheckpoint {
+                        method: JoinMethod::DtNb,
+                        progress: Progress::CopyR {
+                            addrs: out.addrs,
+                            copied: out.copied,
+                        },
+                    },
+                );
+            }
+            (out.addrs, 0)
+        }
+    };
     let step1_done = step1_marker();
     let _step2 = step_scope(&env, "step2");
 
@@ -29,9 +58,9 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         // lint:allow(L3, grant proven by resource_needs: M_S + M_R <= M)
         .expect("feasibility checked: M_S + M_R <= M");
 
-    let mut pos = env.s_extent.start;
+    let mut pos = env.s_extent.start + probed;
     let end = env.s_extent.end();
-    while pos < end {
+    while pos < end && !env.interrupted() {
         let n = ms.min(end - pos);
         let chunk = env.drive_s.read(pos, n).await;
         pos += n;
@@ -39,8 +68,18 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         scan_r_and_probe(&env, &r_addrs, &table).await;
     }
 
-    MethodResult {
-        step1_done,
-        probe: None,
+    if pos < end {
+        return MethodRun::interrupted(
+            step1_done,
+            None,
+            JoinCheckpoint {
+                method: JoinMethod::DtNb,
+                progress: Progress::ProbeS {
+                    addrs: r_addrs,
+                    s_done: pos - env.s_extent.start,
+                },
+            },
+        );
     }
+    MethodRun::complete(step1_done, None)
 }

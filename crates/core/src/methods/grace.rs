@@ -33,6 +33,10 @@ pub struct Frame {
     pub idx: u64,
     /// Slots holding each bucket's blocks.
     pub per_bucket: Vec<Vec<BufSlot>>,
+    /// S blocks consumed into this frame — the consumer's progress
+    /// ledger for checkpointing (cumulative S position = sum of the
+    /// `s_len` of every joined frame plus any resume offset).
+    pub s_len: u64,
 }
 
 /// Where the hashed R buckets live during Step II.
@@ -72,6 +76,45 @@ impl DiskBucketSink {
             full: vec![Vec::new(); plan.buckets],
             tail: vec![None; plan.buckets],
         }
+    }
+
+    /// Reconstruct a sink from a checkpoint: `buckets` are the suspended
+    /// per-bucket addresses, `tails[b] > 0` marks the *last* address of
+    /// bucket `b` as a partial block holding that many tuples.
+    fn resume(
+        env: JoinEnv,
+        plan: &GracePlan,
+        mut buckets: Vec<Vec<DiskAddr>>,
+        tails: &[u32],
+    ) -> Self {
+        let mut tail: Vec<Option<(DiskAddr, usize)>> = vec![None; plan.buckets];
+        for (b, &count) in tails.iter().enumerate().take(plan.buckets) {
+            if count > 0 {
+                if let Some(addr) = buckets[b].pop() {
+                    tail[b] = Some((addr, count as usize));
+                }
+            }
+        }
+        DiskBucketSink {
+            env,
+            tpb: plan.tuples_per_block as usize,
+            full: buckets,
+            tail,
+        }
+    }
+
+    /// Freeze the sink into checkpointable state: the inverse of
+    /// [`DiskBucketSink::resume`]. Partial tails are appended to their
+    /// bucket's address list and reported via the returned counts.
+    fn suspend(mut self) -> (Vec<Vec<DiskAddr>>, Vec<u32>) {
+        let mut tails = vec![0u32; self.full.len()];
+        for (b, t) in self.tail.iter_mut().enumerate() {
+            if let Some((addr, count)) = t.take() {
+                self.full[b].push(addr);
+                tails[b] = count as u32;
+            }
+        }
+        (self.full, tails)
     }
 
     async fn push(&mut self, flush: BucketFlush) {
@@ -171,23 +214,55 @@ impl FrameBucketSink {
     }
 }
 
+/// Where a resumed R partitioning picks up.
+pub struct HashRResume {
+    /// Per-bucket addresses written by the interrupted attempt.
+    pub buckets: Vec<Vec<DiskAddr>>,
+    /// Tuple count of each bucket's trailing partial block (0 = full).
+    pub tails: Vec<u32>,
+    /// R blocks already consumed.
+    pub r_done: u64,
+}
+
+/// Outcome of [`hash_r_to_disk`].
+pub enum HashRRun {
+    /// R fully partitioned: the sealed per-bucket addresses.
+    Complete(Vec<Vec<DiskAddr>>),
+    /// A device failed; the partitioning stopped at a chunk boundary
+    /// with all consumed tuples flushed to disk (resumable state).
+    Interrupted(HashRResume),
+}
+
 /// Hash relation R from tape into per-bucket runs on disk (Step I of
 /// DT-GH/CDT-GH). `overlapped` pipelines the tape read against the disk
 /// writes with a two-chunk permit scheme.
+///
+/// Stops producing new input chunks at the next boundary after a sticky
+/// device failure; everything consumed up to that point (including the
+/// partitioner's staged tuples) is flushed to disk so the returned
+/// [`HashRRun::Interrupted`] state is complete and resumable.
 pub async fn hash_r_to_disk(
     env: &JoinEnv,
     plan: &GracePlan,
     overlapped: bool,
-) -> Vec<Vec<DiskAddr>> {
+    resume: Option<HashRResume>,
+) -> HashRRun {
     let seed = env.cfg.hash_seed;
     let _grant = env
         .mem
         .grant(plan.input_blocks + plan.write_buffer_blocks)
         // lint:allow(L3, the grace plan is sized to the memory budget by plan())
         .expect("grace plan memory within budget");
-    let mut sink = DiskBucketSink::new(env.clone(), plan);
+    let (mut sink, done) = match resume {
+        Some(r) => (
+            DiskBucketSink::resume(env.clone(), plan, r.buckets, &r.tails),
+            r.r_done,
+        ),
+        None => (DiskBucketSink::new(env.clone(), plan), 0),
+    };
     let mut partitioner = Partitioner::new(*plan, seed);
     let mut flushes = Vec::new();
+    let mut r_done = done;
 
     if overlapped {
         let tokens = Semaphore::new(2);
@@ -197,9 +272,9 @@ pub async fn hash_r_to_disk(
             let tokens = tokens.clone();
             let chunk = plan.input_blocks.max(1);
             spawn(async move {
-                let mut pos = env.r_extent.start;
+                let mut pos = env.r_extent.start + done;
                 let end = env.r_extent.end();
-                while pos < end {
+                while pos < end && !env.interrupted() {
                     tokens.acquire(1).await.forget();
                     let n = chunk.min(end - pos);
                     let blocks = env.drive_r.read(pos, n).await;
@@ -211,6 +286,7 @@ pub async fn hash_r_to_disk(
             })
         };
         while let Some(tape_blocks) = rx.recv().await {
+            r_done += tape_blocks.len() as u64;
             let mut hashed = 0u64;
             for tb in &tape_blocks {
                 partitioner.push_block(&tb.data, &mut flushes);
@@ -225,12 +301,13 @@ pub async fn hash_r_to_disk(
         reader.join().await;
     } else {
         let chunk = plan.input_blocks.max(1);
-        let mut pos = env.r_extent.start;
+        let mut pos = env.r_extent.start + done;
         let end = env.r_extent.end();
-        while pos < end {
+        while pos < end && !env.interrupted() {
             let n = chunk.min(end - pos);
             let tape_blocks = env.drive_r.read(pos, n).await;
             pos += n;
+            r_done += n;
             let mut hashed = 0u64;
             for tb in &tape_blocks {
                 partitioner.push_block(&tb.data, &mut flushes);
@@ -242,11 +319,21 @@ pub async fn hash_r_to_disk(
             }
         }
     }
+    // Flush staged tuples whether we finished or were interrupted — an
+    // interrupt must leave nothing in volatile memory.
     partitioner.finish(&mut flushes);
     for f in flushes.drain(..) {
         sink.push(f).await;
     }
-    sink.finish()
+    if r_done < env.r_blocks() {
+        let (buckets, tails) = sink.suspend();
+        return HashRRun::Interrupted(HashRResume {
+            buckets,
+            tails,
+            r_done,
+        });
+    }
+    HashRRun::Complete(sink.finish())
 }
 
 /// The Step II hash process: streams S from tape, partitions it, and
@@ -282,7 +369,20 @@ enum HasherInput {
 impl SFrameHasher {
     /// Create the hasher over the S extent. Memory for input staging and
     /// bucket write buffers is charged here.
-    pub fn new(env: JoinEnv, plan: GracePlan, diskbuf: DiskBuffer, overlapped: bool) -> Self {
+    ///
+    /// `start` skips the first `start` blocks of S and `first_idx` sets
+    /// the first frame's index — both zero for a fresh run. A resumed
+    /// hasher passes the checkpoint's consumed-block count and completed
+    /// frame count, preserving frame-index parity (which drives the
+    /// `READ REVERSE` scan-direction alternation).
+    pub fn new(
+        env: JoinEnv,
+        plan: GracePlan,
+        diskbuf: DiskBuffer,
+        overlapped: bool,
+        start: u64,
+        first_idx: u64,
+    ) -> Self {
         let grant = env
             .mem
             .grant(plan.input_blocks + plan.write_buffer_blocks)
@@ -299,9 +399,9 @@ impl SFrameHasher {
             let reader_env = env.clone();
             let reader_tokens = tokens.clone();
             spawn(async move {
-                let mut pos = reader_env.s_extent.start;
+                let mut pos = reader_env.s_extent.start + start;
                 let end = reader_env.s_extent.end();
-                while pos < end {
+                while pos < end && !reader_env.interrupted() {
                     reader_tokens.acquire(1).await.forget();
                     let n = chunk.min(end - pos);
                     let blocks = reader_env.drive_s.read(pos, n).await;
@@ -323,7 +423,7 @@ impl SFrameHasher {
             (
                 base,
                 HasherInput::Inline {
-                    pos: env.s_extent.start,
+                    pos: env.s_extent.start + start,
                     end: env.s_extent.end(),
                     chunk: plan.input_blocks.max(1),
                 },
@@ -334,15 +434,18 @@ impl SFrameHasher {
             plan,
             diskbuf,
             frame_input,
-            next_idx: 0,
+            next_idx: first_idx,
             input,
             _grant: grant,
         }
     }
 
-    /// Produce the next frame, or `None` when S is exhausted.
+    /// Produce the next frame, or `None` when S is exhausted *or* a
+    /// device failed stickily (frames are the hash process's interrupt
+    /// unit; the caller distinguishes the two cases by comparing its
+    /// consumed-block ledger against `|S|`).
     pub async fn next_frame(&mut self) -> Option<Frame> {
-        if self.input_exhausted() {
+        if self.input_exhausted() || self.env.interrupted() {
             return None;
         }
         let idx = self.next_idx;
@@ -378,6 +481,7 @@ impl SFrameHasher {
         Some(Frame {
             idx,
             per_bucket: sink.finish(),
+            s_len: consumed,
         })
     }
 
@@ -514,10 +618,17 @@ pub async fn join_frame(
 }
 
 /// Spawn the hash process and return the frame stream (capacity 1: the
-/// disk-buffer slots provide the real back-pressure).
-pub fn spawn_hasher(env: &JoinEnv, plan: &GracePlan, diskbuf: &DiskBuffer) -> Receiver<Frame> {
+/// disk-buffer slots provide the real back-pressure). `start` and
+/// `first_idx` position a resumed hash process (zero for a fresh run).
+pub fn spawn_hasher(
+    env: &JoinEnv,
+    plan: &GracePlan,
+    diskbuf: &DiskBuffer,
+    start: u64,
+    first_idx: u64,
+) -> Receiver<Frame> {
     let (tx, rx) = channel::<Frame>(1);
-    let mut hasher = SFrameHasher::new(env.clone(), *plan, diskbuf.clone(), true);
+    let mut hasher = SFrameHasher::new(env.clone(), *plan, diskbuf.clone(), true, start, first_idx);
     spawn(async move {
         while let Some(frame) = hasher.next_frame().await {
             if tx.send(frame).await.is_err() {
@@ -541,6 +652,35 @@ pub struct TapeHashSpec {
     pub compressibility: f64,
 }
 
+/// Where a resumed tape→tape partitioning picks up. `starts` uses
+/// `u64::MAX` as the "bucket not yet written" sentinel so the state is
+/// plainly serializable.
+pub struct TapeHashResume {
+    /// Destination start position per bucket (`u64::MAX` = none yet).
+    pub starts: Vec<u64>,
+    /// Destination length per bucket.
+    pub lens: Vec<u64>,
+    /// Next bucket (sliced mode) or bucket-group base (whole-bucket
+    /// mode) to partition.
+    pub bucket: u64,
+    /// Tuples already collected from the current bucket (sliced mode).
+    pub collected: u64,
+}
+
+/// Outcome of [`hash_tape_to_tape`].
+pub enum TapeHashRun {
+    /// Source fully partitioned: per-bucket destination extents,
+    /// contiguous and ascending.
+    Complete(Vec<TapeExtent>),
+    /// A device failed; partitioning stopped at a scan boundary (every
+    /// scan's appends are complete, so the state is resumable).
+    Interrupted(TapeHashResume),
+}
+
+fn with_sentinel(starts: Vec<Option<u64>>) -> Vec<u64> {
+    starts.into_iter().map(|s| s.unwrap_or(u64::MAX)).collect()
+}
+
 /// Hash a tape-resident relation onto another (or the same) tape's
 /// scratch space. Returns the per-bucket extents on the destination
 /// tape, contiguous and ascending.
@@ -549,27 +689,67 @@ pub struct TapeHashSpec {
 /// assembles a range of buckets fully on disk, then appends them — bucket
 /// by bucket, in order — to the destination tape. `overlapped` pipelines
 /// the tape scan against the disk assembly writes.
+///
+/// Scans are the interrupt unit: after a sticky device failure the
+/// current scan finishes (through its appends), then partitioning stops
+/// and [`TapeHashRun::Interrupted`] carries the resume state. Slice
+/// windows select by within-bucket arrival index, so a resume remains
+/// correct even if the assembly-area capacity changed in between (e.g.
+/// a degraded disk quota).
 pub async fn hash_tape_to_tape(
     env: &JoinEnv,
     plan: &GracePlan,
     spec: &TapeHashSpec,
     overlapped: bool,
-) -> Vec<TapeExtent> {
+    resume: Option<TapeHashResume>,
+) -> TapeHashRun {
     let avg_bucket = geometry::avg_bucket_blocks(spec.src_extent.len, plan.buckets as u64);
-    let scan_plan = geometry::tt_scan_plan(env.cfg.disk_blocks, avg_bucket);
+    // Size the assembly area from the space manager's quota rather than
+    // the configured `D`: identical on a clean run, but a degraded array
+    // shrinks the quota and the scan plan must respect it.
+    let quota = env.space.quota();
+    let scan_plan = geometry::tt_scan_plan(quota, avg_bucket);
     let _grant = env
         .mem
         .grant(plan.input_blocks + plan.write_buffer_blocks)
         // lint:allow(L3, the grace plan is sized to the memory budget by plan())
         .expect("grace plan memory within budget");
 
-    let mut starts: Vec<Option<u64>> = vec![None; plan.buckets];
-    let mut lens: Vec<u64> = vec![0; plan.buckets];
+    let (mut starts, mut lens, start_bucket, start_offset): (
+        Vec<Option<u64>>,
+        Vec<u64>,
+        usize,
+        u64,
+    ) = match resume {
+        Some(r) => (
+            r.starts
+                .iter()
+                .map(|&s| (s != u64::MAX).then_some(s))
+                .collect(),
+            r.lens,
+            r.bucket as usize,
+            r.collected,
+        ),
+        None => (vec![None; plan.buckets], vec![0; plan.buckets], 0, 0),
+    };
 
     if scan_plan.slices_per_bucket == 1 {
         // Whole buckets: each scan assembles a range of buckets in full.
+        // A resume continues from the checkpointed base; the group size
+        // may differ from the interrupted attempt's (degraded quota),
+        // which is fine — buckets below the base are complete and the
+        // rest are regrouped from scratch.
         let bps = scan_plan.buckets_per_scan as usize;
-        for lo in (0..plan.buckets).step_by(bps) {
+        let mut lo = start_bucket;
+        while lo < plan.buckets {
+            if env.interrupted() {
+                return TapeHashRun::Interrupted(TapeHashResume {
+                    starts: with_sentinel(starts),
+                    lens,
+                    bucket: lo as u64,
+                    collected: 0,
+                });
+            }
             let range = lo..(lo + bps).min(plan.buckets);
             let mut filter = ScanFilter::new(*plan, env.cfg.hash_seed, range, None);
             one_scan(
@@ -582,19 +762,32 @@ pub async fn hash_tape_to_tape(
                 &mut lens,
             )
             .await;
+            lo += bps;
         }
     } else {
         // Sliced buckets: the assembly area cannot hold one bucket, so
         // each scan collects a fixed-size window of the bucket's tuples
         // (by arrival index — deterministic across scans and immune to
         // duplicate-key skew). Slices are appended consecutively, so the
-        // bucket stays contiguous on the destination tape.
-        let usable = env.cfg.disk_blocks - env.cfg.disk_blocks / 4;
+        // bucket stays contiguous on the destination tape. The window
+        // base is the running collected count, which both reproduces the
+        // original fixed slicing on a clean run and lets a resume carry
+        // on from an arbitrary checkpointed offset.
+        let usable = quota - quota / 4;
         let cap_tuples = ((usable / 2).max(1) * plan.tuples_per_block as u64).max(1);
-        for b in 0..plan.buckets {
-            let mut slice = 0u64;
+        let mut b = start_bucket;
+        let mut offset = start_offset;
+        while b < plan.buckets {
             loop {
-                let window = (slice * cap_tuples, (slice + 1) * cap_tuples);
+                if env.interrupted() {
+                    return TapeHashRun::Interrupted(TapeHashResume {
+                        starts: with_sentinel(starts),
+                        lens,
+                        bucket: b as u64,
+                        collected: offset,
+                    });
+                }
+                let window = (offset, offset + cap_tuples);
                 let mut filter = ScanFilter::new(*plan, env.cfg.hash_seed, b..b + 1, Some(window));
                 let collected = one_scan(
                     env,
@@ -606,11 +799,13 @@ pub async fn hash_tape_to_tape(
                     &mut lens,
                 )
                 .await;
+                offset += collected;
                 if collected < cap_tuples {
                     break; // bucket exhausted
                 }
-                slice += 1;
             }
+            b += 1;
+            offset = 0;
         }
     }
 
@@ -621,12 +816,14 @@ pub async fn hash_tape_to_tape(
         // lint:allow(L3, the step's own exchange mounted the destination cartridge above)
         .expect("destination cartridge mounted")
         .end_of_data();
-    (0..plan.buckets)
-        .map(|b| TapeExtent {
-            start: starts[b].unwrap_or(eod),
-            len: lens[b],
-        })
-        .collect()
+    TapeHashRun::Complete(
+        (0..plan.buckets)
+            .map(|b| TapeExtent {
+                start: starts[b].unwrap_or(eod),
+                len: lens[b],
+            })
+            .collect(),
+    )
 }
 
 /// One end-to-end scan of the source: read, filter, assemble the admitted
@@ -846,7 +1043,9 @@ mod tests {
         sim.run(async {
             let env = env_for(crate::method::JoinMethod::CdtGh, 16, 300, 64, 128);
             let plan = GracePlan::derive(64, 16, 4).unwrap();
-            let buckets = hash_r_to_disk(&env, &plan, true).await;
+            let HashRRun::Complete(buckets) = hash_r_to_disk(&env, &plan, true, None).await else {
+                panic!("fault-free partitioning must complete");
+            };
             assert_eq!(buckets.len(), plan.buckets);
             let mut tuples = 0u64;
             for (b, addrs) in buckets.iter().enumerate() {
@@ -891,7 +1090,11 @@ mod tests {
                 dst_drive: env.drive_r.clone(),
                 compressibility: env.r_compressibility,
             };
-            let extents = hash_tape_to_tape(&env, &plan, &spec, true).await;
+            let TapeHashRun::Complete(extents) =
+                hash_tape_to_tape(&env, &plan, &spec, true, None).await
+            else {
+                panic!("fault-free partitioning must complete");
+            };
             assert_eq!(extents.len(), plan.buckets);
             // Extents are disjoint, ascending, and start after the source.
             let mut nonempty: Vec<&TapeExtent> = extents.iter().filter(|e| e.len > 0).collect();
@@ -935,7 +1138,10 @@ mod tests {
         sim.run(async {
             let env = env_for(crate::method::JoinMethod::CdtGh, 16, 300, 64, 256);
             let plan = GracePlan::derive(64, 16, 4).unwrap();
-            let r_buckets = StdRc::new(hash_r_to_disk(&env, &plan, true).await);
+            let HashRRun::Complete(hashed) = hash_r_to_disk(&env, &plan, true, None).await else {
+                panic!("fault-free partitioning must complete");
+            };
+            let r_buckets = StdRc::new(hashed);
             let cap = env.space.free();
             let (diskbuf, probe) = tapejoin_buffer::DiskBuffer::new(
                 tapejoin_buffer::DiskBufKind::Interleaved,
@@ -945,7 +1151,7 @@ mod tests {
             )
             .with_probe();
             let src = RBucketSource::Disk(r_buckets);
-            let mut hasher = SFrameHasher::new(env.clone(), plan, diskbuf.clone(), false);
+            let mut hasher = SFrameHasher::new(env.clone(), plan, diskbuf.clone(), false, 0, 0);
             let mut frames = 0;
             while let Some(frame) = hasher.next_frame().await {
                 join_frame(&env, &plan, &src, &diskbuf, &frame).await;

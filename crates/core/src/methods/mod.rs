@@ -1,11 +1,17 @@
 //! The seven tertiary join methods (paper §5), written as async processes
 //! over the simulated machine.
 //!
-//! Each method is an `async fn run(env: JoinEnv) -> MethodResult`. Inside,
-//! every tape read, disk transfer and buffer handoff is awaited, so the
-//! method's structure *is* its timing model: sequential methods await
-//! operations inline, concurrent methods spawn producer/consumer tasks
-//! whose I/O overlaps across devices in virtual time.
+//! Each method is an `async fn run(env: JoinEnv, resume) -> MethodRun`.
+//! Inside, every tape read, disk transfer and buffer handoff is awaited,
+//! so the method's structure *is* its timing model: sequential methods
+//! await operations inline, concurrent methods spawn producer/consumer
+//! tasks whose I/O overlaps across devices in virtual time.
+//!
+//! Every method also carries explicit phase/progress state: after a
+//! sticky device failure ([`crate::env::JoinEnv::interrupted`]) it runs
+//! its current work unit to a boundary and returns a
+//! [`crate::checkpoint::JoinCheckpoint`] instead of completing, which the
+//! driver uses to resume without redoing finished passes.
 
 pub(crate) mod common;
 pub(crate) mod grace;
@@ -18,23 +24,38 @@ mod dt_gh;
 mod dt_nb;
 mod tt_gh;
 
-pub use common::MethodResult;
+pub use common::{MethodResult, MethodRun};
 
+use crate::checkpoint::Progress;
 use crate::env::JoinEnv;
 use crate::method::JoinMethod;
 
-/// Execute `method` against the environment. The environment must already
-/// satisfy the method's resource requirements (see
-/// [`crate::requirements::resource_needs`]); violations panic, they do not
-/// silently degrade.
-pub async fn run_method(method: JoinMethod, env: JoinEnv) -> MethodResult {
+/// Execute `method` against the environment, fresh or resumed from a
+/// checkpoint's progress. The environment must already satisfy the
+/// method's resource requirements (see
+/// [`crate::requirements::resource_needs`]); violations panic, they do
+/// not silently degrade. A `resume` whose shape does not match the
+/// method is ignored (fresh start), never a panic — the recovery path
+/// must stay total.
+pub async fn run_method_resumable(
+    method: JoinMethod,
+    env: JoinEnv,
+    resume: Option<Progress>,
+) -> MethodRun {
     match method {
-        JoinMethod::DtNb => dt_nb::run(env).await,
-        JoinMethod::CdtNbMb => cdt_nb_mb::run(env).await,
-        JoinMethod::CdtNbDb => cdt_nb_db::run(env).await,
-        JoinMethod::DtGh => dt_gh::run(env).await,
-        JoinMethod::CdtGh => cdt_gh::run(env).await,
-        JoinMethod::CttGh => ctt_gh::run(env).await,
-        JoinMethod::TtGh => tt_gh::run(env).await,
+        JoinMethod::DtNb => dt_nb::run(env, resume).await,
+        JoinMethod::CdtNbMb => cdt_nb_mb::run(env, resume).await,
+        JoinMethod::CdtNbDb => cdt_nb_db::run(env, resume).await,
+        JoinMethod::DtGh => dt_gh::run(env, resume).await,
+        JoinMethod::CdtGh => cdt_gh::run(env, resume).await,
+        JoinMethod::CttGh => ctt_gh::run(env, resume).await,
+        JoinMethod::TtGh => tt_gh::run(env, resume).await,
     }
+}
+
+/// Execute `method` fresh, without checkpoint support — the historical
+/// entry point, still used where faults are recoverable-only (e.g. the
+/// fleet scheduler's shared-scan path).
+pub async fn run_method(method: JoinMethod, env: JoinEnv) -> MethodResult {
+    run_method_resumable(method, env, None).await.result
 }

@@ -8,50 +8,186 @@
 //! bucket sequences — R buckets from the S tape into memory, S buckets
 //! from the R tape past them — with no overlap (the sequential variant).
 
+use crate::checkpoint::{JoinCheckpoint, Progress};
 use crate::env::JoinEnv;
 use crate::hash::GracePlan;
-use crate::methods::common::{step1_marker, step_scope, MethodResult};
-use crate::methods::grace::{hash_tape_to_tape, TapeHashSpec};
+use crate::method::JoinMethod;
+use crate::methods::common::{step1_marker, step_scope, MethodRun};
+use crate::methods::grace::{hash_tape_to_tape, TapeHashResume, TapeHashRun, TapeHashSpec};
 use crate::output::{build_table, probe_and_emit};
+use tapejoin_tape::TapeExtent;
 
-pub(crate) async fn run(env: JoinEnv) -> MethodResult {
-    let plan = GracePlan::derive_with_target(
-        env.r_blocks(),
-        env.cfg.memory_blocks,
-        env.r_tuples_per_block,
-        env.cfg.grace_fill_target,
-    )
-    // lint:allow(L3, memory grant proven by resource_needs before dispatch)
-    .expect("feasibility checked before dispatch");
+/// Which point of the three-phase pipeline a resumed run enters at.
+enum Entry {
+    Fresh,
+    HashR(TapeHashResume),
+    HashS(Vec<TapeExtent>, TapeHashResume),
+    Join(Vec<TapeExtent>, Vec<TapeExtent>, u64),
+}
 
-    // Step I(a): hash R onto the S tape.
-    let step = step_scope(&env, "step1");
-    let r_spec = TapeHashSpec {
-        src_drive: env.drive_r.clone(),
-        src_extent: env.r_extent,
-        dst_drive: env.drive_s.clone(),
-        compressibility: env.r_compressibility,
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    // Restore phase state from an interrupted attempt, if any. A resumed
+    // run reuses the interrupted attempt's plan — the hashed copies on
+    // tape follow its layout.
+    let (plan, entry) = match resume {
+        Some(Progress::TapeHashR {
+            plan,
+            starts,
+            lens,
+            bucket,
+            collected,
+        }) => (
+            plan,
+            Entry::HashR(TapeHashResume {
+                starts,
+                lens,
+                bucket,
+                collected,
+            }),
+        ),
+        Some(Progress::TapeHashS {
+            plan,
+            r_extents,
+            starts,
+            lens,
+            bucket,
+            collected,
+        }) => (
+            plan,
+            Entry::HashS(
+                r_extents,
+                TapeHashResume {
+                    starts,
+                    lens,
+                    bucket,
+                    collected,
+                },
+            ),
+        ),
+        Some(Progress::JoinBuckets {
+            plan,
+            r_extents,
+            s_extents,
+            bucket,
+        }) => (plan, Entry::Join(r_extents, s_extents, bucket)),
+        _ => (
+            GracePlan::derive_with_target(
+                env.r_blocks(),
+                env.cfg.memory_blocks,
+                env.r_tuples_per_block,
+                env.cfg.grace_fill_target,
+            )
+            // lint:allow(L3, memory grant proven by resource_needs before dispatch)
+            .expect("feasibility checked before dispatch"),
+            Entry::Fresh,
+        ),
     };
-    let r_extents = hash_tape_to_tape(&env, &plan, &r_spec, false).await;
 
-    // Step I(b): hash S onto the R tape.
-    let s_spec = TapeHashSpec {
-        src_drive: env.drive_s.clone(),
-        src_extent: env.s_extent,
-        dst_drive: env.drive_r.clone(),
-        compressibility: env.s_compressibility,
+    let (r_hash_resume, s_state, join_state) = match entry {
+        Entry::Fresh => (None, None, None),
+        Entry::HashR(state) => (Some(state), None, None),
+        Entry::HashS(r_extents, state) => (None, Some((r_extents, Some(state))), None),
+        Entry::Join(r_extents, s_extents, bucket) => {
+            (None, None, Some((r_extents, s_extents, bucket)))
+        }
     };
-    let s_extents = hash_tape_to_tape(&env, &plan, &s_spec, false).await;
-    drop(step);
+
+    let (r_extents, s_extents, start_bucket) = match join_state {
+        Some(state) => state,
+        None => {
+            let step = step_scope(&env, "step1");
+            let (r_extents, s_hash_resume) = match s_state {
+                Some((r_extents, resume)) => (r_extents, resume),
+                None => {
+                    // Step I(a): hash R onto the S tape.
+                    let r_spec = TapeHashSpec {
+                        src_drive: env.drive_r.clone(),
+                        src_extent: env.r_extent,
+                        dst_drive: env.drive_s.clone(),
+                        compressibility: env.r_compressibility,
+                    };
+                    match hash_tape_to_tape(&env, &plan, &r_spec, false, r_hash_resume).await {
+                        TapeHashRun::Complete(extents) => (extents, None),
+                        TapeHashRun::Interrupted(state) => {
+                            drop(step);
+                            return MethodRun::interrupted(
+                                step1_marker(),
+                                None,
+                                JoinCheckpoint {
+                                    method: JoinMethod::TtGh,
+                                    progress: Progress::TapeHashR {
+                                        plan,
+                                        starts: state.starts,
+                                        lens: state.lens,
+                                        bucket: state.bucket,
+                                        collected: state.collected,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+            };
+            // Step I(b): hash S onto the R tape.
+            let s_spec = TapeHashSpec {
+                src_drive: env.drive_s.clone(),
+                src_extent: env.s_extent,
+                dst_drive: env.drive_r.clone(),
+                compressibility: env.s_compressibility,
+            };
+            let s_extents =
+                match hash_tape_to_tape(&env, &plan, &s_spec, false, s_hash_resume).await {
+                    TapeHashRun::Complete(extents) => extents,
+                    TapeHashRun::Interrupted(state) => {
+                        drop(step);
+                        return MethodRun::interrupted(
+                            step1_marker(),
+                            None,
+                            JoinCheckpoint {
+                                method: JoinMethod::TtGh,
+                                progress: Progress::TapeHashS {
+                                    plan,
+                                    r_extents,
+                                    starts: state.starts,
+                                    lens: state.lens,
+                                    bucket: state.bucket,
+                                    collected: state.collected,
+                                },
+                            },
+                        );
+                    }
+                };
+            drop(step);
+            (r_extents, s_extents, 0)
+        }
+    };
     let step1_done = step1_marker();
     let _step2 = step_scope(&env, "step2");
 
     // Step II: bucket-wise merge of the two hashed tapes. Buckets are
     // stored in the same order on both tapes, so both drives move
-    // strictly forward.
-    for b in 0..plan.buckets {
+    // strictly forward. Each bucket is the interrupt unit: a bucket in
+    // progress runs to completion, new buckets stop after a failure.
+    let mut b = start_bucket as usize;
+    while b < plan.buckets {
+        if env.interrupted() {
+            return MethodRun::interrupted(
+                step1_done,
+                None,
+                JoinCheckpoint {
+                    method: JoinMethod::TtGh,
+                    progress: Progress::JoinBuckets {
+                        plan,
+                        r_extents,
+                        s_extents,
+                        bucket: b as u64,
+                    },
+                },
+            );
+        }
         let r_ext = r_extents[b];
         let s_ext = s_extents[b];
+        b += 1;
         if r_ext.len == 0 || s_ext.len == 0 {
             continue;
         }
@@ -90,8 +226,5 @@ pub(crate) async fn run(env: JoinEnv) -> MethodResult {
         }
     }
 
-    MethodResult {
-        step1_done,
-        probe: None,
-    }
+    MethodRun::complete(step1_done, None)
 }

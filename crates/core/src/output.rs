@@ -111,6 +111,20 @@ impl OutputSink {
         *self.check.borrow()
     }
 
+    /// Void everything emitted so far: reset the check value and drop
+    /// staged-but-unwritten output blocks. Used when recovery discards an
+    /// interrupted attempt (restart or re-plan): the attempt's partial
+    /// output is abandoned and the fresh run re-emits from scratch.
+    /// Blocks already materialized on disk stay written — they are dead
+    /// space, as they would be on a real machine.
+    pub fn discard(&self) {
+        *self.check.borrow_mut() = JoinCheck::default();
+        if let Some(stage) = &self.stage {
+            stage.pending.borrow_mut().clear();
+            stage.queue.borrow_mut().clear();
+        }
+    }
+
     /// Close the result stream and wait for any materialization to
     /// drain. Returns the number of output blocks written to disk
     /// (zero when pipelined).

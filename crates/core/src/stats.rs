@@ -25,8 +25,20 @@ pub struct JoinStats {
     /// Disk array statistics (Figure 7's traffic metric).
     pub disk: DiskStats,
     /// Injected faults and their recovery cost, aggregated across all
-    /// devices (all zeros when the fault plan is inert).
+    /// devices **and all recovery attempts** (all zeros when the fault
+    /// plan is inert). Device counters persist across a checkpoint
+    /// resume, so this is the merged, whole-join summary.
     pub faults: FaultSummary,
+    /// Times the join was restarted/resumed after an unrecoverable fault
+    /// (0 on a clean run or with recovery disabled).
+    pub restarts: u32,
+    /// The method recovery re-planned to, when the degraded configuration
+    /// made the original method a bad (or infeasible) fit. `None` when
+    /// the join finished under the method it started with.
+    pub replanned_method: Option<JoinMethod>,
+    /// Completed work carried across restarts instead of being redone,
+    /// in bytes of device I/O (0 unless a checkpoint resume happened).
+    pub work_salvaged_bytes: u64,
     /// Peak main-memory blocks in use (validates Table 2 / Figure 6).
     pub mem_peak: u64,
     /// Peak disk blocks in use (validates Table 2 / Figure 6).
@@ -113,6 +125,12 @@ impl JoinStats {
         reg.counter_add(run("join.output_pairs"), self.output.pairs);
         reg.counter_add(run("join.mem_peak_blocks"), self.mem_peak);
         reg.counter_add(run("join.disk_peak_blocks"), self.disk_peak);
+        reg.counter_add(run("join.restarts"), u64::from(self.restarts));
+        reg.counter_add(
+            run("join.replanned"),
+            u64::from(self.replanned_method.is_some()),
+        );
+        reg.counter_add(run("join.work_salvaged_bytes"), self.work_salvaged_bytes);
         reg.observe(run("join.response_hist_ns"), self.response.as_nanos());
     }
 }
@@ -129,6 +147,9 @@ impl std::fmt::Debug for JoinStats {
             .field("disk_traffic", &self.disk.traffic())
             .field("faults", &self.faults.total())
             .field("fault_time", &self.faults.retry_time)
+            .field("restarts", &self.restarts)
+            .field("replanned_method", &self.replanned_method)
+            .field("work_salvaged_bytes", &self.work_salvaged_bytes)
             .finish()
     }
 }

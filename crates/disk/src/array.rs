@@ -70,6 +70,9 @@ pub struct DiskArray {
     store: Rc<RefCell<HashMap<DiskAddr, BlockRef>>>,
     /// First error observed (sticky until [`DiskArray::take_error`]).
     error: Rc<RefCell<Option<DiskError>>>,
+    /// Sticky: some request exhausted its retry budget and the array
+    /// needs service (see [`DiskArray::has_failed`]).
+    failed: Rc<RefCell<bool>>,
     stats: Rc<RefCell<DiskStats>>,
     faults: Rc<RefCell<Option<Vec<DiskFaultInjector>>>>,
     recorder: Rc<RefCell<Recorder>>,
@@ -93,6 +96,7 @@ impl DiskArray {
             ),
             store: Rc::new(RefCell::new(HashMap::new())),
             error: Rc::new(RefCell::new(None)),
+            failed: Rc::new(RefCell::new(false)),
             stats: Rc::new(RefCell::new(DiskStats::default())),
             faults: Rc::new(RefCell::new(None)),
             recorder: Rc::new(RefCell::new(Recorder::disabled())),
@@ -186,6 +190,25 @@ impl DiskArray {
             }
             None => Ok(blocks),
         }
+    }
+
+    /// Whether some request exhausted its retry budget since the last
+    /// [`DiskArray::replace_failed_unit`] — the array needs service. A
+    /// failed array still serves requests correctly (injected faults are
+    /// timing-only); callers that care about durability check this at
+    /// their unit-of-work boundaries.
+    pub fn has_failed(&self) -> bool {
+        *self.failed.borrow()
+    }
+
+    /// Hot-spare service: clears the failed flag and disarms fault
+    /// injection — the rebuilt unit is pristine hardware, so it draws no
+    /// further faults. Contents are preserved (the rebuild restores
+    /// surviving data; the caller charges the rebuild delay separately)
+    /// and cumulative statistics keep counting across the swap.
+    pub fn replace_failed_unit(&self) {
+        *self.failed.borrow_mut() = false;
+        *self.faults.borrow_mut() = None;
     }
 
     /// Take the first error recorded by an infallible [`DiskArray::read`]
@@ -322,6 +345,7 @@ impl DiskArray {
         st.fault_retries += fault.retries as u64;
         if fault.exhausted {
             st.failed_faults += 1;
+            *self.failed.borrow_mut() = true;
         }
         st.fault_time += penalty;
         penalty
@@ -586,6 +610,31 @@ mod tests {
                 tapejoin_sim::now().duration_since(tapejoin_sim::SimTime::ZERO)
             })
         }
+    }
+
+    #[test]
+    fn failed_flag_sticks_until_unit_replaced() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let arr = DiskArray::new(DiskModel::ideal(1e6), 1, BLOCK, ArrayMode::Aggregate);
+            arr.set_fault_policy(DiskFaultPolicy::new(5).error_rate(1.0).max_retries(1));
+            let sm = SpaceManager::new(1, 64);
+            let addrs = sm.allocate(2).unwrap();
+            let bs = blocks(2);
+            assert!(!arr.has_failed());
+            arr.write(&addrs, &bs).await;
+            assert!(arr.has_failed(), "exhausted retries must mark the array");
+            let failed_before = arr.stats().failed_faults;
+            assert!(failed_before > 0);
+
+            arr.replace_failed_unit();
+            assert!(!arr.has_failed());
+            // The rebuilt unit preserves contents and draws no faults.
+            let back = arr.read(&addrs).await;
+            assert_eq!(back[0].checksum(), bs[0].checksum());
+            assert!(!arr.has_failed());
+            assert_eq!(arr.stats().failed_faults, failed_before);
+        });
     }
 
     #[test]

@@ -116,10 +116,12 @@ impl SpaceManager {
         self.inner.borrow().in_use
     }
 
-    /// Blocks free under the quota.
+    /// Blocks free under the quota. Saturating: after a
+    /// [`SpaceManager::reduce_quota`] that undercuts live allocations,
+    /// free space is zero, not negative.
     pub fn free(&self) -> u64 {
         let inner = self.inner.borrow();
-        inner.quota - inner.in_use
+        inner.quota.saturating_sub(inner.in_use)
     }
 
     /// Highest simultaneous allocation seen (validates Table 2 / Fig. 6).
@@ -133,7 +135,7 @@ impl SpaceManager {
         if inner.in_use + count > inner.quota {
             return Err(DiskSpaceExhausted {
                 requested: count,
-                free: inner.quota - inner.in_use,
+                free: inner.quota.saturating_sub(inner.in_use),
             });
         }
         let disks = inner.free_lists.len();
@@ -167,6 +169,26 @@ impl SpaceManager {
         inner.in_use += count;
         inner.peak_in_use = inner.peak_in_use.max(inner.in_use);
         Ok(out)
+    }
+
+    /// Shrink the quota to `new_quota` blocks — the degraded-mode budget
+    /// after losing disk capacity. The per-disk split is rescaled
+    /// proportionally; blocks already allocated stay allocated even if
+    /// they now exceed the new quota (callers release salvage first, then
+    /// shrink). Growing the quota is rejected: a degraded array never
+    /// recovers capacity without a rebuild, which builds a fresh manager.
+    pub fn reduce_quota(&self, new_quota: u64) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            new_quota <= inner.quota,
+            "reduce_quota cannot grow the budget ({} -> {new_quota})",
+            inner.quota
+        );
+        let n = inner.per_disk_quota.len() as u64;
+        inner.quota = new_quota;
+        inner.per_disk_quota = (0..n)
+            .map(|i| new_quota / n + u64::from(i < new_quota % n))
+            .collect();
     }
 
     /// Return addresses to the pool for reuse.

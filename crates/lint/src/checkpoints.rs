@@ -1,0 +1,216 @@
+//! L7 — checkpoint-phase registry consistency.
+//!
+//! The recovery subsystem snapshots every join at phase boundaries and
+//! resumes into the phase a checkpoint names. Two sites the compiler
+//! cannot tie together define that contract: `checkpoint::PHASES` (the
+//! canonical phase-name list that `Progress::phase` draws from) and
+//! `JoinMethod::phases` (each method's declared boundaries). A method
+//! missing from the map cannot advertise where it may be resumed; a
+//! misspelled phase name would never match a checkpoint. This pass parses
+//! the enum, the `phases()` match arms and the `PHASES` array with the
+//! token scanner and demands agreement: every variant declares a
+//! non-empty phase list, and every declared name is registered.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{scan, Token, TokenKind};
+use crate::registry::{enum_variants, string_array};
+
+const ENUM_FILE: &str = "crates/core/src/method.rs";
+const CHECKPOINT_FILE: &str = "crates/core/src/checkpoint.rs";
+
+/// Run the checkpoint-phase check over a workspace rooted at `root`.
+pub fn check_checkpoints(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let Some(cp_src) = read(&root.join(CHECKPOINT_FILE), CHECKPOINT_FILE, diags) else {
+        return;
+    };
+    let cp_toks = scan(&cp_src).tokens;
+    let registered = string_array(&cp_toks, "PHASES");
+    if registered.is_empty() {
+        push(
+            diags,
+            CHECKPOINT_FILE,
+            1,
+            "could not find the `PHASES` phase-name registry".to_string(),
+            "keep the canonical phase list in crates/core/src/checkpoint.rs".to_string(),
+        );
+        return;
+    }
+
+    let Some(src) = read(&root.join(ENUM_FILE), ENUM_FILE, diags) else {
+        return;
+    };
+    let toks = scan(&src).tokens;
+    let variants = enum_variants(&toks, "JoinMethod");
+    if variants.is_empty() {
+        push(
+            diags,
+            ENUM_FILE,
+            1,
+            "could not find `enum JoinMethod` variants".to_string(),
+            "keep the canonical method enum in crates/core/src/method.rs".to_string(),
+        );
+        return;
+    }
+
+    let map = phases_map(&toks);
+    for v in &variants {
+        let Some((_, phases, line)) = map.iter().find(|(var, _, _)| var == v) else {
+            push(
+                diags,
+                ENUM_FILE,
+                1,
+                format!("JoinMethod::{v} declares no checkpoint phases"),
+                "add a phases() arm so recovery knows the method's resume boundaries".to_string(),
+            );
+            continue;
+        };
+        if phases.is_empty() {
+            push(
+                diags,
+                ENUM_FILE,
+                *line,
+                format!("JoinMethod::{v} declares an empty checkpoint phase list"),
+                "every method must expose at least one resumable phase boundary".to_string(),
+            );
+        }
+        for p in phases {
+            if !registered.contains(p) {
+                push(
+                    diags,
+                    ENUM_FILE,
+                    *line,
+                    format!("JoinMethod::{v} declares unregistered phase \"{p}\""),
+                    format!(
+                        "use a name from checkpoint::PHASES ({})",
+                        registered.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn read(path: &Path, rel: &str, diags: &mut Vec<Diagnostic>) -> Option<String> {
+    match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(_) => {
+            push(
+                diags,
+                rel,
+                1,
+                format!("checkpoint registry file {rel} is missing"),
+                "the phase registry spans method.rs and checkpoint.rs; keep both".to_string(),
+            );
+            None
+        }
+    }
+}
+
+fn push(diags: &mut Vec<Diagnostic>, rel: &str, line: u32, message: String, hint: String) {
+    diags.push(Diagnostic {
+        rule: Rule::L7,
+        file: PathBuf::from(rel),
+        line,
+        message,
+        hint,
+    });
+}
+
+/// The variant -> phase-list map from `fn phases`'s match arms
+/// (`JoinMethod::DtNb => &["copy-r", "probe-s"]`). Or-patterns
+/// (`A | B => ...`) attribute the list to every named variant.
+fn phases_map(toks: &[Token]) -> Vec<(String, Vec<String>, u32)> {
+    let mut out = Vec::new();
+    let Some(fn_idx) = (0..toks.len().saturating_sub(1))
+        .find(|&i| toks[i].is_ident("fn") && toks[i + 1].is_ident("phases"))
+    else {
+        return out;
+    };
+    let mut depth = 0i32;
+    let mut entered = false;
+    let mut pending: Vec<(String, u32)> = Vec::new();
+    let mut j = fn_idx;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+            entered = true;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if entered && depth == 0 {
+                break;
+            }
+        } else if toks[j].is_ident("JoinMethod")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(TokenKind::Ident(var)) = toks.get(j + 3).map(|t| &t.kind) {
+                pending.push((var.clone(), toks[j].line));
+                j += 4;
+                continue;
+            }
+        } else if toks[j].is_punct('=') && toks.get(j + 1).is_some_and(|t| t.is_punct('>')) {
+            // Arm body: an optional `&` then a `[ ... ]` of phase names.
+            let mut k = j + 2;
+            while k < toks.len() && (toks[k].is_punct('&') || toks[k].is_punct('[')) {
+                if toks[k].is_punct('[') {
+                    break;
+                }
+                k += 1;
+            }
+            let mut phases = Vec::new();
+            if toks.get(k).is_some_and(|t| t.is_punct('[')) {
+                let mut bdepth = 0i32;
+                while k < toks.len() {
+                    if toks[k].is_punct('[') {
+                        bdepth += 1;
+                    } else if toks[k].is_punct(']') {
+                        bdepth -= 1;
+                        if bdepth == 0 {
+                            break;
+                        }
+                    } else if let TokenKind::Str(s) = &toks[k].kind {
+                        phases.push(s.clone());
+                    }
+                    k += 1;
+                }
+            }
+            for (var, line) in pending.drain(..) {
+                out.push((var, phases.clone(), line));
+            }
+            j = k.max(j + 2);
+        }
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_phase_arms_including_or_patterns() {
+        let src = r#"
+            impl JoinMethod {
+                pub fn phases(&self) -> &'static [&'static str] {
+                    match self {
+                        JoinMethod::DtNb => &["copy-r", "probe-s"],
+                        JoinMethod::DtGh | JoinMethod::CdtGh => &["hash-r", "join-frames"],
+                        JoinMethod::TtGh => &[],
+                    }
+                }
+            }
+        "#;
+        let map = phases_map(&scan(src).tokens);
+        assert_eq!(map.len(), 4);
+        assert_eq!(map[0].0, "DtNb");
+        assert_eq!(map[0].1, ["copy-r", "probe-s"]);
+        assert_eq!(map[1].0, "DtGh");
+        assert_eq!(map[2].0, "CdtGh");
+        assert_eq!(map[1].1, map[2].1);
+        assert!(map[3].1.is_empty());
+    }
+}

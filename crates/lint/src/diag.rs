@@ -3,7 +3,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
-/// The six invariant rules (plus `L0` for malformed pragmas).
+/// The seven invariant rules (plus `L0` for malformed pragmas).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Malformed `lint:allow` pragma (unknown rule, missing reason).
@@ -25,11 +25,22 @@ pub enum Rule {
     /// Recorder discipline: `fork()`, never `clone()`, across executor
     /// boundaries.
     L6,
+    /// Checkpoint phases: every `JoinMethod` declares its resume
+    /// boundaries from the registered phase set.
+    L7,
 }
 
 impl Rule {
     /// All checkable rules (excludes the pragma meta-rule `L0`).
-    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+    pub const ALL: [Rule; 7] = [
+        Rule::L1,
+        Rule::L2,
+        Rule::L3,
+        Rule::L4,
+        Rule::L5,
+        Rule::L6,
+        Rule::L7,
+    ];
 
     /// Rule id as written in pragmas and diagnostics (`"L3"`).
     pub fn id(self) -> &'static str {
@@ -41,6 +52,7 @@ impl Rule {
             Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::L7 => "L7",
         }
     }
 
@@ -53,6 +65,7 @@ impl Rule {
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
             "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
             _ => None,
         }
     }
@@ -69,6 +82,9 @@ impl Rule {
             Rule::L4 => "float ordering: use total_cmp, never partial_cmp(..).unwrap()",
             Rule::L5 => "registry consistency: every JoinMethod in planner/differential/bench/obs",
             Rule::L6 => "Recorder discipline: fork(), never clone(), across executor boundaries",
+            Rule::L7 => {
+                "checkpoint phases: every JoinMethod declares resume boundaries from PHASES"
+            }
         }
     }
 }

@@ -7,16 +7,19 @@
 //! (degenerate `CostParams` produce NaN), library code must return typed
 //! errors instead of panicking mid-simulation, and the seven join methods
 //! of the paper's Table 2 must stay registered across the planner, the
-//! differential harness, the bench harness and the obs label table.
+//! differential harness, the bench harness and the obs label table —
+//! and each must declare its checkpoint phase boundaries so a fault
+//! mid-join stays resumable.
 //!
 //! This crate is a small static pass over the workspace source — a
-//! comment/string-aware token scanner plus six rule passes — run in CI as
+//! comment/string-aware token scanner plus seven rule passes — run in CI as
 //! `cargo run -p tapejoin-lint -- check`. See `DESIGN.md` §11 for the
 //! rule catalogue and the `lint:allow` pragma contract (rule id plus a
 //! mandatory reason).
 
 #![warn(missing_docs)]
 
+mod checkpoints;
 mod diag;
 mod lexer;
 mod pragma;
@@ -41,6 +44,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
         lint_source(&f, &src, &mut diags);
     }
     registry::check_registry(root, &mut diags);
+    checkpoints::check_checkpoints(root, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     diags
 }
@@ -65,5 +69,13 @@ pub fn lint_source(file: &SourceFile, src: &str, diags: &mut Vec<Diagnostic>) {
 pub fn lint_registry(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     registry::check_registry(root, &mut diags);
+    diags
+}
+
+/// Run only the L7 checkpoint-phase check (exposed for the fixture
+/// tests).
+pub fn lint_checkpoints(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    checkpoints::check_checkpoints(root, &mut diags);
     diags
 }

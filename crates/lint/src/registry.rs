@@ -179,7 +179,7 @@ fn push(diags: &mut Vec<Diagnostic>, rel: &str, line: u32, message: String, hint
 }
 
 /// Variant idents of `enum <name> { ... }` at brace depth 1.
-fn enum_variants(toks: &[Token], name: &str) -> Vec<String> {
+pub(crate) fn enum_variants(toks: &[Token], name: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut i = 0;
     while i + 2 < toks.len() {
@@ -271,7 +271,7 @@ fn const_array_variants(toks: &[Token], name: &str) -> Vec<String> {
 }
 
 /// String literals inside `const <name> ... [ ... ]` (or `&[ ... ]`).
-fn string_array(toks: &[Token], name: &str) -> Vec<String> {
+pub(crate) fn string_array(toks: &[Token], name: &str) -> Vec<String> {
     let Some(start) = find_const(toks, name) else {
         return Vec::new();
     };

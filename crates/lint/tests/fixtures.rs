@@ -12,7 +12,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use tapejoin_lint::{lint_registry, lint_source, Diagnostic, FileClass, Rule, SourceFile};
+use tapejoin_lint::{
+    lint_checkpoints, lint_registry, lint_source, Diagnostic, FileClass, Rule, SourceFile,
+};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -115,6 +117,40 @@ fn l5_clean_workspace_fixture_passes() {
     );
 }
 
+#[test]
+fn l7_workspace_fixture_reports_every_phase_defect() {
+    let diags = lint_checkpoints(&fixture_dir().join("l7_workspace"));
+    assert!(!diags.is_empty(), "defective phase map must trip L7");
+    for d in &diags {
+        assert_eq!(d.rule, Rule::L7, "unexpected rule: {}", d.message);
+    }
+    let msgs: Vec<_> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("warp-core")),
+        "unregistered phase name must be reported: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("Beta") && m.contains("empty")),
+        "empty phase list must be reported: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("Gamma") && m.contains("no checkpoint phases")),
+        "variant without an arm must be reported: {msgs:?}"
+    );
+}
+
+#[test]
+fn l7_clean_workspace_fixture_passes() {
+    let diags = lint_checkpoints(&fixture_dir().join("l7_clean"));
+    assert!(
+        diags.is_empty(),
+        "clean mini-workspace tripped L7: {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
 /// The real workspace's registry must be consistent.
 #[test]
 fn real_workspace_registry_is_consistent() {
@@ -163,6 +199,57 @@ fn deleting_any_variant_from_the_bench_list_trips_l5() {
                 .iter()
                 .any(|d| d.rule == Rule::L5 && d.message.contains(victim)),
             "deleting JoinMethod::{victim} from BENCH_METHODS must trip L5; got {:?}",
+            diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The real workspace's checkpoint-phase registry must be consistent.
+#[test]
+fn real_workspace_checkpoint_phases_are_consistent() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_checkpoints(&root);
+    assert!(
+        diags.is_empty(),
+        "workspace phase registry drifted: {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
+/// Acceptance check from the issue: deleting ANY `JoinMethod` variant's
+/// phases() arm must make L7 fail. Exercised against a copy of the real
+/// registry files with one arm removed at a time.
+#[test]
+fn deleting_any_phase_arm_trips_l7() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("l7_deletion");
+    let method_src = fs::read_to_string(root.join("crates/core/src/method.rs")).unwrap();
+    let checkpoint_src = fs::read_to_string(root.join("crates/core/src/checkpoint.rs")).unwrap();
+    let variants = [
+        "DtNb", "CdtNbMb", "CdtNbDb", "DtGh", "CdtGh", "CttGh", "TtGh",
+    ];
+    for victim in variants {
+        // Drop the victim's phases() arm (each arm sits on its own line).
+        let needle = format!("JoinMethod::{victim} =>");
+        let gutted: String = method_src
+            .lines()
+            .filter(|l| {
+                let is_arm = l.contains(&needle) && (l.contains("&[\"") || l.contains("=> &["));
+                !is_arm || !l.contains("\"")
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_ne!(gutted, method_src, "arm for {victim} not found to delete");
+        let dst = scratch.join("crates/core/src");
+        fs::create_dir_all(&dst).unwrap();
+        fs::write(dst.join("method.rs"), &gutted).unwrap();
+        fs::write(dst.join("checkpoint.rs"), &checkpoint_src).unwrap();
+        let diags = lint_checkpoints(&scratch);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::L7 && d.message.contains(victim)),
+            "deleting JoinMethod::{victim}'s phases() arm must trip L7; got {:?}",
             diags.iter().map(|d| &d.message).collect::<Vec<_>>()
         );
     }

@@ -1,0 +1,13 @@
+pub enum JoinMethod {
+    Alpha,
+    Beta,
+}
+
+impl JoinMethod {
+    pub fn phases(&self) -> &'static [&'static str] {
+        match self {
+            JoinMethod::Alpha => &["copy-r", "probe-s"],
+            JoinMethod::Beta => &["hash-r"],
+        }
+    }
+}

@@ -1,0 +1,1 @@
+pub const PHASES: [&str; 3] = ["copy-r", "probe-s", "hash-r"];

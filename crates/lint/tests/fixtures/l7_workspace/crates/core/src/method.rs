@@ -1,0 +1,15 @@
+pub enum JoinMethod {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+impl JoinMethod {
+    pub fn phases(&self) -> &'static [&'static str] {
+        match self {
+            JoinMethod::Alpha => &["copy-r", "warp-core"],
+            JoinMethod::Beta => &[],
+            _ => &[],
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Typed scheduler-level failures.
+//!
+//! Device-level faults are modeled (and mostly recovered) inside the
+//! join methods; what escapes to the scheduler is a query that could not
+//! be finished within its retry budget. That is a *scheduling* outcome —
+//! the fleet keeps running — so it surfaces as a typed error on the
+//! query, not a panic or a silent drop.
+
+use std::fmt;
+
+/// A scheduler-level failure attributed to one query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// The query was interrupted by unrecoverable device faults on every
+    /// attempt and its per-query retry budget ran out.
+    RetryBudgetExhausted {
+        /// Query id.
+        id: usize,
+        /// Requeue attempts consumed (equals the configured budget).
+        retries: u32,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::RetryBudgetExhausted { id, retries } => write!(
+                f,
+                "query {id} failed after exhausting its retry budget ({retries} requeues)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_query_and_budget() {
+        let e = SchedError::RetryBudgetExhausted { id: 3, retries: 2 };
+        assert!(e.to_string().contains("query 3"));
+        assert!(e.to_string().contains("2 requeues"));
+    }
+}

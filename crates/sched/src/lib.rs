@@ -17,7 +17,12 @@
 //!   cartridge are batched so a single tape pass feeds all of them, and
 //!   drive affinity keeps hot cartridges mounted to spare the robot;
 //! * [`FleetReport`] — per-query response/wait/method plus makespan,
-//!   mean/p95 response, drive and disk utilization.
+//!   mean/p95 response, drive and disk utilization;
+//! * **fault retry** — an execution interrupted by an unrecoverable
+//!   device failure swaps the failed drive for a spare and requeues the
+//!   query with capped exponential backoff, up to a per-query retry
+//!   budget; beyond it the query fails with the typed
+//!   [`SchedError::RetryBudgetExhausted`].
 //!
 //! ```
 //! use tapejoin_sched::{FleetConfig, Policy, Scheduler, WorkloadGen};
@@ -35,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod broker;
+mod error;
 mod metrics;
 mod policy;
 mod sched;
 mod workload;
 
 pub use broker::{Broker, Claim, ResourceOffer};
+pub use error::SchedError;
 pub use metrics::{Execution, FleetReport, QueryOutcome};
 pub use policy::Policy;
 pub use sched::{FleetConfig, Scheduler};

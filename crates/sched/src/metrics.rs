@@ -8,6 +8,7 @@ use tapejoin::JoinMethod;
 use tapejoin_rel::JoinCheck;
 use tapejoin_sim::{Duration, SimTime};
 
+use crate::error::SchedError;
 use crate::policy::Policy;
 
 /// How a query was (or was not) executed.
@@ -19,6 +20,10 @@ pub enum Execution {
     SharedScan,
     /// Rejected at arrival: infeasible even on an idle machine.
     Rejected,
+    /// Interrupted by unrecoverable device faults on every attempt until
+    /// the per-query retry budget ran out (see
+    /// [`SchedError::RetryBudgetExhausted`]).
+    RetryBudgetExhausted,
 }
 
 impl Execution {
@@ -28,6 +33,7 @@ impl Execution {
             Execution::Method(m) => m.abbrev(),
             Execution::SharedScan => "SHARED",
             Execution::Rejected => "reject",
+            Execution::RetryBudgetExhausted => "retry-x",
         }
     }
 }
@@ -47,6 +53,8 @@ pub struct QueryOutcome {
     pub completed: Option<SimTime>,
     /// How it ran.
     pub execution: Execution,
+    /// Requeues this query consumed after fault-interrupted attempts.
+    pub retries: u32,
     /// Verified join output (pairs + order-independent digest).
     pub output: JoinCheck,
 }
@@ -87,6 +95,12 @@ pub struct FleetReport {
     pub shared_queries: u64,
     /// Deepest the admission queue ever got.
     pub max_admission_queue: usize,
+    /// Fault-interrupted executions requeued with backoff.
+    pub requeues: u64,
+    /// Queries that exhausted their retry budget.
+    pub retry_exhausted: u64,
+    /// Total backoff delay imposed on requeued queries.
+    pub retry_wait: Duration,
 }
 
 impl FleetReport {
@@ -104,6 +118,19 @@ impl FleetReport {
             .iter()
             .filter(|o| o.execution == Execution::Rejected)
             .count()
+    }
+
+    /// Typed scheduler-level failures, one per query that exhausted its
+    /// retry budget. Empty on a fault-free (or fully recovered) run.
+    pub fn failures(&self) -> Vec<SchedError> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.execution == Execution::RetryBudgetExhausted)
+            .map(|o| SchedError::RetryBudgetExhausted {
+                id: o.id,
+                retries: o.retries,
+            })
+            .collect()
     }
 
     fn responses(&self) -> Vec<Duration> {
@@ -155,14 +182,24 @@ impl FleetReport {
         reg.counter_add(key("fleet.shared_batches"), self.shared_batches);
         reg.counter_add(key("fleet.shared_queries"), self.shared_queries);
         reg.counter_add(key("fleet.makespan_ns"), self.makespan.as_nanos());
+        reg.counter_add(key("fleet.requeues"), self.requeues);
+        reg.counter_add(key("fleet.retry_exhausted"), self.retry_exhausted);
+        reg.counter_add(key("fleet.retry_wait_ns"), self.retry_wait.as_nanos());
         reg.gauge_set(key("fleet.drive_utilization"), self.drive_utilization);
         reg.gauge_set(key("fleet.disk_utilization"), self.disk_utilization);
+        reg.gauge_set(
+            key("fleet.max_queue_depth"),
+            self.max_admission_queue as f64,
+        );
         for o in &self.outcomes {
             if let Some(resp) = o.response() {
                 reg.observe(key("fleet.response_ns"), resp.as_nanos());
             }
             if o.admitted.is_some() {
                 reg.observe(key("fleet.wait_ns"), o.wait().as_nanos());
+            }
+            if o.retries > 0 {
+                reg.observe(key("fleet.query_retries"), u64::from(o.retries));
             }
         }
     }
@@ -193,12 +230,16 @@ impl FleetReport {
         h.u64(self.shared_batches);
         h.u64(self.shared_queries);
         h.u64(self.max_admission_queue as u64);
+        h.u64(self.requeues);
+        h.u64(self.retry_exhausted);
+        h.u64(self.retry_wait.as_nanos());
         for o in &self.outcomes {
             h.u64(o.id as u64);
             h.u64(o.arrival.as_nanos());
             h.u64(o.admitted.map(|t| t.as_nanos()).unwrap_or(u64::MAX));
             h.u64(o.completed.map(|t| t.as_nanos()).unwrap_or(u64::MAX));
             h.bytes(o.execution.label().as_bytes());
+            h.u64(u64::from(o.retries));
             h.u64(o.output.pairs);
             h.u64(o.output.digest);
         }
@@ -242,6 +283,7 @@ mod tests {
             admitted: Some(t(admitted)),
             completed: Some(t(completed)),
             execution: Execution::Method(JoinMethod::CdtGh),
+            retries: 0,
             output: JoinCheck::default(),
         }
     }
@@ -257,6 +299,9 @@ mod tests {
             shared_batches: 0,
             shared_queries: 0,
             max_admission_queue: 2,
+            requeues: 0,
+            retry_exhausted: 0,
+            retry_wait: Duration::ZERO,
         }
     }
 
@@ -291,10 +336,24 @@ mod tests {
             admitted: None,
             completed: None,
             execution: Execution::Rejected,
+            retries: 0,
             output: JoinCheck::default(),
         };
         assert_eq!(o.wait(), Duration::ZERO);
         assert_eq!(o.response(), None);
         assert_eq!(o.execution.label(), "reject");
+    }
+
+    #[test]
+    fn failures_surface_retry_exhausted_queries_as_typed_errors() {
+        let mut exhausted = outcome(4, 0, 10, 400);
+        exhausted.execution = Execution::RetryBudgetExhausted;
+        exhausted.retries = 2;
+        let r = report(vec![outcome(0, 0, 0, 10), exhausted]);
+        assert_eq!(
+            r.failures(),
+            vec![SchedError::RetryBudgetExhausted { id: 4, retries: 2 }]
+        );
+        assert_eq!(r.outcomes[1].execution.label(), "retry-x");
     }
 }

@@ -28,10 +28,12 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use tapejoin::cost::CostParams;
-use tapejoin::methods::run_method;
+use tapejoin::methods::run_method_resumable;
 use tapejoin::planner::rank_methods;
 use tapejoin::requirements::resource_needs;
-use tapejoin::{build_table, probe_and_emit, JoinEnv, JoinMethod, OutputSink, SystemConfig};
+use tapejoin::{
+    build_table, probe_and_emit, FaultPlan, JoinEnv, JoinMethod, OutputSink, SystemConfig,
+};
 use tapejoin_buffer::MemoryPool;
 use tapejoin_disk::{ArrayMode, DiskArray, DiskModel, SpaceManager};
 use tapejoin_rel::{Relation, Tuple};
@@ -72,6 +74,21 @@ pub struct FleetConfig {
     pub fair_share: u64,
     /// Batch same-cartridge queries under one S scan.
     pub share_scans: bool,
+    /// Fault-injection plan armed on every drive (per-drive derived
+    /// streams) and the disk array. Inert by default, so fault-free runs
+    /// reproduce bit for bit.
+    pub faults: FaultPlan,
+    /// Requeues a query may consume after fault-interrupted executions
+    /// before it fails with [`crate::SchedError::RetryBudgetExhausted`].
+    pub retry_budget: u32,
+    /// Base delay before a requeued query becomes eligible again;
+    /// doubles per retry of the same query.
+    pub retry_backoff: Duration,
+    /// Ceiling on a single requeue's backoff delay.
+    pub retry_backoff_cap: Duration,
+    /// Time to swap a failed drive for a spare before its slot returns
+    /// to the idle pool.
+    pub drive_swap_time: Duration,
     /// Observability recorder shared by the whole fleet: device-op spans
     /// on every drive and the array, one `query` scope per admission, and
     /// the fleet metrics. Disabled (a no-op) by default.
@@ -91,6 +108,11 @@ impl Default for FleetConfig {
             exchange_time: Duration::from_secs(30),
             fair_share: 3,
             share_scans: true,
+            faults: FaultPlan::none(),
+            retry_budget: 2,
+            retry_backoff: Duration::from_secs(60),
+            retry_backoff_cap: Duration::from_secs(480),
+            drive_swap_time: Duration::from_secs(90),
             recorder: tapejoin_obs::Recorder::disabled(),
         }
     }
@@ -114,6 +136,10 @@ struct Pending {
     r_blocks: u64,
     r_tpb: u32,
     cartridge: usize,
+    /// Requeues consumed after fault-interrupted executions.
+    retries: u32,
+    /// Backoff gate: the dispatcher skips this query until then.
+    not_before: SimTime,
 }
 
 /// One archived S relation, mastered onto a library cartridge.
@@ -151,6 +177,9 @@ struct Fleet {
     max_queue: Cell<usize>,
     shared_batches: Cell<u64>,
     shared_queries: Cell<u64>,
+    requeues: Cell<u64>,
+    retry_exhausted: Cell<u64>,
+    retry_wait: Cell<Duration>,
     total_queries: usize,
 }
 
@@ -196,6 +225,8 @@ impl Scheduler {
                     r_blocks: r.block_count(),
                     r_tpb: density(&r),
                     cartridge: q.cartridge,
+                    retries: 0,
+                    not_before: q.arrival,
                     r,
                 }
             })
@@ -295,6 +326,14 @@ fn build_fleet(
         .with_rate(cfg.disk_rate)
         .with_overhead(false);
     let disks = DiskArray::new(disk_model, cfg.disks, cfg.block_bytes, ArrayMode::Aggregate);
+    if cfg.faults.tape_active() {
+        for (i, drive) in drives.iter().enumerate() {
+            drive.set_fault_policy(cfg.faults.tape_policy(&format!("drive{i}")));
+        }
+    }
+    if cfg.faults.disk_active() {
+        disks.set_fault_policy(cfg.faults.disk_policy());
+    }
     if cfg.recorder.is_enabled() {
         for drive in &drives {
             drive.set_recorder(cfg.recorder.share());
@@ -323,6 +362,9 @@ fn build_fleet(
         max_queue: Cell::new(0),
         shared_batches: Cell::new(0),
         shared_queries: Cell::new(0),
+        requeues: Cell::new(0),
+        retry_exhausted: Cell::new(0),
+        retry_wait: Cell::new(Duration::ZERO),
         total_queries,
         cfg,
     }
@@ -404,6 +446,7 @@ fn admit_or_reject(fleet: &Rc<Fleet>, p: Pending) {
             admitted: None,
             completed: None,
             execution: Execution::Rejected,
+            retries: 0,
             output: Default::default(),
         });
         return;
@@ -432,6 +475,9 @@ fn pick(fleet: &Rc<Fleet>) -> Option<Admission> {
         };
         let mut best: Option<(usize, Plan, f64)> = None;
         for (i, p) in queue.iter().take(horizon).enumerate() {
+            if p.not_before > now() {
+                continue; // requeued with backoff, not yet eligible
+            }
             if fleet.catalog[p.cartridge].lock.available() == 0 {
                 continue; // cartridge busy
             }
@@ -537,6 +583,7 @@ fn launch(fleet: &Rc<Fleet>, adm: Admission) {
     // stack over the shared arena, so concurrent queries never cross-nest.
     let qrec = fleet.cfg.recorder.fork();
     spawn(async move {
+        let mut adm = adm;
         let qscope = qrec.scope(
             tapejoin_obs::SpanKind::Query,
             "sched",
@@ -551,18 +598,80 @@ fn launch(fleet: &Rc<Fleet>, adm: Admission) {
         };
         drop(qscope);
         let completed = now();
-        {
-            let mut outcomes = fl.outcomes.borrow_mut();
-            for (member, (check, execution)) in adm.members.iter().zip(results) {
-                outcomes.push(QueryOutcome {
-                    id: member.id,
-                    cartridge: fl.catalog[adm.cartridge].label.clone(),
-                    arrival: member.arrival,
-                    admitted: Some(adm.admitted),
-                    completed: Some(completed),
-                    execution,
-                    output: check,
-                });
+        match results {
+            Some(results) => {
+                let mut outcomes = fl.outcomes.borrow_mut();
+                for (member, (check, execution)) in adm.members.iter().zip(results) {
+                    outcomes.push(QueryOutcome {
+                        id: member.id,
+                        cartridge: fl.catalog[adm.cartridge].label.clone(),
+                        arrival: member.arrival,
+                        admitted: Some(adm.admitted),
+                        completed: Some(completed),
+                        execution,
+                        retries: member.retries,
+                        output: check,
+                    });
+                }
+            }
+            None => {
+                // An unrecoverable device fault interrupted the
+                // execution: the partial output is discarded, failed
+                // drives are swapped for spares (holding their slots for
+                // the swap), and every member is requeued with capped
+                // exponential backoff — or failed, once its budget is
+                // spent.
+                for d in [adm.drive_r, adm.drive_s] {
+                    if fl.drives[d].has_failed() {
+                        fl.drives[d].replace_unit();
+                        sleep(fl.cfg.drive_swap_time).await;
+                    }
+                }
+                for member in &adm.members {
+                    if member.retries >= fl.cfg.retry_budget {
+                        fl.retry_exhausted.set(fl.retry_exhausted.get() + 1);
+                        fl.outcomes.borrow_mut().push(QueryOutcome {
+                            id: member.id,
+                            cartridge: fl.catalog[adm.cartridge].label.clone(),
+                            arrival: member.arrival,
+                            admitted: Some(adm.admitted),
+                            completed: None,
+                            execution: Execution::RetryBudgetExhausted,
+                            retries: member.retries,
+                            output: Default::default(),
+                        });
+                    }
+                }
+                let eligible: Vec<Pending> = adm
+                    .members
+                    .drain(..)
+                    .filter(|m| m.retries < fl.cfg.retry_budget)
+                    .collect();
+                for mut member in eligible {
+                    let factor = 1u64 << member.retries.min(32);
+                    let backoff = fl
+                        .cfg
+                        .retry_backoff
+                        .checked_mul(factor)
+                        .unwrap_or(fl.cfg.retry_backoff_cap)
+                        .min(fl.cfg.retry_backoff_cap);
+                    member.retries += 1;
+                    member.not_before = now() + backoff;
+                    fl.requeues.set(fl.requeues.get() + 1);
+                    fl.retry_wait.set(fl.retry_wait.get() + backoff);
+                    let wake_at = member.not_before;
+                    {
+                        let mut q = fl.queue.borrow_mut();
+                        q.push(member);
+                        fl.max_queue.set(fl.max_queue.get().max(q.len()));
+                    }
+                    // Nudge the dispatcher when the backoff gate opens.
+                    let fl2 = Rc::clone(&fl);
+                    spawn(async move {
+                        sleep_until(wake_at).await;
+                        fl2.wake.notify_one();
+                    });
+                }
             }
         }
         {
@@ -623,12 +732,14 @@ async fn mount_catalog(fleet: &Fleet, drive: usize, cartridge: usize) {
     fleet.mounted.borrow_mut()[drive] = Some(label);
 }
 
-/// Run one query alone under its planned method.
+/// Run one query alone under its planned method. `None` when an
+/// unrecoverable device fault interrupted the join (partial output is
+/// discarded; the caller requeues the query).
 async fn run_single(
     fleet: &Fleet,
     adm: &Admission,
     qrec: &tapejoin_obs::Recorder,
-) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
+) -> Option<Vec<(tapejoin_rel::JoinCheck, Execution)>> {
     let p = &adm.members[0];
     // lint:allow(L3, single-query admissions always carry a plan)
     let plan = adm.plan.as_ref().expect("single admission carries a plan");
@@ -658,18 +769,22 @@ async fn run_single(
         s_compressibility: cat.relation.compressibility(),
         timeline: None,
     };
-    run_method(plan.method, env).await;
+    let run = run_method_resumable(plan.method, env, None).await;
     sink.finish().await;
-    vec![(sink.check(), Execution::Method(plan.method))]
+    if run.checkpoint.is_some() {
+        return None; // interrupted by a sticky device failure
+    }
+    Some(vec![(sink.check(), Execution::Method(plan.method))])
 }
 
 /// Run a shared-scan batch: build every member's R hash table in
-/// memory, then stream the S cartridge once, probing all tables.
+/// memory, then stream the S cartridge once, probing all tables. `None`
+/// when a drive failed mid-batch (the whole batch is requeued).
 async fn run_shared(
     fleet: &Fleet,
     adm: &Admission,
     qrec: &tapejoin_obs::Recorder,
-) -> Vec<(tapejoin_rel::JoinCheck, Execution)> {
+) -> Option<Vec<(tapejoin_rel::JoinCheck, Execution)>> {
     let cat = &fleet.catalog[adm.cartridge];
     let drive_r = &fleet.drives[adm.drive_r];
     let drive_s = &fleet.drives[adm.drive_s];
@@ -714,6 +829,17 @@ async fn run_shared(
         pos += n;
     }
 
+    // The device model always delivers correct data (faults are
+    // timing-only), but a drive whose exchange budget ran out is a dead
+    // unit: the batch's work is voided and retried, matching the
+    // single-query path.
+    if drive_r.has_failed() || drive_s.has_failed() {
+        for (_, sink) in tables {
+            sink.finish().await;
+        }
+        return None;
+    }
+
     fleet.shared_batches.set(fleet.shared_batches.get() + 1);
     fleet
         .shared_queries
@@ -724,7 +850,7 @@ async fn run_shared(
         sink.finish().await;
         out.push((sink.check(), Execution::SharedScan));
     }
-    out
+    Some(out)
 }
 
 /// Assemble the report once every query has an outcome.
@@ -759,5 +885,8 @@ fn report(fleet: &Fleet) -> FleetReport {
         shared_batches: fleet.shared_batches.get(),
         shared_queries: fleet.shared_queries.get(),
         max_admission_queue: fleet.max_queue.get(),
+        requeues: fleet.requeues.get(),
+        retry_exhausted: fleet.retry_exhausted.get(),
+        retry_wait: fleet.retry_wait.get(),
     }
 }

@@ -219,3 +219,92 @@ fn drive_affinity_spares_robot_exchanges() {
         cold_report.robot_exchanges
     );
 }
+
+/// Tape faults that stick: a zero exchange budget makes the first hard
+/// fault on a drive unrecoverable, exercising the scheduler's
+/// swap-and-requeue path rather than the join-internal retry.
+fn sticky_faults(seed: u64) -> tapejoin::FaultPlan {
+    tapejoin::FaultPlan::new(seed)
+        .tape_rates(0.0, 0.10)
+        .tape_exchange(Duration::from_secs(50), 0)
+}
+
+/// Sticky drive failures mid-fleet: interrupted queries are requeued
+/// with backoff onto swapped drives, every query still completes with
+/// the reference join's output, and the whole faulty run reproduces
+/// bit for bit.
+#[test]
+fn fault_interrupted_queries_requeue_and_still_match_the_reference() {
+    let spec = WorkloadGen {
+        queries: 6,
+        cartridges: 2,
+        mean_interarrival_s: 90.0,
+        ..WorkloadGen::default()
+    }
+    .generate();
+    let sched = Scheduler::new(FleetConfig {
+        faults: sticky_faults(3),
+        ..FleetConfig::default()
+    });
+    let report = sched.run(&spec, Policy::Fifo);
+    assert!(report.requeues >= 1, "fault plan produced no requeue");
+    assert_eq!(report.retry_exhausted, 0, "budget of 2 must suffice");
+    assert!(
+        report.retry_wait > Duration::ZERO,
+        "requeues must charge backoff delay"
+    );
+    assert_eq!(report.completed(), spec.queries.len());
+    assert!(report.outcomes.iter().any(|o| o.retries >= 1));
+    for (q, o) in spec.queries.iter().zip(&report.outcomes) {
+        let expected = reference_join(&q.relation(), &spec.catalog[q.cartridge].relation());
+        assert_eq!(o.output, expected, "query {} after requeue", q.id);
+    }
+    assert_eq!(
+        report.fingerprint(),
+        sched.run(&spec, Policy::Fifo).fingerprint(),
+        "faulty fleet run must be deterministic"
+    );
+}
+
+/// With a zero retry budget the first interrupted execution consumes
+/// the query: the fleet surfaces a typed `RetryBudgetExhausted` error
+/// for it (no panic) while unaffected queries still complete.
+#[test]
+fn exhausted_retry_budget_surfaces_a_typed_scheduler_error() {
+    let spec = WorkloadGen {
+        queries: 6,
+        cartridges: 2,
+        mean_interarrival_s: 90.0,
+        ..WorkloadGen::default()
+    }
+    .generate();
+    let report = Scheduler::new(FleetConfig {
+        faults: sticky_faults(3),
+        retry_budget: 0,
+        ..FleetConfig::default()
+    })
+    .run(&spec, Policy::Fifo);
+    assert!(report.retry_exhausted >= 1);
+    assert_eq!(report.requeues, 0, "zero budget means no requeue");
+    let failures = report.failures();
+    assert_eq!(failures.len() as u64, report.retry_exhausted);
+    for f in &failures {
+        let tapejoin_sched::SchedError::RetryBudgetExhausted { retries, .. } = f;
+        assert_eq!(*retries, 0);
+    }
+    let failed: Vec<usize> = report
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.execution, Execution::RetryBudgetExhausted))
+        .map(|o| o.id)
+        .collect();
+    assert_eq!(failed.len() as u64, report.retry_exhausted);
+    for o in &report.outcomes {
+        if failed.contains(&o.id) {
+            assert!(o.completed.is_none(), "failed query cannot complete");
+        } else {
+            assert!(o.completed.is_some(), "unaffected queries must finish");
+        }
+    }
+    assert!(report.completed() < spec.queries.len());
+}

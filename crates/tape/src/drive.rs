@@ -54,6 +54,14 @@ struct DriveState {
     /// Current head position (block index). Reads/writes here stream;
     /// anywhere else repositions first.
     position: u64,
+    /// Media exchanges performed by the *current physical unit*. Matches
+    /// `stats.hard_faults` until the first [`TapeDrive::replace_unit`],
+    /// which resets it (the cumulative stats keep counting).
+    exchanges: u64,
+    /// Sticky: the unit exceeded its exchange budget and is dead. Set in
+    /// [`TapeDrive::block_fault_cost`], cleared only by
+    /// [`TapeDrive::replace_unit`].
+    failed: bool,
     /// Whether the previous operation left the drive streaming (a
     /// stop/start penalty applies when streaming resumes after a break,
     /// if the model charges one).
@@ -106,6 +114,8 @@ impl TapeDrive {
             state: Rc::new(RefCell::new(DriveState {
                 media: None,
                 position: 0,
+                exchanges: 0,
+                failed: false,
                 streaming: false,
                 direction: Direction::Forward,
                 verify_reads: false,
@@ -173,6 +183,29 @@ impl TapeDrive {
     /// corrupted — and a policy with zero rates is an exact no-op.
     pub fn set_fault_policy(&self, policy: TapeFaultPolicy) {
         self.state.borrow_mut().fault = Some(TapeFaultInjector::new(policy));
+    }
+
+    /// Whether the current physical unit exceeded its media-exchange
+    /// budget and must be swapped out (see [`TapeDrive::replace_unit`]).
+    /// A failed drive still completes queued operations (data is never
+    /// corrupted — faults are timing-only); callers that care about
+    /// durability check this flag at their unit-of-work boundaries.
+    pub fn has_failed(&self) -> bool {
+        self.state.borrow().failed
+    }
+
+    /// Swap in a spare physical unit: clears the failed flag, resets the
+    /// per-unit exchange counter and removes the fault injector — the
+    /// spare is a pristine drive with fresh media heads, so it draws no
+    /// further faults. The mounted cartridge (really its duplicate, per
+    /// the exchange-recovery model) and head position carry over; the
+    /// caller charges the swap delay separately. Cumulative statistics
+    /// are *not* reset — they describe the whole join, across units.
+    pub fn replace_unit(&self) {
+        let mut st = self.state.borrow_mut();
+        st.failed = false;
+        st.exchanges = 0;
+        st.fault = None;
     }
 
     /// Currently mounted cartridge, if any.
@@ -452,9 +485,11 @@ impl TapeDrive {
             }
             BlockFault::Hard { retries } => {
                 st.stats.hard_faults += 1;
+                st.exchanges += 1;
                 st.stats.fault_retries += retries as u64;
-                if st.stats.hard_faults > policy.max_exchanges {
+                if st.exchanges > policy.max_exchanges {
                     st.stats.failed_faults += 1;
+                    st.failed = true;
                 }
                 retry_cycle(retries)
                     + policy.exchange_time
@@ -769,6 +804,40 @@ mod tests {
             let st = drive.stats();
             assert_eq!(st.hard_faults, 6);
             assert_eq!(st.failed_faults, 2);
+            assert!(drive.has_failed());
+        });
+    }
+
+    /// A spare unit clears the failed flag and draws no further faults;
+    /// cumulative statistics survive the swap.
+    #[test]
+    fn replace_unit_installs_a_pristine_spare() {
+        let mut sim = Simulation::new();
+        sim.run(async {
+            let (tape, _) = tape_with_relation(12, 0.0);
+            let drive = TapeDrive::new("d", TapeDriveModel::ideal(1e6), BLOCK);
+            drive.load(tape).await;
+            drive.set_fault_policy(
+                crate::fault::TapeFaultPolicy::new(1)
+                    .rates(0.0, 1.0)
+                    .max_exchanges(2),
+            );
+            drive.read(0, 4).await;
+            assert!(drive.has_failed());
+            let before = drive.stats();
+            assert_eq!(before.hard_faults, 4);
+            assert_eq!(before.failed_faults, 2);
+
+            drive.replace_unit();
+            assert!(!drive.has_failed());
+            // The spare is fault-free: further reads stay clean and the
+            // cumulative ledger is preserved, not reset.
+            drive.read(4, 8).await;
+            let after = drive.stats();
+            assert_eq!(after.hard_faults, 4);
+            assert_eq!(after.failed_faults, 2);
+            assert!(!drive.has_failed());
+            assert_eq!(after.blocks_read, 12);
         });
     }
 }

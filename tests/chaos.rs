@@ -1,0 +1,232 @@
+//! Chaos harness: unrecoverable-fault schedules driven through all seven
+//! join methods with checkpoint/resume and degraded-mode re-planning.
+//!
+//! The recovery guarantee under test: with spares available, a join
+//! interrupted by sticky device failures still finishes with output
+//! bit-identical to [`tapejoin_rel::reference_join`], resumes without
+//! redoing completed passes (so it strictly beats a restart-from-scratch
+//! control arm), re-plans onto a feasible method when degradation makes
+//! the current one infeasible, and — with no spares left — fails with a
+//! typed error instead of panicking.
+
+use proptest::prelude::*;
+use tapejoin::{FaultPlan, JoinError, JoinMethod, RecoveryPolicy, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{reference_join, JoinWorkload, RelationSpec, WorkloadBuilder};
+use tapejoin_sim::Duration;
+
+/// Every method the chaos harness proves recovery for — explicit rather
+/// than `JoinMethod::ALL`, so removing a method from chaos coverage is a
+/// visible diff (mirrors the differential suite's convention).
+const CHAOS_METHODS: [JoinMethod; 7] = [
+    JoinMethod::DtNb,
+    JoinMethod::CdtNbMb,
+    JoinMethod::CdtNbDb,
+    JoinMethod::DtGh,
+    JoinMethod::CdtGh,
+    JoinMethod::CttGh,
+    JoinMethod::TtGh,
+];
+
+#[test]
+fn chaos_list_is_the_full_method_set() {
+    assert_eq!(CHAOS_METHODS, JoinMethod::ALL);
+}
+
+fn chaos_workload(seed: u64) -> JoinWorkload {
+    WorkloadBuilder::new(seed)
+        .r(RelationSpec::new("R", 24))
+        .s(RelationSpec::new("S", 96))
+        .build()
+}
+
+/// Tape faults that are unrecoverable by construction: a zero exchange
+/// budget makes the first hard fault on a drive sticky.
+fn killer_tape_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .tape_rates(0.0, 0.12)
+        .tape_exchange(Duration::from_secs(50), 0)
+}
+
+#[test]
+fn all_seven_methods_resume_to_reference_output_and_beat_restart() {
+    let w = chaos_workload(0xC0DE);
+    let expected = reference_join(&w.r, &w.s);
+    for method in CHAOS_METHODS {
+        let clean = TertiaryJoin::new(SystemConfig::new(16, 400))
+            .run(method, &w)
+            .unwrap_or_else(|e| panic!("{method} clean: {e}"));
+        assert_eq!(clean.output, expected, "{method} clean diverged");
+
+        let resumed = TertiaryJoin::new(
+            SystemConfig::new(16, 400)
+                .faults(killer_tape_plan(11))
+                .recovery(RecoveryPolicy::with_spares(2)),
+        )
+        .run(method, &w)
+        .unwrap_or_else(|e| panic!("{method} chaos: {e}"));
+        assert_eq!(resumed.output, expected, "{method} diverged after resume");
+        assert!(
+            resumed.restarts >= 1,
+            "{method}: fault schedule produced no unrecoverable fault"
+        );
+        assert!(
+            resumed.work_salvaged_bytes > 0,
+            "{method}: resume salvaged nothing"
+        );
+        assert_eq!(
+            resumed.replanned_method, None,
+            "{method}: drive swap must not force a re-plan"
+        );
+        assert!(
+            resumed.response > clean.response,
+            "{method}: recovery cannot be free"
+        );
+
+        // Control arm: identical fault schedule and spares, but every
+        // recovery discards the checkpoint and starts the method over.
+        let restarted = TertiaryJoin::new(
+            SystemConfig::new(16, 400)
+                .faults(killer_tape_plan(11))
+                .recovery(RecoveryPolicy::with_spares(2).restart_from_scratch()),
+        )
+        .run(method, &w)
+        .unwrap_or_else(|e| panic!("{method} restart arm: {e}"));
+        assert_eq!(restarted.output, expected, "{method} restart arm diverged");
+        assert!(
+            resumed.response < restarted.response,
+            "{method}: resume ({}) must beat restart-from-scratch ({})",
+            resumed.response,
+            restarted.response
+        );
+        assert_eq!(
+            restarted.work_salvaged_bytes, 0,
+            "{method}: the restart arm must not claim salvage"
+        );
+    }
+}
+
+#[test]
+fn disk_loss_without_spare_replans_onto_a_tape_method() {
+    // DT-GH needs |R| + 2B + 1 disk blocks. Losing one of the two disks
+    // without a spare halves the quota below that, so recovery must
+    // re-rank and restart under a tape-based method that fits.
+    let w = WorkloadBuilder::new(0xD15C)
+        .r(RelationSpec::new("R", 64))
+        .s(RelationSpec::new("S", 128))
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    let plan = FaultPlan::new(5).disk_error_rate(0.3).disk_max_retries(1);
+    let stats = TertiaryJoin::new(
+        SystemConfig::new(16, 100)
+            .faults(plan)
+            .recovery(RecoveryPolicy::with_spares(0).spare_disks(0)),
+    )
+    .run(JoinMethod::DtGh, &w)
+    .unwrap();
+    assert_eq!(stats.output, expected, "degraded re-plan diverged");
+    assert!(stats.restarts >= 1);
+    let replanned = stats
+        .replanned_method
+        .expect("disk loss must force a re-plan");
+    assert_eq!(
+        stats.method, replanned,
+        "stats must report the final method"
+    );
+    assert!(
+        matches!(replanned, JoinMethod::CttGh | JoinMethod::TtGh),
+        "half the disk cannot hold hashed R; got {replanned}"
+    );
+}
+
+#[test]
+fn no_spare_drives_surface_a_typed_recovery_error() {
+    let w = chaos_workload(0xDEAD);
+    let err = TertiaryJoin::new(
+        SystemConfig::new(16, 400)
+            .faults(killer_tape_plan(11))
+            .recovery(RecoveryPolicy::with_spares(0)),
+    )
+    .run(JoinMethod::DtNb, &w)
+    .unwrap_err();
+    match err {
+        JoinError::RecoveryExhausted {
+            method,
+            restarts,
+            failed,
+        } => {
+            assert_eq!(method, JoinMethod::DtNb);
+            assert!(restarts >= 1);
+            assert!(failed > 0);
+        }
+        other => panic!("expected RecoveryExhausted, got {other}"),
+    }
+}
+
+#[test]
+fn exhausted_restart_budget_surfaces_a_typed_recovery_error() {
+    let w = chaos_workload(0xBEEF);
+    let err = TertiaryJoin::new(
+        SystemConfig::new(16, 400)
+            .faults(killer_tape_plan(11))
+            .recovery(RecoveryPolicy::with_spares(2).max_restarts(0)),
+    )
+    .run(JoinMethod::DtNb, &w)
+    .unwrap_err();
+    match err {
+        JoinError::RecoveryExhausted { restarts, .. } => assert_eq!(restarts, 0),
+        other => panic!("expected RecoveryExhausted, got {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized unrecoverable-fault schedules (sticky tape and disk
+    /// failures) with spares: every method finishes with the reference
+    /// output, recovery never panics, and the whole resumed run is a
+    /// pure function of the seeds — repeating it reproduces response,
+    /// restart count, salvage and re-plan decision bit for bit.
+    #[test]
+    fn randomized_chaos_is_correct_and_reproducible(
+        workload_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        hard in 0.02f64..0.20,
+        disk_error in 0.0f64..0.10,
+    ) {
+        let w = WorkloadBuilder::new(workload_seed)
+            .r(RelationSpec::new("R", 16))
+            .s(RelationSpec::new("S", 64))
+            .build();
+        let expected = reference_join(&w.r, &w.s);
+        let plan = FaultPlan::new(fault_seed)
+            .tape_rates(0.0, hard)
+            .tape_exchange(Duration::from_secs(40), 0)
+            .disk_error_rate(disk_error)
+            .disk_max_retries(1);
+        let joiner = TertiaryJoin::new(
+            SystemConfig::new(12, 320)
+                .faults(plan)
+                .recovery(RecoveryPolicy::with_spares(2)),
+        );
+        for method in CHAOS_METHODS {
+            let a = match joiner.run(method, &w) {
+                Err(JoinError::Infeasible { .. }) => continue,
+                Err(other) => return Err(TestCaseError::fail(format!("{method}: {other}"))),
+                Ok(stats) => stats,
+            };
+            prop_assert_eq!(&a.output, &expected, "{} diverged under chaos", method);
+            let b = joiner.run(method, &w).unwrap();
+            prop_assert_eq!(a.response, b.response, "{} response not reproducible", method);
+            prop_assert_eq!(a.restarts, b.restarts, "{} restarts not reproducible", method);
+            prop_assert_eq!(
+                a.work_salvaged_bytes, b.work_salvaged_bytes,
+                "{} salvage not reproducible", method
+            );
+            prop_assert_eq!(
+                a.replanned_method, b.replanned_method,
+                "{} re-plan not reproducible", method
+            );
+            prop_assert_eq!(&b.output, &expected, "{} repeat diverged", method);
+        }
+    }
+}

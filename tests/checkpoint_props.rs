@@ -1,0 +1,150 @@
+//! Property tests for the checkpoint wire format: every `JoinCheckpoint`
+//! round-trips through encode/decode exactly, and the decoder is total —
+//! arbitrary bytes produce a typed error, never a panic. (The companion
+//! `chaos` suite proves the behavioral half: resuming from a checkpoint
+//! is a pure function of the checkpoint and the seeds.)
+
+use proptest::prelude::*;
+use tapejoin::hash::GracePlan;
+use tapejoin::{BucketSource, JoinCheckpoint, JoinMethod, Progress};
+use tapejoin_disk::DiskAddr;
+use tapejoin_tape::TapeExtent;
+
+fn arb_method() -> impl Strategy<Value = JoinMethod> {
+    (0..JoinMethod::ALL.len()).prop_map(|i| JoinMethod::ALL[i])
+}
+
+fn arb_plan() -> impl Strategy<Value = GracePlan> {
+    (1usize..64, 1u64..32, 1u64..16, 1u64..16, 1u32..8).prop_map(
+        |(buckets, resident_blocks, write_buffer_blocks, input_blocks, tuples_per_block)| {
+            GracePlan {
+                buckets,
+                resident_blocks,
+                write_buffer_blocks,
+                input_blocks,
+                tuples_per_block,
+            }
+        },
+    )
+}
+
+fn arb_addrs() -> impl Strategy<Value = Vec<DiskAddr>> {
+    prop::collection::vec(
+        (0u32..4, 0u64..4096).prop_map(|(disk, lba)| DiskAddr { disk, lba }),
+        0..24,
+    )
+}
+
+fn arb_buckets() -> impl Strategy<Value = Vec<Vec<DiskAddr>>> {
+    prop::collection::vec(arb_addrs(), 0..6)
+}
+
+fn arb_extents() -> impl Strategy<Value = Vec<TapeExtent>> {
+    prop::collection::vec(
+        (0u64..8192, 0u64..256).prop_map(|(start, len)| TapeExtent { start, len }),
+        0..12,
+    )
+}
+
+fn arb_progress() -> impl Strategy<Value = Progress> {
+    prop_oneof![
+        (arb_addrs(), any::<u64>()).prop_map(|(addrs, copied)| Progress::CopyR { addrs, copied }),
+        (arb_addrs(), any::<u64>()).prop_map(|(addrs, s_done)| Progress::ProbeS { addrs, s_done }),
+        (
+            arb_plan(),
+            any::<u64>(),
+            arb_buckets(),
+            prop::collection::vec(any::<u32>(), 0..6)
+        )
+            .prop_map(|(plan, r_done, buckets, tails)| Progress::HashR {
+                plan,
+                r_done,
+                buckets,
+                tails,
+            }),
+        (
+            arb_plan(),
+            prop_oneof![
+                arb_buckets().prop_map(BucketSource::Disk),
+                arb_extents().prop_map(BucketSource::Tape),
+            ],
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(plan, source, s_done, frames_done)| Progress::JoinFrames {
+                plan,
+                source,
+                s_done,
+                frames_done,
+            }),
+        (
+            arb_plan(),
+            prop::collection::vec(any::<u64>(), 0..8),
+            prop::collection::vec(any::<u64>(), 0..8),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(plan, starts, lens, bucket, collected)| Progress::TapeHashR {
+                    plan,
+                    starts,
+                    lens,
+                    bucket,
+                    collected,
+                }
+            ),
+        (
+            arb_plan(),
+            arb_extents(),
+            prop::collection::vec(any::<u64>(), 0..8),
+            prop::collection::vec(any::<u64>(), 0..8),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(plan, r_extents, starts, lens, bucket, collected)| {
+                Progress::TapeHashS {
+                    plan,
+                    r_extents,
+                    starts,
+                    lens,
+                    bucket,
+                    collected,
+                }
+            }),
+        (arb_plan(), arb_extents(), arb_extents(), any::<u64>()).prop_map(
+            |(plan, r_extents, s_extents, bucket)| Progress::JoinBuckets {
+                plan,
+                r_extents,
+                s_extents,
+                bucket,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn checkpoint_encoding_round_trips(method in arb_method(), progress in arb_progress()) {
+        let cp = JoinCheckpoint { method, progress };
+        let bytes = cp.encode();
+        let back = JoinCheckpoint::decode(&bytes).unwrap();
+        prop_assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn decoder_is_total_over_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Typed result either way; must never panic.
+        let _ = JoinCheckpoint::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_rejects_any_truncation(method in arb_method(), progress in arb_progress()) {
+        let cp = JoinCheckpoint { method, progress };
+        let bytes = cp.encode();
+        if bytes.len() > 1 {
+            prop_assert!(JoinCheckpoint::decode(&bytes[..bytes.len() - 1]).is_err());
+        }
+    }
+}
