@@ -12,12 +12,12 @@
 //!     --r-mb 2500 --s-mb 10000 --m-mb 16 --d-mb 500 --method CTT-GH
 //! ```
 
-use tapejoin::cost::CostParams;
-use tapejoin::planner::rank_methods;
+use tapejoin::cost::{CostParams, SkewHint};
+use tapejoin::planner::rank_methods_with_hint;
 use tapejoin::{FaultPlan, JoinMethod, RecoveryPolicy, SystemConfig, TertiaryJoin};
 use tapejoin_bench::chart::AsciiChart;
 use tapejoin_bench::SEED;
-use tapejoin_rel::{RelationSpec, WorkloadBuilder};
+use tapejoin_rel::{KeyDistribution, RelationSpec, WorkloadBuilder};
 use tapejoin_sim::Duration;
 
 /// Which parameter `--sweep` varies.
@@ -39,6 +39,7 @@ struct Args {
     fault_rate: f64,
     chaos_rate: f64,
     fault_seed: u64,
+    skew: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         fault_rate: 0.0,
         chaos_rate: 0.0,
         fault_seed: SEED,
+        skew: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +70,12 @@ fn parse_args() -> Result<Args, String> {
                 args.method = Some(value("--method")?.parse()?);
             }
             "--ideal-disks" => args.overhead = false,
+            "--skew" => {
+                args.skew = parse_f64(&value("--skew")?)?;
+                if args.skew < 0.0 {
+                    return Err("--skew takes a Zipf exponent >= 0".to_string());
+                }
+            }
             "--fault-rate" => args.fault_rate = parse_f64(&value("--fault-rate")?)?,
             "--chaos-rate" => args.chaos_rate = parse_f64(&value("--chaos-rate")?)?,
             "--fault-seed" => {
@@ -86,9 +94,11 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: explore [--r-mb N] [--s-mb N] [--m-mb N] [--d-mb N] \
                      [--compress C] [--method ABBREV] [--ideal-disks] [--sweep m|d] \
-                     [--fault-rate R] [--chaos-rate R] [--fault-seed N]\n\n\
+                     [--skew S] [--fault-rate R] [--chaos-rate R] [--fault-seed N]\n\n\
                      --sweep m       vary memory from 5% of |R| up to |R| (chart per method)\n\
                      --sweep d       vary disk from 0.5x to 3x |R|\n\
+                     --skew S        Zipf exponent of the S foreign keys (0 = uniform);\n\
+                                     also feeds the planner's skew hint\n\
                      --fault-rate R  inject recoverable device faults (tape transient\n\
                                      rate R, hard rate R/20, disk error rate R/2)\n\
                      --chaos-rate R  inject unrecoverable faults (sticky hard faults at\n\
@@ -153,10 +163,13 @@ fn main() {
         cfg = cfg.recovery(RecoveryPolicy::with_spares(2).max_restarts(8));
     }
 
-    let workload = WorkloadBuilder::new(SEED)
+    let mut builder = WorkloadBuilder::new(SEED)
         .r(RelationSpec::new("R", cfg.mb_to_blocks(args.r_mb)).compressibility(args.compress))
-        .s(RelationSpec::new("S", cfg.mb_to_blocks(args.s_mb)).compressibility(args.compress))
-        .build();
+        .s(RelationSpec::new("S", cfg.mb_to_blocks(args.s_mb)).compressibility(args.compress));
+    if args.skew > 0.0 {
+        builder = builder.distribution(KeyDistribution::Zipf { theta: args.skew });
+    }
+    let workload = builder.build();
 
     println!(
         "machine: M = {} MB ({} blocks), D = {} MB ({} blocks), X_T = {:.1} MB/s, X_D = {:.1} MB/s",
@@ -181,8 +194,16 @@ fn main() {
         workload.s.block_count(),
         args.compress,
     );
-    let ranking = rank_methods(&params);
-    println!("planner ranking (analytic model):");
+    let hint = SkewHint {
+        zipf_theta: args.skew,
+        ..SkewHint::uniform()
+    };
+    let ranking = rank_methods_with_hint(&params, &hint);
+    if args.skew > 0.0 {
+        println!("planner ranking (analytic model, Zipf θ = {}):", args.skew);
+    } else {
+        println!("planner ranking (analytic model):");
+    }
     for c in &ranking {
         println!("  {:<9}  ~{:>8.0} s", c.method.abbrev(), c.expected_seconds);
     }
@@ -265,10 +286,13 @@ fn main() {
 fn run_sweep(args: &Args, sweep: Sweep) {
     let probe = SystemConfig::new(0, 0);
     let workload_for = |cfg: &SystemConfig| {
-        WorkloadBuilder::new(SEED)
+        let mut b = WorkloadBuilder::new(SEED)
             .r(RelationSpec::new("R", cfg.mb_to_blocks(args.r_mb)).compressibility(args.compress))
-            .s(RelationSpec::new("S", cfg.mb_to_blocks(args.s_mb)).compressibility(args.compress))
-            .build()
+            .s(RelationSpec::new("S", cfg.mb_to_blocks(args.s_mb)).compressibility(args.compress));
+        if args.skew > 0.0 {
+            b = b.distribution(KeyDistribution::Zipf { theta: args.skew });
+        }
+        b.build()
     };
     let points: Vec<f64> = match sweep {
         Sweep::Memory => (1..=10).map(|i| args.r_mb * i as f64 / 10.0).collect(),

@@ -23,7 +23,7 @@ pub const SEED: u64 = 0x1997_0407;
 /// spelled out so that dropping a method from the experiments is a
 /// visible diff (and a tapejoin-lint L5 error, which cross-checks this
 /// list against the `JoinMethod` enum).
-pub const BENCH_METHODS: [JoinMethod; 7] = [
+pub const BENCH_METHODS: [JoinMethod; 9] = [
     JoinMethod::DtNb,
     JoinMethod::CdtNbMb,
     JoinMethod::CdtNbDb,
@@ -31,6 +31,8 @@ pub const BENCH_METHODS: [JoinMethod; 7] = [
     JoinMethod::CdtGh,
     JoinMethod::CttGh,
     JoinMethod::TtGh,
+    JoinMethod::Dhh,
+    JoinMethod::Cap,
 ];
 
 /// The paper's experimental-system configuration: 64 KiB blocks, two

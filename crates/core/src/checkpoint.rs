@@ -24,14 +24,16 @@ use tapejoin_tape::TapeExtent;
 use crate::hash::GracePlan;
 use crate::method::JoinMethod;
 
-/// The canonical names of every checkpointable phase, across all seven
-/// methods. [`JoinMethod::phases`] maps each method onto a subsequence of
-/// these; the `tapejoin-lint` L7 rule cross-checks both sites.
-pub const PHASES: [&str; 7] = [
+/// The canonical names of every checkpointable phase, across all
+/// registered methods. [`JoinMethod::phases`] maps each method onto a
+/// subsequence of these; the `tapejoin-lint` L7 rule cross-checks both
+/// sites.
+pub const PHASES: [&str; 8] = [
     "copy-r",
     "probe-s",
     "hash-r",
     "hash-s",
+    "repartition",
     "join-frames",
     "join-buckets",
     "output",
@@ -135,6 +137,41 @@ pub enum Progress {
         /// Tuples collected into the current bucket so far.
         collected: u64,
     },
+    /// DHH adaptive re-partitioning: migrating the hashed R from the
+    /// estimate-derived bucket layout to the corrected plan, one source
+    /// bucket at a time. Source buckets `0..src_done` are fully migrated
+    /// (their blocks already released); the rest still hold valid data
+    /// under the *old* layout.
+    Repartition {
+        /// The corrected plan the migration writes (the new layout).
+        plan: GracePlan,
+        /// The old-layout buckets being drained. Entries before
+        /// `src_done` are stale (already migrated and released).
+        src: Vec<Vec<DiskAddr>>,
+        /// Source buckets fully migrated so far.
+        src_done: u64,
+        /// New-layout bucket block addresses written so far.
+        buckets: Vec<Vec<DiskAddr>>,
+        /// Tuples in each new bucket's trailing partial block.
+        tails: Vec<u32>,
+    },
+    /// CAP Step II: joining S frames with runtime heavy-hitter routing.
+    /// Like [`Progress::JoinFrames`] plus the promoted key set, so a
+    /// resume can rebuild the in-memory heavy table (charged disk reads)
+    /// before continuing the scan.
+    CapJoinFrames {
+        /// The plan shared by Step I's buckets.
+        plan: GracePlan,
+        /// The completed R partitioning on disk.
+        buckets: Vec<Vec<DiskAddr>>,
+        /// S blocks consumed into fully-joined frames so far.
+        s_done: u64,
+        /// Frames fully joined.
+        frames_done: u64,
+        /// Keys promoted to the dedicated in-memory partition so far
+        /// (sorted; a resume re-reads their R buckets once).
+        heavy_keys: Vec<u64>,
+    },
     /// Tape–tape Step II: joining hashed bucket pairs.
     JoinBuckets {
         /// The plan shared by both partitionings.
@@ -157,7 +194,9 @@ impl Progress {
             Progress::HashR { .. } => "hash-r",
             Progress::TapeHashR { .. } => "hash-r",
             Progress::TapeHashS { .. } => "hash-s",
+            Progress::Repartition { .. } => "repartition",
             Progress::JoinFrames { .. } => "join-frames",
+            Progress::CapJoinFrames { .. } => "join-frames",
             Progress::JoinBuckets { .. } => "join-buckets",
         }
     }
@@ -171,7 +210,24 @@ impl Progress {
             Progress::CopyR { copied, .. } => *copied,
             Progress::ProbeS { addrs, s_done } => addrs.len() as u64 + s_done,
             Progress::HashR { r_done, .. } => *r_done,
+            Progress::Repartition {
+                src,
+                src_done,
+                buckets,
+                ..
+            } => {
+                // The surviving old-layout buckets (hashing R is not
+                // redone) plus the migrated new-layout blocks.
+                src.iter()
+                    .skip(*src_done as usize)
+                    .map(|b| b.len() as u64)
+                    .sum::<u64>()
+                    + buckets.iter().map(|b| b.len() as u64).sum::<u64>()
+            }
             Progress::JoinFrames { source, s_done, .. } => source.blocks() + s_done,
+            Progress::CapJoinFrames {
+                buckets, s_done, ..
+            } => buckets.iter().map(|b| b.len() as u64).sum::<u64>() + s_done,
             Progress::TapeHashR { lens, .. } => lens.iter().sum(),
             Progress::TapeHashS {
                 r_extents, lens, ..
@@ -204,6 +260,19 @@ impl Progress {
         match self {
             Progress::CopyR { addrs, .. } | Progress::ProbeS { addrs, .. } => addrs.clone(),
             Progress::HashR { buckets, .. } => buckets.iter().flatten().copied().collect(),
+            Progress::Repartition {
+                src,
+                src_done,
+                buckets,
+                ..
+            } => src
+                .iter()
+                .skip(*src_done as usize)
+                .flatten()
+                .chain(buckets.iter().flatten())
+                .copied()
+                .collect(),
+            Progress::CapJoinFrames { buckets, .. } => buckets.iter().flatten().copied().collect(),
             Progress::JoinFrames { source, .. } => match source {
                 BucketSource::Disk(buckets) => buckets.iter().flatten().copied().collect(),
                 BucketSource::Tape(_) => Vec::new(),
@@ -336,6 +405,46 @@ impl JoinCheckpoint {
                 put_extents(w, s_extents);
                 put_u64(w, *bucket);
             }
+            Progress::Repartition {
+                plan,
+                src,
+                src_done,
+                buckets,
+                tails,
+            } => {
+                w.push(7);
+                put_plan(w, plan);
+                put_u64(w, src.len() as u64);
+                for b in src {
+                    put_addrs(w, b);
+                }
+                put_u64(w, *src_done);
+                put_u64(w, buckets.len() as u64);
+                for b in buckets {
+                    put_addrs(w, b);
+                }
+                put_u64(w, tails.len() as u64);
+                for t in tails {
+                    put_u64(w, u64::from(*t));
+                }
+            }
+            Progress::CapJoinFrames {
+                plan,
+                buckets,
+                s_done,
+                frames_done,
+                heavy_keys,
+            } => {
+                w.push(8);
+                put_plan(w, plan);
+                put_u64(w, buckets.len() as u64);
+                for b in buckets {
+                    put_addrs(w, b);
+                }
+                put_u64(w, *s_done);
+                put_u64(w, *frames_done);
+                put_u64_vec(w, heavy_keys);
+            }
         }
         out
     }
@@ -423,6 +532,47 @@ impl JoinCheckpoint {
                 s_extents: r.extents()?,
                 bucket: r.u64()?,
             },
+            7 => {
+                let plan = r.plan()?;
+                let n = r.len()?;
+                let mut src = Vec::with_capacity(n);
+                for _ in 0..n {
+                    src.push(r.addrs()?);
+                }
+                let src_done = r.u64()?;
+                let n = r.len()?;
+                let mut buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buckets.push(r.addrs()?);
+                }
+                let n = r.len()?;
+                let mut tails = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tails.push(r.u32_from_u64()?);
+                }
+                Progress::Repartition {
+                    plan,
+                    src,
+                    src_done,
+                    buckets,
+                    tails,
+                }
+            }
+            8 => {
+                let plan = r.plan()?;
+                let n = r.len()?;
+                let mut buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buckets.push(r.addrs()?);
+                }
+                Progress::CapJoinFrames {
+                    plan,
+                    buckets,
+                    s_done: r.u64()?,
+                    frames_done: r.u64()?,
+                    heavy_keys: r.u64_vec()?,
+                }
+            }
             t => return Err(CheckpointDecodeError::BadTag(t)),
         };
         if r.pos != bytes.len() {
@@ -703,6 +853,26 @@ mod tests {
                     bucket: 1,
                 },
             },
+            JoinCheckpoint {
+                method: JoinMethod::Dhh,
+                progress: Progress::Repartition {
+                    plan: plan(),
+                    src: vec![vec![addr(0, 2), addr(1, 2)], vec![addr(0, 3)]],
+                    src_done: 1,
+                    buckets: vec![vec![addr(1, 5)], vec![], vec![addr(0, 6)]],
+                    tails: vec![1, 0, 2],
+                },
+            },
+            JoinCheckpoint {
+                method: JoinMethod::Cap,
+                progress: Progress::CapJoinFrames {
+                    plan: plan(),
+                    buckets: vec![vec![addr(0, 8)], vec![addr(1, 8), addr(1, 9)]],
+                    s_done: 24,
+                    frames_done: 3,
+                    heavy_keys: vec![0, 6],
+                },
+            },
         ]
     }
 
@@ -771,6 +941,11 @@ mod tests {
         assert_eq!(s[5].progress.salvaged_blocks(), 63);
         // Join-buckets: both partitionings (61) plus the joined pair (61).
         assert_eq!(s[7].progress.salvaged_blocks(), 122);
+        // Repartition: 1 surviving old bucket block + 2 migrated blocks.
+        assert_eq!(s[8].progress.salvaged_blocks(), 3);
+        assert_eq!(s[8].progress.disk_addrs().len(), 3);
+        // CAP frames: 3 bucket blocks + 24 S blocks consumed.
+        assert_eq!(s[9].progress.salvaged_blocks(), 27);
     }
 
     #[test]

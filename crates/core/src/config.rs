@@ -178,6 +178,13 @@ pub struct SystemConfig {
     pub grace_fill_target: f64,
     /// Seed for the grace-hash partitioning function.
     pub hash_seed: u64,
+    /// The planner's build-side cardinality estimate in blocks, when it
+    /// differs from the true `|R|` (`None` = exact estimate, the
+    /// historical behavior). The static hash methods size their Grace
+    /// plan from this estimate — a misestimate means over- or
+    /// under-partitioned buckets, exactly the failure mode the
+    /// skew-adaptive [`crate::JoinMethod::Dhh`] corrects at runtime.
+    pub build_estimate_blocks: Option<u64>,
     /// Observability recorder. Disabled by default (an exact no-op); an
     /// enabled recorder collects hierarchical spans
     /// (`join → step → device-op`, faults) and metrics across every
@@ -213,6 +220,7 @@ impl SystemConfig {
             recovery: RecoveryPolicy::disabled(),
             grace_fill_target: crate::hash::GracePlan::DEFAULT_FILL_TARGET,
             hash_seed: 0x7473_6A6F_696E, // "tsjoin"
+            build_estimate_blocks: None,
             recorder: tapejoin_obs::Recorder::disabled(),
         }
     }
@@ -326,6 +334,15 @@ impl SystemConfig {
         self
     }
 
+    /// Pretend the planner estimated the build side at `blocks` blocks
+    /// (instead of the true `|R|`). Static grace methods derive their
+    /// partitioning from this figure; [`crate::JoinMethod::Dhh`] detects
+    /// and corrects the resulting mis-partitioning at runtime.
+    pub fn build_estimate(mut self, blocks: u64) -> Self {
+        self.build_estimate_blocks = Some(blocks);
+        self
+    }
+
     /// Attach an observability recorder (spans + metrics; see
     /// `tapejoin_obs`). All runs of this configuration record into it.
     pub fn recorder(mut self, rec: tapejoin_obs::Recorder) -> Self {
@@ -379,6 +396,11 @@ impl SystemConfig {
                 self.grace_fill_target
             )));
         }
+        if self.build_estimate_blocks == Some(0) {
+            return Err(JoinError::InvalidConfig(
+                "build-side estimate must be at least one block".into(),
+            ));
+        }
         self.faults.validate()?;
         if self.use_read_reverse && !self.tape_model.read_reverse {
             return Err(JoinError::InvalidConfig(format!(
@@ -416,6 +438,14 @@ mod tests {
         assert!(SystemConfig::new(1, 64).validate().is_err());
         assert!(SystemConfig::new(16, 64).disk_rate(0.0).validate().is_err());
         assert!(SystemConfig::new(16, 64).block_bytes(0).validate().is_err());
+        assert!(SystemConfig::new(16, 64)
+            .build_estimate(0)
+            .validate()
+            .is_err());
+        assert!(SystemConfig::new(16, 64)
+            .build_estimate(8)
+            .validate()
+            .is_ok());
         assert!(SystemConfig::new(16, 64).validate().is_ok());
     }
 }

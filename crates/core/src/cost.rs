@@ -86,9 +86,74 @@ impl CostParams {
     }
 }
 
-/// Expected Step I and total response time (seconds) for `method`, or the
-/// feasibility error.
+/// Planner-supplied description of the key distribution, used by the
+/// skew-aware cost terms. Absent real statistics the default is the
+/// uniform, perfectly-estimated workload the paper's model assumes — with
+/// it, every method costs exactly what [`expected_times`] always said, so
+/// existing callers see no behavior change.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkewHint {
+    /// Zipf exponent of the probe-side key frequencies (0 = uniform).
+    pub zipf_theta: f64,
+    /// Fraction of probe tuples concentrated on a few heavy-hitter keys.
+    pub heavy_fraction: f64,
+    /// Ratio of the planner's build-side cardinality estimate to the true
+    /// `|R|` (1.0 = exact). Drives the static methods' bucket-overflow
+    /// penalty and DHH's re-partition term.
+    pub estimate_error: f64,
+}
+
+impl SkewHint {
+    /// The no-skew, exact-estimate hint.
+    pub fn uniform() -> Self {
+        SkewHint {
+            zipf_theta: 0.0,
+            heavy_fraction: 0.0,
+            estimate_error: 1.0,
+        }
+    }
+
+    /// Build-side blocks the planner believes in (`error × |R|`, at least
+    /// one block).
+    fn estimated_blocks(&self, r_blocks: u64) -> u64 {
+        ((r_blocks as f64 * self.estimate_error).round() as u64).max(1)
+    }
+
+    /// Share of probe tuples the CAP side table absorbs: explicit
+    /// heavy-hitter mass, or the head of a Zipf distribution once it is
+    /// skewed enough to concentrate (θ ≥ ~0.5 puts a double-digit share
+    /// on the first few keys).
+    fn heavy_share(&self) -> f64 {
+        let zipf_head = if self.zipf_theta >= 0.5 {
+            (0.3 * self.zipf_theta).min(0.6)
+        } else {
+            0.0
+        };
+        self.heavy_fraction.clamp(0.0, 1.0).max(zipf_head)
+    }
+}
+
+impl Default for SkewHint {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+/// Expected Step I and total response time (seconds) for `method` under
+/// the paper's uniform, exactly-estimated workload, or the feasibility
+/// error.
 pub fn expected_times(method: JoinMethod, p: &CostParams) -> Result<(f64, f64), JoinError> {
+    expected_times_with_hint(method, p, &SkewHint::uniform())
+}
+
+/// Expected Step I and total response time (seconds) for `method` under
+/// the hinted key distribution, or the feasibility error. With the
+/// default (uniform) hint this is exactly [`expected_times`].
+pub fn expected_times_with_hint(
+    method: JoinMethod,
+    p: &CostParams,
+    hint: &SkewHint,
+) -> Result<(f64, f64), JoinError> {
     // Reuse the runtime feasibility rules (with uncapped scratch tapes).
     let cfg_probe = SystemConfig::new(p.memory, p.disk);
     resource_needs(
@@ -125,14 +190,63 @@ pub fn expected_times(method: JoinMethod, p: &CostParams) -> Result<(f64, f64), 
             (step1, step1 + step2)
         }
         JoinMethod::DtGh => {
-            let plan = plan(p)?;
+            // Static planning under a misestimate: the bucket layout is
+            // sized for `error × |R|`, so actual buckets may overflow the
+            // resident allowance and Step II re-scans each frame's S
+            // bucket once per extra chunk.
+            let plan = plan_for(p, hint.estimated_blocks(p.r_blocks))?;
+            let n = overflow_chunks(p.r_blocks, &plan);
             let step1 = r * (xt + xd);
             let d = buffer_after_r(p, &plan);
             let frame = geometry::gh_frame_input(d, plan.buckets as u64);
             let step2 = per_chunk_sum(p.s_blocks, frame, |chunk| {
-                chunk as f64 * xt + (2.0 * chunk as f64 + r) * xd
+                chunk as f64 * xt + ((n + 1.0) * chunk as f64 + r) * xd
             });
             (step1, step1 + step2)
+        }
+        JoinMethod::Dhh => {
+            // Step I under the estimate plan, like DT-GH, plus the fill
+            // monitor (a cheap bookkeeping sweep, charged as a small
+            // fraction of the hashed volume).
+            let plan_est = plan_for(p, hint.estimated_blocks(p.r_blocks))?;
+            let plan_act = plan(p)?;
+            let step1 = r * (xt + xd);
+            let monitor = 0.01 * r * xd;
+            let n_est = overflow_chunks(p.r_blocks, &plan_est);
+            // Re-partition only when buckets actually overflowed *and*
+            // the corrected plan changes the layout: one disk read plus
+            // one disk write of the hashed R, then Step II runs
+            // overflow-free under the corrected plan.
+            let (repart, plan_used, n) = if n_est > 1.0 && plan_est.buckets != plan_act.buckets {
+                (2.0 * r * xd, plan_act, 1.0)
+            } else {
+                (0.0, plan_est, n_est)
+            };
+            let d = buffer_after_r(p, &plan_used);
+            let frame = geometry::gh_frame_input(d, plan_used.buckets as u64);
+            let step2 = per_chunk_sum(p.s_blocks, frame, |chunk| {
+                chunk as f64 * xt + ((n + 1.0) * chunk as f64 + r) * xd
+            });
+            let step1_total = step1 + monitor + repart;
+            (step1_total, step1_total + step2)
+        }
+        JoinMethod::Cap => {
+            // DT-GH geometry, but the heavy-hitter share of S bypasses
+            // the disk buffer entirely (read from tape, probed in
+            // memory); the side table costs one disk read of each
+            // promoted key's R bucket.
+            let plan = plan(p)?;
+            let rho = hint.heavy_share();
+            let step1 = r * (xt + xd);
+            let d = buffer_after_r(p, &plan);
+            let frame = geometry::gh_frame_input(d, plan.buckets as u64);
+            let avg_bucket = geometry::avg_bucket_blocks(p.r_blocks, plan.buckets as u64) as f64;
+            let promote = 8.0 * avg_bucket * xd;
+            let sketch = 0.01 * r * xd;
+            let step2 = per_chunk_sum(p.s_blocks, frame, |chunk| {
+                chunk as f64 * xt + (2.0 * chunk as f64 * (1.0 - rho) + r) * xd
+            });
+            (step1, step1 + sketch + promote + step2)
         }
         JoinMethod::CdtGh => {
             let plan = plan(p)?;
@@ -206,12 +320,22 @@ pub fn relative_response(method: JoinMethod, p: &CostParams) -> Result<f64, Join
 }
 
 fn plan(p: &CostParams) -> Result<GracePlan, JoinError> {
-    GracePlan::derive(p.r_blocks, p.memory, p.r_tuples_per_block).map_err(|e| {
-        JoinError::Infeasible {
-            method: JoinMethod::DtGh,
-            reason: e,
-        }
+    plan_for(p, p.r_blocks)
+}
+
+/// Derive the grace plan for a (possibly estimated) build-side size.
+fn plan_for(p: &CostParams, r_blocks: u64) -> Result<GracePlan, JoinError> {
+    GracePlan::derive(r_blocks, p.memory, p.r_tuples_per_block).map_err(|e| JoinError::Infeasible {
+        method: JoinMethod::DtGh,
+        reason: e,
     })
+}
+
+/// How many resident-sized chunks the *actual* average bucket needs under
+/// `plan` (1 = no overflow; >1 means Step II re-scans S buckets).
+fn overflow_chunks(actual_r_blocks: u64, plan: &GracePlan) -> f64 {
+    let avg = geometry::avg_bucket_blocks(actual_r_blocks, plan.buckets as u64);
+    avg.div_ceil(plan.resident_blocks.max(1)).max(1) as f64
 }
 
 /// Disk blocks left for the S frame buffer after the hashed R (including
@@ -312,6 +436,72 @@ mod tests {
         p.disk = p.r_blocks / 2; // D < |R|: disk-tape methods refuse
         assert!(expected_response(JoinMethod::CdtGh, &p).is_err());
         assert!(expected_response(JoinMethod::CttGh, &p).is_ok());
+    }
+
+    #[test]
+    fn skew_adaptive_methods_cost_epsilon_more_when_uniform() {
+        // With the default hint the adaptive machinery buys nothing, so
+        // DHH and CAP sit just above DT-GH — never displacing the
+        // paper's winners.
+        let p = fig8_params(0.5);
+        let dtgh = expected_response(JoinMethod::DtGh, &p).unwrap();
+        let dhh = expected_response(JoinMethod::Dhh, &p).unwrap();
+        let cap = expected_response(JoinMethod::Cap, &p).unwrap();
+        assert!(
+            dhh > dtgh,
+            "DHH {dhh} must carry overhead over DT-GH {dtgh}"
+        );
+        assert!(
+            cap > dtgh,
+            "CAP {cap} must carry overhead over DT-GH {dtgh}"
+        );
+        // ...but only epsilon-sized overhead.
+        assert!(dhh < dtgh * 1.05, "DHH uniform overhead too large");
+        assert!(cap < dtgh * 1.05, "CAP uniform overhead too large");
+    }
+
+    #[test]
+    fn dhh_beats_static_plan_under_gross_misestimate() {
+        let p = fig8_params(0.9);
+        let hint = SkewHint {
+            estimate_error: 0.1, // planner believes |R| is 10× smaller
+            ..SkewHint::uniform()
+        };
+        let (_, dtgh) = expected_times_with_hint(JoinMethod::DtGh, &p, &hint).unwrap();
+        let (_, dhh) = expected_times_with_hint(JoinMethod::Dhh, &p, &hint).unwrap();
+        assert!(
+            dhh < dtgh,
+            "DHH {dhh} should beat misestimated DT-GH {dtgh}"
+        );
+    }
+
+    #[test]
+    fn cap_beats_static_plan_under_heavy_hitters() {
+        let p = fig8_params(0.5);
+        let hint = SkewHint {
+            heavy_fraction: 0.6,
+            ..SkewHint::uniform()
+        };
+        let (_, dtgh) = expected_times_with_hint(JoinMethod::DtGh, &p, &hint).unwrap();
+        let (_, cap) = expected_times_with_hint(JoinMethod::Cap, &p, &hint).unwrap();
+        assert!(
+            cap < dtgh,
+            "CAP {cap} should beat DT-GH {dtgh} at 60% heavy"
+        );
+    }
+
+    #[test]
+    fn uniform_hint_changes_nothing() {
+        let p = fig8_params(0.5);
+        for method in JoinMethod::ALL {
+            let plain = expected_times(method, &p);
+            let hinted = expected_times_with_hint(method, &p, &SkewHint::uniform());
+            match (plain, hinted) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{method} drifted under uniform hint"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("{method} feasibility drifted under uniform hint"),
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! The seven tertiary join methods (paper §5).
+//! The seven tertiary join methods (paper §5), plus the two
+//! skew-adaptive extensions (DHH, CAP) this reproduction adds on top.
 
 use std::fmt;
 
 /// Which tertiary join method to run. Names follow the paper's
-/// abbreviations (Table 2).
+/// abbreviations (Table 2); the two post-paper variants keep the same
+/// naming style.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum JoinMethod {
     /// Disk–Tape Nested Block Join (sequential).
@@ -20,11 +22,23 @@ pub enum JoinMethod {
     CttGh,
     /// Tape–Tape Grace Hash Join (sequential).
     TtGh,
+    /// Dynamic Hybrid Hash Join: DT-GH that monitors actual build-side
+    /// partition fill and re-partitions on disk when the planner's
+    /// cardinality estimate turns out wrong (not in the paper; after
+    /// "Design Trade-offs for a Robust Dynamic Hybrid Hash Join").
+    Dhh,
+    /// Correlation-Aware Partitioning Join: DT-GH that detects
+    /// heavy-hitter probe keys at runtime and routes them to a dedicated
+    /// in-memory partition so their build tuples are read from tertiary
+    /// storage once (not in the paper; after "NOCAP: Near-Optimal
+    /// Correlation-Aware Partitioning Joins").
+    Cap,
 }
 
 impl JoinMethod {
-    /// All methods, in the paper's Table 2 order.
-    pub const ALL: [JoinMethod; 7] = [
+    /// All methods: the paper's Table 2 order, then the skew-adaptive
+    /// extensions (appended so checkpoint method tags stay stable).
+    pub const ALL: [JoinMethod; 9] = [
         JoinMethod::DtNb,
         JoinMethod::CdtNbMb,
         JoinMethod::CdtNbDb,
@@ -32,6 +46,8 @@ impl JoinMethod {
         JoinMethod::CdtGh,
         JoinMethod::CttGh,
         JoinMethod::TtGh,
+        JoinMethod::Dhh,
+        JoinMethod::Cap,
     ];
 
     /// The paper's abbreviation, e.g. `"CDT-GH"`.
@@ -44,6 +60,8 @@ impl JoinMethod {
             JoinMethod::CdtGh => "CDT-GH",
             JoinMethod::CttGh => "CTT-GH",
             JoinMethod::TtGh => "TT-GH",
+            JoinMethod::Dhh => "DHH",
+            JoinMethod::Cap => "CAP",
         }
     }
 
@@ -57,6 +75,8 @@ impl JoinMethod {
             JoinMethod::CdtGh => "Concurrent Disk-Tape Grace Hash Join",
             JoinMethod::CttGh => "Concurrent Tape-Tape Grace Hash Join",
             JoinMethod::TtGh => "Tape-Tape Grace Hash Join",
+            JoinMethod::Dhh => "Dynamic Hybrid Hash Join",
+            JoinMethod::Cap => "Correlation-Aware Partitioning Join",
         }
     }
 
@@ -68,12 +88,24 @@ impl JoinMethod {
         )
     }
 
-    /// Whether the method is hashing-based (Grace family).
+    /// Whether the method is hashing-based (Grace family, including the
+    /// skew-adaptive variants).
     pub fn is_hash_based(&self) -> bool {
         matches!(
             self,
-            JoinMethod::DtGh | JoinMethod::CdtGh | JoinMethod::CttGh | JoinMethod::TtGh
+            JoinMethod::DtGh
+                | JoinMethod::CdtGh
+                | JoinMethod::CttGh
+                | JoinMethod::TtGh
+                | JoinMethod::Dhh
+                | JoinMethod::Cap
         )
+    }
+
+    /// Whether the method adapts its partitioning to the observed key
+    /// distribution at runtime (the post-paper extensions).
+    pub fn is_skew_adaptive(&self) -> bool {
+        matches!(self, JoinMethod::Dhh | JoinMethod::Cap)
     }
 
     /// Whether the method is a tape–tape join (no `D ≥ |R|` requirement).
@@ -96,6 +128,8 @@ impl JoinMethod {
             JoinMethod::CdtGh => &["hash-r", "join-frames"],
             JoinMethod::CttGh => &["hash-r", "join-frames"],
             JoinMethod::TtGh => &["hash-r", "hash-s", "join-buckets"],
+            JoinMethod::Dhh => &["hash-r", "repartition", "join-frames"],
+            JoinMethod::Cap => &["hash-r", "join-frames"],
         }
     }
 }
@@ -134,7 +168,10 @@ mod tests {
         assert!(!DtNb.is_concurrent() && !DtNb.is_hash_based());
         assert!(CttGh.is_tape_tape() && CttGh.is_concurrent());
         assert!(TtGh.is_tape_tape() && !TtGh.is_concurrent());
-        assert_eq!(JoinMethod::ALL.len(), 7);
+        assert!(Dhh.is_hash_based() && !Dhh.is_concurrent() && !Dhh.is_tape_tape());
+        assert!(Cap.is_hash_based() && !Cap.is_concurrent() && !Cap.is_tape_tape());
+        assert!(Dhh.is_skew_adaptive() && Cap.is_skew_adaptive() && !DtGh.is_skew_adaptive());
+        assert_eq!(JoinMethod::ALL.len(), 9);
     }
 
     #[test]
@@ -152,6 +189,6 @@ mod tests {
     fn abbreviations_are_unique() {
         let set: std::collections::HashSet<_> =
             JoinMethod::ALL.iter().map(|m| m.abbrev()).collect();
-        assert_eq!(set.len(), 7);
+        assert_eq!(set.len(), 9);
     }
 }

@@ -1,0 +1,261 @@
+//! Correlation-Aware Partitioning Join (CAP) — sequential,
+//! heavy-hitter-aware.
+//!
+//! Not in the paper: a skew-resistant variant of DT-GH after
+//! "Correlation-aware partitioning for skewed range query workloads".
+//! Step I hashes R to disk exactly like DT-GH. Step II streams S in
+//! frames, but watches the probe-key frequencies as it goes: once a key
+//! has been seen `threshold` times it is *promoted* — its R bucket is
+//! read back from disk once, the matching build tuples are pinned in a
+//! small in-memory side table, and every later S tuple with that key is
+//! probed directly against the side table instead of being staged in the
+//! frame. Heavy-hitter probe tuples therefore cross the disk buffer zero
+//! times after promotion, and both relations are still read from tape
+//! exactly once — the read-once property the skew tests assert via the
+//! tape counters.
+//!
+//! Each S tuple takes exactly one path (staged before promotion, direct
+//! after), so no result pair is duplicated or dropped: staged tuples meet
+//! the full R bucket (heavy tuples included) in the frame join, direct
+//! tuples meet the pinned side table. The output digest is
+//! order-independent, so the interleaved emission order is immaterial.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tapejoin_buffer::DiskBuffer;
+use tapejoin_disk::DiskAddr;
+use tapejoin_rel::Tuple;
+
+use crate::checkpoint::{JoinCheckpoint, Progress};
+use crate::env::JoinEnv;
+use crate::geometry;
+use crate::hash::{GracePlan, Partitioner};
+use crate::method::JoinMethod;
+use crate::methods::common::{step1_marker, step_scope, MethodRun};
+use crate::methods::grace::{
+    hash_r_to_disk, join_frame, Frame, FrameBucketSink, HashRResume, HashRRun, RBucketSource,
+};
+use crate::output::probe_and_emit;
+
+/// At most this many keys are promoted to the in-memory side table,
+/// bounding its footprint to a sketch-sized constant.
+const MAX_HEAVY: usize = 8;
+
+/// Read one promoted key's R bucket back from disk and pin its matching
+/// tuples in the side table. One disk read of the bucket per promotion —
+/// the cost the planner's CAP entry charges as the promotion term.
+async fn promote(
+    env: &JoinEnv,
+    plan: &GracePlan,
+    r_buckets: &[Vec<DiskAddr>],
+    key: u64,
+    heavy: &mut HashMap<u64, Vec<Tuple>>,
+) {
+    let bucket = plan.bucket_of(key, env.cfg.hash_seed);
+    let mut pinned = Vec::new();
+    let batch = plan.input_blocks.max(1) as usize;
+    for group in r_buckets[bucket].chunks(batch) {
+        let blocks = env.disks.read(group).await;
+        for blk in &blocks {
+            for &t in blk.tuples() {
+                if t.key == key {
+                    pinned.push(t);
+                }
+            }
+        }
+    }
+    // An empty pin is still correct: later probes of this key simply
+    // find no match, same as the staged path would.
+    heavy.insert(key, pinned);
+}
+
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    // Restore phase state from an interrupted attempt, if any. CAP plans
+    // from the true `|R|` like DT-GH — it adapts to *probe-side* skew,
+    // not to build-side misestimates.
+    let (plan, hash_resume, join_resume) = match resume {
+        Some(Progress::HashR {
+            plan,
+            r_done,
+            buckets,
+            tails,
+        }) => (
+            plan,
+            Some(HashRResume {
+                buckets,
+                tails,
+                r_done,
+            }),
+            None,
+        ),
+        Some(Progress::CapJoinFrames {
+            plan,
+            buckets,
+            s_done,
+            frames_done,
+            heavy_keys,
+        }) => (plan, None, Some((buckets, s_done, frames_done, heavy_keys))),
+        _ => (
+            GracePlan::derive_with_target(
+                env.r_blocks(),
+                env.cfg.memory_blocks,
+                env.r_tuples_per_block,
+                env.cfg.grace_fill_target,
+            )
+            // lint:allow(L3, memory grant proven by resource_needs before dispatch)
+            .expect("feasibility checked before dispatch"),
+            None,
+            None,
+        ),
+    };
+
+    let (r_buckets, start_s, start_frames, pinned_keys) = match join_resume {
+        Some((buckets, s_done, frames_done, heavy_keys)) => {
+            (Rc::new(buckets), s_done, frames_done, heavy_keys)
+        }
+        None => {
+            // Step I: hash R to disk, sequentially (identical to DT-GH).
+            let step = step_scope(&env, "step1");
+            let outcome = hash_r_to_disk(&env, &plan, false, hash_resume).await;
+            drop(step);
+            match outcome {
+                HashRRun::Complete(buckets) => (Rc::new(buckets), 0, 0, Vec::new()),
+                HashRRun::Interrupted(state) => {
+                    return MethodRun::interrupted(
+                        step1_marker(),
+                        None,
+                        JoinCheckpoint {
+                            method: JoinMethod::Cap,
+                            progress: Progress::HashR {
+                                plan,
+                                r_done: state.r_done,
+                                buckets: state.buckets,
+                                tails: state.tails,
+                            },
+                        },
+                    )
+                }
+            }
+        }
+    };
+    let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
+
+    // Step II: the heavy-aware frame loop. Same geometry as DT-GH — the
+    // remaining disk space double-buffers one S frame at a time — but the
+    // hash process classifies each probe tuple before staging it.
+    let d = env.space.free();
+    let (diskbuf, probe) =
+        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
+            .with_recorder(env.cfg.recorder.share())
+            .with_probe();
+    let src = RBucketSource::Disk(r_buckets.clone());
+
+    // Promotion state. A key is promoted once its running count reaches
+    // the threshold: a fixed fraction of the probe side, so a uniform
+    // workload never trips it while a Zipfian head does almost at once.
+    let s_total_tuples = env.s_blocks() * env.s_tuples_per_block as u64;
+    let threshold = (s_total_tuples / 16).max(8);
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut heavy: HashMap<u64, Vec<Tuple>> = HashMap::new();
+    // A resume re-pins the checkpointed promotions (one disk read each)
+    // before consuming more of S; the frequency counters restart, which
+    // only delays — never corrupts — further promotions.
+    for key in pinned_keys {
+        promote(&env, &plan, &r_buckets, key, &mut heavy).await;
+    }
+
+    // Memory for input staging and bucket write buffers, held across the
+    // whole frame loop (the side table rides in the sketch allowance —
+    // it is bounded by MAX_HEAVY buckets' worth of matching tuples).
+    let frame_grant = env
+        .mem
+        .grant(plan.input_blocks + plan.write_buffer_blocks)
+        // lint:allow(L3, the grace plan is sized to the memory budget by derive)
+        .expect("grace plan memory within budget");
+    let frame_input = geometry::gh_frame_input(diskbuf.slots_per_frame(), plan.buckets as u64);
+    let chunk = plan.input_blocks.max(1);
+    let s_end = env.s_extent.end();
+    let mut pos = env.s_extent.start + start_s;
+    let mut s_done = start_s;
+    let mut frames_done = start_frames;
+    let mut next_idx = start_frames;
+
+    while pos < s_end && !env.interrupted() {
+        // Assemble one frame: stream S, classify, stage the cold tuples.
+        let idx = next_idx;
+        next_idx += 1;
+        let mut partitioner = Partitioner::new(plan, env.cfg.hash_seed);
+        let mut sink = FrameBucketSink::new(diskbuf.clone(), &plan, idx);
+        let mut flushes = Vec::new();
+        let mut consumed = 0u64;
+        while consumed < frame_input && pos < s_end {
+            let n = chunk.min(s_end - pos).min((frame_input - consumed).max(1));
+            let tape_blocks = env.drive_s.read(pos, n).await;
+            pos += n;
+            consumed += n;
+            let mut direct: Vec<Tuple> = Vec::new();
+            let mut to_promote: Vec<u64> = Vec::new();
+            let mut processed = 0u64;
+            for tb in &tape_blocks {
+                for &t in tb.data.tuples() {
+                    processed += 1;
+                    if heavy.contains_key(&t.key) {
+                        direct.push(t);
+                        continue;
+                    }
+                    let c = counts.entry(t.key).or_insert(0);
+                    *c += 1;
+                    if *c == threshold && heavy.len() + to_promote.len() < MAX_HEAVY {
+                        to_promote.push(t.key);
+                    }
+                    partitioner.push(t, &mut flushes);
+                }
+            }
+            env.charge_cpu(processed).await;
+            for key in to_promote {
+                promote(&env, &plan, &r_buckets, key, &mut heavy).await;
+            }
+            probe_and_emit(&heavy, &direct, &env.sink);
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+        }
+        partitioner.finish(&mut flushes);
+        for f in flushes.drain(..) {
+            sink.push(f).await;
+        }
+        let frame = Frame {
+            idx,
+            per_bucket: sink.finish(),
+            s_len: consumed,
+        };
+        // Join the staged (cold) residue of the frame against the hashed
+        // R, exactly as DT-GH does.
+        join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+        s_done += frame.s_len;
+        frames_done = frame.idx + 1;
+    }
+    drop(frame_grant);
+
+    if s_done < env.s_blocks() {
+        let mut heavy_keys: Vec<u64> = heavy.keys().copied().collect();
+        heavy_keys.sort_unstable();
+        return MethodRun::interrupted(
+            step1_done,
+            Some(probe),
+            JoinCheckpoint {
+                method: JoinMethod::Cap,
+                progress: Progress::CapJoinFrames {
+                    plan,
+                    buckets: (*r_buckets).clone(),
+                    s_done,
+                    frames_done,
+                    heavy_keys,
+                },
+            },
+        );
+    }
+    MethodRun::complete(step1_done, Some(probe))
+}

@@ -1,0 +1,338 @@
+//! Dynamic Hybrid Hash Join (DHH) — sequential, skew-adaptive.
+//!
+//! Not in the paper: a runtime-adaptive variant of DT-GH after "Design
+//! Trade-offs for a Robust Dynamic Hybrid Hash Join". Step I hashes R to
+//! disk under the *planner's* build-side estimate, exactly like DT-GH.
+//! At the Step I boundary the method inspects the actual partition fill:
+//! if the estimate was wrong enough that buckets overflowed the resident
+//! allowance *and* a plan derived from the true `|R|` would use a
+//! different bucket count, it re-partitions the hashed R on disk —
+//! reading each old-layout bucket back, re-hashing into the corrected
+//! layout, releasing the old blocks as it goes. Every migrated block is
+//! charged through the virtual-time device model, so the adaptation's
+//! cost (≈ one extra disk read + write of `|R|`) is visible in the
+//! response time it must earn back in Step II.
+//!
+//! Step II is DT-GH's frame join under the corrected plan. With an exact
+//! estimate (or a harmless one) the repartition pass is skipped entirely
+//! and DHH costs the same as DT-GH plus nothing — the overhead bound the
+//! skew property tests assert.
+
+use std::rc::Rc;
+
+use tapejoin_buffer::DiskBuffer;
+use tapejoin_disk::DiskAddr;
+
+use crate::checkpoint::{BucketSource, JoinCheckpoint, Progress};
+use crate::env::JoinEnv;
+use crate::hash::{GracePlan, Partitioner};
+use crate::method::JoinMethod;
+use crate::methods::common::{step1_marker, step_scope, MethodRun};
+use crate::methods::grace::{
+    hash_r_to_disk, join_frame, DiskBucketSink, HashRResume, HashRRun, RBucketSource, SFrameHasher,
+};
+
+/// Outcome of one re-partition migration attempt.
+enum Migration {
+    Complete(Vec<Vec<DiskAddr>>),
+    Interrupted {
+        src_done: u64,
+        buckets: Vec<Vec<DiskAddr>>,
+        tails: Vec<u32>,
+    },
+}
+
+/// Migrate the hashed R from the old bucket layout (`src`, estimate plan)
+/// to `plan_new`, one source bucket at a time. Old blocks are released
+/// right after they are read, so peak disk usage stays near
+/// `|R| + B_old + B_new`. Source buckets are the interrupt unit: a sticky
+/// device failure stops the migration at the next bucket boundary with
+/// every consumed tuple flushed into the new layout.
+async fn migrate(
+    env: &JoinEnv,
+    plan_new: &GracePlan,
+    src: &[Vec<DiskAddr>],
+    src_done: u64,
+    sink_resume: Option<(Vec<Vec<DiskAddr>>, Vec<u32>)>,
+) -> Migration {
+    let _grant = env
+        .mem
+        .grant(plan_new.input_blocks + plan_new.write_buffer_blocks)
+        // lint:allow(L3, the grace plan is sized to the memory budget by derive)
+        .expect("grace plan memory within budget");
+    let mut sink = match sink_resume {
+        Some((buckets, tails)) => DiskBucketSink::resume(env.clone(), plan_new, buckets, &tails),
+        None => DiskBucketSink::new(env.clone(), plan_new),
+    };
+    let mut partitioner = Partitioner::new(*plan_new, env.cfg.hash_seed);
+    let mut flushes = Vec::new();
+    let batch = plan_new.input_blocks.max(1) as usize;
+    let mut b = src_done as usize;
+    while b < src.len() {
+        if env.interrupted() {
+            partitioner.finish(&mut flushes);
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+            let (buckets, tails) = sink.suspend();
+            return Migration::Interrupted {
+                src_done: b as u64,
+                buckets,
+                tails,
+            };
+        }
+        for group in src[b].chunks(batch) {
+            let blocks = env.disks.read(group).await;
+            // The data is in memory now; hand the old blocks back so the
+            // new layout can grow into the freed space.
+            env.space.release(group);
+            let mut moved = 0u64;
+            for blk in &blocks {
+                for &t in blk.tuples() {
+                    partitioner.push(t, &mut flushes);
+                    moved += 1;
+                }
+            }
+            env.charge_cpu(moved).await;
+            for f in flushes.drain(..) {
+                sink.push(f).await;
+            }
+        }
+        b += 1;
+    }
+    partitioner.finish(&mut flushes);
+    for f in flushes.drain(..) {
+        sink.push(f).await;
+    }
+    Migration::Complete(sink.finish())
+}
+
+/// Which stage the run (re-)enters.
+enum Stage {
+    Hash(Option<HashRResume>),
+    Repart {
+        plan_new: GracePlan,
+        src: Vec<Vec<DiskAddr>>,
+        src_done: u64,
+        sink_resume: Option<(Vec<Vec<DiskAddr>>, Vec<u32>)>,
+    },
+    Join {
+        plan: GracePlan,
+        buckets: Vec<Vec<DiskAddr>>,
+        s_done: u64,
+        frames_done: u64,
+    },
+}
+
+pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
+    // Restore phase state from an interrupted attempt, if any. The hash
+    // stage runs under the *estimate* plan; the repartition checkpoint
+    // carries the corrected plan it migrates toward.
+    let (est_plan, stage) = match resume {
+        Some(Progress::HashR {
+            plan,
+            r_done,
+            buckets,
+            tails,
+        }) => (
+            plan,
+            Stage::Hash(Some(HashRResume {
+                buckets,
+                tails,
+                r_done,
+            })),
+        ),
+        Some(Progress::Repartition {
+            plan,
+            src,
+            src_done,
+            buckets,
+            tails,
+        }) => (
+            plan,
+            Stage::Repart {
+                plan_new: plan,
+                src,
+                src_done,
+                sink_resume: Some((buckets, tails)),
+            },
+        ),
+        Some(Progress::JoinFrames {
+            plan,
+            source: BucketSource::Disk(buckets),
+            s_done,
+            frames_done,
+        }) => (
+            plan,
+            Stage::Join {
+                plan,
+                buckets,
+                s_done,
+                frames_done,
+            },
+        ),
+        _ => (
+            GracePlan::derive_with_target(
+                env.cfg
+                    .build_estimate_blocks
+                    .unwrap_or_else(|| env.r_blocks()),
+                env.cfg.memory_blocks,
+                env.r_tuples_per_block,
+                env.cfg.grace_fill_target,
+            )
+            // lint:allow(L3, estimate-plan feasibility proven by resource_needs before dispatch)
+            .expect("feasibility checked before dispatch"),
+            Stage::Hash(None),
+        ),
+    };
+
+    // Stage machine: Hash → (monitor) → Repart? → Join. Resumes jump in
+    // at the checkpointed stage.
+    let mut stage = stage;
+    let (plan, r_buckets, start_s, start_frames) = loop {
+        match stage {
+            Stage::Hash(hash_resume) => {
+                let step = step_scope(&env, "step1");
+                let outcome = hash_r_to_disk(&env, &est_plan, false, hash_resume).await;
+                drop(step);
+                let buckets = match outcome {
+                    HashRRun::Complete(buckets) => buckets,
+                    HashRRun::Interrupted(state) => {
+                        return MethodRun::interrupted(
+                            step1_marker(),
+                            None,
+                            JoinCheckpoint {
+                                method: JoinMethod::Dhh,
+                                progress: Progress::HashR {
+                                    plan: est_plan,
+                                    r_done: state.r_done,
+                                    buckets: state.buckets,
+                                    tails: state.tails,
+                                },
+                            },
+                        )
+                    }
+                };
+                // Monitor the actual partition fill. The estimate was
+                // wrong enough to act on when some bucket overflowed the
+                // resident allowance (Step II would pay an S re-scan per
+                // extra chunk, every frame) and the corrected plan
+                // actually changes the layout.
+                let overflowed = buckets
+                    .iter()
+                    .any(|b| b.len() as u64 > est_plan.resident_blocks);
+                let corrected = GracePlan::derive_with_target(
+                    env.r_blocks(),
+                    env.cfg.memory_blocks,
+                    env.r_tuples_per_block,
+                    env.cfg.grace_fill_target,
+                )
+                // lint:allow(L3, true-plan feasibility proven by resource_needs before dispatch)
+                .expect("feasibility checked before dispatch");
+                if overflowed && corrected.buckets != est_plan.buckets {
+                    stage = Stage::Repart {
+                        plan_new: corrected,
+                        src: buckets,
+                        src_done: 0,
+                        sink_resume: None,
+                    };
+                } else {
+                    stage = Stage::Join {
+                        plan: est_plan,
+                        buckets,
+                        s_done: 0,
+                        frames_done: 0,
+                    };
+                }
+            }
+            Stage::Repart {
+                plan_new,
+                src,
+                src_done,
+                sink_resume,
+            } => {
+                let step = step_scope(&env, "repartition");
+                let outcome = migrate(&env, &plan_new, &src, src_done, sink_resume).await;
+                drop(step);
+                match outcome {
+                    Migration::Complete(buckets) => {
+                        stage = Stage::Join {
+                            plan: plan_new,
+                            buckets,
+                            s_done: 0,
+                            frames_done: 0,
+                        };
+                    }
+                    Migration::Interrupted {
+                        src_done,
+                        buckets,
+                        tails,
+                    } => {
+                        return MethodRun::interrupted(
+                            step1_marker(),
+                            None,
+                            JoinCheckpoint {
+                                method: JoinMethod::Dhh,
+                                progress: Progress::Repartition {
+                                    plan: plan_new,
+                                    src,
+                                    src_done,
+                                    buckets,
+                                    tails,
+                                },
+                            },
+                        )
+                    }
+                }
+            }
+            Stage::Join {
+                plan,
+                buckets,
+                s_done,
+                frames_done,
+            } => break (plan, Rc::new(buckets), s_done, frames_done),
+        }
+    };
+    let step1_done = step1_marker();
+    let _step2 = step_scope(&env, "step2");
+
+    // Step II: DT-GH's sequential frame join under the final plan.
+    let d = env.space.free();
+    let (diskbuf, probe) =
+        DiskBuffer::new(env.cfg.disk_buffer, d, env.disks.clone(), env.space.clone())
+            .with_recorder(env.cfg.recorder.share())
+            .with_probe();
+    let src = RBucketSource::Disk(r_buckets.clone());
+    let mut hasher = SFrameHasher::new(
+        env.clone(),
+        plan,
+        diskbuf.clone(),
+        false,
+        start_s,
+        start_frames,
+    );
+    let mut s_done = start_s;
+    let mut frames_done = start_frames;
+    while let Some(frame) = hasher.next_frame().await {
+        join_frame(&env, &plan, &src, &diskbuf, &frame).await;
+        s_done += frame.s_len;
+        frames_done = frame.idx + 1;
+    }
+
+    if s_done < env.s_blocks() {
+        return MethodRun::interrupted(
+            step1_done,
+            Some(probe),
+            JoinCheckpoint {
+                method: JoinMethod::Dhh,
+                progress: Progress::JoinFrames {
+                    plan,
+                    source: BucketSource::Disk((*r_buckets).clone()),
+                    s_done,
+                    frames_done,
+                },
+            },
+        );
+    }
+    MethodRun::complete(step1_done, Some(probe))
+}

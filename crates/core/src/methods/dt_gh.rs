@@ -45,8 +45,14 @@ pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
             frames_done,
         }) => (plan, None, Some((buckets, s_done, frames_done))),
         _ => (
+            // Static planning: trust the planner's build-side estimate
+            // (exact by default). A misestimate means mis-sized buckets —
+            // overflow chunking below, or needless fragmentation — which
+            // is precisely what DHH corrects at runtime.
             GracePlan::derive_with_target(
-                env.r_blocks(),
+                env.cfg
+                    .build_estimate_blocks
+                    .unwrap_or_else(|| env.r_blocks()),
                 env.cfg.memory_blocks,
                 env.r_tuples_per_block,
                 env.cfg.grace_fill_target,

@@ -57,9 +57,10 @@ fn pack_blocks(tuples: Vec<Tuple>, tpb: usize) -> Vec<BlockRef> {
         .collect()
 }
 
-/// Bucket sink writing to plain disk space (hashed R in DT-GH/CDT-GH and
-/// the per-scan assembly area of the tape–tape methods).
-struct DiskBucketSink {
+/// Bucket sink writing to plain disk space (hashed R in DT-GH/CDT-GH,
+/// the per-scan assembly area of the tape–tape methods, and DHH's
+/// re-partition destination).
+pub(crate) struct DiskBucketSink {
     env: JoinEnv,
     tpb: usize,
     /// Completed (full or final) block addresses per bucket, in order.
@@ -69,7 +70,7 @@ struct DiskBucketSink {
 }
 
 impl DiskBucketSink {
-    fn new(env: JoinEnv, plan: &GracePlan) -> Self {
+    pub(crate) fn new(env: JoinEnv, plan: &GracePlan) -> Self {
         DiskBucketSink {
             env,
             tpb: plan.tuples_per_block as usize,
@@ -81,7 +82,7 @@ impl DiskBucketSink {
     /// Reconstruct a sink from a checkpoint: `buckets` are the suspended
     /// per-bucket addresses, `tails[b] > 0` marks the *last* address of
     /// bucket `b` as a partial block holding that many tuples.
-    fn resume(
+    pub(crate) fn resume(
         env: JoinEnv,
         plan: &GracePlan,
         mut buckets: Vec<Vec<DiskAddr>>,
@@ -106,7 +107,7 @@ impl DiskBucketSink {
     /// Freeze the sink into checkpointable state: the inverse of
     /// [`DiskBucketSink::resume`]. Partial tails are appended to their
     /// bucket's address list and reported via the returned counts.
-    fn suspend(mut self) -> (Vec<Vec<DiskAddr>>, Vec<u32>) {
+    pub(crate) fn suspend(mut self) -> (Vec<Vec<DiskAddr>>, Vec<u32>) {
         let mut tails = vec![0u32; self.full.len()];
         for (b, t) in self.tail.iter_mut().enumerate() {
             if let Some((addr, count)) = t.take() {
@@ -117,7 +118,7 @@ impl DiskBucketSink {
         (self.full, tails)
     }
 
-    async fn push(&mut self, flush: BucketFlush) {
+    pub(crate) async fn push(&mut self, flush: BucketFlush) {
         let b = flush.bucket;
         let mut tuples = flush.tuples;
         // Merge with the on-disk partial tail (read-modify-write).
@@ -149,7 +150,7 @@ impl DiskBucketSink {
     }
 
     /// Seal all buckets: tails become final blocks.
-    fn finish(mut self) -> Vec<Vec<DiskAddr>> {
+    pub(crate) fn finish(mut self) -> Vec<Vec<DiskAddr>> {
         for (b, tail) in self.tail.iter_mut().enumerate() {
             if let Some((addr, _)) = tail.take() {
                 self.full[b].push(addr);
@@ -160,8 +161,8 @@ impl DiskBucketSink {
 }
 
 /// Bucket sink writing into the double-buffered disk staging area
-/// (Step II S frames).
-struct FrameBucketSink {
+/// (Step II S frames, including the CAP heavy-aware frame loop).
+pub(crate) struct FrameBucketSink {
     diskbuf: DiskBuffer,
     tpb: usize,
     frame_idx: u64,
@@ -170,7 +171,7 @@ struct FrameBucketSink {
 }
 
 impl FrameBucketSink {
-    fn new(diskbuf: DiskBuffer, plan: &GracePlan, frame_idx: u64) -> Self {
+    pub(crate) fn new(diskbuf: DiskBuffer, plan: &GracePlan, frame_idx: u64) -> Self {
         FrameBucketSink {
             diskbuf,
             tpb: plan.tuples_per_block as usize,
@@ -180,7 +181,7 @@ impl FrameBucketSink {
         }
     }
 
-    async fn push(&mut self, flush: BucketFlush) {
+    pub(crate) async fn push(&mut self, flush: BucketFlush) {
         let b = flush.bucket;
         let mut tuples = flush.tuples;
         if let Some(slot) = self.tail[b].take() {
@@ -204,7 +205,7 @@ impl FrameBucketSink {
         }
     }
 
-    fn finish(mut self) -> Vec<Vec<BufSlot>> {
+    pub(crate) fn finish(mut self) -> Vec<Vec<BufSlot>> {
         for (b, tail) in self.tail.iter_mut().enumerate() {
             if let Some(slot) = tail.take() {
                 self.full[b].push(slot);

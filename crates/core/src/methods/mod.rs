@@ -1,4 +1,5 @@
-//! The seven tertiary join methods (paper §5), written as async processes
+//! The tertiary join methods — the paper's seven (§5) plus the two
+//! skew-adaptive extensions (DHH, CAP) — written as async processes
 //! over the simulated machine.
 //!
 //! Each method is an `async fn run(env: JoinEnv, resume) -> MethodRun`.
@@ -16,10 +17,12 @@
 pub(crate) mod common;
 pub(crate) mod grace;
 
+mod cap;
 mod cdt_gh;
 mod cdt_nb_db;
 mod cdt_nb_mb;
 mod ctt_gh;
+mod dhh;
 mod dt_gh;
 mod dt_nb;
 mod tt_gh;
@@ -50,6 +53,8 @@ pub async fn run_method_resumable(
         JoinMethod::CdtGh => cdt_gh::run(env, resume).await,
         JoinMethod::CttGh => ctt_gh::run(env, resume).await,
         JoinMethod::TtGh => tt_gh::run(env, resume).await,
+        JoinMethod::Dhh => dhh::run(env, resume).await,
+        JoinMethod::Cap => cap::run(env, resume).await,
     }
 }
 

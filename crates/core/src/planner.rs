@@ -6,7 +6,7 @@
 //! guidance falls out: CDT-NB at large memory, CDT-GH with ample disk but
 //! little memory, CTT-GH when `D ≲ |R|`.
 
-use crate::cost::{expected_response, CostParams};
+use crate::cost::{expected_times_with_hint, CostParams, SkewHint};
 use crate::error::JoinError;
 use crate::method::JoinMethod;
 
@@ -19,15 +19,23 @@ pub struct Candidate {
     pub expected_seconds: f64,
 }
 
-/// Rank every feasible method, cheapest first. Empty if nothing is
-/// feasible.
+/// Rank every feasible method, cheapest first, under the paper's uniform
+/// key-distribution assumption. Empty if nothing is feasible.
 pub fn rank_methods(p: &CostParams) -> Vec<Candidate> {
+    rank_methods_with_hint(p, &SkewHint::uniform())
+}
+
+/// Rank every feasible method, cheapest first, under the hinted key
+/// distribution (Zipf skew, heavy hitters, build-side estimate error).
+/// With the uniform hint this is exactly [`rank_methods`], so existing
+/// callers see no behavior change.
+pub fn rank_methods_with_hint(p: &CostParams, hint: &SkewHint) -> Vec<Candidate> {
     let mut out: Vec<Candidate> = JoinMethod::ALL
         .iter()
         .filter_map(|&method| {
-            expected_response(method, p)
+            expected_times_with_hint(method, p, hint)
                 .ok()
-                .map(|expected_seconds| Candidate {
+                .map(|(_, expected_seconds)| Candidate {
                     method,
                     expected_seconds,
                 })
@@ -157,6 +165,51 @@ mod tests {
         for pair in mixed[..mixed.len() - 1].windows(2) {
             assert!(pair[0].expected_seconds <= pair[1].expected_seconds);
         }
+    }
+
+    #[test]
+    fn uniform_hint_reproduces_default_ranking() {
+        let p = params(18.0, 1000.0, 8.0, 50.0);
+        let plain = rank_methods(&p);
+        let hinted = rank_methods_with_hint(&p, &SkewHint::uniform());
+        assert_eq!(plain.len(), hinted.len());
+        for (a, b) in plain.iter().zip(&hinted) {
+            assert_eq!(a.method, b.method);
+            // Bit-for-bit: the uniform hint must not perturb the model.
+            assert_eq!(a.expected_seconds.to_bits(), b.expected_seconds.to_bits());
+        }
+    }
+
+    #[test]
+    fn misestimate_hint_promotes_dhh_over_dt_gh() {
+        let p = params(18.0, 1000.0, 16.0, 60.0);
+        let hint = SkewHint {
+            estimate_error: 0.1,
+            ..SkewHint::uniform()
+        };
+        let ranked = rank_methods_with_hint(&p, &hint);
+        let pos = |m: JoinMethod| ranked.iter().position(|c| c.method == m);
+        let (dhh, dtgh) = (pos(JoinMethod::Dhh), pos(JoinMethod::DtGh));
+        assert!(
+            dhh.unwrap() < dtgh.unwrap(),
+            "DHH should outrank misestimated DT-GH: {ranked:?}"
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_hint_promotes_cap_over_dt_gh() {
+        let p = params(18.0, 1000.0, 8.0, 50.0);
+        let hint = SkewHint {
+            heavy_fraction: 0.6,
+            ..SkewHint::uniform()
+        };
+        let ranked = rank_methods_with_hint(&p, &hint);
+        let pos = |m: JoinMethod| ranked.iter().position(|c| c.method == m);
+        let (cap, dtgh) = (pos(JoinMethod::Cap), pos(JoinMethod::DtGh));
+        assert!(
+            cap.unwrap() < dtgh.unwrap(),
+            "CAP should outrank DT-GH at 60% heavy mass: {ranked:?}"
+        );
     }
 
     #[test]

@@ -85,8 +85,21 @@ pub fn resource_needs(
                 tape_s_scratch: 0,
             }
         }
-        JoinMethod::DtGh | JoinMethod::CdtGh => {
-            let plan = grace_plan()?;
+        JoinMethod::DtGh | JoinMethod::CdtGh | JoinMethod::Cap => {
+            // DT-GH (and CAP's identical Step I) plans from the build-side
+            // estimate when one is configured; CDT-GH ignores it. Either
+            // way the hashed relation itself occupies the *actual* |R|.
+            let plan = if matches!(method, JoinMethod::DtGh | JoinMethod::Cap) {
+                GracePlan::derive_with_target(
+                    cfg.build_estimate_blocks.unwrap_or(r_blocks),
+                    m,
+                    r_tuples_per_block,
+                    cfg.grace_fill_target,
+                )
+                .map_err(&infeasible)?
+            } else {
+                grace_plan()?
+            };
             let b = plan.buckets as u64;
             // Hashed R on disk: |R| plus up to one partial block per
             // bucket; the S buffer needs room for one frame including its
@@ -103,6 +116,44 @@ pub fn resource_needs(
                 memory: plan.total_memory(),
                 // Table 2: D = |R| + |S_i| — the method dedicates all
                 // remaining disk to the S frame buffer by design.
+                disk: d,
+                tape_r_scratch: 0,
+                tape_s_scratch: 0,
+            }
+        }
+        JoinMethod::Dhh => {
+            // DHH hashes under the estimate plan but must also be able to
+            // hold the corrected layout during a re-partition: both plans
+            // must derive, and the disk must fit the hashed R plus *both*
+            // layouts' partial-block slack plus the S frame buffer (the
+            // migration releases old blocks as it reads them, so the two
+            // full layouts never coexist).
+            let plan_actual = grace_plan()?;
+            let b_a = plan_actual.buckets as u64;
+            let (b_e, mem_e) = match cfg.build_estimate_blocks {
+                Some(est) => {
+                    let plan_est = GracePlan::derive_with_target(
+                        est,
+                        m,
+                        r_tuples_per_block,
+                        cfg.grace_fill_target,
+                    )
+                    .map_err(&infeasible)?;
+                    (plan_est.buckets as u64, plan_est.total_memory())
+                }
+                // No estimate: the plans coincide and no migration can
+                // ever trigger.
+                None => (0, 0),
+            };
+            let disk_need = r_blocks + 2 * b_e + 2 * b_a + 2;
+            if d < disk_need {
+                return Err(infeasible(format!(
+                    "needs D ≥ |R| + 2B_est + 2B + 2 = {disk_need} blocks \
+                     (hashed R, both layouts' slack, S-buffer), have {d}"
+                )));
+            }
+            ResourceNeeds {
+                memory: plan_actual.total_memory().max(mem_e),
                 disk: d,
                 tape_r_scratch: 0,
                 tape_s_scratch: 0,
@@ -201,6 +252,8 @@ pub fn table2_symbolic() -> Vec<(
         ("CDT-GH", "sqrt(|R|)", "|R|+|Si|", "0", "0"),
         ("CTT-GH", "sqrt(|R|)", "|Si|", "|R|", "0"),
         ("TT-GH", "sqrt(|R|)", "any", "|S|", "|R|"),
+        ("DHH", "sqrt(|R|)", "|R|+|Si|+2B", "0", "0"),
+        ("CAP", "sqrt(|R|)", "|R|+|Si|", "0", "0"),
     ]
 }
 
@@ -221,6 +274,8 @@ mod tests {
             JoinMethod::CdtNbDb,
             JoinMethod::DtGh,
             JoinMethod::CdtGh,
+            JoinMethod::Dhh,
+            JoinMethod::Cap,
         ] {
             let err = resource_needs(method, &cfg(32, 50), 100, 1000, 4).unwrap_err();
             assert!(

@@ -179,7 +179,7 @@ fn deleting_any_variant_from_the_bench_list_trips_l5() {
         "crates/obs/src/labels.rs",
     ];
     let variants = [
-        "DtNb", "CdtNbMb", "CdtNbDb", "DtGh", "CdtGh", "CttGh", "TtGh",
+        "DtNb", "CdtNbMb", "CdtNbDb", "DtGh", "CdtGh", "CttGh", "TtGh", "Dhh", "Cap",
     ];
     for victim in variants {
         for rel in registry_files {
@@ -226,7 +226,7 @@ fn deleting_any_phase_arm_trips_l7() {
     let method_src = fs::read_to_string(root.join("crates/core/src/method.rs")).unwrap();
     let checkpoint_src = fs::read_to_string(root.join("crates/core/src/checkpoint.rs")).unwrap();
     let variants = [
-        "DtNb", "CdtNbMb", "CdtNbDb", "DtGh", "CdtGh", "CttGh", "TtGh",
+        "DtNb", "CdtNbMb", "CdtNbDb", "DtGh", "CdtGh", "CttGh", "TtGh", "Dhh", "Cap",
     ];
     for victim in variants {
         // Drop the victim's phases() arm (each arm sits on its own line).

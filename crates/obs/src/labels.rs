@@ -8,7 +8,8 @@
 //! `abbrev()` must appear below, so a new method cannot ship without its
 //! spans validating, and a stale label cannot linger unnoticed.
 
-/// Every join-method label, in the paper's Table 2 order.
+/// Every join-method label: the paper's Table 2 order, then the
+/// skew-adaptive extensions.
 pub const METHOD_LABELS: &[&str] = &[
     "DT-NB",
     "CDT-NB/MB",
@@ -17,6 +18,8 @@ pub const METHOD_LABELS: &[&str] = &[
     "CDT-GH",
     "CTT-GH",
     "TT-GH",
+    "DHH",
+    "CAP",
 ];
 
 /// Is `label` a known join-method label (the name a `SpanKind::Join`

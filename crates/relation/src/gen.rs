@@ -76,6 +76,18 @@ pub enum KeyDistribution {
     /// `S` tuple `j` references `R` key `j mod |R keys|` (round-robin;
     /// perfectly even, deterministic).
     RoundRobin,
+    /// A few heavy-hitter keys absorb a fixed fraction of all matching
+    /// `S` tuples; the rest are uniform over the full key domain. This is
+    /// the worst case for static hash partitioning: the hot keys land in
+    /// one partition and blow its size estimate.
+    HeavyHitter {
+        /// Number of hot keys (the first `keys` indices of `R`'s key
+        /// domain; clamped to the domain size at generation time).
+        keys: u64,
+        /// Fraction of matching `S` tuples routed to the hot keys,
+        /// in `[0, 1]`.
+        fraction: f64,
+    },
 }
 
 /// A generated pair of relations ready to load onto tapes.
@@ -190,6 +202,14 @@ impl WorkloadBuilder {
                         // lint:allow(L3, the zipf sampler was validated at construction above)
                         .expect("zipf sampler built above")
                         .sample(&mut rng),
+                    KeyDistribution::HeavyHitter { keys, fraction } => {
+                        let hot = keys.clamp(1, r_keys);
+                        if rng.gen::<f64>() < fraction.clamp(0.0, 1.0) {
+                            rng.gen_range(0..hot)
+                        } else {
+                            rng.gen_range(0..r_keys)
+                        }
+                    }
                 };
                 idx * 2
             } else {
@@ -222,6 +242,41 @@ fn build_blocks(
         out.push(Rc::new(Block::new(tuples)));
     }
     out
+}
+
+/// Draw `n` seeded Zipf-distributed keys over the even key domain
+/// `{0, 2, …, 2(n-1)}` (the layout [`WorkloadBuilder`] gives `R`), skew
+/// exponent `s`. `s == 0` degrades to uniform, so a skew sweep can
+/// include the uniform baseline without special-casing. Deterministic in
+/// `seed`; no wall-clock anywhere.
+pub fn zipf(seed: u64, n: u64, s: f64) -> Vec<u64> {
+    assert!(n > 0, "zipf key count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    if s <= 0.0 {
+        return (0..n).map(|_| rng.gen_range(0..n) * 2).collect();
+    }
+    let sampler = ZipfSampler::new(n, s);
+    (0..n).map(|_| sampler.sample(&mut rng) * 2).collect()
+}
+
+/// Draw `n` seeded heavy-hitter keys over the even key domain
+/// `{0, 2, …, 2(n-1)}`: with probability `frac` a key is one of the `k`
+/// hot keys (uniformly), otherwise uniform over the whole domain.
+/// Deterministic in `seed`.
+pub fn heavy_hitter(seed: u64, n: u64, k: u64, frac: f64) -> Vec<u64> {
+    assert!(n > 0, "heavy-hitter key count must be positive");
+    let hot = k.clamp(1, n);
+    let frac = frac.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen::<f64>() < frac {
+                rng.gen_range(0..hot) * 2
+            } else {
+                rng.gen_range(0..n) * 2
+            }
+        })
+        .collect()
 }
 
 /// Exact Zipf sampling over `0..n` by inversion of the precomputed CDF.
@@ -351,5 +406,50 @@ mod tests {
         let z = ZipfSampler::new(1000, 0.8);
         assert!(z.cdf.windows(2).all(|w| w[0] <= w[1]));
         assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_hitter_distribution_concentrates_matching_keys() {
+        let w = WorkloadBuilder::new(9)
+            .r(RelationSpec::new("R", 8).tuples_per_block(16))
+            .s(RelationSpec::new("S", 512).tuples_per_block(16))
+            .distribution(KeyDistribution::HeavyHitter {
+                keys: 2,
+                fraction: 0.6,
+            })
+            .build();
+        let hot = w.s.tuples().filter(|t| t.key <= 2).count() as f64;
+        let share = hot / w.s.tuple_count() as f64;
+        // 60% routed to the hot pair plus the uniform remainder's overlap.
+        assert!(share > 0.55, "hot share {share} too low for heavy-hitter");
+        assert_eq!(w.expected_pairs, w.s.tuple_count());
+    }
+
+    #[test]
+    fn zipf_generator_is_seeded_and_skewed() {
+        let a = zipf(42, 4096, 1.0);
+        let b = zipf(42, 4096, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, zipf(43, 4096, 1.0));
+        assert!(a.iter().all(|k| k % 2 == 0 && *k < 2 * 4096));
+        let hot = a.iter().filter(|&&k| k == 0).count();
+        assert!(hot > 5 * (a.len() / 4096).max(1), "zipf(1.0) not skewed");
+        // s == 0 degrades to uniform: no key dominates.
+        let flat = zipf(42, 4096, 0.0);
+        let max = flat.iter().filter(|&&k| k == flat[0]).count();
+        assert!(max < 16, "uniform draw has a dominating key ({max})");
+    }
+
+    #[test]
+    fn heavy_hitter_generator_is_seeded_and_concentrated() {
+        let a = heavy_hitter(7, 4096, 4, 0.5);
+        assert_eq!(a, heavy_hitter(7, 4096, 4, 0.5));
+        assert!(a.iter().all(|k| k % 2 == 0 && *k < 2 * 4096));
+        let hot = a.iter().filter(|&&k| k < 8).count() as f64;
+        let share = hot / a.len() as f64;
+        assert!(
+            (0.45..0.60).contains(&share),
+            "hot share {share} outside the expected band"
+        );
     }
 }

@@ -25,7 +25,7 @@ mod refjoin;
 mod tuple;
 
 pub use block::{Block, BlockCodecError, BlockRef};
-pub use gen::{JoinWorkload, KeyDistribution, RelationSpec, WorkloadBuilder};
+pub use gen::{heavy_hitter, zipf, JoinWorkload, KeyDistribution, RelationSpec, WorkloadBuilder};
 pub use refjoin::{reference_join, JoinCheck};
 pub use tuple::{pair_digest, Tuple};
 

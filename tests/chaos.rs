@@ -1,4 +1,4 @@
-//! Chaos harness: unrecoverable-fault schedules driven through all seven
+//! Chaos harness: unrecoverable-fault schedules driven through all nine
 //! join methods with checkpoint/resume and degraded-mode re-planning.
 //!
 //! The recovery guarantee under test: with spares available, a join
@@ -11,13 +11,13 @@
 
 use proptest::prelude::*;
 use tapejoin::{FaultPlan, JoinError, JoinMethod, RecoveryPolicy, SystemConfig, TertiaryJoin};
-use tapejoin_rel::{reference_join, JoinWorkload, RelationSpec, WorkloadBuilder};
+use tapejoin_rel::{reference_join, JoinWorkload, KeyDistribution, RelationSpec, WorkloadBuilder};
 use tapejoin_sim::Duration;
 
 /// Every method the chaos harness proves recovery for — explicit rather
 /// than `JoinMethod::ALL`, so removing a method from chaos coverage is a
 /// visible diff (mirrors the differential suite's convention).
-const CHAOS_METHODS: [JoinMethod; 7] = [
+const CHAOS_METHODS: [JoinMethod; 9] = [
     JoinMethod::DtNb,
     JoinMethod::CdtNbMb,
     JoinMethod::CdtNbDb,
@@ -25,6 +25,8 @@ const CHAOS_METHODS: [JoinMethod; 7] = [
     JoinMethod::CdtGh,
     JoinMethod::CttGh,
     JoinMethod::TtGh,
+    JoinMethod::Dhh,
+    JoinMethod::Cap,
 ];
 
 #[test]
@@ -48,7 +50,7 @@ fn killer_tape_plan(seed: u64) -> FaultPlan {
 }
 
 #[test]
-fn all_seven_methods_resume_to_reference_output_and_beat_restart() {
+fn all_methods_resume_to_reference_output_and_beat_restart() {
     let w = chaos_workload(0xC0DE);
     let expected = reference_join(&w.r, &w.s);
     for method in CHAOS_METHODS {
@@ -103,6 +105,109 @@ fn all_seven_methods_resume_to_reference_output_and_beat_restart() {
             "{method}: the restart arm must not claim salvage"
         );
     }
+}
+
+#[test]
+fn dhh_resumes_mid_repartition_under_disk_chaos() {
+    // Force DHH's repartition phase with an 8x build-side underestimate
+    // (3 blocks claimed vs 24 actual: 1 bucket planned vs 4 needed), then
+    // throw sticky disk failures at the run until one lands *inside* the
+    // repartition pass. The span trace proves the placement: a resumed
+    // run that re-enters repartitioning shows exactly one "step1" scope
+    // (hashing was never redone) and two or more "repartition" scopes.
+    let w = chaos_workload(0xD144);
+    let expected = reference_join(&w.r, &w.s);
+    let mut proven = false;
+    for seed in 0..200u64 {
+        let rec = tapejoin_obs::Recorder::enabled();
+        let plan = FaultPlan::new(seed)
+            .disk_error_rate(0.2)
+            .disk_max_retries(1);
+        let run = TertiaryJoin::new(
+            SystemConfig::new(16, 400)
+                .build_estimate(3)
+                .faults(plan)
+                .recorder(rec.clone())
+                .recovery(
+                    RecoveryPolicy::with_spares(2)
+                        .spare_disks(8)
+                        .max_restarts(8),
+                ),
+        )
+        .run(JoinMethod::Dhh, &w);
+        let stats = match run {
+            Ok(stats) => stats,
+            // Some schedules burn the whole restart budget; the scan only
+            // needs one that interrupts repartitioning and then finishes.
+            Err(JoinError::RecoveryExhausted { .. }) => continue,
+            Err(other) => panic!("seed {seed}: {other}"),
+        };
+        assert_eq!(stats.output, expected, "DHH diverged at fault seed {seed}");
+        let spans = rec.spans();
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        if stats.restarts >= 1 && count("step1") == 1 && count("repartition") >= 2 {
+            assert!(
+                stats.work_salvaged_bytes > 0,
+                "mid-repartition resume salvaged nothing"
+            );
+            proven = true;
+            break;
+        }
+    }
+    assert!(
+        proven,
+        "no fault seed in 0..200 interrupted DHH mid-repartition"
+    );
+}
+
+#[test]
+fn cap_resumes_mid_join_frames_with_pinned_heavy_hitters() {
+    // A heavy-hitter workload drives CAP's promotion path, and a sticky
+    // tape-fault schedule interrupts the frame loop; the resumed run must
+    // re-promote the pinned keys from the checkpoint and still match the
+    // reference. Span placement check as for DHH: one "step1" scope plus
+    // a second "step2" scope proves the interrupt landed inside the
+    // frame join, i.e. the `CapJoinFrames` checkpoint was exercised.
+    let w = WorkloadBuilder::new(0xCA9)
+        .r(RelationSpec::new("R", 24))
+        .s(RelationSpec::new("S", 96))
+        .distribution(KeyDistribution::HeavyHitter {
+            keys: 2,
+            fraction: 0.6,
+        })
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    let mut proven = false;
+    for seed in 0..200u64 {
+        let rec = tapejoin_obs::Recorder::enabled();
+        let run = TertiaryJoin::new(
+            SystemConfig::new(16, 400)
+                .faults(killer_tape_plan(seed))
+                .recorder(rec.clone())
+                .recovery(RecoveryPolicy::with_spares(4).max_restarts(8)),
+        )
+        .run(JoinMethod::Cap, &w);
+        let stats = match run {
+            Ok(stats) => stats,
+            Err(JoinError::RecoveryExhausted { .. }) => continue,
+            Err(other) => panic!("seed {seed}: {other}"),
+        };
+        assert_eq!(stats.output, expected, "CAP diverged at fault seed {seed}");
+        let spans = rec.spans();
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        if stats.restarts >= 1 && count("step1") == 1 && count("step2") >= 2 {
+            assert!(
+                stats.work_salvaged_bytes > 0,
+                "mid-frame resume salvaged nothing"
+            );
+            proven = true;
+            break;
+        }
+    }
+    assert!(
+        proven,
+        "no fault seed in 0..200 interrupted CAP mid-frame-join"
+    );
 }
 
 #[test]

@@ -4,19 +4,21 @@
 //! seeds, fault counters included.
 //!
 //! This is the end-to-end guarantee of the fault subsystem: faults are
-//! timing-only, so as long as every fault is recovered the seven methods
+//! timing-only, so as long as every fault is recovered the nine methods
 //! stay differentially equivalent to [`tapejoin_rel::reference_join`];
-//! only response time and the fault counters move.
+//! only response time and the fault counters move. The skew sweep
+//! extends the same guarantee across key distributions: uniform, Zipf
+//! (moderate and strong), and heavy-hitter workloads.
 
 use proptest::prelude::*;
 use tapejoin::{FaultPlan, JoinError, JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
-use tapejoin_rel::{reference_join, RelationSpec, WorkloadBuilder};
+use tapejoin_rel::{reference_join, KeyDistribution, RelationSpec, WorkloadBuilder};
 
 /// Every method the harness proves against the reference join —
 /// explicit rather than `JoinMethod::ALL`, so that removing a method
 /// from differential coverage is a visible diff (tapejoin-lint rule L5
 /// cross-checks this list against the enum).
-const DIFFERENTIAL_METHODS: [JoinMethod; 7] = [
+const DIFFERENTIAL_METHODS: [JoinMethod; 9] = [
     JoinMethod::DtNb,
     JoinMethod::CdtNbMb,
     JoinMethod::CdtNbDb,
@@ -24,6 +26,8 @@ const DIFFERENTIAL_METHODS: [JoinMethod; 7] = [
     JoinMethod::CdtGh,
     JoinMethod::CttGh,
     JoinMethod::TtGh,
+    JoinMethod::Dhh,
+    JoinMethod::Cap,
 ];
 
 #[test]
@@ -65,7 +69,7 @@ fn recoverable_plan(seed: u64) -> FaultPlan {
 }
 
 #[test]
-fn all_seven_methods_match_reference_under_recoverable_faults() {
+fn all_methods_match_reference_under_recoverable_faults() {
     let w = WorkloadBuilder::new(0x0D1F)
         .r(RelationSpec::new("R", 48))
         .s(RelationSpec::new("S", 192))
@@ -113,6 +117,76 @@ fn all_seven_methods_match_reference_under_recoverable_faults() {
             "{method}"
         );
         assert_eq!(stats.disk.traffic(), base.disk.traffic(), "{method}");
+    }
+}
+
+#[test]
+fn skew_sweep_matches_reference_clean_and_faulty() {
+    // The headline skew battery: every registered method, across the key
+    // distributions the paper's uniform model does NOT cover — Zipf at
+    // s = 0.5 and s = 1.0 plus an explicit heavy-hitter mix — must stay
+    // bit-identical to the reference join, clean and under recoverable
+    // fault injection. Skew may only move time and traffic, never output.
+    let distributions: [(&str, KeyDistribution); 4] = [
+        ("uniform", KeyDistribution::Uniform),
+        ("zipf-0.5", KeyDistribution::Zipf { theta: 0.5 }),
+        ("zipf-1.0", KeyDistribution::Zipf { theta: 1.0 }),
+        (
+            "heavy-hitter",
+            KeyDistribution::HeavyHitter {
+                keys: 3,
+                fraction: 0.6,
+            },
+        ),
+    ];
+    for (name, dist) in distributions {
+        let w = WorkloadBuilder::new(0x5E3B)
+            .r(RelationSpec::new("R", 48))
+            .s(RelationSpec::new("S", 192))
+            .distribution(dist)
+            .build();
+        let expected = reference_join(&w.r, &w.s);
+        for method in DIFFERENTIAL_METHODS {
+            let clean = TertiaryJoin::new(SystemConfig::new(16, 400));
+            let faulty = TertiaryJoin::new(SystemConfig::new(16, 400).faults(recoverable_plan(11)));
+            let base = clean.run(method, &w).unwrap();
+            let stats = faulty.run(method, &w).unwrap();
+            assert_eq!(base.output, expected, "{method} diverged clean at {name}");
+            assert_eq!(
+                stats.output, expected,
+                "{method} diverged under faults at {name}"
+            );
+            assert_eq!(
+                stats.faults.failed, 0,
+                "{method} at {name}: plan must be recoverable"
+            );
+        }
+    }
+}
+
+#[test]
+fn dhh_matches_reference_across_estimate_errors() {
+    // DHH's whole reason to exist: the planner's build-side estimate may
+    // be wrong by an order of magnitude in either direction, and the
+    // output must not move. A 10x underestimate forces the mid-join
+    // repartition path; a 10x overestimate leaves sparse buckets.
+    let w = WorkloadBuilder::new(0xD44)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .distribution(KeyDistribution::Zipf { theta: 1.0 })
+        .build();
+    let expected = reference_join(&w.r, &w.s);
+    for err in [0.1_f64, 0.5, 1.0, 2.0, 10.0] {
+        // Memory sized for the *worst* estimate (√480 ≈ 22 blocks), so
+        // every point in the sweep is feasible and the comparison is
+        // purely about what the misestimate does to DHH's plan.
+        let estimate = ((48.0 * err) as u64).max(1);
+        let cfg = SystemConfig::new(32, 800).build_estimate(estimate);
+        let stats = TertiaryJoin::new(cfg).run(JoinMethod::Dhh, &w).unwrap();
+        assert_eq!(
+            stats.output, expected,
+            "DHH diverged at estimate error {err} ({estimate} blocks)"
+        );
     }
 }
 

@@ -1,0 +1,224 @@
+//! Skew properties: the guarantees that justify the two skew-adaptive
+//! methods (DHH, CAP) beyond plain differential equivalence.
+//!
+//! - DHH equals the reference join no matter how wrong the planner's
+//!   build-side estimate is (0.1x–10x), costs nothing extra when the
+//!   estimate is right, never exceeds plain hybrid hash by more than one
+//!   repartition pass, and beats it outright at high skew under a gross
+//!   misestimate (the PR's acceptance criterion).
+//! - CAP reads every tape block exactly once per pass even when a few
+//!   heavy-hitter keys carry most of the probe-side mass, and its direct
+//!   probe path strictly reduces disk staging traffic on such workloads.
+
+use proptest::prelude::*;
+use tapejoin::{JoinError, JoinMethod, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{reference_join, KeyDistribution, RelationSpec, WorkloadBuilder};
+
+fn skewed_workload(seed: u64, dist: KeyDistribution) -> tapejoin_rel::JoinWorkload {
+    WorkloadBuilder::new(seed)
+        .r(RelationSpec::new("R", 48))
+        .s(RelationSpec::new("S", 192))
+        .distribution(dist)
+        .build()
+}
+
+/// The PR's acceptance criterion: at Zipf s = 1.0 with a 10x build-side
+/// underestimate, DHH's single corrective repartition beats the static
+/// hybrid hash plan, which pays overflow chunking on every frame.
+#[test]
+fn dhh_beats_static_hybrid_hash_at_high_skew_with_gross_misestimate() {
+    let w = skewed_workload(0x5EED, KeyDistribution::Zipf { theta: 1.0 });
+    let expected = reference_join(&w.r, &w.s);
+    // 48 actual build blocks, estimate 4: the static plan packs all of R
+    // into one oversized bucket.
+    let cfg = || SystemConfig::new(16, 800).build_estimate(4);
+    let dhh = TertiaryJoin::new(cfg()).run(JoinMethod::Dhh, &w).unwrap();
+    let dtgh = TertiaryJoin::new(cfg()).run(JoinMethod::DtGh, &w).unwrap();
+    assert_eq!(dhh.output, expected, "DHH diverged");
+    assert_eq!(dtgh.output, expected, "DT-GH diverged");
+    assert!(
+        dhh.response < dtgh.response,
+        "DHH ({:?}) must beat static hybrid hash ({:?}) at Zipf 1.0 \
+         with a 10x misestimate",
+        dhh.response,
+        dtgh.response
+    );
+}
+
+/// With no estimate configured the monitor never fires and DHH is the
+/// static plan, bit for bit; with a wrong estimate it may additionally
+/// pay at most one repartition pass (read + write R once through the
+/// disk array, with generous queueing slack).
+#[test]
+fn dhh_overhead_is_bounded_by_one_repartition_pass() {
+    for dist in [
+        KeyDistribution::Uniform,
+        KeyDistribution::Zipf { theta: 1.0 },
+    ] {
+        let w = skewed_workload(0xB0B, dist);
+        let expected = reference_join(&w.r, &w.s);
+
+        // Exact estimate: identical plans, identical operation sequence.
+        let exact_dhh = TertiaryJoin::new(SystemConfig::new(16, 800))
+            .run(JoinMethod::Dhh, &w)
+            .unwrap();
+        let exact_dtgh = TertiaryJoin::new(SystemConfig::new(16, 800))
+            .run(JoinMethod::DtGh, &w)
+            .unwrap();
+        assert_eq!(exact_dhh.output, expected);
+        assert_eq!(
+            exact_dhh.response, exact_dtgh.response,
+            "DHH must cost nothing extra when the estimate is exact"
+        );
+
+        // Wrong estimates: bounded above by the exact plan plus one pass
+        // of R through the disk array — an underestimate pays it as the
+        // corrective repartition (read + write |R|), an overestimate as
+        // the finer bucketing's extra partial tails. 6 block-times per R
+        // block covers either with queueing slack; +1s absorbs fixed
+        // per-phase costs.
+        let cfg = SystemConfig::new(32, 800);
+        let block_s = cfg.block_bytes as f64 / cfg.disk_rate;
+        let bound_s = 6.0 * 48.0 * block_s + 1.0;
+        for err in [0.1_f64, 0.25, 0.5, 2.0, 4.0, 10.0] {
+            let estimate = ((48.0 * err) as u64).max(1);
+            let stats = TertiaryJoin::new(SystemConfig::new(32, 800).build_estimate(estimate))
+                .run(JoinMethod::Dhh, &w)
+                .unwrap();
+            assert_eq!(stats.output, expected, "DHH diverged at error {err}");
+            let baseline = TertiaryJoin::new(SystemConfig::new(32, 800))
+                .run(JoinMethod::DtGh, &w)
+                .unwrap();
+            let overhead_s =
+                (stats.response.as_nanos() as f64 - baseline.response.as_nanos() as f64) / 1e9;
+            assert!(
+                overhead_s <= bound_s,
+                "DHH at estimate error {err} overruns the exact plan by \
+                 {overhead_s:.3}s, more than one repartition pass ({bound_s:.3}s)"
+            );
+        }
+    }
+}
+
+/// CAP's contract: heavy-hitter keys never cause a tape block to be read
+/// twice — both relations stream off tape exactly once per pass — and
+/// routing the heavy mass through the direct probe path strictly lowers
+/// disk staging traffic compared to static hybrid hash.
+#[test]
+fn cap_reads_each_tape_block_exactly_once_under_heavy_hitters() {
+    let cases = [
+        KeyDistribution::HeavyHitter {
+            keys: 1,
+            fraction: 0.5,
+        },
+        KeyDistribution::HeavyHitter {
+            keys: 3,
+            fraction: 0.7,
+        },
+        KeyDistribution::Zipf { theta: 1.0 },
+    ];
+    for dist in cases {
+        let w = skewed_workload(0xCAFE, dist);
+        let expected = reference_join(&w.r, &w.s);
+        let cap = TertiaryJoin::new(SystemConfig::new(16, 400))
+            .run(JoinMethod::Cap, &w)
+            .unwrap();
+        assert_eq!(cap.output, expected, "CAP diverged at {dist:?}");
+        assert_eq!(
+            cap.tape_r.blocks_read, 48,
+            "CAP re-read the build tape at {dist:?}"
+        );
+        assert_eq!(
+            cap.tape_s.blocks_read, 192,
+            "CAP re-read the probe tape at {dist:?}"
+        );
+    }
+
+    // Direct-path saving: at 70% heavy mass most probe tuples skip the
+    // stage-to-disk round trip entirely.
+    let w = skewed_workload(
+        0xCAFE,
+        KeyDistribution::HeavyHitter {
+            keys: 3,
+            fraction: 0.7,
+        },
+    );
+    let cap = TertiaryJoin::new(SystemConfig::new(16, 400))
+        .run(JoinMethod::Cap, &w)
+        .unwrap();
+    let dtgh = TertiaryJoin::new(SystemConfig::new(16, 400))
+        .run(JoinMethod::DtGh, &w)
+        .unwrap();
+    assert!(
+        cap.disk.traffic() < dtgh.disk.traffic(),
+        "CAP ({}) must stage less than DT-GH ({}) at 70% heavy mass",
+        cap.disk.traffic(),
+        dtgh.disk.traffic()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized workloads, skew levels and estimate errors from 0.1x to
+    /// 10x: DHH always produces the reference join. Infeasible geometry
+    /// (the inflated estimate can push the plan past `M ≥ √|R|`) is
+    /// skipped, mirroring the differential suite's convention.
+    #[test]
+    fn dhh_matches_reference_under_random_estimate_errors(
+        workload_seed in any::<u64>(),
+        r_blocks in 8u64..32,
+        s_factor in 1u64..4,
+        theta in 0.0f64..1.2,
+        err in 0.1f64..10.0,
+    ) {
+        let w = WorkloadBuilder::new(workload_seed)
+            .r(RelationSpec::new("R", r_blocks))
+            .s(RelationSpec::new("S", r_blocks * s_factor))
+            .distribution(KeyDistribution::Zipf { theta })
+            .build();
+        let expected = reference_join(&w.r, &w.s);
+        let estimate = ((r_blocks as f64 * err) as u64).max(1);
+        // Disk sized for the worst case: |R| plus hashed copies under
+        // both the (inflated) estimated and actual plans.
+        let cfg = SystemConfig::new(24, 2000).build_estimate(estimate);
+        match TertiaryJoin::new(cfg).run(JoinMethod::Dhh, &w) {
+            Err(JoinError::Infeasible { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("DHH: {other}"))),
+            Ok(stats) => prop_assert_eq!(
+                &stats.output, &expected,
+                "DHH diverged: seed {}, r {}, theta {:.2}, error {:.2}",
+                workload_seed, r_blocks, theta, err
+            ),
+        }
+    }
+
+    /// Randomized heavy-hitter mixes: CAP equals the reference and never
+    /// re-reads tape, regardless of how many keys carry the mass.
+    #[test]
+    fn cap_read_once_property_under_random_heavy_hitters(
+        workload_seed in any::<u64>(),
+        r_blocks in 8u64..32,
+        s_factor in 1u64..4,
+        keys in 1u64..6,
+        fraction in 0.2f64..0.9,
+    ) {
+        let s_blocks = r_blocks * s_factor;
+        let w = WorkloadBuilder::new(workload_seed)
+            .r(RelationSpec::new("R", r_blocks))
+            .s(RelationSpec::new("S", s_blocks))
+            .distribution(KeyDistribution::HeavyHitter { keys, fraction })
+            .build();
+        let expected = reference_join(&w.r, &w.s);
+        let cfg = SystemConfig::new(16, 4 * (r_blocks + s_blocks));
+        match TertiaryJoin::new(cfg).run(JoinMethod::Cap, &w) {
+            Err(JoinError::Infeasible { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("CAP: {other}"))),
+            Ok(stats) => {
+                prop_assert_eq!(&stats.output, &expected, "CAP diverged");
+                prop_assert_eq!(stats.tape_r.blocks_read, r_blocks, "build tape re-read");
+                prop_assert_eq!(stats.tape_s.blocks_read, s_blocks, "probe tape re-read");
+            }
+        }
+    }
+}
