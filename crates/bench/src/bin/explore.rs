@@ -11,6 +11,18 @@
 //! cargo run --release -p tapejoin-bench --bin explore -- \
 //!     --r-mb 2500 --s-mb 10000 --m-mb 16 --d-mb 500 --method CTT-GH
 //! ```
+//!
+//! With `--sql`, the machine flags stay but the workload flags become a
+//! three-table demo catalog (`parts` dimension sized by `--r-mb`;
+//! `orders`, `lines` fact tables sized by `--s-mb`, with `--skew`
+//! applied to `orders`' foreign keys), and the statement runs through
+//! the tapejoin-sql planner — `EXPLAIN ...` prints the costed plan:
+//!
+//! ```sh
+//! cargo run --release -p tapejoin-bench --bin explore -- \
+//!     --m-mb 4 --d-mb 50 --skew 1.1 --sql \
+//!     "EXPLAIN SELECT parts.key FROM parts JOIN orders ON parts.key = orders.key"
+//! ```
 
 use tapejoin::cost::{CostParams, SkewHint};
 use tapejoin::planner::rank_methods_with_hint;
@@ -19,6 +31,7 @@ use tapejoin_bench::chart::AsciiChart;
 use tapejoin_bench::SEED;
 use tapejoin_rel::{KeyDistribution, RelationSpec, WorkloadBuilder};
 use tapejoin_sim::Duration;
+use tapejoin_sql::{Catalog, PlannerMode, SqlOutcome};
 
 /// Which parameter `--sweep` varies.
 #[derive(Clone, Copy, PartialEq)]
@@ -40,6 +53,8 @@ struct Args {
     chaos_rate: f64,
     fault_seed: u64,
     skew: f64,
+    sql: Option<String>,
+    syntactic: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
         chaos_rate: 0.0,
         fault_seed: SEED,
         skew: 0.0,
+        sql: None,
+        syntactic: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +100,8 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--fault-seed takes an integer".to_string())?;
             }
+            "--sql" => args.sql = Some(value("--sql")?),
+            "--syntactic" => args.syntactic = true,
             "--sweep" => {
                 args.sweep = Some(match value("--sweep")?.as_str() {
                     "m" | "memory" => Sweep::Memory,
@@ -94,7 +113,12 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: explore [--r-mb N] [--s-mb N] [--m-mb N] [--d-mb N] \
                      [--compress C] [--method ABBREV] [--ideal-disks] [--sweep m|d] \
-                     [--skew S] [--fault-rate R] [--chaos-rate R] [--fault-seed N]\n\n\
+                     [--skew S] [--fault-rate R] [--chaos-rate R] [--fault-seed N] \
+                     [--sql STMT] [--syntactic]\n\n\
+                     --sql STMT      run STMT (SELECT/EXPLAIN over the demo catalog:\n\
+                                     parts, orders, lines) through the SQL planner\n\
+                     --syntactic     with --sql: plan joins in FROM order instead of\n\
+                                     enumerating cost-based orders\n\
                      --sweep m       vary memory from 5% of |R| up to |R| (chart per method)\n\
                      --sweep d       vary disk from 0.5x to 3x |R|\n\
                      --skew S        Zipf exponent of the S foreign keys (0 = uniform);\n\
@@ -144,6 +168,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(sql) = &args.sql {
+        run_sql(&args, sql);
+        return;
+    }
 
     if let Some(sweep) = args.sweep {
         run_sweep(&args, sweep);
@@ -272,6 +301,102 @@ fn main() {
                     f.retry_time,
                     100.0 * f.retry_time.as_secs_f64() / stats.response.as_secs_f64()
                 );
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--sql`: run one statement over the demo catalog. The `parts`
+/// dimension is sized by `--r-mb`; the `orders` and `lines` fact tables
+/// by `--s-mb`, with `--skew` Zipf-skewing `orders`' foreign keys so the
+/// catalog statistics steer the planner toward DHH/CAP.
+fn run_sql(args: &Args, sql: &str) {
+    let probe = SystemConfig::new(0, 0);
+    let cfg = SystemConfig::new(
+        probe.mb_to_blocks(args.m_mb).max(2),
+        probe.mb_to_blocks(args.d_mb),
+    )
+    .disk_overhead(args.overhead);
+
+    let parts_blocks = cfg.mb_to_blocks(args.r_mb).max(1);
+    let fact_blocks = cfg.mb_to_blocks(args.s_mb).max(1);
+    let key_span = parts_blocks * 4; // one key per dimension tuple
+    let orders_dist = if args.skew > 0.0 {
+        KeyDistribution::Zipf { theta: args.skew }
+    } else {
+        KeyDistribution::Uniform
+    };
+    let mut catalog = Catalog::new();
+    let registered = (|| {
+        catalog.register_dimension("parts", parts_blocks, SEED)?;
+        catalog.register_generated(
+            RelationSpec::new("orders", fact_blocks).compressibility(args.compress),
+            orders_dist,
+            key_span,
+            SEED ^ 1,
+        )?;
+        catalog.register_generated(
+            RelationSpec::new("lines", (fact_blocks / 2).max(1)).compressibility(args.compress),
+            KeyDistribution::Uniform,
+            key_span,
+            SEED ^ 2,
+        )
+    })();
+    if let Err(e) = registered {
+        eprintln!("error building demo catalog: {e}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "demo catalog: parts {} blocks (dimension), orders {} blocks{}, lines {} blocks",
+        parts_blocks,
+        fact_blocks,
+        if args.skew > 0.0 {
+            format!(" (Zipf θ = {})", args.skew)
+        } else {
+            String::new()
+        },
+        (fact_blocks / 2).max(1),
+    );
+    println!(
+        "machine: M = {} blocks, D = {} blocks, {} planner\n",
+        cfg.memory_blocks,
+        cfg.disk_blocks,
+        if args.syntactic {
+            "syntactic"
+        } else {
+            "cost-based"
+        },
+    );
+
+    let mode = if args.syntactic {
+        PlannerMode::Syntactic
+    } else {
+        PlannerMode::CostBased
+    };
+    match tapejoin_sql::run(sql, &catalog, &cfg, mode) {
+        Ok(SqlOutcome::Plan(text)) => print!("{text}"),
+        Ok(SqlOutcome::Rows(out)) => {
+            for run in &out.joins {
+                println!(
+                    "join stage {:<9} expected ~{:>8.0} s, simulated {} ({} pairs)",
+                    run.method.abbrev(),
+                    run.expected_seconds,
+                    run.stats.response,
+                    run.stats.output.pairs,
+                );
+            }
+            println!("{} rows", out.rows.len());
+            for row in out.rows.iter().take(10) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("  ({})", cells.join(", "));
+            }
+            if out.rows.len() > 10 {
+                println!("  … {} more", out.rows.len() - 10);
             }
         }
         Err(e) => {

@@ -1,0 +1,249 @@
+//! `sqlbench` — SQL-planned vs hand-planned join pipelines.
+//!
+//! Each scenario is one query over a generated catalog, planned twice:
+//!
+//! * **cost-based** — the tapejoin-sql physical planner enumerates
+//!   left-deep orders and prices every stage (with catalog-derived skew
+//!   hints) against the analytic cost model;
+//! * **syntactic** — the joins run in `FROM`-clause order with the first
+//!   feasible method, standing in for a hand-written plan that ignores
+//!   both statistics and the machine.
+//!
+//! Both plans execute through the real simulated tertiary joins; the
+//! row digests must agree (same answer), and the simulated join seconds
+//! quantify what cost-based planning buys. Results go to stdout and
+//! `results/BENCH_7.json` (all times are virtual seconds).
+
+use tapejoin::SystemConfig;
+use tapejoin_bench::{csv_flag, TablePrinter, SEED};
+use tapejoin_rel::{KeyDistribution, RelationSpec};
+use tapejoin_sql::exec::rows_digest;
+use tapejoin_sql::{plan_statement, Catalog, PlannerMode, SqlError};
+
+struct Scenario {
+    name: &'static str,
+    note: &'static str,
+    sql: &'static str,
+    catalog: Catalog,
+    cfg: SystemConfig,
+}
+
+/// Small three-table star: `parts` dimension plus two uniform facts,
+/// queried fact-first so the syntactic planner builds from the big table.
+fn star_scenario() -> Result<Scenario, SqlError> {
+    let mut cat = Catalog::new();
+    cat.register_dimension("parts", 8, SEED)?;
+    cat.register_generated(
+        RelationSpec::new("orders", 64),
+        KeyDistribution::Uniform,
+        32,
+        SEED ^ 1,
+    )?;
+    cat.register_generated(
+        RelationSpec::new("lines", 32),
+        KeyDistribution::Uniform,
+        32,
+        SEED ^ 2,
+    )?;
+    Ok(Scenario {
+        name: "star-fact-first",
+        note: "3-way star, FROM order leads with the biggest fact table",
+        sql: "SELECT parts.key, lines.rid FROM orders \
+              JOIN parts ON orders.key = parts.key \
+              JOIN lines ON parts.key = lines.key",
+        catalog: cat,
+        cfg: SystemConfig::new(32, 256),
+    })
+}
+
+/// The skew acceptance scenario: a disk-bound machine (one slow disk)
+/// joining a dimension against a large Zipf fact table — the catalog's
+/// skew statistics steer the cost-based planner onto CAP.
+fn skew_scenario() -> Result<Scenario, SqlError> {
+    let mut cat = Catalog::new();
+    cat.register_dimension("parts", 64, SEED)?;
+    cat.register_generated(
+        RelationSpec::new("orders", 1024),
+        KeyDistribution::Zipf { theta: 1.1 },
+        256,
+        SEED ^ 3,
+    )?;
+    Ok(Scenario {
+        name: "skew-disk-bound",
+        note: "Zipf facts on one slow disk; skew hints promote CAP",
+        sql: "SELECT parts.key, orders.rid FROM parts \
+              JOIN orders ON parts.key = orders.key",
+        catalog: cat,
+        cfg: SystemConfig::new(16, 192).disks(1).disk_rate(0.5e6),
+    })
+}
+
+/// Selective filter + LIMIT over the star: pushdown shrinks the probe
+/// side in both modes, so any remaining gap is pure join-order quality.
+fn filtered_scenario() -> Result<Scenario, SqlError> {
+    let mut cat = Catalog::new();
+    cat.register_dimension("parts", 8, SEED)?;
+    cat.register_generated(
+        RelationSpec::new("orders", 64),
+        KeyDistribution::Uniform,
+        32,
+        SEED ^ 4,
+    )?;
+    cat.register_generated(
+        RelationSpec::new("lines", 48),
+        KeyDistribution::Uniform,
+        32,
+        SEED ^ 5,
+    )?;
+    Ok(Scenario {
+        name: "star-filtered",
+        note: "pushed WHERE + ORDER BY/LIMIT, gap is join order only",
+        sql: "SELECT parts.key, orders.rid, lines.rid FROM lines \
+              JOIN orders ON lines.key = orders.key \
+              JOIN parts ON orders.key = parts.key \
+              WHERE lines.key < 32 ORDER BY parts.key, orders.rid, lines.rid LIMIT 64",
+        catalog: cat,
+        cfg: SystemConfig::new(32, 256),
+    })
+}
+
+struct ModeResult {
+    order: Vec<String>,
+    methods: Vec<&'static str>,
+    est_s: f64,
+    sim_s: f64,
+    rows: u64,
+    digest: u64,
+}
+
+fn run_mode(sc: &Scenario, mode: PlannerMode) -> Result<ModeResult, SqlError> {
+    let planned = plan_statement(sc.sql, &sc.catalog, &sc.cfg, mode)?;
+    let order = planned
+        .plan
+        .order
+        .iter()
+        .map(|&t| planned.bound.tables[t].name.clone())
+        .collect();
+    let out = planned.execute(&sc.catalog, &sc.cfg)?;
+    Ok(ModeResult {
+        order,
+        methods: out.joins.iter().map(|j| j.method.abbrev()).collect(),
+        est_s: planned.plan.est_join_seconds,
+        sim_s: out
+            .joins
+            .iter()
+            .map(|j| j.stats.response.as_secs_f64())
+            .sum(),
+        rows: out.rows.len() as u64,
+        digest: rows_digest(&out.rows),
+    })
+}
+
+fn json_str_list(items: &[impl AsRef<str>]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| {
+            format!(
+                "\"{}\"",
+                s.as_ref().replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+fn json_mode(r: &ModeResult) -> String {
+    format!(
+        "{{\"order\": {}, \"methods\": {}, \"est_join_s\": {:.3}, \"sim_join_s\": {:.3}, \"rows\": {}, \"digest\": {}}}",
+        json_str_list(&r.order),
+        json_str_list(&r.methods),
+        r.est_s,
+        r.sim_s,
+        r.rows,
+        r.digest,
+    )
+}
+
+fn main() {
+    let scenarios = [star_scenario(), skew_scenario(), filtered_scenario()];
+    let mut table = TablePrinter::new(
+        &[
+            "scenario", "planner", "order", "methods", "est (s)", "sim (s)", "rows",
+        ],
+        csv_flag(),
+    );
+    let mut entries = Vec::new();
+
+    println!("SQL-planned vs hand-planned (syntactic FROM-order) join pipelines");
+    println!("(simulated seconds; both planners must produce identical rows)\n");
+
+    for sc in &scenarios {
+        let sc = match sc {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("scenario setup failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (cost, syn) = match (
+            run_mode(sc, PlannerMode::CostBased),
+            run_mode(sc, PlannerMode::Syntactic),
+        ) {
+            (Ok(c), Ok(s)) => (c, s),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{}: {e}", sc.name);
+                std::process::exit(1);
+            }
+        };
+        assert_eq!(
+            (cost.rows, cost.digest),
+            (syn.rows, syn.digest),
+            "{}: planners disagree on the answer",
+            sc.name
+        );
+        for (label, r) in [("cost-based", &cost), ("syntactic", &syn)] {
+            table.row(vec![
+                sc.name.to_string(),
+                label.to_string(),
+                r.order.join("->"),
+                r.methods.join(","),
+                format!("{:.1}", r.est_s),
+                format!("{:.1}", r.sim_s),
+                r.rows.to_string(),
+            ]);
+        }
+        let speedup = if cost.sim_s > 0.0 {
+            syn.sim_s / cost.sim_s
+        } else {
+            1.0
+        };
+        entries.push(format!(
+            "    {{\n      \"name\": \"{}\", \"note\": \"{}\",\n      \"sql\": \"{}\",\n      \"machine\": {{\"memory_blocks\": {}, \"disk_blocks\": {}, \"disks\": {}, \"disk_rate_mb_s\": {:.2}}},\n      \"cost_based\": {},\n      \"syntactic\": {},\n      \"sim_speedup\": {:.3}\n    }}",
+            sc.name,
+            sc.note,
+            sc.sql.replace('"', "\\\""),
+            sc.cfg.memory_blocks,
+            sc.cfg.disk_blocks,
+            sc.cfg.disks,
+            sc.cfg.disk_rate / 1e6,
+            json_mode(&cost),
+            json_mode(&syn),
+            speedup,
+        ));
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"bench\": 7,\n  \"title\": \"SQL-planned vs hand-planned join pipelines\",\n  \"seed\": {SEED},\n  \"time_unit\": \"simulated seconds\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_7.json", &json))
+    {
+        Ok(()) => println!("\nwrote results/BENCH_7.json"),
+        Err(e) => {
+            eprintln!("failed to write results/BENCH_7.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

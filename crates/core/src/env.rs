@@ -52,6 +52,18 @@ impl JoinEnv {
     /// Scratch space on each tape is the configured cap, or exactly what
     /// `needs` demands.
     pub fn build(cfg: Rc<SystemConfig>, workload: &JoinWorkload, needs: &ResourceNeeds) -> JoinEnv {
+        Self::build_with_sink(cfg, workload, needs, None)
+    }
+
+    /// [`JoinEnv::build`] with an externally supplied output sink (e.g. a
+    /// collecting sink whose rows feed the next operator of a query
+    /// plan). `None` falls back to the sink implied by `cfg.output`.
+    pub fn build_with_sink(
+        cfg: Rc<SystemConfig>,
+        workload: &JoinWorkload,
+        needs: &ResourceNeeds,
+        sink_override: Option<OutputSink>,
+    ) -> JoinEnv {
         let r_blocks = workload.r.block_count();
         let s_blocks = workload.s.block_count();
         let r_scratch = cfg.tape_r_scratch.unwrap_or(needs.tape_r_scratch);
@@ -105,18 +117,21 @@ impl JoinEnv {
         let space = SpaceManager::new(cfg.disks, cfg.disk_blocks);
         let mem = MemoryPool::new(cfg.memory_blocks);
         let s_tpb = density(workload.s.tuple_count(), s_blocks);
-        let sink = match cfg.output {
-            OutputMode::Pipelined => OutputSink::new(),
-            // Output space is accounted outside the join's D quota (the
-            // paper charges only the *bandwidth*); result blocks carry
-            // two tuples per match, so they pack at the S density.
-            OutputMode::LocalDisk => OutputSink::local_disk(
-                disks.clone(),
-                // A separate partition (disjoint LBA range) so the output
-                // stream never collides with the join's D-quota region.
-                SpaceManager::with_base(cfg.disks, u64::MAX / 4, 1 << 40),
-                s_tpb,
-            ),
+        let sink = match sink_override {
+            Some(sink) => sink,
+            None => match cfg.output {
+                OutputMode::Pipelined => OutputSink::new(),
+                // Output space is accounted outside the join's D quota (the
+                // paper charges only the *bandwidth*); result blocks carry
+                // two tuples per match, so they pack at the S density.
+                OutputMode::LocalDisk => OutputSink::local_disk(
+                    disks.clone(),
+                    // A separate partition (disjoint LBA range) so the output
+                    // stream never collides with the join's D-quota region.
+                    SpaceManager::with_base(cfg.disks, u64::MAX / 4, 1 << 40),
+                    s_tpb,
+                ),
+            },
         };
 
         JoinEnv {

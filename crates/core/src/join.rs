@@ -70,6 +70,35 @@ impl TertiaryJoin {
 
     /// Run `method` over `workload` and return the measured statistics.
     pub fn run(&self, method: JoinMethod, workload: &JoinWorkload) -> Result<JoinStats, JoinError> {
+        self.run_impl(method, workload, None)
+    }
+
+    /// Run `method` over `workload` and return both the measured
+    /// statistics and the actual result pairs, in emission order. This is
+    /// the entry point for query plans whose join output feeds another
+    /// operator (the next join of an n-way plan, a sort, a projection):
+    /// the join runs through the full driver — recovery loop, degraded
+    /// re-planning, checkpoint resume — with a collecting sink, so a
+    /// restarted attempt discards its partial rows exactly as it discards
+    /// its partial digest.
+    pub fn run_collecting(
+        &self,
+        method: JoinMethod,
+        workload: &JoinWorkload,
+    ) -> Result<(JoinStats, Vec<(tapejoin_rel::Tuple, tapejoin_rel::Tuple)>), JoinError> {
+        // Created outside the simulation (spawns no tasks); the clone
+        // handed to the env shares the row buffer with this handle.
+        let sink = crate::output::OutputSink::collecting();
+        let stats = self.run_impl(method, workload, Some(sink.clone()))?;
+        Ok((stats, sink.take_rows()))
+    }
+
+    fn run_impl(
+        &self,
+        method: JoinMethod,
+        workload: &JoinWorkload,
+        sink_override: Option<crate::output::OutputSink>,
+    ) -> Result<JoinStats, JoinError> {
         self.cfg.validate()?;
         let r_tpb = density(&workload.r);
         let r_blocks = workload.r.block_count();
@@ -99,7 +128,7 @@ impl TertiaryJoin {
         let workload_c = workload.clone();
         let mut sim = Simulation::new();
         let (stats, disk_error, abort) = sim.run(async move {
-            let env = JoinEnv::build(Rc::clone(&cfg), &workload_c, &needs);
+            let env = JoinEnv::build_with_sink(Rc::clone(&cfg), &workload_c, &needs, sink_override);
             // Root span for the whole join; the per-step scopes opened by
             // the method body nest under it. Recording never advances the
             // virtual clock, so an enabled recorder cannot perturb timing.
@@ -355,6 +384,32 @@ mod tests {
         assert_eq!(stats.restarts, 0);
         assert_eq!(stats.replanned_method, None);
         assert_eq!(stats.work_salvaged_bytes, 0);
+    }
+
+    #[test]
+    fn run_collecting_returns_the_actual_result_rows() {
+        let w = WorkloadBuilder::new(7)
+            .r(RelationSpec::new("R", 16))
+            .s(RelationSpec::new("S", 64))
+            .build();
+        let cfg = SystemConfig::new(8, 32);
+        let (stats, rows) = TertiaryJoin::new(cfg.clone())
+            .run_collecting(JoinMethod::DtNb, &w)
+            .unwrap();
+        let expect = reference_join(&w.r, &w.s);
+        assert_eq!(stats.output, expect);
+        assert_eq!(rows.len() as u64, expect.pairs);
+        // The collected rows re-digest to the same check value.
+        let mut re = tapejoin_rel::JoinCheck::default();
+        for &(r, s) in &rows {
+            assert_eq!(r.key, s.key);
+            re.add_pair(r, s);
+        }
+        assert_eq!(re, expect);
+        // And the collecting run's timing matches the plain run exactly —
+        // row retention must never perturb the simulated clock.
+        let plain = TertiaryJoin::new(cfg).run(JoinMethod::DtNb, &w).unwrap();
+        assert_eq!(plain.response, stats.response);
     }
 
     #[test]

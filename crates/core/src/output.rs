@@ -53,17 +53,46 @@ struct LocalStage {
     writer: RefCell<Option<JoinHandle<u64>>>,
 }
 
+/// Shared buffer of collected result pairs ([`OutputSink::collecting`]).
+type SharedRows = Rc<RefCell<Vec<(Tuple, Tuple)>>>;
+
 /// Join-output sink. Cheap to clone (shared handle).
 #[derive(Clone, Default)]
 pub struct OutputSink {
     check: Rc<RefCell<JoinCheck>>,
     stage: Option<Rc<LocalStage>>,
+    /// Result pairs retained host-side for a downstream consumer
+    /// ([`OutputSink::collecting`]). Orthogonal to the I/O model: a
+    /// collecting sink still charges no output I/O, exactly like
+    /// [`OutputMode::Pipelined`] — the consumer is assumed to keep up.
+    rows: Option<SharedRows>,
 }
 
 impl OutputSink {
     /// A pipelined sink (no output I/O).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A pipelined sink that additionally retains every emitted pair for
+    /// retrieval via [`OutputSink::take_rows`]. Used when the join's
+    /// output feeds another operator (e.g. the next join of an n-way
+    /// plan) rather than only a verification digest. Safe to construct
+    /// outside a running simulation — it spawns no tasks.
+    pub fn collecting() -> Self {
+        OutputSink {
+            rows: Some(Rc::new(RefCell::new(Vec::new()))),
+            ..Self::default()
+        }
+    }
+
+    /// Drain the pairs retained by a [`OutputSink::collecting`] sink (in
+    /// emission order). Empty for non-collecting sinks.
+    pub fn take_rows(&self) -> Vec<(Tuple, Tuple)> {
+        match &self.rows {
+            Some(rows) => std::mem::take(&mut rows.borrow_mut()),
+            None => Vec::new(),
+        }
     }
 
     /// A sink that materializes the output on `disks`, in blocks of
@@ -85,12 +114,16 @@ impl OutputSink {
         OutputSink {
             check: Rc::new(RefCell::new(JoinCheck::default())),
             stage: Some(stage),
+            rows: None,
         }
     }
 
     /// Emit one result pair (R tuple, S tuple).
     pub fn emit(&self, r: Tuple, s: Tuple) {
         self.check.borrow_mut().add_pair(r, s);
+        if let Some(rows) = &self.rows {
+            rows.borrow_mut().push((r, s));
+        }
         if let Some(stage) = &self.stage {
             let mut pending = stage.pending.borrow_mut();
             pending.push(r);
@@ -119,6 +152,9 @@ impl OutputSink {
     /// space, as they would be on a real machine.
     pub fn discard(&self) {
         *self.check.borrow_mut() = JoinCheck::default();
+        if let Some(rows) = &self.rows {
+            rows.borrow_mut().clear();
+        }
         if let Some(stage) = &self.stage {
             stage.pending.borrow_mut().clear();
             stage.queue.borrow_mut().clear();
@@ -253,6 +289,23 @@ mod tests {
             &sink,
         );
         assert_eq!(sink.check().pairs, 3);
+    }
+
+    #[test]
+    fn collecting_sink_retains_pairs_and_discard_voids_them() {
+        let sink = OutputSink::collecting();
+        sink.emit(Tuple::new(2, 0), Tuple::new(2, 9));
+        sink.emit(Tuple::new(4, 1), Tuple::new(4, 8));
+        assert_eq!(sink.check().pairs, 2);
+        sink.discard();
+        assert_eq!(sink.check().pairs, 0);
+        assert!(sink.take_rows().is_empty());
+        sink.emit(Tuple::new(6, 2), Tuple::new(6, 7));
+        let rows = sink.take_rows();
+        assert_eq!(rows, vec![(Tuple::new(6, 2), Tuple::new(6, 7))]);
+        // Drained: a second take is empty, the digest survives.
+        assert!(sink.take_rows().is_empty());
+        assert_eq!(sink.check().pairs, 1);
     }
 
     #[test]

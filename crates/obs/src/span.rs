@@ -29,6 +29,10 @@ pub enum SpanKind {
     Step,
     /// One scheduled query or shared batch inside a workload run.
     Query,
+    /// Query planning: parse, logical rewrite, physical enumeration
+    /// (zero-width in virtual time under the zero-CPU assumption, but
+    /// the scope carries plan attributes — chosen order, methods, cost).
+    Plan,
     /// A generic scope (workload root, library exchange, ...).
     Scope,
     /// One service interval on a device (tape drive, disk array).
@@ -45,6 +49,7 @@ impl SpanKind {
             SpanKind::Join => "join",
             SpanKind::Step => "step",
             SpanKind::Query => "query",
+            SpanKind::Plan => "plan",
             SpanKind::Scope => "scope",
             SpanKind::DeviceOp => "device-op",
             SpanKind::Fault => "fault",
@@ -57,7 +62,7 @@ impl SpanKind {
     pub fn is_scope(self) -> bool {
         matches!(
             self,
-            SpanKind::Join | SpanKind::Step | SpanKind::Query | SpanKind::Scope
+            SpanKind::Join | SpanKind::Step | SpanKind::Query | SpanKind::Plan | SpanKind::Scope
         )
     }
 }

@@ -2,14 +2,17 @@
 //!
 //! Device-level faults are modeled (and mostly recovered) inside the
 //! join methods; what escapes to the scheduler is a query that could not
-//! be finished within its retry budget. That is a *scheduling* outcome —
-//! the fleet keeps running — so it surfaces as a typed error on the
-//! query, not a panic or a silent drop.
+//! be finished within its retry budget, or a SQL workload statement that
+//! failed to parse, plan or execute. Either way it is a *scheduling*
+//! outcome — the fleet keeps running — so it surfaces as a typed error
+//! on the query, not a panic or a silent drop.
 
 use std::fmt;
 
+use tapejoin_sql::SqlError;
+
 /// A scheduler-level failure attributed to one query.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SchedError {
     /// The query was interrupted by unrecoverable device faults on every
     /// attempt and its per-query retry budget ran out.
@@ -19,6 +22,35 @@ pub enum SchedError {
         /// Requeue attempts consumed (equals the configured budget).
         retries: u32,
     },
+    /// A SQL workload statement failed (lex, parse, bind, plan or
+    /// execution). The message carries the underlying [`SqlError`]
+    /// rendering, and `line`/`col` point into the workload file.
+    Sql {
+        /// Query id (position in the workload stream).
+        id: usize,
+        /// 1-based line of the statement in the workload file.
+        line: u32,
+        /// 1-based column within the statement, when the error carries a
+        /// span (parse-stage failures do; planning failures may not).
+        col: Option<u32>,
+        /// Rendered cause.
+        message: String,
+    },
+}
+
+impl SchedError {
+    /// Attribute a SQL front-end failure to workload query `id` found on
+    /// `file_line` of the workload file. The error's own span (if any)
+    /// is re-based onto the file line: statements are one per line, so
+    /// its column survives and its line is the file line.
+    pub fn from_sql(id: usize, file_line: u32, err: &SqlError) -> Self {
+        SchedError::Sql {
+            id,
+            line: file_line,
+            col: err.span().map(|s| s.col),
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SchedError {
@@ -28,6 +60,17 @@ impl fmt::Display for SchedError {
                 f,
                 "query {id} failed after exhausting its retry budget ({retries} requeues)"
             ),
+            SchedError::Sql {
+                id,
+                line,
+                col,
+                message,
+            } => match col {
+                Some(col) => {
+                    write!(f, "query {id} (workload line {line}, col {col}): {message}")
+                }
+                None => write!(f, "query {id} (workload line {line}): {message}"),
+            },
         }
     }
 }
@@ -43,5 +86,18 @@ mod tests {
         let e = SchedError::RetryBudgetExhausted { id: 3, retries: 2 };
         assert!(e.to_string().contains("query 3"));
         assert!(e.to_string().contains("2 requeues"));
+    }
+
+    #[test]
+    fn sql_errors_carry_workload_position() {
+        let err = tapejoin_sql::parse_statement("SELECT FROM t").unwrap_err();
+        let e = SchedError::from_sql(5, 12, &err);
+        let text = e.to_string();
+        assert!(text.contains("query 5"), "{text}");
+        assert!(text.contains("line 12"), "{text}");
+        match e {
+            SchedError::Sql { col, .. } => assert!(col.is_some()),
+            other => panic!("expected Sql, got {other:?}"),
+        }
     }
 }

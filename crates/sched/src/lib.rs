@@ -44,6 +44,7 @@ mod error;
 mod metrics;
 mod policy;
 mod sched;
+mod sqlrun;
 mod workload;
 
 pub use broker::{Broker, Claim, ResourceOffer};
@@ -51,4 +52,8 @@ pub use error::SchedError;
 pub use metrics::{Execution, FleetReport, QueryOutcome};
 pub use policy::Policy;
 pub use sched::{FleetConfig, Scheduler};
+pub use sqlrun::{
+    run_sql_workload, SqlFleetConfig, SqlFleetReport, SqlQueryOutcome, SqlQuerySpec,
+    SqlQueryStatus, SqlWorkload,
+};
 pub use workload::{CartridgeSpec, QuerySpec, WorkloadGen, WorkloadSpec};

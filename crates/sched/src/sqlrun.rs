@@ -1,0 +1,433 @@
+//! SQL workload files played through the fleet.
+//!
+//! A workload file is a stream of SQL statements, one per line, with
+//! `#`/`--` comments and an optional `@<seconds>` arrival prefix:
+//!
+//! ```text
+//! # two analysts and a typo
+//! @0   SELECT r.key, s.rid FROM r JOIN s ON r.key = s.key
+//! @90  EXPLAIN SELECT * FROM r JOIN t ON r.key = t.key LIMIT 5
+//! @90  SELECT * FROM r JOIN s ON r.key = s.nope
+//! ```
+//!
+//! [`run_sql_workload`] turns that into a fleet run:
+//!
+//! 1. **Data plane** (up front, zero virtual time): every statement is
+//!    parsed, bound, pushed down and planned by `tapejoin-sql` against
+//!    the shared catalog, then executed — each join stage runs the real
+//!    simulated tertiary join method and reports its virtual response
+//!    time. A statement that fails at any stage becomes a typed
+//!    [`SchedError::Sql`] on *that query*; the rest of the workload is
+//!    untouched.
+//! 2. **Fleet plane** (one simulation): queries arrive at their
+//!    `@`-times, claim memory, disk and two tape drives from the
+//!    [`Broker`], hold them for the measured service time of their join
+//!    pipeline, then release. Admission waits — never busy-spins — so
+//!    the report's waits, responses and makespan reflect genuine
+//!    resource contention.
+//!
+//! Splitting the planes keeps the device simulations (which each need
+//! their own event loop) out of the fleet's, while the fleet still
+//! schedules with the exact virtual durations those simulations produced.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tapejoin::{JoinMethod, SystemConfig};
+use tapejoin_sim::{now, sleep, sleep_until, spawn, Duration, SimTime, Simulation};
+use tapejoin_sql::exec::rows_digest;
+use tapejoin_sql::{Catalog, PlannerMode};
+
+use crate::broker::Broker;
+use crate::error::SchedError;
+
+/// One statement lifted out of a workload file.
+#[derive(Clone, Debug)]
+pub struct SqlQuerySpec {
+    /// Dense id: position in the statement stream.
+    pub id: usize,
+    /// Virtual arrival time (from the `@<seconds>` prefix; statements
+    /// without one arrive with the previous statement).
+    pub arrival: SimTime,
+    /// 1-based line in the workload file.
+    pub line: u32,
+    /// The statement text, prefix stripped.
+    pub sql: String,
+}
+
+/// A parsed SQL workload file.
+#[derive(Clone, Debug, Default)]
+pub struct SqlWorkload {
+    /// The statement stream, in file order.
+    pub queries: Vec<SqlQuerySpec>,
+}
+
+impl SqlWorkload {
+    /// Parse a workload file. This never fails as a whole: statement
+    /// syntax is *not* checked here — a malformed statement surfaces
+    /// later as that query's [`SchedError::Sql`], not as a workload
+    /// error — so the only work done per line is comment stripping and
+    /// the `@<seconds>` arrival prefix.
+    pub fn parse(text: &str) -> Self {
+        let mut queries = Vec::new();
+        let mut arrival_s = 0.0f64;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("");
+            let line = line.split("--").next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (stamp, sql) = match line.strip_prefix('@') {
+                Some(rest) => {
+                    let (num, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+                    match num.parse::<f64>() {
+                        Ok(s) if s.is_finite() && s >= 0.0 => (Some(s), tail.trim()),
+                        // A bad stamp is part of the statement's problems:
+                        // keep the whole line so the SQL parser reports it
+                        // with a span.
+                        _ => (None, line),
+                    }
+                }
+                None => (None, line),
+            };
+            if let Some(s) = stamp {
+                arrival_s = s;
+            }
+            if sql.is_empty() {
+                continue;
+            }
+            queries.push(SqlQuerySpec {
+                id: queries.len(),
+                arrival: SimTime::ZERO + Duration::from_secs_f64(arrival_s),
+                line: (idx + 1) as u32,
+                sql: sql.to_string(),
+            });
+        }
+        SqlWorkload { queries }
+    }
+}
+
+/// Fleet shape for a SQL workload run.
+#[derive(Clone, Debug)]
+pub struct SqlFleetConfig {
+    /// Tape drives under broker management (each query claims two).
+    pub drives: usize,
+    /// Total memory blocks under broker management.
+    pub memory_blocks: u64,
+    /// Total disk blocks under broker management.
+    pub disk_blocks: u64,
+    /// Memory blocks carved out per query (planned and claimed).
+    pub query_memory: u64,
+    /// Disk blocks carved out per query (planned and claimed).
+    pub query_disk: u64,
+    /// Disks in the per-query array.
+    pub disks: u32,
+    /// Per-disk transfer rate, bytes/second.
+    pub disk_rate: f64,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Which physical planner prices the join pipelines.
+    pub mode: PlannerMode,
+}
+
+impl Default for SqlFleetConfig {
+    fn default() -> Self {
+        SqlFleetConfig {
+            drives: 4,
+            memory_blocks: 96,
+            disk_blocks: 1024,
+            query_memory: 32,
+            query_disk: 256,
+            disks: 2,
+            disk_rate: 2.0e6,
+            block_bytes: 64 * 1024,
+            mode: PlannerMode::CostBased,
+        }
+    }
+}
+
+impl SqlFleetConfig {
+    /// The machine one admitted query sees.
+    pub fn query_cfg(&self) -> SystemConfig {
+        SystemConfig::new(self.query_memory, self.query_disk)
+            .disks(self.disks)
+            .disk_rate(self.disk_rate)
+            .block_bytes(self.block_bytes)
+    }
+}
+
+/// How one workload statement ended up.
+#[derive(Clone, Debug)]
+pub enum SqlQueryStatus {
+    /// Executed through the join pipeline.
+    Completed {
+        /// Result rows produced.
+        rows: u64,
+        /// Order-independent digest of the result rows.
+        digest: u64,
+        /// Join method chosen for each stage, in execution order.
+        methods: Vec<JoinMethod>,
+        /// Table names in the order they entered the left-deep tree.
+        join_order: Vec<String>,
+        /// The planner's analytic estimate for the join pipeline.
+        est_join_seconds: f64,
+    },
+    /// An `EXPLAIN`: planned, rendered, never executed (zero service).
+    Explained {
+        /// The rendered plan.
+        plan: String,
+    },
+    /// The statement failed; the fleet kept running.
+    Failed(SchedError),
+}
+
+/// One workload statement's fate.
+#[derive(Clone, Debug)]
+pub struct SqlQueryOutcome {
+    /// Query id.
+    pub id: usize,
+    /// Workload file line.
+    pub line: u32,
+    /// The statement.
+    pub sql: String,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// When the broker granted its claim (`None` for failed statements).
+    pub admitted: Option<SimTime>,
+    /// When it finished (`None` for failed statements).
+    pub completed: Option<SimTime>,
+    /// What happened.
+    pub status: SqlQueryStatus,
+}
+
+impl SqlQueryOutcome {
+    /// Queueing delay: arrival to admission.
+    pub fn wait(&self) -> Duration {
+        self.admitted
+            .map(|a| a.duration_since(self.arrival))
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Response time: arrival to completion.
+    pub fn response(&self) -> Option<Duration> {
+        self.completed.map(|c| c.duration_since(self.arrival))
+    }
+}
+
+/// Aggregated report for one SQL workload run.
+#[derive(Clone, Debug)]
+pub struct SqlFleetReport {
+    /// Per-query outcomes, sorted by id.
+    pub outcomes: Vec<SqlQueryOutcome>,
+    /// First arrival epoch (t=0) to last completion.
+    pub makespan: Duration,
+    /// Planner mode the run used.
+    pub mode: PlannerMode,
+}
+
+impl SqlFleetReport {
+    /// Statements that ran (or were explained) to completion.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.completed.is_some())
+            .count()
+    }
+
+    /// Statements that failed.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+
+    /// The typed per-query failures, in id order.
+    pub fn failures(&self) -> Vec<SchedError> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                SqlQueryStatus::Failed(e) => Some(e.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Mean response over completed statements.
+    pub fn mean_response(&self) -> Duration {
+        let r: Vec<Duration> = self.outcomes.iter().filter_map(|o| o.response()).collect();
+        if r.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u128 = r.iter().map(|d| d.as_nanos() as u128).sum();
+        Duration::from_nanos((total / r.len() as u128) as u64)
+    }
+}
+
+/// The data-plane result for one statement, ready for fleet replay.
+enum Prepared {
+    Ready {
+        service: Duration,
+        status: SqlQueryStatus,
+    },
+    Failed(SchedError),
+}
+
+fn prepare(spec: &SqlQuerySpec, catalog: &Catalog, cfg: &SqlFleetConfig) -> Prepared {
+    let sys = cfg.query_cfg();
+    let planned = match tapejoin_sql::plan_statement(&spec.sql, catalog, &sys, cfg.mode) {
+        Ok(p) => p,
+        Err(e) => return Prepared::Failed(SchedError::from_sql(spec.id, spec.line, &e)),
+    };
+    let join_order: Vec<String> = planned
+        .plan
+        .order
+        .iter()
+        .map(|&t| planned.bound.tables[t].name.clone())
+        .collect();
+    if planned.statement.is_explain() {
+        return Prepared::Ready {
+            service: Duration::ZERO,
+            status: SqlQueryStatus::Explained {
+                plan: planned.explain_text(),
+            },
+        };
+    }
+    let out = match planned.execute(catalog, &sys) {
+        Ok(o) => o,
+        Err(e) => return Prepared::Failed(SchedError::from_sql(spec.id, spec.line, &e)),
+    };
+    let service = out
+        .joins
+        .iter()
+        .fold(Duration::ZERO, |acc, j| acc + j.stats.response);
+    Prepared::Ready {
+        service,
+        status: SqlQueryStatus::Completed {
+            rows: out.rows.len() as u64,
+            digest: rows_digest(&out.rows),
+            methods: out.joins.iter().map(|j| j.stats.method).collect(),
+            join_order,
+            est_join_seconds: planned.plan.est_join_seconds,
+        },
+    }
+}
+
+/// Play a SQL workload through the fleet (see the module docs for the
+/// two-plane structure). Per-statement failures — parse errors, planning
+/// dead ends, execution faults — land in that query's outcome as
+/// [`SqlQueryStatus::Failed`]; the run itself always returns a report.
+pub fn run_sql_workload(
+    workload: &SqlWorkload,
+    catalog: &Catalog,
+    cfg: &SqlFleetConfig,
+) -> SqlFleetReport {
+    assert!(cfg.drives >= 2, "a join pipeline needs two tape drives");
+    assert!(
+        cfg.query_memory <= cfg.memory_blocks && cfg.query_disk <= cfg.disk_blocks,
+        "per-query carve must fit the broker totals"
+    );
+    // Data plane: plan + execute every statement up front.
+    let prepared: Vec<(SqlQuerySpec, Prepared)> = workload
+        .queries
+        .iter()
+        .map(|q| (q.clone(), prepare(q, catalog, cfg)))
+        .collect();
+
+    // Fleet plane: replay arrivals under broker contention.
+    let fleet = cfg.clone();
+    let mode = cfg.mode;
+    let mut sim = Simulation::new();
+    let mut outcomes = sim.run(async move {
+        let broker = Rc::new(Broker::new(
+            fleet.memory_blocks,
+            fleet.disk_blocks,
+            fleet.drives as u64,
+            1,
+        ));
+        let released = Rc::new(tapejoin_sim::sync::Notify::new());
+        let outcomes: Rc<RefCell<Vec<SqlQueryOutcome>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (spec, prep) in prepared {
+            let broker = Rc::clone(&broker);
+            let released = Rc::clone(&released);
+            let outcomes = Rc::clone(&outcomes);
+            let mem = fleet.query_memory;
+            let disk = fleet.query_disk;
+            handles.push(spawn(async move {
+                sleep_until(spec.arrival).await;
+                let (admitted, completed, status) = match prep {
+                    Prepared::Failed(e) => (None, None, SqlQueryStatus::Failed(e)),
+                    Prepared::Ready { service, status } => {
+                        let claim = loop {
+                            match broker.try_claim(mem, disk, 2) {
+                                Some(c) => break c,
+                                None => released.notified().await,
+                            }
+                        };
+                        let admitted = now();
+                        sleep(service).await;
+                        drop(claim);
+                        released.notify_all();
+                        (Some(admitted), Some(now()), status)
+                    }
+                };
+                outcomes.borrow_mut().push(SqlQueryOutcome {
+                    id: spec.id,
+                    line: spec.line,
+                    sql: spec.sql,
+                    arrival: spec.arrival,
+                    admitted,
+                    completed,
+                    status,
+                });
+            }));
+        }
+        for h in handles {
+            h.join().await;
+        }
+        Rc::try_unwrap(outcomes)
+            .map(RefCell::into_inner)
+            .unwrap_or_default()
+    });
+    outcomes.sort_by_key(|o| o.id);
+    let makespan = outcomes
+        .iter()
+        .filter_map(|o| o.completed)
+        .max()
+        .map(|t| t.duration_since(SimTime::ZERO))
+        .unwrap_or(Duration::ZERO);
+    SqlFleetReport {
+        outcomes,
+        makespan,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_parse_handles_comments_stamps_and_blanks() {
+        let w = SqlWorkload::parse(
+            "# header\n\
+             @0 SELECT * FROM a   -- trailing\n\
+             \n\
+             SELECT * FROM b # same arrival as a\n\
+             @120.5 SELECT * FROM c\n",
+        );
+        assert_eq!(w.queries.len(), 3);
+        assert_eq!(w.queries[0].line, 2);
+        assert_eq!(w.queries[1].arrival, w.queries[0].arrival);
+        assert_eq!(
+            w.queries[2].arrival,
+            SimTime::ZERO + Duration::from_secs_f64(120.5)
+        );
+        assert_eq!(w.queries[2].sql, "SELECT * FROM c");
+    }
+
+    #[test]
+    fn bad_arrival_stamp_stays_in_the_statement() {
+        let w = SqlWorkload::parse("@oops SELECT * FROM a\n");
+        assert_eq!(w.queries.len(), 1);
+        assert!(w.queries[0].sql.starts_with("@oops"));
+    }
+}

@@ -289,7 +289,9 @@ fn exhausted_retry_budget_surfaces_a_typed_scheduler_error() {
     let failures = report.failures();
     assert_eq!(failures.len() as u64, report.retry_exhausted);
     for f in &failures {
-        let tapejoin_sched::SchedError::RetryBudgetExhausted { retries, .. } = f;
+        let tapejoin_sched::SchedError::RetryBudgetExhausted { retries, .. } = f else {
+            panic!("expected RetryBudgetExhausted, got {f:?}");
+        };
         assert_eq!(*retries, 0);
     }
     let failed: Vec<usize> = report

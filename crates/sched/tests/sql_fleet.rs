@@ -1,0 +1,152 @@
+//! SQL workload files through the fleet: a three-way join planned and
+//! executed via tapejoin-sql must reproduce the composed reference join;
+//! a malformed statement fails only its own query; concurrent arrivals
+//! genuinely contend for the broker's drives.
+
+use tapejoin_rel::{KeyDistribution, RelationSpec};
+use tapejoin_sched::{run_sql_workload, SchedError, SqlFleetConfig, SqlQueryStatus, SqlWorkload};
+use tapejoin_sim::{Duration, SimTime};
+use tapejoin_sql::exec::rows_digest;
+use tapejoin_sql::{bind, naive, parse_statement, Catalog};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register_dimension("r", 4, 21).unwrap();
+    cat.register_generated(RelationSpec::new("s", 8), KeyDistribution::Uniform, 16, 22)
+        .unwrap();
+    cat.register_generated(RelationSpec::new("t", 8), KeyDistribution::Uniform, 16, 23)
+        .unwrap();
+    cat
+}
+
+const THREE_WAY: &str =
+    "SELECT r.key, s.rid, t.rid FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key \
+     WHERE t.key < 24";
+
+/// The reference: the unpushed logical plan evaluated by nested loops —
+/// exactly a composition of `reference_join` semantics over the chain.
+fn reference_digest(sql: &str, cat: &Catalog) -> (u64, u64) {
+    let bound = bind(parse_statement(sql).unwrap().select(), cat).unwrap();
+    let rows = naive::eval(&bound, cat).unwrap();
+    (rows.len() as u64, rows_digest(&rows))
+}
+
+#[test]
+fn three_way_sql_through_the_fleet_matches_the_composed_reference() {
+    let cat = catalog();
+    let workload = SqlWorkload::parse(&format!("@0 {THREE_WAY}\n"));
+    let report = run_sql_workload(&workload, &cat, &SqlFleetConfig::default());
+
+    assert_eq!(report.completed(), 1);
+    assert_eq!(report.failed(), 0);
+    let outcome = &report.outcomes[0];
+    let SqlQueryStatus::Completed {
+        rows,
+        digest,
+        methods,
+        join_order,
+        est_join_seconds,
+    } = &outcome.status
+    else {
+        panic!("expected Completed, got {:?}", outcome.status);
+    };
+    let (ref_rows, ref_digest) = reference_digest(THREE_WAY, &cat);
+    assert!(*rows > 0, "three-way join produced no rows");
+    assert_eq!((*rows, *digest), (ref_rows, ref_digest));
+    assert_eq!(methods.len(), 2, "two join stages, two methods");
+    assert_eq!(join_order.len(), 3);
+    assert!(est_join_seconds.is_finite() && *est_join_seconds > 0.0);
+    // The service time the fleet charged is the simulated join time.
+    assert!(outcome.response().unwrap() > Duration::ZERO);
+}
+
+#[test]
+fn malformed_statement_fails_its_query_and_the_fleet_continues() {
+    let cat = catalog();
+    let workload = SqlWorkload::parse(&format!(
+        "@0 SELECT * FROM r JOIN s ON r.key = s.nope\n\
+         @0 {THREE_WAY}\n\
+         @0 SELECT * FROM missing_table\n"
+    ));
+    let report = run_sql_workload(&workload, &cat, &SqlFleetConfig::default());
+
+    assert_eq!(report.outcomes.len(), 3);
+    assert_eq!(report.completed(), 1, "the good query still runs");
+    assert_eq!(report.failed(), 2);
+
+    let failures = report.failures();
+    assert_eq!(failures.len(), 2);
+    // The parse error keeps its column; both carry the file line.
+    let SchedError::Sql {
+        id,
+        line,
+        col,
+        message,
+    } = &failures[0]
+    else {
+        panic!("expected Sql error, got {:?}", failures[0]);
+    };
+    assert_eq!((*id, *line), (0, 1));
+    assert!(col.is_some(), "parse errors carry a column");
+    assert!(message.contains("nope"), "{message}");
+    let SchedError::Sql {
+        id, line, message, ..
+    } = &failures[1]
+    else {
+        panic!("expected Sql error, got {:?}", failures[1]);
+    };
+    assert_eq!((*id, *line), (2, 3));
+    assert!(message.contains("missing_table"), "{message}");
+
+    // The survivor still matches the reference.
+    let SqlQueryStatus::Completed { rows, digest, .. } = &report.outcomes[1].status else {
+        panic!("expected Completed");
+    };
+    assert_eq!(
+        (*rows, *digest),
+        reference_digest(THREE_WAY, &cat),
+        "failures must not perturb the surviving query"
+    );
+}
+
+#[test]
+fn simultaneous_arrivals_contend_for_drives() {
+    let cat = catalog();
+    // Two drives total: queries serialize even though both arrive at t=0.
+    let cfg = SqlFleetConfig {
+        drives: 2,
+        ..SqlFleetConfig::default()
+    };
+    let two = "SELECT r.key FROM r JOIN s ON r.key = s.key";
+    let workload = SqlWorkload::parse(&format!("@0 {two}\n@0 {two}\n"));
+    let report = run_sql_workload(&workload, &cat, &cfg);
+
+    assert_eq!(report.completed(), 2);
+    let mut admits: Vec<SimTime> = report
+        .outcomes
+        .iter()
+        .map(|o| o.admitted.unwrap())
+        .collect();
+    admits.sort();
+    assert_eq!(admits[0], SimTime::ZERO, "first query admits immediately");
+    assert!(
+        admits[1] > SimTime::ZERO,
+        "second query must wait for the drives"
+    );
+    assert!(report.makespan >= report.mean_response());
+}
+
+#[test]
+fn explain_statements_cost_no_fleet_time() {
+    let cat = catalog();
+    let workload = SqlWorkload::parse(&format!("@5 EXPLAIN {THREE_WAY}\n"));
+    let report = run_sql_workload(&workload, &cat, &SqlFleetConfig::default());
+    assert_eq!(report.completed(), 1);
+    let o = &report.outcomes[0];
+    let SqlQueryStatus::Explained { plan } = &o.status else {
+        panic!("expected Explained, got {:?}", o.status);
+    };
+    assert!(plan.contains("TertiaryJoin ["), "{plan}");
+    assert_eq!(o.response(), Some(Duration::ZERO));
+    assert_eq!(o.arrival, SimTime::ZERO + Duration::from_secs(5));
+}

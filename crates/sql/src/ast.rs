@@ -1,0 +1,244 @@
+//! Typed AST for the supported SQL subset, with a canonical
+//! pretty-printer ([`std::fmt::Display`]) whose output re-parses to the
+//! same statement — the round-trip property the `sql_props` suite pins.
+//!
+//! The subset (see DESIGN.md §14):
+//!
+//! ```sql
+//! [EXPLAIN] SELECT <* | col[, col]*>
+//! FROM <table> [INNER JOIN <table> ON <col> = <col>]*
+//! [WHERE <col> <op> <int> [AND <col> <op> <int>]*]
+//! [ORDER BY <col> [ASC|DESC][, ...]]
+//! [LIMIT <int>] [;]
+//! ```
+//!
+//! Every relation has exactly the engine's tuple schema: a `key` column
+//! (the join attribute) and a `rid` column. Comparisons are always
+//! `column <op> integer-literal`; join predicates are always equalities
+//! between two `key` columns.
+
+use std::fmt;
+
+use crate::error::Span;
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// Run the query.
+    Select(Select),
+    /// Plan the query and render the physical plan instead of running it.
+    Explain(Select),
+}
+
+impl Statement {
+    /// The underlying query, either way.
+    pub fn select(&self) -> &Select {
+        match self {
+            Statement::Select(s) | Statement::Explain(s) => s,
+        }
+    }
+
+    /// Whether this is an `EXPLAIN`.
+    pub fn is_explain(&self) -> bool {
+        matches!(self, Statement::Explain(_))
+    }
+}
+
+/// One `SELECT` query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// First `FROM` table.
+    pub from: TableRef,
+    /// `INNER JOIN ... ON ...` clauses, in syntactic order.
+    pub joins: Vec<JoinClause>,
+    /// `WHERE` conjunction (empty = no `WHERE`).
+    pub predicates: Vec<Comparison>,
+    /// `ORDER BY` keys (empty = no ordering).
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`: every column of every table, in `FROM` order.
+    Star,
+    /// One column.
+    Column(ColumnRef),
+}
+
+/// A table mention.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    /// Table (catalog) name.
+    pub name: String,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One `INNER JOIN <table> ON <left> = <right>` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: TableRef,
+    /// Left side of the equi-predicate.
+    pub left: ColumnRef,
+    /// Right side of the equi-predicate.
+    pub right: ColumnRef,
+}
+
+/// The two columns every relation has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Field {
+    /// The join attribute.
+    Key,
+    /// The record id.
+    Rid,
+}
+
+impl Field {
+    /// Column name as written in SQL.
+    pub fn name(self) -> &'static str {
+        match self {
+            Field::Key => "key",
+            Field::Rid => "rid",
+        }
+    }
+}
+
+/// A (possibly qualified) column reference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnRef {
+    /// Qualifying table name, when written.
+    pub table: Option<String>,
+    /// Which column.
+    pub field: Field,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// One `WHERE` conjunct: `column <op> literal`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comparison {
+    /// Left-hand column.
+    pub col: ColumnRef,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand integer literal.
+    pub value: u64,
+}
+
+/// One `ORDER BY` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderKey {
+    /// The sort column.
+    pub col: ColumnRef,
+    /// `true` for `DESC`.
+    pub desc: bool,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.field.name()),
+            None => f.write_str(self.field.name()),
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.col, self.op, self.value)
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match item {
+                SelectItem::Star => f.write_str("*")?,
+                SelectItem::Column(c) => write!(f, "{c}")?,
+            }
+        }
+        write!(f, " FROM {}", self.from.name)?;
+        for j in &self.joins {
+            write!(
+                f,
+                " INNER JOIN {} ON {} = {}",
+                j.table.name, j.left, j.right
+            )?;
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            f.write_str(if i == 0 { " WHERE " } else { " AND " })?;
+            write!(f, "{p}")?;
+        }
+        for (i, k) in self.order_by.iter().enumerate() {
+            f.write_str(if i == 0 { " ORDER BY " } else { ", " })?;
+            write!(f, "{}{}", k.col, if k.desc { " DESC" } else { " ASC" })?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Typed SQL errors with source positions.
+//!
+//! Every front-end failure (lexing, parsing, name resolution, planning)
+//! carries a [`Span`] pointing at the offending token, so a malformed
+//! statement in a workload file can be reported precisely — and, through
+//! the scheduler's `SqlError` → `SchedError` conversion, fails only that
+//! query rather than the fleet.
+
+use std::fmt;
+
+use tapejoin::JoinError;
+
+/// A 1-based source position (line, column) in the statement text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Everything that can go wrong between statement text and query output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlError {
+    /// The lexer hit a character or literal it cannot tokenize.
+    Lex {
+        /// Position of the offending character.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parser hit an unexpected token.
+    Parse {
+        /// Position of the offending token.
+        span: Span,
+        /// What was expected / found.
+        message: String,
+    },
+    /// A table name not present in the catalog.
+    UnknownTable {
+        /// Position of the reference.
+        span: Span,
+        /// The unknown name.
+        name: String,
+    },
+    /// A column other than `key` / `rid` (the engine's tuple schema).
+    UnknownColumn {
+        /// Position of the reference.
+        span: Span,
+        /// The unknown name.
+        name: String,
+    },
+    /// An unqualified column with more than one table in scope.
+    AmbiguousColumn {
+        /// Position of the reference.
+        span: Span,
+        /// The ambiguous column.
+        name: String,
+    },
+    /// The same table appears twice in `FROM`/`JOIN` (no alias support).
+    DuplicateTable {
+        /// Position of the second occurrence.
+        span: Span,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A semantically invalid (but grammatical) construct.
+    Unsupported {
+        /// Position of the construct.
+        span: Span,
+        /// Why it is rejected.
+        message: String,
+    },
+    /// The physical planner found no executable plan (e.g. no feasible
+    /// join method on the configured machine for any join order).
+    Plan {
+        /// What the planner could not do.
+        message: String,
+    },
+    /// Catalog registration failure (bad name, duplicate table).
+    Catalog {
+        /// What went wrong.
+        message: String,
+    },
+    /// A join execution failure bubbled up from the engine.
+    Exec(JoinError),
+}
+
+impl SqlError {
+    /// The source position, when the error points at one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SqlError::Lex { span, .. }
+            | SqlError::Parse { span, .. }
+            | SqlError::UnknownTable { span, .. }
+            | SqlError::UnknownColumn { span, .. }
+            | SqlError::AmbiguousColumn { span, .. }
+            | SqlError::DuplicateTable { span, .. }
+            | SqlError::Unsupported { span, .. } => Some(*span),
+            SqlError::Plan { .. } | SqlError::Catalog { .. } | SqlError::Exec(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            SqlError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            SqlError::UnknownTable { span, name } => {
+                write!(f, "unknown table `{name}` at {span}")
+            }
+            SqlError::UnknownColumn { span, name } => write!(
+                f,
+                "unknown column `{name}` at {span} (relations have columns `key` and `rid`)"
+            ),
+            SqlError::AmbiguousColumn { span, name } => write!(
+                f,
+                "ambiguous column `{name}` at {span}: qualify it with a table name"
+            ),
+            SqlError::DuplicateTable { span, name } => write!(
+                f,
+                "table `{name}` appears twice at {span} (self-joins/aliases are unsupported)"
+            ),
+            SqlError::Unsupported { span, message } => {
+                write!(f, "unsupported at {span}: {message}")
+            }
+            SqlError::Plan { message } => write!(f, "planning failed: {message}"),
+            SqlError::Catalog { message } => write!(f, "catalog error: {message}"),
+            SqlError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<JoinError> for SqlError {
+    fn from(e: JoinError) -> Self {
+        SqlError::Exec(e)
+    }
+}

@@ -1,0 +1,485 @@
+//! Pull-style (Volcano) executor over a [`Physical`] plan.
+//!
+//! Rows are flat `Vec<u64>` vectors laid out per the node's schema (two
+//! columns per base table: `key`, `rid`). Scans, filters, projections and
+//! limits stream row-at-a-time; joins and sorts are pipeline breakers.
+//! Each join node drains both inputs, re-encodes them as [`Relation`]s —
+//! `tuple.key` is the stage's join-column value, `tuple.rid` indexes the
+//! drained host-side row buffer — and drives the chosen tertiary method
+//! through [`TertiaryJoin::run_collecting`], then maps the emitted
+//! `(r, s)` pairs back to wide rows via the rid indices.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tapejoin::{JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
+use tapejoin_rel::{Block, BlockRef, JoinWorkload, Relation, Tuple};
+
+use crate::ast::{CmpOp, Field};
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+use crate::logical::{Bound, Col};
+use crate::physical::{Physical, PhysicalPlan};
+
+/// One result row: column values laid out per the node's schema.
+pub type Row = Vec<u64>;
+
+/// A pull-style operator.
+pub trait Executor {
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Row>, SqlError>;
+}
+
+/// Record of one tertiary join stage that actually ran.
+#[derive(Clone, Debug)]
+pub struct JoinRun {
+    /// The method the planner chose.
+    pub method: JoinMethod,
+    /// What the cost model predicted for the stage (seconds).
+    pub expected_seconds: f64,
+    /// What the simulation measured.
+    pub stats: JoinStats,
+}
+
+/// A fully drained query result.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Output schema (one entry per row column).
+    pub schema: Vec<Col>,
+    /// Result rows, in plan order.
+    pub rows: Vec<Row>,
+    /// Every join stage that ran, build-first depth order.
+    pub joins: Vec<JoinRun>,
+}
+
+// ---------------------------------------------------------------------------
+// Pure row helpers (shared with the scheduler's SQL runner and the naive
+// reference evaluator).
+
+/// Re-encode drained rows as a [`Relation`]: `tuple.key` is the join
+/// column, `tuple.rid` the row's index in `rows`.
+pub fn encode_rows(
+    name: &str,
+    rows: &[Row],
+    key_idx: usize,
+    tuples_per_block: u32,
+    compressibility: f64,
+) -> Relation {
+    let tpb = tuples_per_block.max(1) as usize;
+    let blocks: Vec<BlockRef> = rows
+        .chunks(tpb)
+        .enumerate()
+        .map(|(chunk, rs)| {
+            let tuples: Vec<Tuple> = rs
+                .iter()
+                .enumerate()
+                .map(|(i, row)| Tuple::new(row[key_idx], (chunk * tpb + i) as u64))
+                .collect();
+            Rc::new(Block::new(tuples))
+        })
+        .collect();
+    Relation::new(name, blocks, compressibility.clamp(0.0, 0.999))
+}
+
+/// Exact `|build ⋈ probe|` on the given key columns.
+pub fn exact_pairs(build: &[Row], probe: &[Row], build_key: usize, probe_key: usize) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for r in build {
+        *counts.entry(r[build_key]).or_insert(0) += 1;
+    }
+    probe
+        .iter()
+        .map(|r| counts.get(&r[probe_key]).copied().unwrap_or(0))
+        .sum()
+}
+
+/// Map emitted `(r, s)` tuple pairs back to wide rows by rid index.
+pub fn pairs_to_rows(pairs: &[(Tuple, Tuple)], build: &[Row], probe: &[Row]) -> Vec<Row> {
+    pairs
+        .iter()
+        .map(|&(r, s)| {
+            let mut row = build[r.rid as usize].clone();
+            row.extend_from_slice(&probe[s.rid as usize]);
+            row
+        })
+        .collect()
+}
+
+/// In-place deterministic sort: the given keys (major first,
+/// `true` = descending), then the full row as a lexicographic
+/// tie-breaker so equal-key rows still land in a canonical order.
+pub fn sort_rows(rows: &mut [Row], keys: &[(usize, bool)]) {
+    rows.sort_by(|a, b| {
+        for &(i, desc) in keys {
+            let o = a[i].cmp(&b[i]);
+            let o = if desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        a.cmp(b)
+    });
+}
+
+/// Order-independent digest of a row multiset (wrapping sum of per-row
+/// FNV-1a hashes) — for comparing results across plans that emit rows in
+/// different orders.
+pub fn rows_digest(rows: &[Row]) -> u64 {
+    rows.iter()
+        .map(|row| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &v in row {
+                for byte in v.to_le_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            h
+        })
+        .fold(0u64, u64::wrapping_add)
+}
+
+/// Position of `col` in `schema`.
+pub fn col_index(schema: &[Col], col: Col) -> Result<usize, SqlError> {
+    schema
+        .iter()
+        .position(|&c| c == col)
+        .ok_or_else(|| SqlError::Plan {
+            message: format!(
+                "column (table #{}, {}) is not in the operator's schema",
+                col.table,
+                col.field.name()
+            ),
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+
+struct ScanExec {
+    tuples: std::vec::IntoIter<Tuple>,
+    filters: Vec<(Field, CmpOp, u64)>,
+    remaining: Option<u64>,
+}
+
+impl Executor for ScanExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if self.remaining == Some(0) {
+            return Ok(None);
+        }
+        for t in self.tuples.by_ref() {
+            let keep = self.filters.iter().all(|&(f, op, v)| {
+                op.eval(
+                    match f {
+                        Field::Key => t.key,
+                        Field::Rid => t.rid,
+                    },
+                    v,
+                )
+            });
+            if keep {
+                if let Some(r) = &mut self.remaining {
+                    *r -= 1;
+                }
+                return Ok(Some(vec![t.key, t.rid]));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct JoinExec {
+    build: Box<dyn Executor>,
+    probe: Box<dyn Executor>,
+    build_key: usize,
+    probe_key: usize,
+    build_tpb: u32,
+    probe_tpb: u32,
+    build_comp: f64,
+    probe_comp: f64,
+    residual: Vec<(usize, usize)>,
+    method: JoinMethod,
+    expected_seconds: f64,
+    cfg: SystemConfig,
+    runs: Rc<RefCell<Vec<JoinRun>>>,
+    out: Option<std::vec::IntoIter<Row>>,
+}
+
+impl JoinExec {
+    fn run_stage(&mut self) -> Result<std::vec::IntoIter<Row>, SqlError> {
+        let build_rows = drain(self.build.as_mut())?;
+        let probe_rows = drain(self.probe.as_mut())?;
+        if build_rows.is_empty() || probe_rows.is_empty() {
+            // An empty input side cannot produce matches; skip the tape
+            // machinery entirely rather than master an empty relation.
+            return Ok(Vec::new().into_iter());
+        }
+        let r = encode_rows(
+            "q_build",
+            &build_rows,
+            self.build_key,
+            self.build_tpb,
+            self.build_comp,
+        );
+        let s = encode_rows(
+            "q_probe",
+            &probe_rows,
+            self.probe_key,
+            self.probe_tpb,
+            self.probe_comp,
+        );
+        let expected_pairs = exact_pairs(&build_rows, &probe_rows, self.build_key, self.probe_key);
+        let workload = JoinWorkload {
+            r,
+            s,
+            expected_pairs,
+        };
+        let join = TertiaryJoin::new(self.cfg.clone());
+        let (stats, pairs) = join.run_collecting(self.method, &workload)?;
+        self.runs.borrow_mut().push(JoinRun {
+            method: self.method,
+            expected_seconds: self.expected_seconds,
+            stats,
+        });
+        let mut rows = pairs_to_rows(&pairs, &build_rows, &probe_rows);
+        if !self.residual.is_empty() {
+            rows.retain(|row| self.residual.iter().all(|&(a, b)| row[a] == row[b]));
+        }
+        Ok(rows.into_iter())
+    }
+}
+
+impl Executor for JoinExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if self.out.is_none() {
+            let out = self.run_stage()?;
+            self.out = Some(out);
+        }
+        match &mut self.out {
+            Some(it) => Ok(it.next()),
+            None => Ok(None),
+        }
+    }
+}
+
+struct FilterExec {
+    input: Box<dyn Executor>,
+    idx: usize,
+    op: CmpOp,
+    value: u64,
+}
+
+impl Executor for FilterExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        while let Some(row) = self.input.next()? {
+            if self.op.eval(row[self.idx], self.value) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectExec {
+    input: Box<dyn Executor>,
+    idx: Vec<usize>,
+}
+
+impl Executor for ProjectExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        Ok(self
+            .input
+            .next()?
+            .map(|row| self.idx.iter().map(|&i| row[i]).collect()))
+    }
+}
+
+struct SortExec {
+    input: Box<dyn Executor>,
+    keys: Vec<(usize, bool)>,
+    topn: Option<u64>,
+    out: Option<std::vec::IntoIter<Row>>,
+}
+
+impl Executor for SortExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if self.out.is_none() {
+            let mut rows = drain(self.input.as_mut())?;
+            sort_rows(&mut rows, &self.keys);
+            if let Some(n) = self.topn {
+                rows.truncate(n as usize);
+            }
+            self.out = Some(rows.into_iter());
+        }
+        match &mut self.out {
+            Some(it) => Ok(it.next()),
+            None => Ok(None),
+        }
+    }
+}
+
+struct LimitExec {
+    input: Box<dyn Executor>,
+    remaining: u64,
+}
+
+impl Executor for LimitExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+fn drain(ex: &mut dyn Executor) -> Result<Vec<Row>, SqlError> {
+    let mut rows = Vec::new();
+    while let Some(row) = ex.next()? {
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Plan → operator tree
+
+/// Build the operator tree for a physical plan. Joins push their
+/// [`JoinRun`] records into `runs` as they execute.
+pub fn build_executor(
+    phys: &Physical,
+    bound: &Bound,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    runs: Rc<RefCell<Vec<JoinRun>>>,
+) -> Result<Box<dyn Executor>, SqlError> {
+    match phys {
+        Physical::Scan {
+            table,
+            filters,
+            limit,
+            ..
+        } => {
+            let entry = catalog.table(bound.tables[*table].catalog);
+            let tuples: Vec<Tuple> = entry.relation.tuples().collect();
+            Ok(Box::new(ScanExec {
+                tuples: tuples.into_iter(),
+                filters: filters
+                    .iter()
+                    .map(|p| (p.col.field, p.op, p.value))
+                    .collect(),
+                remaining: *limit,
+            }))
+        }
+        Physical::Join {
+            build,
+            probe,
+            build_col,
+            probe_col,
+            residual,
+            choice,
+            ..
+        } => {
+            let build_schema = build.schema();
+            let probe_schema = probe.schema();
+            let mut combined = build_schema.clone();
+            combined.extend(probe_schema.iter().copied());
+            let residual = residual
+                .iter()
+                .map(|&(a, b)| Ok((col_index(&combined, a)?, col_index(&combined, b)?)))
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            let build_est = build.est().clone();
+            let probe_est = probe.est().clone();
+            let build_exec = build_executor(build, bound, catalog, cfg, Rc::clone(&runs))?;
+            let probe_exec = build_executor(probe, bound, catalog, cfg, Rc::clone(&runs))?;
+            Ok(Box::new(JoinExec {
+                build: build_exec,
+                probe: probe_exec,
+                build_key: col_index(&build_schema, *build_col)?,
+                probe_key: col_index(&probe_schema, *probe_col)?,
+                build_tpb: build_est.tpb,
+                probe_tpb: probe_est.tpb,
+                build_comp: build_est.compressibility,
+                probe_comp: probe_est.compressibility,
+                residual,
+                method: choice.method,
+                expected_seconds: choice.expected_seconds,
+                cfg: cfg.clone(),
+                runs,
+                out: None,
+            }))
+        }
+        Physical::Filter { input, pred, .. } => {
+            let idx = col_index(&input.schema(), pred.col)?;
+            let input = build_executor(input, bound, catalog, cfg, runs)?;
+            Ok(Box::new(FilterExec {
+                input,
+                idx,
+                op: pred.op,
+                value: pred.value,
+            }))
+        }
+        Physical::Project { input, cols, .. } => {
+            let schema = input.schema();
+            let idx = cols
+                .iter()
+                .map(|&c| col_index(&schema, c))
+                .collect::<Result<Vec<_>, _>>()?;
+            let input = build_executor(input, bound, catalog, cfg, runs)?;
+            Ok(Box::new(ProjectExec { input, idx }))
+        }
+        Physical::Sort {
+            input, keys, topn, ..
+        } => {
+            let schema = input.schema();
+            let keys = keys
+                .iter()
+                .map(|&(c, desc)| Ok((col_index(&schema, c)?, desc)))
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            let input = build_executor(input, bound, catalog, cfg, runs)?;
+            Ok(Box::new(SortExec {
+                input,
+                keys,
+                topn: *topn,
+                out: None,
+            }))
+        }
+        Physical::Limit { input, n, .. } => {
+            let input = build_executor(input, bound, catalog, cfg, runs)?;
+            Ok(Box::new(LimitExec {
+                input,
+                remaining: *n,
+            }))
+        }
+    }
+}
+
+/// Run a physical plan to completion against the catalog and machine.
+pub fn execute(
+    plan: &PhysicalPlan,
+    bound: &Bound,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+) -> Result<QueryOutput, SqlError> {
+    let runs = Rc::new(RefCell::new(Vec::new()));
+    let root = build_executor(&plan.root, bound, catalog, cfg, Rc::clone(&runs))?;
+    let mut root = root;
+    let rows = drain(root.as_mut())?;
+    drop(root);
+    let joins = match Rc::try_unwrap(runs) {
+        Ok(cell) => cell.into_inner(),
+        Err(shared) => shared.borrow().clone(),
+    };
+    Ok(QueryOutput {
+        schema: plan.root.schema(),
+        rows,
+        joins,
+    })
+}

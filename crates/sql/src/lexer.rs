@@ -1,0 +1,276 @@
+//! Hand-rolled SQL lexer: statement text → token stream with spans.
+
+use crate::error::{Span, SqlError};
+
+/// One lexical token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser,
+    /// case-insensitively, so tables can shadow nothing by accident).
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Number(n) => format!("`{n}`"),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Eof => "end of statement".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenize a statement. The returned stream always ends with
+/// [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let span = Span::new(line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '-' if {
+                let mut ahead = chars.clone();
+                ahead.next();
+                ahead.peek() == Some(&'-')
+            } =>
+            {
+                // `-- comment` runs to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                line += 1;
+                col = 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    span,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(u64::from(d)))
+                            .ok_or_else(|| SqlError::Lex {
+                                span,
+                                message: "integer literal overflows u64".into(),
+                            })?;
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Number(value),
+                    span,
+                });
+            }
+            _ => {
+                chars.next();
+                col += 1;
+                let kind = match c {
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    '*' => TokenKind::Star,
+                    ';' => TokenKind::Semi,
+                    '=' => TokenKind::Eq,
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            col += 1;
+                            TokenKind::Ne
+                        } else {
+                            return Err(SqlError::Lex {
+                                span,
+                                message: "expected `=` after `!`".into(),
+                            });
+                        }
+                    }
+                    '<' => match chars.peek() {
+                        Some('=') => {
+                            chars.next();
+                            col += 1;
+                            TokenKind::Le
+                        }
+                        Some('>') => {
+                            chars.next();
+                            col += 1;
+                            TokenKind::Ne
+                        }
+                        _ => TokenKind::Lt,
+                    },
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            col += 1;
+                            TokenKind::Ge
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    other => {
+                        return Err(SqlError::Lex {
+                            span,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                out.push(Token { kind, span });
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_statement() {
+        let ks = kinds("SELECT r.key FROM r WHERE r.key <= 10;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("key".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("key".into()),
+                TokenKind::Le,
+                TokenKind::Number(10),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = lex("SELECT *\n  FROM t").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(1, 8)); // `*`
+        assert_eq!(toks[2].span, Span::new(2, 3)); // `FROM`
+        assert_eq!(toks[3].span, Span::new(2, 8)); // `t`
+    }
+
+    #[test]
+    fn both_not_equal_spellings_lex_to_ne() {
+        assert_eq!(kinds("a != 1")[1], TokenKind::Ne);
+        assert_eq!(kinds("a <> 1")[1], TokenKind::Ne);
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let ks = kinds("SELECT -- all of it\n*");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_reports_its_span() {
+        let err = lex("SELECT @").unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(1, 8)));
+    }
+
+    #[test]
+    fn overflowing_literal_is_a_lex_error() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { .. }));
+    }
+
+    #[test]
+    fn lone_bang_is_rejected() {
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! `tapejoin-sql`: a SQL front end for the tertiary-storage join engine.
+//!
+//! Pipeline (DESIGN.md §14):
+//!
+//! ```text
+//! SQL text ──lex/parse──▶ AST ──bind──▶ Logical plan ──pushdown──▶
+//!   Logical' ──cost-based planning──▶ Physical plan ──▶ Executor tree
+//! ```
+//!
+//! The physical planner enumerates left-deep join orders and prices every
+//! two-relation stage with the paper's analytic cost model
+//! ([`tapejoin::planner::rank_methods_with_hint`]), deriving a
+//! [`tapejoin::cost::SkewHint`] per stage from catalog key statistics —
+//! so a query over a Zipf-skewed fact table lowers onto DHH/CAP while a
+//! uniform one picks the classic Table-2 winner. Join operators in the
+//! executor drive the real simulated methods via
+//! [`tapejoin::TertiaryJoin::run_collecting`].
+//!
+//! ```
+//! use tapejoin::SystemConfig;
+//! use tapejoin_rel::{KeyDistribution, RelationSpec};
+//! use tapejoin_sql::{Catalog, PlannerMode, SqlOutcome};
+//!
+//! let mut cat = Catalog::new();
+//! cat.register_generated(RelationSpec::new("orders", 16), KeyDistribution::Uniform, 64, 7)
+//!     .unwrap();
+//! cat.register_dimension("parts", 16, 7).unwrap();
+//! let cfg = SystemConfig::new(16, 256);
+//! let out = tapejoin_sql::run(
+//!     "SELECT parts.key FROM parts JOIN orders ON parts.key = orders.key LIMIT 4",
+//!     &cat,
+//!     &cfg,
+//!     PlannerMode::CostBased,
+//! )
+//! .unwrap();
+//! match out {
+//!     SqlOutcome::Rows(q) => assert!(q.rows.len() <= 4),
+//!     SqlOutcome::Plan(_) => unreachable!(),
+//! }
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod logical;
+pub mod naive;
+pub mod parser;
+pub mod physical;
+
+pub use ast::Statement;
+pub use catalog::{Catalog, CatalogTable, TableStats};
+pub use error::{Span, SqlError};
+pub use exec::{QueryOutput, Row};
+pub use logical::{bind, pushdown, Bound};
+pub use parser::parse_statement;
+pub use physical::{plan_physical, PhysicalPlan, PlannerMode};
+
+use tapejoin::SystemConfig;
+
+/// A parsed, bound, optimized query — ready to explain or execute.
+#[derive(Clone, Debug)]
+pub struct Planned {
+    /// The parsed statement.
+    pub statement: Statement,
+    /// Name resolution + pushed-down logical plan.
+    pub bound: Bound,
+    /// The chosen physical plan.
+    pub plan: PhysicalPlan,
+}
+
+impl Planned {
+    /// Render the `EXPLAIN` tree for the chosen plan.
+    pub fn explain_text(&self) -> String {
+        physical::explain(&self.plan, &self.bound)
+    }
+
+    /// Execute the plan against the catalog and machine.
+    pub fn execute(&self, catalog: &Catalog, cfg: &SystemConfig) -> Result<QueryOutput, SqlError> {
+        exec::execute(&self.plan, &self.bound, catalog, cfg)
+    }
+}
+
+/// Parse, bind, push down and plan one statement.
+pub fn plan_statement(
+    sql: &str,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    mode: PlannerMode,
+) -> Result<Planned, SqlError> {
+    let statement = parse_statement(sql)?;
+    let bound = pushdown(bind(statement.select(), catalog)?);
+    let plan = plan_physical(&bound, catalog, cfg, mode)?;
+    Ok(Planned {
+        statement,
+        bound,
+        plan,
+    })
+}
+
+/// What running one statement produced.
+#[derive(Clone, Debug)]
+pub enum SqlOutcome {
+    /// A `SELECT`: the result rows.
+    Rows(QueryOutput),
+    /// An `EXPLAIN`: the rendered plan.
+    Plan(String),
+}
+
+/// Front-door entry point: plan the statement, then either render it
+/// (`EXPLAIN`) or run it.
+pub fn run(
+    sql: &str,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    mode: PlannerMode,
+) -> Result<SqlOutcome, SqlError> {
+    let planned = plan_statement(sql, catalog, cfg, mode)?;
+    if planned.statement.is_explain() {
+        Ok(SqlOutcome::Plan(planned.explain_text()))
+    } else {
+        planned.execute(catalog, cfg).map(SqlOutcome::Rows)
+    }
+}

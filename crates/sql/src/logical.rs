@@ -1,0 +1,619 @@
+//! Binding (name resolution) and the logical plan, plus the rewrite pass
+//! for predicate and limit pushdown.
+//!
+//! The initial plan mirrors the statement:
+//!
+//! ```text
+//! Limit?( Project( Sort?( Filter*( JoinTree(Scan…) ) ) ) )
+//! ```
+//!
+//! (Sort runs below Project so `ORDER BY` may reference unprojected
+//! columns.) The pushdown pass then:
+//!
+//! - routes every `Filter` predicate into the `Scan` of the table it
+//!   references — on tertiary storage this is the high-value rewrite,
+//!   because qualifying tuples are selected *during the tape scan pass*
+//!   and every staged intermediate (disk partitions, hashed tape copies)
+//!   shrinks by the filter's selectivity;
+//! - pushes `Limit` through `Project` (row-count preserving), fuses it
+//!   into `Sort` as a top-N, and sinks it into a `Scan` when the plan has
+//!   no joins (a limit cannot cross a join or a filter it did not start
+//!   above).
+//!
+//! For inner joins, filter-then-join ≡ join-then-filter, which is
+//! exactly the equivalence the `sql_props` property suite checks against
+//! the naive reference evaluator.
+
+use std::collections::HashSet;
+
+use crate::ast::{CmpOp, ColumnRef, Field, Select, SelectItem};
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+
+/// A resolved column: query-local table index + field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Col {
+    /// Index into [`Bound::tables`] (FROM order).
+    pub table: usize,
+    /// Which column of that table.
+    pub field: Field,
+}
+
+/// A resolved single-table predicate `col <op> literal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pred {
+    /// The column.
+    pub col: Col,
+    /// The operator.
+    pub op: CmpOp,
+    /// The literal.
+    pub value: u64,
+}
+
+/// One table mentioned by the query.
+#[derive(Clone, Debug)]
+pub struct BoundTable {
+    /// SQL name.
+    pub name: String,
+    /// Index into the catalog.
+    pub catalog: usize,
+}
+
+/// A bound query: resolved tables + logical plan.
+#[derive(Clone, Debug)]
+pub struct Bound {
+    /// Tables in FROM order (query-local index = position here).
+    pub tables: Vec<BoundTable>,
+    /// Join equi-predicates as (earlier-table, later-table) local-index
+    /// pairs, from the `ON` clauses.
+    pub edges: Vec<(usize, usize)>,
+    /// The plan root.
+    pub root: Logical,
+}
+
+/// Logical operators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Logical {
+    /// Scan one base table; `filters` run during the scan, `limit` stops
+    /// it early (both start empty and are installed by pushdown).
+    Scan {
+        /// Query-local table index.
+        table: usize,
+        /// Predicates applied during the scan.
+        filters: Vec<Pred>,
+        /// Stop after this many qualifying rows.
+        limit: Option<u64>,
+    },
+    /// Inner equi-join on the two tables' `key` columns.
+    Join {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+        /// Local index of the left-side joined table.
+        ltab: usize,
+        /// Local index of the right-side joined table.
+        rtab: usize,
+    },
+    /// Residual filter (present before pushdown; a pushed plan has none).
+    Filter {
+        /// Input.
+        input: Box<Logical>,
+        /// The predicate.
+        pred: Pred,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<Logical>,
+        /// Output columns, in order.
+        cols: Vec<Col>,
+    },
+    /// Sort; `topn` is a fused limit (set by pushdown).
+    Sort {
+        /// Input.
+        input: Box<Logical>,
+        /// Sort keys, major first; `true` = descending.
+        keys: Vec<(Col, bool)>,
+        /// Keep only the first N rows.
+        topn: Option<u64>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input.
+        input: Box<Logical>,
+        /// Row budget.
+        n: u64,
+    },
+}
+
+impl Logical {
+    /// Query-local tables contributing rows to this subtree.
+    pub fn tables(&self) -> HashSet<usize> {
+        match self {
+            Logical::Scan { table, .. } => [*table].into_iter().collect(),
+            Logical::Join { left, right, .. } => {
+                let mut s = left.tables();
+                s.extend(right.tables());
+                s
+            }
+            Logical::Filter { input, .. }
+            | Logical::Project { input, .. }
+            | Logical::Sort { input, .. }
+            | Logical::Limit { input, .. } => input.tables(),
+        }
+    }
+
+    /// Output schema: the columns rows of this subtree carry, in order.
+    pub fn schema(&self) -> Vec<Col> {
+        match self {
+            Logical::Scan { table, .. } => vec![
+                Col {
+                    table: *table,
+                    field: Field::Key,
+                },
+                Col {
+                    table: *table,
+                    field: Field::Rid,
+                },
+            ],
+            Logical::Join { left, right, .. } => {
+                let mut s = left.schema();
+                s.extend(right.schema());
+                s
+            }
+            Logical::Project { cols, .. } => cols.clone(),
+            Logical::Filter { input, .. }
+            | Logical::Sort { input, .. }
+            | Logical::Limit { input, .. } => input.schema(),
+        }
+    }
+}
+
+/// Resolve names against the catalog and build the initial plan.
+pub fn bind(sel: &Select, catalog: &Catalog) -> Result<Bound, SqlError> {
+    // Tables, FROM order; reject duplicates (no aliases).
+    let mut tables: Vec<BoundTable> = Vec::new();
+    let resolve_table = |name: &str, span| -> Result<usize, SqlError> {
+        let Some((idx, _)) = catalog.find(name) else {
+            return Err(SqlError::UnknownTable {
+                span,
+                name: name.to_string(),
+            });
+        };
+        Ok(idx)
+    };
+    let add_table = |tables: &mut Vec<BoundTable>, name: &str, span| -> Result<(), SqlError> {
+        if tables.iter().any(|t| t.name == name) {
+            return Err(SqlError::DuplicateTable {
+                span,
+                name: name.to_string(),
+            });
+        }
+        let catalog = resolve_table(name, span)?;
+        tables.push(BoundTable {
+            name: name.to_string(),
+            catalog,
+        });
+        Ok(())
+    };
+    add_table(&mut tables, &sel.from.name, sel.from.span)?;
+    for j in &sel.joins {
+        add_table(&mut tables, &j.table.name, j.table.span)?;
+    }
+
+    let resolve_col = |tables: &[BoundTable], c: &ColumnRef| -> Result<Col, SqlError> {
+        match &c.table {
+            Some(name) => {
+                let Some(local) = tables.iter().position(|t| &t.name == name) else {
+                    return Err(SqlError::UnknownTable {
+                        span: c.span,
+                        name: name.clone(),
+                    });
+                };
+                Ok(Col {
+                    table: local,
+                    field: c.field,
+                })
+            }
+            None => {
+                if tables.len() > 1 {
+                    return Err(SqlError::AmbiguousColumn {
+                        span: c.span,
+                        name: c.field.name().to_string(),
+                    });
+                }
+                Ok(Col {
+                    table: 0,
+                    field: c.field,
+                })
+            }
+        }
+    };
+
+    // Join tree, FROM order, validating each ON clause: `key = key`,
+    // connecting the newly joined table to an earlier one.
+    let mut edges = Vec::new();
+    let mut root = Logical::Scan {
+        table: 0,
+        filters: Vec::new(),
+        limit: None,
+    };
+    for (i, j) in sel.joins.iter().enumerate() {
+        let new_local = i + 1;
+        let in_scope = &tables[..=new_local];
+        let l = resolve_col(in_scope, &j.left)?;
+        let r = resolve_col(in_scope, &j.right)?;
+        for (c, ast) in [(l, &j.left), (r, &j.right)] {
+            if c.field != Field::Key {
+                return Err(SqlError::Unsupported {
+                    span: ast.span,
+                    message: "join predicates must be on `key` columns".into(),
+                });
+            }
+        }
+        // Orient the edge (earlier, new).
+        let (earlier, new) = if l.table == new_local {
+            (r.table, l.table)
+        } else if r.table == new_local {
+            (l.table, r.table)
+        } else {
+            return Err(SqlError::Unsupported {
+                span: j.left.span,
+                message: format!(
+                    "the ON clause of `{}` must reference the joined table",
+                    tables[new_local].name
+                ),
+            });
+        };
+        if earlier == new {
+            return Err(SqlError::Unsupported {
+                span: j.left.span,
+                message: "a join predicate must connect two different tables".into(),
+            });
+        }
+        edges.push((earlier, new));
+        root = Logical::Join {
+            left: Box::new(root),
+            right: Box::new(Logical::Scan {
+                table: new_local,
+                filters: Vec::new(),
+                limit: None,
+            }),
+            ltab: earlier,
+            rtab: new,
+        };
+    }
+
+    // WHERE conjuncts as Filter nodes above the join tree.
+    for p in &sel.predicates {
+        let col = resolve_col(&tables, &p.col)?;
+        root = Logical::Filter {
+            input: Box::new(root),
+            pred: Pred {
+                col,
+                op: p.op,
+                value: p.value,
+            },
+        };
+    }
+
+    // Sort below Project so ORDER BY may use unprojected columns.
+    if !sel.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for k in &sel.order_by {
+            keys.push((resolve_col(&tables, &k.col)?, k.desc));
+        }
+        root = Logical::Sort {
+            input: Box::new(root),
+            keys,
+            topn: None,
+        };
+    }
+
+    let mut cols = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Star => {
+                for local in 0..tables.len() {
+                    cols.push(Col {
+                        table: local,
+                        field: Field::Key,
+                    });
+                    cols.push(Col {
+                        table: local,
+                        field: Field::Rid,
+                    });
+                }
+            }
+            SelectItem::Column(c) => cols.push(resolve_col(&tables, c)?),
+        }
+    }
+    root = Logical::Project {
+        input: Box::new(root),
+        cols,
+    };
+
+    if let Some(n) = sel.limit {
+        root = Logical::Limit {
+            input: Box::new(root),
+            n,
+        };
+    }
+
+    Ok(Bound {
+        tables,
+        edges,
+        root,
+    })
+}
+
+/// The pushdown rewrite: filters into scans, limits through projections,
+/// into sorts (top-N) and — join-free plans only — into scans.
+pub fn pushdown(bound: Bound) -> Bound {
+    Bound {
+        root: push_limit(push_filters(bound.root)),
+        ..bound
+    }
+}
+
+fn push_filters(plan: Logical) -> Logical {
+    match plan {
+        Logical::Filter { input, pred } => route_filter(push_filters(*input), pred),
+        Logical::Join {
+            left,
+            right,
+            ltab,
+            rtab,
+        } => Logical::Join {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            ltab,
+            rtab,
+        },
+        Logical::Project { input, cols } => Logical::Project {
+            input: Box::new(push_filters(*input)),
+            cols,
+        },
+        Logical::Sort { input, keys, topn } => Logical::Sort {
+            input: Box::new(push_filters(*input)),
+            keys,
+            topn,
+        },
+        Logical::Limit { input, n } => Logical::Limit {
+            input: Box::new(push_filters(*input)),
+            n,
+        },
+        scan @ Logical::Scan { .. } => scan,
+    }
+}
+
+/// Sink one predicate toward the scan of the table it references.
+fn route_filter(plan: Logical, pred: Pred) -> Logical {
+    match plan {
+        Logical::Scan {
+            table,
+            mut filters,
+            limit,
+        } => {
+            debug_assert_eq!(table, pred.col.table);
+            filters.push(pred);
+            Logical::Scan {
+                table,
+                filters,
+                limit,
+            }
+        }
+        Logical::Join {
+            left,
+            right,
+            ltab,
+            rtab,
+        } => {
+            if left.tables().contains(&pred.col.table) {
+                Logical::Join {
+                    left: Box::new(route_filter(*left, pred)),
+                    right,
+                    ltab,
+                    rtab,
+                }
+            } else {
+                Logical::Join {
+                    left,
+                    right: Box::new(route_filter(*right, pred)),
+                    ltab,
+                    rtab,
+                }
+            }
+        }
+        // Anything else between a Filter and the join tree would be a
+        // binder bug; keep the predicate as a residual filter.
+        other => Logical::Filter {
+            input: Box::new(other),
+            pred,
+        },
+    }
+}
+
+fn push_limit(plan: Logical) -> Logical {
+    match plan {
+        Logical::Limit { input, n } => sink_limit(push_limit(*input), n),
+        Logical::Project { input, cols } => Logical::Project {
+            input: Box::new(push_limit(*input)),
+            cols,
+        },
+        other => other,
+    }
+}
+
+fn sink_limit(plan: Logical, n: u64) -> Logical {
+    match plan {
+        // Count-preserving: swap below and keep sinking.
+        Logical::Project { input, cols } => Logical::Project {
+            input: Box::new(sink_limit(*input, n)),
+            cols,
+        },
+        // Fuse into the sort as a top-N.
+        Logical::Sort { input, keys, topn } => Logical::Sort {
+            input,
+            keys,
+            topn: Some(topn.map_or(n, |t| t.min(n))),
+        },
+        // No joins, no residual filters in the way: stop the scan early.
+        Logical::Scan {
+            table,
+            filters,
+            limit,
+        } => Logical::Scan {
+            table,
+            filters,
+            limit: Some(limit.map_or(n, |l| l.min(n))),
+        },
+        // A limit cannot cross a join or a filter it did not start above.
+        other => Logical::Limit {
+            input: Box::new(other),
+            n,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use tapejoin_rel::KeyDistribution;
+    use tapejoin_rel::RelationSpec;
+
+    fn demo_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for (i, name) in ["r", "s", "t"].iter().enumerate() {
+            cat.register_generated(
+                RelationSpec::new(*name, 8),
+                KeyDistribution::Uniform,
+                32,
+                i as u64 + 1,
+            )
+            .unwrap();
+        }
+        cat
+    }
+
+    fn bind_sql(sql: &str) -> Result<Bound, SqlError> {
+        let st = parse_statement(sql)?;
+        bind(st.select(), &demo_catalog())
+    }
+
+    #[test]
+    fn filters_reach_their_scans() {
+        let b = bind_sql("SELECT * FROM r JOIN s ON r.key = s.key WHERE s.key < 10 AND r.rid >= 2")
+            .unwrap();
+        let pushed = pushdown(b);
+        // Walk to the two scans and check filter placement.
+        fn scans(plan: &Logical, out: &mut Vec<(usize, usize)>) {
+            match plan {
+                Logical::Scan { table, filters, .. } => out.push((*table, filters.len())),
+                Logical::Join { left, right, .. } => {
+                    scans(left, out);
+                    scans(right, out);
+                }
+                Logical::Filter { input, .. }
+                | Logical::Project { input, .. }
+                | Logical::Sort { input, .. }
+                | Logical::Limit { input, .. } => scans(input, out),
+            }
+        }
+        let mut got = Vec::new();
+        scans(&pushed.root, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 1)]); // one filter each
+                                               // And no residual Filter nodes anywhere.
+        fn has_filter(plan: &Logical) -> bool {
+            match plan {
+                Logical::Filter { .. } => true,
+                Logical::Scan { .. } => false,
+                Logical::Join { left, right, .. } => has_filter(left) || has_filter(right),
+                Logical::Project { input, .. }
+                | Logical::Sort { input, .. }
+                | Logical::Limit { input, .. } => has_filter(input),
+            }
+        }
+        assert!(!has_filter(&pushed.root));
+    }
+
+    #[test]
+    fn limit_fuses_into_sort_as_topn() {
+        let b = bind_sql("SELECT key FROM r ORDER BY key DESC LIMIT 5").unwrap();
+        let pushed = pushdown(b);
+        match &pushed.root {
+            Logical::Project { input, .. } => match input.as_ref() {
+                Logical::Sort { topn, .. } => assert_eq!(*topn, Some(5)),
+                other => panic!("expected Sort under Project, got {other:?}"),
+            },
+            other => panic!("expected Project root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_sinks_into_a_join_free_scan() {
+        let b = bind_sql("SELECT key FROM r WHERE key > 4 LIMIT 3").unwrap();
+        let pushed = pushdown(b);
+        match &pushed.root {
+            Logical::Project { input, .. } => match input.as_ref() {
+                Logical::Scan { filters, limit, .. } => {
+                    assert_eq!(filters.len(), 1);
+                    assert_eq!(*limit, Some(3));
+                }
+                other => panic!("expected Scan under Project, got {other:?}"),
+            },
+            other => panic!("expected Project root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_does_not_cross_a_join() {
+        let b = bind_sql("SELECT * FROM r JOIN s ON r.key = s.key LIMIT 2").unwrap();
+        let pushed = pushdown(b);
+        match &pushed.root {
+            Logical::Project { input, .. } => {
+                assert!(matches!(input.as_ref(), Logical::Limit { .. }));
+            }
+            other => panic!("expected Project root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unqualified_columns_need_a_single_table() {
+        assert!(matches!(
+            bind_sql("SELECT key FROM r JOIN s ON r.key = s.key"),
+            Err(SqlError::AmbiguousColumn { .. })
+        ));
+        assert!(bind_sql("SELECT key FROM r").is_ok());
+    }
+
+    #[test]
+    fn join_on_rid_is_unsupported() {
+        assert!(matches!(
+            bind_sql("SELECT * FROM r JOIN s ON r.rid = s.rid"),
+            Err(SqlError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn on_clause_must_mention_the_joined_table() {
+        let err = bind_sql("SELECT * FROM r JOIN s ON r.key = s.key JOIN t ON r.key = s.key")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_and_duplicate_table_are_bound_errors() {
+        assert!(matches!(
+            bind_sql("SELECT * FROM nope"),
+            Err(SqlError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            bind_sql("SELECT * FROM r JOIN r ON r.key = r.key"),
+            Err(SqlError::DuplicateTable { .. })
+        ));
+    }
+}

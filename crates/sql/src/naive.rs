@@ -1,0 +1,125 @@
+//! Naive in-memory reference evaluator: runs a [`Logical`] plan directly
+//! (nested-loop joins, filter-after-join if that is where the plan puts
+//! the filter), with no pushdown, no cost model and no tape machinery.
+//!
+//! This is the oracle for the pushdown-equivalence property suite: the
+//! optimized, tape-executed pipeline must produce exactly this row
+//! multiset (and the same row order when an `ORDER BY` makes the order
+//! total).
+
+use tapejoin_rel::Tuple;
+
+use crate::ast::Field;
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+use crate::exec::{col_index, sort_rows, Row};
+use crate::logical::{Bound, Col, Logical};
+
+/// Evaluate the bound query's logical plan directly.
+pub fn eval(bound: &Bound, catalog: &Catalog) -> Result<Vec<Row>, SqlError> {
+    eval_node(&bound.root, bound, catalog)
+}
+
+fn eval_node(node: &Logical, bound: &Bound, catalog: &Catalog) -> Result<Vec<Row>, SqlError> {
+    match node {
+        Logical::Scan {
+            table,
+            filters,
+            limit,
+        } => {
+            let rel = &catalog.table(bound.tables[*table].catalog).relation;
+            let mut rows: Vec<Row> = Vec::new();
+            for t in rel.tuples() {
+                let keep = filters
+                    .iter()
+                    .all(|p| p.op.eval(field_of(t, p.col.field), p.value));
+                if keep {
+                    rows.push(vec![t.key, t.rid]);
+                    if let Some(n) = limit {
+                        if rows.len() as u64 >= *n {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(rows)
+        }
+        Logical::Join {
+            left,
+            right,
+            ltab,
+            rtab,
+        } => {
+            let lrows = eval_node(left, bound, catalog)?;
+            let rrows = eval_node(right, bound, catalog)?;
+            let li = col_index(
+                &left.schema(),
+                Col {
+                    table: *ltab,
+                    field: Field::Key,
+                },
+            )?;
+            let ri = col_index(
+                &right.schema(),
+                Col {
+                    table: *rtab,
+                    field: Field::Key,
+                },
+            )?;
+            let mut out = Vec::new();
+            for l in &lrows {
+                for r in &rrows {
+                    if l[li] == r[ri] {
+                        let mut row = l.clone();
+                        row.extend_from_slice(r);
+                        out.push(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Logical::Filter { input, pred } => {
+            let idx = col_index(&input.schema(), pred.col)?;
+            let mut rows = eval_node(input, bound, catalog)?;
+            rows.retain(|row| pred.op.eval(row[idx], pred.value));
+            Ok(rows)
+        }
+        Logical::Project { input, cols } => {
+            let schema = input.schema();
+            let idx = cols
+                .iter()
+                .map(|&c| col_index(&schema, c))
+                .collect::<Result<Vec<_>, _>>()?;
+            let rows = eval_node(input, bound, catalog)?;
+            Ok(rows
+                .into_iter()
+                .map(|row| idx.iter().map(|&i| row[i]).collect())
+                .collect())
+        }
+        Logical::Sort { input, keys, topn } => {
+            let schema = input.schema();
+            let keys = keys
+                .iter()
+                .map(|&(c, desc)| Ok((col_index(&schema, c)?, desc)))
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            let mut rows = eval_node(input, bound, catalog)?;
+            sort_rows(&mut rows, &keys);
+            if let Some(n) = topn {
+                rows.truncate(*n as usize);
+            }
+            Ok(rows)
+        }
+        Logical::Limit { input, n } => {
+            let mut rows = eval_node(input, bound, catalog)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+    }
+}
+
+fn field_of(t: Tuple, f: Field) -> u64 {
+    match f {
+        Field::Key => t.key,
+        Field::Rid => t.rid,
+    }
+}

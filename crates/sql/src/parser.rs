@@ -1,0 +1,348 @@
+//! Recursive-descent parser: token stream → typed AST.
+//!
+//! Keywords are matched case-insensitively; table names are
+//! case-sensitive identifiers. Column names must be `key` or `rid` —
+//! anything else is an [`SqlError::UnknownColumn`] at parse time, with a
+//! span, because the tuple schema is fixed engine-wide.
+
+use crate::ast::{
+    CmpOp, ColumnRef, Comparison, Field, JoinClause, OrderKey, Select, SelectItem, Statement,
+    TableRef,
+};
+use crate::error::{Span, SqlError};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse one statement (`SELECT ...` or `EXPLAIN SELECT ...`).
+pub fn parse_statement(src: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let explain = p.eat_keyword("EXPLAIN");
+    let select = p.select()?;
+    // Optional trailing `;`, then end of input.
+    if p.peek_kind() == &TokenKind::Semi {
+        p.advance();
+    }
+    p.expect_eof()?;
+    Ok(if explain {
+        Statement::Explain(select)
+    } else {
+        Statement::Select(select)
+    })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        // The lexer guarantees a trailing Eof token, so `pos` is clamped.
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume the next token iff it is the given keyword.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek_kind() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(SqlError::Parse {
+                span: t.span,
+                message: format!("expected `{kw}`, found {}", t.kind.describe()),
+            })
+        }
+    }
+
+    fn expect_kind(&mut self, kind: TokenKind) -> Result<Token, SqlError> {
+        if self.peek_kind() == &kind {
+            Ok(self.advance())
+        } else {
+            let t = self.peek();
+            Err(SqlError::Parse {
+                span: t.span,
+                message: format!("expected {}, found {}", kind.describe(), t.kind.describe()),
+            })
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if self.peek_kind() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(SqlError::Parse {
+                span: t.span,
+                message: format!("expected end of statement, found {}", t.kind.describe()),
+            })
+        }
+    }
+
+    /// An identifier that is not being used as a keyword.
+    fn ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                let span = self.peek().span;
+                self.advance();
+                Ok((s, span))
+            }
+            other => Err(SqlError::Parse {
+                span: self.peek().span,
+                message: format!("expected {what}, found {}", other.describe()),
+            }),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64, SqlError> {
+        match *self.peek_kind() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(n)
+            }
+            ref other => Err(SqlError::Parse {
+                span: self.peek().span,
+                message: format!("expected {what}, found {}", other.describe()),
+            }),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let items = self.projection()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("INNER");
+            if inner {
+                self.expect_keyword("JOIN")?;
+            } else if !self.eat_keyword("JOIN") {
+                break;
+            }
+            let table = self.table_ref()?;
+            self.expect_keyword("ON")?;
+            let left = self.column_ref()?;
+            self.expect_kind(TokenKind::Eq)?;
+            let right = self.column_ref()?;
+            joins.push(JoinClause { table, left, right });
+        }
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                predicates.push(self.comparison()?);
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let col = self.column_ref()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { col, desc });
+                if self.peek_kind() != &TokenKind::Comma {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            Some(self.number("row count")?)
+        } else {
+            None
+        };
+        Ok(Select {
+            items,
+            from,
+            joins,
+            predicates,
+            order_by,
+            limit,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        if self.peek_kind() == &TokenKind::Star {
+            self.advance();
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![SelectItem::Column(self.column_ref()?)];
+        while self.peek_kind() == &TokenKind::Comma {
+            self.advance();
+            items.push(SelectItem::Column(self.column_ref()?));
+        }
+        Ok(items)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let (name, span) = self.ident("a table name")?;
+        Ok(TableRef { name, span })
+    }
+
+    /// `ident` (a bare column) or `ident . ident` (table-qualified).
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let (first, span) = self.ident("a column reference")?;
+        if self.peek_kind() == &TokenKind::Dot {
+            self.advance();
+            let (col, col_span) = self.ident("a column name")?;
+            Ok(ColumnRef {
+                table: Some(first),
+                field: field_named(&col, col_span)?,
+                span,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                field: field_named(&first, span)?,
+                span,
+            })
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Comparison, SqlError> {
+        let col = self.column_ref()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(SqlError::Parse {
+                    span: self.peek().span,
+                    message: format!("expected a comparison operator, found {}", other.describe()),
+                })
+            }
+        };
+        self.advance();
+        let value = self.number("an integer literal")?;
+        Ok(Comparison { col, op, value })
+    }
+}
+
+fn field_named(name: &str, span: Span) -> Result<Field, SqlError> {
+    if name.eq_ignore_ascii_case("key") {
+        Ok(Field::Key)
+    } else if name.eq_ignore_ascii_case("rid") {
+        Ok(Field::Rid)
+    } else {
+        Err(SqlError::UnknownColumn {
+            span,
+            name: name.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse_statement(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_a_three_way_join() {
+        let st = parse_statement(
+            "SELECT r.key, t.rid FROM r INNER JOIN s ON r.key = s.key \
+             INNER JOIN t ON s.key = t.key WHERE t.key < 100 AND s.rid >= 3 \
+             ORDER BY r.key DESC LIMIT 10",
+        )
+        .unwrap();
+        let sel = st.select();
+        assert_eq!(sel.joins.len(), 2);
+        assert_eq!(sel.predicates.len(), 2);
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(sel.order_by[0].desc);
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn canonical_print_reparses_identically() {
+        for src in [
+            "select * from t",
+            "SELECT key FROM t WHERE rid != 4",
+            "explain select r.key from r join s on r.key = s.key limit 3",
+            "SELECT t.key, t.rid FROM t ORDER BY t.key, t.rid DESC;",
+        ] {
+            let once = roundtrip(src);
+            assert_eq!(once, roundtrip(&once), "not canonical for {src}");
+        }
+    }
+
+    #[test]
+    fn bare_join_means_inner_join() {
+        // Spans differ (INNER shifts everything right), so compare the
+        // canonical prints.
+        let a = roundtrip("SELECT * FROM a JOIN b ON a.key = b.key");
+        let b = roundtrip("SELECT * FROM a INNER JOIN b ON a.key = b.key");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_column_fails_at_parse_with_span() {
+        let err = parse_statement("SELECT name FROM t").unwrap_err();
+        match err {
+            SqlError::UnknownColumn { span, name } => {
+                assert_eq!(name, "name");
+                assert_eq!(span, Span::new(1, 8));
+            }
+            other => panic!("expected UnknownColumn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse_statement("SELECT * FROM t 5").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        assert_eq!(err.span(), Some(Span::new(1, 17)));
+    }
+
+    #[test]
+    fn missing_on_clause_is_a_parse_error() {
+        let err = parse_statement("SELECT * FROM a JOIN b WHERE a.key = 1").unwrap_err();
+        assert!(err.to_string().contains("expected `ON`"), "{err}");
+    }
+
+    #[test]
+    fn join_predicate_must_be_equality() {
+        let err = parse_statement("SELECT * FROM a JOIN b ON a.key < b.key").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_a_parse_error() {
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement("   -- just a comment\n").is_err());
+    }
+}

@@ -1,0 +1,1080 @@
+//! The cost-based physical planner: left-deep join-order enumeration
+//! priced with [`tapejoin::planner::rank_methods_with_hint`] against the
+//! live [`SystemConfig`], plus `EXPLAIN` rendering.
+//!
+//! Every two-relation join stage is priced by the paper's analytic cost
+//! model across all nine methods; the [`tapejoin::cost::SkewHint`] for a
+//! stage is derived from catalog statistics (probe-side Zipf/heavy-hitter
+//! profile) and from intermediate-result uncertainty (a skewed build side
+//! whose cardinality the planner had to guess drives `estimate_error`
+//! below 1, which is exactly what promotes DHH's adaptive repartition).
+//! Orders are enumerated left-deep with a connectivity constraint (each
+//! appended table must share a join predicate with the prefix) and
+//! branch-and-bound pruning on the running cost.
+
+use tapejoin::cost::{expected_times_with_hint, CostParams, SkewHint};
+use tapejoin::planner::{rank_methods_with_hint, Candidate};
+use tapejoin::{JoinMethod, SystemConfig};
+
+use crate::ast::Field;
+use crate::catalog::{Catalog, TableStats};
+use crate::error::SqlError;
+use crate::logical::{Bound, Col, Logical, Pred};
+
+/// How the planner picks join orders and methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// Enumerate left-deep orders, price every stage with the cost model
+    /// under catalog-derived skew hints, keep the cheapest plan.
+    #[default]
+    CostBased,
+    /// The hand-planned baseline: syntactic (`FROM`-clause) join order,
+    /// left side as the build relation, first feasible method in the
+    /// paper's Table-2 order. What a careful operator would write down
+    /// without a cost model.
+    Syntactic,
+}
+
+/// Cardinality/shape estimate for one plan node.
+#[derive(Clone, Debug)]
+pub struct NodeEst {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated size in blocks (at `tpb` density), at least 1.
+    pub blocks: u64,
+    /// Tuples per block at this node's row width.
+    pub tpb: u32,
+    /// Compressibility of the node's data stream.
+    pub compressibility: f64,
+    /// Zipf exponent of the node's key-frequency profile.
+    pub zipf_theta: f64,
+    /// Heavy-hitter mass of the node's key-frequency profile.
+    pub heavy_fraction: f64,
+    /// Per query-local table: estimated distinct `key` values surviving
+    /// in this node's rows.
+    pub distinct: Vec<(usize, f64)>,
+    /// `Some(local)` when this node is a single base-table scan (exact
+    /// catalog cardinality — no estimate error).
+    pub base: Option<usize>,
+}
+
+impl NodeEst {
+    fn distinct_of(&self, table: usize) -> f64 {
+        self.distinct
+            .iter()
+            .find(|(t, _)| *t == table)
+            .map_or(1.0, |(_, d)| *d)
+    }
+}
+
+/// The method decision for one join stage, with its justification.
+#[derive(Clone, Debug)]
+pub struct JoinChoice {
+    /// Chosen method.
+    pub method: JoinMethod,
+    /// Its expected response time (analytic model, seconds).
+    pub expected_seconds: f64,
+    /// The skew hint the ranking ran under.
+    pub hint: SkewHint,
+    /// Runner-up candidates, cheapest first (for `EXPLAIN`).
+    pub alternatives: Vec<Candidate>,
+}
+
+/// Physical operators.
+#[derive(Clone, Debug)]
+pub enum Physical {
+    /// Scan a base table off tape; pushed filters run during the scan.
+    Scan {
+        /// Query-local table index.
+        table: usize,
+        /// Predicates applied during the scan (pushed down).
+        filters: Vec<Pred>,
+        /// Early-out row budget (pushed down).
+        limit: Option<u64>,
+        /// Output estimate.
+        est: NodeEst,
+    },
+    /// One tertiary join stage; `build` is mastered as the R (build)
+    /// relation, `probe` streams as S.
+    Join {
+        /// Build (R) input.
+        build: Box<Physical>,
+        /// Probe (S) input.
+        probe: Box<Physical>,
+        /// Join column on the build side.
+        build_col: Col,
+        /// Join column on the probe side.
+        probe_col: Col,
+        /// Extra equi-predicates between the two sides (cyclic join
+        /// graphs), applied to the stage output host-side.
+        residual: Vec<(Col, Col)>,
+        /// Method decision.
+        choice: JoinChoice,
+        /// Output estimate.
+        est: NodeEst,
+    },
+    /// Residual filter (only when pushdown could not sink it).
+    Filter {
+        /// Input.
+        input: Box<Physical>,
+        /// Predicate.
+        pred: Pred,
+        /// Output estimate.
+        est: NodeEst,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<Physical>,
+        /// Output columns.
+        cols: Vec<Col>,
+        /// Output estimate.
+        est: NodeEst,
+    },
+    /// Sort, optionally fused with a top-N limit.
+    Sort {
+        /// Input.
+        input: Box<Physical>,
+        /// Sort keys, major first; `true` = descending.
+        keys: Vec<(Col, bool)>,
+        /// Keep only the first N rows.
+        topn: Option<u64>,
+        /// Output estimate.
+        est: NodeEst,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input.
+        input: Box<Physical>,
+        /// Row budget.
+        n: u64,
+        /// Output estimate.
+        est: NodeEst,
+    },
+}
+
+impl Physical {
+    /// Output schema: the columns rows of this subtree carry, in order.
+    pub fn schema(&self) -> Vec<Col> {
+        match self {
+            Physical::Scan { table, .. } => vec![
+                Col {
+                    table: *table,
+                    field: Field::Key,
+                },
+                Col {
+                    table: *table,
+                    field: Field::Rid,
+                },
+            ],
+            Physical::Join { build, probe, .. } => {
+                let mut s = build.schema();
+                s.extend(probe.schema());
+                s
+            }
+            Physical::Project { cols, .. } => cols.clone(),
+            Physical::Filter { input, .. }
+            | Physical::Sort { input, .. }
+            | Physical::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// This node's output estimate.
+    pub fn est(&self) -> &NodeEst {
+        match self {
+            Physical::Scan { est, .. }
+            | Physical::Join { est, .. }
+            | Physical::Filter { est, .. }
+            | Physical::Project { est, .. }
+            | Physical::Sort { est, .. }
+            | Physical::Limit { est, .. } => est,
+        }
+    }
+
+    /// Every join choice in the tree, build-first depth order.
+    pub fn join_choices(&self) -> Vec<&JoinChoice> {
+        match self {
+            Physical::Scan { .. } => Vec::new(),
+            Physical::Join {
+                build,
+                probe,
+                choice,
+                ..
+            } => {
+                let mut out = build.join_choices();
+                out.extend(probe.join_choices());
+                out.push(choice);
+                out
+            }
+            Physical::Filter { input, .. }
+            | Physical::Project { input, .. }
+            | Physical::Sort { input, .. }
+            | Physical::Limit { input, .. } => input.join_choices(),
+        }
+    }
+}
+
+/// A complete physical plan.
+#[derive(Clone, Debug)]
+pub struct PhysicalPlan {
+    /// The operator tree.
+    pub root: Physical,
+    /// Join order: query-local table indices in the order they entered
+    /// the left-deep tree (single-table queries: just that table).
+    pub order: Vec<usize>,
+    /// Sum of the join stages' expected seconds (analytic model).
+    pub est_join_seconds: f64,
+    /// Which planner produced it.
+    pub mode: PlannerMode,
+}
+
+/// Plan a bound (and pushed-down) query against the catalog and machine.
+pub fn plan_physical(
+    bound: &Bound,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    mode: PlannerMode,
+) -> Result<PhysicalPlan, SqlError> {
+    let (tails, scans) = decompose(&bound.root, bound.tables.len())?;
+
+    // Leaf estimates and nodes, one per local table.
+    let mut leaves: Vec<(Physical, NodeEst)> = Vec::with_capacity(bound.tables.len());
+    for (local, spec) in scans.iter().enumerate() {
+        let stats = &catalog.table(bound.tables[local].catalog).stats;
+        let est = scan_est(local, stats, &spec.filters, spec.limit, cfg.block_bytes);
+        leaves.push((
+            Physical::Scan {
+                table: local,
+                filters: spec.filters.clone(),
+                limit: spec.limit,
+                est: est.clone(),
+            },
+            est,
+        ));
+    }
+
+    let n = bound.tables.len();
+    let (mut root, mut est, order, est_join_seconds) = if n == 1 {
+        let (phys, est) = leaves.into_iter().next().ok_or_else(|| SqlError::Plan {
+            message: "query references no tables".into(),
+        })?;
+        (phys, est, vec![0], 0.0)
+    } else {
+        match mode {
+            PlannerMode::Syntactic => syntactic_plan(&leaves, &bound.edges, cfg)?,
+            PlannerMode::CostBased => enumerate_orders(&leaves, &bound.edges, cfg)?,
+        }
+    };
+
+    // Re-apply the tail operators (innermost first).
+    for tail in tails.into_iter().rev() {
+        match tail {
+            Tail::Filter(pred) => {
+                let stats = &catalog.table(bound.tables[pred.col.table].catalog).stats;
+                let sel = selectivity(stats, &pred);
+                est = scale_rows(&est, sel);
+                root = Physical::Filter {
+                    input: Box::new(root),
+                    pred,
+                    est: est.clone(),
+                };
+            }
+            Tail::Sort(keys, topn) => {
+                if let Some(t) = topn {
+                    est = cap_rows(&est, t);
+                }
+                root = Physical::Sort {
+                    input: Box::new(root),
+                    keys,
+                    topn,
+                    est: est.clone(),
+                };
+            }
+            Tail::Limit(limit) => {
+                est = cap_rows(&est, limit);
+                root = Physical::Limit {
+                    input: Box::new(root),
+                    n: limit,
+                    est: est.clone(),
+                };
+            }
+            Tail::Project(cols) => {
+                root = Physical::Project {
+                    input: Box::new(root),
+                    cols,
+                    est: est.clone(),
+                };
+            }
+        }
+    }
+
+    let plan = PhysicalPlan {
+        root,
+        order,
+        est_join_seconds,
+        mode,
+    };
+    record_plan_span(&plan, bound, cfg);
+    Ok(plan)
+}
+
+/// Emit a zero-width `Plan` span carrying the chosen order, per-stage
+/// methods and the analytic estimate. Zero-width because planning is
+/// pure arithmetic under the zero-CPU assumption — and because the
+/// planner often runs before any simulation exists, so it cannot read a
+/// virtual clock. No-op on a disabled recorder.
+fn record_plan_span(plan: &PhysicalPlan, bound: &Bound, cfg: &SystemConfig) {
+    if !cfg.recorder.is_enabled() {
+        return;
+    }
+    let order = plan
+        .order
+        .iter()
+        .map(|&t| bound.tables[t].name.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    let Some(id) = cfg.recorder.leaf(
+        tapejoin_obs::SpanKind::Plan,
+        "sql",
+        format!("plan:{order}"),
+        tapejoin_sim::SimTime::ZERO,
+        tapejoin_sim::SimTime::ZERO,
+    ) else {
+        return;
+    };
+    let mode = match plan.mode {
+        PlannerMode::CostBased => "cost-based",
+        PlannerMode::Syntactic => "syntactic",
+    };
+    cfg.recorder.attr(id, "mode", mode);
+    cfg.recorder
+        .attr(id, "est_join_seconds", plan.est_join_seconds);
+    let methods = plan
+        .root
+        .join_choices()
+        .iter()
+        .map(|c| c.method.abbrev())
+        .collect::<Vec<_>>()
+        .join(",");
+    cfg.recorder.attr(id, "methods", methods.as_str());
+}
+
+/// Operators above the join tree, outermost first.
+enum Tail {
+    Project(Vec<Col>),
+    Sort(Vec<(Col, bool)>, Option<u64>),
+    Limit(u64),
+    Filter(Pred),
+}
+
+struct ScanSpec {
+    filters: Vec<Pred>,
+    limit: Option<u64>,
+}
+
+/// Split the logical plan into tail operators and per-table scan specs.
+fn decompose(root: &Logical, n_tables: usize) -> Result<(Vec<Tail>, Vec<ScanSpec>), SqlError> {
+    let mut tails = Vec::new();
+    let mut node = root;
+    loop {
+        match node {
+            Logical::Project { input, cols } => {
+                tails.push(Tail::Project(cols.clone()));
+                node = input;
+            }
+            Logical::Sort { input, keys, topn } => {
+                tails.push(Tail::Sort(keys.clone(), *topn));
+                node = input;
+            }
+            Logical::Limit { input, n } => {
+                tails.push(Tail::Limit(*n));
+                node = input;
+            }
+            Logical::Filter { input, pred } => {
+                tails.push(Tail::Filter(*pred));
+                node = input;
+            }
+            Logical::Join { .. } | Logical::Scan { .. } => break,
+        }
+    }
+    let mut scans: Vec<Option<ScanSpec>> = (0..n_tables).map(|_| None).collect();
+    collect_scans(node, &mut scans)?;
+    let scans = scans
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.ok_or_else(|| SqlError::Plan {
+                message: format!("table #{i} has no scan in the logical plan"),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((tails, scans))
+}
+
+fn collect_scans(node: &Logical, out: &mut [Option<ScanSpec>]) -> Result<(), SqlError> {
+    match node {
+        Logical::Scan {
+            table,
+            filters,
+            limit,
+        } => {
+            out[*table] = Some(ScanSpec {
+                filters: filters.clone(),
+                limit: *limit,
+            });
+            Ok(())
+        }
+        Logical::Join { left, right, .. } => {
+            collect_scans(left, out)?;
+            collect_scans(right, out)
+        }
+        other => Err(SqlError::Plan {
+            message: format!("unexpected operator inside the join tree: {other:?}"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Estimation
+
+/// Estimate a base-table scan with pushed filters and limit.
+fn scan_est(
+    local: usize,
+    stats: &TableStats,
+    filters: &[Pred],
+    limit: Option<u64>,
+    _block_bytes: u64,
+) -> NodeEst {
+    let mut sel = 1.0f64;
+    let mut key_sel = 1.0f64;
+    for p in filters {
+        let s = selectivity(stats, p);
+        sel *= s;
+        if p.col.field == Field::Key {
+            key_sel *= s;
+        }
+    }
+    let mut rows = stats.tuples as f64 * sel;
+    let mut distinct = (stats.key_cardinality as f64 * key_sel).max(1.0);
+    if let Some(n) = limit {
+        let capped = rows.min(n as f64);
+        if rows > 0.0 && capped < rows {
+            distinct = (distinct * capped / rows).max(1.0);
+        }
+        rows = capped;
+    }
+    distinct = distinct.min(rows.max(1.0));
+    let tpb = stats.tuples_per_block.max(1);
+    NodeEst {
+        rows,
+        blocks: blocks_for(rows, tpb),
+        tpb,
+        compressibility: stats.compressibility,
+        zipf_theta: stats.zipf_theta,
+        heavy_fraction: stats.heavy_fraction,
+        distinct: vec![(local, distinct)],
+        base: Some(local),
+    }
+}
+
+/// Fraction of the table satisfying one pushed predicate, from its
+/// catalog statistics. `key` is modeled over the observed even-stepped
+/// domain; `rid` is dense `0..tuples`.
+fn selectivity(stats: &TableStats, pred: &Pred) -> f64 {
+    let (min, max, step, card) = match pred.col.field {
+        Field::Key => (stats.key_min, stats.key_max, 2u64, stats.key_cardinality),
+        Field::Rid => (0, stats.tuples.saturating_sub(1), 1u64, stats.tuples.max(1)),
+    };
+    if stats.tuples == 0 || card == 0 {
+        return 0.0;
+    }
+    let domain = (max.saturating_sub(min)) / step + 1;
+    // Values in the domain strictly below `v`.
+    let below = |v: u64| -> u64 {
+        if v <= min {
+            0
+        } else {
+            (((v - 1).saturating_sub(min)) / step + 1).min(domain)
+        }
+    };
+    let eq_sel = {
+        let aligned = pred.value >= min && pred.value <= max && (pred.value - min) % step == 0;
+        if aligned {
+            1.0 / card as f64
+        } else {
+            0.0
+        }
+    };
+    match pred.op {
+        crate::ast::CmpOp::Eq => eq_sel,
+        crate::ast::CmpOp::Ne => 1.0 - eq_sel,
+        crate::ast::CmpOp::Lt => below(pred.value) as f64 / domain as f64,
+        crate::ast::CmpOp::Le => below(pred.value.saturating_add(1)) as f64 / domain as f64,
+        crate::ast::CmpOp::Gt => 1.0 - below(pred.value.saturating_add(1)) as f64 / domain as f64,
+        crate::ast::CmpOp::Ge => 1.0 - below(pred.value) as f64 / domain as f64,
+    }
+}
+
+fn blocks_for(rows: f64, tpb: u32) -> u64 {
+    ((rows / f64::from(tpb.max(1))).ceil() as u64).max(1)
+}
+
+fn scale_rows(est: &NodeEst, sel: f64) -> NodeEst {
+    let rows = (est.rows * sel).max(0.0);
+    NodeEst {
+        rows,
+        blocks: blocks_for(rows, est.tpb),
+        distinct: est
+            .distinct
+            .iter()
+            .map(|&(t, d)| (t, d.min(rows.max(1.0))))
+            .collect(),
+        base: None,
+        ..est.clone()
+    }
+}
+
+fn cap_rows(est: &NodeEst, n: u64) -> NodeEst {
+    if est.rows <= n as f64 {
+        return est.clone();
+    }
+    let sel = if est.rows > 0.0 {
+        n as f64 / est.rows
+    } else {
+        1.0
+    };
+    scale_rows(est, sel)
+}
+
+/// Containment-assumption join estimate for `build ⋈ probe` on
+/// `build_col.key = probe_col.key`, plus residual equi-predicates.
+fn join_est(
+    build: &NodeEst,
+    probe: &NodeEst,
+    build_col: Col,
+    probe_col: Col,
+    residual: &[(Col, Col)],
+    block_bytes: u64,
+) -> NodeEst {
+    let d_build = build.distinct_of(build_col.table);
+    let d_probe = probe.distinct_of(probe_col.table);
+    let mut rows = build.rows * probe.rows / d_build.max(d_probe).max(1.0);
+    // Each residual equality independently thins by its containment bound.
+    for (a, b) in residual {
+        let da = build
+            .distinct
+            .iter()
+            .chain(&probe.distinct)
+            .find(|(t, _)| *t == a.table)
+            .map_or(1.0, |(_, d)| *d);
+        let db = build
+            .distinct
+            .iter()
+            .chain(&probe.distinct)
+            .find(|(t, _)| *t == b.table)
+            .map_or(1.0, |(_, d)| *d);
+        rows /= da.max(db).max(1.0);
+    }
+    rows = rows.max(0.0);
+
+    // Row width grows with every joined table: density shrinks so block
+    // estimates keep tracking bytes, not row counts.
+    let row_bytes = block_bytes as f64 / f64::from(build.tpb.max(1))
+        + block_bytes as f64 / f64::from(probe.tpb.max(1));
+    let tpb = ((block_bytes as f64 / row_bytes).floor() as u32).max(1);
+
+    let mut distinct: Vec<(usize, f64)> = Vec::new();
+    for &(t, d) in build.distinct.iter().chain(&probe.distinct) {
+        distinct.push((t, d.min(rows.max(1.0))));
+    }
+
+    NodeEst {
+        rows,
+        blocks: blocks_for(rows, tpb),
+        tpb,
+        compressibility: (build.compressibility + probe.compressibility) / 2.0,
+        zipf_theta: build.zipf_theta.max(probe.zipf_theta),
+        heavy_fraction: build.heavy_fraction.max(probe.heavy_fraction),
+        distinct,
+        base: None,
+    }
+}
+
+/// Cardinality confidence for an intermediate build side: skew makes the
+/// containment estimate unreliable, which is exactly when DHH's adaptive
+/// repartition pays. Base tables have exact catalog counts (error 1.0).
+fn build_estimate_error(build: &NodeEst) -> f64 {
+    if build.base.is_some() {
+        return 1.0;
+    }
+    (1.0 / (1.0 + 2.0 * build.zipf_theta + 4.0 * build.heavy_fraction)).clamp(0.1, 1.0)
+}
+
+/// Price one join stage: derive the hint, rank the methods, pick one.
+fn price_stage(
+    build: &NodeEst,
+    probe: &NodeEst,
+    cfg: &SystemConfig,
+    mode: PlannerMode,
+) -> Option<JoinChoice> {
+    let mut p = CostParams::from_config(cfg, build.blocks, probe.blocks, probe.compressibility);
+    p.r_tuples_per_block = build.tpb;
+    match mode {
+        PlannerMode::CostBased => {
+            let hint = SkewHint {
+                zipf_theta: probe.zipf_theta,
+                heavy_fraction: probe.heavy_fraction,
+                estimate_error: build_estimate_error(build),
+            };
+            let ranked = rank_methods_with_hint(&p, &hint);
+            let mut it = ranked.into_iter();
+            let best = it.next()?;
+            Some(JoinChoice {
+                method: best.method,
+                expected_seconds: best.expected_seconds,
+                hint,
+                alternatives: it.take(3).collect(),
+            })
+        }
+        PlannerMode::Syntactic => {
+            let hint = SkewHint::uniform();
+            JoinMethod::ALL.iter().find_map(|&method| {
+                expected_times_with_hint(method, &p, &hint)
+                    .ok()
+                    .map(|(_, expected_seconds)| JoinChoice {
+                        method,
+                        expected_seconds,
+                        hint,
+                        alternatives: Vec::new(),
+                    })
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join-order search
+
+struct Built {
+    phys: Physical,
+    est: NodeEst,
+    mask: u64,
+    order: Vec<usize>,
+    cost: f64,
+}
+
+/// Join `left` and `right` (either orientation), consuming every edge
+/// that crosses the two sides. Returns `None` when no edge crosses or no
+/// method is feasible.
+fn make_join(
+    build: (&Physical, &NodeEst, u64),
+    probe: (&Physical, &NodeEst, u64),
+    edges: &[(usize, usize)],
+    cfg: &SystemConfig,
+    mode: PlannerMode,
+) -> Option<(Physical, NodeEst, f64)> {
+    let (b_phys, b_est, b_mask) = build;
+    let (p_phys, p_est, p_mask) = probe;
+    let crossing: Vec<(usize, usize)> = edges
+        .iter()
+        .filter_map(|&(a, b)| {
+            let (ma, mb) = (1u64 << a, 1u64 << b);
+            if ma & b_mask != 0 && mb & p_mask != 0 {
+                Some((a, b))
+            } else if mb & b_mask != 0 && ma & p_mask != 0 {
+                Some((b, a))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let (&(on_build, on_probe), residual_edges) = crossing.split_first()?;
+    let build_col = Col {
+        table: on_build,
+        field: Field::Key,
+    };
+    let probe_col = Col {
+        table: on_probe,
+        field: Field::Key,
+    };
+    let residual: Vec<(Col, Col)> = residual_edges
+        .iter()
+        .map(|&(a, b)| {
+            (
+                Col {
+                    table: a,
+                    field: Field::Key,
+                },
+                Col {
+                    table: b,
+                    field: Field::Key,
+                },
+            )
+        })
+        .collect();
+    let choice = price_stage(b_est, p_est, cfg, mode)?;
+    let est = join_est(
+        b_est,
+        p_est,
+        build_col,
+        probe_col,
+        &residual,
+        cfg.block_bytes,
+    );
+    let cost = choice.expected_seconds;
+    let phys = Physical::Join {
+        build: Box::new(b_phys.clone()),
+        probe: Box::new(p_phys.clone()),
+        build_col,
+        probe_col,
+        residual,
+        choice,
+        est: est.clone(),
+    };
+    Some((phys, est, cost))
+}
+
+/// Syntactic (FROM-order) plan: left side builds, first feasible method.
+fn syntactic_plan(
+    leaves: &[(Physical, NodeEst)],
+    edges: &[(usize, usize)],
+    cfg: &SystemConfig,
+) -> Result<(Physical, NodeEst, Vec<usize>, f64), SqlError> {
+    let mut acc = Built {
+        phys: leaves[0].0.clone(),
+        est: leaves[0].1.clone(),
+        mask: 1,
+        order: vec![0],
+        cost: 0.0,
+    };
+    for (next, leaf) in leaves.iter().enumerate().skip(1) {
+        let (phys, est, cost) = make_join(
+            (&acc.phys, &acc.est, acc.mask),
+            (&leaf.0, &leaf.1, 1u64 << next),
+            edges,
+            cfg,
+            PlannerMode::Syntactic,
+        )
+        .ok_or_else(|| SqlError::Plan {
+            message: format!("no feasible method for syntactic join stage #{next} on this machine"),
+        })?;
+        acc.order.push(next);
+        acc = Built {
+            phys,
+            est,
+            mask: acc.mask | (1u64 << next),
+            order: acc.order,
+            cost: acc.cost + cost,
+        };
+    }
+    Ok((acc.phys, acc.est, acc.order, acc.cost))
+}
+
+/// Branch-and-bound DFS over connected left-deep orders, both
+/// orientations at every stage.
+fn enumerate_orders(
+    leaves: &[(Physical, NodeEst)],
+    edges: &[(usize, usize)],
+    cfg: &SystemConfig,
+) -> Result<(Physical, NodeEst, Vec<usize>, f64), SqlError> {
+    let n = leaves.len();
+    let full: u64 = (1u64 << n) - 1;
+    let mut best: Option<Built> = None;
+
+    // Seed with every connected ordered pair (covers both orientations).
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for &(a, b) in edges {
+        if !pairs.contains(&(a, b)) {
+            pairs.push((a, b));
+        }
+        if !pairs.contains(&(b, a)) {
+            pairs.push((b, a));
+        }
+    }
+
+    fn extend(
+        cur: Built,
+        leaves: &[(Physical, NodeEst)],
+        edges: &[(usize, usize)],
+        cfg: &SystemConfig,
+        full: u64,
+        best: &mut Option<Built>,
+    ) {
+        if let Some(b) = best {
+            if cur.cost >= b.cost {
+                return; // bound
+            }
+        }
+        if cur.mask == full {
+            *best = Some(cur);
+            return;
+        }
+        for (t, leaf) in leaves.iter().enumerate() {
+            let bit = 1u64 << t;
+            if cur.mask & bit != 0 {
+                continue;
+            }
+            let connected = edges.iter().any(|&(a, b)| {
+                (a == t && cur.mask & (1u64 << b) != 0) || (b == t && cur.mask & (1u64 << a) != 0)
+            });
+            if !connected {
+                continue;
+            }
+            // Orientation 1: the running intermediate builds, t probes.
+            // Orientation 2: t builds, the intermediate probes.
+            let options = [
+                make_join(
+                    (&cur.phys, &cur.est, cur.mask),
+                    (&leaf.0, &leaf.1, bit),
+                    edges,
+                    cfg,
+                    PlannerMode::CostBased,
+                ),
+                make_join(
+                    (&leaf.0, &leaf.1, bit),
+                    (&cur.phys, &cur.est, cur.mask),
+                    edges,
+                    cfg,
+                    PlannerMode::CostBased,
+                ),
+            ];
+            for opt in options.into_iter().flatten() {
+                let (phys, est, cost) = opt;
+                let mut order = cur.order.clone();
+                order.push(t);
+                extend(
+                    Built {
+                        phys,
+                        est,
+                        mask: cur.mask | bit,
+                        order,
+                        cost: cur.cost + cost,
+                    },
+                    leaves,
+                    edges,
+                    cfg,
+                    full,
+                    best,
+                );
+            }
+        }
+    }
+
+    for (a, b) in pairs {
+        let seed = make_join(
+            (&leaves[a].0, &leaves[a].1, 1u64 << a),
+            (&leaves[b].0, &leaves[b].1, 1u64 << b),
+            edges,
+            cfg,
+            PlannerMode::CostBased,
+        );
+        let Some((phys, est, cost)) = seed else {
+            continue;
+        };
+        if let Some(bst) = &best {
+            if cost >= bst.cost {
+                continue;
+            }
+        }
+        extend(
+            Built {
+                phys,
+                est,
+                mask: (1u64 << a) | (1u64 << b),
+                order: vec![a, b],
+                cost,
+            },
+            leaves,
+            edges,
+            cfg,
+            full,
+            &mut best,
+        );
+    }
+
+    let best = best.ok_or_else(|| SqlError::Plan {
+        message: "no join order has a feasible method for every stage on this machine".into(),
+    })?;
+    Ok((best.phys, best.est, best.order, best.cost))
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering
+
+/// Render the plan as an indented tree with per-operator estimates —
+/// the `EXPLAIN` output.
+pub fn explain(plan: &PhysicalPlan, bound: &Bound) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "plan: {} join order [{}], est join time {:.1}s\n",
+        match plan.mode {
+            PlannerMode::CostBased => "cost-based",
+            PlannerMode::Syntactic => "syntactic",
+        },
+        plan.order
+            .iter()
+            .map(|&t| bound.tables[t].name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> "),
+        plan.est_join_seconds,
+    ));
+    render(&plan.root, bound, "", "", true, &mut out);
+    out
+}
+
+fn col_name(c: Col, bound: &Bound) -> String {
+    format!("{}.{}", bound.tables[c.table].name, c.field.name())
+}
+
+fn render(node: &Physical, bound: &Bound, prefix: &str, tag: &str, last: bool, out: &mut String) {
+    let (branch, child_prefix) = if prefix.is_empty() {
+        (String::new(), String::new())
+    } else if last {
+        (format!("{prefix}└─ "), format!("{prefix}   "))
+    } else {
+        (format!("{prefix}├─ "), format!("{prefix}│  "))
+    };
+    let est = node.est();
+    let line = match node {
+        Physical::Scan {
+            table,
+            filters,
+            limit,
+            ..
+        } => {
+            let mut s = format!(
+                "TapeScan {} [{} blocks, ~{} rows]",
+                bound.tables[*table].name,
+                est.blocks,
+                est.rows.round() as u64
+            );
+            for f in filters {
+                s.push_str(&format!(
+                    " filter: {} {} {} (pushed)",
+                    col_name(f.col, bound),
+                    f.op,
+                    f.value
+                ));
+            }
+            if let Some(n) = limit {
+                s.push_str(&format!(" limit: {n} (pushed)"));
+            }
+            s
+        }
+        Physical::Join {
+            build_col,
+            probe_col,
+            residual,
+            choice,
+            ..
+        } => {
+            let mut s = format!(
+                "TertiaryJoin [{}] on {} = {} est={:.1}s rows~{} hint{{theta={:.2} heavy={:.2} err={:.2}}}",
+                choice.method.abbrev(),
+                col_name(*build_col, bound),
+                col_name(*probe_col, bound),
+                choice.expected_seconds,
+                est.rows.round() as u64,
+                choice.hint.zipf_theta,
+                choice.hint.heavy_fraction,
+                choice.hint.estimate_error,
+            );
+            if !choice.alternatives.is_empty() {
+                s.push_str(" alt:");
+                for (i, c) in choice.alternatives.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        " {} {:.1}s",
+                        c.method.abbrev(),
+                        c.expected_seconds
+                    ));
+                }
+            }
+            for (a, b) in residual {
+                s.push_str(&format!(
+                    " residual: {} = {}",
+                    col_name(*a, bound),
+                    col_name(*b, bound)
+                ));
+            }
+            s
+        }
+        Physical::Filter { pred, .. } => format!(
+            "Filter {} {} {} [~{} rows]",
+            col_name(pred.col, bound),
+            pred.op,
+            pred.value,
+            est.rows.round() as u64
+        ),
+        Physical::Project { cols, .. } => format!(
+            "Project [{}]",
+            cols.iter()
+                .map(|&c| col_name(c, bound))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Physical::Sort { keys, topn, .. } => {
+            let keys = keys
+                .iter()
+                .map(|&(c, desc)| {
+                    format!("{}{}", col_name(c, bound), if desc { " DESC" } else { "" })
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            match topn {
+                Some(n) => format!("Sort [{keys}] top-{n} (limit fused)"),
+                None => format!("Sort [{keys}]"),
+            }
+        }
+        Physical::Limit { n, .. } => format!("Limit {n}"),
+    };
+    out.push_str(&format!("{branch}{tag}{line}\n"));
+    match node {
+        Physical::Join { build, probe, .. } => {
+            render(
+                build,
+                bound,
+                if child_prefix.is_empty() {
+                    "  "
+                } else {
+                    &child_prefix
+                },
+                "build: ",
+                false,
+                out,
+            );
+            render(
+                probe,
+                bound,
+                if child_prefix.is_empty() {
+                    "  "
+                } else {
+                    &child_prefix
+                },
+                "probe: ",
+                true,
+                out,
+            );
+        }
+        Physical::Filter { input, .. }
+        | Physical::Project { input, .. }
+        | Physical::Sort { input, .. }
+        | Physical::Limit { input, .. } => {
+            render(
+                input,
+                bound,
+                if child_prefix.is_empty() {
+                    "  "
+                } else {
+                    &child_prefix
+                },
+                "",
+                true,
+                out,
+            );
+        }
+        Physical::Scan { .. } => {}
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end acceptance tests for the SQL front end: a three-way join
+//! planned cost-based and executed through the simulated tertiary joins
+//! must match the naive reference evaluator; EXPLAIN must show pushdown
+//! and per-join method selection; a skewed catalog must promote the
+//! skew-adaptive methods on a disk-bound machine.
+
+use tapejoin::{JoinMethod, SystemConfig};
+use tapejoin_rel::{KeyDistribution, RelationSpec};
+use tapejoin_sql::{
+    bind, naive, parse_statement, plan_statement, Catalog, PlannerMode, SqlOutcome,
+};
+
+/// Dimension `r` (unique keys) plus two uniform fact tables over the
+/// same 16-key span, so a three-way join has real multiplicity.
+fn small_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register_dimension("r", 4, 11).unwrap();
+    cat.register_generated(RelationSpec::new("s", 8), KeyDistribution::Uniform, 16, 12)
+        .unwrap();
+    cat.register_generated(RelationSpec::new("t", 8), KeyDistribution::Uniform, 16, 13)
+        .unwrap();
+    cat
+}
+
+const THREE_WAY: &str = "SELECT r.key, s.rid, t.rid FROM r \
+     JOIN s ON r.key = s.key JOIN t ON s.key = t.key \
+     WHERE t.key < 20 ORDER BY r.key, s.rid, t.rid LIMIT 200";
+
+#[test]
+fn three_way_cost_based_plan_matches_naive_reference() {
+    let cat = small_catalog();
+    let cfg = SystemConfig::new(32, 128);
+
+    let planned = plan_statement(THREE_WAY, &cat, &cfg, PlannerMode::CostBased).unwrap();
+    let out = planned.execute(&cat, &cfg).unwrap();
+
+    // Both join stages really ran through the tertiary-join simulator.
+    assert_eq!(out.joins.len(), 2, "expected two join stages");
+    for run in &out.joins {
+        assert!(run.stats.output.pairs > 0, "a join stage produced no pairs");
+        assert!(run.expected_seconds.is_finite());
+    }
+    assert!(!out.rows.is_empty(), "three-way join produced no rows");
+
+    // The reference: unpushed logical plan, naive nested-loop evaluation.
+    let unpushed = bind(parse_statement(THREE_WAY).unwrap().select(), &cat).unwrap();
+    let reference = naive::eval(&unpushed, &cat).unwrap();
+    assert_eq!(out.rows, reference);
+}
+
+#[test]
+fn syntactic_mode_follows_from_clause_order_and_still_matches() {
+    let cat = small_catalog();
+    let cfg = SystemConfig::new(32, 128);
+
+    let planned = plan_statement(THREE_WAY, &cat, &cfg, PlannerMode::Syntactic).unwrap();
+    assert_eq!(planned.plan.mode, PlannerMode::Syntactic);
+    assert_eq!(
+        planned.plan.order,
+        vec![0, 1, 2],
+        "syntactic order is FROM order"
+    );
+
+    let out = planned.execute(&cat, &cfg).unwrap();
+    let unpushed = bind(parse_statement(THREE_WAY).unwrap().select(), &cat).unwrap();
+    assert_eq!(out.rows, naive::eval(&unpushed, &cat).unwrap());
+}
+
+#[test]
+fn explain_shows_pushdown_and_costed_method_selection() {
+    let cat = small_catalog();
+    let cfg = SystemConfig::new(32, 128);
+
+    let out = tapejoin_sql::run(
+        &format!("EXPLAIN {THREE_WAY}"),
+        &cat,
+        &cfg,
+        PlannerMode::CostBased,
+    )
+    .unwrap();
+    let text = match out {
+        SqlOutcome::Plan(t) => t,
+        SqlOutcome::Rows(_) => panic!("EXPLAIN returned rows"),
+    };
+
+    assert!(text.contains("plan: cost-based join order ["), "{text}");
+    assert!(
+        text.contains("(pushed)"),
+        "WHERE filter not pushed:\n{text}"
+    );
+    assert!(
+        text.contains("limit fused"),
+        "LIMIT not fused into Sort:\n{text}"
+    );
+    assert!(text.contains("TertiaryJoin ["), "{text}");
+    assert!(
+        text.contains("est="),
+        "no per-operator cost estimate:\n{text}"
+    );
+    assert!(
+        text.contains("alt: "),
+        "no runner-up methods listed:\n{text}"
+    );
+    assert!(text.contains("TapeScan"), "{text}");
+}
+
+#[test]
+fn uniform_catalog_never_selects_skew_adaptive_methods() {
+    let cat = small_catalog();
+    let cfg = SystemConfig::new(32, 128);
+    let planned = plan_statement(THREE_WAY, &cat, &cfg, PlannerMode::CostBased).unwrap();
+    for choice in planned.plan.root.join_choices() {
+        assert!(
+            !matches!(choice.method, JoinMethod::Dhh | JoinMethod::Cap),
+            "uniform stats promoted {:?}",
+            choice.method
+        );
+    }
+}
+
+/// The acceptance scenario from the cost model: a disk-bound machine
+/// (one slow disk) joining a 64-block dimension against a 1024-block
+/// Zipf-skewed fact table. CAP's contention-avoiding probe bypasses the
+/// disk bottleneck, so the planner must pick it — and justify it with
+/// the analytic estimates, DHH appearing among the priced alternatives.
+#[test]
+fn skewed_catalog_on_disk_bound_machine_promotes_cap() {
+    let mut cat = Catalog::new();
+    cat.register_dimension("parts", 64, 3).unwrap();
+    cat.register_generated(
+        RelationSpec::new("orders", 1024),
+        KeyDistribution::Zipf { theta: 1.1 },
+        256,
+        9,
+    )
+    .unwrap();
+    let cfg = SystemConfig::new(16, 192).disks(1).disk_rate(0.5e6);
+
+    let planned = plan_statement(
+        "EXPLAIN SELECT parts.key FROM parts JOIN orders ON parts.key = orders.key",
+        &cat,
+        &cfg,
+        PlannerMode::CostBased,
+    )
+    .unwrap();
+
+    let choices = planned.plan.root.join_choices();
+    assert_eq!(choices.len(), 1);
+    let choice = choices[0];
+    assert_eq!(
+        choice.method,
+        JoinMethod::Cap,
+        "expected CAP, got {:?}",
+        choice
+    );
+    assert!(
+        choice.hint.zipf_theta > 0.5,
+        "skew hint lost: {:?}",
+        choice.hint
+    );
+    assert!(choice.expected_seconds.is_finite());
+    assert!(
+        choice
+            .alternatives
+            .iter()
+            .all(|alt| alt.expected_seconds >= choice.expected_seconds),
+        "a runner-up was cheaper than the winner"
+    );
+    assert!(
+        choice
+            .alternatives
+            .iter()
+            .any(|alt| alt.method == JoinMethod::Dhh)
+            || choice
+                .alternatives
+                .iter()
+                .any(|alt| alt.method == JoinMethod::CdtGh),
+        "no skew-priced alternative shown: {:?}",
+        choice.alternatives
+    );
+
+    let text = planned.explain_text();
+    assert!(text.contains("[CAP]"), "{text}");
+    assert!(text.contains("hint{"), "{text}");
+}
+
+/// Same query and machine, but a uniform fact table: the skew hint is
+/// flat, so the classic methods win — demonstrating that CAP's selection
+/// above is driven by the catalog statistics, not the machine shape alone.
+#[test]
+fn same_machine_uniform_facts_pick_a_classic_method() {
+    let mut cat = Catalog::new();
+    cat.register_dimension("parts", 64, 3).unwrap();
+    cat.register_generated(
+        RelationSpec::new("orders", 1024),
+        KeyDistribution::Uniform,
+        256,
+        9,
+    )
+    .unwrap();
+    let cfg = SystemConfig::new(16, 192).disks(1).disk_rate(0.5e6);
+
+    let planned = plan_statement(
+        "SELECT parts.key FROM parts JOIN orders ON parts.key = orders.key",
+        &cat,
+        &cfg,
+        PlannerMode::CostBased,
+    )
+    .unwrap();
+    let choices = planned.plan.root.join_choices();
+    assert!(
+        !matches!(choices[0].method, JoinMethod::Dhh | JoinMethod::Cap),
+        "uniform catalog still promoted {:?}",
+        choices[0].method
+    );
+}
+
+#[test]
+fn planner_emits_a_plan_span_with_order_and_methods() {
+    let cat = small_catalog();
+    let rec = tapejoin_obs::Recorder::enabled();
+    let cfg = SystemConfig::new(32, 128).recorder(rec.share());
+    plan_statement(THREE_WAY, &cat, &cfg, PlannerMode::CostBased).unwrap();
+    let spans = rec.spans();
+    let plan_span = spans
+        .iter()
+        .find(|s| s.kind == tapejoin_obs::SpanKind::Plan)
+        .expect("planning must record a Plan span");
+    assert!(plan_span.name.starts_with("plan:"), "{}", plan_span.name);
+    assert!(
+        plan_span.attrs.iter().any(|(k, _)| *k == "methods"),
+        "Plan span missing methods attr: {:?}",
+        plan_span.attrs
+    );
+    assert!(
+        plan_span
+            .attrs
+            .iter()
+            .any(|(k, _)| *k == "est_join_seconds"),
+        "{:?}",
+        plan_span.attrs
+    );
+}
+
+#[test]
+fn malformed_statement_reports_line_and_column() {
+    let cat = small_catalog();
+    let cfg = SystemConfig::new(32, 128);
+    let err = tapejoin_sql::run(
+        "SELECT * FROM r JOIN s ON r.key = s.name",
+        &cat,
+        &cfg,
+        PlannerMode::CostBased,
+    )
+    .unwrap_err();
+    let span = err.span().expect("parse errors carry spans");
+    assert_eq!(span.line, 1);
+    assert!(
+        span.col > 30,
+        "span should point at the bad column: {span:?}"
+    );
+}
