@@ -1,0 +1,156 @@
+//! `check_bench` — validate every `results/BENCH_*.json` envelope.
+//!
+//! The bench bins hand-format their JSON result files; nothing ever
+//! re-reads them in-repo, so a malformed envelope (or an embedded
+//! `QueryProfile` that drifted from the schema) would ship silently.
+//! This bin parses each `BENCH_*.json` with the obs JSON parser and
+//! demands: the common envelope keys (`bench`, `title`, `seed`,
+//! `time_unit`, non-empty `scenarios` of named objects); that any
+//! `profile_fields` list equals the canonical
+//! `tapejoin_obs::PROFILE_FIELDS` registry; and that every embedded
+//! profile object (any object carrying `sql` + `operators`) passes
+//! [`tapejoin_obs::validate_query_profile_value`]. CI runs it as
+//! `scripts/check_bench.sh` in the `analyze` job; it exits non-zero on
+//! the first invalid file.
+
+// lint:allow-file(L3, a validation CLI's contract is to abort with context)
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tapejoin_obs::json::{self, Json};
+use tapejoin_obs::{validate_query_profile_value, PROFILE_FIELDS};
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
+    let mut files = match bench_files(Path::new(&dir)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("check_bench: no BENCH_*.json under {dir}");
+        return ExitCode::FAILURE;
+    }
+    files.sort();
+    let mut ok = true;
+    for f in &files {
+        match check_file(f) {
+            Ok(summary) => println!("check_bench: {} OK ({summary})", f.display()),
+            Err(e) => {
+                eprintln!("check_bench: {} INVALID: {e}", f.display());
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, std::io::Error> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+fn check_file(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = json::parse(&text)?;
+    let obj = doc.as_obj().ok_or("top level is not a JSON object")?;
+
+    // The common envelope.
+    for key in ["bench", "title", "seed", "time_unit", "scenarios"] {
+        if !obj.contains_key(key) {
+            return Err(format!("missing envelope key '{key}'"));
+        }
+    }
+    let bench = obj
+        .get("bench")
+        .and_then(Json::as_num)
+        .ok_or("'bench' is not a number")?;
+    obj.get("title")
+        .and_then(Json::as_str)
+        .ok_or("'title' is not a string")?;
+    let scenarios = obj
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("'scenarios' is not an array")?;
+    if scenarios.is_empty() {
+        return Err("'scenarios' is empty".to_string());
+    }
+    for (i, sc) in scenarios.iter().enumerate() {
+        let sobj = sc
+            .as_obj()
+            .ok_or_else(|| format!("scenario {i} is not an object"))?;
+        sobj.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("scenario {i} has no string 'name'"))?;
+    }
+
+    // A declared schema must be the canonical one.
+    if let Some(fields) = obj.get("profile_fields") {
+        let listed: Vec<&str> = fields
+            .as_arr()
+            .ok_or("'profile_fields' is not an array")?
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        if listed != PROFILE_FIELDS {
+            return Err(format!(
+                "'profile_fields' drifted from tapejoin_obs::PROFILE_FIELDS \
+                 ({} vs {} fields)",
+                listed.len(),
+                PROFILE_FIELDS.len()
+            ));
+        }
+    }
+
+    // Every embedded profile must validate against the schema.
+    let mut profiles = 0usize;
+    validate_embedded(&doc, &mut profiles)?;
+    Ok(format!(
+        "bench {bench}, {} scenario(s), {profiles} embedded profile(s)",
+        scenarios.len()
+    ))
+}
+
+/// Recursively validate every object that looks like a `QueryProfile`
+/// (carries both `sql` and `operators`).
+fn validate_embedded(v: &Json, profiles: &mut usize) -> Result<(), String> {
+    match v {
+        Json::Obj(map) => {
+            if map.contains_key("sql") && map.contains_key("operators") {
+                let ops = validate_query_profile_value(v)
+                    .map_err(|e| format!("embedded profile: {e}"))?;
+                if ops == 0 {
+                    return Err("embedded profile has no operators".to_string());
+                }
+                *profiles += 1;
+                return Ok(());
+            }
+            for val in map.values() {
+                validate_embedded(val, profiles)?;
+            }
+        }
+        Json::Arr(items) => {
+            for item in items {
+                validate_embedded(item, profiles)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}

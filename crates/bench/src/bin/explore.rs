@@ -380,6 +380,7 @@ fn run_sql(args: &Args, sql: &str) {
     };
     match tapejoin_sql::run(sql, &catalog, &cfg, mode) {
         Ok(SqlOutcome::Plan(text)) => print!("{text}"),
+        Ok(SqlOutcome::Profile(p)) => print!("{}", p.text),
         Ok(SqlOutcome::Rows(out)) => {
             for run in &out.joins {
                 println!(

@@ -13,12 +13,60 @@
 //! row digests must agree (same answer), and the simulated join seconds
 //! quantify what cost-based planning buys. Results go to stdout and
 //! `results/BENCH_7.json` (all times are virtual seconds).
+//!
+//! The **feedback arm** closes the profiler loop: each scenario is
+//! profiled under its *declared* statistics, the [`QueryProfile`] is
+//! absorbed back into a copy of the catalog
+//! ([`Catalog::absorb_profile`]), and the query is re-planned and re-run
+//! under the *learned* statistics. The two runs must be digest-equal and
+//! the learned plan must never be costlier; a catalog whose declared
+//! skew is wrong (the `skew-misdeclared` scenario) shows the planner
+//! recovering CAP from one profiled run. Results go to
+//! `results/BENCH_8.json` with the declared run's full profile document
+//! embedded.
 
 use tapejoin::SystemConfig;
 use tapejoin_bench::{csv_flag, TablePrinter, SEED};
+use tapejoin_obs::{nearest_rank, validate_query_profile_json};
 use tapejoin_rel::{KeyDistribution, RelationSpec};
 use tapejoin_sql::exec::rows_digest;
-use tapejoin_sql::{plan_statement, Catalog, PlannerMode, SqlError};
+use tapejoin_sql::{
+    plan_statement, profile_query, Catalog, PlannerMode, Profiled, SqlError, TableStats,
+};
+
+/// Mirror of the canonical profile field registry
+/// (`tapejoin_obs::PROFILE_FIELDS`). Lint rule L8 keeps this list, the
+/// canonical one and the JSON validator in agreement; `main` re-checks
+/// at runtime before emitting profiles into `BENCH_8.json`.
+const PROFILE_FIELDS: [&str; 27] = [
+    "sql",
+    "mode",
+    "join_order",
+    "est_join_seconds",
+    "actual_join_seconds",
+    "operators",
+    "op",
+    "label",
+    "est_rows",
+    "actual_rows",
+    "q_error",
+    "method",
+    "expected_seconds",
+    "actual_seconds",
+    "tape_seconds",
+    "disk_seconds",
+    "cpu_seconds",
+    "alternatives",
+    "faults",
+    "fault_retries",
+    "restarts",
+    "work_salvaged_bytes",
+    "table",
+    "distinct_keys",
+    "heavy_fraction",
+    "zipf_theta",
+    "filtered",
+];
 
 struct Scenario {
     name: &'static str,
@@ -71,6 +119,41 @@ fn skew_scenario() -> Result<Scenario, SqlError> {
     Ok(Scenario {
         name: "skew-disk-bound",
         note: "Zipf facts on one slow disk; skew hints promote CAP",
+        sql: "SELECT parts.key, orders.rid FROM parts \
+              JOIN orders ON parts.key = orders.key",
+        catalog: cat,
+        cfg: SystemConfig::new(16, 192).disks(1).disk_rate(0.5e6),
+    })
+}
+
+/// The feedback acceptance scenario: the same Zipf facts and disk-bound
+/// machine as [`skew_scenario`], but the catalog *declares* the fact
+/// table uniform — the planner has no reason to promote CAP until the
+/// first profiled run teaches it the real key distribution.
+fn misdeclared_scenario() -> Result<Scenario, SqlError> {
+    let mut scratch = Catalog::new();
+    scratch.register_generated(
+        RelationSpec::new("orders", 1024),
+        KeyDistribution::Zipf { theta: 1.1 },
+        256,
+        SEED ^ 3,
+    )?;
+    let orders = scratch
+        .find("orders")
+        // lint:allow(L3, the table was registered two lines above)
+        .expect("just registered")
+        .1
+        .relation
+        .clone();
+    let mut declared = TableStats::measure(&orders);
+    declared.zipf_theta = 0.0;
+    declared.heavy_fraction = 0.0;
+    let mut cat = Catalog::new();
+    cat.register_dimension("parts", 64, SEED)?;
+    cat.register_with_stats("orders", orders, declared)?;
+    Ok(Scenario {
+        name: "skew-misdeclared",
+        note: "Zipf facts declared uniform; one profiled run teaches the planner",
         sql: "SELECT parts.key, orders.rid FROM parts \
               JOIN orders ON parts.key = orders.key",
         catalog: cat,
@@ -137,6 +220,64 @@ fn run_mode(sc: &Scenario, mode: PlannerMode) -> Result<ModeResult, SqlError> {
         rows: out.rows.len() as u64,
         digest: rows_digest(&out.rows),
     })
+}
+
+/// One side of the feedback experiment: a profiled run plus its
+/// estimate-quality summary.
+struct FeedbackArm {
+    order: Vec<String>,
+    methods: Vec<String>,
+    est_s: f64,
+    sim_s: f64,
+    rows: u64,
+    digest: u64,
+    q_p50: f64,
+    q_max: f64,
+    profile_json: String,
+}
+
+fn feedback_arm(p: &Profiled) -> FeedbackArm {
+    let mut qs: Vec<f64> = p.profile.operators.iter().map(|o| o.q_error).collect();
+    qs.sort_by(f64::total_cmp);
+    FeedbackArm {
+        order: p.profile.join_order.clone(),
+        methods: p
+            .output
+            .joins
+            .iter()
+            .map(|j| j.stats.method.abbrev().to_string())
+            .collect(),
+        est_s: p.profile.est_join_seconds,
+        sim_s: p.profile.actual_join_seconds,
+        rows: p.output.rows.len() as u64,
+        digest: rows_digest(&p.output.rows),
+        q_p50: nearest_rank(&qs, 0.5).unwrap_or(1.0),
+        q_max: qs.last().copied().unwrap_or(1.0),
+        profile_json: p.profile.to_json(),
+    }
+}
+
+/// Profile under the declared statistics, absorb, re-plan, re-profile.
+fn run_feedback(sc: &Scenario) -> Result<(FeedbackArm, FeedbackArm, usize), SqlError> {
+    let declared = profile_query(sc.sql, &sc.catalog, &sc.cfg, PlannerMode::CostBased)?;
+    let mut learned_cat = sc.catalog.clone();
+    let updated = learned_cat.absorb_profile(&declared.profile);
+    let learned = profile_query(sc.sql, &learned_cat, &sc.cfg, PlannerMode::CostBased)?;
+    Ok((feedback_arm(&declared), feedback_arm(&learned), updated))
+}
+
+fn json_feedback(a: &FeedbackArm) -> String {
+    format!(
+        "{{\"order\": {}, \"methods\": {}, \"est_join_s\": {:.3}, \"sim_join_s\": {:.3}, \"rows\": {}, \"digest\": {}, \"q_error_p50\": {:.3}, \"q_error_max\": {:.3}}}",
+        json_str_list(&a.order),
+        json_str_list(&a.methods),
+        a.est_s,
+        a.sim_s,
+        a.rows,
+        a.digest,
+        a.q_p50,
+        a.q_max,
+    )
 }
 
 fn json_str_list(items: &[impl AsRef<str>]) -> String {
@@ -243,6 +384,111 @@ fn main() {
         Ok(()) => println!("\nwrote results/BENCH_7.json"),
         Err(e) => {
             eprintln!("failed to write results/BENCH_7.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    feedback_bench();
+}
+
+/// The feedback arm: profile → absorb → re-plan, per scenario, emitting
+/// `results/BENCH_8.json`.
+fn feedback_bench() {
+    assert_eq!(
+        PROFILE_FIELDS,
+        tapejoin_obs::PROFILE_FIELDS,
+        "sqlbench's profile-field mirror fell out of sync with tapejoin-obs"
+    );
+    let scenarios = [star_scenario(), misdeclared_scenario()];
+    let mut table = TablePrinter::new(
+        &[
+            "scenario", "stats", "order", "methods", "sim (s)", "q p50", "q max",
+        ],
+        csv_flag(),
+    );
+    let mut entries = Vec::new();
+
+    println!("\nPlan-vs-actual feedback: declared vs learned statistics");
+    println!("(each scenario profiled, absorbed into the catalog, re-planned)\n");
+
+    for sc in &scenarios {
+        let sc = match sc {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("scenario setup failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (declared, learned, updated) = match run_feedback(sc) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", sc.name);
+                std::process::exit(1);
+            }
+        };
+        assert!(updated > 0, "{}: no tables absorbed feedback", sc.name);
+        assert_eq!(
+            (declared.rows, declared.digest),
+            (learned.rows, learned.digest),
+            "{}: feedback changed the answer",
+            sc.name
+        );
+        assert!(
+            learned.sim_s <= declared.sim_s + 1e-6,
+            "{}: learned plan costlier than declared ({:.3}s > {:.3}s)",
+            sc.name,
+            learned.sim_s,
+            declared.sim_s
+        );
+        for (label, arm) in [("declared", &declared), ("learned", &learned)] {
+            table.row(vec![
+                sc.name.to_string(),
+                label.to_string(),
+                arm.order.join("->"),
+                arm.methods.join(","),
+                format!("{:.1}", arm.sim_s),
+                format!("{:.2}", arm.q_p50),
+                format!("{:.2}", arm.q_max),
+            ]);
+        }
+        let speedup = if learned.sim_s > 0.0 {
+            declared.sim_s / learned.sim_s
+        } else {
+            1.0
+        };
+        for arm in [&declared, &learned] {
+            if let Err(e) = validate_query_profile_json(&arm.profile_json) {
+                eprintln!("{}: emitted profile fails its own schema: {e}", sc.name);
+                std::process::exit(1);
+            }
+        }
+        entries.push(format!(
+            "    {{\n      \"name\": \"{}\", \"note\": \"{}\",\n      \"sql\": \"{}\",\n      \"machine\": {{\"memory_blocks\": {}, \"disk_blocks\": {}, \"disks\": {}, \"disk_rate_mb_s\": {:.2}}},\n      \"tables_updated\": {},\n      \"declared\": {},\n      \"learned\": {},\n      \"digest_equal\": true,\n      \"sim_speedup\": {:.3},\n      \"declared_profile\": {}\n    }}",
+            sc.name,
+            sc.note,
+            sc.sql.replace('"', "\\\""),
+            sc.cfg.memory_blocks,
+            sc.cfg.disk_blocks,
+            sc.cfg.disks,
+            sc.cfg.disk_rate / 1e6,
+            updated,
+            json_feedback(&declared),
+            json_feedback(&learned),
+            speedup,
+            declared.profile_json.trim_end(),
+        ));
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"bench\": 8,\n  \"title\": \"Plan-vs-actual feedback into the statistics catalog\",\n  \"seed\": {SEED},\n  \"time_unit\": \"simulated seconds\",\n  \"profile_fields\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        json_str_list(&PROFILE_FIELDS),
+        entries.join(",\n"),
+    );
+    match std::fs::write("results/BENCH_8.json", &json) {
+        Ok(()) => println!("\nwrote results/BENCH_8.json"),
+        Err(e) => {
+            eprintln!("failed to write results/BENCH_8.json: {e}");
             std::process::exit(1);
         }
     }

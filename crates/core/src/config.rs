@@ -146,10 +146,6 @@ pub struct SystemConfig {
     /// paper's default) or materialized on the local disks, sharing
     /// their bandwidth.
     pub output: OutputMode,
-    /// Record per-device busy intervals (tape R, tape S, disks) into the
-    /// returned statistics — the raw material for Gantt-style overlap
-    /// analysis. Off by default (it stores one entry per request).
-    pub record_timeline: bool,
     /// CPU time charged per tuple processed (hashed or probed) by a join
     /// process. The paper assumes "CPU cost can be ignored" (§3.2) —
     /// zero by default; the `ablation_cpu` experiment sweeps it to test
@@ -212,7 +208,6 @@ impl SystemConfig {
             tape_r_scratch: None,
             tape_s_scratch: None,
             output: OutputMode::Pipelined,
-            record_timeline: false,
             cpu_per_tuple: Duration::ZERO,
             use_read_reverse: false,
             verify_tape_reads: false,
@@ -282,12 +277,6 @@ impl SystemConfig {
     /// Charge CPU time per processed tuple (hash or probe).
     pub fn cpu_per_tuple(mut self, cost: Duration) -> Self {
         self.cpu_per_tuple = cost;
-        self
-    }
-
-    /// Enable device-timeline recording.
-    pub fn record_timeline(mut self, enabled: bool) -> Self {
-        self.record_timeline = enabled;
         self
     }
 

@@ -42,8 +42,6 @@ pub struct JoinEnv {
     pub r_compressibility: f64,
     /// Compressibility of S's data.
     pub s_compressibility: f64,
-    /// Device timelines, when recording is enabled.
-    pub timeline: Option<crate::stats::DeviceTimeline>,
 }
 
 impl JoinEnv {
@@ -87,15 +85,6 @@ impl JoinEnv {
             drive_r.set_fault_policy(cfg.faults.tape_policy("R"));
             drive_s.set_fault_policy(cfg.faults.tape_policy("S"));
         }
-        let timeline = cfg.record_timeline.then(|| crate::stats::DeviceTimeline {
-            tape_r: tapejoin_sim::ActivityLog::new(),
-            tape_s: tapejoin_sim::ActivityLog::new(),
-            disks: tapejoin_sim::ActivityLog::new(),
-        });
-        if let Some(t) = &timeline {
-            drive_r.attach_activity_log(t.tape_r.clone());
-            drive_s.attach_activity_log(t.tape_s.clone());
-        }
         if cfg.recorder.is_enabled() {
             drive_r.set_recorder(cfg.recorder.share());
             drive_s.set_recorder(cfg.recorder.share());
@@ -107,9 +96,6 @@ impl JoinEnv {
         let disks = DiskArray::new(disk_model, cfg.disks, cfg.block_bytes, cfg.array_mode);
         if cfg.faults.disk_active() {
             disks.set_fault_policy(cfg.faults.disk_policy());
-        }
-        if let Some(t) = &timeline {
-            disks.attach_activity_log(t.disks.clone());
         }
         if cfg.recorder.is_enabled() {
             disks.set_recorder(cfg.recorder.share());
@@ -148,7 +134,6 @@ impl JoinEnv {
             space,
             mem,
             sink,
-            timeline,
         }
     }
 

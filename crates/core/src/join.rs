@@ -328,7 +328,6 @@ impl TertiaryJoin {
                 output: env.sink.check(),
                 output_blocks,
                 buffer_probe: probe,
-                timeline: env.timeline.clone(),
             };
             (stats, disk_error, abort)
         });

@@ -76,4 +76,4 @@ pub use fault::{FaultPlan, FaultSummary};
 pub use join::{optimum_join_time, TertiaryJoin};
 pub use method::JoinMethod;
 pub use output::{build_table, probe_and_emit, probe_r_against_s_table, OutputMode, OutputSink};
-pub use stats::{DeviceTimeline, JoinStats};
+pub use stats::JoinStats;

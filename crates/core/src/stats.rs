@@ -3,7 +3,7 @@
 use tapejoin_buffer::UtilizationProbe;
 use tapejoin_disk::DiskStats;
 use tapejoin_rel::JoinCheck;
-use tapejoin_sim::{ActivityLog, Duration};
+use tapejoin_sim::Duration;
 use tapejoin_tape::TapeStats;
 
 use crate::fault::FaultSummary;
@@ -50,26 +50,6 @@ pub struct JoinStats {
     /// Disk-buffer occupancy traces, when the method staged `S` through a
     /// double-buffered disk region (Figure 4).
     pub buffer_probe: Option<UtilizationProbe>,
-    /// Per-device busy intervals, when timeline recording was enabled.
-    pub timeline: Option<DeviceTimeline>,
-}
-
-/// Busy intervals for each device of the simulated machine.
-///
-/// **Deprecated in favor of the span stream**: an enabled
-/// [`tapejoin_obs::Recorder`] (see [`crate::SystemConfig::recorder`])
-/// captures the same device-op intervals as spans — plus nesting, fault
-/// attribution and metrics — and renders them with
-/// `tapejoin_obs::gantt_rows`. Direct `DeviceTimeline` walks remain for
-/// compatibility but new tooling should consume spans.
-#[derive(Clone)]
-pub struct DeviceTimeline {
-    /// The R tape drive's activity.
-    pub tape_r: ActivityLog,
-    /// The S tape drive's activity.
-    pub tape_s: ActivityLog,
-    /// The disk array's activity.
-    pub disks: ActivityLog,
 }
 
 impl JoinStats {

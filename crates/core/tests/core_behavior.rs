@@ -145,8 +145,7 @@ fn config_builders_round_trip() {
         .disk_overhead(true)
         .array_mode(ArrayMode::PerDisk)
         .disk_buffer(DiskBufKind::Split)
-        .hash_seed(7)
-        .record_timeline(true);
+        .hash_seed(7);
     assert_eq!(cfg.block_bytes, 32 * 1024);
     assert_eq!(cfg.disks, 4);
     assert!((cfg.aggregate_disk_rate() - 6.0e6).abs() < 1.0);
@@ -154,32 +153,44 @@ fn config_builders_round_trip() {
     assert_eq!(cfg.array_mode, ArrayMode::PerDisk);
     assert_eq!(cfg.disk_buffer, DiskBufKind::Split);
     assert_eq!(cfg.hash_seed, 7);
-    assert!(cfg.record_timeline);
     assert!(cfg.validate().is_ok());
 }
 
 #[test]
-fn timeline_recording_captures_all_devices() {
+fn span_recording_captures_all_devices() {
+    use std::collections::HashMap;
+    use tapejoin_obs::{Recorder, SpanKind};
     let w = WorkloadBuilder::new(22)
         .r(RelationSpec::new("R", 32))
         .s(RelationSpec::new("S", 128))
         .build();
-    let stats = TertiaryJoin::new(SystemConfig::new(16, 120).record_timeline(true))
+    let rec = Recorder::enabled();
+    let stats = TertiaryJoin::new(SystemConfig::new(16, 120).recorder(rec.share()))
         .run(JoinMethod::CdtGh, &w)
         .unwrap();
-    let t = stats.timeline.expect("recording enabled");
-    assert!(!t.tape_r.is_empty());
-    assert!(!t.tape_s.is_empty());
-    assert!(!t.disks.is_empty());
-    // Busy time never exceeds the response span per device.
-    for log in [&t.tape_r, &t.tape_s, &t.disks] {
-        assert!(log.busy() <= stats.response);
+    // Sum closed device-op durations per track.
+    let mut busy: HashMap<String, u64> = HashMap::new();
+    for s in rec.spans().iter().filter(|s| s.kind == SpanKind::DeviceOp) {
+        let end = s.end.expect("device ops are closed");
+        *busy.entry(s.track.clone()).or_default() += end.duration_since(s.start).as_nanos();
     }
-    // Without the flag, no timeline is returned.
-    let stats = TertiaryJoin::new(SystemConfig::new(16, 120))
+    // Every device class shows up in the span stream.
+    for prefix in ["tape-drive:R", "tape-drive:S", "disk"] {
+        assert!(
+            busy.keys().any(|t| t.starts_with(prefix)),
+            "no device-op spans on {prefix}"
+        );
+    }
+    // Busy time never exceeds the response span per device.
+    for (track, ns) in &busy {
+        assert!(*ns <= stats.response.as_nanos(), "{track} busy > response");
+    }
+    // A disabled recorder records nothing.
+    let rec = Recorder::disabled();
+    TertiaryJoin::new(SystemConfig::new(16, 120).recorder(rec.share()))
         .run(JoinMethod::CdtGh, &w)
         .unwrap();
-    assert!(stats.timeline.is_none());
+    assert!(rec.spans().is_empty());
 }
 
 #[test]

@@ -146,15 +146,6 @@ impl DiskArray {
         self.aggregate.stats()
     }
 
-    /// Record every service interval of the array into `log` (the
-    /// aggregate server in aggregate mode, every disk in per-disk mode).
-    pub fn attach_activity_log(&self, log: tapejoin_sim::ActivityLog) {
-        self.aggregate.attach_activity_log(log.clone());
-        for server in self.per_disk.iter() {
-            server.attach_activity_log(log.clone());
-        }
-    }
-
     /// Attach an observability recorder: every service interval becomes a
     /// `device-op` span (on `disk-array` in aggregate mode, `disk-{i}`
     /// per disk otherwise) and every injected fault's recovery a `fault`

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
-/// The seven invariant rules (plus `L0` for malformed pragmas).
+/// The eight invariant rules (plus `L0` for malformed pragmas).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Malformed `lint:allow` pragma (unknown rule, missing reason).
@@ -28,11 +28,15 @@ pub enum Rule {
     /// Checkpoint phases: every `JoinMethod` declares its resume
     /// boundaries from the registered phase set.
     L7,
+    /// Query-profile schema: `QueryProfile`/`OperatorProfile` struct
+    /// fields, the obs field registry and the BENCH_8 emitter's mirror
+    /// stay in exact agreement.
+    L8,
 }
 
 impl Rule {
     /// All checkable rules (excludes the pragma meta-rule `L0`).
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::L1,
         Rule::L2,
         Rule::L3,
@@ -40,6 +44,7 @@ impl Rule {
         Rule::L5,
         Rule::L6,
         Rule::L7,
+        Rule::L8,
     ];
 
     /// Rule id as written in pragmas and diagnostics (`"L3"`).
@@ -53,6 +58,7 @@ impl Rule {
             Rule::L5 => "L5",
             Rule::L6 => "L6",
             Rule::L7 => "L7",
+            Rule::L8 => "L8",
         }
     }
 
@@ -66,6 +72,7 @@ impl Rule {
             "L5" => Some(Rule::L5),
             "L6" => Some(Rule::L6),
             "L7" => Some(Rule::L7),
+            "L8" => Some(Rule::L8),
             _ => None,
         }
     }
@@ -84,6 +91,9 @@ impl Rule {
             Rule::L6 => "Recorder discipline: fork(), never clone(), across executor boundaries",
             Rule::L7 => {
                 "checkpoint phases: every JoinMethod declares resume boundaries from PHASES"
+            }
+            Rule::L8 => {
+                "profile schema: QueryProfile fields, obs registry and BENCH_8 mirror agree"
             }
         }
     }

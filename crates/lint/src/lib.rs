@@ -9,10 +9,12 @@
 //! of the paper's Table 2 must stay registered across the planner, the
 //! differential harness, the bench harness and the obs label table —
 //! and each must declare its checkpoint phase boundaries so a fault
-//! mid-join stays resumable.
+//! mid-join stays resumable. The `EXPLAIN ANALYZE` profile schema adds
+//! one more: its field registry, the profile structs and the
+//! `BENCH_8.json` emitter's mirror must agree exactly.
 //!
 //! This crate is a small static pass over the workspace source — a
-//! comment/string-aware token scanner plus seven rule passes — run in CI as
+//! comment/string-aware token scanner plus eight rule passes — run in CI as
 //! `cargo run -p tapejoin-lint -- check`. See `DESIGN.md` §11 for the
 //! rule catalogue and the `lint:allow` pragma contract (rule id plus a
 //! mandatory reason).
@@ -23,6 +25,7 @@ mod checkpoints;
 mod diag;
 mod lexer;
 mod pragma;
+mod profile;
 mod registry;
 mod rules;
 mod walk;
@@ -45,6 +48,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
     }
     registry::check_registry(root, &mut diags);
     checkpoints::check_checkpoints(root, &mut diags);
+    profile::check_profile(root, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     diags
 }
@@ -77,5 +81,13 @@ pub fn lint_registry(root: &Path) -> Vec<Diagnostic> {
 pub fn lint_checkpoints(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     checkpoints::check_checkpoints(root, &mut diags);
+    diags
+}
+
+/// Run only the L8 profile-schema check (exposed for the fixture
+/// tests).
+pub fn lint_profile(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    profile::check_profile(root, &mut diags);
     diags
 }

@@ -52,7 +52,7 @@ fn check(args: &[String]) -> ExitCode {
         println!("{d}\n");
     }
     if diags.is_empty() {
-        println!("tapejoin-lint: workspace clean (rules L1-L7)");
+        println!("tapejoin-lint: workspace clean (rules L1-L8)");
         ExitCode::SUCCESS
     } else {
         println!("tapejoin-lint: {} violation(s)", diags.len());

@@ -1,0 +1,278 @@
+//! L8 — query-profile field-registry consistency.
+//!
+//! The `QueryProfile` JSON schema is defined in three places the
+//! compiler cannot tie together: the field registry in
+//! `crates/obs/src/profile.rs` (`QUERY_FIELDS` / `OPERATOR_FIELDS` and
+//! their concatenation `PROFILE_FIELDS`, which the validator walks), the
+//! `QueryProfile` / `OperatorProfile` struct definitions whose fields the
+//! hand-rolled encoder emits, and the `BENCH_8.json` emitter's mirrored
+//! `PROFILE_FIELDS` const in `crates/bench/src/bin/sqlbench.rs`. A field
+//! added to a struct but not the registry is emitted yet never validated;
+//! a registry entry without a struct field makes every profile fail
+//! validation; a stale bench mirror quietly ships a `BENCH_8.json` whose
+//! advertised schema drifted from the real one. This pass parses all
+//! three sites with the token scanner and demands exact agreement,
+//! including emit order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{scan, Token, TokenKind};
+use crate::registry::string_array;
+
+const OBS_FILE: &str = "crates/obs/src/profile.rs";
+const BENCH_FILE: &str = "crates/bench/src/bin/sqlbench.rs";
+
+/// Run the profile field-registry check over a workspace rooted at
+/// `root`.
+pub fn check_profile(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let Some(src) = read(&root.join(OBS_FILE), OBS_FILE, diags) else {
+        return;
+    };
+    let toks = scan(&src).tokens;
+    let query = string_array(&toks, "QUERY_FIELDS");
+    let operator = string_array(&toks, "OPERATOR_FIELDS");
+    let canonical = string_array(&toks, "PROFILE_FIELDS");
+    if query.is_empty() || operator.is_empty() || canonical.is_empty() {
+        push(
+            diags,
+            OBS_FILE,
+            1,
+            "could not find the QUERY_FIELDS / OPERATOR_FIELDS / PROFILE_FIELDS registries"
+                .to_string(),
+            "keep the canonical profile field registry in crates/obs/src/profile.rs".to_string(),
+        );
+        return;
+    }
+
+    // 1. The combined registry is the two lists in emit order.
+    let concat: Vec<String> = query.iter().chain(operator.iter()).cloned().collect();
+    if canonical != concat {
+        push(
+            diags,
+            OBS_FILE,
+            line_of_ident(&toks, "PROFILE_FIELDS").unwrap_or(1),
+            "PROFILE_FIELDS is not QUERY_FIELDS followed by OPERATOR_FIELDS".to_string(),
+            "PROFILE_FIELDS must concatenate the two lists in emit order".to_string(),
+        );
+    }
+
+    // 2. The structs the encoder walks agree with the registry.
+    check_struct(&toks, "QueryProfile", &query, "QUERY_FIELDS", diags);
+    check_struct(
+        &toks,
+        "OperatorProfile",
+        &operator,
+        "OPERATOR_FIELDS",
+        diags,
+    );
+
+    // 3. The BENCH_8 emitter's mirror is an exact copy.
+    let Some(bsrc) = read(&root.join(BENCH_FILE), BENCH_FILE, diags) else {
+        return;
+    };
+    let btoks = scan(&bsrc).tokens;
+    let mirror = string_array(&btoks, "PROFILE_FIELDS");
+    if mirror.is_empty() {
+        push(
+            diags,
+            BENCH_FILE,
+            1,
+            "could not find the PROFILE_FIELDS mirror in the BENCH_8 emitter".to_string(),
+            "sqlbench must keep a PROFILE_FIELDS const mirroring tapejoin_obs::PROFILE_FIELDS"
+                .to_string(),
+        );
+        return;
+    }
+    if mirror != canonical {
+        let line = line_of_ident(&btoks, "PROFILE_FIELDS").unwrap_or(1);
+        for f in &canonical {
+            if !mirror.contains(f) {
+                push(
+                    diags,
+                    BENCH_FILE,
+                    line,
+                    format!("profile field \"{f}\" missing from the BENCH_8 PROFILE_FIELDS mirror"),
+                    "copy the canonical list from crates/obs/src/profile.rs".to_string(),
+                );
+            }
+        }
+        for f in &mirror {
+            if !canonical.contains(f) {
+                push(
+                    diags,
+                    BENCH_FILE,
+                    line,
+                    format!("BENCH_8 PROFILE_FIELDS mirror lists unknown field \"{f}\""),
+                    "drop it or register it in crates/obs/src/profile.rs first".to_string(),
+                );
+            }
+        }
+        if mirror.len() == canonical.len() && canonical.iter().all(|f| mirror.contains(f)) {
+            push(
+                diags,
+                BENCH_FILE,
+                line,
+                "BENCH_8 PROFILE_FIELDS mirror lists the fields in the wrong order".to_string(),
+                "the mirror must match the canonical emit order exactly".to_string(),
+            );
+        }
+    }
+}
+
+/// Demand that `struct_name`'s fields and `registry` agree exactly,
+/// in declaration/emit order.
+fn check_struct(
+    toks: &[Token],
+    struct_name: &str,
+    registry: &[String],
+    registry_name: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let fields = struct_fields(toks, struct_name);
+    if fields.is_empty() {
+        push(
+            diags,
+            OBS_FILE,
+            1,
+            format!("could not find `struct {struct_name}` fields"),
+            "keep the profile structs in crates/obs/src/profile.rs".to_string(),
+        );
+        return;
+    }
+    let head = fields.first().map(|(_, l)| *l).unwrap_or(1);
+    for f in registry {
+        if !fields.iter().any(|(n, _)| n == f) {
+            push(
+                diags,
+                OBS_FILE,
+                head,
+                format!("{registry_name} field \"{f}\" has no {struct_name} struct field"),
+                format!("add the field to {struct_name} or drop it from {registry_name}"),
+            );
+        }
+    }
+    for (n, l) in &fields {
+        if !registry.contains(n) {
+            push(
+                diags,
+                OBS_FILE,
+                *l,
+                format!("{struct_name} field \"{n}\" is missing from {registry_name}"),
+                format!("register it in {registry_name} so the validator tracks it"),
+            );
+        }
+    }
+    let names: Vec<&String> = fields.iter().map(|(n, _)| n).collect();
+    if names.len() == registry.len()
+        && registry.iter().all(|f| names.contains(&f))
+        && !names.iter().zip(registry).all(|(a, b)| *a == b)
+    {
+        push(
+            diags,
+            OBS_FILE,
+            head,
+            format!("{struct_name} fields and {registry_name} agree as a set but not in order"),
+            "the registry is the emit order; keep the struct declared in the same order"
+                .to_string(),
+        );
+    }
+}
+
+fn read(path: &Path, rel: &str, diags: &mut Vec<Diagnostic>) -> Option<String> {
+    match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(_) => {
+            push(
+                diags,
+                rel,
+                1,
+                format!("profile registry file {rel} is missing"),
+                "the profile schema spans obs/profile.rs and sqlbench.rs; keep both".to_string(),
+            );
+            None
+        }
+    }
+}
+
+fn push(diags: &mut Vec<Diagnostic>, rel: &str, line: u32, message: String, hint: String) {
+    diags.push(Diagnostic {
+        rule: Rule::L8,
+        file: PathBuf::from(rel),
+        line,
+        message,
+        hint,
+    });
+}
+
+fn line_of_ident(toks: &[Token], id: &str) -> Option<u32> {
+    toks.iter().find(|t| t.is_ident(id)).map(|t| t.line)
+}
+
+/// The `pub <name>: <type>` field names of `struct <name> { ... }`, in
+/// declaration order, with their source lines.
+fn struct_fields(toks: &[Token], name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("struct") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                } else if depth == 1 && toks[j].is_ident("pub") {
+                    if let Some(TokenKind::Ident(id)) = toks.get(j + 1).map(|t| &t.kind) {
+                        // A field name: `pub ident :` but not a path `::`.
+                        let field = toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                            && !toks.get(j + 3).is_some_and(|t| t.is_punct(':'));
+                        if field {
+                            out.push((id.clone(), toks[j + 1].line));
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_struct_fields_in_order() {
+        let src = r#"
+            pub struct OperatorProfile {
+                /// Operator kind.
+                pub op: String,
+                pub method: Option<String>,
+                pub alternatives: Vec<Alternative>,
+                pub filtered: bool,
+            }
+        "#;
+        let fields = struct_fields(&scan(src).tokens, "OperatorProfile");
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["op", "method", "alternatives", "filtered"]);
+    }
+
+    #[test]
+    fn ignores_other_structs() {
+        let src = "pub struct A { pub x: u64 } pub struct B { pub y: u64 }";
+        let fields = struct_fields(&scan(src).tokens, "B");
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].0, "y");
+    }
+}

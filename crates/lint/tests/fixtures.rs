@@ -13,7 +13,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use tapejoin_lint::{
-    lint_checkpoints, lint_registry, lint_source, Diagnostic, FileClass, Rule, SourceFile,
+    lint_checkpoints, lint_profile, lint_registry, lint_source, Diagnostic, FileClass, Rule,
+    SourceFile,
 };
 
 fn fixture_dir() -> PathBuf {
@@ -250,6 +251,96 @@ fn deleting_any_phase_arm_trips_l7() {
                 .iter()
                 .any(|d| d.rule == Rule::L7 && d.message.contains(victim)),
             "deleting JoinMethod::{victim}'s phases() arm must trip L7; got {:?}",
+            diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn l8_workspace_fixture_reports_every_field_drift() {
+    let diags = lint_profile(&fixture_dir().join("l8_workspace"));
+    assert!(!diags.is_empty(), "drifted profile schema must trip L8");
+    for d in &diags {
+        assert_eq!(d.rule, Rule::L8, "unexpected rule: {}", d.message);
+    }
+    let msgs: Vec<_> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("q_error") && m.contains("no OperatorProfile struct field")),
+        "registry field without a struct field must be reported: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("mislabeled") && m.contains("missing from OPERATOR_FIELDS")),
+        "struct field outside the registry must be reported: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("\"op\"") && m.contains("BENCH_8")),
+        "stale bench mirror must be reported: {msgs:?}"
+    );
+}
+
+#[test]
+fn l8_clean_workspace_fixture_passes() {
+    let diags = lint_profile(&fixture_dir().join("l8_clean"));
+    assert!(
+        diags.is_empty(),
+        "clean mini-workspace tripped L8: {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
+/// The real workspace's profile schema must be consistent.
+#[test]
+fn real_workspace_profile_schema_is_consistent() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_profile(&root);
+    assert!(
+        diags.is_empty(),
+        "workspace profile schema drifted: {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
+/// Acceptance check from the issue: deleting ANY field from the BENCH_8
+/// emitter's PROFILE_FIELDS mirror must make L8 fail. Exercised against
+/// a copy of the real registry files with one mirror entry removed at a
+/// time.
+#[test]
+fn deleting_any_field_from_the_bench_mirror_trips_l8() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("l8_deletion");
+    let obs_src = fs::read_to_string(root.join("crates/obs/src/profile.rs")).unwrap();
+    let bench_src = fs::read_to_string(root.join("crates/bench/src/bin/sqlbench.rs")).unwrap();
+    let fields = [
+        "sql",
+        "mode",
+        "operators",
+        "op",
+        "q_error",
+        "tape_seconds",
+        "filtered",
+    ];
+    for victim in fields {
+        // Drop the victim's line from the mirror (one field per line).
+        let needle = format!("    \"{victim}\",\n");
+        let idx = bench_src.find("PROFILE_FIELDS").unwrap();
+        let (head, tail) = bench_src.split_at(idx);
+        let gutted = format!("{head}{}", tail.replacen(&needle, "", 1));
+        assert_ne!(gutted, bench_src, "mirror entry for {victim} not found");
+        let obs_dst = scratch.join("crates/obs/src");
+        let bench_dst = scratch.join("crates/bench/src/bin");
+        fs::create_dir_all(&obs_dst).unwrap();
+        fs::create_dir_all(&bench_dst).unwrap();
+        fs::write(obs_dst.join("profile.rs"), &obs_src).unwrap();
+        fs::write(bench_dst.join("sqlbench.rs"), &gutted).unwrap();
+        let diags = lint_profile(&scratch);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::L8 && d.message.contains(victim)),
+            "deleting \"{victim}\" from the BENCH_8 mirror must trip L8; got {:?}",
             diags.iter().map(|d| &d.message).collect::<Vec<_>>()
         );
     }

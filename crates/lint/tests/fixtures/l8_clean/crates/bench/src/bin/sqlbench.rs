@@ -1,0 +1,7 @@
+//! Clean BENCH_8 emitter mirror: an exact copy of the canonical list.
+
+const PROFILE_FIELDS: [&str; 4] = ["sql", "operators", "op", "q_error"];
+
+fn main() {
+    let _ = PROFILE_FIELDS;
+}

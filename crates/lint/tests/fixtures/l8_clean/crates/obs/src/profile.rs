@@ -1,0 +1,23 @@
+//! Clean mini profile registry: structs, registry and mirror agree.
+
+pub const QUERY_FIELDS: &[&str] = &["sql", "operators"];
+
+pub const OPERATOR_FIELDS: &[&str] = &["op", "q_error"];
+
+pub const PROFILE_FIELDS: &[&str] = &["sql", "operators", "op", "q_error"];
+
+/// A full per-operator profile of one executed query.
+pub struct QueryProfile {
+    /// Canonical SQL text.
+    pub sql: String,
+    /// Per-operator measurements.
+    pub operators: Vec<OperatorProfile>,
+}
+
+/// Plan-vs-actual measurements for one operator.
+pub struct OperatorProfile {
+    /// Operator kind.
+    pub op: String,
+    /// Cardinality Q-error, always >= 1.0.
+    pub q_error: f64,
+}

@@ -1,0 +1,7 @@
+//! Defective BENCH_8 emitter mirror: the `op` field went missing.
+
+const PROFILE_FIELDS: [&str; 3] = ["sql", "operators", "q_error"];
+
+fn main() {
+    let _ = PROFILE_FIELDS;
+}

@@ -1,0 +1,24 @@
+//! Defective mini profile registry: `OperatorProfile` renamed a field
+//! (`q_error` -> `mislabeled`) without updating the registry.
+
+pub const QUERY_FIELDS: &[&str] = &["sql", "operators"];
+
+pub const OPERATOR_FIELDS: &[&str] = &["op", "q_error"];
+
+pub const PROFILE_FIELDS: &[&str] = &["sql", "operators", "op", "q_error"];
+
+/// A full per-operator profile of one executed query.
+pub struct QueryProfile {
+    /// Canonical SQL text.
+    pub sql: String,
+    /// Per-operator measurements.
+    pub operators: Vec<OperatorProfile>,
+}
+
+/// Plan-vs-actual measurements for one operator.
+pub struct OperatorProfile {
+    /// Operator kind.
+    pub op: String,
+    /// Drifted: the registry still says `q_error`.
+    pub mislabeled: f64,
+}

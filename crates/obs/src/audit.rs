@@ -27,7 +27,13 @@
 //! 5. **Step conservation** — for every scope span and track, the sum of
 //!    child device-op time clamped to the scope's interval is at most the
 //!    scope's duration.
-//! 6. **Fault accounting** — ([`check_fault_time`]) the total duration of
+//! 6. **Plan spans are markers** — a `plan` span is a zero-width
+//!    annotation (planning happens before the virtual clock starts), so
+//!    any extent on one would charge phantom time.
+//! 7. **Profiled-run conservation** — for every `query` span, the summed
+//!    duration of its direct scope-kind children (the operator spans a
+//!    profiled run records) is at most the query's elapsed time.
+//! 8. **Fault accounting** — ([`check_fault_time`]) the total duration of
 //!    `fault` spans equals the fault-recovery time a `FaultSummary`
 //!    reports, so recovery charges can never leak out of the trace.
 
@@ -214,6 +220,51 @@ pub fn audit_spans(spans: &[Span]) -> AuditReport {
         }
     }
 
+    // 6. Plan spans are zero-width markers: planning happens before the
+    // virtual clock starts.
+    for span in spans {
+        if span.kind != SpanKind::Plan {
+            continue;
+        }
+        let Some(end) = span.end else {
+            continue; // open spans already reported
+        };
+        report.checks += 1;
+        if end != span.start {
+            report.violations.push(format!(
+                "plan span {} '{}' has nonzero width [{:?}, {end:?}]",
+                span.id.0, span.name, span.start
+            ));
+        }
+    }
+
+    // 7. Profiled-run conservation: per query span, the summed duration
+    // of its direct scope-kind children (the operator spans) fits inside
+    // the query's elapsed time — operators of one query run sequentially.
+    for query in spans {
+        if query.kind != SpanKind::Query || query.end.is_none() {
+            continue;
+        }
+        let mut child_time = Duration::ZERO;
+        for child in spans {
+            if child.parent != Some(query.id) || !child.kind.is_scope() {
+                continue;
+            }
+            if let Some(end) = child.end {
+                child_time += end.saturating_duration_since(child.start);
+            }
+        }
+        report.checks += 1;
+        if child_time > query.duration() {
+            report.violations.push(format!(
+                "query {} '{}': operator time {child_time:?} exceeds query elapsed {:?}",
+                query.id.0,
+                query.name,
+                query.duration()
+            ));
+        }
+    }
+
     report
 }
 
@@ -356,6 +407,39 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("exceeds scope duration")));
+    }
+
+    #[test]
+    fn plan_spans_must_be_zero_width() {
+        let ok = vec![span(0, None, SpanKind::Plan, "sql", 0, Some(0))];
+        audit_spans(&ok).assert_ok();
+        let bad = vec![span(0, None, SpanKind::Plan, "sql", 0, Some(5))];
+        assert!(audit_spans(&bad)
+            .violations
+            .iter()
+            .any(|v| v.contains("nonzero width")));
+    }
+
+    #[test]
+    fn query_operator_time_must_fit_query_elapsed() {
+        // Two sequential operator scopes inside the query: fine.
+        let ok = vec![
+            span(0, None, SpanKind::Query, "sql", 0, Some(100)),
+            span(1, Some(0), SpanKind::Scope, "sql", 0, Some(60)),
+            span(2, Some(0), SpanKind::Scope, "sql", 60, Some(100)),
+        ];
+        audit_spans(&ok).assert_ok();
+        // Nested scopes summing past the query's elapsed time: flagged,
+        // even though each child individually nests correctly.
+        let bad = vec![
+            span(0, None, SpanKind::Query, "sql", 0, Some(100)),
+            span(1, Some(0), SpanKind::Scope, "sql", 0, Some(80)),
+            span(2, Some(0), SpanKind::Scope, "sql", 40, Some(100)),
+        ];
+        assert!(audit_spans(&bad)
+            .violations
+            .iter()
+            .any(|v| v.contains("operator time")));
     }
 
     #[test]

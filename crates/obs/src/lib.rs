@@ -17,6 +17,11 @@
 //!   — Chrome/Perfetto trace-event JSON (open in `ui.perfetto.dev`) and
 //!   metrics dumps, plus a schema [`validate_trace_event_json`] check
 //!   used by CI's trace-smoke step.
+//! * **Profiles** ([`QueryProfile`], [`q_error`]) — the stable
+//!   per-operator plan-vs-actual schema behind `EXPLAIN ANALYZE`:
+//!   estimated vs observed cardinality, Q-error, tape/disk/CPU
+//!   virtual-time split, and fault counters, JSON-encoded and checked by
+//!   [`validate_query_profile_json`].
 //! * **Conservation audits** ([`audit`], [`check_fault_time`]) — exact
 //!   invariants over the span stream (`busy + idle == elapsed` per
 //!   device, span nesting, step conservation, fault accounting), asserted
@@ -48,6 +53,7 @@ pub mod json;
 pub mod labels;
 mod metrics;
 mod perfetto;
+mod profile;
 mod report;
 mod span;
 
@@ -56,5 +62,9 @@ pub use metrics::{
     default_time_bounds, nearest_rank, Histogram, MetricKey, MetricsRegistry, MetricsSnapshot,
 };
 pub use perfetto::{metrics_csv, metrics_json, perfetto_trace, validate_trace_event_json};
+pub use profile::{
+    q_error, validate_query_profile_json, validate_query_profile_value, Alternative,
+    OperatorProfile, QueryProfile, OPERATOR_FIELDS, PROFILE_FIELDS, QUERY_FIELDS,
+};
 pub use report::{gantt_rows, trace_end, TrackRow};
 pub use span::{AttrValue, Recorder, ScopeGuard, Span, SpanId, SpanKind};

@@ -1,0 +1,540 @@
+//! `QueryProfile` — the stable per-operator profile emitted by
+//! `EXPLAIN ANALYZE` and the programmatic `profile_query` API.
+//!
+//! A profile records, for every operator of an executed physical plan,
+//! the planner's estimated cardinality next to the observed one (with
+//! the standard Q-error), the virtual service time split into tape /
+//! disk / CPU from span attribution, the chosen join method next to the
+//! priced runner-ups, and the fault / retry / restart counters carried
+//! by `JoinStats`. Scan operators additionally carry the observed key
+//! statistics (distinct count, heavy-hitter fraction, fitted Zipf-θ)
+//! that `Catalog::absorb_profile` feeds back into the planner.
+//!
+//! The JSON encoding is hand-rolled (like the Perfetto exporter) and
+//! validated by [`validate_query_profile_json`]; the field names live in
+//! one registry ([`PROFILE_FIELDS`]) that lint rule L8 cross-checks
+//! against the struct definitions here and the `BENCH_8.json` emitter.
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// Top-level keys of the `QueryProfile` JSON object, in emit order.
+pub const QUERY_FIELDS: &[&str] = &[
+    "sql",
+    "mode",
+    "join_order",
+    "est_join_seconds",
+    "actual_join_seconds",
+    "operators",
+];
+
+/// Keys of each member of the `operators` array, in emit order.
+pub const OPERATOR_FIELDS: &[&str] = &[
+    "op",
+    "label",
+    "est_rows",
+    "actual_rows",
+    "q_error",
+    "method",
+    "expected_seconds",
+    "actual_seconds",
+    "tape_seconds",
+    "disk_seconds",
+    "cpu_seconds",
+    "alternatives",
+    "faults",
+    "fault_retries",
+    "restarts",
+    "work_salvaged_bytes",
+    "table",
+    "distinct_keys",
+    "heavy_fraction",
+    "zipf_theta",
+    "filtered",
+];
+
+/// The single field registry for the `QueryProfile` schema: every field
+/// name that appears in the JSON encoding, query-level keys first, then
+/// operator-level keys. Lint rule L8 checks that this list, the struct
+/// fields of [`QueryProfile`] / [`OperatorProfile`], and the mirrored
+/// registry in the `BENCH_8.json` emitter all agree.
+pub const PROFILE_FIELDS: &[&str] = &[
+    "sql",
+    "mode",
+    "join_order",
+    "est_join_seconds",
+    "actual_join_seconds",
+    "operators",
+    "op",
+    "label",
+    "est_rows",
+    "actual_rows",
+    "q_error",
+    "method",
+    "expected_seconds",
+    "actual_seconds",
+    "tape_seconds",
+    "disk_seconds",
+    "cpu_seconds",
+    "alternatives",
+    "faults",
+    "fault_retries",
+    "restarts",
+    "work_salvaged_bytes",
+    "table",
+    "distinct_keys",
+    "heavy_fraction",
+    "zipf_theta",
+    "filtered",
+];
+
+/// The Q-error of a cardinality estimate: `max(est/actual, actual/est)`,
+/// with both sides floored at half a row so an exact estimate (including
+/// the both-empty case) is exactly 1.0 and the measure is always ≥ 1.0.
+pub fn q_error(est_rows: f64, actual_rows: u64) -> f64 {
+    let est = est_rows.max(0.5);
+    let act = (actual_rows as f64).max(0.5);
+    (est / act).max(act / est)
+}
+
+/// A priced runner-up join method the planner considered but rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative {
+    /// Method abbreviation (e.g. `"CDT-NB/MB"`).
+    pub method: String,
+    /// The planner's expected virtual seconds had this method run.
+    pub expected_seconds: f64,
+}
+
+/// Plan-vs-actual measurements for one operator of an executed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorProfile {
+    /// Operator kind: `"scan"`, `"join"`, `"filter"`, `"project"`,
+    /// `"sort"`, or `"limit"`.
+    pub op: String,
+    /// Human-readable operator label, mirroring `EXPLAIN` output.
+    pub label: String,
+    /// The planner's estimated output cardinality.
+    pub est_rows: f64,
+    /// The observed output cardinality.
+    pub actual_rows: u64,
+    /// `q_error(est_rows, actual_rows)`, always ≥ 1.0.
+    pub q_error: f64,
+    /// Chosen join method abbreviation; `None` for non-join operators.
+    pub method: Option<String>,
+    /// The planner's expected virtual seconds (joins; 0 otherwise).
+    pub expected_seconds: f64,
+    /// Observed virtual seconds attributed to this operator.
+    pub actual_seconds: f64,
+    /// Portion of `actual_seconds` spent in tape device-ops.
+    pub tape_seconds: f64,
+    /// Portion of `actual_seconds` spent in disk device-ops.
+    pub disk_seconds: f64,
+    /// Residual host time: `actual - tape - disk`, clamped at zero.
+    pub cpu_seconds: f64,
+    /// Priced runner-up methods, cheapest first (joins only).
+    pub alternatives: Vec<Alternative>,
+    /// Device faults observed while this operator ran.
+    pub faults: u64,
+    /// Retries issued to absorb transient faults.
+    pub fault_retries: u64,
+    /// Mid-join restarts (checkpoint resumes) this operator survived.
+    pub restarts: u64,
+    /// Bytes of partial output salvaged across those restarts.
+    pub work_salvaged_bytes: u64,
+    /// Base table name for scans; `None` otherwise.
+    pub table: Option<String>,
+    /// Observed distinct join-key count (unfiltered scans only).
+    pub distinct_keys: u64,
+    /// Observed heavy-hitter key fraction (unfiltered scans only).
+    pub heavy_fraction: f64,
+    /// Zipf-θ fitted to the observed key frequencies (unfiltered scans).
+    pub zipf_theta: f64,
+    /// True when a pushed-down predicate or limit conditioned this
+    /// operator's output, making its observed stats unsafe to learn.
+    pub filtered: bool,
+}
+
+/// A full per-operator profile of one executed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// Canonical SQL text of the profiled statement.
+    pub sql: String,
+    /// Planner mode: `"cost-based"` or `"syntactic"`.
+    pub mode: String,
+    /// Join order chosen by the planner (table names, build-side first).
+    pub join_order: Vec<String>,
+    /// The planner's expected total join seconds for the plan.
+    pub est_join_seconds: f64,
+    /// Observed total join seconds (sum of join-stage responses).
+    pub actual_join_seconds: f64,
+    /// Per-operator measurements in preorder (parent before children).
+    pub operators: Vec<OperatorProfile>,
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+fn opt_str(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", json::escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+impl QueryProfile {
+    /// Render the profile as its stable JSON document.
+    pub fn to_json(&self) -> String {
+        let order = self
+            .join_order
+            .iter()
+            .map(|t| format!("\"{}\"", json::escape(t)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let ops = self
+            .operators
+            .iter()
+            .map(|op| format!("    {}", op.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"sql\": \"{}\",\n  \"mode\": \"{}\",\n  \"join_order\": [{order}],\n  \
+             \"est_join_seconds\": {},\n  \"actual_join_seconds\": {},\n  \
+             \"operators\": [\n{ops}\n  ]\n}}\n",
+            json::escape(&self.sql),
+            json::escape(&self.mode),
+            num(self.est_join_seconds),
+            num(self.actual_join_seconds),
+        )
+    }
+
+    /// Parse a profile back from its JSON encoding. Accepts exactly the
+    /// documents [`QueryProfile::to_json`] produces (and any other JSON
+    /// carrying the same fields); round-trips losslessly for finite
+    /// numbers.
+    pub fn from_json(doc: &str) -> Result<QueryProfile, String> {
+        let parsed = json::parse(doc)?;
+        let obj = parsed.as_obj().ok_or("profile is not a JSON object")?;
+        let operators = req(obj, "operators")?
+            .as_arr()
+            .ok_or("'operators' is not an array")?
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                OperatorProfile::from_value(op).map_err(|e| format!("operator {i}: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(QueryProfile {
+            sql: str_field(obj, "sql")?,
+            mode: str_field(obj, "mode")?,
+            join_order: req(obj, "join_order")?
+                .as_arr()
+                .ok_or("'join_order' is not an array")?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "'join_order' member is not a string".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            est_join_seconds: num_field(obj, "est_join_seconds")?,
+            actual_join_seconds: num_field(obj, "actual_join_seconds")?,
+            operators,
+        })
+    }
+}
+
+impl OperatorProfile {
+    fn to_json(&self) -> String {
+        let alts = self
+            .alternatives
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"method\": \"{}\", \"expected_seconds\": {}}}",
+                    json::escape(&a.method),
+                    num(a.expected_seconds)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"op\": \"{}\", \"label\": \"{}\", \"est_rows\": {}, \"actual_rows\": {}, \
+             \"q_error\": {}, \"method\": {}, \"expected_seconds\": {}, \"actual_seconds\": {}, \
+             \"tape_seconds\": {}, \"disk_seconds\": {}, \"cpu_seconds\": {}, \
+             \"alternatives\": [{alts}], \"faults\": {}, \"fault_retries\": {}, \
+             \"restarts\": {}, \"work_salvaged_bytes\": {}, \"table\": {}, \
+             \"distinct_keys\": {}, \"heavy_fraction\": {}, \"zipf_theta\": {}, \
+             \"filtered\": {}}}",
+            json::escape(&self.op),
+            json::escape(&self.label),
+            num(self.est_rows),
+            self.actual_rows,
+            num(self.q_error),
+            opt_str(&self.method),
+            num(self.expected_seconds),
+            num(self.actual_seconds),
+            num(self.tape_seconds),
+            num(self.disk_seconds),
+            num(self.cpu_seconds),
+            self.faults,
+            self.fault_retries,
+            self.restarts,
+            self.work_salvaged_bytes,
+            opt_str(&self.table),
+            self.distinct_keys,
+            num(self.heavy_fraction),
+            num(self.zipf_theta),
+            self.filtered,
+        )
+    }
+
+    fn from_value(v: &Json) -> Result<OperatorProfile, String> {
+        let obj = v.as_obj().ok_or("not a JSON object")?;
+        let alternatives = req(obj, "alternatives")?
+            .as_arr()
+            .ok_or("'alternatives' is not an array")?
+            .iter()
+            .map(|a| {
+                let alt = a.as_obj().ok_or("alternative is not an object")?;
+                Ok(Alternative {
+                    method: str_field(alt, "method")?,
+                    expected_seconds: num_field(alt, "expected_seconds")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(OperatorProfile {
+            op: str_field(obj, "op")?,
+            label: str_field(obj, "label")?,
+            est_rows: num_field(obj, "est_rows")?,
+            actual_rows: num_field(obj, "actual_rows")? as u64,
+            q_error: num_field(obj, "q_error")?,
+            method: opt_str_field(obj, "method")?,
+            expected_seconds: num_field(obj, "expected_seconds")?,
+            actual_seconds: num_field(obj, "actual_seconds")?,
+            tape_seconds: num_field(obj, "tape_seconds")?,
+            disk_seconds: num_field(obj, "disk_seconds")?,
+            cpu_seconds: num_field(obj, "cpu_seconds")?,
+            alternatives,
+            faults: num_field(obj, "faults")? as u64,
+            fault_retries: num_field(obj, "fault_retries")? as u64,
+            restarts: num_field(obj, "restarts")? as u64,
+            work_salvaged_bytes: num_field(obj, "work_salvaged_bytes")? as u64,
+            table: opt_str_field(obj, "table")?,
+            distinct_keys: num_field(obj, "distinct_keys")? as u64,
+            heavy_fraction: num_field(obj, "heavy_fraction")?,
+            zipf_theta: num_field(obj, "zipf_theta")?,
+            filtered: bool_field(obj, "filtered")?,
+        })
+    }
+}
+
+fn req<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing '{key}' key"))
+}
+
+fn str_field(obj: &BTreeMap<String, Json>, key: &str) -> Result<String, String> {
+    req(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("'{key}' is not a string"))
+}
+
+fn opt_str_field(obj: &BTreeMap<String, Json>, key: &str) -> Result<Option<String>, String> {
+    match req(obj, key)? {
+        Json::Null => Ok(None),
+        Json::Str(s) => Ok(Some(s.clone())),
+        _ => Err(format!("'{key}' is neither a string nor null")),
+    }
+}
+
+fn num_field(obj: &BTreeMap<String, Json>, key: &str) -> Result<f64, String> {
+    req(obj, key)?
+        .as_num()
+        .ok_or_else(|| format!("'{key}' is not a number"))
+}
+
+fn bool_field(obj: &BTreeMap<String, Json>, key: &str) -> Result<bool, String> {
+    match req(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("'{key}' is not a boolean")),
+    }
+}
+
+/// Validate a `QueryProfile` JSON document against the schema: every
+/// query-level key of [`QUERY_FIELDS`] present with the right type, and
+/// every member of `operators` carrying every key of
+/// [`OPERATOR_FIELDS`]. Q-errors must be ≥ 1.0 and the virtual-time
+/// split must not exceed the operator's total. Returns the number of
+/// operators on success.
+pub fn validate_query_profile_json(doc: &str) -> Result<usize, String> {
+    let parsed = json::parse(doc)?;
+    validate_query_profile_value(&parsed)
+}
+
+/// [`validate_query_profile_json`] over an already-parsed [`Json`]
+/// value — for validating profiles embedded inside a larger document
+/// (the `BENCH_8.json` envelope).
+pub fn validate_query_profile_value(parsed: &Json) -> Result<usize, String> {
+    let obj = parsed.as_obj().ok_or("profile is not a JSON object")?;
+    for key in QUERY_FIELDS {
+        req(obj, key)?;
+    }
+    str_field(obj, "sql")?;
+    str_field(obj, "mode")?;
+    req(obj, "join_order")?
+        .as_arr()
+        .ok_or("'join_order' is not an array")?;
+    for key in ["est_join_seconds", "actual_join_seconds"] {
+        let v = num_field(obj, key)?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("'{key}' = {v} is invalid"));
+        }
+    }
+    let ops = req(obj, "operators")?
+        .as_arr()
+        .ok_or("'operators' is not an array")?;
+    for (i, op) in ops.iter().enumerate() {
+        let obj = op
+            .as_obj()
+            .ok_or_else(|| format!("operator {i} is not an object"))?;
+        for key in OPERATOR_FIELDS {
+            req(obj, key).map_err(|e| format!("operator {i}: {e}"))?;
+        }
+        let parsed = OperatorProfile::from_value(op).map_err(|e| format!("operator {i}: {e}"))?;
+        if parsed.q_error.is_nan() || parsed.q_error < 1.0 {
+            return Err(format!("operator {i}: q_error {} < 1.0", parsed.q_error));
+        }
+        let split = parsed.tape_seconds + parsed.disk_seconds + parsed.cpu_seconds;
+        if split > parsed.actual_seconds + 1e-6 {
+            return Err(format!(
+                "operator {i}: time split {split} exceeds actual_seconds {}",
+                parsed.actual_seconds
+            ));
+        }
+    }
+    Ok(ops.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_registry_is_the_query_and_operator_keys() {
+        let joined: Vec<&str> = QUERY_FIELDS
+            .iter()
+            .chain(OPERATOR_FIELDS.iter())
+            .copied()
+            .collect();
+        assert_eq!(PROFILE_FIELDS, joined.as_slice());
+    }
+
+    #[test]
+    fn q_error_basics() {
+        assert!(q_error(10.0, 100) > 9.9);
+        assert!(q_error(100.0, 10) > 9.9);
+        // Exact feedback and the both-empty case are exactly 1.0.
+        assert!((q_error(42.0, 42) - 1.0).abs() < f64::EPSILON);
+        assert!((q_error(0.0, 0) - 1.0).abs() < f64::EPSILON);
+        // Estimating zero rows for a non-empty output is finite.
+        assert!(q_error(0.0, 7).is_finite());
+    }
+
+    fn sample() -> QueryProfile {
+        QueryProfile {
+            sql: "SELECT * FROM r JOIN s ON r.key = s.key".to_string(),
+            mode: "cost-based".to_string(),
+            join_order: vec!["r".to_string(), "s".to_string()],
+            est_join_seconds: 8.5,
+            actual_join_seconds: 9.25,
+            operators: vec![
+                OperatorProfile {
+                    op: "join".to_string(),
+                    label: "TertiaryJoin [CAP] on r.key = s.key".to_string(),
+                    est_rows: 950.0,
+                    actual_rows: 1000,
+                    q_error: q_error(950.0, 1000),
+                    method: Some("CAP".to_string()),
+                    expected_seconds: 8.5,
+                    actual_seconds: 9.25,
+                    tape_seconds: 5.0,
+                    disk_seconds: 3.0,
+                    cpu_seconds: 1.25,
+                    alternatives: vec![Alternative {
+                        method: "DT-NB".to_string(),
+                        expected_seconds: 12.0,
+                    }],
+                    faults: 2,
+                    fault_retries: 2,
+                    restarts: 1,
+                    work_salvaged_bytes: 4096,
+                    table: None,
+                    distinct_keys: 0,
+                    heavy_fraction: 0.0,
+                    zipf_theta: 0.0,
+                    filtered: false,
+                },
+                OperatorProfile {
+                    op: "scan".to_string(),
+                    label: "Scan r".to_string(),
+                    est_rows: 512.0,
+                    actual_rows: 512,
+                    q_error: 1.0,
+                    method: None,
+                    expected_seconds: 0.0,
+                    actual_seconds: 0.0,
+                    tape_seconds: 0.0,
+                    disk_seconds: 0.0,
+                    cpu_seconds: 0.0,
+                    alternatives: Vec::new(),
+                    faults: 0,
+                    fault_retries: 0,
+                    restarts: 0,
+                    work_salvaged_bytes: 0,
+                    table: Some("r".to_string()),
+                    distinct_keys: 128,
+                    heavy_fraction: 0.25,
+                    zipf_theta: 1.1,
+                    filtered: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_validates() {
+        let profile = sample();
+        let doc = profile.to_json();
+        assert_eq!(validate_query_profile_json(&doc), Ok(2));
+        let back = QueryProfile::from_json(&doc).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_query_profile_json("[]").is_err());
+        let profile = sample();
+        // Dropping any registry key must fail validation.
+        let doc = profile.to_json();
+        let broken = doc.replace("\"q_error\"", "\"q_err\"");
+        assert!(validate_query_profile_json(&broken).is_err());
+        // A sub-1.0 Q-error is a contradiction in terms.
+        let mut bad = profile.clone();
+        bad.operators[1].q_error = 0.5;
+        assert!(validate_query_profile_json(&bad.to_json())
+            .unwrap_err()
+            .contains("q_error"));
+        // The device split may not exceed the operator total.
+        let mut bad = profile;
+        bad.operators[0].tape_seconds = 100.0;
+        assert!(validate_query_profile_json(&bad.to_json())
+            .unwrap_err()
+            .contains("split"));
+    }
+}

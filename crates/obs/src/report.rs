@@ -1,6 +1,6 @@
 //! Text rendering of a span stream: per-track ASCII Gantt rows.
 //!
-//! This replaces walking `DeviceTimeline`'s raw `ActivityLog`s directly:
+//! This replaces walking per-device activity logs directly:
 //! anything that records through the [`Recorder`] — device ops from
 //! instrumented servers, fault-recovery spans — renders here with no
 //! extra plumbing per device.

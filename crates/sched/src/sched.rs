@@ -767,7 +767,6 @@ async fn run_single(
         s_tuples_per_block: cat.s_tpb,
         r_compressibility: p.r.compressibility(),
         s_compressibility: cat.relation.compressibility(),
-        timeline: None,
     };
     let run = run_method_resumable(plan.method, env, None).await;
     sink.finish().await;

@@ -34,6 +34,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use tapejoin::{JoinMethod, SystemConfig};
+use tapejoin_obs::{nearest_rank, QueryProfile};
 use tapejoin_sim::{now, sleep, sleep_until, spawn, Duration, SimTime, Simulation};
 use tapejoin_sql::exec::rows_digest;
 use tapejoin_sql::{Catalog, PlannerMode};
@@ -198,6 +199,9 @@ pub struct SqlQueryOutcome {
     pub completed: Option<SimTime>,
     /// What happened.
     pub status: SqlQueryStatus,
+    /// Per-operator plan-vs-actual profile (executed statements only;
+    /// `None` for `EXPLAIN` and failed statements).
+    pub profile: Option<QueryProfile>,
 }
 
 impl SqlQueryOutcome {
@@ -259,6 +263,30 @@ impl SqlFleetReport {
         let total: u128 = r.iter().map(|d| d.as_nanos() as u128).sum();
         Duration::from_nanos((total / r.len() as u128) as u64)
     }
+
+    /// Every per-operator Q-error across the attached profiles, sorted
+    /// ascending — the raw material for the estimate-quality quantiles.
+    pub fn q_errors(&self) -> Vec<f64> {
+        let mut q: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.profile.as_ref())
+            .flat_map(|p| p.operators.iter().map(|op| op.q_error))
+            .collect();
+        q.sort_by(f64::total_cmp);
+        q
+    }
+
+    /// Nearest-rank p50/p95/p99 of the per-operator Q-error
+    /// distribution; `None` when no statement carried a profile.
+    pub fn q_error_quantiles(&self) -> Option<(f64, f64, f64)> {
+        let q = self.q_errors();
+        Some((
+            nearest_rank(&q, 0.50)?,
+            nearest_rank(&q, 0.95)?,
+            nearest_rank(&q, 0.99)?,
+        ))
+    }
 }
 
 /// The data-plane result for one statement, ready for fleet replay.
@@ -266,47 +294,53 @@ enum Prepared {
     Ready {
         service: Duration,
         status: SqlQueryStatus,
+        profile: Option<QueryProfile>,
     },
     Failed(SchedError),
 }
 
 fn prepare(spec: &SqlQuerySpec, catalog: &Catalog, cfg: &SqlFleetConfig) -> Prepared {
     let sys = cfg.query_cfg();
-    let planned = match tapejoin_sql::plan_statement(&spec.sql, catalog, &sys, cfg.mode) {
-        Ok(p) => p,
+    let statement = match tapejoin_sql::parse_statement(&spec.sql) {
+        Ok(s) => s,
         Err(e) => return Prepared::Failed(SchedError::from_sql(spec.id, spec.line, &e)),
     };
-    let join_order: Vec<String> = planned
-        .plan
-        .order
-        .iter()
-        .map(|&t| planned.bound.tables[t].name.clone())
-        .collect();
-    if planned.statement.is_explain() {
+    if statement.is_explain() {
+        let planned = match tapejoin_sql::plan_statement(&spec.sql, catalog, &sys, cfg.mode) {
+            Ok(p) => p,
+            Err(e) => return Prepared::Failed(SchedError::from_sql(spec.id, spec.line, &e)),
+        };
         return Prepared::Ready {
             service: Duration::ZERO,
             status: SqlQueryStatus::Explained {
                 plan: planned.explain_text(),
             },
+            profile: None,
         };
     }
-    let out = match planned.execute(catalog, &sys) {
-        Ok(o) => o,
+    // Every executed statement runs through the profiler: the probes
+    // only observe (same plan, same simulated devices, same digest), and
+    // the fleet report's Q-error quantiles want the per-operator
+    // actuals from every query.
+    let p = match tapejoin_sql::profile_query(&spec.sql, catalog, &sys, cfg.mode) {
+        Ok(p) => p,
         Err(e) => return Prepared::Failed(SchedError::from_sql(spec.id, spec.line, &e)),
     };
-    let service = out
+    let service = p
+        .output
         .joins
         .iter()
         .fold(Duration::ZERO, |acc, j| acc + j.stats.response);
     Prepared::Ready {
         service,
         status: SqlQueryStatus::Completed {
-            rows: out.rows.len() as u64,
-            digest: rows_digest(&out.rows),
-            methods: out.joins.iter().map(|j| j.stats.method).collect(),
-            join_order,
-            est_join_seconds: planned.plan.est_join_seconds,
+            rows: p.output.rows.len() as u64,
+            digest: rows_digest(&p.output.rows),
+            methods: p.output.joins.iter().map(|j| j.stats.method).collect(),
+            join_order: p.profile.join_order.clone(),
+            est_join_seconds: p.profile.est_join_seconds,
         },
+        profile: Some(p.profile),
     }
 }
 
@@ -353,9 +387,13 @@ pub fn run_sql_workload(
             let disk = fleet.query_disk;
             handles.push(spawn(async move {
                 sleep_until(spec.arrival).await;
-                let (admitted, completed, status) = match prep {
-                    Prepared::Failed(e) => (None, None, SqlQueryStatus::Failed(e)),
-                    Prepared::Ready { service, status } => {
+                let (admitted, completed, status, profile) = match prep {
+                    Prepared::Failed(e) => (None, None, SqlQueryStatus::Failed(e), None),
+                    Prepared::Ready {
+                        service,
+                        status,
+                        profile,
+                    } => {
                         let claim = loop {
                             match broker.try_claim(mem, disk, 2) {
                                 Some(c) => break c,
@@ -366,7 +404,7 @@ pub fn run_sql_workload(
                         sleep(service).await;
                         drop(claim);
                         released.notify_all();
-                        (Some(admitted), Some(now()), status)
+                        (Some(admitted), Some(now()), status, profile)
                     }
                 };
                 outcomes.borrow_mut().push(SqlQueryOutcome {
@@ -377,6 +415,7 @@ pub fn run_sql_workload(
                     admitted,
                     completed,
                     status,
+                    profile,
                 });
             }));
         }

@@ -58,6 +58,46 @@ fn three_way_sql_through_the_fleet_matches_the_composed_reference() {
     assert!(est_join_seconds.is_finite() && *est_join_seconds > 0.0);
     // The service time the fleet charged is the simulated join time.
     assert!(outcome.response().unwrap() > Duration::ZERO);
+
+    // Every executed statement carries a plan-vs-actual profile whose
+    // join time is exactly the service time the broker charged.
+    let profile = outcome.profile.as_ref().expect("profile attached");
+    assert_eq!(profile.join_order.len(), 3);
+    assert!(profile.operators.iter().all(|op| op.q_error >= 1.0));
+    let profiled_s: f64 = profile.actual_join_seconds;
+    assert!((profiled_s - outcome.response().unwrap().as_secs_f64()).abs() < 1e-9);
+}
+
+#[test]
+fn fleet_report_aggregates_q_error_quantiles() {
+    let cat = catalog();
+    let two = "SELECT r.key FROM r JOIN s ON r.key = s.key";
+    let workload = SqlWorkload::parse(&format!("@0 {THREE_WAY}\n@0 {two}\n@1 EXPLAIN {two}\n"));
+    let report = run_sql_workload(&workload, &cat, &SqlFleetConfig::default());
+    assert_eq!(report.completed(), 3);
+
+    // Two executed statements contribute operators; the EXPLAIN does not.
+    assert_eq!(
+        report
+            .outcomes
+            .iter()
+            .filter(|o| o.profile.is_some())
+            .count(),
+        2
+    );
+    let q = report.q_errors();
+    assert!(!q.is_empty());
+    assert!(q.windows(2).all(|w| w[0] <= w[1]), "q_errors sorted");
+    let (p50, p95, p99) = report.q_error_quantiles().unwrap();
+    assert!(1.0 <= p50 && p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+
+    // No profiles → no quantiles, not a panic.
+    let empty = run_sql_workload(
+        &SqlWorkload::parse("@0 SELECT * FROM missing\n"),
+        &cat,
+        &SqlFleetConfig::default(),
+    );
+    assert!(empty.q_error_quantiles().is_none());
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! The subset (see DESIGN.md §14):
 //!
 //! ```sql
-//! [EXPLAIN] SELECT <* | col[, col]*>
+//! [EXPLAIN [ANALYZE]] SELECT <* | col[, col]*>
 //! FROM <table> [INNER JOIN <table> ON <col> = <col>]*
 //! [WHERE <col> <op> <int> [AND <col> <op> <int>]*]
 //! [ORDER BY <col> [ASC|DESC][, ...]]
@@ -28,19 +28,27 @@ pub enum Statement {
     Select(Select),
     /// Plan the query and render the physical plan instead of running it.
     Explain(Select),
+    /// Run the query with the profiler armed and render the plan with
+    /// per-operator actuals (`EXPLAIN ANALYZE`).
+    ExplainAnalyze(Select),
 }
 
 impl Statement {
     /// The underlying query, either way.
     pub fn select(&self) -> &Select {
         match self {
-            Statement::Select(s) | Statement::Explain(s) => s,
+            Statement::Select(s) | Statement::Explain(s) | Statement::ExplainAnalyze(s) => s,
         }
     }
 
-    /// Whether this is an `EXPLAIN`.
+    /// Whether this is an `EXPLAIN` (plan only, no execution).
     pub fn is_explain(&self) -> bool {
         matches!(self, Statement::Explain(_))
+    }
+
+    /// Whether this is an `EXPLAIN ANALYZE` (execute + profile).
+    pub fn is_analyze(&self) -> bool {
+        matches!(self, Statement::ExplainAnalyze(_))
     }
 }
 
@@ -239,6 +247,7 @@ impl fmt::Display for Statement {
         match self {
             Statement::Select(s) => write!(f, "{s}"),
             Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+            Statement::ExplainAnalyze(s) => write!(f, "EXPLAIN ANALYZE {s}"),
         }
     }
 }

@@ -107,7 +107,7 @@ impl TableStats {
 
 /// Fraction of all tuples carried by the top [`HEAVY_KEYS`] keys, minus
 /// the share a uniform distribution would put there.
-fn measured_heavy_fraction(sorted_counts_desc: &[u64], tuples: u64) -> f64 {
+pub(crate) fn measured_heavy_fraction(sorted_counts_desc: &[u64], tuples: u64) -> f64 {
     if tuples == 0 || sorted_counts_desc.is_empty() {
         return 0.0;
     }
@@ -119,7 +119,7 @@ fn measured_heavy_fraction(sorted_counts_desc: &[u64], tuples: u64) -> f64 {
 /// Least-squares slope of `ln(freq)` against `ln(rank)` over the top
 /// ranks: for Zipf data `freq(rank) ∝ rank^-θ`, so the negated slope
 /// estimates θ. Uniform data gives ≈ 0. Clamped to `[0, 2]`.
-fn measured_zipf_theta(sorted_counts_desc: &[u64]) -> f64 {
+pub(crate) fn measured_zipf_theta(sorted_counts_desc: &[u64]) -> f64 {
     let n = sorted_counts_desc.len().min(64);
     if n < 4 {
         return 0.0;
@@ -241,6 +241,19 @@ impl Catalog {
         self.insert(&name, relation, stats)
     }
 
+    /// Register a table with caller-supplied statistics instead of a
+    /// measuring scan — e.g. a deliberately misdeclared catalog for
+    /// plan-feedback experiments, or statistics imported from another
+    /// system. The relation itself is stored untouched.
+    pub fn register_with_stats(
+        &mut self,
+        name: &str,
+        relation: Relation,
+        stats: TableStats,
+    ) -> Result<(), SqlError> {
+        self.insert(name, relation, stats)
+    }
+
     /// Register a dimension-like table of `blocks` blocks with unique
     /// even keys covering `{0, 2, …}` — the R side of the generator.
     pub fn register_dimension(
@@ -293,6 +306,36 @@ impl Catalog {
     /// All tables, registration order.
     pub fn tables(&self) -> &[CatalogTable] {
         &self.tables
+    }
+
+    /// Fold the observed statistics of a [`QueryProfile`] back into the
+    /// catalog — the plan-vs-actual feedback loop. Every *unfiltered*
+    /// scan operator saw the table's complete tuple stream, so its actual
+    /// cardinality, distinct-key count, heavy-hitter excess and fitted
+    /// Zipf-θ replace whatever was declared or previously measured;
+    /// filtered scans observe a biased sample and are skipped. Physical
+    /// shape (blocks, key bounds, compressibility) is left alone: the
+    /// profiler counts tuples, it does not remeasure the medium. Returns
+    /// how many tables were updated.
+    pub fn absorb_profile(&mut self, profile: &tapejoin_obs::QueryProfile) -> usize {
+        let mut updated = 0;
+        for op in &profile.operators {
+            if op.op != "scan" || op.filtered {
+                continue;
+            }
+            let Some(name) = &op.table else { continue };
+            let Some(idx) = self.find(name).map(|(i, _)| i) else {
+                continue;
+            };
+            let stats = &mut self.tables[idx].stats;
+            stats.tuples = op.actual_rows;
+            stats.tuples_per_block = op.actual_rows.div_ceil(stats.blocks.max(1)).max(1) as u32;
+            stats.key_cardinality = op.distinct_keys.max(1);
+            stats.heavy_fraction = op.heavy_fraction;
+            stats.zipf_theta = op.zipf_theta;
+            updated += 1;
+        }
+        updated
     }
 }
 
@@ -388,6 +431,57 @@ mod tests {
             .filter(|t| keys_a.contains(&t.key))
             .count();
         assert!(overlap > 0, "tables over a shared key span must join");
+    }
+
+    #[test]
+    fn absorb_profile_updates_unfiltered_scans_only() {
+        use tapejoin_obs::{OperatorProfile, QueryProfile};
+
+        let mut cat = Catalog::new();
+        cat.register_dimension("t", 4, 1).unwrap();
+        cat.register_dimension("u", 4, 2).unwrap();
+        let declared_theta = cat.find("u").unwrap().1.stats.zipf_theta;
+        let scan = |table: &str, filtered: bool| OperatorProfile {
+            op: "scan".to_string(),
+            label: format!("TapeScan {table}"),
+            est_rows: 16.0,
+            actual_rows: 40,
+            q_error: 2.5,
+            method: None,
+            expected_seconds: 0.0,
+            actual_seconds: 0.0,
+            tape_seconds: 0.0,
+            disk_seconds: 0.0,
+            cpu_seconds: 0.0,
+            alternatives: Vec::new(),
+            faults: 0,
+            fault_retries: 0,
+            restarts: 0,
+            work_salvaged_bytes: 0,
+            table: Some(table.to_string()),
+            distinct_keys: 10,
+            heavy_fraction: 0.25,
+            zipf_theta: 0.9,
+            filtered,
+        };
+        let profile = QueryProfile {
+            sql: "SELECT * FROM t".to_string(),
+            mode: "cost-based".to_string(),
+            join_order: vec!["t".to_string()],
+            est_join_seconds: 0.0,
+            actual_join_seconds: 0.0,
+            operators: vec![scan("t", false), scan("u", true), scan("missing", false)],
+        };
+        assert_eq!(cat.absorb_profile(&profile), 1);
+        let t = cat.find("t").unwrap().1;
+        assert_eq!(t.stats.tuples, 40);
+        assert_eq!(t.stats.key_cardinality, 10);
+        assert!((t.stats.zipf_theta - 0.9).abs() < f64::EPSILON);
+        assert!((t.stats.heavy_fraction - 0.25).abs() < f64::EPSILON);
+        assert_eq!(t.stats.tuples_per_block, 10);
+        // Filtered scan of `u` was a biased sample: untouched.
+        let u = cat.find("u").unwrap().1;
+        assert!((u.stats.zipf_theta - declared_theta).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use tapejoin::{JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
+use tapejoin_obs::{Recorder, Span};
 use tapejoin_rel::{Block, BlockRef, JoinWorkload, Relation, Tuple};
 
 use crate::ast::{CmpOp, Field};
@@ -39,8 +40,15 @@ pub struct JoinRun {
     pub method: JoinMethod,
     /// What the cost model predicted for the stage (seconds).
     pub expected_seconds: f64,
+    /// Preorder plan-node index of the join this stage executed (see
+    /// [`ExecProbe::emitted`] for the numbering contract).
+    pub node: usize,
     /// What the simulation measured.
     pub stats: JoinStats,
+    /// The stage's span stream, captured on a stage-private recorder
+    /// during a profiled execution (each stage's virtual clock restarts
+    /// at zero). Empty outside [`execute_profiled`].
+    pub spans: Vec<Span>,
 }
 
 /// A fully drained query result.
@@ -52,6 +60,38 @@ pub struct QueryOutput {
     pub rows: Vec<Row>,
     /// Every join stage that ran, build-first depth order.
     pub joins: Vec<JoinRun>,
+}
+
+/// Observed key frequencies of one unfiltered base-table scan, for
+/// feeding learned statistics back into the catalog.
+#[derive(Clone, Debug)]
+pub struct ScanObs {
+    /// Preorder plan-node index of the scan.
+    pub node: usize,
+    /// Query-local table index.
+    pub table: usize,
+    /// How often each join-key value was emitted.
+    pub freq: HashMap<u64, u64>,
+}
+
+/// Raw per-node measurements captured by [`execute_profiled`].
+///
+/// Plan nodes are numbered **preorder**: a node before its children,
+/// and a join's build child before its probe child — the same order
+/// `profile_query` walks the tree when it assembles a `QueryProfile`.
+#[derive(Clone, Debug, Default)]
+pub struct ExecProbe {
+    /// Rows emitted per plan node, indexed by preorder node number.
+    pub emitted: Vec<u64>,
+    /// Key observations for every scan with no pushed filter or limit
+    /// (conditioned output would poison learned statistics).
+    pub scans: Vec<ScanObs>,
+}
+
+/// Shared instrumentation handles threaded through a profiled build.
+struct ProbeHooks {
+    emitted: Rc<RefCell<Vec<u64>>>,
+    scans: Rc<RefCell<Vec<ScanObs>>>,
 }
 
 // ---------------------------------------------------------------------------
@@ -204,6 +244,8 @@ struct JoinExec {
     expected_seconds: f64,
     cfg: SystemConfig,
     runs: Rc<RefCell<Vec<JoinRun>>>,
+    node: usize,
+    profile: bool,
     out: Option<std::vec::IntoIter<Row>>,
 }
 
@@ -236,12 +278,27 @@ impl JoinExec {
             s,
             expected_pairs,
         };
-        let join = TertiaryJoin::new(self.cfg.clone());
-        let (stats, pairs) = join.run_collecting(self.method, &workload)?;
+        // A profiled stage runs on a stage-private recorder: every stage
+        // spins up a fresh simulation whose clock restarts at zero, so
+        // spans from different stages would overlap on the shared device
+        // tracks. The profiler rebases each stage's stream onto the
+        // query timeline afterwards.
+        let (stats, pairs, spans) = if self.profile {
+            let stage_rec = Recorder::enabled();
+            let join = TertiaryJoin::new(self.cfg.clone().recorder(stage_rec.share()));
+            let (stats, pairs) = join.run_collecting(self.method, &workload)?;
+            (stats, pairs, stage_rec.spans())
+        } else {
+            let join = TertiaryJoin::new(self.cfg.clone());
+            let (stats, pairs) = join.run_collecting(self.method, &workload)?;
+            (stats, pairs, Vec::new())
+        };
         self.runs.borrow_mut().push(JoinRun {
             method: self.method,
             expected_seconds: self.expected_seconds,
+            node: self.node,
             stats,
+            spans,
         });
         let mut rows = pairs_to_rows(&pairs, &build_rows, &probe_rows);
         if !self.residual.is_empty() {
@@ -340,6 +397,45 @@ impl Executor for LimitExec {
     }
 }
 
+/// Transparent row counter: bumps the profiled execution's per-node
+/// emission count without touching the rows.
+struct CountExec {
+    input: Box<dyn Executor>,
+    counts: Rc<RefCell<Vec<u64>>>,
+    node: usize,
+}
+
+impl Executor for CountExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        let row = self.input.next()?;
+        if row.is_some() {
+            self.counts.borrow_mut()[self.node] += 1;
+        }
+        Ok(row)
+    }
+}
+
+/// Transparent key observer over an unfiltered scan: tallies the emitted
+/// `key` column (column 0 of a scan's schema) into its [`ScanObs`] slot.
+struct ObserveKeysExec {
+    input: Box<dyn Executor>,
+    scans: Rc<RefCell<Vec<ScanObs>>>,
+    slot: usize,
+}
+
+impl Executor for ObserveKeysExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        let row = self.input.next()?;
+        if let Some(row) = &row {
+            *self.scans.borrow_mut()[self.slot]
+                .freq
+                .entry(row[0])
+                .or_insert(0) += 1;
+        }
+        Ok(row)
+    }
+}
+
 fn drain(ex: &mut dyn Executor) -> Result<Vec<Row>, SqlError> {
     let mut rows = Vec::new();
     while let Some(row) = ex.next()? {
@@ -360,7 +456,26 @@ pub fn build_executor(
     cfg: &SystemConfig,
     runs: Rc<RefCell<Vec<JoinRun>>>,
 ) -> Result<Box<dyn Executor>, SqlError> {
-    match phys {
+    build_node(phys, bound, catalog, cfg, runs, None, &mut 0)
+}
+
+/// [`build_executor`] plus node numbering and optional probe hooks.
+/// `next` assigns preorder node indices (see [`ExecProbe`]).
+fn build_node(
+    phys: &Physical,
+    bound: &Bound,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    runs: Rc<RefCell<Vec<JoinRun>>>,
+    probe: Option<&ProbeHooks>,
+    next: &mut usize,
+) -> Result<Box<dyn Executor>, SqlError> {
+    let node = *next;
+    *next += 1;
+    if let Some(p) = probe {
+        p.emitted.borrow_mut().push(0);
+    }
+    let exec: Box<dyn Executor> = match phys {
         Physical::Scan {
             table,
             filters,
@@ -369,18 +484,36 @@ pub fn build_executor(
         } => {
             let entry = catalog.table(bound.tables[*table].catalog);
             let tuples: Vec<Tuple> = entry.relation.tuples().collect();
-            Ok(Box::new(ScanExec {
+            let scan: Box<dyn Executor> = Box::new(ScanExec {
                 tuples: tuples.into_iter(),
                 filters: filters
                     .iter()
                     .map(|p| (p.col.field, p.op, p.value))
                     .collect(),
                 remaining: *limit,
-            }))
+            });
+            match probe {
+                Some(p) if filters.is_empty() && limit.is_none() => {
+                    let mut scans = p.scans.borrow_mut();
+                    let slot = scans.len();
+                    scans.push(ScanObs {
+                        node,
+                        table: *table,
+                        freq: HashMap::new(),
+                    });
+                    drop(scans);
+                    Box::new(ObserveKeysExec {
+                        input: scan,
+                        scans: Rc::clone(&p.scans),
+                        slot,
+                    })
+                }
+                _ => scan,
+            }
         }
         Physical::Join {
             build,
-            probe,
+            probe: probe_side,
             build_col,
             probe_col,
             residual,
@@ -388,7 +521,7 @@ pub fn build_executor(
             ..
         } => {
             let build_schema = build.schema();
-            let probe_schema = probe.schema();
+            let probe_schema = probe_side.schema();
             let mut combined = build_schema.clone();
             combined.extend(probe_schema.iter().copied());
             let residual = residual
@@ -396,10 +529,18 @@ pub fn build_executor(
                 .map(|&(a, b)| Ok((col_index(&combined, a)?, col_index(&combined, b)?)))
                 .collect::<Result<Vec<_>, SqlError>>()?;
             let build_est = build.est().clone();
-            let probe_est = probe.est().clone();
-            let build_exec = build_executor(build, bound, catalog, cfg, Rc::clone(&runs))?;
-            let probe_exec = build_executor(probe, bound, catalog, cfg, Rc::clone(&runs))?;
-            Ok(Box::new(JoinExec {
+            let probe_est = probe_side.est().clone();
+            let build_exec = build_node(build, bound, catalog, cfg, Rc::clone(&runs), probe, next)?;
+            let probe_exec = build_node(
+                probe_side,
+                bound,
+                catalog,
+                cfg,
+                Rc::clone(&runs),
+                probe,
+                next,
+            )?;
+            Box::new(JoinExec {
                 build: build_exec,
                 probe: probe_exec,
                 build_key: col_index(&build_schema, *build_col)?,
@@ -413,18 +554,20 @@ pub fn build_executor(
                 expected_seconds: choice.expected_seconds,
                 cfg: cfg.clone(),
                 runs,
+                node,
+                profile: probe.is_some(),
                 out: None,
-            }))
+            })
         }
         Physical::Filter { input, pred, .. } => {
             let idx = col_index(&input.schema(), pred.col)?;
-            let input = build_executor(input, bound, catalog, cfg, runs)?;
-            Ok(Box::new(FilterExec {
+            let input = build_node(input, bound, catalog, cfg, runs, probe, next)?;
+            Box::new(FilterExec {
                 input,
                 idx,
                 op: pred.op,
                 value: pred.value,
-            }))
+            })
         }
         Physical::Project { input, cols, .. } => {
             let schema = input.schema();
@@ -432,8 +575,8 @@ pub fn build_executor(
                 .iter()
                 .map(|&c| col_index(&schema, c))
                 .collect::<Result<Vec<_>, _>>()?;
-            let input = build_executor(input, bound, catalog, cfg, runs)?;
-            Ok(Box::new(ProjectExec { input, idx }))
+            let input = build_node(input, bound, catalog, cfg, runs, probe, next)?;
+            Box::new(ProjectExec { input, idx })
         }
         Physical::Sort {
             input, keys, topn, ..
@@ -443,22 +586,30 @@ pub fn build_executor(
                 .iter()
                 .map(|&(c, desc)| Ok((col_index(&schema, c)?, desc)))
                 .collect::<Result<Vec<_>, SqlError>>()?;
-            let input = build_executor(input, bound, catalog, cfg, runs)?;
-            Ok(Box::new(SortExec {
+            let input = build_node(input, bound, catalog, cfg, runs, probe, next)?;
+            Box::new(SortExec {
                 input,
                 keys,
                 topn: *topn,
                 out: None,
-            }))
+            })
         }
         Physical::Limit { input, n, .. } => {
-            let input = build_executor(input, bound, catalog, cfg, runs)?;
-            Ok(Box::new(LimitExec {
+            let input = build_node(input, bound, catalog, cfg, runs, probe, next)?;
+            Box::new(LimitExec {
                 input,
                 remaining: *n,
-            }))
+            })
         }
-    }
+    };
+    Ok(match probe {
+        Some(p) => Box::new(CountExec {
+            input: exec,
+            counts: Rc::clone(&p.emitted),
+            node,
+        }),
+        None => exec,
+    })
 }
 
 /// Run a physical plan to completion against the catalog and machine.
@@ -468,18 +619,69 @@ pub fn execute(
     catalog: &Catalog,
     cfg: &SystemConfig,
 ) -> Result<QueryOutput, SqlError> {
+    let (out, _) = run_plan(plan, bound, catalog, cfg, None)?;
+    Ok(out)
+}
+
+/// Run a physical plan with the profiler's probe hooks armed: every
+/// operator counts its emitted rows, unfiltered scans tally their key
+/// frequencies, and each join stage captures its span stream on a
+/// stage-private recorder (see [`JoinRun::spans`]). The simulated join
+/// behavior — methods, virtual times, output — is identical to
+/// [`execute`]; the probes only observe.
+pub fn execute_profiled(
+    plan: &PhysicalPlan,
+    bound: &Bound,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+) -> Result<(QueryOutput, ExecProbe), SqlError> {
+    let hooks = ProbeHooks {
+        emitted: Rc::new(RefCell::new(Vec::new())),
+        scans: Rc::new(RefCell::new(Vec::new())),
+    };
+    run_plan(plan, bound, catalog, cfg, Some(hooks))
+}
+
+fn run_plan(
+    plan: &PhysicalPlan,
+    bound: &Bound,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    hooks: Option<ProbeHooks>,
+) -> Result<(QueryOutput, ExecProbe), SqlError> {
     let runs = Rc::new(RefCell::new(Vec::new()));
-    let root = build_executor(&plan.root, bound, catalog, cfg, Rc::clone(&runs))?;
-    let mut root = root;
+    let mut root = build_node(
+        &plan.root,
+        bound,
+        catalog,
+        cfg,
+        Rc::clone(&runs),
+        hooks.as_ref(),
+        &mut 0,
+    )?;
     let rows = drain(root.as_mut())?;
     drop(root);
     let joins = match Rc::try_unwrap(runs) {
         Ok(cell) => cell.into_inner(),
         Err(shared) => shared.borrow().clone(),
     };
-    Ok(QueryOutput {
-        schema: plan.root.schema(),
-        rows,
-        joins,
-    })
+    let probe = match hooks {
+        Some(h) => ExecProbe {
+            emitted: Rc::try_unwrap(h.emitted)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|shared| shared.borrow().clone()),
+            scans: Rc::try_unwrap(h.scans)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|shared| shared.borrow().clone()),
+        },
+        None => ExecProbe::default(),
+    };
+    Ok((
+        QueryOutput {
+            schema: plan.root.schema(),
+            rows,
+            joins,
+        },
+        probe,
+    ))
 }

@@ -35,9 +35,14 @@
 //! .unwrap();
 //! match out {
 //!     SqlOutcome::Rows(q) => assert!(q.rows.len() <= 4),
-//!     SqlOutcome::Plan(_) => unreachable!(),
+//!     SqlOutcome::Plan(_) | SqlOutcome::Profile(_) => unreachable!(),
 //! }
 //! ```
+//!
+//! `EXPLAIN ANALYZE` runs the same query with the profiler armed and
+//! returns a [`profile::Profiled`]: the rendered plan annotated with
+//! per-operator actuals, a [`tapejoin_obs::QueryProfile`] document, and
+//! an auditable merged span stream (DESIGN.md §15).
 
 pub mod ast;
 pub mod catalog;
@@ -48,14 +53,16 @@ pub mod logical;
 pub mod naive;
 pub mod parser;
 pub mod physical;
+pub mod profile;
 
 pub use ast::Statement;
 pub use catalog::{Catalog, CatalogTable, TableStats};
 pub use error::{Span, SqlError};
-pub use exec::{QueryOutput, Row};
+pub use exec::{ExecProbe, QueryOutput, Row, ScanObs};
 pub use logical::{bind, pushdown, Bound};
 pub use parser::parse_statement;
 pub use physical::{plan_physical, PhysicalPlan, PlannerMode};
+pub use profile::{profile_query, Profiled};
 
 use tapejoin::SystemConfig;
 
@@ -106,16 +113,24 @@ pub enum SqlOutcome {
     Rows(QueryOutput),
     /// An `EXPLAIN`: the rendered plan.
     Plan(String),
+    /// An `EXPLAIN ANALYZE`: the profiled run (boxed — it carries the
+    /// full span stream alongside the rows).
+    Profile(Box<Profiled>),
 }
 
-/// Front-door entry point: plan the statement, then either render it
-/// (`EXPLAIN`) or run it.
+/// Front-door entry point: plan the statement, then render it
+/// (`EXPLAIN`), run it with the profiler armed (`EXPLAIN ANALYZE`), or
+/// just run it.
 pub fn run(
     sql: &str,
     catalog: &Catalog,
     cfg: &SystemConfig,
     mode: PlannerMode,
 ) -> Result<SqlOutcome, SqlError> {
+    let statement = parse_statement(sql)?;
+    if statement.is_analyze() {
+        return profile_query(sql, catalog, cfg, mode).map(|p| SqlOutcome::Profile(Box::new(p)));
+    }
     let planned = plan_statement(sql, catalog, cfg, mode)?;
     if planned.statement.is_explain() {
         Ok(SqlOutcome::Plan(planned.explain_text()))

@@ -1,0 +1,532 @@
+//! `EXPLAIN ANALYZE`: execute a plan with the profiler armed and render
+//! plan-vs-actual, per operator.
+//!
+//! [`profile_query`] plans the statement with a recorder attached (so the
+//! planner's zero-width `Plan` span is captured), executes it through
+//! [`crate::exec::execute_profiled`] — every operator counts its emitted
+//! rows, unfiltered scans tally key frequencies, and each join stage
+//! records its span stream on a stage-private recorder — then assembles:
+//!
+//! * a [`QueryProfile`] (the stable JSON schema exported by
+//!   `tapejoin-obs`) with estimated vs actual cardinality, Q-error, the
+//!   tape/disk/CPU virtual-time split, chosen method vs priced
+//!   runner-ups, and fault/retry/restart counts per operator;
+//! * a merged span stream on the *query* timeline: stages execute
+//!   sequentially, so stage `k`'s spans are rebased by the summed
+//!   response of stages `0..k` and nested under per-operator scopes
+//!   under one `Query` span — the conservation auditor passes on it;
+//! * the rendered `EXPLAIN ANALYZE` text.
+//!
+//! The virtual-time split attributes each instant of a join stage to
+//! **tape** if any tape drive was busy, else **disk** if any disk was
+//! busy, else **CPU** (residual host time under the zero-CPU
+//! assumption). The three parts therefore tile the stage's response
+//! exactly even though devices overlap.
+
+use std::collections::HashMap;
+
+use tapejoin::SystemConfig;
+use tapejoin_obs::{
+    q_error, Alternative, OperatorProfile, QueryProfile, Recorder, Span, SpanId, SpanKind,
+};
+use tapejoin_sim::SimTime;
+
+use crate::catalog::{measured_heavy_fraction, measured_zipf_theta, Catalog};
+use crate::error::SqlError;
+use crate::exec::{execute_profiled, ExecProbe, JoinRun, QueryOutput};
+use crate::logical::{Bound, Col};
+use crate::physical::{Physical, PhysicalPlan, PlannerMode};
+use crate::{plan_statement, Planned};
+
+/// Everything a profiled execution produces.
+#[derive(Clone, Debug)]
+pub struct Profiled {
+    /// The query result (identical to an unprofiled run).
+    pub output: QueryOutput,
+    /// The per-operator plan-vs-actual profile.
+    pub profile: QueryProfile,
+    /// Merged span stream on the query timeline: one `Query` span, the
+    /// planner's `Plan` marker, per-operator scopes, and every join
+    /// stage's device spans rebased onto the shared clock. Passes the
+    /// conservation auditor.
+    pub spans: Vec<Span>,
+    /// Rendered `EXPLAIN ANALYZE` text.
+    pub text: String,
+}
+
+/// Plan, execute and profile one statement (the programmatic
+/// `EXPLAIN ANALYZE`). The statement may be a plain `SELECT` — the
+/// `EXPLAIN ANALYZE` prefix is not required here.
+pub fn profile_query(
+    sql: &str,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    mode: PlannerMode,
+) -> Result<Profiled, SqlError> {
+    // Arm a recorder for planning so the zero-width Plan span lands in
+    // the merged stream; join stages record on their own recorders.
+    let plan_rec = Recorder::enabled();
+    let sys = cfg.clone().recorder(plan_rec.share());
+    let planned = plan_statement(sql, catalog, &sys, mode)?;
+    profile_planned(&planned, catalog, &sys, plan_rec.spans())
+}
+
+/// [`profile_query`] for an already-planned statement.
+pub fn profile_planned(
+    planned: &Planned,
+    catalog: &Catalog,
+    cfg: &SystemConfig,
+    plan_spans: Vec<Span>,
+) -> Result<Profiled, SqlError> {
+    let (output, probe) = execute_profiled(&planned.plan, &planned.bound, catalog, cfg)?;
+    let operators = operator_profiles(&planned.plan, &planned.bound, &output, &probe);
+    let actual_join_seconds = output
+        .joins
+        .iter()
+        .map(|r| r.stats.response.as_secs_f64())
+        .sum();
+    let profile = QueryProfile {
+        sql: planned.statement.select().to_string(),
+        mode: mode_name(planned.plan.mode).to_string(),
+        join_order: planned
+            .plan
+            .order
+            .iter()
+            .map(|&t| planned.bound.tables[t].name.clone())
+            .collect(),
+        est_join_seconds: planned.plan.est_join_seconds,
+        actual_join_seconds,
+        operators,
+    };
+    let spans = assemble_spans(&profile, &output.joins, plan_spans);
+    let text = render_analyze(&planned.plan, &profile);
+    Ok(Profiled {
+        output,
+        profile,
+        spans,
+        text,
+    })
+}
+
+fn mode_name(mode: PlannerMode) -> &'static str {
+    match mode {
+        PlannerMode::CostBased => "cost-based",
+        PlannerMode::Syntactic => "syntactic",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-operator profiles
+
+/// Preorder node list: a node before its children, a join's build child
+/// before its probe child — the numbering contract of
+/// [`crate::exec::ExecProbe`].
+fn preorder<'a>(phys: &'a Physical, out: &mut Vec<&'a Physical>) {
+    out.push(phys);
+    match phys {
+        Physical::Join { build, probe, .. } => {
+            preorder(build, out);
+            preorder(probe, out);
+        }
+        Physical::Filter { input, .. }
+        | Physical::Project { input, .. }
+        | Physical::Sort { input, .. }
+        | Physical::Limit { input, .. } => preorder(input, out),
+        Physical::Scan { .. } => {}
+    }
+}
+
+fn col_name(c: Col, bound: &Bound) -> String {
+    format!("{}.{}", bound.tables[c.table].name, c.field.name())
+}
+
+fn op_and_label(phys: &Physical, bound: &Bound) -> (&'static str, String) {
+    match phys {
+        Physical::Scan { table, .. } => ("scan", format!("TapeScan {}", bound.tables[*table].name)),
+        Physical::Join {
+            build_col,
+            probe_col,
+            choice,
+            ..
+        } => (
+            "join",
+            format!(
+                "TertiaryJoin [{}] on {} = {}",
+                choice.method.abbrev(),
+                col_name(*build_col, bound),
+                col_name(*probe_col, bound)
+            ),
+        ),
+        Physical::Filter { pred, .. } => (
+            "filter",
+            format!(
+                "Filter {} {} {}",
+                col_name(pred.col, bound),
+                pred.op,
+                pred.value
+            ),
+        ),
+        Physical::Project { .. } => ("project", "Project".to_string()),
+        Physical::Sort { topn, .. } => (
+            "sort",
+            match topn {
+                Some(n) => format!("Sort top-{n}"),
+                None => "Sort".to_string(),
+            },
+        ),
+        Physical::Limit { n, .. } => ("limit", format!("Limit {n}")),
+    }
+}
+
+fn operator_profiles(
+    plan: &PhysicalPlan,
+    bound: &Bound,
+    output: &QueryOutput,
+    probe: &ExecProbe,
+) -> Vec<OperatorProfile> {
+    let mut nodes = Vec::new();
+    preorder(&plan.root, &mut nodes);
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, phys)| {
+            let (op, label) = op_and_label(phys, bound);
+            let est_rows = phys.est().rows;
+            let actual_rows = probe.emitted.get(i).copied().unwrap_or(0);
+            let mut prof = OperatorProfile {
+                op: op.to_string(),
+                label,
+                est_rows,
+                actual_rows,
+                q_error: q_error(est_rows, actual_rows),
+                method: None,
+                expected_seconds: 0.0,
+                actual_seconds: 0.0,
+                tape_seconds: 0.0,
+                disk_seconds: 0.0,
+                cpu_seconds: 0.0,
+                alternatives: Vec::new(),
+                faults: 0,
+                fault_retries: 0,
+                restarts: 0,
+                work_salvaged_bytes: 0,
+                table: None,
+                distinct_keys: 0,
+                heavy_fraction: 0.0,
+                zipf_theta: 0.0,
+                filtered: false,
+            };
+            match phys {
+                Physical::Join { choice, .. } => {
+                    prof.method = Some(choice.method.abbrev().to_string());
+                    prof.expected_seconds = choice.expected_seconds;
+                    prof.alternatives = choice
+                        .alternatives
+                        .iter()
+                        .map(|c| Alternative {
+                            method: c.method.abbrev().to_string(),
+                            expected_seconds: c.expected_seconds,
+                        })
+                        .collect();
+                    // An empty input side short-circuits the stage: no
+                    // JoinRun, zero time, zero devices — the zeros above
+                    // already say so.
+                    if let Some(run) = output.joins.iter().find(|r| r.node == i) {
+                        // The method that finished can differ from the
+                        // plan after a degraded-mode re-plan.
+                        prof.method = Some(run.stats.method.abbrev().to_string());
+                        let (tape, disk, cpu, total) = time_split(run);
+                        prof.actual_seconds = total;
+                        prof.tape_seconds = tape;
+                        prof.disk_seconds = disk;
+                        prof.cpu_seconds = cpu;
+                        prof.faults = run.stats.faults.total();
+                        prof.fault_retries = run.stats.tape_r.fault_retries
+                            + run.stats.tape_s.fault_retries
+                            + run.stats.disk.fault_retries;
+                        prof.restarts = u64::from(run.stats.restarts);
+                        prof.work_salvaged_bytes = run.stats.work_salvaged_bytes;
+                    }
+                }
+                Physical::Scan {
+                    table,
+                    filters,
+                    limit,
+                    ..
+                } => {
+                    prof.table = Some(bound.tables[*table].name.clone());
+                    prof.filtered = !filters.is_empty() || limit.is_some();
+                    if let Some(obs) = probe.scans.iter().find(|s| s.node == i) {
+                        let (distinct, heavy, theta) = freq_stats(&obs.freq);
+                        prof.distinct_keys = distinct;
+                        prof.heavy_fraction = heavy;
+                        prof.zipf_theta = theta;
+                    }
+                }
+                _ => {}
+            }
+            prof
+        })
+        .collect()
+}
+
+/// Distinct count, heavy-hitter excess and fitted Zipf-θ of an observed
+/// key-frequency map, using the same estimators the catalog's `ANALYZE`
+/// scan uses.
+fn freq_stats(freq: &HashMap<u64, u64>) -> (u64, f64, f64) {
+    let tuples: u64 = freq.values().sum();
+    let mut counts: Vec<u64> = freq.values().copied().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    (
+        counts.len() as u64,
+        measured_heavy_fraction(&counts, tuples),
+        measured_zipf_theta(&counts),
+    )
+}
+
+/// Attribute the stage's response to tape / disk / CPU by interval
+/// coverage (tape wins ties, CPU is the uncovered remainder), so the
+/// three parts tile the response exactly despite device overlap.
+/// Returns seconds `(tape, disk, cpu, total)`.
+fn time_split(run: &JoinRun) -> (f64, f64, f64, f64) {
+    let resp = run.stats.response.as_nanos();
+    let mut tape: Vec<(u64, u64)> = Vec::new();
+    let mut device: Vec<(u64, u64)> = Vec::new();
+    for s in &run.spans {
+        if s.kind != SpanKind::DeviceOp {
+            continue;
+        }
+        let Some(end) = s.end else { continue };
+        let a = s.start.as_nanos().min(resp);
+        let b = end.as_nanos().min(resp);
+        if b <= a {
+            continue;
+        }
+        if s.track.starts_with("tape") {
+            tape.push((a, b));
+        }
+        if s.track.starts_with("tape") || s.track.starts_with("disk") {
+            device.push((a, b));
+        }
+    }
+    let tape_ns = union_len(tape);
+    let device_ns = union_len(device);
+    (
+        secs(tape_ns),
+        secs(device_ns - tape_ns),
+        secs(resp - device_ns),
+        secs(resp),
+    )
+}
+
+/// Nanoseconds to seconds, via the typed duration.
+fn secs(ns: u64) -> f64 {
+    tapejoin_sim::Duration::from_nanos(ns).as_secs_f64()
+}
+
+/// Total length of the union of half-open intervals.
+fn union_len(mut iv: Vec<(u64, u64)>) -> u64 {
+    iv.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (a, b) in iv {
+        match &mut cur {
+            Some((_, ce)) if a <= *ce => *ce = (*ce).max(b),
+            _ => {
+                if let Some((cs, ce)) = cur {
+                    total += ce - cs;
+                }
+                cur = Some((a, b));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
+// Merged span stream
+
+/// Merge the planner's spans and every stage's span stream onto one
+/// query timeline:
+///
+/// * span 0 is a `Query` scope covering `[0, Σ stage responses]`;
+/// * the planner's zero-width `Plan` markers re-parent under it;
+/// * each operator gets a `Scope` span (joins span their stage's
+///   interval, other operators are zero-width markers);
+/// * each stage's spans shift by the summed response of the stages that
+///   ran before it and nest under their operator's scope.
+///
+/// Span ids are re-assigned to equal vector indices — the contract
+/// `tapejoin_obs::audit_spans` requires.
+fn assemble_spans(profile: &QueryProfile, joins: &[JoinRun], plan_spans: Vec<Span>) -> Vec<Span> {
+    let total_ns: u64 = joins.iter().map(|r| r.stats.response.as_nanos()).sum();
+    let mut spans: Vec<Span> = Vec::new();
+    spans.push(Span {
+        id: SpanId(0),
+        parent: None,
+        kind: SpanKind::Query,
+        track: "sql".to_string(),
+        name: "query".to_string(),
+        start: SimTime::ZERO,
+        end: Some(SimTime::from_nanos(total_ns)),
+        attrs: Vec::new(),
+    });
+    let plan_base = spans.len();
+    for mut s in plan_spans {
+        let old = s.id.0;
+        s.id = SpanId(plan_base + old);
+        s.parent = Some(match s.parent {
+            Some(p) => SpanId(plan_base + p.0),
+            None => SpanId(0),
+        });
+        spans.push(s);
+    }
+
+    // Stage offsets on the query timeline, keyed by plan-node index.
+    let mut offsets: HashMap<usize, (u64, u64)> = HashMap::new();
+    let mut t = 0u64;
+    for run in joins {
+        let resp = run.stats.response.as_nanos();
+        offsets.insert(run.node, (t, resp));
+        t += resp;
+    }
+
+    // One Scope span per operator, preorder — node i gets id op_base + i.
+    let op_base = spans.len();
+    for (i, op) in profile.operators.iter().enumerate() {
+        let (start, end) = match offsets.get(&i) {
+            Some(&(off, resp)) => (off, off + resp),
+            None => (0, 0),
+        };
+        spans.push(Span {
+            id: SpanId(op_base + i),
+            parent: Some(SpanId(0)),
+            kind: SpanKind::Scope,
+            track: "sql".to_string(),
+            name: op.label.clone(),
+            start: SimTime::from_nanos(start),
+            end: Some(SimTime::from_nanos(end)),
+            attrs: Vec::new(),
+        });
+    }
+
+    // Stage streams, in execution order so per-track device ops stay
+    // chronologically sorted across stages.
+    for run in joins {
+        let Some(&(off, _)) = offsets.get(&run.node) else {
+            continue;
+        };
+        let base = spans.len();
+        for s in &run.spans {
+            let mut s = s.clone();
+            let old = s.id.0;
+            s.id = SpanId(base + old);
+            s.parent = Some(match s.parent {
+                Some(p) => SpanId(base + p.0),
+                None => SpanId(op_base + run.node),
+            });
+            s.start = SimTime::from_nanos(off + s.start.as_nanos());
+            s.end = s.end.map(|e| SimTime::from_nanos(off + e.as_nanos()));
+            spans.push(s);
+        }
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+/// Render the `EXPLAIN ANALYZE` tree: the `EXPLAIN` shape with actual
+/// cardinality, Q-error and the virtual-time split appended per operator.
+fn render_analyze(plan: &PhysicalPlan, profile: &QueryProfile) -> String {
+    let mut out = format!(
+        "profile: {} join order [{}], est join time {:.1}s, actual {:.1}s\n",
+        profile.mode,
+        profile.join_order.join(" -> "),
+        profile.est_join_seconds,
+        profile.actual_join_seconds,
+    );
+    let mut idx = 0usize;
+    render(&plan.root, profile, &mut idx, "", "", true, &mut out);
+    out
+}
+
+fn operator_line(op: &OperatorProfile) -> String {
+    let mut s = format!(
+        "{} est~{} actual={} q={:.2}",
+        op.label,
+        op.est_rows.round() as u64,
+        op.actual_rows,
+        op.q_error
+    );
+    if op.method.is_some() {
+        s.push_str(&format!(
+            " time={:.1}s (tape {:.1}s disk {:.1}s cpu {:.1}s)",
+            op.actual_seconds, op.tape_seconds, op.disk_seconds, op.cpu_seconds
+        ));
+        if !op.alternatives.is_empty() {
+            s.push_str(" alt:");
+            for (i, a) in op.alternatives.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(" {} {:.1}s", a.method, a.expected_seconds));
+            }
+        }
+        if op.faults > 0 || op.restarts > 0 {
+            s.push_str(&format!(
+                " faults={} retries={} restarts={} salvaged={}B",
+                op.faults, op.fault_retries, op.restarts, op.work_salvaged_bytes
+            ));
+        }
+    }
+    if op.table.is_some() && !op.filtered {
+        s.push_str(&format!(
+            " observed{{distinct={} heavy={:.2} theta={:.2}}}",
+            op.distinct_keys, op.heavy_fraction, op.zipf_theta
+        ));
+    }
+    s
+}
+
+fn render(
+    node: &Physical,
+    profile: &QueryProfile,
+    idx: &mut usize,
+    prefix: &str,
+    tag: &str,
+    last: bool,
+    out: &mut String,
+) {
+    let (branch, child_prefix) = if prefix.is_empty() {
+        (String::new(), String::new())
+    } else if last {
+        (format!("{prefix}└─ "), format!("{prefix}   "))
+    } else {
+        (format!("{prefix}├─ "), format!("{prefix}│  "))
+    };
+    let line = operator_line(&profile.operators[*idx]);
+    *idx += 1;
+    out.push_str(&format!("{branch}{tag}{line}\n"));
+    let cp = if child_prefix.is_empty() {
+        "  "
+    } else {
+        &child_prefix
+    };
+    match node {
+        Physical::Join { build, probe, .. } => {
+            render(build, profile, idx, cp, "build: ", false, out);
+            render(probe, profile, idx, cp, "probe: ", true, out);
+        }
+        Physical::Filter { input, .. }
+        | Physical::Project { input, .. }
+        | Physical::Sort { input, .. }
+        | Physical::Limit { input, .. } => {
+            render(input, profile, idx, cp, "", true, out);
+        }
+        Physical::Scan { .. } => {}
+    }
+}

@@ -1,0 +1,312 @@
+//! `EXPLAIN ANALYZE` acceptance tests: the profiler must report
+//! plan-vs-actual per operator for every join method, its merged span
+//! stream must pass the conservation auditor, its JSON document must
+//! validate against the exported schema, the statistics feedback loop
+//! must re-plan digest-equal, and profiles must survive mid-join
+//! restarts with the restart accounting visible.
+
+use proptest::prelude::*;
+use tapejoin::{FaultPlan, JoinMethod, RecoveryPolicy, SystemConfig};
+use tapejoin_obs::{audit_spans, q_error, validate_query_profile_json};
+use tapejoin_rel::{KeyDistribution, RelationSpec};
+use tapejoin_sim::Duration;
+use tapejoin_sql::{
+    bind, naive, parse_statement, plan_statement, profile_query, Catalog, PlannerMode, SqlOutcome,
+};
+
+/// Dimension `r` plus two uniform fact tables over the same 16-key span
+/// (the layout of the end-to-end suite's `small_catalog`).
+fn small_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register_dimension("r", 4, 11).unwrap();
+    cat.register_generated(RelationSpec::new("s", 8), KeyDistribution::Uniform, 16, 12)
+        .unwrap();
+    cat.register_generated(RelationSpec::new("t", 8), KeyDistribution::Uniform, 16, 13)
+        .unwrap();
+    cat
+}
+
+const THREE_WAY: &str = "SELECT r.key, s.rid, t.rid FROM r \
+     JOIN s ON r.key = s.key JOIN t ON s.key = t.key \
+     WHERE t.key < 20 ORDER BY r.key, s.rid, t.rid LIMIT 200";
+
+/// The split must tile the response exactly: interval-union attribution
+/// leaves no gap and no double count.
+fn assert_split_tiles(op: &tapejoin_obs::OperatorProfile) {
+    let sum = op.tape_seconds + op.disk_seconds + op.cpu_seconds;
+    assert!(
+        (sum - op.actual_seconds).abs() < 1e-9,
+        "{}: tape {} + disk {} + cpu {} != actual {}",
+        op.label,
+        op.tape_seconds,
+        op.disk_seconds,
+        op.cpu_seconds,
+        op.actual_seconds
+    );
+    assert!(op.tape_seconds >= 0.0 && op.disk_seconds >= 0.0 && op.cpu_seconds >= 0.0);
+}
+
+#[test]
+fn explain_analyze_reports_actuals_per_operator() {
+    let cat = small_catalog();
+    let cfg = SystemConfig::new(32, 128);
+    let out = tapejoin_sql::run(
+        &format!("EXPLAIN ANALYZE {THREE_WAY}"),
+        &cat,
+        &cfg,
+        PlannerMode::CostBased,
+    )
+    .unwrap();
+    let SqlOutcome::Profile(p) = out else {
+        panic!("EXPLAIN ANALYZE must return SqlOutcome::Profile");
+    };
+
+    // Result rows are identical to an unprofiled run: the naive
+    // reference on the unpushed plan.
+    let unpushed = bind(parse_statement(THREE_WAY).unwrap().select(), &cat).unwrap();
+    assert_eq!(p.output.rows, naive::eval(&unpushed, &cat).unwrap());
+
+    // Every operator carries an estimate, an actual and a Q-error ≥ 1.
+    assert!(!p.profile.operators.is_empty());
+    let mut joins = 0;
+    for op in &p.profile.operators {
+        assert!(op.q_error >= 1.0, "{}: q {}", op.label, op.q_error);
+        if op.method.is_some() {
+            joins += 1;
+            assert!(op.actual_seconds > 0.0, "{}: no time attributed", op.label);
+            assert!(op.tape_seconds > 0.0, "{}: tape never ran", op.label);
+            assert_split_tiles(op);
+            assert!(
+                !op.alternatives.is_empty(),
+                "cost-based join must price runner-ups"
+            );
+        }
+    }
+    assert_eq!(joins, 2, "two join stages profiled");
+    let total: f64 = p.profile.operators.iter().map(|o| o.actual_seconds).sum();
+    assert!((total - p.profile.actual_join_seconds).abs() < 1e-9);
+
+    // The merged span stream passes all conservation audits, including
+    // the profiled-run checks (zero-width Plan markers, operator time
+    // fits the query span).
+    audit_spans(&p.spans).assert_ok();
+    assert!(
+        p.spans
+            .iter()
+            .any(|s| s.kind == tapejoin_obs::SpanKind::Plan),
+        "planner span missing from the merged stream"
+    );
+
+    // The JSON document validates against the exported schema.
+    let json = p.profile.to_json();
+    let ops = validate_query_profile_json(&json).unwrap();
+    assert_eq!(ops, p.profile.operators.len());
+
+    // The rendered text shows plan-vs-actual.
+    assert!(p.text.contains("actual="), "{}", p.text);
+    assert!(p.text.contains("q="), "{}", p.text);
+    assert!(p.text.contains("tape "), "{}", p.text);
+}
+
+#[test]
+fn profiler_covers_every_join_method() {
+    // Force each of the nine methods through the same single-join plan
+    // by overriding the planner's choice, and require a clean audit and
+    // an exact tape/disk/CPU tiling from every one — DHH and CAP
+    // included.
+    let mut cat = Catalog::new();
+    cat.register_dimension("r", 8, 21).unwrap();
+    cat.register_generated(RelationSpec::new("s", 24), KeyDistribution::Uniform, 32, 22)
+        .unwrap();
+    let cfg = SystemConfig::new(16, 400);
+    let sql = "SELECT r.key FROM r JOIN s ON r.key = s.key ORDER BY r.key";
+    let baseline = match tapejoin_sql::run(sql, &cat, &cfg, PlannerMode::CostBased).unwrap() {
+        SqlOutcome::Rows(q) => q.rows,
+        _ => unreachable!(),
+    };
+    fn force_method(node: &mut tapejoin_sql::physical::Physical, method: JoinMethod) -> bool {
+        use tapejoin_sql::physical::Physical;
+        match node {
+            Physical::Join { choice, .. } => {
+                choice.method = method;
+                true
+            }
+            Physical::Filter { input, .. }
+            | Physical::Project { input, .. }
+            | Physical::Sort { input, .. }
+            | Physical::Limit { input, .. } => force_method(input, method),
+            Physical::Scan { .. } => false,
+        }
+    }
+    for method in JoinMethod::ALL {
+        let mut planned = plan_statement(sql, &cat, &cfg, PlannerMode::CostBased).unwrap();
+        assert!(
+            force_method(&mut planned.plan.root, method),
+            "no join node in the plan"
+        );
+        let p = tapejoin_sql::profile::profile_planned(&planned, &cat, &cfg, Vec::new())
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(p.output.rows, baseline, "{method} diverged");
+        let join = p
+            .profile
+            .operators
+            .iter()
+            .find(|o| o.method.is_some())
+            .unwrap();
+        assert_eq!(join.method.as_deref(), Some(method.abbrev()));
+        assert!(join.actual_seconds > 0.0, "{method}: no time");
+        assert_split_tiles(join);
+        audit_spans(&p.spans).assert_ok();
+        validate_query_profile_json(&p.profile.to_json())
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+    }
+}
+
+#[test]
+fn absorbed_profile_replans_digest_equal() {
+    // Learn statistics from a profiled run, fold them back, and re-plan:
+    // the learned catalog must reproduce the same result digest, and the
+    // unfiltered scans must now carry observed cardinalities.
+    let cat = small_catalog();
+    let cfg = SystemConfig::new(32, 128);
+    let sql = "SELECT r.key, s.rid FROM r JOIN s ON r.key = s.key ORDER BY r.key, s.rid";
+    let p = profile_query(sql, &cat, &cfg, PlannerMode::CostBased).unwrap();
+
+    let mut learned = cat.clone();
+    let updated = learned.absorb_profile(&p.profile);
+    assert_eq!(updated, 2, "both unfiltered scans feed back");
+    for name in ["r", "s"] {
+        let table = learned.find(name).unwrap().1;
+        let scanned = p
+            .profile
+            .operators
+            .iter()
+            .find(|o| o.table.as_deref() == Some(name))
+            .unwrap();
+        assert_eq!(table.stats.tuples, scanned.actual_rows);
+        assert_eq!(table.stats.key_cardinality, scanned.distinct_keys);
+    }
+
+    let p2 = profile_query(sql, &learned, &cfg, PlannerMode::CostBased).unwrap();
+    assert_eq!(
+        tapejoin_sql::exec::rows_digest(&p.output.rows),
+        tapejoin_sql::exec::rows_digest(&p2.output.rows),
+        "learned-stats plan changed the answer"
+    );
+    // With exact base-table actuals absorbed, the scan estimates are
+    // exact on the second run.
+    for op in &p2.profile.operators {
+        if op.op == "scan" && !op.filtered {
+            assert!(
+                (op.q_error - 1.0).abs() < f64::EPSILON,
+                "{}: q {} after feedback",
+                op.label,
+                op.q_error
+            );
+        }
+    }
+}
+
+#[test]
+fn profiles_survive_mid_join_restarts() {
+    // Chaos arm: sticky tape faults with spare drives force restarts
+    // inside the join stage; the profile must still report consistent
+    // actuals plus the restart count, and the merged spans must audit.
+    let mut cat = Catalog::new();
+    cat.register_dimension("r", 8, 31).unwrap();
+    cat.register_generated(RelationSpec::new("s", 24), KeyDistribution::Uniform, 32, 32)
+        .unwrap();
+    let sql = "SELECT r.key FROM r JOIN s ON r.key = s.key ORDER BY r.key";
+    let clean_cfg = SystemConfig::new(16, 400);
+    let baseline = match tapejoin_sql::run(sql, &cat, &clean_cfg, PlannerMode::CostBased).unwrap() {
+        SqlOutcome::Rows(q) => q.rows,
+        _ => unreachable!(),
+    };
+    let mut proven = false;
+    for seed in 0..200u64 {
+        let cfg = SystemConfig::new(16, 400)
+            .faults(
+                FaultPlan::new(seed)
+                    .tape_rates(0.0, 0.12)
+                    .tape_exchange(Duration::from_secs(50), 0),
+            )
+            .recovery(RecoveryPolicy::with_spares(4).max_restarts(8));
+        let Ok(p) = profile_query(sql, &cat, &cfg, PlannerMode::CostBased) else {
+            // This schedule burned the whole restart budget; try the next.
+            continue;
+        };
+        assert_eq!(p.output.rows, baseline, "seed {seed} diverged");
+        audit_spans(&p.spans).assert_ok();
+        validate_query_profile_json(&p.profile.to_json()).unwrap();
+        let join = p
+            .profile
+            .operators
+            .iter()
+            .find(|o| o.method.is_some())
+            .unwrap();
+        if join.restarts >= 1 {
+            assert!(
+                join.faults >= 1,
+                "seed {seed}: restarts without recorded faults"
+            );
+            assert_split_tiles(join);
+            proven = true;
+            if join.work_salvaged_bytes > 0 {
+                break;
+            }
+        }
+    }
+    assert!(
+        proven,
+        "no fault seed in 0..200 produced a profiled restart"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Q-error is bounded below by 1 for any estimate, and feeding an
+    /// operator's own actuals back as the estimate collapses it to
+    /// exactly 1 — the fixed point the feedback loop drives toward.
+    #[test]
+    fn q_error_is_at_least_one_and_exact_on_feedback(
+        est in 0.0f64..1e9,
+        actual in 0u64..1_000_000,
+    ) {
+        prop_assert!(q_error(est, actual) >= 1.0);
+        prop_assert!((q_error(actual as f64, actual) - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// The naive reference evaluator's cardinality is what the profiler
+    /// reports at the plan root, so feeding it back as the estimate is
+    /// the Q-error identity on real queries too.
+    #[test]
+    fn naive_actuals_fed_back_give_unit_q_error(
+        r_blocks in 2u64..6,
+        s_blocks in 4u64..12,
+        seed in 0u64..50,
+    ) {
+        let mut cat = Catalog::new();
+        cat.register_dimension("r", r_blocks, seed.wrapping_mul(3).wrapping_add(1)).unwrap();
+        cat.register_generated(
+            RelationSpec::new("s", s_blocks),
+            KeyDistribution::Uniform,
+            r_blocks * 4,
+            seed.wrapping_mul(7).wrapping_add(2),
+        )
+        .unwrap();
+        let cfg = SystemConfig::new(32, 256);
+        let sql = "SELECT r.key, s.rid FROM r JOIN s ON r.key = s.key";
+        let p = profile_query(sql, &cat, &cfg, PlannerMode::CostBased).unwrap();
+        let unpushed = bind(parse_statement(sql).unwrap().select(), &cat).unwrap();
+        let reference = naive::eval(&unpushed, &cat).unwrap();
+        let root = &p.profile.operators[0];
+        prop_assert_eq!(root.actual_rows, reference.len() as u64);
+        prop_assert!(
+            (q_error(reference.len() as f64, root.actual_rows) - 1.0).abs() < f64::EPSILON
+        );
+        for op in &p.profile.operators {
+            prop_assert!(op.q_error >= 1.0);
+        }
+    }
+}

@@ -80,7 +80,7 @@ fn explain_shows_pushdown_and_costed_method_selection() {
     .unwrap();
     let text = match out {
         SqlOutcome::Plan(t) => t,
-        SqlOutcome::Rows(_) => panic!("EXPLAIN returned rows"),
+        other => panic!("EXPLAIN returned {other:?}"),
     };
 
     assert!(text.contains("plan: cost-based join order ["), "{text}");

@@ -155,11 +155,6 @@ impl TapeDrive {
         self.server.stats()
     }
 
-    /// Record every service interval of this drive into `log`.
-    pub fn attach_activity_log(&self, log: tapejoin_sim::ActivityLog) {
-        self.server.attach_activity_log(log);
-    }
-
     /// Attach an observability recorder: every service interval becomes a
     /// `device-op` span and every injected fault's recovery interval a
     /// `fault` span, both on the track `tape-drive:{name}`. A disabled

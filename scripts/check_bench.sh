@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Validate every results/BENCH_*.json envelope (and each embedded
+# QueryProfile) with the obs JSON parser. Exits non-zero on the first
+# invalid file. Usage: scripts/check_bench.sh [results-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p tapejoin-bench --bin check_bench -- "${1:-results}"

@@ -1,5 +1,5 @@
 //! Integration tests for the features beyond the paper's measurements:
-//! READ REVERSE, disk-materialized output, and device timelines —
+//! READ REVERSE, disk-materialized output, and device span streams —
 //! individually and combined.
 
 use tapejoin::{JoinMethod, OutputMode, SystemConfig, TertiaryJoin};
@@ -49,20 +49,30 @@ fn all_extensions_combined_still_verify() {
         .build();
     let expected = reference_join(&w.r, &w.s);
     for method in JoinMethod::ALL {
+        let rec = tapejoin_obs::Recorder::enabled();
         let cfg = reverse_capable(16, 220)
             .output(OutputMode::LocalDisk)
-            .record_timeline(true);
+            .recorder(rec.share());
         let stats = TertiaryJoin::new(cfg)
             .run(method, &w)
             .unwrap_or_else(|e| panic!("{method}: {e}"));
         assert_eq!(stats.output, expected, "{method}");
         assert!(stats.output_blocks > 0, "{method}");
-        let t = stats.timeline.as_ref().expect("timeline on");
-        assert!(!t.disks.is_empty(), "{method}");
-        // The output writer's disk intervals are inside the response span.
-        for a in t.disks.entries() {
-            assert!(a.end.duration_since(tapejoin_sim::SimTime::ZERO) <= stats.response);
+        let spans = rec.spans();
+        let mut disk_ops = 0usize;
+        for s in spans
+            .iter()
+            .filter(|s| s.kind == tapejoin_obs::SpanKind::DeviceOp && s.track.starts_with("disk"))
+        {
+            disk_ops += 1;
+            // The output writer's disk intervals are inside the response span.
+            let end = s.end.expect("device ops are closed");
+            assert!(
+                end.duration_since(tapejoin_sim::SimTime::ZERO) <= stats.response,
+                "{method}"
+            );
         }
+        assert!(disk_ops > 0, "{method}: no disk device-op spans");
     }
 }
 
@@ -82,22 +92,30 @@ fn local_output_volume_matches_cardinality() {
 }
 
 #[test]
-fn timeline_busy_is_consistent_with_tape_stats() {
+fn span_busy_is_consistent_with_tape_stats() {
+    use std::collections::HashMap;
+    use tapejoin_obs::{Recorder, SpanKind};
     let w = WorkloadBuilder::new(64)
         .r(RelationSpec::new("R", 48))
         .s(RelationSpec::new("S", 192))
         .build();
-    let cfg = SystemConfig::new(16, 160).record_timeline(true);
+    let rec = Recorder::enabled();
+    let cfg = SystemConfig::new(16, 160).recorder(rec.share());
     let stats = TertiaryJoin::new(cfg.clone())
         .run(JoinMethod::DtNb, &w)
         .unwrap();
-    let t = stats.timeline.expect("timeline on");
+    let mut busy: HashMap<String, u64> = HashMap::new();
+    for s in rec.spans().iter().filter(|s| s.kind == SpanKind::DeviceOp) {
+        let end = s.end.expect("device ops are closed");
+        *busy.entry(s.track.clone()).or_default() += end.duration_since(s.start).as_nanos();
+    }
     // The S drive's busy time is at least the bare transfer of |S|.
     let s_transfer = 192.0 * cfg.block_bytes as f64 / cfg.tape_rate(0.25);
-    assert!(t.tape_s.busy().as_secs_f64() >= s_transfer * 0.99);
+    let s_busy = busy.get("tape-drive:S").copied().unwrap_or(0) as f64 / 1e9;
+    assert!(s_busy >= s_transfer * 0.99);
     // And no device is busy longer than the whole run.
-    for log in [&t.tape_r, &t.tape_s, &t.disks] {
-        assert!(log.busy() <= stats.response);
+    for (track, ns) in &busy {
+        assert!(*ns <= stats.response.as_nanos(), "{track} busy > response");
     }
 }
 
