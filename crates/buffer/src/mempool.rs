@@ -47,6 +47,7 @@ impl std::error::Error for MemoryExhausted {}
 /// ```
 #[derive(Clone)]
 pub struct MemoryPool {
+    // lint:allow(L9, pool handle cloned across tasks of one executor only)
     inner: Rc<RefCell<PoolInner>>,
 }
 

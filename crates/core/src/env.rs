@@ -17,6 +17,7 @@ use crate::requirements::ResourceNeeds;
 #[derive(Clone)]
 pub struct JoinEnv {
     /// System configuration.
+    // lint:allow(L9, immutable join config shared within one query's executor)
     pub cfg: Rc<SystemConfig>,
     /// Drive holding the R tape.
     pub drive_r: TapeDrive,

@@ -240,6 +240,7 @@ pub(crate) async fn run(env: JoinEnv, resume: Option<Progress>) -> MethodRun {
     drop(frame_grant);
 
     if s_done < env.s_blocks() {
+        // lint:allow(L11, keys are sorted immediately below; order cannot leak)
         let mut heavy_keys: Vec<u64> = heavy.keys().copied().collect();
         heavy_keys.sort_unstable();
         return MethodRun::interrupted(

@@ -1,4 +1,6 @@
 //! The disk array: timing + actual block storage.
+//!
+//! lint:allow-file(L9, disk-array device model owned by one fleet member; all task handles stay on that member's executor)
 
 use std::cell::RefCell;
 use std::collections::HashMap;

@@ -70,6 +70,7 @@ struct SpaceInner {
 /// ```
 #[derive(Clone)]
 pub struct SpaceManager {
+    // lint:allow(L9, space-manager handle local to one member's executor)
     inner: Rc<RefCell<SpaceInner>>,
 }
 

@@ -1,0 +1,872 @@
+//! A lightweight item-level AST over the token stream.
+//!
+//! The per-file rules through L8 got by on raw token patterns. The
+//! L9–L11 passes need more structure: *where* a `Rc<RefCell<…>>` is
+//! declared (a struct field vs. a doc string), *which* function body an
+//! arithmetic expression sits in (and whether that item is
+//! `#[cfg(test)]`), and what a bare `HashMap` ident resolves to after
+//! `use std::collections::HashMap as Map`. This module parses the token
+//! stream into a tree of items — functions with body ranges, structs
+//! with typed fields, statics, type aliases, use-declarations with
+//! aliases, and nested `mod`/`impl`/`trait` scopes — without ever
+//! failing: unknown constructs become opaque `Other` items and the
+//! parser resynchronises on the next item keyword.
+//!
+//! It is intentionally not a full Rust grammar. It knows exactly enough
+//! structure for symbol-level lint passes and stays zero-dependency.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Token index range `[lo, hi)` into the scanned token stream.
+pub type Span = (usize, usize);
+
+/// One named, typed field of a struct (or struct-like enum variant).
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// 1-based column of the field name.
+    pub col: u32,
+    /// Token range of the field's type.
+    pub ty: Span,
+}
+
+/// One leaf `use` path, groups expanded (`use a::{b, c as d}` yields
+/// two decls).
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    /// Path segments (`["std", "collections", "HashMap"]`).
+    pub path: Vec<String>,
+    /// Rename, if declared with `as`.
+    pub alias: Option<String>,
+}
+
+/// What kind of item was parsed.
+#[derive(Clone, Debug)]
+pub enum ItemKind {
+    /// `fn`, with the token ranges of its parameter list and body (the
+    /// body is absent for trait-method signatures).
+    Fn {
+        /// Parameter-list tokens (inside the parentheses).
+        params: Span,
+        /// Body tokens (inside the braces), if the fn has one.
+        body: Option<Span>,
+    },
+    /// `struct` with named fields (tuple/unit structs carry none).
+    Struct {
+        /// The named, typed fields.
+        fields: Vec<Field>,
+    },
+    /// `enum`; fields collects every struct-like variant's named fields.
+    Enum {
+        /// Named fields across all struct-like variants.
+        fields: Vec<Field>,
+    },
+    /// `static`, possibly `static mut`.
+    Static {
+        /// `true` for `static mut`.
+        is_mut: bool,
+        /// Token range of the declared type.
+        ty: Span,
+    },
+    /// `type Alias = …;`
+    TypeAlias {
+        /// Token range of the aliased type.
+        ty: Span,
+    },
+    /// `use …;` with all leaf paths expanded.
+    Use {
+        /// The expanded leaf declarations.
+        decls: Vec<UseDecl>,
+    },
+    /// `mod name { … }` (or `mod name;`); children parsed.
+    Mod,
+    /// `impl … { … }`; children are the methods and assoc consts.
+    Impl,
+    /// `trait … { … }`; children are the method signatures/defaults.
+    Trait,
+    /// `const NAME: … = …;`
+    Const,
+    /// Anything else (macros, extern blocks, stray tokens).
+    Other,
+}
+
+/// One parsed item.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// The kind plus kind-specific structure.
+    pub kind: ItemKind,
+    /// Item name (empty for `impl` blocks and opaque items).
+    pub name: String,
+    /// 1-based line the item starts on.
+    pub line: u32,
+    /// `true` when the item carries `#[cfg(test)]` directly.
+    pub cfg_test: bool,
+    /// Nested items (`mod`/`impl`/`trait` bodies).
+    pub children: Vec<Item>,
+}
+
+/// A parsed file: the item tree plus the file's use-declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Ast {
+    /// Top-level items.
+    pub items: Vec<Item>,
+}
+
+/// One function body reachable in the tree, with test-ness inherited
+/// from every enclosing item.
+pub struct FnBody<'a> {
+    /// The function's name.
+    pub name: &'a str,
+    /// Token range of the parameter list.
+    pub params: Span,
+    /// Token range of the body.
+    pub body: Span,
+    /// `true` when the fn or any ancestor is `#[cfg(test)]`.
+    pub cfg_test: bool,
+}
+
+impl Ast {
+    /// Parse the token stream. Infallible: unrecognised constructs
+    /// become `Other` items.
+    pub fn parse(toks: &[Token]) -> Ast {
+        let mut p = Parser { toks, i: 0 };
+        Ast {
+            items: p.items(usize::MAX),
+        }
+    }
+
+    /// Every function body in the tree, depth-first, with inherited
+    /// `#[cfg(test)]` state.
+    pub fn fn_bodies(&self) -> Vec<FnBody<'_>> {
+        let mut out = Vec::new();
+        fn walk<'a>(items: &'a [Item], in_test: bool, out: &mut Vec<FnBody<'a>>) {
+            for it in items {
+                let t = in_test || it.cfg_test;
+                if let ItemKind::Fn {
+                    params,
+                    body: Some(body),
+                } = &it.kind
+                {
+                    out.push(FnBody {
+                        name: &it.name,
+                        params: *params,
+                        body: *body,
+                        cfg_test: t,
+                    });
+                }
+                walk(&it.children, t, out);
+            }
+        }
+        walk(&self.items, false, &mut out);
+        out
+    }
+
+    /// Every item in the tree, depth-first, with inherited test-ness.
+    pub fn all_items(&self) -> Vec<(&Item, bool)> {
+        let mut out = Vec::new();
+        fn walk<'a>(items: &'a [Item], in_test: bool, out: &mut Vec<(&'a Item, bool)>) {
+            for it in items {
+                let t = in_test || it.cfg_test;
+                out.push((it, t));
+                walk(&it.children, t, out);
+            }
+        }
+        walk(&self.items, false, &mut out);
+        out
+    }
+
+    /// All `use` declarations anywhere in the file (Rust scoping is
+    /// flattened: good enough for alias resolution in a lint).
+    pub fn use_decls(&self) -> Vec<&UseDecl> {
+        self.all_items()
+            .into_iter()
+            .filter_map(|(it, _)| match &it.kind {
+                ItemKind::Use { decls } => Some(decls.iter().collect::<Vec<_>>()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, off: usize) -> Option<&Token> {
+        self.toks.get(self.i + off)
+    }
+
+    fn is_kw(&self, off: usize, kw: &str) -> bool {
+        self.at(off).is_some_and(|t| t.is_ident(kw))
+    }
+
+    fn line_col(&self) -> (u32, u32) {
+        self.at(0).map(|t| (t.line, t.col)).unwrap_or((1, 1))
+    }
+
+    /// Parse items until `end` (token index) or a closing brace at the
+    /// caller's depth; the caller consumes the brace itself.
+    fn items(&mut self, end: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.i < self.toks.len().min(end) {
+            if self.toks[self.i].is_punct('}') {
+                break;
+            }
+            out.push(self.item(end));
+        }
+        out
+    }
+
+    fn item(&mut self, end: usize) -> Item {
+        let (line, _col) = self.line_col();
+        // Attributes: `#[…]` (and inner `#![…]`), noting cfg(test).
+        let mut cfg_test = false;
+        while self.at(0).is_some_and(|t| t.is_punct('#')) {
+            let mut j = self.i + 1;
+            if self.toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                j += 1;
+            }
+            if !self.toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                break;
+            }
+            let close = match_bracket(self.toks, j, '[', ']');
+            let attr = &self.toks[j..close.min(self.toks.len())];
+            if attr.windows(4).any(|w| {
+                w[0].is_ident("cfg")
+                    && w[1].is_punct('(')
+                    && w[2].is_ident("test")
+                    && w[3].is_punct(')')
+            }) {
+                cfg_test = true;
+            }
+            self.i = (close + 1).min(self.toks.len());
+        }
+        // Visibility: `pub`, `pub(crate)`, `pub(in path)`.
+        if self.is_kw(0, "pub") {
+            self.i += 1;
+            if self.at(0).is_some_and(|t| t.is_punct('(')) {
+                self.i = (match_bracket(self.toks, self.i, '(', ')') + 1).min(self.toks.len());
+            }
+        }
+        // Leading `unsafe` / `async` / `extern "C"` / `const fn` / `default`.
+        loop {
+            if self.is_kw(0, "unsafe") || self.is_kw(0, "async") || self.is_kw(0, "default") {
+                self.i += 1;
+            } else if self.is_kw(0, "extern")
+                && self
+                    .at(1)
+                    .is_some_and(|t| matches!(t.kind, TokenKind::Str(_)))
+                && self.at(2).is_some_and(|t| t.is_ident("fn"))
+            {
+                self.i += 2;
+            } else if self.is_kw(0, "const") && self.is_kw(1, "fn") {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+
+        let mut item = if self.is_kw(0, "fn") {
+            self.fn_item()
+        } else if self.is_kw(0, "struct") {
+            self.struct_item()
+        } else if self.is_kw(0, "enum") {
+            self.enum_item()
+        } else if self.is_kw(0, "static") {
+            self.static_item()
+        } else if self.is_kw(0, "type") {
+            self.type_item()
+        } else if self.is_kw(0, "use") {
+            self.use_item()
+        } else if self.is_kw(0, "const") {
+            self.skip_to_semi_or_body();
+            Item {
+                kind: ItemKind::Const,
+                name: String::new(),
+                line,
+                cfg_test: false,
+                children: Vec::new(),
+            }
+        } else if self.is_kw(0, "mod") {
+            self.scoped_item(ItemKind::Mod, end)
+        } else if self.is_kw(0, "impl") {
+            self.scoped_item(ItemKind::Impl, end)
+        } else if self.is_kw(0, "trait") {
+            self.scoped_item(ItemKind::Trait, end)
+        } else {
+            // Opaque: a macro invocation, `extern` block, or stray
+            // token. Consume through a balanced `{…}` or to `;`.
+            self.skip_to_semi_or_body();
+            Item {
+                kind: ItemKind::Other,
+                name: String::new(),
+                line,
+                cfg_test: false,
+                children: Vec::new(),
+            }
+        };
+        item.line = line;
+        item.cfg_test = cfg_test;
+        item
+    }
+
+    /// `fn name <generics> ( params ) -> ret where … { body }`.
+    fn fn_item(&mut self) -> Item {
+        self.i += 1; // fn
+        let name = self.ident_here();
+        // Skip generics `<…>` (angle matching, tolerant of `->`).
+        if self.at(0).is_some_and(|t| t.is_punct('<')) {
+            self.skip_angles();
+        }
+        let params = if self.at(0).is_some_and(|t| t.is_punct('(')) {
+            let close = match_bracket(self.toks, self.i, '(', ')');
+            let span = (self.i + 1, close);
+            self.i = (close + 1).min(self.toks.len());
+            span
+        } else {
+            (self.i, self.i)
+        };
+        // Scan to `{` or `;` (return type / where clause in between).
+        let body = loop {
+            match self.at(0) {
+                None => break None,
+                Some(t) if t.is_punct(';') => {
+                    self.i += 1;
+                    break None;
+                }
+                Some(t) if t.is_punct('{') => {
+                    let close = match_bracket(self.toks, self.i, '{', '}');
+                    let span = (self.i + 1, close);
+                    self.i = (close + 1).min(self.toks.len());
+                    break Some(span);
+                }
+                // A where-bound's `(` (fn pointers) or `[`: step over
+                // balanced groups so an inner `{` is not taken for the
+                // body (arrays in const generics etc.).
+                Some(t) if t.is_punct('(') => {
+                    self.i = (match_bracket(self.toks, self.i, '(', ')') + 1).min(self.toks.len());
+                }
+                Some(t) if t.is_punct('[') => {
+                    self.i = (match_bracket(self.toks, self.i, '[', ']') + 1).min(self.toks.len());
+                }
+                _ => self.i += 1,
+            }
+        };
+        Item {
+            kind: ItemKind::Fn { params, body },
+            name,
+            line: 1,
+            cfg_test: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// `struct Name { fields }` / `struct Name(…);` / `struct Name;`
+    fn struct_item(&mut self) -> Item {
+        self.i += 1;
+        let name = self.ident_here();
+        if self.at(0).is_some_and(|t| t.is_punct('<')) {
+            self.skip_angles();
+        }
+        // Skip a where clause up to `{`, `(` or `;`.
+        while let Some(t) = self.at(0) {
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct(';') {
+                break;
+            }
+            self.i += 1;
+        }
+        let mut fields = Vec::new();
+        match self.at(0) {
+            Some(t) if t.is_punct('{') => {
+                let close = match_bracket(self.toks, self.i, '{', '}');
+                parse_fields(self.toks, self.i + 1, close, &mut fields);
+                self.i = (close + 1).min(self.toks.len());
+            }
+            Some(t) if t.is_punct('(') => {
+                let close = match_bracket(self.toks, self.i, '(', ')');
+                self.i = (close + 1).min(self.toks.len());
+                if self.at(0).is_some_and(|t| t.is_punct(';')) {
+                    self.i += 1;
+                }
+            }
+            Some(t) if t.is_punct(';') => self.i += 1,
+            _ => {}
+        }
+        Item {
+            kind: ItemKind::Struct { fields },
+            name,
+            line: 1,
+            cfg_test: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// `enum Name { A, B(T), C { f: T } }` — struct-like variants'
+    /// fields are collected.
+    fn enum_item(&mut self) -> Item {
+        self.i += 1;
+        let name = self.ident_here();
+        if self.at(0).is_some_and(|t| t.is_punct('<')) {
+            self.skip_angles();
+        }
+        while let Some(t) = self.at(0) {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            self.i += 1;
+        }
+        let mut fields = Vec::new();
+        if self.at(0).is_some_and(|t| t.is_punct('{')) {
+            let close = match_bracket(self.toks, self.i, '{', '}');
+            // Walk depth-1 looking for struct-like variant bodies.
+            let mut j = self.i + 1;
+            while j < close {
+                if self.toks[j].is_punct('{') {
+                    let vclose = match_bracket(self.toks, j, '{', '}');
+                    parse_fields(self.toks, j + 1, vclose, &mut fields);
+                    j = vclose + 1;
+                } else if self.toks[j].is_punct('(') {
+                    j = match_bracket(self.toks, j, '(', ')') + 1;
+                } else {
+                    j += 1;
+                }
+            }
+            self.i = (close + 1).min(self.toks.len());
+        }
+        Item {
+            kind: ItemKind::Enum { fields },
+            name,
+            line: 1,
+            cfg_test: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// `static [mut] NAME: TY = …;`
+    fn static_item(&mut self) -> Item {
+        self.i += 1;
+        let is_mut = self.is_kw(0, "mut");
+        if is_mut {
+            self.i += 1;
+        }
+        let name = self.ident_here();
+        // Type range: after `:` up to the `=` (or `;`).
+        let mut ty = (self.i, self.i);
+        if self.at(0).is_some_and(|t| t.is_punct(':')) {
+            let lo = self.i + 1;
+            let mut j = lo;
+            while j < self.toks.len() && !self.toks[j].is_punct('=') && !self.toks[j].is_punct(';')
+            {
+                j += 1;
+            }
+            ty = (lo, j);
+        }
+        self.skip_to_semi_or_body();
+        Item {
+            kind: ItemKind::Static { is_mut, ty },
+            name,
+            line: 1,
+            cfg_test: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// `type Alias<…> = TY;`
+    fn type_item(&mut self) -> Item {
+        self.i += 1;
+        let name = self.ident_here();
+        let mut ty = (self.i, self.i);
+        // Find `=`, then the span up to `;`.
+        let mut j = self.i;
+        while j < self.toks.len() && !self.toks[j].is_punct('=') && !self.toks[j].is_punct(';') {
+            j += 1;
+        }
+        if self.toks.get(j).is_some_and(|t| t.is_punct('=')) {
+            let lo = j + 1;
+            let mut k = lo;
+            while k < self.toks.len() && !self.toks[k].is_punct(';') {
+                k += 1;
+            }
+            ty = (lo, k);
+            self.i = (k + 1).min(self.toks.len());
+        } else {
+            self.i = (j + 1).min(self.toks.len());
+        }
+        Item {
+            kind: ItemKind::TypeAlias { ty },
+            name,
+            line: 1,
+            cfg_test: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// `use a::b::{c, d as e};`
+    fn use_item(&mut self) -> Item {
+        self.i += 1;
+        let mut decls = Vec::new();
+        let start = self.i;
+        let mut end = start;
+        while end < self.toks.len() && !self.toks[end].is_punct(';') {
+            end += 1;
+        }
+        parse_use_tree(&self.toks[start..end], &mut Vec::new(), &mut decls);
+        self.i = (end + 1).min(self.toks.len());
+        Item {
+            kind: ItemKind::Use { decls },
+            name: String::new(),
+            line: 1,
+            cfg_test: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// `mod`/`impl`/`trait`: find the body brace and recurse.
+    fn scoped_item(&mut self, kind: ItemKind, _end: usize) -> Item {
+        self.i += 1;
+        let name = match self.at(0).and_then(|t| t.ident()) {
+            Some(s) => s.to_string(),
+            None => String::new(),
+        };
+        while let Some(t) = self.at(0) {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            // Step over balanced groups in generics/paths.
+            if t.is_punct('(') {
+                self.i = (match_bracket(self.toks, self.i, '(', ')') + 1).min(self.toks.len());
+            } else {
+                self.i += 1;
+            }
+        }
+        let mut children = Vec::new();
+        match self.at(0) {
+            Some(t) if t.is_punct('{') => {
+                let close = match_bracket(self.toks, self.i, '{', '}');
+                self.i += 1;
+                children = self.items(close);
+                self.i = (close + 1).min(self.toks.len());
+            }
+            Some(t) if t.is_punct(';') => self.i += 1,
+            _ => {}
+        }
+        Item {
+            kind,
+            name,
+            line: 1,
+            cfg_test: false,
+            children,
+        }
+    }
+
+    fn ident_here(&mut self) -> String {
+        match self.at(0).and_then(|t| t.ident()) {
+            Some(s) => {
+                let s = s.to_string();
+                self.i += 1;
+                s
+            }
+            None => String::new(),
+        }
+    }
+
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.at(0) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth <= 0 {
+                    self.i += 1;
+                    return;
+                }
+            } else if t.is_punct('{') || t.is_punct(';') {
+                return; // malformed; resync
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Consume through the next `;` at depth 0 or a balanced `{…}` —
+    /// whichever comes first — always advancing at least one token.
+    fn skip_to_semi_or_body(&mut self) {
+        let start = self.i;
+        while let Some(t) = self.at(0) {
+            if t.is_punct(';') {
+                self.i += 1;
+                return;
+            }
+            if t.is_punct('{') {
+                self.i = (match_bracket(self.toks, self.i, '{', '}') + 1).min(self.toks.len());
+                return;
+            }
+            if t.is_punct('(') {
+                self.i = (match_bracket(self.toks, self.i, '(', ')') + 1).min(self.toks.len());
+                continue;
+            }
+            if t.is_punct('[') {
+                self.i = (match_bracket(self.toks, self.i, '[', ']') + 1).min(self.toks.len());
+                continue;
+            }
+            if t.is_punct('}') {
+                // Enclosing scope closes: stop without consuming it.
+                break;
+            }
+            self.i += 1;
+        }
+        if self.i == start {
+            self.i += 1; // guarantee progress
+        }
+    }
+}
+
+/// Index of the bracket matching `toks[open]`; `toks.len()` when
+/// unbalanced.
+fn match_bracket(toks: &[Token], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct(o) {
+            depth += 1;
+        } else if toks[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Parse `name: Type` pairs at depth 0 of `[lo, hi)`, skipping
+/// attributes and `pub` markers. Used for struct bodies, struct-like
+/// enum variants, and — by the rule passes — fn parameter lists, which
+/// share the same shape.
+pub(crate) fn parse_fields(toks: &[Token], lo: usize, hi: usize, out: &mut Vec<Field>) {
+    let mut j = lo;
+    while j < hi.min(toks.len()) {
+        let t = &toks[j];
+        // Attribute on the field.
+        if t.is_punct('#') && toks.get(j + 1).is_some_and(|n| n.is_punct('[')) {
+            j = match_bracket(toks, j + 1, '[', ']') + 1;
+            continue;
+        }
+        if t.is_ident("pub") {
+            j += 1;
+            if toks.get(j).is_some_and(|n| n.is_punct('(')) {
+                j = match_bracket(toks, j, '(', ')') + 1;
+            }
+            continue;
+        }
+        // `name :` at this position starts a field.
+        if let TokenKind::Ident(name) = &t.kind {
+            if toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && !toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                let ty_lo = j + 2;
+                // Type runs to the next `,` at depth 0 or to `hi`.
+                let mut depth = 0i32;
+                let mut k = ty_lo;
+                while k < hi {
+                    let tk = &toks[k];
+                    if tk.is_punct('<') || tk.is_punct('(') || tk.is_punct('[') {
+                        depth += 1;
+                    } else if tk.is_punct('>') || tk.is_punct(')') || tk.is_punct(']') {
+                        depth -= 1;
+                    } else if tk.is_punct(',') && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                out.push(Field {
+                    name: name.clone(),
+                    line: t.line,
+                    col: t.col,
+                    ty: (ty_lo, k),
+                });
+                j = k + 1;
+                continue;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Expand a use-tree token slice into leaf decls.
+fn parse_use_tree(toks: &[Token], prefix: &mut Vec<String>, out: &mut Vec<UseDecl>) {
+    let depth_base = prefix.len();
+    let mut j = 0usize;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokenKind::Ident(seg) if seg == "as" => {
+                // `… as Alias` — rename the decl we just pushed.
+                if let (Some(last), Some(alias)) = (out.last_mut(), toks.get(j + 1)) {
+                    if let TokenKind::Ident(a) = &alias.kind {
+                        last.alias = Some(a.clone());
+                    }
+                }
+                j += 2;
+            }
+            TokenKind::Ident(seg) => {
+                prefix.push(seg.clone());
+                // Leaf if the next token is not `::`.
+                let qualified = toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(j + 2).is_some_and(|t| t.is_punct(':'));
+                if !qualified {
+                    out.push(UseDecl {
+                        path: prefix.clone(),
+                        alias: None,
+                    });
+                    prefix.pop();
+                    j += 1;
+                } else if toks.get(j + 3).is_some_and(|t| t.is_punct('{')) {
+                    // Group: recurse on the inside, splitting on depth-0
+                    // commas.
+                    let close = match_bracket(toks, j + 3, '{', '}');
+                    let inner = &toks[j + 4..close.min(toks.len())];
+                    for part in split_top_commas(inner) {
+                        parse_use_tree(part, prefix, out);
+                    }
+                    prefix.pop();
+                    j = close + 1;
+                } else {
+                    j += 3; // past `seg ::`
+                    continue;
+                }
+            }
+            TokenKind::Punct('*') => {
+                // Glob: record the prefix itself with a `*` leaf.
+                prefix.push("*".to_string());
+                out.push(UseDecl {
+                    path: prefix.clone(),
+                    alias: None,
+                });
+                prefix.pop();
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    prefix.truncate(depth_base);
+}
+
+/// Split a token slice on commas at bracket depth 0.
+fn split_top_commas(toks: &[Token]) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (j, t) in toks.iter().enumerate() {
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            out.push(&toks[start..j]);
+            start = j + 1;
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn parse(src: &str) -> Ast {
+        Ast::parse(&scan(src).tokens)
+    }
+
+    #[test]
+    fn items_parse_with_names_and_kinds() {
+        let ast = parse(
+            "pub struct S { pub a: u64, b: Rc<RefCell<u8>> }\n\
+             enum E { A, B(u8), C { x: Cell<u8> } }\n\
+             static mut COUNTER: u64 = 0;\n\
+             type Shared = Rc<Vec<u8>>;\n\
+             fn f(x: u64) -> u64 { x }\n",
+        );
+        assert_eq!(ast.items.len(), 5);
+        match &ast.items[0].kind {
+            ItemKind::Struct { fields } => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[1].name, "b");
+            }
+            k => panic!("expected struct, got {k:?}"),
+        }
+        match &ast.items[1].kind {
+            ItemKind::Enum { fields } => assert_eq!(fields.len(), 1),
+            k => panic!("expected enum, got {k:?}"),
+        }
+        match &ast.items[2].kind {
+            ItemKind::Static { is_mut, .. } => assert!(is_mut),
+            k => panic!("expected static, got {k:?}"),
+        }
+        assert!(matches!(ast.items[3].kind, ItemKind::TypeAlias { .. }));
+        assert!(matches!(ast.items[4].kind, ItemKind::Fn { .. }));
+    }
+
+    #[test]
+    fn impl_methods_and_cfg_test_inheritance() {
+        let ast = parse(
+            "impl S { fn m(&self) { self.x += 1; } }\n\
+             #[cfg(test)]\nmod tests { fn t() { let _ = 1; } }\n",
+        );
+        let bodies = ast.fn_bodies();
+        assert_eq!(bodies.len(), 2);
+        assert!(!bodies[0].cfg_test);
+        assert_eq!(bodies[0].name, "m");
+        assert!(bodies[1].cfg_test, "mod-level cfg(test) must be inherited");
+    }
+
+    #[test]
+    fn use_decls_expand_groups_and_aliases() {
+        let ast = parse("use std::collections::{HashMap, HashSet as Set};\nuse std::rc::Rc;\n");
+        let decls = ast.use_decls();
+        assert_eq!(decls.len(), 3);
+        assert_eq!(decls[0].path, ["std", "collections", "HashMap"]);
+        assert_eq!(decls[1].path, ["std", "collections", "HashSet"]);
+        assert_eq!(decls[1].alias.as_deref(), Some("Set"));
+        assert_eq!(decls[2].path, ["std", "rc", "Rc"]);
+    }
+
+    #[test]
+    fn parser_survives_macros_and_generics() {
+        let ast = parse(
+            "macro_rules! m { () => {} }\n\
+             fn g<T: Iterator<Item = u64>>(it: T) -> impl Iterator<Item = u64> where T: Clone {\n\
+                 it\n\
+             }\n",
+        );
+        let fns = ast.fn_bodies();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "g");
+    }
+
+    #[test]
+    fn fn_params_span_covers_the_parameter_list() {
+        let src = "fn f(freq: &HashMap<u64, u64>, n: u64) {}";
+        let scanned = scan(src);
+        let ast = Ast::parse(&scanned.tokens);
+        let fns = ast.fn_bodies();
+        assert_eq!(fns.len(), 1);
+        let (lo, hi) = fns[0].params;
+        let idents: Vec<&str> = scanned.tokens[lo..hi]
+            .iter()
+            .filter_map(|t| t.ident())
+            .collect();
+        assert!(idents.contains(&"freq"));
+        assert!(idents.contains(&"HashMap"));
+    }
+}

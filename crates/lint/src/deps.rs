@@ -1,0 +1,158 @@
+//! Crate-graph reachability: which crates are on the executor/scheduler
+//! *data plane* and therefore subject to the L9 shared-mutable-state
+//! audit.
+//!
+//! ROADMAP item 2 threads the simulation by running fleet members on
+//! worker threads under the scheduler. Any state a worker can reach
+//! through the executor (`tapejoin-sim`) or the scheduler
+//! (`tapejoin-sched`) must be `Send`-clean or carry a reasoned pragma.
+//! "Reachable" is resolved at crate granularity: the transitive
+//! *dependency closure* of the two entry crates — everything their code
+//! can call into. Crates above them in the graph (the bench harness,
+//! which drives the scheduler from a single thread and only reports)
+//! and the linter itself are off-plane.
+//!
+//! The graph is read from each member's `Cargo.toml` (`[dependencies]`
+//! entries naming workspace members), so it tracks the build graph
+//! exactly and needs no source scanning.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+/// Entry crates whose dependency closure defines the plane.
+const ENTRY_PACKAGES: [&str; 2] = ["tapejoin-sim", "tapejoin-sched"];
+
+/// Names of the crate *directories* under `crates/` whose code is on
+/// the data plane (e.g. `{"core", "sim", "sched", ...}`).
+pub fn data_plane(root: &Path) -> BTreeSet<String> {
+    // dir name -> (package name, deps on workspace package names)
+    let mut pkgs: BTreeMap<String, (String, Vec<String>)> = BTreeMap::new();
+    let crates = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates) else {
+        return BTreeSet::new();
+    };
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs {
+        let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Ok(toml) = fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        let (name, deps) = parse_manifest(&toml);
+        if let Some(name) = name {
+            pkgs.insert(dir_name.to_string(), (name, deps));
+        }
+    }
+
+    // package name -> dir name, for edge resolution.
+    let by_pkg: BTreeMap<&str, &str> = pkgs
+        .iter()
+        .map(|(dir, (pkg, _))| (pkg.as_str(), dir.as_str()))
+        .collect();
+
+    // BFS over the dependency edges from the entry packages.
+    let mut plane: BTreeSet<String> = BTreeSet::new();
+    let mut queue: Vec<&str> = ENTRY_PACKAGES
+        .iter()
+        .filter_map(|p| by_pkg.get(p).copied())
+        .collect();
+    while let Some(dir) = queue.pop() {
+        if !plane.insert(dir.to_string()) {
+            continue;
+        }
+        if let Some((_, deps)) = pkgs.get(dir) {
+            for dep in deps {
+                if let Some(&dep_dir) = by_pkg.get(dep.as_str()) {
+                    if !plane.contains(dep_dir) {
+                        queue.push(dep_dir);
+                    }
+                }
+            }
+        }
+    }
+    plane
+}
+
+/// The crate-directory component of a workspace-relative path
+/// (`crates/sim/src/executor.rs` → `Some("sim")`).
+pub fn crate_dir_of(rel: &Path) -> Option<&str> {
+    let mut comps = rel.components();
+    let first = comps.next()?.as_os_str().to_str()?;
+    if first != "crates" {
+        return None;
+    }
+    comps.next()?.as_os_str().to_str()
+}
+
+/// Minimal `Cargo.toml` reader: the `[package] name` and every
+/// `[dependencies]` key. Dev-dependencies are deliberately excluded —
+/// test-only edges do not put a crate's shipping code on the plane.
+fn parse_manifest(toml: &str) -> (Option<String>, Vec<String>) {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            let k = k.trim();
+            if section == "package" && k == "name" {
+                name = Some(v.trim().trim_matches('"').to_string());
+            } else if section == "dependencies" && !k.is_empty() {
+                deps.push(k.to_string());
+            }
+        }
+    }
+    (name, deps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn manifest_parses_name_and_dependency_keys() {
+        let toml = "[package]\nname = \"tapejoin-sched\"\nversion = \"0.1.0\"\n\n\
+                    [dependencies]\ntapejoin-sim = { workspace = true }\n\
+                    tapejoin = { workspace = true }\n\n\
+                    [dev-dependencies]\nproptest = { workspace = true }\n";
+        let (name, deps) = parse_manifest(toml);
+        assert_eq!(name.as_deref(), Some("tapejoin-sched"));
+        assert_eq!(deps, vec!["tapejoin-sim", "tapejoin"]);
+    }
+
+    #[test]
+    fn crate_dir_extraction() {
+        assert_eq!(
+            crate_dir_of(&PathBuf::from("crates/sim/src/executor.rs")),
+            Some("sim")
+        );
+        assert_eq!(crate_dir_of(&PathBuf::from("tests/smoke.rs")), None);
+    }
+
+    #[test]
+    fn real_workspace_plane_covers_sim_and_sched_but_not_lint() {
+        // CARGO_MANIFEST_DIR = crates/lint → workspace root is two up.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let plane = data_plane(&root);
+        assert!(plane.contains("sim"));
+        assert!(plane.contains("sched"));
+        assert!(plane.contains("core"));
+        assert!(!plane.contains("lint"), "the linter is not on the plane");
+        assert!(
+            !plane.contains("bench"),
+            "the bench harness drives the scheduler; nothing in it is reachable *from* it"
+        );
+    }
+}

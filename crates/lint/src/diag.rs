@@ -1,9 +1,11 @@
 //! Diagnostics: rule identifiers and rustc-style rendering.
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// The eight invariant rules (plus `L0` for malformed pragmas).
+use crate::pragma::Pragmas;
+
+/// The eleven invariant rules (plus `L0` for malformed pragmas).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Malformed `lint:allow` pragma (unknown rule, missing reason).
@@ -32,11 +34,22 @@ pub enum Rule {
     /// fields, the obs field registry and the BENCH_8 emitter's mirror
     /// stay in exact agreement.
     L8,
+    /// Shared-mutable-state audit: `Rc`/`RefCell`/`Cell`/`static mut`
+    /// declarations in executor/scheduler-reachable code carry a
+    /// reasoned pragma or get eliminated before the parallel refactor.
+    L9,
+    /// Virtual-time arithmetic soundness: no unchecked `+`/`-`/`*` on
+    /// raw nanosecond values outside `sim::time`.
+    L10,
+    /// Deterministic iteration: no `HashMap`/`HashSet` iteration in
+    /// library code (order leaks into fingerprints, digests and
+    /// exports); use `BTreeMap`/`BTreeSet` or sort first.
+    L11,
 }
 
 impl Rule {
     /// All checkable rules (excludes the pragma meta-rule `L0`).
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::L1,
         Rule::L2,
         Rule::L3,
@@ -45,6 +58,9 @@ impl Rule {
         Rule::L6,
         Rule::L7,
         Rule::L8,
+        Rule::L9,
+        Rule::L10,
+        Rule::L11,
     ];
 
     /// Rule id as written in pragmas and diagnostics (`"L3"`).
@@ -59,6 +75,9 @@ impl Rule {
             Rule::L6 => "L6",
             Rule::L7 => "L7",
             Rule::L8 => "L8",
+            Rule::L9 => "L9",
+            Rule::L10 => "L10",
+            Rule::L11 => "L11",
         }
     }
 
@@ -73,6 +92,9 @@ impl Rule {
             "L6" => Some(Rule::L6),
             "L7" => Some(Rule::L7),
             "L8" => Some(Rule::L8),
+            "L9" => Some(Rule::L9),
+            "L10" => Some(Rule::L10),
+            "L11" => Some(Rule::L11),
             _ => None,
         }
     }
@@ -95,6 +117,15 @@ impl Rule {
             Rule::L8 => {
                 "profile schema: QueryProfile fields, obs registry and BENCH_8 mirror agree"
             }
+            Rule::L9 => {
+                "shared-mutable audit: Rc/RefCell/Cell/static-mut in plane code need a reason"
+            }
+            Rule::L10 => {
+                "virtual-time arithmetic: raw nanosecond + - * must be checked_/saturating_"
+            }
+            Rule::L11 => {
+                "deterministic iteration: no HashMap/HashSet iteration; BTree or sort first"
+            }
         }
     }
 }
@@ -114,16 +145,58 @@ pub struct Diagnostic {
     pub file: PathBuf,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column (1 when the finding is file- or registry-scoped
+    /// rather than anchored to a token).
+    pub col: u32,
     /// What is wrong.
     pub message: String,
     /// How to fix it.
     pub hint: String,
 }
 
+/// Sort diagnostics into the canonical report order: (file, line,
+/// column, rule). Every printer — human text and `--format json` — runs
+/// through this, so output never depends on directory-walk or rule-pass
+/// order and two runs over the same tree are byte-identical.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+}
+
+/// Push a diagnostic unless a pragma suppresses it at that line.
+#[allow(clippy::too_many_arguments)] // a flat (rule, location, text) site beats a builder here
+pub(crate) fn report(
+    diags: &mut Vec<Diagnostic>,
+    pragmas: &Pragmas,
+    rule: Rule,
+    file: &Path,
+    line: u32,
+    col: u32,
+    message: String,
+    hint: String,
+) {
+    if pragmas.allows(rule, line) {
+        return;
+    }
+    diags.push(Diagnostic {
+        rule,
+        file: file.to_path_buf(),
+        line,
+        col,
+        message,
+        hint,
+    });
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "error[{}]: {}", self.rule, self.message)?;
-        writeln!(f, "  --> {}:{}", self.file.display(), self.line)?;
+        writeln!(
+            f,
+            "  --> {}:{}:{}",
+            self.file.display(),
+            self.line,
+            self.col
+        )?;
         write!(f, "  hint: {}", self.hint)
     }
 }

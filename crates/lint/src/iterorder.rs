@@ -1,0 +1,331 @@
+//! L11 — nondeterministic-iteration detector.
+//!
+//! `std::collections::HashMap`/`HashSet` iterate in per-process-random
+//! order (`RandomState`). Any such iteration on a path that feeds a
+//! stats export, span stream, fingerprint, digest or BENCH emitter
+//! breaks the same-seed bit-identical contract — today only across
+//! *runs*, but after the parallel refactor across *threads* too, where
+//! it becomes unreproducible. The rule: library code does not iterate
+//! hash collections. Use `BTreeMap`/`BTreeSet`, or collect and sort
+//! first with a pragma on the sorted site.
+//!
+//! Resolution is symbol-level: bindings, parameters and struct fields
+//! whose type (or initialiser) mentions `HashMap`/`HashSet` — through
+//! `use … as` aliases — are tracked, and `.iter()`-family calls and
+//! `for … in` loops over them are flagged. Lookup-only use (`get`,
+//! `insert`, `entry`, `contains_key`) is fine and not touched.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::ast::{self, Ast, ItemKind};
+use crate::diag::{self, Diagnostic, Rule};
+use crate::lexer::Token;
+use crate::pragma::Pragmas;
+use crate::symbols::UseMap;
+
+/// Hash collections with randomised iteration order.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Methods that iterate (or drain) in hash order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Run the L11 pass over one file.
+pub fn check_l11(
+    file: &Path,
+    toks: &[Token],
+    ast: &Ast,
+    uses: &UseMap,
+    pragmas: &Pragmas,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Struct/enum fields of hash type anywhere in this file: accesses
+    // like `self.freq.iter()` resolve through this set.
+    let mut hash_fields: BTreeSet<String> = BTreeSet::new();
+    for (item, in_test) in ast.all_items() {
+        if in_test {
+            continue;
+        }
+        if let ItemKind::Struct { fields } | ItemKind::Enum { fields } = &item.kind {
+            for f in fields {
+                if uses.find_in_span(toks, f.ty, &HASH_TYPES).is_some() {
+                    hash_fields.insert(f.name.clone());
+                }
+            }
+        }
+    }
+
+    for body in ast.fn_bodies() {
+        if body.cfg_test {
+            continue;
+        }
+        let locals = hash_bindings(toks, uses, body.params, body.body);
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        scan_iter_calls(toks, body.body, &locals, &hash_fields, &mut flagged);
+        scan_for_loops(toks, body.body, &locals, &hash_fields, &mut flagged);
+        for idx in flagged {
+            let t = &toks[idx];
+            let what = t.ident().unwrap_or("?");
+            diag::report(
+                diags,
+                pragmas,
+                Rule::L11,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "iteration over hash collection (`{what}`) — order is \
+                     per-process random"
+                ),
+                "use BTreeMap/BTreeSet, or collect and sort before iterating; \
+                 `// lint:allow(L11, reason)` only when the order provably cannot \
+                 leak into any output"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Local bindings (params + lets) of hash-collection type in one fn.
+fn hash_bindings(
+    toks: &[Token],
+    uses: &UseMap,
+    params: (usize, usize),
+    body: (usize, usize),
+) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    let mut fields = Vec::new();
+    ast::parse_fields(toks, params.0, params.1, &mut fields);
+    for f in fields {
+        if uses.find_in_span(toks, f.ty, &HASH_TYPES).is_some() {
+            set.insert(f.name);
+        }
+    }
+    let (lo, hi) = body;
+    let mut k = lo;
+    while k < hi.min(toks.len()) {
+        if !toks[k].is_ident("let")
+            || (k > 0 && (toks[k - 1].is_ident("if") || toks[k - 1].is_ident("while")))
+        {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).and_then(|t| t.ident()).map(str::to_string) else {
+            k = j + 1;
+            continue;
+        };
+        // Statement to the `;` at depth 0.
+        let mut d = 0i32;
+        let mut end = j;
+        while end < hi.min(toks.len()) {
+            let t = &toks[end];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                d -= 1;
+            } else if t.is_punct(';') && d <= 0 {
+                break;
+            }
+            end += 1;
+        }
+        if uses.find_in_span(toks, (j + 1, end), &HASH_TYPES).is_some() {
+            set.insert(name);
+        }
+        k = end + 1;
+    }
+    set
+}
+
+/// `x.iter()` / `self.field.keys()` style calls.
+fn scan_iter_calls(
+    toks: &[Token],
+    body: (usize, usize),
+    locals: &BTreeSet<String>,
+    fields: &BTreeSet<String>,
+    flagged: &mut BTreeSet<usize>,
+) {
+    let (lo, hi) = body;
+    for k in lo..hi.min(toks.len()) {
+        let Some(m) = toks[k].ident() else { continue };
+        if !ITER_METHODS.contains(&m)
+            || k < 2
+            || !toks[k - 1].is_punct('.')
+            || !toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let Some(recv) = toks[k - 2].ident() else {
+            continue;
+        };
+        let via_field = toks.get(k.wrapping_sub(3)).is_some_and(|t| t.is_punct('.'));
+        let hash = if via_field {
+            fields.contains(recv)
+        } else {
+            locals.contains(recv)
+        };
+        if hash {
+            flagged.insert(k);
+        }
+    }
+}
+
+/// `for pat in [&[mut]] x` / `for pat in &self.field` loops.
+fn scan_for_loops(
+    toks: &[Token],
+    body: (usize, usize),
+    locals: &BTreeSet<String>,
+    fields: &BTreeSet<String>,
+    flagged: &mut BTreeSet<usize>,
+) {
+    let (lo, hi) = body;
+    let hi = hi.min(toks.len());
+    let mut k = lo;
+    while k < hi {
+        if !toks[k].is_ident("for") {
+            k += 1;
+            continue;
+        }
+        // Find the matching `in` at pattern depth 0.
+        let mut d = 0i32;
+        let mut j = k + 1;
+        while j < hi {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                d -= 1;
+            } else if t.is_ident("in") && d <= 0 {
+                break;
+            } else if t.is_punct('{') {
+                break; // not a for-loop header (e.g. `impl … for T {`)
+            }
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("in")) {
+            k = j;
+            continue;
+        }
+        // The iterated expression: tokens up to the body `{` at depth 0.
+        let expr_lo = j + 1;
+        let mut d = 0i32;
+        let mut expr_hi = expr_lo;
+        while expr_hi < hi {
+            let t = &toks[expr_hi];
+            if t.is_punct('(') || t.is_punct('[') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                d -= 1;
+            } else if t.is_punct('{') && d <= 0 {
+                break;
+            }
+            expr_hi += 1;
+        }
+        // Method-style iteration inside the expr is the other scan's
+        // job; only flag direct `for x in map` / `for x in &map` forms.
+        let has_method = toks[expr_lo..expr_hi]
+            .iter()
+            .any(|t| t.ident().is_some_and(|i| ITER_METHODS.contains(&i)));
+        if !has_method {
+            for i in expr_lo..expr_hi {
+                let Some(id) = toks[i].ident() else { continue };
+                let dotted = i > 0 && toks[i - 1].is_punct('.');
+                let hit = if dotted {
+                    fields.contains(id)
+                } else {
+                    locals.contains(id)
+                };
+                if hit {
+                    flagged.insert(i);
+                    break;
+                }
+            }
+        }
+        k = expr_hi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ast;
+    use crate::lexer::scan;
+    use crate::pragma;
+    use crate::symbols::UseMap;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let s = scan(src);
+        let ast = Ast::parse(&s.tokens);
+        let uses = UseMap::build(&ast);
+        let mut diags = Vec::new();
+        let f = PathBuf::from("t.rs");
+        let p = pragma::collect(&f, &s.comments, &mut diags);
+        check_l11(&f, &s.tokens, &ast, &uses, &p, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn flags_iter_family_on_hash_locals_and_params() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(freq: &HashMap<u64, u64>) -> u64 { freq.values().sum() }";
+        assert_eq!(run(src).len(), 1);
+        let src2 = "use std::collections::HashMap;\n\
+                    fn f() { let m: HashMap<u64, u64> = HashMap::new(); \
+                    for (k, v) in &m { use_kv(k, v); } }";
+        assert_eq!(run(src2).len(), 1);
+    }
+
+    #[test]
+    fn flags_self_field_iteration() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { freq: HashMap<u64, u64> }\n\
+                   impl S { fn sum(&self) -> u64 { self.freq.values().sum() } }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn sees_through_aliases() {
+        let src = "use std::collections::HashMap as Map;\n\
+                   fn f(m: &Map<u64, u64>) -> u64 { m.keys().count() as u64 }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn lookup_only_use_and_btree_are_clean() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &mut HashMap<u64, u64>) { *m.entry(1).or_insert(0) += 1; \
+                   let _ = m.get(&1); m.insert(2, 3); }";
+        assert!(run(src).is_empty());
+        let src2 = "use std::collections::BTreeMap;\n\
+                    fn f(m: &BTreeMap<u64, u64>) -> u64 { m.values().sum() }";
+        assert!(run(src2).is_empty());
+    }
+
+    #[test]
+    fn pragma_and_cfg_test_suppress() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u64, u64>) -> Vec<u64> {\n    \
+                   // lint:allow(L11, sorted immediately below)\n    \
+                   let mut v: Vec<u64> = m.keys().copied().collect();\n    \
+                   v.sort_unstable(); v\n}";
+        assert!(run(src).is_empty());
+        let src2 = "use std::collections::HashMap;\n#[cfg(test)]\nmod t {\n    \
+                    fn g(m: &HashMap<u64, u64>) -> u64 { m.values().sum() }\n}";
+        assert!(run(src2).is_empty());
+    }
+}

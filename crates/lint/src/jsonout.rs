@@ -1,0 +1,114 @@
+//! `--format json`: a machine-readable report CI can archive.
+//!
+//! Hand-rolled (the linter stays zero-dependency) and deterministic by
+//! construction: the diagnostics are pre-sorted by [`crate::diag::sort`]
+//! and the document contains no timestamps, hostnames or paths outside
+//! the workspace — two runs over the same tree emit byte-identical
+//! output, which CI checks with a plain `cmp`.
+
+use crate::diag::{Diagnostic, Rule};
+
+/// Render the full report document.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(256 + diags.len() * 160);
+    out.push_str("{\n  \"schema\": \"tapejoin-lint/1\",\n  \"rules\": [");
+    for (i, r) in Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(r.id());
+        out.push('"');
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        push_kv(&mut out, "rule", d.rule.id());
+        out.push_str(", ");
+        // Paths normalised to `/` so the report is identical across
+        // platforms.
+        let file = d.file.display().to_string().replace('\\', "/");
+        push_kv(&mut out, "file", &file);
+        out.push_str(&format!(", \"line\": {}, \"col\": {}, ", d.line, d.col));
+        push_kv(&mut out, "message", &d.message);
+        out.push_str(", ");
+        push_kv(&mut out, "hint", &d.hint);
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn push_kv(out: &mut String, k: &str, v: &str) {
+    out.push('"');
+    out.push_str(k);
+    out.push_str("\": \"");
+    escape_into(out, v);
+    out.push('"');
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, control chars.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(rule: Rule, file: &str, line: u32, col: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: PathBuf::from(file),
+            line,
+            col,
+            message: "msg with \"quotes\"".to_string(),
+            hint: "hint\nsecond line".to_string(),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let a = render(&[]);
+        let b = render(&[]);
+        assert_eq!(a, b);
+        assert!(a.contains("\"violations\": 0"));
+        assert!(a.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn escaping_and_fields() {
+        let out = render(&[diag(Rule::L11, "crates/sql/src/exec.rs", 7, 13)]);
+        assert!(out.contains("\"rule\": \"L11\""));
+        assert!(out.contains("\"line\": 7, \"col\": 13"));
+        assert!(out.contains("msg with \\\"quotes\\\""));
+        assert!(out.contains("hint\\nsecond line"));
+    }
+
+    #[test]
+    fn byte_identical_across_runs() {
+        let d = vec![diag(Rule::L9, "a.rs", 1, 1), diag(Rule::L10, "b.rs", 2, 5)];
+        assert_eq!(render(&d), render(&d));
+    }
+}

@@ -26,13 +26,15 @@ pub enum TokenKind {
     Punct(char),
 }
 
-/// A token plus the 1-based line it starts on.
+/// A token plus the 1-based line and column it starts on.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     /// What was scanned.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column on that line.
+    pub col: u32,
 }
 
 /// A comment captured during scanning (pragmas live here).
@@ -42,6 +44,8 @@ pub struct Comment {
     pub text: String,
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based byte column the comment starts on.
+    pub col: u32,
 }
 
 /// Scanner output: code tokens and the comments that were skipped.
@@ -82,6 +86,22 @@ pub fn scan(src: &str) -> Scan {
     let mut i = 0usize;
     let mut line: u32 = 1;
 
+    // Byte offset where each 1-based line starts, so any token start can
+    // be mapped to a column without threading offsets through helpers.
+    let mut line_starts: Vec<usize> = vec![0];
+    for (off, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(off + 1);
+        }
+    }
+    let col = |i: usize, line: u32| -> u32 {
+        let start = line_starts
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or_default();
+        (i.saturating_sub(start) + 1) as u32
+    };
+
     // Local helpers keep the scanner free of indexing panics: every
     // byte access goes through `at`, which returns 0 past the end.
     fn at(b: &[u8], i: usize) -> u8 {
@@ -110,6 +130,7 @@ pub fn scan(src: &str) -> Scan {
                 out.comments.push(Comment {
                     text: src[start..j].to_string(),
                     line,
+                    col: col(i, line),
                 });
                 i = j;
             }
@@ -137,13 +158,18 @@ pub fn scan(src: &str) -> Scan {
                 out.comments.push(Comment {
                     text: src[start..end.min(src.len())].to_string(),
                     line: start_line,
+                    col: col(i, start_line),
                 });
                 i = j;
             }
             b'r' | b'b' if is_raw_string_start(b, i) => {
                 // r"..."  r#"..."#  br"..."  b"..." handled below for b".
                 let (tok, ni, nl) = scan_raw_string(src, b, i, line);
-                out.tokens.push(Token { kind: tok, line });
+                out.tokens.push(Token {
+                    kind: tok,
+                    line,
+                    col: col(i, line),
+                });
                 line = nl;
                 i = ni;
             }
@@ -153,6 +179,7 @@ pub fn scan(src: &str) -> Scan {
                 out.tokens.push(Token {
                     kind: TokenKind::Char,
                     line,
+                    col: col(i, line),
                 });
                 line = nl;
                 i = ni;
@@ -162,6 +189,7 @@ pub fn scan(src: &str) -> Scan {
                 out.tokens.push(Token {
                     kind: TokenKind::Str(content),
                     line,
+                    col: col(i, line),
                 });
                 line = nl;
                 i = ni;
@@ -180,6 +208,7 @@ pub fn scan(src: &str) -> Scan {
                     out.tokens.push(Token {
                         kind: TokenKind::Lifetime,
                         line,
+                        col: col(i, line),
                     });
                     i = j;
                 } else {
@@ -187,6 +216,7 @@ pub fn scan(src: &str) -> Scan {
                     out.tokens.push(Token {
                         kind: TokenKind::Char,
                         line,
+                        col: col(i, line),
                     });
                     line = nl;
                     i = ni;
@@ -200,6 +230,7 @@ pub fn scan(src: &str) -> Scan {
                 out.tokens.push(Token {
                     kind: TokenKind::Ident(src[i..j].to_string()),
                     line,
+                    col: col(i, line),
                 });
                 i = j;
             }
@@ -226,6 +257,7 @@ pub fn scan(src: &str) -> Scan {
                 out.tokens.push(Token {
                     kind: TokenKind::Number(src[i..j].to_string()),
                     line,
+                    col: col(i, line),
                 });
                 i = j;
             }
@@ -233,6 +265,7 @@ pub fn scan(src: &str) -> Scan {
                 out.tokens.push(Token {
                     kind: TokenKind::Punct(c as char),
                     line,
+                    col: col(i, line),
                 });
                 i += 1;
             }

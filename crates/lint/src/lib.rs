@@ -13,51 +13,75 @@
 //! one more: its field registry, the profile structs and the
 //! `BENCH_8.json` emitter's mirror must agree exactly.
 //!
-//! This crate is a small static pass over the workspace source — a
-//! comment/string-aware token scanner plus eight rule passes — run in CI as
-//! `cargo run -p tapejoin-lint -- check`. See `DESIGN.md` §11 for the
-//! rule catalogue and the `lint:allow` pragma contract (rule id plus a
-//! mandatory reason).
+//! The race-readiness rules (L9–L11) clear the runway for ROADMAP
+//! item 2's parallel fleet simulation: they audit shared mutable state
+//! on the executor/scheduler plane, unchecked raw-nanosecond
+//! arithmetic, and nondeterministic `HashMap`/`HashSet` iteration.
+//! These run on a lightweight item-level AST + symbol layer
+//! ([`mod@ast`], [`mod@symbols`], [`mod@deps`]) grown over the same
+//! zero-dependency token scanner the earlier rules use.
+//!
+//! Run in CI as `cargo run -p tapejoin-lint -- check` (add
+//! `--format json` for the archivable report). See `DESIGN.md` §11 and
+//! §16 for the rule catalogue and the `lint:allow` pragma contract
+//! (rule id plus a mandatory reason).
 
 #![warn(missing_docs)]
 
+mod ast;
 mod checkpoints;
+mod deps;
 mod diag;
+mod iterorder;
+mod jsonout;
 mod lexer;
 mod pragma;
 mod profile;
 mod registry;
 mod rules;
+mod shared;
+mod symbols;
+mod timearith;
 mod walk;
 
 pub use diag::{Diagnostic, Rule};
+pub use jsonout::render as render_json;
 pub use walk::{FileClass, SourceFile};
 
 use std::fs;
 use std::path::Path;
 
-/// Lint the workspace rooted at `root`. Returns every violation found;
-/// an empty vector means the workspace is clean.
+/// Lint the workspace rooted at `root`. Returns every violation found,
+/// sorted by (file, line, column, rule); an empty vector means the
+/// workspace is clean.
 pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    let plane = deps::data_plane(root);
     for f in walk::workspace_files(root) {
         let Ok(src) = fs::read_to_string(&f.abs) else {
             continue;
         };
-        lint_source(&f, &src, &mut diags);
+        let on_plane = deps::crate_dir_of(&f.rel).is_some_and(|dir| plane.contains(dir));
+        lint_source_inner(&f, &src, on_plane, &mut diags);
     }
     registry::check_registry(root, &mut diags);
     checkpoints::check_checkpoints(root, &mut diags);
     profile::check_profile(root, &mut diags);
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diag::sort(&mut diags);
     diags
 }
 
-/// Lint one file's source (exposed for the fixture tests).
+/// Lint one file's source (exposed for the fixture tests). Fixture
+/// files are treated as on-plane so every per-file rule, L9 included,
+/// exercises them.
 pub fn lint_source(file: &SourceFile, src: &str, diags: &mut Vec<Diagnostic>) {
+    lint_source_inner(file, src, true, diags);
+}
+
+fn lint_source_inner(file: &SourceFile, src: &str, on_plane: bool, diags: &mut Vec<Diagnostic>) {
     let scanned = lexer::scan(src);
     let pragmas = pragma::collect(&file.rel, &scanned.comments, diags);
-    // L2's one sanctioned home for raw seconds<->nanos constants.
+    // L2's and L10's one sanctioned home for raw time handling.
     let in_sim_time = file.rel == Path::new("crates/sim/src/time.rs");
     rules::check_file(
         &file.rel,
@@ -67,6 +91,17 @@ pub fn lint_source(file: &SourceFile, src: &str, diags: &mut Vec<Diagnostic>) {
         in_sim_time,
         diags,
     );
+    if file.class == FileClass::Lib {
+        let ast = ast::Ast::parse(&scanned.tokens);
+        let uses = symbols::UseMap::build(&ast);
+        if on_plane {
+            shared::check_l9(&file.rel, &scanned.tokens, &ast, &uses, &pragmas, diags);
+        }
+        if !in_sim_time {
+            timearith::check_l10(&file.rel, &scanned.tokens, &ast, &pragmas, diags);
+        }
+        iterorder::check_l11(&file.rel, &scanned.tokens, &ast, &uses, &pragmas, diags);
+    }
 }
 
 /// Run only the L5 registry check (exposed for the fixture tests).

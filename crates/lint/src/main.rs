@@ -1,9 +1,10 @@
-//! CLI: `tapejoin-lint check [--root <path>]` / `tapejoin-lint rules`.
+//! CLI: `tapejoin-lint check [--root <path>] [--format text|json]` /
+//! `tapejoin-lint rules`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tapejoin_lint::{lint_workspace, Rule};
+use tapejoin_lint::{lint_workspace, render_json, Rule};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,14 +17,21 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: tapejoin-lint <check [--root PATH] | rules>");
+            eprintln!("usage: tapejoin-lint <check [--root PATH] [--format text|json] | rules>");
             ExitCode::from(2)
         }
     }
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,6 +39,17 @@ fn check(args: &[String]) -> ExitCode {
                 Some(p) => root = PathBuf::from(p),
                 None => {
                     eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "--format needs `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -47,15 +66,25 @@ fn check(args: &[String]) -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    // Already sorted by (file, line, column, rule) — the report never
+    // depends on walk or rule-pass order.
     let diags = lint_workspace(&root);
-    for d in &diags {
-        println!("{d}\n");
+    match format {
+        Format::Json => print!("{}", render_json(&diags)),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}\n");
+            }
+            if diags.is_empty() {
+                println!("tapejoin-lint: workspace clean (rules L1-L11)");
+            } else {
+                println!("tapejoin-lint: {} violation(s)", diags.len());
+            }
+        }
     }
     if diags.is_empty() {
-        println!("tapejoin-lint: workspace clean (rules L1-L8)");
         ExitCode::SUCCESS
     } else {
-        println!("tapejoin-lint: {} violation(s)", diags.len());
         ExitCode::FAILURE
     }
 }

@@ -47,7 +47,13 @@ pub fn collect(file: &Path, comments: &[Comment], diags: &mut Vec<Diagnostic>) -
             while let Some(pos) = rest.find(marker) {
                 rest = &rest[pos + marker.len()..];
                 let Some(close) = rest.find(')') else {
-                    push_l0(file, c.line, "unterminated pragma (missing `)`)", diags);
+                    push_l0(
+                        file,
+                        c.line,
+                        c.col,
+                        "unterminated pragma (missing `)`)",
+                        diags,
+                    );
                     continue;
                 };
                 let body = &rest[..close];
@@ -60,6 +66,7 @@ pub fn collect(file: &Path, comments: &[Comment], diags: &mut Vec<Diagnostic>) -
                     push_l0(
                         file,
                         c.line,
+                        c.col,
                         &format!("unknown rule `{rule_id}` in pragma"),
                         diags,
                     );
@@ -69,6 +76,7 @@ pub fn collect(file: &Path, comments: &[Comment], diags: &mut Vec<Diagnostic>) -
                     push_l0(
                         file,
                         c.line,
+                        c.col,
                         &format!("pragma for {rule} has no reason"),
                         diags,
                     );
@@ -85,11 +93,12 @@ pub fn collect(file: &Path, comments: &[Comment], diags: &mut Vec<Diagnostic>) -
     out
 }
 
-fn push_l0(file: &Path, line: u32, msg: &str, diags: &mut Vec<Diagnostic>) {
+fn push_l0(file: &Path, line: u32, col: u32, msg: &str, diags: &mut Vec<Diagnostic>) {
     diags.push(Diagnostic {
         rule: Rule::L0,
         file: file.to_path_buf(),
         line,
+        col,
         message: msg.to_string(),
         hint: "write `lint:allow(L<n>, <non-empty reason>)`".to_string(),
     });
@@ -134,7 +143,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_l0() {
-        let (_, d) = parse("// lint:allow(L9, sure)\n");
+        let (_, d) = parse("// lint:allow(L99, sure)\n");
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, Rule::L0);
     }

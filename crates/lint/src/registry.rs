@@ -173,6 +173,7 @@ fn push(diags: &mut Vec<Diagnostic>, rel: &str, line: u32, message: String, hint
         rule: Rule::L5,
         file: PathBuf::from(rel),
         line,
+        col: 1,
         message,
         hint,
     });

@@ -7,7 +7,7 @@
 
 use std::path::Path;
 
-use crate::diag::{Diagnostic, Rule};
+use crate::diag::{self, Diagnostic, Rule};
 use crate::lexer::{Scan, Token, TokenKind};
 use crate::pragma::Pragmas;
 use crate::walk::FileClass;
@@ -38,12 +38,13 @@ pub fn check_file(
                 // L1 applies to test code too: wall-clock time in a
                 // differential test breaks determinism just as surely.
                 if id == "Instant" || id == "SystemTime" {
-                    report(
+                    diag::report(
                         diags,
                         pragmas,
                         Rule::L1,
                         file,
                         t.line,
+                        t.col,
                         format!("wall-clock type `{id}` in sim-facing code"),
                         "use tapejoin_sim::SimTime / now(); virtual time only".to_string(),
                     );
@@ -60,12 +61,13 @@ pub fn check_file(
                         let dotted = i > 0 && toks[i - 1].is_punct('.');
                         let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
                         if dotted && called {
-                            report(
+                            diag::report(
                                 diags,
                                 pragmas,
                                 Rule::L3,
                                 file,
                                 t.line,
+                                t.col,
                                 format!("`.{id}()` in library code"),
                                 "propagate a typed error, or add `// lint:allow(L3, <why this cannot fail>)`"
                                     .to_string(),
@@ -78,12 +80,13 @@ pub fn check_file(
                         }
                         let bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
                         if bang {
-                            report(
+                            diag::report(
                                 diags,
                                 pragmas,
                                 Rule::L3,
                                 file,
                                 t.line,
+                                t.col,
                                 format!("`{id}!` in library code"),
                                 "return a typed error, or add `// lint:allow(L3, <why this is an invariant>)`"
                                     .to_string(),
@@ -103,12 +106,13 @@ pub fn check_file(
                     "1e9" | "1.0e9" | "1000000000" | "1e-9" | "1.0e-9" | "0.000000001"
                 );
                 if is_ns_const {
-                    report(
+                    diag::report(
                         diags,
                         pragmas,
                         Rule::L2,
                         file,
                         t.line,
+                        t.col,
                         format!("raw seconds<->nanoseconds constant `{n}` outside sim::time"),
                         "use Duration::from_secs_f64 / as_secs_f64 instead of hand conversion"
                             .to_string(),
@@ -142,12 +146,13 @@ pub fn check_file(
                 && toks.get(j + 1).is_some_and(|n| n.is_ident("clone"))
                 && toks.get(j + 2).is_some_and(|n| n.is_punct('('));
             if cloned {
-                report(
+                diag::report(
                     diags,
                     pragmas,
                     Rule::L6,
                     file,
                     t.line,
+                    t.col,
                     format!("`{id}.clone()` on a Recorder handle"),
                     "use `.fork()` so concurrent tasks get independent scope stacks".to_string(),
                 );
@@ -194,12 +199,13 @@ fn check_l4(
                 .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"));
         if chained && !in_test(i) {
             claimed.push(unwrap_idx);
-            report(
+            diag::report(
                 diags,
                 pragmas,
                 Rule::L4,
                 file,
                 t.line,
+                t.col,
                 "`partial_cmp(..)` force-unwrapped".to_string(),
                 "use `total_cmp` — NaN costs must rank, not panic (see planner.rs)".to_string(),
             );
@@ -252,27 +258,6 @@ fn cfg_test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
         i = k + 1;
     }
     spans
-}
-
-fn report(
-    diags: &mut Vec<Diagnostic>,
-    pragmas: &Pragmas,
-    rule: Rule,
-    file: &Path,
-    line: u32,
-    message: String,
-    hint: String,
-) {
-    if pragmas.allows(rule, line) {
-        return;
-    }
-    diags.push(Diagnostic {
-        rule,
-        file: file.to_path_buf(),
-        line,
-        message,
-        hint,
-    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,210 @@
+//! L9 — shared-mutable-state audit.
+//!
+//! The parallel-simulation refactor (ROADMAP item 2) moves fleet
+//! members onto worker threads. Every `Rc`, `RefCell`, `Cell`,
+//! `UnsafeCell`, `OnceCell` or `static mut` declared in code the
+//! executor or scheduler can reach is a latent `!Send` wall or a data
+//! race waiting for that refactor. This pass walks the AST of every
+//! on-plane library file and flags each *declaration site* — struct and
+//! enum fields, type aliases, statics — so the inventory of
+//! single-thread-only state is explicit: each site is either eliminated
+//! or carries a `lint:allow(L9, reason)` explaining why it never
+//! crosses a worker boundary.
+//!
+//! Declaration sites, not uses: flagging all ~350 `Rc::clone`
+//! expressions would bury the signal. One pragma at the field that owns
+//! the state documents the whole pattern.
+
+use std::path::Path;
+
+use crate::ast::{Ast, Item, ItemKind};
+use crate::diag::{self, Diagnostic, Rule};
+use crate::lexer::Token;
+use crate::pragma::Pragmas;
+use crate::symbols::UseMap;
+
+/// Non-`Send`/interior-mutability types the audit inventories.
+const SHARED_TYPES: [&str; 5] = ["Rc", "RefCell", "Cell", "UnsafeCell", "OnceCell"];
+
+/// Run the L9 pass over one file's AST.
+pub fn check_l9(
+    file: &Path,
+    toks: &[Token],
+    ast: &Ast,
+    uses: &UseMap,
+    pragmas: &Pragmas,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (item, in_test) in ast.all_items() {
+        if in_test {
+            continue; // single-threaded test scaffolding is fine
+        }
+        match &item.kind {
+            ItemKind::Struct { fields } | ItemKind::Enum { fields } => {
+                for f in fields {
+                    if let Some((t, name)) = uses.find_in_span(toks, f.ty, &SHARED_TYPES) {
+                        // `Cell` and friends must be the *constructor* of
+                        // a type (`Cell<`), not an arbitrary ident.
+                        if !is_type_constructor(toks, t) {
+                            continue;
+                        }
+                        diag::report(
+                            diags,
+                            pragmas,
+                            Rule::L9,
+                            file,
+                            f.line,
+                            f.col,
+                            format!(
+                                "field `{}.{}` holds `{}` — shared mutable state on the \
+                                 executor/scheduler plane",
+                                display_name(item),
+                                f.name,
+                                name
+                            ),
+                            "eliminate before the worker-thread refactor (own the value, or \
+                             Arc<Mutex>), or justify: `// lint:allow(L9, <why this never \
+                             crosses a worker boundary>)`"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            ItemKind::Static { is_mut, ty } => {
+                if *is_mut {
+                    diag::report(
+                        diags,
+                        pragmas,
+                        Rule::L9,
+                        file,
+                        item.line,
+                        1,
+                        format!("`static mut {}` — racy global state", item.name),
+                        "use an atomic, a thread-local, or pass the state explicitly".to_string(),
+                    );
+                } else if let Some((t, name)) = uses.find_in_span(toks, *ty, &SHARED_TYPES) {
+                    if is_type_constructor(toks, t) {
+                        diag::report(
+                            diags,
+                            pragmas,
+                            Rule::L9,
+                            file,
+                            t.line,
+                            t.col,
+                            format!(
+                                "static `{}` holds `{}` — non-Send global on the plane",
+                                item.name, name
+                            ),
+                            "use a Sync container (Mutex/atomic) or justify with \
+                             `lint:allow(L9, reason)`"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            ItemKind::TypeAlias { ty } => {
+                if let Some((t, name)) = uses.find_in_span(toks, *ty, &SHARED_TYPES) {
+                    if is_type_constructor(toks, t) {
+                        diag::report(
+                            diags,
+                            pragmas,
+                            Rule::L9,
+                            file,
+                            t.line,
+                            t.col,
+                            format!(
+                                "type alias `{}` bakes in `{}` — every user inherits \
+                                 non-Send shared state",
+                                item.name, name
+                            ),
+                            "audit the alias's users for the worker-thread refactor, or \
+                             justify with `lint:allow(L9, reason)`"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `true` when the matched ident is used as a generic type constructor
+/// (`Rc<…>` / `std::rc::Rc<…>`) rather than a coincidental field or
+/// variable named e.g. `Cell` in a const expression.
+fn is_type_constructor(toks: &[Token], t: &Token) -> bool {
+    // Find this token's index by (line, col) — spans hand us the token,
+    // not its index. Linear scan is fine at lint scale.
+    let Some(i) = toks.iter().position(|x| x.line == t.line && x.col == t.col) else {
+        return true;
+    };
+    toks.get(i + 1).is_some_and(|n| n.is_punct('<'))
+}
+
+fn display_name(item: &Item) -> &str {
+    if item.name.is_empty() {
+        "_"
+    } else {
+        &item.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ast;
+    use crate::lexer::scan;
+    use crate::pragma;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let s = scan(src);
+        let ast = Ast::parse(&s.tokens);
+        let uses = UseMap::build(&ast);
+        let mut diags = Vec::new();
+        let f = PathBuf::from("t.rs");
+        let p = pragma::collect(&f, &s.comments, &mut diags);
+        check_l9(&f, &s.tokens, &ast, &uses, &p, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn flags_rc_refcell_fields_and_static_mut() {
+        let d = run("use std::rc::Rc;\nuse std::cell::RefCell;\n\
+             struct Exec { tasks: Rc<RefCell<Vec<u8>>>, n: u64 }\n\
+             static mut COUNTER: u64 = 0;\n");
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.rule == Rule::L9));
+    }
+
+    #[test]
+    fn sees_through_aliases_and_skips_lookalikes() {
+        let d = run("use std::cell::Cell as Slot;\nstruct S { c: Slot<u8> }\n");
+        assert_eq!(d.len(), 1);
+        // A field named after the type, or a non-generic ident, is not
+        // interior mutability.
+        assert!(run("struct S { Cell: u8 }").is_empty());
+        assert!(run("struct S { x: CellIndex }").is_empty());
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses() {
+        let d = run(
+            "use std::rc::Rc;\nstruct S {\n    // lint:allow(L9, single-threaded \
+             device model, never crosses tasks)\n    x: Rc<u8>,\n}\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let d = run("use std::rc::Rc;\n#[cfg(test)]\nmod tests { struct H { x: Rc<u8> } }\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn type_alias_is_flagged() {
+        let d = run("use std::rc::Rc;\ntype Shared = Rc<Vec<u8>>;\n");
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Symbol resolution for the rule passes: canonicalising identifiers
+//! through a file's `use` declarations, and classifying what a type or
+//! expression span *mentions*.
+//!
+//! `use std::collections::HashMap as Map;` means a later `Map<u64, u64>`
+//! field is every bit the determinism hazard a literal `HashMap` is.
+//! Rather than build a real type system, the passes ask two questions
+//! this module can answer from the AST alone: "does this alias resolve
+//! to one of these std names?" and "does this token span mention one of
+//! them, post-resolution?"
+
+use std::collections::BTreeMap;
+
+use crate::ast::Ast;
+use crate::lexer::Token;
+
+/// Alias → canonical-name map built from a file's `use` declarations.
+///
+/// Only the *last* path segment matters for the lint passes (the std
+/// types they police are unambiguous by leaf name), so the map is
+/// `local name → leaf of the imported path`.
+#[derive(Debug, Default)]
+pub struct UseMap {
+    map: BTreeMap<String, String>,
+}
+
+impl UseMap {
+    /// Build the map from every `use` declaration in the file.
+    pub fn build(ast: &Ast) -> UseMap {
+        let mut map = BTreeMap::new();
+        for decl in ast.use_decls() {
+            let Some(leaf) = decl.path.last() else {
+                continue;
+            };
+            if leaf == "*" {
+                continue; // globs resolve nothing by themselves
+            }
+            let local = decl.alias.clone().unwrap_or_else(|| leaf.clone());
+            map.insert(local, leaf.clone());
+        }
+        UseMap { map }
+    }
+
+    /// The canonical (imported) name behind `local`, or `local` itself
+    /// when no `use` renames it.
+    pub fn canonical<'a>(&'a self, local: &'a str) -> &'a str {
+        self.map.get(local).map(String::as_str).unwrap_or(local)
+    }
+
+    /// First token in `[lo, hi)` whose identifier canonicalises to one
+    /// of `targets`; returns the token and its canonical name.
+    pub fn find_in_span<'t>(
+        &self,
+        toks: &'t [Token],
+        span: (usize, usize),
+        targets: &[&str],
+    ) -> Option<(&'t Token, &'static str)> {
+        let (lo, hi) = span;
+        for t in toks.get(lo..hi.min(toks.len()))? {
+            if let Some(id) = t.ident() {
+                let c = self.canonical(id);
+                if let Some(&hit) = targets.iter().find(|&&x| x == c) {
+                    // `targets` holds 'static strs in every caller; map
+                    // back to the matched element to return one.
+                    return Some((t, leak_static(hit)));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The policed names are compile-time constants in every pass; this
+/// returns the `'static` str for a matched target without allocating.
+fn leak_static(s: &str) -> &'static str {
+    // All call sites pass literals from these fixed sets; match them
+    // back to the literal. Unknown input falls back to a generic label.
+    const KNOWN: &[&str] = &[
+        "Rc",
+        "RefCell",
+        "Cell",
+        "UnsafeCell",
+        "OnceCell",
+        "HashMap",
+        "HashSet",
+    ];
+    KNOWN.iter().find(|&&k| k == s).copied().unwrap_or("type")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ast;
+    use crate::lexer::scan;
+
+    #[test]
+    fn aliases_resolve_to_canonical_names() {
+        let s = scan("use std::collections::HashMap as Map;\nuse std::rc::Rc;\n");
+        let ast = Ast::parse(&s.tokens);
+        let u = UseMap::build(&ast);
+        assert_eq!(u.canonical("Map"), "HashMap");
+        assert_eq!(u.canonical("Rc"), "Rc");
+        assert_eq!(u.canonical("Untouched"), "Untouched");
+    }
+
+    #[test]
+    fn find_in_span_sees_through_aliases() {
+        let src = "use std::cell::RefCell as Shared;\nstruct S { x: Shared<u8> }";
+        let s = scan(src);
+        let ast = Ast::parse(&s.tokens);
+        let u = UseMap::build(&ast);
+        let hit = u.find_in_span(&s.tokens, (0, s.tokens.len()), &["RefCell"]);
+        assert!(hit.is_some());
+        assert_eq!(hit.map(|(_, c)| c), Some("RefCell"));
+    }
+}

@@ -1,0 +1,339 @@
+//! L10 — virtual-time arithmetic soundness.
+//!
+//! `SimTime` and `Duration` check their own arithmetic inside
+//! `sim::time` (the one sanctioned home, same as L2). The hazard is raw
+//! `u64` nanoseconds that escaped the newtypes via `.as_nanos()` — or
+//! were born raw as a `_ns` local — and then meet bare `+`/`-`/`*`/`+=`
+//! in library code. Overflow there wraps silently in release builds and
+//! corrupts conservation audits a million queries into a sweep; the fix
+//! is `checked_*`/`saturating_*` or keeping the value typed.
+//!
+//! Detection is symbol-level: a binding is *raw-nanos* when its
+//! initialiser calls `.as_nanos()` (and is not immediately cast to a
+//! float, where wrap-around cannot occur), or when its name ends in
+//! `_ns`/`_nanos`. Any unchecked `+`, `-`, `*` (including compound
+//! assignment) adjacent to a raw-nanos value, or directly chained onto
+//! an `.as_nanos()` call, is flagged.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::ast::{self, Ast};
+use crate::diag::{self, Diagnostic, Rule};
+use crate::lexer::Token;
+use crate::pragma::Pragmas;
+
+/// Run the L10 pass over one file's function bodies.
+pub fn check_l10(
+    file: &Path,
+    toks: &[Token],
+    ast: &Ast,
+    pragmas: &Pragmas,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for body in ast.fn_bodies() {
+        if body.cfg_test {
+            continue;
+        }
+        let raw = raw_nanos_bindings(toks, body.params, body.body);
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        scan_as_nanos_chains(toks, body.body, &mut flagged);
+        scan_raw_idents(toks, body.body, &raw, &mut flagged);
+        for op_idx in flagged {
+            let t = &toks[op_idx];
+            let op = match &t.kind {
+                crate::lexer::TokenKind::Punct(c) => *c,
+                _ => '?',
+            };
+            diag::report(
+                diags,
+                pragmas,
+                Rule::L10,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "unchecked `{op}` on a raw nanosecond value in fn `{}`",
+                    body.name
+                ),
+                "use checked_add/checked_sub/checked_mul or saturating_*, or keep the \
+                 value in SimTime/Duration (sim::time does the checking)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Binding names classified raw-nanos within one fn: `_ns`/`_nanos`
+/// params and lets, plus lets whose initialiser contains `.as_nanos()`.
+fn raw_nanos_bindings(
+    toks: &[Token],
+    params: (usize, usize),
+    body: (usize, usize),
+) -> BTreeSet<String> {
+    let mut raw = BTreeSet::new();
+    // Parameters: `name: type` pairs; classified by name suffix.
+    let mut fields = Vec::new();
+    ast::parse_fields(toks, params.0, params.1, &mut fields);
+    for f in fields {
+        if is_ns_name(&f.name) && !span_has_float(toks, f.ty) {
+            raw.insert(f.name);
+        }
+    }
+    // Let statements in the body.
+    let (lo, hi) = body;
+    let mut k = lo;
+    while k < hi.min(toks.len()) {
+        if !toks[k].is_ident("let") {
+            k += 1;
+            continue;
+        }
+        // `if let` / `while let` are pattern matches, not bindings we
+        // can classify from the initialiser.
+        if k > 0 && (toks[k - 1].is_ident("if") || toks[k - 1].is_ident("while")) {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        // Bound names: a single ident, or the idents of a tuple pattern.
+        let mut names: Vec<String> = Vec::new();
+        if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+            names.push(name.to_string());
+        } else if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            let mut d = 0i32;
+            while j < hi.min(toks.len()) {
+                if toks[j].is_punct('(') {
+                    d += 1;
+                } else if toks[j].is_punct(')') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                } else if let Some(id) = toks[j].ident() {
+                    if id != "mut" {
+                        names.push(id.to_string());
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Statement runs to the `;` at depth 0.
+        let mut d = 0i32;
+        let mut end = j;
+        while end < hi.min(toks.len()) {
+            let t = &toks[end];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                d -= 1;
+            } else if t.is_punct(';') && d <= 0 {
+                break;
+            }
+            end += 1;
+        }
+        let stmt = (k, end);
+        let has_as_nanos = toks[stmt.0..stmt.1.min(toks.len())]
+            .iter()
+            .any(|t| t.is_ident("as_nanos"));
+        let floaty = span_has_float(toks, stmt);
+        for name in names {
+            if (has_as_nanos || is_ns_name(&name)) && !floaty {
+                raw.insert(name);
+            }
+        }
+        k = end + 1;
+    }
+    raw
+}
+
+fn is_ns_name(name: &str) -> bool {
+    name.ends_with("_ns") || name.ends_with("_nanos")
+}
+
+/// Float casts neutralise the overflow hazard (f64 doesn't wrap).
+fn span_has_float(toks: &[Token], span: (usize, usize)) -> bool {
+    toks[span.0.min(toks.len())..span.1.min(toks.len())]
+        .iter()
+        .any(|t| t.is_ident("f64") || t.is_ident("f32"))
+}
+
+/// Flag `… .as_nanos() <op>` and `<op> … .as_nanos()` chains.
+fn scan_as_nanos_chains(toks: &[Token], body: (usize, usize), flagged: &mut BTreeSet<usize>) {
+    let (lo, hi) = body;
+    for k in lo..hi.min(toks.len()) {
+        if !toks[k].is_ident("as_nanos") {
+            continue;
+        }
+        let dotted = k > 0 && toks[k - 1].is_punct('.');
+        let called = toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(')'));
+        if !dotted || !called {
+            continue;
+        }
+        // Operator directly after the call?
+        if let Some(op) = arith_op_at(toks, k + 3) {
+            // `x.as_nanos() as f64 * …` never reaches here: `as` is an
+            // ident, not an operator.
+            flagged.insert(op);
+        }
+        // Operator directly before the receiver chain (`a + b.c.as_nanos()`):
+        // walk back over `ident ( . ident )*`.
+        let mut p = k - 1; // the `.`
+        while p >= 2 && toks[p].is_punct('.') && toks[p - 1].ident().is_some() {
+            p -= 2;
+        }
+        // p now sits one before the chain head (or at it when the walk
+        // stopped); the head is at p+1 when toks[p] isn't part of it.
+        if p > 0 {
+            if let Some(op) = arith_op_at(toks, p) {
+                // Binary only: something must precede the operator.
+                if p > lo && operand_end(&toks[p - 1]) {
+                    flagged.insert(op);
+                }
+            }
+        }
+    }
+}
+
+/// Flag raw-nanos idents adjacent to arithmetic operators.
+fn scan_raw_idents(
+    toks: &[Token],
+    body: (usize, usize),
+    raw: &BTreeSet<String>,
+    flagged: &mut BTreeSet<usize>,
+) {
+    let (lo, hi) = body;
+    for k in lo..hi.min(toks.len()) {
+        let Some(id) = toks[k].ident() else { continue };
+        if !raw.contains(id) {
+            continue;
+        }
+        // Field/method positions (`x.resp`) are not this binding.
+        if k > 0 && toks[k - 1].is_punct('.') {
+            continue;
+        }
+        // Method call on the binding (`resp.min(x)`, `resp.saturating_add(x)`)
+        // is not bare arithmetic.
+        // `NAME <op> …` (covers `NAME += …` at the `+`).
+        if let Some(op) = arith_op_at(toks, k + 1) {
+            flagged.insert(op);
+        }
+        // `… <op> NAME` — binary only.
+        if k >= 2 {
+            if let Some(op) = arith_op_at(toks, k - 1) {
+                if operand_end(&toks[k - 2]) {
+                    flagged.insert(op);
+                }
+            }
+        }
+        // `X <op>= NAME` — the RHS of a compound assignment.
+        if k >= 2 && toks[k - 1].is_punct('=') {
+            if let Some(op) = arith_op_at(toks, k - 2) {
+                flagged.insert(op);
+            }
+        }
+    }
+}
+
+/// The index `i` when `toks[i]` is a bare `+`/`-`/`*` (compound forms
+/// included; `->`, `*deref-like` and doc idents are not tokens here).
+fn arith_op_at(toks: &[Token], i: usize) -> Option<usize> {
+    let t = toks.get(i)?;
+    if t.is_punct('+') || t.is_punct('*') {
+        return Some(i);
+    }
+    if t.is_punct('-') {
+        // Not `->`.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            return None;
+        }
+        return Some(i);
+    }
+    None
+}
+
+/// Could this token end an operand (making a following op binary)?
+fn operand_end(t: &Token) -> bool {
+    t.ident().is_some()
+        || matches!(t.kind, crate::lexer::TokenKind::Number(_))
+        || t.is_punct(')')
+        || t.is_punct(']')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ast;
+    use crate::lexer::scan;
+    use crate::pragma;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let s = scan(src);
+        let ast = Ast::parse(&s.tokens);
+        let mut diags = Vec::new();
+        let f = PathBuf::from("t.rs");
+        let p = pragma::collect(&f, &s.comments, &mut diags);
+        check_l10(&f, &s.tokens, &ast, &p, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn flags_arithmetic_on_as_nanos_chains() {
+        assert_eq!(
+            run("fn f(a: SimTime, b: u64) -> u64 { a.as_nanos() + b }").len(),
+            1
+        );
+        assert_eq!(
+            run("fn f(a: S) -> u64 { a.x.start.as_nanos() * 2 }").len(),
+            1
+        );
+        assert_eq!(
+            run("fn f(a: u64, s: S) -> u64 { a - s.t.as_nanos() }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flags_raw_nanos_locals_and_compound_assign() {
+        let src = "fn f(s: S) -> u64 { let resp = s.t.as_nanos(); let mut t = 0u64; \
+                   t += resp; t }";
+        assert!(!run(src).is_empty());
+        assert_eq!(
+            run("fn f(device_ns: u64, x: u64) -> u64 { device_ns - x }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn checked_and_saturating_are_clean() {
+        assert!(
+            run("fn f(a: SimTime, b: u64) -> Option<u64> { a.as_nanos().checked_add(b) }")
+                .is_empty()
+        );
+        assert!(
+            run("fn f(device_ns: u64, x: u64) -> u64 { device_ns.saturating_sub(x) }").is_empty()
+        );
+    }
+
+    #[test]
+    fn float_paths_and_typed_time_are_clean() {
+        // Float math cannot wrap.
+        assert!(run("fn f(s: S) -> f64 { let x = s.t.as_nanos() as f64; x * 0.5 }").is_empty());
+        // Typed arithmetic (no as_nanos, no _ns names) is sim::time's job.
+        assert!(run("fn f(a: SimTime, d: Duration) -> SimTime { a + d }").is_empty());
+        // Comparison operators are not arithmetic.
+        assert!(run("fn f(a_ns: u64, b_ns: u64) -> bool { a_ns < b_ns }").is_empty());
+    }
+
+    #[test]
+    fn pragma_and_cfg_test_suppress() {
+        let src = "fn f(a_ns: u64, b: u64) -> u64 {\n    // lint:allow(L10, bounded \
+                   by construction: both < 2^32)\n    a_ns + b\n}";
+        assert!(run(src).is_empty());
+        assert!(run("#[cfg(test)]\nmod t { fn g(a_ns: u64) -> u64 { a_ns + 1 } }").is_empty());
+    }
+}

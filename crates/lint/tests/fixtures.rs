@@ -13,8 +13,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use tapejoin_lint::{
-    lint_checkpoints, lint_profile, lint_registry, lint_source, Diagnostic, FileClass, Rule,
-    SourceFile,
+    lint_checkpoints, lint_profile, lint_registry, lint_source, lint_workspace, render_json,
+    Diagnostic, FileClass, Rule, SourceFile,
 };
 
 fn fixture_dir() -> PathBuf {
@@ -32,6 +32,19 @@ fn lint_fixture(name: &str) -> Vec<Diagnostic> {
     };
     let mut diags = Vec::new();
     lint_source(&file, &src, &mut diags);
+    diags
+}
+
+/// Lint a (possibly munged) copy of a real workspace file's source,
+/// keeping its real relative path so plane/exemption logic applies.
+fn lint_as(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile {
+        rel: PathBuf::from(rel),
+        abs: PathBuf::from(rel),
+        class: FileClass::Lib,
+    };
+    let mut diags = Vec::new();
+    lint_source(&file, src, &mut diags);
     diags
 }
 
@@ -78,6 +91,59 @@ fn l4_fixture_trips_only_l4() {
 #[test]
 fn l6_fixture_trips_only_l6() {
     assert_trips_exactly("l6_recorder_clone.rs", Rule::L6);
+}
+
+#[test]
+fn l9_fixture_trips_only_l9() {
+    assert_trips_exactly("l9_shared_state.rs", Rule::L9);
+    // Two shared-type fields, one `static mut`, one type alias.
+    assert_eq!(lint_fixture("l9_shared_state.rs").len(), 4);
+}
+
+#[test]
+fn l9_allowed_fixture_trips_nothing() {
+    let diags = lint_fixture("l9_allowed.rs");
+    assert!(
+        diags.is_empty(),
+        "reasoned pragmas must suppress L9: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn l10_fixture_trips_only_l10() {
+    assert_trips_exactly("l10_raw_nanos.rs", Rule::L10);
+    // An `as_nanos` let chained into `+`, a `_ns` subtraction, and a
+    // compound assignment onto a `_ns` accumulator.
+    assert_eq!(lint_fixture("l10_raw_nanos.rs").len(), 3);
+}
+
+#[test]
+fn l10_allowed_fixture_trips_nothing() {
+    let diags = lint_fixture("l10_allowed.rs");
+    assert!(
+        diags.is_empty(),
+        "checked/saturating/float paths and the pragma must be clean: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn l11_fixture_trips_only_l11() {
+    assert_trips_exactly("l11_hash_iter.rs", Rule::L11);
+    // `.values()` on a param, a `for` loop over a HashSet, and a
+    // `.keys()` call through a `use … as` alias.
+    assert_eq!(lint_fixture("l11_hash_iter.rs").len(), 3);
+}
+
+#[test]
+fn l11_allowed_fixture_trips_nothing() {
+    let diags = lint_fixture("l11_allowed.rs");
+    assert!(
+        diags.is_empty(),
+        "BTreeMap, lookup-only use and the sorted pragma must be clean: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -344,4 +410,128 @@ fn deleting_any_field_from_the_bench_mirror_trips_l8() {
             diags.iter().map(|d| &d.message).collect::<Vec<_>>()
         );
     }
+}
+
+/// The full workspace sweep — every file, every rule L1–L11 — must be
+/// clean. This is the `tapejoin-lint check` exit-0 contract as a test.
+#[test]
+fn real_workspace_is_clean_under_all_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "workspace sweep regressed: {}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Acceptance check from the issue: stripping the reasoned L9
+/// allow-file pragma off a real executor file must make L9 fire.
+/// Exercised on an in-memory munged copy of the real source.
+#[test]
+fn deleting_the_executor_l9_pragma_trips_l9() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rel = "crates/sim/src/executor.rs";
+    let src = fs::read_to_string(root.join(rel)).unwrap();
+    assert!(lint_as(rel, &src).is_empty(), "real executor must be clean");
+    let gutted: String = src
+        .lines()
+        .filter(|l| !l.contains("lint:allow-file(L9"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(gutted, src, "executor L9 pragma not found to delete");
+    let diags = lint_as(rel, &gutted);
+    assert!(
+        !diags.is_empty(),
+        "stripping the L9 pragma must expose the shared executor state"
+    );
+    for d in &diags {
+        assert_eq!(d.rule, Rule::L9, "unexpected rule: {}", d.message);
+    }
+}
+
+/// Acceptance check from the issue: reverting a `saturating_add` guard
+/// in the span assembler back to `+=` must make L10 fire.
+#[test]
+fn deleting_a_saturating_add_guard_trips_l10() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rel = "crates/sql/src/profile.rs";
+    let src = fs::read_to_string(root.join(rel)).unwrap();
+    assert!(lint_as(rel, &src).is_empty(), "real profile must be clean");
+    let gutted = src.replacen("t = t.saturating_add(resp);", "t += resp;", 1);
+    assert_ne!(gutted, src, "saturating_add guard not found to delete");
+    let diags = lint_as(rel, &gutted);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::L10),
+        "reverting saturating_add to `+=` must trip L10; got {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+    for d in &diags {
+        assert_eq!(d.rule, Rule::L10, "unexpected rule: {}", d.message);
+    }
+}
+
+/// Acceptance check from the issue: reverting the frequency histogram's
+/// `BTreeMap` conversion back to `HashMap` must make L11 fire at the
+/// iteration sites in `freq_stats`.
+#[test]
+fn deleting_the_btreemap_conversion_trips_l11() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rel = "crates/sql/src/profile.rs";
+    let src = fs::read_to_string(root.join(rel)).unwrap();
+    let gutted = src.replacen(
+        "fn freq_stats(freq: &BTreeMap<u64, u64>)",
+        "fn freq_stats(freq: &HashMap<u64, u64>)",
+        1,
+    );
+    assert_ne!(gutted, src, "freq_stats BTreeMap signature not found");
+    let diags = lint_as(rel, &gutted);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::L11),
+        "reverting freq_stats to HashMap must trip L11; got {:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+    for d in &diags {
+        assert_eq!(d.rule, Rule::L11, "unexpected rule: {}", d.message);
+    }
+}
+
+/// Diagnostics are sorted by (file, line, column, rule) regardless of
+/// rule-pass emission order, so reports are stable.
+#[test]
+fn workspace_diagnostics_are_sorted() {
+    let diags = lint_fixture("l9_shared_state.rs");
+    let mut sorted = diags.clone();
+    sorted.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule as u8).cmp(&(&b.file, b.line, b.col, b.rule as u8))
+    });
+    let a: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    let b: Vec<String> = sorted.iter().map(|d| d.to_string()).collect();
+    assert_eq!(a, b, "lint_source must return pre-sorted diagnostics");
+}
+
+/// Acceptance check from the issue: `--format json` output is
+/// byte-identical across two runs — no timestamps, no hash-ordered
+/// members, stable sort.
+#[test]
+fn json_report_is_byte_identical_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let first = render_json(&lint_workspace(&root));
+    let second = render_json(&lint_workspace(&root));
+    assert_eq!(first, second, "clean-workspace JSON must be deterministic");
+    assert!(first.contains("\"schema\": \"tapejoin-lint/1\""));
+    assert!(first.contains("\"violations\": 0"));
+
+    // And with a non-empty diagnostic set (fixture corpus).
+    let d1 = lint_fixture("l9_shared_state.rs");
+    let d2 = lint_fixture("l9_shared_state.rs");
+    let j1 = render_json(&d1);
+    let j2 = render_json(&d2);
+    assert_eq!(j1, j2, "violation JSON must be deterministic");
+    assert!(j1.contains("\"violations\": 4"));
+    assert!(j1.contains("\"rule\": \"L9\""));
 }

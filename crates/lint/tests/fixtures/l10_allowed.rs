@@ -1,0 +1,22 @@
+//! L10 fixture, clean: the same computations as `l10_raw_nanos.rs`
+//! written with checked/saturating arithmetic, float math, or a
+//! reasoned pragma. Trips nothing.
+
+pub fn total(start: SimTime, extra: u64) -> Option<u64> {
+    let base = start.as_nanos();
+    base.checked_add(extra)
+}
+
+pub fn drift(a_ns: u64, b_ns: u64) -> u64 {
+    a_ns.saturating_sub(b_ns)
+}
+
+pub fn seconds(start: SimTime) -> f64 {
+    let base = start.as_nanos() as f64;
+    base * 1e-6
+}
+
+pub fn bounded(a_ns: u64, b: u64) -> u64 {
+    // lint:allow(L10, fixture: both operands < 2^31 by construction)
+    a_ns + b
+}

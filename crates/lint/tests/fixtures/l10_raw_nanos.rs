@@ -1,0 +1,20 @@
+//! L10 fixture: unchecked arithmetic on raw nanosecond values. Trips
+//! only L10 — three sites: a let-bound `.as_nanos()` value added, a
+//! `_ns`-suffixed parameter subtracted, and a compound assignment.
+
+pub fn total(start: SimTime, extra: u64) -> u64 {
+    let base = start.as_nanos();
+    base + extra
+}
+
+pub fn drift(a_ns: u64, b_ns: u64) -> u64 {
+    a_ns - b_ns
+}
+
+pub fn accumulate(spans: &[Span]) -> u64 {
+    let mut total_ns = 0u64;
+    for s in spans {
+        total_ns += s.len();
+    }
+    total_ns
+}

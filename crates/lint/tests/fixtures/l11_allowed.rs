@@ -1,0 +1,21 @@
+//! L11 fixture, clean: the deterministic versions — `BTreeMap`
+//! iteration, lookup-only hash access, and a sorted collect under a
+//! reasoned pragma. Trips nothing.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn export_total(freq: &BTreeMap<u64, u64>) -> u64 {
+    freq.values().sum()
+}
+
+pub fn lookup_only(m: &mut HashMap<u64, u64>, key: u64) -> u64 {
+    *m.entry(key).or_insert(0) += 1;
+    m.get(&key).copied().unwrap_or(0)
+}
+
+pub fn sorted_keys(m: &HashMap<u64, u64>) -> Vec<u64> {
+    // lint:allow(L11, fixture: keys are sorted immediately below)
+    let mut keys: Vec<u64> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

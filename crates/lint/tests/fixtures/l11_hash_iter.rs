@@ -1,0 +1,23 @@
+//! L11 fixture: iteration over hash collections on export paths. Trips
+//! only L11 — three sites: `.values()` on a `HashMap` parameter, a
+//! `for` loop over a `HashSet`, and a `.keys()` call through a `use …
+//! as` alias.
+
+use std::collections::HashMap as Map;
+use std::collections::{HashMap, HashSet};
+
+pub fn export_total(freq: &HashMap<u64, u64>) -> u64 {
+    freq.values().sum()
+}
+
+pub fn fingerprint(ids: &HashSet<u64>) -> u64 {
+    let mut acc = 0u64;
+    for k in ids {
+        acc ^= *k;
+    }
+    acc
+}
+
+pub fn aliased(m: &Map<u64, u64>) -> usize {
+    m.keys().count()
+}

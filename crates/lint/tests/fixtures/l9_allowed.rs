@@ -1,0 +1,21 @@
+//! L9 fixture, suppressed: the same shared-mutable declarations as
+//! `l9_shared_state.rs`, each carrying a reasoned pragma. Trips
+//! nothing.
+//!
+//! lint:allow-file(L9, fixture: single-threaded executor state; every field is documented as never crossing a worker boundary)
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+pub struct Executor {
+    pub tasks: Rc<RefCell<Vec<u64>>>,
+    pub ticks: Cell<u64>,
+    pub name: String,
+}
+
+pub type SharedQueue = Rc<RefCell<Vec<u64>>>;
+
+pub struct LinePragmaCase {
+    // lint:allow(L9, fixture: line pragma above the field also works)
+    pub slot: Cell<u64>,
+}

@@ -1,0 +1,16 @@
+//! L9 fixture: shared mutable state on the executor/scheduler plane
+//! with no justification. Trips only L9 — four sites: an `Rc<RefCell>`
+//! field, a `Cell` field, a `static mut`, and a type alias.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+pub struct Executor {
+    pub tasks: Rc<RefCell<Vec<u64>>>,
+    pub ticks: Cell<u64>,
+    pub name: String,
+}
+
+pub static mut GLOBAL_SEQ: u64 = 0;
+
+pub type SharedQueue = Rc<RefCell<Vec<u64>>>;

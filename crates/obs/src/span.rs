@@ -12,6 +12,8 @@
 //! allocation and every operation returns immediately without reading the
 //! clock, so instrumented code paths are exact no-ops — the property the
 //! determinism suites pin down.
+//!
+//! lint:allow-file(L9, Recorder handles are fork()ed per task (L6) and never cross threads; ROADMAP-2 merges per-worker span streams by virtual time)
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -11,6 +11,7 @@ use std::rc::Rc;
 use crate::tuple::{mix64, Tuple};
 
 /// Shared immutable handle to a block.
+// lint:allow(L9, immutable block payload; becomes Arc mechanically in the parallel refactor)
 pub type BlockRef = Rc<Block>;
 
 /// Error from [`Block::from_bytes`].

@@ -34,6 +34,7 @@ use std::rc::Rc;
 /// A relation: an ordered sequence of blocks plus workload metadata.
 #[derive(Clone)]
 pub struct Relation {
+    // lint:allow(L9, immutable Rc<str> name; becomes Arc<str> mechanically in the parallel refactor)
     name: Rc<str>,
     blocks: Vec<BlockRef>,
     /// Fraction of the on-tape byte stream that a compressing drive can

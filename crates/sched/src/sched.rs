@@ -23,6 +23,8 @@
 //! Everything is deterministic: decisions iterate `Vec`s in arrival
 //! order, never hash maps, so the same workload, policy and fleet
 //! configuration reproduce bit-identical [`FleetReport`]s.
+//!
+//! lint:allow-file(L9, the Fleet scheduler runs on the single control executor; ROADMAP-2 replaces these cells with per-worker queues plus a deterministic virtual-time merge)
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;

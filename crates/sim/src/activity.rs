@@ -32,6 +32,7 @@ impl Activity {
 /// A shared, append-only log of busy intervals for one device.
 #[derive(Clone, Default)]
 pub struct ActivityLog {
+    // lint:allow(L9, activity log shared by device tasks on one executor)
     entries: Rc<RefCell<Vec<Activity>>>,
 }
 

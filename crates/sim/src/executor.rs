@@ -10,6 +10,8 @@
 //! Determinism: the ready queue is strictly FIFO, and timers are totally
 //! ordered by `(deadline, registration sequence)`. Given the same program,
 //! every run observes the same interleaving.
+//!
+//! lint:allow-file(L9, the cooperative executor is the single-thread boundary itself; ROADMAP-2 runs one executor per worker, so nothing here crosses threads)
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;

@@ -5,6 +5,8 @@
 //! per-request service time is computed from the device model at the
 //! moment service *starts* (so state such as head position reflects all
 //! previously served requests).
+//!
+//! lint:allow-file(L9, per-device stat and observer handles shared between tasks on one executor only)
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -5,6 +5,8 @@
 //! chain of tasks into a *bounded-buffer* pipeline whose throughput is the
 //! max of the stage service times, exactly the behaviour the paper's
 //! double-buffering analysis assumes.
+//!
+//! lint:allow-file(L9, simulated channel for tasks on one cooperative executor; never crosses a real thread)
 
 use std::cell::RefCell;
 use std::collections::VecDeque;

@@ -5,6 +5,8 @@
 //! whole request cycle must be exclusive). The guard exposes the value via
 //! closures rather than `Deref` so no `RefCell` borrow is ever held across
 //! an await point.
+//!
+//! lint:allow-file(L9, simulated mutex for tasks on one cooperative executor; never crosses a real thread)
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -1,5 +1,7 @@
 //! Wake-up notification primitive (edge-triggered with one stored permit,
 //! like Tokio's `Notify`).
+//!
+//! lint:allow-file(L9, simulated notifier for tasks on one cooperative executor; never crosses a real thread)
 
 use std::cell::RefCell;
 use std::collections::VecDeque;

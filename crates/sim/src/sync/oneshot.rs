@@ -1,4 +1,6 @@
 //! One-shot value handoff between two tasks.
+//!
+//! lint:allow-file(L9, simulated oneshot for tasks on one cooperative executor; never crosses a real thread)
 
 use std::cell::RefCell;
 use std::future::Future;

@@ -47,7 +47,7 @@ impl std::error::Error for TraceError {}
 /// A named series of `(time, value)` samples. Cheap to clone (shared).
 #[derive(Clone)]
 pub struct Trace {
-    name: Rc<str>,
+    name: Rc<str>, // lint:allow(L9, trace handles shared within one executor; merged post-run)
     points: Rc<RefCell<Vec<TracePoint>>>,
 }
 

@@ -15,7 +15,7 @@
 //!   [`KeyDistribution`] of a synthetic generator and converts its
 //!   parameters to the same statistics exactly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tapejoin::cost::SkewHint;
 use tapejoin_rel::{KeyDistribution, Relation, RelationSpec, WorkloadBuilder};
@@ -55,7 +55,7 @@ impl TableStats {
     /// Build statistics by scanning the relation (exact cardinality and
     /// bounds; estimated skew profile).
     pub fn measure(rel: &Relation) -> TableStats {
-        let mut freq: HashMap<u64, u64> = HashMap::new();
+        let mut freq: BTreeMap<u64, u64> = BTreeMap::new();
         let mut key_min = u64::MAX;
         let mut key_max = 0u64;
         let mut tuples = 0u64;

@@ -8,10 +8,12 @@
 //! drained host-side row buffer — and drives the chosen tertiary method
 //! through [`TertiaryJoin::run_collecting`], then maps the emitted
 //! `(r, s)` pairs back to wide rows via the rid indices.
+//!
+//! lint:allow-file(L9, per-query operator DAG state; a plan executes on one executor thread end to end)
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use tapejoin::{JoinMethod, JoinStats, SystemConfig, TertiaryJoin};
@@ -71,7 +73,7 @@ pub struct ScanObs {
     /// Query-local table index.
     pub table: usize,
     /// How often each join-key value was emitted.
-    pub freq: HashMap<u64, u64>,
+    pub freq: BTreeMap<u64, u64>,
 }
 
 /// Raw per-node measurements captured by [`execute_profiled`].
@@ -499,7 +501,7 @@ fn build_node(
                     scans.push(ScanObs {
                         node,
                         table: *table,
-                        freq: HashMap::new(),
+                        freq: BTreeMap::new(),
                     });
                     drop(scans);
                     Box::new(ObserveKeysExec {

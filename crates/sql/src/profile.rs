@@ -23,7 +23,7 @@
 //! assumption). The three parts therefore tile the stage's response
 //! exactly even though devices overlap.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use tapejoin::SystemConfig;
 use tapejoin_obs::{
@@ -273,7 +273,7 @@ fn operator_profiles(
 /// Distinct count, heavy-hitter excess and fitted Zipf-θ of an observed
 /// key-frequency map, using the same estimators the catalog's `ANALYZE`
 /// scan uses.
-fn freq_stats(freq: &HashMap<u64, u64>) -> (u64, f64, f64) {
+fn freq_stats(freq: &BTreeMap<u64, u64>) -> (u64, f64, f64) {
     let tuples: u64 = freq.values().sum();
     let mut counts: Vec<u64> = freq.values().copied().collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
@@ -313,8 +313,11 @@ fn time_split(run: &JoinRun) -> (f64, f64, f64, f64) {
     let device_ns = union_len(device);
     (
         secs(tape_ns),
-        secs(device_ns - tape_ns),
-        secs(resp - device_ns),
+        // Unions are clamped to `resp` and tape ⊆ device, but keep the
+        // subtractions saturating so a span-accounting bug can never
+        // wrap a u64 into a 584-year CPU time.
+        secs(device_ns.saturating_sub(tape_ns)),
+        secs(resp.saturating_sub(device_ns)),
         secs(resp),
     )
 }
@@ -391,14 +394,14 @@ fn assemble_spans(profile: &QueryProfile, joins: &[JoinRun], plan_spans: Vec<Spa
     for run in joins {
         let resp = run.stats.response.as_nanos();
         offsets.insert(run.node, (t, resp));
-        t += resp;
+        t = t.saturating_add(resp);
     }
 
     // One Scope span per operator, preorder — node i gets id op_base + i.
     let op_base = spans.len();
     for (i, op) in profile.operators.iter().enumerate() {
         let (start, end) = match offsets.get(&i) {
-            Some(&(off, resp)) => (off, off + resp),
+            Some(&(off, resp)) => (off, off.saturating_add(resp)),
             None => (0, 0),
         };
         spans.push(Span {
@@ -428,8 +431,10 @@ fn assemble_spans(profile: &QueryProfile, joins: &[JoinRun], plan_spans: Vec<Spa
                 Some(p) => SpanId(base + p.0),
                 None => SpanId(op_base + run.node),
             });
-            s.start = SimTime::from_nanos(off + s.start.as_nanos());
-            s.end = s.end.map(|e| SimTime::from_nanos(off + e.as_nanos()));
+            s.start = SimTime::from_nanos(off.saturating_add(s.start.as_nanos()));
+            s.end = s
+                .end
+                .map(|e| SimTime::from_nanos(off.saturating_add(e.as_nanos())));
             spans.push(s);
         }
     }

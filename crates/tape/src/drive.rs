@@ -1,5 +1,7 @@
 //! The tape drive: a FIFO device serving reads/appends/rewinds with
 //! modelled timing.
+//!
+//! lint:allow-file(L9, tape-drive device model; state is shared only between the drive's tasks on the owning member's executor)
 
 use std::cell::RefCell;
 use std::rc::Rc;

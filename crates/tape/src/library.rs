@@ -82,6 +82,7 @@ struct LibraryInner {
 pub struct TapeLibrary {
     exchange_time: Duration,
     arm: Server,
+    // lint:allow(L9, tape-library state owned by one member's executor)
     inner: Rc<RefCell<LibraryInner>>,
 }
 

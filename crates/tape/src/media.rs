@@ -42,6 +42,7 @@ struct MediaInner {
 /// a drive, which provides the timing.
 #[derive(Clone)]
 pub struct TapeMedia {
+    // lint:allow(L9, tape-media state owned by one member's executor)
     inner: Rc<RefCell<MediaInner>>,
 }
 

@@ -39,6 +39,7 @@ pub struct MultiVolume {
     drive: TapeDrive,
     library: TapeLibrary,
     segments: Vec<Segment>,
+    // lint:allow(L9, multivolume chain state owned by one member's executor)
     state: Rc<RefCell<VolumeState>>,
 }
 

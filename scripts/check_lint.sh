@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the workspace invariant checker (rules L1-L11), emit the JSON
+# report twice, and verify the two reports are byte-identical — the
+# determinism contract CI enforces. The JSON report is written even when
+# violations fail the run, so CI can always upload it as an artifact.
+# Exits non-zero on any non-suppressed diagnostic or on report drift.
+# Usage: scripts/check_lint.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-target/lint-report.json}"
+mkdir -p "$(dirname "$out")"
+
+status=0
+cargo run --release -q -p tapejoin-lint -- check --format json > "$out" || status=$?
+
+# Determinism: two JSON runs must produce the same bytes.
+cargo run --release -q -p tapejoin-lint -- check --format json > "$out.second" || true
+cmp "$out" "$out.second"
+rm -f "$out.second"
+
+if [ "$status" -ne 0 ]; then
+  # Re-run in text mode so violations print with file:line:col.
+  cargo run --release -q -p tapejoin-lint -- check || true
+  echo "lint FAILED; report at $out" >&2
+  exit "$status"
+fi
+echo "lint report OK: $out"
